@@ -1,0 +1,33 @@
+//! Ablation (§III.D): runtime and quality of the unidimensional product
+//! baseline vs the full spatiotemporal optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocelotl::core::{aggregate_default, product_aggregation, AggregationInput};
+use ocelotl::trace::synthetic::random_model;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("product_vs_2d");
+    g.sample_size(10);
+    for (label, fanouts, slices) in [
+        ("S96_T30", vec![12usize, 8], 30usize),
+        ("S512_T30", vec![8, 8, 8], 30),
+    ] {
+        let m = random_model(&fanouts, slices, 4, 77);
+        let input = AggregationInput::build(&m);
+        g.bench_with_input(BenchmarkId::new("spatiotemporal", label), &input, |b, input| {
+            b.iter(|| black_box(aggregate_default(input, 0.5)))
+        });
+        g.bench_with_input(BenchmarkId::new("product_1d", label), &m, |b, m| {
+            b.iter(|| black_box(product_aggregation(m, 0.5)))
+        });
+        // Record the quality gap alongside the timing.
+        let pic2d = aggregate_default(&input, 0.5).optimal_pic(&input);
+        let picp = product_aggregation(&m, 0.5).partition.pic(&input, 0.5);
+        assert!(pic2d >= picp - 1e-9, "{label}: 2-D must dominate");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: Algorithm 1's first-cut tie adoption vs coarsest-tie
+//! preference (`DpConfig::prefer_coarse_ties`).
+//!
+//! On degenerate data (pure `ρ ∈ {0,1}` cells, where gain vanishes) the
+//! paper-faithful rule returns the *finest* zero-loss partition; the
+//! coarse-ties rule pays a small DP overhead to return the coarsest. This
+//! bench measures both the overhead and the area-count gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocelotl::core::{aggregate, AggregationInput, DpConfig};
+use ocelotl::mpisim::apps::ep;
+use ocelotl::mpisim::{Engine, Network, Nic};
+use ocelotl::prelude::*;
+use ocelotl::trace::synthetic::random_model;
+use std::hint::black_box;
+
+fn ep_model() -> MicroModel {
+    let p = Platform::uniform(4, 4, Nic::Infiniband20G);
+    let net = Network::for_platform(&p);
+    let cfg = ep::EpConfig {
+        blocks: 24,
+        ..ep::EpConfig::default()
+    };
+    let (trace, _) = Engine::new(&p, &net, 9).run(ep::build_programs(&p, &cfg), &[]);
+    MicroModel::from_trace(&trace, 30).unwrap()
+}
+
+fn bench_dp_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tie_breaking_dp_time");
+    g.sample_size(10);
+    for (name, m) in [
+        ("random_64x30", random_model(&[8, 8], 30, 4, 13)),
+        ("ep_degenerate_16x30", ep_model()),
+    ] {
+        let input = AggregationInput::build(&m);
+        for (rule, cfg) in [
+            ("first_cut", DpConfig::default()),
+            ("coarse_ties", DpConfig::coarse_ties()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(rule, name),
+                &(&input, cfg),
+                |b, (input, cfg)| b.iter(|| black_box(aggregate(input, 0.5, cfg))),
+            );
+        }
+    }
+    g.finish();
+
+    // The quality side (printed): area counts under both rules.
+    println!("\ntie-breaking ablation, area counts at p = 0.5:");
+    for (name, m) in [
+        ("random_64x30", random_model(&[8, 8], 30, 4, 13)),
+        ("ep_degenerate_16x30", ep_model()),
+    ] {
+        let input = AggregationInput::build(&m);
+        let faithful = aggregate(&input, 0.5, &DpConfig::default())
+            .partition(&input)
+            .len();
+        let coarse = aggregate(&input, 0.5, &DpConfig::coarse_ties())
+            .partition(&input)
+            .len();
+        println!("  {name}: first_cut {faithful} areas, coarse_ties {coarse} areas");
+    }
+}
+
+criterion_group!(benches, bench_dp_overhead);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 1 reproduction cost: aggregating the CG-64 trace and querying the
+//! perturbation, at interactive rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocelotl::core::{aggregate_default, AggregationInput};
+use ocelotl::viz::{overview, OverviewOptions};
+use ocelotl_bench::{case_model, detect_window_anomaly};
+use ocelotl::mpisim::CaseId;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let (_, model) = case_model(CaseId::A, 0.02, 42);
+    let input = AggregationInput::build(&model);
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(20);
+    g.bench_function("aggregate_p03", |b| {
+        b.iter(|| black_box(aggregate_default(&input, 0.3)))
+    });
+    g.bench_function("overview_render", |b| {
+        b.iter(|| {
+            let ov = overview(&input, OverviewOptions { p: 0.3, ..Default::default() });
+            black_box(ov.to_svg(&input))
+        })
+    });
+    g.bench_function("detect_window_anomaly", |b| {
+        b.iter(|| black_box(detect_window_anomaly(&model, 3.0, 3.45, 0.3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

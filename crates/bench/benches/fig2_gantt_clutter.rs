@@ -1,0 +1,38 @@
+//! Fig. 2 reproduction: cost and outcome of microscopic Gantt rendering vs
+//! the aggregated overview on the same trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocelotl::core::AggregationInput;
+use ocelotl::mpisim::{scenario, CaseId};
+use ocelotl::prelude::*;
+use ocelotl::viz::{clutter_metrics, overview, OverviewOptions};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let sc = scenario(CaseId::A, 0.02);
+    let (trace, _) = sc.run(42);
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(20);
+    g.bench_function("gantt_clutter_metrics", |b| {
+        b.iter(|| black_box(clutter_metrics(&trace, 1920, 1080)))
+    });
+    g.bench_function("aggregated_overview", |b| {
+        b.iter(|| {
+            black_box(overview(&input, OverviewOptions { p: 0.3, ..Default::default() }))
+        })
+    });
+    g.finish();
+
+    // Shape assertion recorded by the bench itself: the overview respects
+    // the budget the Gantt violates.
+    let m = clutter_metrics(&trace, 1920, 1080);
+    assert!(!m.satisfies_entity_budget());
+    let ov = overview(&input, OverviewOptions { p: 0.3, ..Default::default() });
+    assert!(ov.visual.items.len() < 10_000);
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

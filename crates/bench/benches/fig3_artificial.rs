@@ -1,0 +1,35 @@
+//! Fig. 3 reproduction: all aggregation variants on the artificial trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocelotl::core::{
+    aggregate_default, product_aggregation, significant_partitions, AggregationInput, DpConfig,
+};
+use ocelotl::trace::synthetic::fig3_model;
+use ocelotl::viz::visually_aggregate;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let model = fig3_model();
+    let input = AggregationInput::build(&model);
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("input_build", |b| {
+        b.iter(|| black_box(AggregationInput::build(&model)))
+    });
+    g.bench_function("spatiotemporal_dp", |b| {
+        b.iter(|| black_box(aggregate_default(&input, 0.5)))
+    });
+    g.bench_function("product_baseline", |b| {
+        b.iter(|| black_box(product_aggregation(&model, 0.5)))
+    });
+    g.bench_function("significant_levels", |b| {
+        b.iter(|| black_box(significant_partitions(&input, &DpConfig::default(), 1e-2)))
+    });
+    let part = aggregate_default(&input, 0.1).partition(&input);
+    g.bench_function("visual_aggregation", |b| {
+        b.iter(|| black_box(visually_aggregate(&input, &part, 2.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 4 reproduction cost: aggregating the LU-700 trace and querying the
+//! cluster structure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocelotl::core::{aggregate_default, AggregationInput};
+use ocelotl::mpisim::CaseId;
+use ocelotl_bench::case_model;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let (_, model) = case_model(CaseId::C, 0.004, 7);
+    let input = AggregationInput::build(&model);
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("input_build_700", |b| {
+        b.iter(|| black_box(AggregationInput::build(&model)))
+    });
+    g.bench_function("aggregate_700_p035", |b| {
+        b.iter(|| black_box(aggregate_default(&input, 0.35)))
+    });
+    g.bench_function("partition_extraction", |b| {
+        let tree = aggregate_default(&input, 0.35);
+        b.iter(|| black_box(tree.partition(&input)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! §V.B claim: after preprocessing, changing the aggregation strength p is
+//! "instantaneous". Measures re-aggregation latency on cached inputs for a
+//! case-C-sized model (700 processes × 30 slices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocelotl::core::{aggregate, aggregate_default, significant_partitions, AggregationInput, DpConfig};
+use ocelotl::mpisim::CaseId;
+use ocelotl_bench::case_model;
+use std::hint::black_box;
+
+fn bench_interaction(c: &mut Criterion) {
+    let (_, model) = case_model(CaseId::C, 0.004, 7);
+    let input = AggregationInput::build(&model);
+    let mut g = c.benchmark_group("interaction");
+    g.sample_size(20);
+    for p in [0.1f64, 0.5, 0.9] {
+        g.bench_with_input(BenchmarkId::new("reaggregate", format!("p{p}")), &p, |b, &p| {
+            b.iter(|| black_box(aggregate_default(&input, p)))
+        });
+    }
+    g.bench_function("sequential_dp", |b| {
+        let cfg = DpConfig { parallel: false, ..Default::default() };
+        b.iter(|| black_box(aggregate(&input, 0.5, &cfg)))
+    });
+    g.bench_function("slider_enumeration_coarse", |b| {
+        b.iter(|| black_box(significant_partitions(&input, &DpConfig::default(), 0.05)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interaction);
+criterion_main!(benches);

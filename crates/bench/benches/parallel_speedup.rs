@@ -1,0 +1,31 @@
+//! Parallelization ablation: fork–join Algorithm 1 and parallel input
+//! building vs their sequential counterparts (an extension over the paper,
+//! whose implementation is single-threaded).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocelotl::core::{aggregate, AggregationInput, DpConfig};
+use ocelotl::trace::synthetic::random_model;
+use std::hint::black_box;
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_speedup");
+    g.sample_size(10);
+    for (label, fanouts, slices) in [
+        ("S1024_T30", vec![8usize, 128], 30usize),
+        ("S256_T60", vec![16, 16], 60),
+    ] {
+        let m = random_model(&fanouts, slices, 4, 5);
+        let input = AggregationInput::build(&m);
+        for parallel in [false, true] {
+            let cfg = DpConfig { parallel, ..Default::default() };
+            let id = BenchmarkId::new(if parallel { "parallel" } else { "sequential" }, label);
+            g.bench_with_input(id, &input, |b, input| {
+                b.iter(|| black_box(aggregate(input, 0.5, &cfg)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! §III.E complexity claims: DP time is ≈linear in |S| and ≈cubic in |T|;
+//! input building is ≈quadratic in |T|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocelotl::core::{aggregate_default, AggregationInput};
+use ocelotl::trace::synthetic::random_model;
+use std::hint::black_box;
+
+fn bench_scaling_s(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_S_fixed_T30");
+    g.sample_size(10);
+    for leaves in [64usize, 256, 1024] {
+        let m = random_model(&[8, leaves / 8], 30, 4, 9);
+        let input = AggregationInput::build(&m);
+        g.bench_with_input(BenchmarkId::from_parameter(leaves), &input, |b, input| {
+            b.iter(|| black_box(aggregate_default(input, 0.5)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling_t(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_T_fixed_S64");
+    g.sample_size(10);
+    for slices in [15usize, 30, 60, 120] {
+        let m = random_model(&[8, 8], slices, 4, 9);
+        let input = AggregationInput::build(&m);
+        g.bench_with_input(BenchmarkId::from_parameter(slices), &input, |b, input| {
+            b.iter(|| black_box(aggregate_default(input, 0.5)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_input_t(c: &mut Criterion) {
+    let mut g = c.benchmark_group("input_build_T_fixed_S64");
+    g.sample_size(10);
+    for slices in [15usize, 30, 60, 120] {
+        let m = random_model(&[8, 8], slices, 4, 9);
+        g.bench_with_input(BenchmarkId::from_parameter(slices), &m, |b, m| {
+            b.iter(|| black_box(AggregationInput::build(m)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling_s, bench_scaling_t, bench_input_t);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: the microscopic slice count |T| (the paper fixes 30).
+//!
+//! Sweeping |T| on the case A trace shows the trade the paper made: finer
+//! grids localize anomalies better (more aggregates available around the
+//! perturbation window) but the DP pays |T|³ and the input stage |T|²;
+//! 30 slices keeps interaction instantaneous at screen-relevant precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocelotl::core::{aggregate_default, AggregationInput};
+use ocelotl::mpisim::{scenario, CaseId};
+use ocelotl::prelude::*;
+use std::hint::black_box;
+
+fn bench_slices_sweep(c: &mut Criterion) {
+    let (trace, _) = scenario(CaseId::A, 0.01).run(42);
+
+    let mut g = c.benchmark_group("slices_sweep_case_a");
+    g.sample_size(10);
+    for slices in [10usize, 30, 60, 120, 240] {
+        let model = MicroModel::from_trace(&trace, slices).unwrap();
+        // End-to-end cost of changing |T|: micro description + input + DP.
+        g.bench_with_input(
+            BenchmarkId::new("micro_description", slices),
+            &trace,
+            |b, trace| b.iter(|| black_box(MicroModel::from_trace(trace, slices).unwrap())),
+        );
+        let input = AggregationInput::build(&model);
+        g.bench_with_input(BenchmarkId::new("input_build", slices), &model, |b, m| {
+            b.iter(|| black_box(AggregationInput::build(m)))
+        });
+        g.bench_with_input(BenchmarkId::new("dp", slices), &input, |b, input| {
+            b.iter(|| black_box(aggregate_default(input, 0.5)))
+        });
+    }
+    g.finish();
+
+    // Report the anomaly-localization side of the trade-off once (printed,
+    // not timed): the perturbation window [3.0, 3.45] s spans ~0.5 % of the
+    // trace; below ~30 slices it cannot get its own slice boundary.
+    println!("\nslice-count ablation, anomaly localization (case A):");
+    for slices in [10usize, 30, 60, 120, 240] {
+        let model = MicroModel::from_trace(&trace, slices).unwrap();
+        let input = AggregationInput::build(&model);
+        let part = aggregate_default(&input, 0.3).partition(&input);
+        let grid = model.grid();
+        let (s0, s1) = (grid.slice_of(3.0), grid.slice_of(3.45));
+        println!(
+            "  |T| = {slices:>3}: window covers slices [{s0}, {s1}] ({} slices), partition has {} areas",
+            s1 - s0 + 1,
+            part.len()
+        );
+    }
+}
+
+criterion_group!(benches, bench_slices_sweep);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table II reproduction: per-case timing of the paper's analysis pipeline
+//! (trace reading, microscopic description, aggregation, interaction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocelotl::core::{aggregate_default, AggregationInput};
+use ocelotl::format::{read_trace, write_trace};
+use ocelotl::mpisim::{scenario, CaseId};
+use ocelotl::prelude::*;
+use ocelotl_bench::{scratch, PAPER_SLICES};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    // Per-case scales keep the bench suite fast while preserving shape.
+    let scales = [
+        (CaseId::A, 0.02),
+        (CaseId::B, 0.005),
+        (CaseId::C, 0.004),
+        (CaseId::D, 0.004),
+    ];
+    for (case, scale) in scales {
+        let sc = scenario(case, scale);
+        let (trace, _) = sc.run(42);
+        let path = scratch(&format!("bench_{}.btf", case.letter()));
+        write_trace(&trace, &path).unwrap();
+
+        g.bench_with_input(
+            BenchmarkId::new("trace_reading", case.letter()),
+            &path,
+            |b, path| b.iter(|| black_box(read_trace(path).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("microscopic_description", case.letter()),
+            &trace,
+            |b, trace| {
+                b.iter(|| black_box(MicroModel::from_trace(trace, PAPER_SLICES).unwrap()))
+            },
+        );
+        let model = MicroModel::from_trace(&trace, PAPER_SLICES).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("aggregation", case.letter()),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let input = AggregationInput::build(model);
+                    black_box(aggregate_default(&input, 0.5))
+                })
+            },
+        );
+        let input = AggregationInput::build(&model);
+        g.bench_with_input(
+            BenchmarkId::new("interaction", case.letter()),
+            &input,
+            |b, input| b.iter(|| black_box(aggregate_default(input, 0.37))),
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

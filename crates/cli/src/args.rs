@@ -1,0 +1,189 @@
+//! Minimal long-option argument parser (no external dependencies).
+//!
+//! Grammar: positional arguments and `--key [value]` pairs. A token after a
+//! `--key` that does not itself start with `--` is taken as the key's value;
+//! otherwise the key is a bare switch. `--` ends option parsing (everything
+//! after is positional).
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, Option<String>>,
+}
+
+impl Args {
+    /// Parse raw tokens (without the program and subcommand names).
+    pub fn parse(tokens: &[String]) -> Result<Args, CliError> {
+        let mut args = Args::default();
+        let mut only_positional = false;
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if only_positional || !tok.starts_with("--") {
+                args.positional.push(tok.clone());
+                i += 1;
+                continue;
+            }
+            if tok == "--" {
+                only_positional = true;
+                i += 1;
+                continue;
+            }
+            let key = tok.trim_start_matches("--").to_string();
+            if key.is_empty() {
+                return Err(CliError::Usage("empty option name".into()));
+            }
+            let value = match tokens.get(i + 1) {
+                Some(next) if !next.starts_with("--") => {
+                    i += 1;
+                    Some(next.clone())
+                }
+                _ => None,
+            };
+            if args.options.insert(key.clone(), value).is_some() {
+                return Err(CliError::Usage(format!("duplicate option --{key}")));
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    /// Positional argument `idx`, or a usage error naming what is missing.
+    pub fn positional(&self, idx: usize, what: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing {what}")))
+    }
+
+    /// All positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// True when `--key` was given (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// String value of `--key value`, if given.
+    pub fn get(&self, key: &str) -> Result<Option<&str>, CliError> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(Some(v)) => Ok(Some(v.as_str())),
+            Some(None) => Err(CliError::Usage(format!("--{key} expects a value"))),
+        }
+    }
+
+    /// Parsed value of `--key value` with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key)? {
+            None => Ok(default),
+            Some(s) => s
+                .parse::<T>()
+                .map_err(|_| CliError::Usage(format!("invalid value for --{key}: {s:?}"))),
+        }
+    }
+
+    /// Required `--key value`, parsed.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        match self.get(key)? {
+            None => Err(CliError::Usage(format!("missing required --{key}"))),
+            Some(s) => s
+                .parse::<T>()
+                .map_err(|_| CliError::Usage(format!("invalid value for --{key}: {s:?}"))),
+        }
+    }
+
+    /// Reject unknown options (call with the full list of accepted keys).
+    pub fn expect_known(&self, known: &[&str]) -> Result<(), CliError> {
+        for key in self.options.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(CliError::Usage(format!("unknown option --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn positionals_and_options_mix() {
+        let a = Args::parse(&toks("trace.btf --slices 30 --coarse --p 0.5")).unwrap();
+        assert_eq!(a.positional(0, "input").unwrap(), "trace.btf");
+        assert_eq!(a.get_or("slices", 0usize).unwrap(), 30);
+        assert!(a.has("coarse"));
+        // Asking a bare switch for a value is an error; `has` is the query.
+        assert!(matches!(a.get("coarse"), Err(CliError::Usage(_))));
+        assert_eq!(a.get_or("p", 0.0f64).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn switch_followed_by_option_takes_no_value() {
+        let a = Args::parse(&toks("--ascii --width 80")).unwrap();
+        assert!(a.has("ascii"));
+        assert_eq!(a.get_or("width", 0usize).unwrap(), 80);
+        assert!(!a.has("missing"));
+        assert_eq!(a.get("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn double_dash_ends_options() {
+        let a = Args::parse(&toks("-- --slices")).unwrap();
+        assert_eq!(a.positional(0, "x").unwrap(), "--slices");
+        assert!(!a.has("slices"));
+    }
+
+    #[test]
+    fn missing_positional_is_usage_error() {
+        let a = Args::parse(&toks("--slices 30")).unwrap();
+        assert!(matches!(a.positional(0, "input"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn missing_value_for_valued_option() {
+        let a = Args::parse(&toks("--slices")).unwrap();
+        assert!(matches!(a.get("slices"), Err(CliError::Usage(_))));
+        // But `has` still sees the switch.
+        assert!(a.has("slices"));
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert!(Args::parse(&toks("--p 0.1 --p 0.2")).is_err());
+    }
+
+    #[test]
+    fn invalid_numeric_value() {
+        let a = Args::parse(&toks("--slices abc")).unwrap();
+        assert!(matches!(
+            a.get_or("slices", 1usize),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_options_flagged() {
+        let a = Args::parse(&toks("--unknwon 1")).unwrap();
+        assert!(a.expect_known(&["slices", "p"]).is_err());
+        let b = Args::parse(&toks("--slices 3")).unwrap();
+        assert!(b.expect_known(&["slices"]).is_ok());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = Args::parse(&toks("")).unwrap();
+        assert!(matches!(a.require::<usize>("case"), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,299 @@
+//! `ocelotl aggregate <trace>` — compute and summarize the optimal
+//! spatiotemporal partition.
+
+use crate::args::Args;
+use crate::helpers::{obtain_model, run_dp, Metric};
+use crate::CliError;
+use ocelotl::core::{
+    compare_partitions, inspect_area, product_aggregation, quality, summary_text,
+    AggregationInput, Partition,
+};
+use std::io::Write;
+use std::path::Path;
+
+const HELP: &str = "\
+ocelotl aggregate <trace|model.omm> [options]
+
+Compute the hierarchy-and-order-consistent partition maximizing
+pIC = p*gain - (1-p)*loss (the paper's Algorithm 1) and print its summary.
+
+OPTIONS:
+    --slices N       time slices of the microscopic model (default 30)
+    --p F            trade-off parameter in [0, 1] (default 0.5)
+    --metric M       states | density (default states)
+    --coarse         prefer the coarsest partition among pIC ties
+    --list N         also print the N most populated aggregates
+    --compare        also score the paper's SIII.D baselines (1-D optima,
+                     their product, microscopic, full) at the same p
+    --diff-p F       quantify how the overview changes between p and F
+                     (variation of information, NMI, Rand index)
+    --tsv FILE       dump the partition as tab-separated rows
+";
+
+/// Entry point.
+pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    if args.has("help") {
+        out.write_all(HELP.as_bytes())?;
+        return Ok(());
+    }
+    args.expect_known(&[
+        "help", "slices", "p", "metric", "coarse", "list", "compare", "diff-p", "tsv",
+    ])?;
+    let path = Path::new(args.positional(0, "trace file")?);
+    let n_slices: usize = args.get_or("slices", 30)?;
+    let p: f64 = args.get_or("p", 0.5)?;
+    let metric: Metric = args.get_or("metric", Metric::States)?;
+
+    let model = obtain_model(path, n_slices, metric)?;
+    let input = AggregationInput::build(&model);
+    let tree = run_dp(&input, p, args.has("coarse"))?;
+    let partition = tree.partition(&input);
+    let q = quality(&input, &partition);
+
+    writeln!(
+        out,
+        "model:       {} resources x {} slices x {} states ({:?} metric)",
+        model.n_leaves(),
+        model.n_slices(),
+        model.n_states(),
+        metric
+    )?;
+    writeln!(out, "p:           {p}")?;
+    writeln!(
+        out,
+        "aggregates:  {} (of {} microscopic cells)",
+        partition.len(),
+        q.n_cells
+    )?;
+    writeln!(
+        out,
+        "complexity:  -{:.2} %",
+        100.0 * q.complexity_reduction
+    )?;
+    writeln!(
+        out,
+        "information: loss {:.6} bits (ratio {:.4}), gain {:.6} bits (ratio {:.4})",
+        q.loss, q.loss_ratio, q.gain, q.gain_ratio
+    )?;
+    writeln!(out, "pIC:         {:.6}", tree.optimal_pic(&input))?;
+
+    if let Some(n) = args.get("list")? {
+        let n: usize = n
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --list value {n:?}")))?;
+        writeln!(out, "\ntop {n} aggregates by cell count:")?;
+        out.write_all(summary_text(&input, &partition, n).as_bytes())?;
+    }
+
+    if args.has("compare") {
+        // §III.D: spatial-and-temporal is not spatiotemporal — score the
+        // unidimensional optima and their product against Algorithm 1.
+        let h = model.hierarchy();
+        let t = model.n_slices();
+        let prod = product_aggregation(&model, p);
+        let spatial_2d = Partition::product(&prod.spatial.nodes, &[(0, t - 1)]);
+        let temporal_2d = Partition::product(&[h.root()], &prod.temporal.intervals);
+        writeln!(out, "\nbaseline comparison at p = {p} (SIII.D):")?;
+        writeln!(out, "{:<28} {:>8} {:>14}", "partition", "areas", "pIC")?;
+        for (name, part) in [
+            ("spatiotemporal (Algorithm 1)", &partition),
+            ("product P(S) x P(T)", &prod.partition),
+            ("spatial-only x full time", &spatial_2d),
+            ("temporal-only x full space", &temporal_2d),
+            ("microscopic", &Partition::microscopic(h, t)),
+            ("full aggregation", &Partition::full(h, t)),
+        ] {
+            writeln!(
+                out,
+                "{:<28} {:>8} {:>14.6}",
+                name,
+                part.len(),
+                part.pic(&input, p)
+            )?;
+        }
+    }
+
+    if let Some(p2) = args.get("diff-p")? {
+        let p2: f64 = p2
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --diff-p value {p2:?}")))?;
+        let other = run_dp(&input, p2, args.has("coarse"))?.partition(&input);
+        let c = compare_partitions(model.hierarchy(), model.n_slices(), &partition, &other);
+        writeln!(out, "\noverview change from p = {p} to p = {p2}:")?;
+        writeln!(out, "  areas:                    {} -> {}", partition.len(), other.len())?;
+        writeln!(
+            out,
+            "  variation of information: {:.4} bits",
+            c.variation_of_information
+        )?;
+        writeln!(
+            out,
+            "  normalized mutual info:   {:.4}",
+            c.normalized_mutual_information
+        )?;
+        writeln!(out, "  Rand index:               {:.4}", c.rand_index)?;
+    }
+
+    if let Some(tsv) = args.get("tsv")? {
+        let mut body = String::from(
+            "node\tfirst_slice\tlast_slice\tt0\tt1\tresources\tmode\tconfidence\tloss\tgain\n",
+        );
+        for area in partition.areas() {
+            let r = inspect_area(&input, area);
+            let (t0, _) = model.grid().slice_bounds(area.first_slice);
+            let (_, t1) = model.grid().slice_bounds(area.last_slice);
+            body.push_str(&format!(
+                "{}\t{}\t{}\t{t0:.9}\t{t1:.9}\t{}\t{}\t{:.6}\t{:.9}\t{:.9}\n",
+                r.path,
+                area.first_slice,
+                area.last_slice,
+                r.n_resources,
+                r.mode.as_deref().unwrap_or("-"),
+                r.confidence,
+                r.loss,
+                r.gain,
+            ));
+        }
+        std::fs::write(tsv, body)?;
+        writeln!(out, "\nwrote {tsv} ({} rows)", partition.len())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::fixture_trace;
+
+    fn run_ok(line: String) -> String {
+        let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn aggregates_fixture() {
+        let p = fixture_trace("agg");
+        let text = run_ok(format!("{} --slices 10 --p 0.4", p.display()));
+        assert!(text.contains("aggregates:"));
+        assert!(text.contains("4 resources x 10 slices"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn list_prints_area_details() {
+        let p = fixture_trace("agg-list");
+        let text = run_ok(format!("{} --slices 10 --list 3", p.display()));
+        assert!(text.contains("top 3 aggregates"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn density_metric_accepted() {
+        let p = fixture_trace("agg-density");
+        let text = run_ok(format!("{} --slices 10 --metric density", p.display()));
+        assert!(text.contains("Density metric"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn coarse_never_increases_area_count() {
+        let p = fixture_trace("agg-coarse");
+        let plain = run_ok(format!("{} --slices 10 --p 0.3", p.display()));
+        let coarse = run_ok(format!("{} --slices 10 --p 0.3 --coarse", p.display()));
+        let count = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("aggregates:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert!(count(&coarse) <= count(&plain));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn compare_scores_all_baselines() {
+        let p = fixture_trace("agg-compare");
+        let text = run_ok(format!("{} --slices 10 --p 0.4 --compare", p.display()));
+        assert!(text.contains("baseline comparison"));
+        assert!(text.contains("spatiotemporal (Algorithm 1)"));
+        assert!(text.contains("microscopic"));
+        // Algorithm 1's pIC must top the table.
+        let pic_of = |needle: &str| {
+            text.lines()
+                .find(|l| l.starts_with(needle))
+                .and_then(|l| l.split_whitespace().last())
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
+        };
+        let best = pic_of("spatiotemporal");
+        for b in ["product", "microscopic", "full"] {
+            assert!(best >= pic_of(b) - 1e-9, "{b} beats Algorithm 1");
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn tsv_dump_has_one_row_per_area() {
+        let p = fixture_trace("agg-tsv");
+        let tsv = p.with_extension("tsv");
+        let text = run_ok(format!(
+            "{} --slices 10 --p 0.4 --tsv {}",
+            p.display(),
+            tsv.display()
+        ));
+        assert!(text.contains("wrote"));
+        let content = std::fs::read_to_string(&tsv).unwrap();
+        let n_areas: usize = text
+            .lines()
+            .find(|l| l.starts_with("aggregates:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(content.lines().count(), n_areas + 1, "header + rows");
+        assert!(content.starts_with("node\tfirst_slice"));
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&tsv).ok();
+    }
+
+    #[test]
+    fn omm_cache_input_accepted() {
+        let p = fixture_trace("agg-omm");
+        let trace = crate::helpers::load_trace(&p).unwrap();
+        let model = crate::helpers::build_model(&trace, 10, Metric::States).unwrap();
+        let omm = p.with_extension("omm");
+        ocelotl::format::save_micro(&model, &omm).unwrap();
+        let text = run_ok(format!("{} --p 0.4", omm.display()));
+        assert!(text.contains("10 slices"), "grid comes from the cache:\n{text}");
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&omm).ok();
+    }
+
+    #[test]
+    fn diff_p_reports_similarity() {
+        let p = fixture_trace("agg-diff");
+        let same = run_ok(format!("{} --slices 10 --p 0.4 --diff-p 0.4", p.display()));
+        assert!(same.contains("Rand index:               1.0000"), "{same}");
+        let diff = run_ok(format!("{} --slices 10 --p 0.0 --diff-p 1.0", p.display()));
+        assert!(diff.contains("variation of information"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn out_of_range_p_rejected() {
+        let p = fixture_trace("agg-badp");
+        let tokens: Vec<String> = format!("{} --p 2.0", p.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,83 @@
+//! `ocelotl convert <in> <out>` — convert between trace formats.
+
+use crate::args::Args;
+use crate::helpers::{load_trace, save_trace};
+use crate::CliError;
+use std::io::Write;
+use std::path::Path;
+
+const HELP: &str = "\
+ocelotl convert <input> <output>
+
+Convert a trace between formats; the target format is chosen from the
+output extension: .btf (binary), .ptf (text), .paje/.trace (Paje, for the
+paper's tool family: Paje / ViTE / Ocelotl).
+";
+
+/// Entry point.
+pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    if args.has("help") {
+        out.write_all(HELP.as_bytes())?;
+        return Ok(());
+    }
+    args.expect_known(&["help"])?;
+    let src = Path::new(args.positional(0, "input trace")?);
+    let dst = Path::new(args.positional(1, "output trace")?);
+    if src == dst {
+        return Err(CliError::Usage("input and output are the same file".into()));
+    }
+    let trace = load_trace(src)?;
+    save_trace(&trace, dst)?;
+    let size = std::fs::metadata(dst).map(|m| m.len()).unwrap_or(0);
+    writeln!(
+        out,
+        "converted {} -> {} ({} events, {size} bytes)",
+        src.display(),
+        dst.display(),
+        trace.event_count()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::{fixture_trace, load_trace};
+
+    fn run_ok(line: String) -> String {
+        let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn btf_to_paje_and_back_preserves_intervals() {
+        let src = fixture_trace("convert");
+        let paje = src.with_extension("paje");
+        let back = src.with_extension("roundtrip.btf");
+        run_ok(format!("{} {}", src.display(), paje.display()));
+        run_ok(format!("{} {}", paje.display(), back.display()));
+        let a = load_trace(&src).unwrap();
+        let b = load_trace(&back).unwrap();
+        assert_eq!(a.intervals.len(), b.intervals.len());
+        for p in [&src, &paje, &back] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn same_path_rejected() {
+        let tokens: Vec<String> = vec!["a.btf".into(), "a.btf".into()];
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn missing_output_is_usage_error() {
+        let tokens: Vec<String> = vec!["a.btf".into()];
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+    }
+}

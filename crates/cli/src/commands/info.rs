@@ -1,0 +1,119 @@
+//! `ocelotl info <trace>` — summarize a trace file.
+
+use crate::args::Args;
+use crate::helpers::load_trace;
+use crate::CliError;
+use std::io::Write;
+use std::path::Path;
+
+const HELP: &str = "\
+ocelotl info <trace>
+
+Summarize a trace file: dimensions, states, time extent, metadata.
+Accepts .btf, .ptf (sniffed) and .paje/.trace files.
+";
+
+/// Entry point.
+pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    if args.has("help") {
+        out.write_all(HELP.as_bytes())?;
+        return Ok(());
+    }
+    args.expect_known(&["help"])?;
+    let path = Path::new(args.positional(0, "trace file")?);
+    let trace = load_trace(path)?;
+    let h = &trace.hierarchy;
+
+    writeln!(out, "file:        {}", path.display())?;
+    writeln!(
+        out,
+        "size:        {} bytes",
+        std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+    )?;
+    writeln!(out, "events:      {}", trace.event_count())?;
+    writeln!(
+        out,
+        "intervals:   {} (+{} point events)",
+        trace.intervals.len(),
+        trace.points.len()
+    )?;
+    match trace.time_range() {
+        Some((lo, hi)) => writeln!(out, "time range:  [{lo:.6}, {hi:.6}] s")?,
+        None => writeln!(out, "time range:  (empty trace)")?,
+    }
+    writeln!(
+        out,
+        "resources:   {} leaves, {} hierarchy nodes, depth {}",
+        h.n_leaves(),
+        h.len(),
+        h.max_depth()
+    )?;
+    for &c in h.top_level() {
+        writeln!(
+            out,
+            "  {} ({}): {} resources",
+            h.name(c),
+            h.kind(c),
+            h.n_leaves_under(c)
+        )?;
+    }
+    writeln!(out, "states:      {}", trace.states.len())?;
+    for (_, name) in trace.states.iter() {
+        writeln!(out, "  {name}")?;
+    }
+    if !trace.metadata.is_empty() {
+        writeln!(out, "metadata:")?;
+        for (k, v) in &trace.metadata {
+            writeln!(out, "  {k} = {v}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::fixture_trace;
+
+    fn run_ok(line: &str) -> String {
+        let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn summarizes_fixture() {
+        let p = fixture_trace("info");
+        let text = run_ok(&format!("{}", p.display()));
+        assert!(text.contains("events:      80"));
+        assert!(text.contains("resources:   4 leaves"));
+        assert!(text.contains("MPI_Wait"));
+        assert!(text.contains("app = fixture"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn help_flag() {
+        let text = run_ok("--help");
+        assert!(text.contains("ocelotl info"));
+    }
+
+    #[test]
+    fn missing_file_is_invalid() {
+        let tokens = vec!["/no/such/file.btf".to_string()];
+        let mut out = Vec::new();
+        assert!(matches!(
+            run(&tokens, &mut out),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let tokens: Vec<String> = ["x.btf", "--bogus"].iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+    }
+}

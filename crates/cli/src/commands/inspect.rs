@@ -1,0 +1,146 @@
+//! `ocelotl inspect <trace>` — detail one aggregate of the optimal
+//! partition (the paper's §VI interaction: retrieve the data behind a
+//! rectangle of the overview).
+
+use crate::args::Args;
+use crate::helpers::{obtain_model, run_dp, Metric};
+use crate::CliError;
+use ocelotl::core::{area_at, inspect_area, AggregationInput};
+use ocelotl::trace::LeafId;
+use std::io::Write;
+use std::path::Path;
+
+const HELP: &str = "\
+ocelotl inspect <trace|model.omm> --leaf N --slice K [options]
+
+Find the aggregate of the optimal partition covering microscopic cell
+(leaf N, slice K) and print its aggregated state proportions, mode and
+information measures.
+
+OPTIONS:
+    --leaf N         leaf resource index (required)
+    --slice K        time slice index (required)
+    --slices N       time slices of the microscopic model (default 30)
+    --p F            trade-off parameter in [0, 1] (default 0.5)
+    --metric M       states | density (default states)
+    --coarse         prefer the coarsest partition among pIC ties
+";
+
+/// Entry point.
+pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    if args.has("help") {
+        out.write_all(HELP.as_bytes())?;
+        return Ok(());
+    }
+    args.expect_known(&["help", "leaf", "slice", "slices", "p", "metric", "coarse"])?;
+    let path = Path::new(args.positional(0, "trace file")?);
+    let leaf: usize = args.require("leaf")?;
+    let slice: usize = args.require("slice")?;
+    let n_slices: usize = args.get_or("slices", 30)?;
+    let p: f64 = args.get_or("p", 0.5)?;
+    let metric: Metric = args.get_or("metric", Metric::States)?;
+
+    let model = obtain_model(path, n_slices, metric)?;
+    if leaf >= model.n_leaves() {
+        return Err(CliError::Invalid(format!(
+            "leaf {leaf} out of range (trace has {})",
+            model.n_leaves()
+        )));
+    }
+    if slice >= n_slices {
+        return Err(CliError::Invalid(format!(
+            "slice {slice} out of range (model has {n_slices})"
+        )));
+    }
+    let input = AggregationInput::build(&model);
+    let tree = run_dp(&input, p, args.has("coarse"))?;
+    let partition = tree.partition(&input);
+    let area = area_at(&partition, &input, LeafId(leaf as u32), slice)
+        .ok_or_else(|| CliError::Invalid("cell not covered (internal error)".into()))?;
+    let report = inspect_area(&input, &area);
+
+    let (t0, t1) = (
+        model.grid().slice_bounds(area.first_slice).0,
+        model.grid().slice_bounds(area.last_slice).1,
+    );
+    writeln!(out, "aggregate covering (leaf {leaf}, slice {slice}):")?;
+    writeln!(out, "  node:        {}", report.path)?;
+    writeln!(
+        out,
+        "  interval:    slices [{}, {}] = [{t0:.4}, {t1:.4}] s",
+        area.first_slice, area.last_slice
+    )?;
+    writeln!(
+        out,
+        "  size:        {} resources x {} slices",
+        report.n_resources, report.n_slices
+    )?;
+    match &report.mode {
+        Some(m) => writeln!(
+            out,
+            "  mode:        {m} (confidence {:.3})",
+            report.confidence
+        )?,
+        None => writeln!(out, "  mode:        (idle)")?,
+    }
+    writeln!(
+        out,
+        "  measures:    loss {:.6} bits, gain {:.6} bits",
+        report.loss, report.gain
+    )?;
+    writeln!(out, "  state proportions (Eq. 1):")?;
+    for (name, rho) in &report.proportions {
+        if *rho > 0.0 {
+            writeln!(out, "    {rho:>8.4}  {name}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::fixture_trace;
+
+    fn run_ok(line: String) -> String {
+        let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn inspects_the_anomalous_cell() {
+        let p = fixture_trace("inspect");
+        // Leaf 3 waits during slices 4..7 of the 10-slice fixture.
+        let text = run_ok(format!("{} --slices 10 --leaf 3 --slice 5 --p 0.3", p.display()));
+        assert!(text.contains("mode:"));
+        assert!(text.contains("MPI_Wait"), "expected wait mode:\n{text}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn out_of_range_leaf_rejected() {
+        let p = fixture_trace("inspect-range");
+        let tokens: Vec<String> = format!("{} --slices 10 --leaf 99 --slice 0", p.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Invalid(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn leaf_and_slice_are_required() {
+        let p = fixture_trace("inspect-req");
+        let tokens: Vec<String> = format!("{}", p.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+        std::fs::remove_file(&p).ok();
+    }
+}

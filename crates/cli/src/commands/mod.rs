@@ -1,0 +1,13 @@
+//! One module per subcommand. Every command is
+//! `run(tokens, &mut dyn Write) -> Result<(), CliError>` so the whole CLI
+//! surface is testable in-process.
+
+pub mod aggregate;
+pub mod convert;
+pub mod describe;
+pub mod info;
+pub mod inspect;
+pub mod pvalues;
+pub mod render;
+pub mod report;
+pub mod simulate;

@@ -1,0 +1,114 @@
+//! `ocelotl pvalues <trace>` — the significant trade-off levels (the stops
+//! of Ocelotl's aggregation-strength slider).
+
+use crate::args::Args;
+use crate::helpers::{obtain_model, Metric};
+use crate::CliError;
+use ocelotl::core::{quality, significant_partitions, AggregationInput, DpConfig};
+use std::io::Write;
+use std::path::Path;
+
+const HELP: &str = "\
+ocelotl pvalues <trace|model.omm> [options]
+
+Enumerate the significant values of the gain/loss trade-off p: the points
+where the optimal partition changes. Between two consecutive values the
+overview is constant, so these are exactly the slider stops an analyst can
+step through.
+
+OPTIONS:
+    --slices N       time slices of the microscopic model (default 30)
+    --metric M       states | density (default states)
+    --resolution F   dichotomy resolution on p (default 1e-3)
+";
+
+/// Entry point.
+pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    if args.has("help") {
+        out.write_all(HELP.as_bytes())?;
+        return Ok(());
+    }
+    args.expect_known(&["help", "slices", "metric", "resolution"])?;
+    let path = Path::new(args.positional(0, "trace file")?);
+    let n_slices: usize = args.get_or("slices", 30)?;
+    let metric: Metric = args.get_or("metric", Metric::States)?;
+    let resolution: f64 = args.get_or("resolution", 1e-3)?;
+    if !(resolution > 0.0 && resolution < 1.0) {
+        return Err(CliError::Usage(format!(
+            "--resolution must lie in (0, 1), got {resolution}"
+        )));
+    }
+
+    let model = obtain_model(path, n_slices, metric)?;
+    let input = AggregationInput::build(&model);
+    let entries = significant_partitions(&input, &DpConfig::default(), resolution);
+
+    writeln!(
+        out,
+        "{} significant levels (resolution {resolution}):",
+        entries.len()
+    )?;
+    writeln!(
+        out,
+        "{:>12} {:>12} {:>10} {:>12} {:>12}",
+        "p_low", "p_high", "areas", "loss_ratio", "reduction"
+    )?;
+    for e in &entries {
+        let q = quality(&input, &e.partition);
+        writeln!(
+            out,
+            "{:>12.4} {:>12.4} {:>10} {:>12.4} {:>11.2}%",
+            e.p_low,
+            e.p_high,
+            e.partition.len(),
+            q.loss_ratio,
+            100.0 * q.complexity_reduction
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::fixture_trace;
+
+    fn run_ok(line: String) -> String {
+        let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn lists_levels_with_monotone_area_counts() {
+        let p = fixture_trace("pvalues");
+        let text = run_ok(format!("{} --slices 10", p.display()));
+        assert!(text.contains("significant levels"));
+        let counts: Vec<usize> = text
+            .lines()
+            .skip(2)
+            .filter_map(|l| l.split_whitespace().nth(2))
+            .filter_map(|c| c.parse().ok())
+            .collect();
+        assert!(!counts.is_empty());
+        assert!(
+            counts.windows(2).all(|w| w[1] <= w[0]),
+            "area counts must not increase with p: {counts:?}"
+        );
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bad_resolution_rejected() {
+        let p = fixture_trace("pvalues-res");
+        let tokens: Vec<String> = format!("{} --resolution 0", p.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+        std::fs::remove_file(&p).ok();
+    }
+}

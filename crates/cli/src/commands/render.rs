@@ -1,0 +1,190 @@
+//! `ocelotl render <trace>` — draw the aggregated overview (SVG/ASCII) or
+//! the microscopic Gantt chart.
+
+use crate::args::Args;
+use crate::helpers::{is_micro_cache, load_trace, obtain_model, run_dp, Metric};
+use crate::CliError;
+use ocelotl::core::AggregationInput;
+use ocelotl::viz::{clutter_metrics, render_gantt_svg, overview, OverviewOptions};
+use std::io::Write;
+use std::path::Path;
+
+const HELP: &str = "\
+ocelotl render <trace|model.omm> [options]
+
+Render the aggregated spatiotemporal overview as SVG (default) or ASCII,
+or the microscopic Gantt chart (--gantt) to see why it does not scale.
+
+OPTIONS:
+    --slices N       time slices of the microscopic model (default 30)
+    --p F            trade-off parameter in [0, 1] (default 0.5)
+    --metric M       states | density (default states)
+    --coarse         prefer the coarsest partition among pIC ties
+    --out FILE       write SVG here (default: overview.svg next to input)
+    --ascii          print an ASCII overview to stdout instead of SVG
+    --width N        canvas width (pixels, or columns with --ascii)
+    --height N       canvas height (pixels, or rows with --ascii)
+    --gantt          render the microscopic Gantt chart + clutter metrics
+";
+
+/// Entry point.
+pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    if args.has("help") {
+        out.write_all(HELP.as_bytes())?;
+        return Ok(());
+    }
+    args.expect_known(&[
+        "help", "slices", "p", "metric", "coarse", "out", "ascii", "width", "height", "gantt",
+    ])?;
+    let path = Path::new(args.positional(0, "trace file")?);
+
+    if args.has("gantt") {
+        if is_micro_cache(path) {
+            return Err(CliError::Usage(
+                "--gantt needs the raw trace (a .omm cache has no events)".into(),
+            ));
+        }
+        let trace = load_trace(path)?;
+        let width: f64 = args.get_or("width", 1920.0)?;
+        let height: f64 = args.get_or("height", 1080.0)?;
+        let report = clutter_metrics(&trace, width as usize, height as usize);
+        writeln!(out, "gantt clutter at {width}x{height}:")?;
+        writeln!(out, "  drawable objects:   {}", report.n_objects)?;
+        writeln!(
+            out,
+            "  sub-pixel fraction: {:.2} %",
+            100.0 * report.sub_pixel_fraction
+        )?;
+        writeln!(out, "  mean overdraw:      {:.2}", report.mean_overdraw)?;
+        writeln!(
+            out,
+            "  entity budget:      {}",
+            if report.satisfies_entity_budget() {
+                "satisfied"
+            } else {
+                "violated (this is the paper's Fig. 2 point)"
+            }
+        )?;
+        let svg_path = output_path(&args, path, "gantt.svg")?;
+        match render_gantt_svg(&trace, width, height, 2_000_000) {
+            Ok(svg) => {
+                std::fs::write(&svg_path, svg)?;
+                writeln!(out, "wrote {}", svg_path.display())?;
+            }
+            Err(e) => writeln!(out, "gantt SVG skipped: {e}")?,
+        }
+        return Ok(());
+    }
+
+    let n_slices: usize = args.get_or("slices", 30)?;
+    let p: f64 = args.get_or("p", 0.5)?;
+    let metric: Metric = args.get_or("metric", Metric::States)?;
+    let model = obtain_model(path, n_slices, metric)?;
+    let time_range = Some((model.grid().start(), model.grid().end()));
+    let input = AggregationInput::build(&model);
+    // Validate p and tie-breaking through the shared path.
+    run_dp(&input, p, args.has("coarse"))?;
+
+    if args.has("ascii") {
+        let width: usize = args.get_or("width", 96)?;
+        let height: usize = args.get_or("height", 24)?;
+        let ov = overview(
+            &input,
+            OverviewOptions {
+                p,
+                time_range,
+                ..OverviewOptions::default()
+            },
+        );
+        out.write_all(ov.to_ascii(&input, width, height).as_bytes())?;
+        return Ok(());
+    }
+
+    let width: f64 = args.get_or("width", 960.0)?;
+    let height: f64 = args.get_or("height", 480.0)?;
+    let ov = overview(
+        &input,
+        OverviewOptions {
+            p,
+            width,
+            height,
+            time_range,
+            ..OverviewOptions::default()
+        },
+    );
+    let svg = ov.to_svg(&input);
+    let svg_path = output_path(&args, path, "overview.svg")?;
+    std::fs::write(&svg_path, svg)?;
+    writeln!(out, "wrote {}", svg_path.display())?;
+    Ok(())
+}
+
+/// `--out` or `<input stem>.<suffix>` next to the input.
+fn output_path(
+    args: &Args,
+    input: &Path,
+    suffix: &str,
+) -> Result<std::path::PathBuf, CliError> {
+    Ok(match args.get("out")? {
+        Some(o) => std::path::PathBuf::from(o),
+        None => input.with_extension(suffix),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::fixture_trace;
+
+    fn run_ok(line: String) -> String {
+        let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn ascii_renders_to_stdout() {
+        let p = fixture_trace("render-ascii");
+        let text = run_ok(format!("{} --slices 10 --ascii --width 40 --height 4", p.display()));
+        assert!(text.contains("legend:"));
+        assert!(text.contains('|'));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn svg_written_to_out() {
+        let p = fixture_trace("render-svg");
+        let svg = p.with_extension("svg");
+        let text = run_ok(format!(
+            "{} --slices 10 --p 0.4 --out {}",
+            p.display(),
+            svg.display()
+        ));
+        assert!(text.contains("wrote"));
+        let content = std::fs::read_to_string(&svg).unwrap();
+        assert!(content.starts_with("<svg") || content.contains("<svg"));
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&svg).ok();
+    }
+
+    #[test]
+    fn gantt_reports_clutter() {
+        let p = fixture_trace("render-gantt");
+        let text = run_ok(format!("{} --gantt --width 200 --height 100", p.display()));
+        assert!(text.contains("drawable objects"));
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(p.with_extension("gantt.svg")).ok();
+    }
+
+    #[test]
+    fn default_svg_path_derives_from_input() {
+        let p = fixture_trace("render-default");
+        let text = run_ok(format!("{} --slices 10", p.display()));
+        let expected = p.with_extension("overview.svg");
+        assert!(text.contains(&expected.display().to_string()));
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&expected).ok();
+    }
+}

@@ -1,0 +1,87 @@
+//! `ocelotl report <trace>` — self-contained HTML analysis report.
+
+use crate::args::Args;
+use crate::helpers::{obtain_model, Metric};
+use crate::CliError;
+use ocelotl::core::AggregationInput;
+use ocelotl::viz::{html_report, ReportOptions};
+use std::io::Write;
+use std::path::Path;
+
+const HELP: &str = "\
+ocelotl report <trace|model.omm> [options]
+
+Write a self-contained HTML report: the quality curve over the significant
+aggregation levels plus embedded overviews at representative strengths.
+
+OPTIONS:
+    --slices N       time slices of the microscopic model (default 30)
+    --metric M       states | density (default states)
+    --out FILE       output path (default: <input>.report.html)
+    --levels N       overviews embedded in the report (default 4)
+    --title S        report title (default: input file name)
+";
+
+/// Entry point.
+pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    if args.has("help") {
+        out.write_all(HELP.as_bytes())?;
+        return Ok(());
+    }
+    args.expect_known(&["help", "slices", "metric", "out", "levels", "title"])?;
+    let path = Path::new(args.positional(0, "trace file")?);
+    let n_slices: usize = args.get_or("slices", 30)?;
+    let metric: Metric = args.get_or("metric", Metric::States)?;
+    let levels: usize = args.get_or("levels", 4)?;
+    let title = match args.get("title")? {
+        Some(t) => t.to_string(),
+        None => path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".into()),
+    };
+
+    let model = obtain_model(path, n_slices, metric)?;
+    let time_range = Some((model.grid().start(), model.grid().end()));
+    let input = AggregationInput::build(&model);
+    let html = html_report(
+        &input,
+        &ReportOptions {
+            title,
+            rendered_levels: levels,
+            time_range,
+            ..ReportOptions::default()
+        },
+    );
+    let out_path = match args.get("out")? {
+        Some(o) => std::path::PathBuf::from(o),
+        None => path.with_extension("report.html"),
+    };
+    std::fs::write(&out_path, html)?;
+    writeln!(out, "wrote {}", out_path.display())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::fixture_trace;
+
+    #[test]
+    fn writes_html_report() {
+        let p = fixture_trace("report");
+        let html = p.with_extension("html");
+        let tokens: Vec<String> =
+            format!("{} --slices 10 --out {} --levels 2", p.display(), html.display())
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        let content = std::fs::read_to_string(&html).unwrap();
+        assert!(content.contains("<html") || content.contains("<!DOCTYPE"));
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&html).ok();
+    }
+}

@@ -1,0 +1,172 @@
+//! `ocelotl simulate` — run an MPI workload simulation and write its trace.
+
+use crate::args::Args;
+use crate::helpers::save_trace;
+use crate::CliError;
+use ocelotl::mpisim::apps::{cg, ep, ft, lu, mg};
+use ocelotl::mpisim::{scenario, CaseId, Engine, Network, Nic, Op, Platform};
+use std::io::Write;
+use std::path::Path;
+
+const HELP: &str = "\
+ocelotl simulate [options] --out FILE
+
+Run a workload on the simulated platform and write the trace. Either a
+Table II scenario (--case, with the paper's platform, calibrated event
+counts and injected anomalies) or a standalone NPB kernel (--app) on a
+uniform platform.
+
+OPTIONS:
+    --case C         Table II scenario: A | B | C | D
+    --app K          kernel on a uniform platform: cg | lu | mg | ft | ep
+    --machines N     machines of the uniform platform (default 4)
+    --cores N        cores per machine (default 4)
+    --scale F        iteration scale, 0 < F <= 1 (default 0.01; Table II only)
+    --seed N         simulation seed (default 42)
+    --out FILE       output trace (.btf / .ptf / .paje)
+";
+
+/// Entry point.
+pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    if args.has("help") {
+        out.write_all(HELP.as_bytes())?;
+        return Ok(());
+    }
+    args.expect_known(&["help", "case", "app", "machines", "cores", "scale", "seed", "out"])?;
+    let out_path = args.require::<String>("out")?;
+    let out_path = Path::new(&out_path);
+    let seed: u64 = args.get_or("seed", 42)?;
+
+    let trace = match (args.get("case")?, args.get("app")?) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage("--case and --app are mutually exclusive".into()))
+        }
+        (Some(case), None) => {
+            let case = parse_case(case)?;
+            let scale: f64 = args.get_or("scale", 0.01)?;
+            if !(scale > 0.0 && scale <= 1.0) {
+                return Err(CliError::Usage(format!(
+                    "--scale must lie in (0, 1], got {scale}"
+                )));
+            }
+            let sc = scenario(case, scale);
+            let (trace, stats) = sc.run(seed);
+            writeln!(
+                out,
+                "case {} at scale {scale}: {} events, makespan {:.2} s",
+                case.letter(),
+                trace.event_count(),
+                stats.makespan
+            )?;
+            trace
+        }
+        (None, Some(app)) => {
+            let machines: usize = args.get_or("machines", 4)?;
+            let cores: usize = args.get_or("cores", 4)?;
+            if machines == 0 || cores == 0 {
+                return Err(CliError::Usage("--machines/--cores must be positive".into()));
+            }
+            let platform = Platform::uniform(machines, cores, Nic::Infiniband20G);
+            let network = Network::for_platform(&platform);
+            let programs: Vec<Vec<Op>> = match app {
+                "cg" => cg::build_programs(&platform, &cg::CgConfig::default().scaled(0.05)),
+                "lu" => lu::build_programs(&platform, &lu::LuConfig::default().scaled(0.05)),
+                "mg" => mg::build_programs(&platform, &mg::MgConfig::default()),
+                "ft" => ft::build_programs(&platform, &ft::FtConfig::default()),
+                "ep" => ep::build_programs(&platform, &ep::EpConfig::default()),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown app {other:?} (cg|lu|mg|ft|ep)"
+                    )))
+                }
+            };
+            let (trace, stats) =
+                Engine::new(&platform, &network, seed).run(programs, &[("app", app.to_string())]);
+            writeln!(
+                out,
+                "{app} on {machines}x{cores}: {} events, makespan {:.2} s",
+                trace.event_count(),
+                stats.makespan
+            )?;
+            trace
+        }
+        (None, None) => {
+            return Err(CliError::Usage("need --case or --app".into()));
+        }
+    };
+
+    save_trace(&trace, out_path)?;
+    let size = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+    writeln!(out, "wrote {} ({size} bytes)", out_path.display())?;
+    Ok(())
+}
+
+fn parse_case(s: &str) -> Result<CaseId, CliError> {
+    match s.to_ascii_uppercase().as_str() {
+        "A" => Ok(CaseId::A),
+        "B" => Ok(CaseId::B),
+        "C" => Ok(CaseId::C),
+        "D" => Ok(CaseId::D),
+        other => Err(CliError::Usage(format!(
+            "unknown case {other:?} (A|B|C|D)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::load_trace;
+
+    fn run_ok(line: String) -> String {
+        let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ocelotl-sim-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn simulates_case_a() {
+        let p = tmp("case-a.btf");
+        let text = run_ok(format!("--case A --scale 0.005 --out {}", p.display()));
+        assert!(text.contains("case A"));
+        let trace = load_trace(&p).unwrap();
+        assert!(trace.event_count() > 1000);
+        assert_eq!(trace.meta("case"), Some("A"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn simulates_standalone_ep() {
+        let p = tmp("ep.ptf");
+        let text = run_ok(format!("--app ep --machines 2 --cores 2 --out {}", p.display()));
+        assert!(text.contains("ep on 2x2"));
+        let trace = load_trace(&p).unwrap();
+        assert_eq!(trace.meta("app"), Some("ep"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn case_and_app_conflict() {
+        let tokens: Vec<String> = "--case A --app ep --out x.btf"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_case_and_bad_scale_rejected() {
+        for line in ["--case Z --out x.btf", "--case A --scale 2 --out x.btf"] {
+            let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+            let mut out = Vec::new();
+            assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))), "{line}");
+        }
+    }
+}

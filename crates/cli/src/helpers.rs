@@ -1,0 +1,196 @@
+//! Shared plumbing for the subcommands: trace loading with `.paje`
+//! dispatch, metric selection, and model/input construction.
+
+use crate::CliError;
+use ocelotl::core::{aggregate, AggregationInput, CutTree, DpConfig};
+use ocelotl::trace::{event_density_auto, MicroModel, Trace};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+/// Which microscopic metric to aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// State-time proportions (the paper's model).
+    #[default]
+    States,
+    /// Peak-normalized event counts (the predecessor work's model).
+    Density,
+}
+
+impl std::str::FromStr for Metric {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "states" => Ok(Metric::States),
+            "density" => Ok(Metric::Density),
+            other => Err(format!("unknown metric {other:?} (states|density)")),
+        }
+    }
+}
+
+/// True when the path names a Pajé trace (`.paje` / `.trace`).
+fn is_paje(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("paje") | Some("trace")
+    )
+}
+
+/// Load a trace, dispatching `.paje`/`.trace` files to the Pajé reader and
+/// everything else to the sniffing `.btf`/`.ptf` reader.
+pub fn load_trace(path: &Path) -> Result<Trace, CliError> {
+    if !path.exists() {
+        return Err(CliError::Invalid(format!(
+            "no such file: {}",
+            path.display()
+        )));
+    }
+    if is_paje(path) {
+        let r = BufReader::with_capacity(1 << 20, File::open(path)?);
+        return Ok(ocelotl::format::read_paje(r)?);
+    }
+    Ok(ocelotl::format::read_trace(path)?)
+}
+
+/// Write a trace, dispatching on the output extension (`.paje`/`.trace` →
+/// Pajé, `.ptf` → text, anything else → binary).
+pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), CliError> {
+    if is_paje(path) {
+        let mut w = std::io::BufWriter::new(File::create(path)?);
+        ocelotl::format::write_paje(trace, &mut w)?;
+        use std::io::Write as _;
+        w.flush()?;
+        return Ok(());
+    }
+    ocelotl::format::write_trace(trace, path)?;
+    Ok(())
+}
+
+/// Build the microscopic model for the chosen metric.
+pub fn build_model(trace: &Trace, n_slices: usize, metric: Metric) -> Result<MicroModel, CliError> {
+    let model = match metric {
+        Metric::States => MicroModel::from_trace(trace, n_slices),
+        Metric::Density => event_density_auto(trace, n_slices),
+    };
+    model.ok_or_else(|| CliError::Invalid("trace has no events to slice".into()))
+}
+
+/// True when the path names a cached microscopic model (`.omm`).
+pub fn is_micro_cache(path: &Path) -> bool {
+    matches!(path.extension().and_then(|e| e.to_str()), Some("omm"))
+}
+
+/// Obtain the microscopic model behind a path: `.omm` caches load directly
+/// (their grid/metric were fixed at `describe` time; `n_slices`/`metric`
+/// are ignored), anything else is read as a trace and sliced.
+pub fn obtain_model(
+    path: &Path,
+    n_slices: usize,
+    metric: Metric,
+) -> Result<MicroModel, CliError> {
+    if is_micro_cache(path) {
+        if !path.exists() {
+            return Err(CliError::Invalid(format!(
+                "no such file: {}",
+                path.display()
+            )));
+        }
+        return Ok(ocelotl::format::load_micro(path)?);
+    }
+    let trace = load_trace(path)?;
+    build_model(&trace, n_slices, metric)
+}
+
+/// Run Algorithm 1 with the CLI's knobs.
+pub fn run_dp(input: &AggregationInput, p: f64, coarse: bool) -> Result<CutTree, CliError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CliError::Usage(format!("--p must lie in [0, 1], got {p}")));
+    }
+    let config = if coarse {
+        DpConfig::coarse_ties()
+    } else {
+        DpConfig::default()
+    };
+    Ok(aggregate(input, p, &config))
+}
+
+/// A small deterministic test trace written to a temp file; returns the
+/// path (callers clean up). Only compiled for tests.
+#[cfg(test)]
+pub fn fixture_trace(name: &str) -> std::path::PathBuf {
+    use ocelotl::prelude::*;
+    let mut b = TraceBuilder::new(Hierarchy::balanced(&[2, 2]));
+    let run = b.state("Run");
+    let wait = b.state("MPI_Wait");
+    for leaf in 0..4u32 {
+        for k in 0..10 {
+            let t = k as f64;
+            let state = if leaf == 3 && (4..7).contains(&k) { wait } else { run };
+            b.push_state(LeafId(leaf), state, t, t + 1.0);
+        }
+    }
+    b.push_meta("app", "fixture");
+    let trace = b.build();
+    let path = std::env::temp_dir().join(format!(
+        "ocelotl-cli-{}-{}-{name}.btf",
+        std::process::id(),
+        std::thread::current().name().unwrap_or("t").replace("::", "-"),
+    ));
+    ocelotl::format::write_trace(&trace, &path).unwrap();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_parses() {
+        assert_eq!("states".parse::<Metric>().unwrap(), Metric::States);
+        assert_eq!("density".parse::<Metric>().unwrap(), Metric::Density);
+        assert!("x".parse::<Metric>().is_err());
+    }
+
+    #[test]
+    fn load_missing_file_is_invalid() {
+        let err = load_trace(Path::new("/nonexistent/zzz.btf")).unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)));
+    }
+
+    #[test]
+    fn fixture_roundtrips_via_all_formats() {
+        let src = fixture_trace("roundtrip");
+        let t = load_trace(&src).unwrap();
+        for ext in ["ptf", "paje"] {
+            let dst = src.with_extension(ext);
+            save_trace(&t, &dst).unwrap();
+            let back = load_trace(&dst).unwrap();
+            assert_eq!(back.intervals.len(), t.intervals.len(), "{ext}");
+            std::fs::remove_file(&dst).ok();
+        }
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn build_model_both_metrics() {
+        let src = fixture_trace("metrics");
+        let t = load_trace(&src).unwrap();
+        let m1 = build_model(&t, 10, Metric::States).unwrap();
+        let m2 = build_model(&t, 10, Metric::Density).unwrap();
+        assert_eq!(m1.n_slices(), 10);
+        assert_eq!(m2.n_slices(), 10);
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn run_dp_rejects_bad_p() {
+        let src = fixture_trace("badp");
+        let t = load_trace(&src).unwrap();
+        let m = build_model(&t, 5, Metric::States).unwrap();
+        let input = AggregationInput::build(&m);
+        assert!(run_dp(&input, 1.5, false).is_err());
+        assert!(run_dp(&input, 0.5, true).is_ok());
+        std::fs::remove_file(&src).ok();
+    }
+}

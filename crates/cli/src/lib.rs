@@ -1,0 +1,169 @@
+//! # ocelotl-cli — command-line interface to the aggregation toolkit
+//!
+//! A single `ocelotl` binary exposing the full pipeline of the CLUSTER 2014
+//! reproduction: simulate a workload, aggregate its trace, render the
+//! spatiotemporal overview, list the significant aggregation levels,
+//! inspect individual aggregates, and convert between trace formats.
+//!
+//! ```text
+//! ocelotl simulate --case A --scale 0.01 --out trace.btf
+//! ocelotl info trace.btf
+//! ocelotl describe trace.btf --slices 30 --out trace.omm
+//! ocelotl aggregate trace.omm --p 0.5 --compare
+//! ocelotl pvalues trace.btf --slices 30
+//! ocelotl render trace.btf --p 0.5 --out overview.svg
+//! ocelotl render trace.btf --p 0.5 --ascii
+//! ocelotl inspect trace.btf --p 0.5 --leaf 3 --slice 12
+//! ocelotl convert trace.btf trace.paje
+//! ocelotl report trace.btf --out report.html
+//! ```
+//!
+//! All subcommands are plain library functions writing to a caller-provided
+//! sink, so the whole surface is unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod helpers;
+
+use std::fmt;
+use std::io::Write;
+
+/// Errors surfaced to the terminal user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Wrong invocation (unknown command/option, missing argument).
+    Usage(String),
+    /// Well-formed invocation that cannot be satisfied (bad file, …).
+    Invalid(String),
+    /// Trace format error.
+    Format(ocelotl::format::FormatError),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Invalid(m) => write!(f, "error: {m}"),
+            CliError::Format(e) => write!(f, "trace format error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ocelotl::format::FormatError> for CliError {
+    fn from(e: ocelotl::format::FormatError) -> Self {
+        CliError::Format(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl CliError {
+    /// Conventional process exit code (2 for usage, 1 otherwise).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ocelotl — spatiotemporal trace aggregation (CLUSTER 2014 reproduction)
+
+USAGE:
+    ocelotl <command> [arguments]
+
+COMMANDS:
+    simulate   run an MPI workload simulation and write its trace
+    info       summarize a trace file
+    describe   preprocess a trace into a cached microscopic model (.omm)
+    aggregate  compute the optimal spatiotemporal partition
+    pvalues    list the significant trade-off levels (the p slider stops)
+    render     draw the aggregated overview (SVG or ASCII) or a Gantt chart
+    inspect    detail one aggregate of the optimal partition
+    convert    convert between .btf / .ptf / .paje trace formats
+    report     write a self-contained HTML analysis report
+    help       show this message (or `<command> --help`)
+
+Run `ocelotl <command> --help` for per-command options.
+";
+
+/// Dispatch a full argument vector (excluding the program name).
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage("missing command (try `ocelotl help`)".into()));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            out.write_all(USAGE.as_bytes())?;
+            Ok(())
+        }
+        "simulate" => commands::simulate::run(rest, out),
+        "info" => commands::info::run(rest, out),
+        "describe" => commands::describe::run(rest, out),
+        "aggregate" => commands::aggregate::run(rest, out),
+        "pvalues" => commands::pvalues::run(rest, out),
+        "render" => commands::render::run(rest, out),
+        "inspect" => commands::inspect::run(rest, out),
+        "convert" => commands::convert::run(rest, out),
+        "report" => commands::report::run(rest, out),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?} (try `ocelotl help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(line: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        run(&argv, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_str("help").unwrap();
+        assert!(text.contains("COMMANDS"));
+        assert!(text.contains("aggregate"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = run_str("frobnicate").unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn empty_argv_is_usage_error() {
+        let err = run_str("").unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn error_display_variants() {
+        let u = CliError::Usage("x".into());
+        let i = CliError::Invalid("y".into());
+        assert!(u.to_string().contains("usage"));
+        assert!(i.to_string().contains("y"));
+        assert_eq!(i.exit_code(), 1);
+    }
+}

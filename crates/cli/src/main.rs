@@ -1,0 +1,20 @@
+//! The `ocelotl` binary: thin wrapper around [`ocelotl_cli::run`].
+
+use std::io::Write as _;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(err) = ocelotl_cli::run(&argv, &mut out) {
+        // Downstream `| head` closing the pipe is not an error.
+        if let ocelotl_cli::CliError::Io(e) = &err {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                return;
+            }
+        }
+        let _ = out.flush();
+        eprintln!("{err}");
+        std::process::exit(err.exit_code());
+    }
+}

@@ -1,0 +1,520 @@
+//! Cross-checking utilities: exhaustive enumeration of consistent
+//! partitions (for small instances) and diagnostics comparing aggregation
+//! strategies.
+
+use crate::input::AggregationInput;
+use crate::partition::{Area, Partition};
+use ocelotl_trace::{Hierarchy, NodeId};
+
+/// Enumerate *every* hierarchy-and-order-consistent partition of the area
+/// `(node, [i, j])`. Exponential — use only on tiny instances (tests).
+///
+/// Partitions reachable through different cut sequences appear once per
+/// sequence; callers looking for the optimum simply take a max.
+pub fn enumerate_partitions(
+    hierarchy: &Hierarchy,
+    node: NodeId,
+    i: usize,
+    j: usize,
+) -> Vec<Vec<Area>> {
+    let mut out = Vec::new();
+
+    // 1. No cut.
+    out.push(vec![Area::new(node, i, j)]);
+
+    // 2. Spatial cut: Cartesian product of the children's partitions.
+    let children = hierarchy.children(node);
+    if !children.is_empty() {
+        let mut combos: Vec<Vec<Area>> = vec![Vec::new()];
+        for &c in children {
+            let child_parts = enumerate_partitions(hierarchy, c, i, j);
+            let mut next = Vec::with_capacity(combos.len() * child_parts.len());
+            for base in &combos {
+                for cp in &child_parts {
+                    let mut v = base.clone();
+                    v.extend(cp.iter().copied());
+                    next.push(v);
+                }
+            }
+            combos = next;
+        }
+        out.extend(combos);
+    }
+
+    // 3. Temporal cuts: only the *first* cut position is enumerated here and
+    // the left part is kept un-recut (the right part recurses), which still
+    // reaches every order-consistent interval partition exactly once when
+    // combined with deeper recursion on the left... To guarantee coverage we
+    // instead enumerate the leftmost interval [i, k] as an uncut-in-time
+    // piece (but possibly spatially cut) and recurse on [k+1, j].
+    for k in i..j {
+        let lefts = enumerate_left_piece(hierarchy, node, i, k);
+        let rights = enumerate_partitions(hierarchy, node, k + 1, j);
+        for l in &lefts {
+            for r in &rights {
+                let mut v = l.clone();
+                v.extend(r.iter().copied());
+                out.push(v);
+            }
+        }
+    }
+
+    out
+}
+
+/// Partitions of `(node, [i, k])` whose *top-level* temporal extent is not
+/// further cut (the piece is either kept or spatially refined; spatial
+/// children may recurse freely).
+fn enumerate_left_piece(
+    hierarchy: &Hierarchy,
+    node: NodeId,
+    i: usize,
+    k: usize,
+) -> Vec<Vec<Area>> {
+    let mut out = vec![vec![Area::new(node, i, k)]];
+    let children = hierarchy.children(node);
+    if !children.is_empty() {
+        let mut combos: Vec<Vec<Area>> = vec![Vec::new()];
+        for &c in children {
+            let child_parts = enumerate_partitions(hierarchy, c, i, k);
+            let mut next = Vec::with_capacity(combos.len() * child_parts.len());
+            for base in &combos {
+                for cp in &child_parts {
+                    let mut v = base.clone();
+                    v.extend(cp.iter().copied());
+                    next.push(v);
+                }
+            }
+            combos = next;
+        }
+        out.extend(combos);
+    }
+    out
+}
+
+/// Brute-force optimum over all consistent partitions (tiny instances only).
+pub fn brute_force_best(input: &AggregationInput, p: f64) -> (f64, Partition) {
+    let h = input.hierarchy();
+    let all = enumerate_partitions(h, h.root(), 0, input.n_slices() - 1);
+    let mut best_pic = f64::NEG_INFINITY;
+    let mut best: Option<Partition> = None;
+    for areas in all {
+        let part = Partition::new(areas);
+        let q = part.pic(input, p);
+        if q > best_pic {
+            best_pic = q;
+            best = Some(part);
+        }
+    }
+    (best_pic, best.expect("at least the trivial partition"))
+}
+
+/// Spatiotemporal mutual information of one state's proportion mass
+/// (§III.D: "the mutual information would be an adequate measure to
+/// quantify this information loss" of aggregating the two dimensions
+/// independently).
+///
+/// Treating the normalized proportions `ρ_x(s,t)/Σρ_x` as a joint
+/// distribution over `S × T`, returns `I(S;T) = Σ p(s,t)·log₂(p(s,t) /
+/// (p(s)·p(t)))` in bits. Zero iff the state's behavior is a product of a
+/// spatial and a temporal profile — exactly when the unidimensional
+/// aggregations lose nothing.
+pub fn mutual_information(model: &ocelotl_trace::MicroModel, x: ocelotl_trace::StateId) -> f64 {
+    let n = model.n_leaves();
+    let t = model.n_slices();
+    let mut joint = vec![0.0f64; n * t];
+    let mut total = 0.0;
+    for s in 0..n {
+        let series = model.series(ocelotl_trace::LeafId(s as u32), x);
+        for (ti, &d) in series.iter().enumerate() {
+            joint[s * t + ti] = d;
+            total += d;
+        }
+    }
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut p_s = vec![0.0f64; n];
+    let mut p_t = vec![0.0f64; t];
+    for s in 0..n {
+        for ti in 0..t {
+            let p = joint[s * t + ti] / total;
+            joint[s * t + ti] = p;
+            p_s[s] += p;
+            p_t[ti] += p;
+        }
+    }
+    let mut mi = 0.0;
+    for s in 0..n {
+        for ti in 0..t {
+            let p = joint[s * t + ti];
+            if p > 0.0 {
+                mi += p * (p / (p_s[s] * p_t[ti])).log2();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Total mutual information over all states, weighted by each state's mass.
+pub fn total_mutual_information(model: &ocelotl_trace::MicroModel) -> f64 {
+    let mut total_mass = 0.0;
+    let mut acc = 0.0;
+    for x in 0..model.n_states() {
+        let x = ocelotl_trace::StateId(x as u16);
+        let mass: f64 = (0..model.n_leaves())
+            .map(|s| model.series(ocelotl_trace::LeafId(s as u32), x).iter().sum::<f64>())
+            .sum();
+        acc += mass * mutual_information(model, x);
+        total_mass += mass;
+    }
+    if total_mass > 0.0 {
+        acc / total_mass
+    } else {
+        0.0
+    }
+}
+
+/// Improvement of the true spatiotemporal optimum over the product of the
+/// unidimensional optima (§III.D): `pic_2d − pic_product` evaluated on the
+/// full spatiotemporal inputs at the same `p`.
+pub fn spatiotemporal_advantage(
+    input: &AggregationInput,
+    product: &Partition,
+    pic_2d: f64,
+    p: f64,
+) -> f64 {
+    pic_2d - product.pic(input, p)
+}
+
+/// Clustering-similarity measures between two partitions of the same
+/// `|S| × |T|` grid (each partition read as a clustering of the cells).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionComparison {
+    /// Variation of information `H(A) + H(B) − 2·I(A;B)` in bits; a metric,
+    /// 0 iff the partitions are identical.
+    pub variation_of_information: f64,
+    /// Normalized mutual information `I(A;B)/max(H(A), H(B))` ∈ [0, 1]
+    /// (defined as 1 when both partitions are trivial).
+    pub normalized_mutual_information: f64,
+    /// Rand index: the fraction of cell pairs on which the partitions agree
+    /// (same-cluster vs different-cluster) ∈ [0, 1].
+    pub rand_index: f64,
+}
+
+/// Compare two partitions of the same grid — e.g. two slider stops of the
+/// same trace ("how much does the overview change between p = 0.4 and
+/// p = 0.6?") or a clean vs a perturbed run.
+///
+/// Complexity `O(|S||T| + k_a·k_b)` — fine for screen-sized grids.
+///
+/// Panics if either partition does not cover the grid exactly.
+///
+/// ```
+/// use ocelotl_core::{compare_partitions, Partition};
+/// use ocelotl_trace::Hierarchy;
+///
+/// let h = Hierarchy::balanced(&[2, 2]);
+/// let micro = Partition::microscopic(&h, 5);
+/// let full = Partition::full(&h, 5);
+/// let same = compare_partitions(&h, 5, &full, &full);
+/// assert!((same.rand_index - 1.0).abs() < 1e-12);
+/// let diff = compare_partitions(&h, 5, &micro, &full);
+/// assert!(diff.variation_of_information > 4.0); // log2(20 cells)
+/// ```
+pub fn compare_partitions(
+    hierarchy: &Hierarchy,
+    n_slices: usize,
+    a: &Partition,
+    b: &Partition,
+) -> PartitionComparison {
+    let n_cells = hierarchy.n_leaves() * n_slices;
+    let label = |p: &Partition| -> Vec<u32> {
+        let mut l = vec![u32::MAX; n_cells];
+        for (id, area) in p.areas().iter().enumerate() {
+            for s in hierarchy.leaf_range(area.node) {
+                for t in area.first_slice..=area.last_slice {
+                    l[s * n_slices + t] = id as u32;
+                }
+            }
+        }
+        assert!(
+            l.iter().all(|&x| x != u32::MAX),
+            "partition does not cover the grid"
+        );
+        l
+    };
+    let (la, lb) = (label(a), label(b));
+
+    // Contingency table over (cluster of A, cluster of B).
+    let mut joint: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+    let mut ca = vec![0u64; a.len()];
+    let mut cb = vec![0u64; b.len()];
+    for (&x, &y) in la.iter().zip(&lb) {
+        *joint.entry((x, y)).or_default() += 1;
+        ca[x as usize] += 1;
+        cb[y as usize] += 1;
+    }
+
+    let n = n_cells as f64;
+    let entropy = |counts: &[u64]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    };
+    let ha = entropy(&ca);
+    let hb = entropy(&cb);
+    let mut mi = 0.0;
+    for (&(x, y), &c) in &joint {
+        let pxy = c as f64 / n;
+        let px = ca[x as usize] as f64 / n;
+        let py = cb[y as usize] as f64 / n;
+        mi += pxy * (pxy / (px * py)).log2();
+    }
+    // Clamp tiny negative float residue.
+    let mi = mi.max(0.0);
+
+    let vi = (ha + hb - 2.0 * mi).max(0.0);
+    let hmax = ha.max(hb);
+    let nmi = if hmax <= 1e-12 { 1.0 } else { (mi / hmax).clamp(0.0, 1.0) };
+
+    // Rand index from pair counts: pairs co-clustered in both, separated in
+    // both, over all pairs.
+    let choose2 = |c: u64| (c * c.saturating_sub(1) / 2) as f64;
+    let total_pairs = choose2(n_cells as u64);
+    let sum_ab: f64 = joint.values().map(|&c| choose2(c)).sum();
+    let sum_a: f64 = ca.iter().map(|&c| choose2(c)).sum();
+    let sum_b: f64 = cb.iter().map(|&c| choose2(c)).sum();
+    let rand_index = if total_pairs == 0.0 {
+        1.0
+    } else {
+        // agreements = together-in-both + apart-in-both
+        (total_pairs + 2.0 * sum_ab - sum_a - sum_b) / total_pairs
+    };
+
+    PartitionComparison {
+        variation_of_information: vi,
+        normalized_mutual_information: nmi,
+        rand_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{aggregate, aggregate_default, DpConfig};
+    use crate::input::AggregationInput;
+    use ocelotl_trace::synthetic::random_model;
+    use ocelotl_trace::Hierarchy;
+
+    #[test]
+    fn enumeration_counts_match_known_formula_for_flat_time() {
+        // 1 leaf, |T| = n: the consistent partitions are the 2^(n−1)
+        // compositions of the interval.
+        let h = Hierarchy::flat(1, "p");
+        for n in 1..=5usize {
+            let parts = enumerate_partitions(&h, h.leaf_node(ocelotl_trace::LeafId(0)), 0, n - 1);
+            assert_eq!(parts.len(), 1 << (n - 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn enumerated_partitions_are_valid() {
+        // The same partition may arise from different cut sequences (§III.E:
+        // "a given partition may be expressed according to different
+        // sequences"), so we only check validity and distinct coverage.
+        let h = Hierarchy::balanced(&[2]);
+        let parts = enumerate_partitions(&h, h.root(), 0, 2);
+        let mut seen = std::collections::HashSet::new();
+        for areas in &parts {
+            let part = Partition::new(areas.clone());
+            part.validate(&h, 3).expect("enumerated partition valid");
+            seen.insert(format!("{:?}", part.areas()));
+        }
+        // Distinct consistent partitions: strictly more than the 4 pure
+        // temporal ones (spatial refinements must appear too).
+        assert!(seen.len() > 4, "only {} distinct partitions", seen.len());
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_small_instances() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let m = random_model(&[2, 2], 4, 2, seed);
+            let input = AggregationInput::build(&m);
+            for &p in &[0.0, 0.3, 0.5, 0.8, 1.0] {
+                let tree = aggregate(
+                    &input,
+                    p,
+                    &DpConfig {
+                        epsilon: 0.0,
+                        parallel: false,
+                        ..DpConfig::default()
+                    },
+                );
+                let dp_pic = tree.optimal_pic(&input);
+                let (bf_pic, _) = brute_force_best(&input, p);
+                assert!(
+                    (dp_pic - bf_pic).abs() < 1e-9,
+                    "seed={seed} p={p}: DP {dp_pic} vs brute force {bf_pic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_deeper_hierarchy() {
+        let m = random_model(&[3], 3, 2, 99);
+        let input = AggregationInput::build(&m);
+        for &p in &[0.1, 0.6, 0.9] {
+            let dp_pic = aggregate_default(&input, p).optimal_pic(&input);
+            let (bf_pic, _) = brute_force_best(&input, p);
+            assert!((dp_pic - bf_pic).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn mutual_information_zero_for_product_structure() {
+        use ocelotl_trace::synthetic::{block_model, Block};
+        use ocelotl_trace::{Hierarchy, StateRegistry};
+        // ρ(s,t) = f(s)·g(t) — a rank-one (product) pattern: here uniform
+        // in space, varying in time → MI = 0.
+        let h = Hierarchy::flat(4, "p");
+        let states = StateRegistry::from_names(["a"]);
+        let blocks: Vec<Block> = (0..6)
+            .map(|t| Block {
+                leaves: 0..4,
+                slices: t..t + 1,
+                rho: vec![0.1 + 0.1 * t as f64],
+            })
+            .collect();
+        let m = block_model(h, states, 6, &blocks);
+        let mi = mutual_information(&m, ocelotl_trace::StateId(0));
+        assert!(mi.abs() < 1e-9, "product structure must have MI 0, got {mi}");
+    }
+
+    #[test]
+    fn mutual_information_positive_for_checkerboard() {
+        use ocelotl_trace::synthetic::{block_model, Block};
+        use ocelotl_trace::{Hierarchy, StateRegistry};
+        // Checkerboard: behavior depends jointly on (s, t).
+        let h = Hierarchy::flat(2, "p");
+        let states = StateRegistry::from_names(["a"]);
+        let m = block_model(
+            h,
+            states,
+            2,
+            &[
+                Block { leaves: 0..1, slices: 0..1, rho: vec![0.9] },
+                Block { leaves: 1..2, slices: 1..2, rho: vec![0.9] },
+                Block { leaves: 0..1, slices: 1..2, rho: vec![0.1] },
+                Block { leaves: 1..2, slices: 0..1, rho: vec![0.1] },
+            ],
+        );
+        let mi = mutual_information(&m, ocelotl_trace::StateId(0));
+        assert!(mi > 0.1, "checkerboard must have positive MI, got {mi}");
+    }
+
+    #[test]
+    fn fig3_has_positive_total_mi() {
+        use ocelotl_trace::synthetic::fig3_model;
+        // The designed trace mixes spatial and temporal structure, so the
+        // unidimensional aggregations necessarily lose information.
+        let mi = total_mutual_information(&fig3_model());
+        assert!(mi > 0.005, "fig3 total MI = {mi}");
+    }
+
+    #[test]
+    fn advantage_is_nonnegative_for_optimal_dp() {
+        use crate::onedim::product_aggregation;
+        for seed in [10u64, 20, 30] {
+            let m = random_model(&[2, 3], 6, 2, seed);
+            let input = AggregationInput::build(&m);
+            let p = 0.5;
+            let prod = product_aggregation(&m, p);
+            let pic2d = aggregate_default(&input, p).optimal_pic(&input);
+            let adv = spatiotemporal_advantage(&input, &prod.partition, pic2d, p);
+            assert!(
+                adv >= -1e-9,
+                "2-D optimum cannot be worse than the product partition (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_partitions_compare_as_equal() {
+        let m = random_model(&[2, 3], 6, 2, 8);
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, 0.5).partition(&input);
+        let c = compare_partitions(m.hierarchy(), 6, &part, &part);
+        assert!(c.variation_of_information.abs() < 1e-9);
+        assert!((c.normalized_mutual_information - 1.0).abs() < 1e-9);
+        assert!((c.rand_index - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn microscopic_vs_full_are_maximally_different() {
+        let h = Hierarchy::balanced(&[2, 2]);
+        let micro = Partition::microscopic(&h, 5);
+        let full = Partition::full(&h, 5);
+        let c = compare_partitions(&h, 5, &micro, &full);
+        // VI = H(micro) = log2(20 cells); RI = 0 (no pair agrees).
+        assert!((c.variation_of_information - (20.0f64).log2()).abs() < 1e-9);
+        assert!(c.rand_index.abs() < 1e-9);
+        assert!(c.normalized_mutual_information.abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_partitions_compare_as_equal() {
+        let h = Hierarchy::balanced(&[2]);
+        let full = Partition::full(&h, 3);
+        let c = compare_partitions(&h, 3, &full, &full);
+        assert!((c.normalized_mutual_information - 1.0).abs() < 1e-12);
+        assert!((c.rand_index - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_is_symmetric() {
+        let m = random_model(&[3, 2], 7, 2, 21);
+        let input = AggregationInput::build(&m);
+        let pa = aggregate_default(&input, 0.2).partition(&input);
+        let pb = aggregate_default(&input, 0.7).partition(&input);
+        let ab = compare_partitions(m.hierarchy(), 7, &pa, &pb);
+        let ba = compare_partitions(m.hierarchy(), 7, &pb, &pa);
+        assert!((ab.variation_of_information - ba.variation_of_information).abs() < 1e-12);
+        assert!((ab.rand_index - ba.rand_index).abs() < 1e-12);
+        assert!(
+            (ab.normalized_mutual_information - ba.normalized_mutual_information).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn nearby_p_values_are_more_similar_than_distant_ones() {
+        let m = random_model(&[3, 3], 10, 3, 4);
+        let input = AggregationInput::build(&m);
+        let p02 = aggregate_default(&input, 0.2).partition(&input);
+        let p03 = aggregate_default(&input, 0.3).partition(&input);
+        let p09 = aggregate_default(&input, 0.9).partition(&input);
+        let near = compare_partitions(m.hierarchy(), 10, &p02, &p03);
+        let far = compare_partitions(m.hierarchy(), 10, &p02, &p09);
+        assert!(
+            near.variation_of_information <= far.variation_of_information + 1e-9,
+            "VI(0.2,0.3) = {} should not exceed VI(0.2,0.9) = {}",
+            near.variation_of_information,
+            far.variation_of_information
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn non_covering_partition_rejected() {
+        let h = Hierarchy::balanced(&[2]);
+        let holey = Partition::new(vec![Area::new(h.root(), 0, 0)]);
+        let full = Partition::full(&h, 2);
+        let _ = compare_partitions(&h, 2, &holey, &full);
+    }
+}

@@ -1,0 +1,196 @@
+//! Aggregate inspection — the paper's future-work interaction: *"we
+//! foresee to use interaction solutions to retrieve data such as the
+//! proportion of all the active states"* (§VI).
+//!
+//! Given a partition, this module answers the questions an analyst asks by
+//! hovering/clicking an aggregate: which states are active and in which
+//! proportions, how many resources and how much time it spans, and how
+//! faithful the aggregate is (its own gain/loss contribution).
+
+use crate::input::AggregationInput;
+
+use crate::partition::{Area, Partition};
+use ocelotl_trace::{LeafId, StateId};
+
+/// Everything known about one aggregate of a partition.
+#[derive(Debug, Clone)]
+pub struct AreaReport {
+    /// The area itself.
+    pub area: Area,
+    /// `/`-separated hierarchy path of the node.
+    pub path: String,
+    /// Number of underlying resources `|S_k|`.
+    pub n_resources: usize,
+    /// Number of slices spanned.
+    pub n_slices: usize,
+    /// All aggregated state proportions `ρ_x` (Eq. 1), indexed by state,
+    /// paired with state names, sorted descending.
+    pub proportions: Vec<(String, f64)>,
+    /// The mode state name, if any state is active.
+    pub mode: Option<String>,
+    /// Mode confidence `ρ_max/Σρ`.
+    pub confidence: f64,
+    /// This area's information loss (Eq. 2).
+    pub loss: f64,
+    /// This area's data-reduction gain (Eq. 3).
+    pub gain: f64,
+}
+
+/// Inspect one area.
+pub fn inspect_area(input: &AggregationInput, area: &Area) -> AreaReport {
+    let h = input.hierarchy();
+    let rhos = input.rho_aggregate_all(area.node, area.first_slice, area.last_slice);
+    let total: f64 = rhos.iter().sum();
+    let mut proportions: Vec<(String, f64)> = rhos
+        .iter()
+        .enumerate()
+        .map(|(x, &r)| (input.states().name(StateId(x as u16)).to_string(), r))
+        .collect();
+    proportions.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let (mode, confidence) = match proportions.first() {
+        Some((name, r)) if *r > 0.0 => (Some(name.clone()), r / total),
+        _ => (None, 0.0),
+    };
+    AreaReport {
+        area: *area,
+        path: h.path(area.node),
+        n_resources: h.n_leaves_under(area.node),
+        n_slices: area.n_slices(),
+        proportions,
+        mode,
+        confidence,
+        loss: input.loss(area.node, area.first_slice, area.last_slice),
+        gain: input.gain(area.node, area.first_slice, area.last_slice),
+    }
+}
+
+/// Find the aggregate of a partition covering a microscopic cell
+/// (the hit-test behind hovering a pixel).
+pub fn area_at(partition: &Partition, input: &AggregationInput, leaf: LeafId, slice: usize) -> Option<Area> {
+    let h = input.hierarchy();
+    partition
+        .areas()
+        .iter()
+        .find(|a| {
+            h.leaf_range(a.node).contains(&leaf.index())
+                && (a.first_slice..=a.last_slice).contains(&slice)
+        })
+        .copied()
+}
+
+/// Summarize a whole partition: the `n` largest aggregates by cell count,
+/// with their reports — the textual counterpart of the paper's overview.
+pub fn summarize(input: &AggregationInput, partition: &Partition, n: usize) -> Vec<AreaReport> {
+    let h = input.hierarchy();
+    let mut areas: Vec<Area> = partition.areas().to_vec();
+    areas.sort_by_key(|a| std::cmp::Reverse(a.n_cells(h)));
+    areas.truncate(n);
+    areas.iter().map(|a| inspect_area(input, a)).collect()
+}
+
+/// Render a partition summary as fixed-width text (for terminal UIs and
+/// the `trace_explorer` example).
+pub fn summary_text(input: &AggregationInput, partition: &Partition, n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>6} {:>7} {:>14} {:>6} {:>9} {:>9}",
+        "node", "res", "slices", "mode", "conf", "loss", "gain"
+    );
+    for r in summarize(input, partition, n) {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6} {:>7} {:>14} {:>5.0}% {:>9.3} {:>9.3}",
+            truncate(&r.path, 28),
+            r.n_resources,
+            format!("{}..{}", r.area.first_slice, r.area.last_slice),
+            r.mode.as_deref().unwrap_or("idle"),
+            r.confidence * 100.0,
+            r.loss,
+            r.gain,
+        );
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("…{}", &s[s.len() - (n - 1)..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::aggregate_default;
+    use crate::input::AggregationInput;
+    use ocelotl_trace::synthetic::fig3_model;
+
+    fn setup() -> (AggregationInput, Partition) {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, 0.5).partition(&input);
+        (input, part)
+    }
+
+    #[test]
+    fn area_report_proportions_sum_to_one_on_fig3() {
+        let (input, part) = setup();
+        for a in part.areas() {
+            let r = inspect_area(&input, a);
+            let total: f64 = r.proportions.iter().map(|(_, v)| v).sum();
+            assert!((total - 1.0).abs() < 1e-9, "area {a:?} sums to {total}");
+            assert!(r.mode.is_some());
+            assert!(r.confidence >= 0.5, "two states: mode covers ≥ half");
+            assert!(r.proportions.windows(2).all(|w| w[0].1 >= w[1].1));
+        }
+    }
+
+    #[test]
+    fn hit_test_finds_the_covering_area() {
+        let (input, part) = setup();
+        for (leaf, slice) in [(0u32, 0usize), (5, 7), (11, 19)] {
+            let area = area_at(&part, &input, LeafId(leaf), slice).expect("covered");
+            let h = input.hierarchy();
+            assert!(h.leaf_range(area.node).contains(&(leaf as usize)));
+            assert!((area.first_slice..=area.last_slice).contains(&slice));
+        }
+    }
+
+    #[test]
+    fn hit_test_misses_out_of_range() {
+        let (input, part) = setup();
+        assert!(area_at(&part, &input, LeafId(0), 99).is_none());
+    }
+
+    #[test]
+    fn summary_orders_by_size_and_truncates() {
+        let (input, part) = setup();
+        let top = summarize(&input, &part, 3);
+        assert_eq!(top.len(), 3.min(part.len()));
+        let h = input.hierarchy();
+        let sizes: Vec<usize> = top.iter().map(|r| r.area.n_cells(h)).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn summary_text_is_tabular() {
+        let (input, part) = setup();
+        let text = summary_text(&input, &part, 5);
+        assert!(text.lines().count() >= 2);
+        assert!(text.contains("mode"));
+        assert!(text.contains("state1") || text.contains("state2"));
+    }
+
+    #[test]
+    fn loss_and_gain_match_input_matrices() {
+        let (input, part) = setup();
+        let a = part.areas()[0];
+        let r = inspect_area(&input, &a);
+        assert_eq!(r.loss, input.loss(a.node, a.first_slice, a.last_slice));
+        assert_eq!(r.gain, input.gain(a.node, a.first_slice, a.last_slice));
+    }
+}

@@ -1,0 +1,67 @@
+//! # ocelotl-core — spatiotemporal trace aggregation
+//!
+//! Rust implementation of the primary contribution of *"A Spatiotemporal
+//! Data Aggregation Technique for Performance Analysis of Large-scale
+//! Execution Traces"* (Dosimont, Lamarche-Perrin, Schnorr, Huard, Vincent —
+//! IEEE CLUSTER 2014).
+//!
+//! Given a microscopic trace model (`ocelotl_trace::MicroModel`), this crate
+//! computes the hierarchy-and-order-consistent partition of `S × T` that
+//! maximizes the parametrized information criterion
+//! `pIC = p·gain − (1−p)·loss` (Eq. 2–4), where `gain` is the Shannon data
+//! reduction and `loss` the Kullback–Leibler information loss of each
+//! aggregate.
+//!
+//! ```
+//! use ocelotl_trace::synthetic::fig3_model;
+//! use ocelotl_core::{AggregationInput, aggregate_default};
+//!
+//! let model = fig3_model();                     // 12 resources × 20 slices
+//! let input = AggregationInput::build(&model);  // O(|S||T|²) preprocessing
+//! let tree = aggregate_default(&input, 0.5);    // Algorithm 1 at p = 0.5
+//! let partition = tree.partition(&input);
+//! assert!(partition.validate(model.hierarchy(), model.n_slices()).is_ok());
+//! assert!(partition.len() < 240);               // fewer aggregates than cells
+//! ```
+//!
+//! Module map:
+//! - [`measures`] — Eq. 2–4 (loss, gain, pIC);
+//! - [`input`] — cached per-node gain/loss interval matrices (`O(|S||T|²)`);
+//! - [`dp`] — Algorithm 1, the `O(|S||T|³)` spatiotemporal optimizer
+//!   (sequential and fork–join parallel);
+//! - [`partition`] — areas, partitions, validation;
+//! - [`onedim`] — the unidimensional baselines and their product (§III.D);
+//! - [`pvalues`] — significant trade-off values (the Ocelotl slider);
+//! - [`quality`] — normalized fidelity reporting (criterion G5);
+//! - [`analysis`] — brute-force enumeration and strategy comparisons;
+//! - [`tri`] — upper-triangular interval matrices.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dp;
+pub mod inspect;
+pub mod input;
+pub mod measures;
+pub mod onedim;
+pub mod partition;
+pub mod pvalues;
+pub mod quality;
+pub mod tri;
+
+pub use analysis::{
+    compare_partitions, mutual_information, total_mutual_information, PartitionComparison,
+};
+pub use dp::{aggregate, aggregate_default, Cut, CutTree, DpConfig};
+pub use inspect::{area_at, inspect_area, summarize, summary_text, AreaReport};
+pub use input::AggregationInput;
+pub use measures::{pic, xlog2x, AreaSums};
+pub use onedim::{
+    collapse_space, collapse_time, product_aggregation, spatial_partition, temporal_partition,
+    ProductAggregation, SpatialPartition, TemporalPartition,
+};
+pub use partition::{Area, Partition};
+pub use pvalues::{significant_partitions, significant_ps, PEntry};
+pub use quality::{quality, QualityReport};
+pub use tri::TriMatrix;

@@ -1,0 +1,398 @@
+//! Unidimensional aggregation baselines (§III.D "Spatial and Temporal
+//! Aggregation").
+//!
+//! These are the algorithms of the paper's prior work that the
+//! spatiotemporal algorithm generalizes:
+//!
+//! - **spatial-only** ([Lamarche-Perrin et al.], Viva): partition the
+//!   hierarchy applied to the *temporally-aggregated* trace `S × {T}`;
+//!   a depth-first search computes the optimal hierarchy-consistent
+//!   partition in `O(|S|)`;
+//! - **temporal-only** (Ocelotl 1-D, Jackson et al.): partition time applied
+//!   to the *spatially-aggregated* trace `{S} × T`; dynamic programming
+//!   computes the optimal order-consistent partition in `O(|T|²)`.
+//!
+//! Their Cartesian product (`Fig. 3.c`) is the baseline the paper argues is
+//! strictly weaker than the true spatiotemporal optimum (`Fig. 3.d`).
+
+use crate::input::AggregationInput;
+use crate::measures::pic;
+use crate::partition::Partition;
+use ocelotl_trace::{
+    Hierarchy, HierarchyBuilder, LeafId, MicroModel, NodeId, StateId, TimeGrid,
+};
+
+/// Collapse the temporal dimension: the whole trace becomes one slice, so
+/// the spatial algorithm sees micro cells `(s, T)` with
+/// `ρ_x(s, T) = Σ_t d_x(s,t) / Σ_t d(t)`.
+pub fn collapse_time(model: &MicroModel) -> MicroModel {
+    let h = model.hierarchy().clone();
+    let states = model.states().clone();
+    let grid = TimeGrid::new(model.grid().start(), model.grid().end(), 1);
+    let n = model.n_leaves();
+    let x = model.n_states();
+    let mut durations = vec![0.0f64; n * x];
+    for s in 0..n {
+        for xi in 0..x {
+            durations[s * x + xi] = model.series(LeafId(s as u32), StateId(xi as u16)).iter().sum();
+        }
+    }
+    MicroModel::from_dense(h, states, grid, durations)
+}
+
+/// Collapse the spatial dimension: a single virtual resource whose
+/// proportions are the Eq. 1 average over all leaves,
+/// `ρ_x(S, t) = (1/|S|)·Σ_s ρ_x(s,t)`.
+pub fn collapse_space(model: &MicroModel) -> MicroModel {
+    let states = model.states().clone();
+    let grid = *model.grid();
+    let n = model.n_leaves();
+    let x = model.n_states();
+    let t = model.n_slices();
+    let h = HierarchyBuilder::new("S", "root").build().expect("single node");
+    let mut durations = vec![0.0f64; x * t];
+    for s in 0..n {
+        for xi in 0..x {
+            for (ti, &d) in model.series(LeafId(s as u32), StateId(xi as u16)).iter().enumerate() {
+                durations[xi * t + ti] += d / n as f64;
+            }
+        }
+    }
+    MicroModel::from_dense(h, states, grid, durations)
+}
+
+/// Result of the spatial-only algorithm: the nodes forming the optimal
+/// hierarchy-consistent partition of `S`, plus its pIC on `S × {T}`.
+#[derive(Debug, Clone)]
+pub struct SpatialPartition {
+    /// Nodes forming the hierarchy-consistent partition of `S`.
+    pub nodes: Vec<NodeId>,
+    /// Its pIC on the temporally-collapsed trace.
+    pub pic: f64,
+}
+
+/// Optimal hierarchy-consistent partition of the temporally-aggregated
+/// trace, by post-order DFS (`O(|S|)` comparisons).
+///
+/// `input` must be built on a 1-slice model (see [`collapse_time`]).
+pub fn spatial_partition(input: &AggregationInput, p: f64) -> SpatialPartition {
+    assert_eq!(
+        input.n_slices(),
+        1,
+        "spatial algorithm expects a temporally-collapsed model"
+    );
+    let h = input.hierarchy();
+    let n = h.len();
+    // best pIC of the optimal partition of each subtree; cut = true when the
+    // node is split into its children.
+    let mut best = vec![0.0f64; n];
+    let mut split = vec![false; n];
+    for &node in h.post_order() {
+        let own = pic(p, input.gain(node, 0, 0), input.loss(node, 0, 0));
+        if h.is_leaf(node) {
+            best[node.index()] = own;
+        } else {
+            let children_sum: f64 = h
+                .children(node)
+                .iter()
+                .map(|c| best[c.index()])
+                .sum();
+            if children_sum > own + 1e-9 {
+                best[node.index()] = children_sum;
+                split[node.index()] = true;
+            } else {
+                best[node.index()] = own;
+            }
+        }
+    }
+    // Extract: walk down from the root, stopping at unsplit nodes.
+    let mut nodes = Vec::new();
+    let mut stack = vec![h.root()];
+    while let Some(nd) = stack.pop() {
+        if split[nd.index()] {
+            stack.extend(h.children(nd).iter().copied());
+        } else {
+            nodes.push(nd);
+        }
+    }
+    nodes.sort_unstable();
+    SpatialPartition {
+        nodes,
+        pic: best[h.root().index()],
+    }
+}
+
+/// Result of the temporal-only algorithm: interval boundaries (inclusive)
+/// of the optimal order-consistent partition, plus its pIC on `{S} × T`.
+#[derive(Debug, Clone)]
+pub struct TemporalPartition {
+    /// Inclusive `(first, last)` slice intervals, in order.
+    pub intervals: Vec<(usize, usize)>,
+    /// Its pIC on the spatially-collapsed trace.
+    pub pic: f64,
+}
+
+/// Optimal order-consistent partition of the spatially-aggregated trace, by
+/// the classic `O(|T|²)` interval dynamic program (Jackson et al. [20]).
+///
+/// `input` must be built on a 1-leaf model (see [`collapse_space`]).
+pub fn temporal_partition(input: &AggregationInput, p: f64) -> TemporalPartition {
+    assert_eq!(
+        input.hierarchy().n_leaves(),
+        1,
+        "temporal algorithm expects a spatially-collapsed model"
+    );
+    let root = input.hierarchy().root();
+    let n = input.n_slices();
+    let q = |i: usize, j: usize| pic(p, input.gain(root, i, j), input.loss(root, i, j));
+
+    // best[j]: optimal pIC of a partition of slices 0..=j;
+    // back[j]: start index of the last interval of that optimum.
+    let mut best = vec![f64::NEG_INFINITY; n];
+    let mut back = vec![0usize; n];
+    for j in 0..n {
+        // Last interval is [0, j].
+        let mut b = q(0, j);
+        let mut bk = 0usize;
+        // Last interval is [k, j] for k ≥ 1.
+        for k in 1..=j {
+            let cand = best[k - 1] + q(k, j);
+            if cand > b + 1e-9 {
+                b = cand;
+                bk = k;
+            }
+        }
+        best[j] = b;
+        back[j] = bk;
+    }
+
+    // Reconstruct intervals right-to-left.
+    let mut intervals = Vec::new();
+    let mut j = n - 1;
+    loop {
+        let k = back[j];
+        intervals.push((k, j));
+        if k == 0 {
+            break;
+        }
+        j = k - 1;
+    }
+    intervals.reverse();
+    TemporalPartition {
+        intervals,
+        pic: best[n - 1],
+    }
+}
+
+/// Convenience: run both unidimensional algorithms on a model and build the
+/// product partition `P(S) × P(T)` of §III.D / Fig. 3.c.
+pub struct ProductAggregation {
+    /// The spatial-only optimum `P(S)`.
+    pub spatial: SpatialPartition,
+    /// The temporal-only optimum `P(T)`.
+    pub temporal: TemporalPartition,
+    /// Their Cartesian product `P(S) × P(T)` as a 2-D partition.
+    pub partition: Partition,
+}
+
+/// Run both unidimensional algorithms at trade-off `p` and combine them.
+pub fn product_aggregation(model: &MicroModel, p: f64) -> ProductAggregation {
+    let time_collapsed = AggregationInput::build(&collapse_time(model));
+    let space_collapsed = AggregationInput::build(&collapse_space(model));
+    let spatial = spatial_partition(&time_collapsed, p);
+    let temporal = temporal_partition(&space_collapsed, p);
+    let partition = Partition::product(&spatial.nodes, &temporal.intervals);
+    ProductAggregation {
+        spatial,
+        temporal,
+        partition,
+    }
+}
+
+/// Validate that spatial nodes form a hierarchy-consistent partition of `S`.
+pub fn validate_spatial(h: &Hierarchy, nodes: &[NodeId]) -> Result<(), String> {
+    let mut cover = vec![false; h.n_leaves()];
+    for &nd in nodes {
+        for leaf in h.leaf_range(nd) {
+            if cover[leaf] {
+                return Err(format!("leaf {leaf} covered twice"));
+            }
+            cover[leaf] = true;
+        }
+    }
+    if let Some(i) = cover.iter().position(|&c| !c) {
+        return Err(format!("leaf {i} not covered"));
+    }
+    Ok(())
+}
+
+/// Validate that intervals form an order-consistent partition of `0..n`.
+pub fn validate_temporal(intervals: &[(usize, usize)], n: usize) -> Result<(), String> {
+    let mut expected = 0usize;
+    for &(i, j) in intervals {
+        if i != expected {
+            return Err(format!("interval starts at {i}, expected {expected}"));
+        }
+        if j < i || j >= n {
+            return Err(format!("bad interval ({i}, {j})"));
+        }
+        expected = j + 1;
+    }
+    if expected != n {
+        return Err(format!("intervals end at {expected}, expected {n}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::synthetic::{block_model, fig3_model, random_model, Block};
+    use ocelotl_trace::StateRegistry;
+
+    #[test]
+    fn collapse_time_preserves_totals() {
+        let m = random_model(&[2, 3], 7, 2, 5);
+        let c = collapse_time(&m);
+        assert_eq!(c.n_slices(), 1);
+        assert!((c.grand_total() - m.grand_total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collapse_space_averages() {
+        let m = random_model(&[4], 5, 2, 9);
+        let c = collapse_space(&m);
+        assert_eq!(c.n_leaves(), 1);
+        assert_eq!(c.n_slices(), 5);
+        // Average of 4 resources.
+        for t in 0..5 {
+            for x in 0..2 {
+                let avg: f64 = (0..4)
+                    .map(|s| m.rho(LeafId(s), StateId(x), t))
+                    .sum::<f64>()
+                    / 4.0;
+                assert!((c.rho(LeafId(0), StateId(x), t) - avg).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_partition_is_consistent() {
+        let m = random_model(&[3, 2, 2], 6, 2, 17);
+        let input = AggregationInput::build(&collapse_time(&m));
+        for &p in &[0.0, 0.5, 1.0] {
+            let sp = spatial_partition(&input, p);
+            validate_spatial(m.hierarchy(), &sp.nodes).unwrap();
+        }
+    }
+
+    #[test]
+    fn temporal_partition_is_consistent() {
+        let m = random_model(&[4], 12, 3, 23);
+        let input = AggregationInput::build(&collapse_space(&m));
+        for &p in &[0.0, 0.5, 1.0] {
+            let tp = temporal_partition(&input, p);
+            validate_temporal(&tp.intervals, 12).unwrap();
+        }
+    }
+
+    #[test]
+    fn spatial_detects_heterogeneous_cluster() {
+        // Cluster 0 homogeneous, cluster 1 heterogeneous: at moderate p the
+        // spatial partition should keep cluster 0 whole and split cluster 1.
+        let h = Hierarchy::balanced(&[2, 4]);
+        let states = StateRegistry::from_names(["a", "b"]);
+        let mut blocks = vec![Block {
+            leaves: 0..4,
+            slices: 0..4,
+            rho: vec![0.5, 0.5],
+        }];
+        for k in 0..4 {
+            blocks.push(Block {
+                leaves: 4 + k..5 + k,
+                slices: 0..4,
+                rho: vec![0.1 + 0.2 * k as f64, 0.05],
+            });
+        }
+        let m = block_model(h, states, 4, &blocks);
+        let input = AggregationInput::build(&collapse_time(&m));
+        // Small p: accuracy-leaning, so the heterogeneous cluster must split.
+        let sp = spatial_partition(&input, 0.05);
+        validate_spatial(m.hierarchy(), &sp.nodes).unwrap();
+        let c0 = m.hierarchy().top_level()[0];
+        assert!(sp.nodes.contains(&c0), "homogeneous cluster kept whole");
+        assert!(
+            sp.nodes.len() > 2,
+            "heterogeneous cluster should split: {:?}",
+            sp.nodes
+        );
+    }
+
+    #[test]
+    fn temporal_detects_phase_change() {
+        let h = Hierarchy::flat(2, "p");
+        let states = StateRegistry::from_names(["a", "b"]);
+        let m = block_model(
+            h,
+            states,
+            10,
+            &[
+                Block {
+                    leaves: 0..2,
+                    slices: 0..6,
+                    rho: vec![0.9, 0.1],
+                },
+                Block {
+                    leaves: 0..2,
+                    slices: 6..10,
+                    rho: vec![0.1, 0.9],
+                },
+            ],
+        );
+        let input = AggregationInput::build(&collapse_space(&m));
+        let tp = temporal_partition(&input, 0.5);
+        assert_eq!(
+            tp.intervals,
+            vec![(0, 5), (6, 9)],
+            "should cut exactly at the phase change"
+        );
+    }
+
+    #[test]
+    fn temporal_dp_matches_2d_dp_on_collapsed_model() {
+        // On a 1-leaf model the O(T²) DP and the full Algorithm 1 must agree.
+        let m = random_model(&[5], 9, 2, 77);
+        let collapsed = collapse_space(&m);
+        let input = AggregationInput::build(&collapsed);
+        for &p in &[0.0, 0.3, 0.7, 1.0] {
+            let tp = temporal_partition(&input, p);
+            let tree = crate::dp::aggregate_default(&input, p);
+            let part = tree.partition(&input);
+            let dp_pic = tree.optimal_pic(&input);
+            assert!(
+                (tp.pic - dp_pic).abs() < 1e-9,
+                "p={p}: 1-D pIC {} vs 2-D pIC {dp_pic}",
+                tp.pic
+            );
+            assert_eq!(part.len(), tp.intervals.len(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn product_aggregation_on_fig3_is_valid() {
+        let m = fig3_model();
+        let prod = product_aggregation(&m, 0.5);
+        validate_spatial(m.hierarchy(), &prod.spatial.nodes).unwrap();
+        validate_temporal(&prod.temporal.intervals, 20).unwrap();
+        prod.partition.validate(m.hierarchy(), 20).unwrap();
+    }
+
+    #[test]
+    fn validate_temporal_rejects_bad_partitions() {
+        assert!(validate_temporal(&[(0, 1), (3, 4)], 5).is_err()); // gap
+        assert!(validate_temporal(&[(0, 4)], 4).is_err()); // overflow
+        assert!(validate_temporal(&[(0, 1), (1, 3)], 4).is_err()); // overlap
+        assert!(validate_temporal(&[(0, 3)], 5).is_err()); // short
+        assert!(validate_temporal(&[(0, 4)], 5).is_ok());
+    }
+}

@@ -1,0 +1,253 @@
+//! Spatiotemporal partitions: the algorithm's output (§III.B, §III.E).
+//!
+//! A partition of `S × T` is a set of disjoint, covering macroscopic areas,
+//! each the Cartesian product of a hierarchy node and a slice interval.
+
+use crate::input::AggregationInput;
+use crate::measures::pic;
+use ocelotl_trace::{Hierarchy, NodeId};
+
+/// One macroscopic spatiotemporal area `(S_k, T_(i,j))`.
+///
+/// `first_slice..=last_slice` is inclusive, matching the paper's `T_(i,j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Area {
+    /// The hierarchy node `S_k`.
+    pub node: NodeId,
+    /// First slice of the interval (inclusive).
+    pub first_slice: usize,
+    /// Last slice of the interval (inclusive).
+    pub last_slice: usize,
+}
+
+impl Area {
+    /// Construct an area; `first_slice` must be ≤ `last_slice`.
+    pub fn new(node: NodeId, first_slice: usize, last_slice: usize) -> Self {
+        debug_assert!(first_slice <= last_slice);
+        Self {
+            node,
+            first_slice,
+            last_slice,
+        }
+    }
+
+    /// Number of slices spanned.
+    #[inline]
+    pub fn n_slices(&self) -> usize {
+        self.last_slice - self.first_slice + 1
+    }
+
+    /// Number of microscopic cells `|S_k| × |T_(i,j)|`.
+    #[inline]
+    pub fn n_cells(&self, hierarchy: &Hierarchy) -> usize {
+        hierarchy.n_leaves_under(self.node) * self.n_slices()
+    }
+
+    /// True if this area is a single microscopic cell.
+    pub fn is_microscopic(&self, hierarchy: &Hierarchy) -> bool {
+        self.n_cells(hierarchy) == 1
+    }
+}
+
+/// A hierarchy-and-order-consistent partition of `S × T`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    areas: Vec<Area>,
+}
+
+impl Partition {
+    /// Wrap a list of areas (sorted canonically for comparability).
+    pub fn new(mut areas: Vec<Area>) -> Self {
+        areas.sort_unstable();
+        Self { areas }
+    }
+
+    /// The areas, in canonical (sorted) order.
+    #[inline]
+    pub fn areas(&self) -> &[Area] {
+        &self.areas
+    }
+
+    /// Number of aggregates (the paper's "representation complexity").
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// True for the degenerate empty partition.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.areas.is_empty()
+    }
+
+    /// The microscopic partition: every `({s}, {t})` cell separate.
+    pub fn microscopic(hierarchy: &Hierarchy, n_slices: usize) -> Self {
+        let mut areas = Vec::with_capacity(hierarchy.n_leaves() * n_slices);
+        for leaf in 0..hierarchy.n_leaves() {
+            let node = hierarchy.leaf_node(ocelotl_trace::LeafId(leaf as u32));
+            for t in 0..n_slices {
+                areas.push(Area::new(node, t, t));
+            }
+        }
+        Self::new(areas)
+    }
+
+    /// The full aggregation: one area `(S_root, T_(0,|T|−1))`.
+    pub fn full(hierarchy: &Hierarchy, n_slices: usize) -> Self {
+        Self::new(vec![Area::new(hierarchy.root(), 0, n_slices - 1)])
+    }
+
+    /// Product partition `P(S) × P(T)` from unidimensional partitions
+    /// (§III.D): every pair (node, interval).
+    pub fn product(spatial: &[NodeId], temporal: &[(usize, usize)]) -> Self {
+        let mut areas = Vec::with_capacity(spatial.len() * temporal.len());
+        for &n in spatial {
+            for &(i, j) in temporal {
+                areas.push(Area::new(n, i, j));
+            }
+        }
+        Self::new(areas)
+    }
+
+    /// Total pIC of the partition at trade-off `p` (additivity, §III.C).
+    pub fn pic(&self, input: &AggregationInput, p: f64) -> f64 {
+        self.areas
+            .iter()
+            .map(|a| {
+                pic(
+                    p,
+                    input.gain(a.node, a.first_slice, a.last_slice),
+                    input.loss(a.node, a.first_slice, a.last_slice),
+                )
+            })
+            .sum()
+    }
+
+    /// Total gain of the partition.
+    pub fn gain(&self, input: &AggregationInput) -> f64 {
+        self.areas
+            .iter()
+            .map(|a| input.gain(a.node, a.first_slice, a.last_slice))
+            .sum()
+    }
+
+    /// Total information loss of the partition.
+    pub fn loss(&self, input: &AggregationInput) -> f64 {
+        self.areas
+            .iter()
+            .map(|a| input.loss(a.node, a.first_slice, a.last_slice))
+            .sum()
+    }
+
+    /// Verify the partition is disjoint and covering w.r.t. the microscopic
+    /// grid, and that every area is hierarchy-and-order-consistent by
+    /// construction (nodes exist, slice ranges valid).
+    pub fn validate(&self, hierarchy: &Hierarchy, n_slices: usize) -> Result<(), String> {
+        let n_leaves = hierarchy.n_leaves();
+        let mut cover = vec![0u8; n_leaves * n_slices];
+        for a in &self.areas {
+            if a.node.index() >= hierarchy.len() {
+                return Err(format!("area references unknown node {}", a.node));
+            }
+            if a.first_slice > a.last_slice || a.last_slice >= n_slices {
+                return Err(format!(
+                    "area has invalid interval [{}, {}]",
+                    a.first_slice, a.last_slice
+                ));
+            }
+            for s in hierarchy.leaf_range(a.node) {
+                for t in a.first_slice..=a.last_slice {
+                    let c = &mut cover[s * n_slices + t];
+                    if *c != 0 {
+                        return Err(format!("cell ({s}, {t}) covered twice"));
+                    }
+                    *c = 1;
+                }
+            }
+        }
+        if let Some(pos) = cover.iter().position(|&c| c == 0) {
+            return Err(format!(
+                "cell ({}, {}) not covered",
+                pos / n_slices,
+                pos % n_slices
+            ));
+        }
+        Ok(())
+    }
+
+    /// Group areas by hierarchy node, useful for rendering.
+    pub fn areas_of_node(&self, node: NodeId) -> impl Iterator<Item = &Area> {
+        self.areas.iter().filter(move |a| a.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::Hierarchy;
+
+    #[test]
+    fn microscopic_partition_covers() {
+        let h = Hierarchy::balanced(&[2, 3]);
+        let p = Partition::microscopic(&h, 4);
+        assert_eq!(p.len(), 6 * 4);
+        assert!(p.validate(&h, 4).is_ok());
+    }
+
+    #[test]
+    fn full_partition_covers() {
+        let h = Hierarchy::balanced(&[2, 3]);
+        let p = Partition::full(&h, 4);
+        assert_eq!(p.len(), 1);
+        assert!(p.validate(&h, 4).is_ok());
+    }
+
+    #[test]
+    fn product_partition_covers() {
+        let h = Hierarchy::balanced(&[3, 4]);
+        let spatial: Vec<NodeId> = h.top_level().to_vec();
+        let temporal = vec![(0, 1), (2, 4), (5, 5)];
+        let p = Partition::product(&spatial, &temporal);
+        assert_eq!(p.len(), 9);
+        assert!(p.validate(&h, 6).is_ok());
+    }
+
+    #[test]
+    fn overlapping_areas_rejected() {
+        let h = Hierarchy::balanced(&[2, 2]);
+        let a = h.top_level()[0];
+        let p = Partition::new(vec![
+            Area::new(h.root(), 0, 1),
+            Area::new(a, 0, 0),
+        ]);
+        assert!(p.validate(&h, 2).is_err());
+    }
+
+    #[test]
+    fn hole_rejected() {
+        let h = Hierarchy::balanced(&[2]);
+        let p = Partition::new(vec![Area::new(h.root(), 0, 0)]);
+        assert!(p.validate(&h, 2).is_err());
+    }
+
+    #[test]
+    fn area_cell_counts() {
+        let h = Hierarchy::balanced(&[2, 2]);
+        let a = Area::new(h.root(), 0, 2);
+        assert_eq!(a.n_slices(), 3);
+        assert_eq!(a.n_cells(&h), 12);
+        let leaf = h.leaf_node(ocelotl_trace::LeafId(0));
+        assert!(Area::new(leaf, 1, 1).is_microscopic(&h));
+        assert!(!Area::new(leaf, 0, 1).is_microscopic(&h));
+    }
+
+    #[test]
+    fn partition_equality_is_order_insensitive() {
+        let h = Hierarchy::balanced(&[2]);
+        let l0 = h.leaf_node(ocelotl_trace::LeafId(0));
+        let l1 = h.leaf_node(ocelotl_trace::LeafId(1));
+        let p1 = Partition::new(vec![Area::new(l0, 0, 0), Area::new(l1, 0, 0)]);
+        let p2 = Partition::new(vec![Area::new(l1, 0, 0), Area::new(l0, 0, 0)]);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Quality measures of an aggregated representation (criterion G5,
+//! "Fidelity": tell the user how far the representation is from the
+//! microscopic model).
+//!
+//! Ocelotl presents, for each candidate `p`, the *complexity reduction* and
+//! *information loss* of the corresponding partition, normalized against
+//! the two extreme representations (microscopic ↔ fully aggregated).
+
+use crate::input::AggregationInput;
+use crate::partition::Partition;
+
+/// Normalized quality figures of one partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Number of aggregates in the partition.
+    pub n_areas: usize,
+    /// Number of microscopic cells `|S|·|T|`.
+    pub n_cells: usize,
+    /// `1 − n_areas / n_cells` ∈ [0, 1]: the entity-budget saving (G1).
+    pub complexity_reduction: f64,
+    /// Absolute information loss (bits).
+    pub loss: f64,
+    /// Absolute data-reduction gain (bits).
+    pub gain: f64,
+    /// Loss normalized by the loss of the full aggregation ∈ [0, 1]
+    /// (the full aggregation maximizes loss among consistent partitions).
+    pub loss_ratio: f64,
+    /// Gain normalized by the gain of the full aggregation (may exceed 1:
+    /// Eq. 3 gain is not monotone under coarsening).
+    pub gain_ratio: f64,
+}
+
+/// Evaluate a partition's quality against the cached inputs.
+pub fn quality(input: &AggregationInput, partition: &Partition) -> QualityReport {
+    let h = input.hierarchy();
+    let n_slices = input.n_slices();
+    let n_cells = h.n_leaves() * n_slices;
+    let full = Partition::full(h, n_slices);
+    let full_loss = full.loss(input);
+    let full_gain = full.gain(input);
+    let loss = partition.loss(input);
+    let gain = partition.gain(input);
+    QualityReport {
+        n_areas: partition.len(),
+        n_cells,
+        complexity_reduction: 1.0 - partition.len() as f64 / n_cells as f64,
+        loss,
+        gain,
+        loss_ratio: if full_loss > 0.0 { loss / full_loss } else { 0.0 },
+        gain_ratio: if full_gain.abs() > 0.0 {
+            gain / full_gain
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::aggregate_default;
+    use crate::input::AggregationInput;
+    use ocelotl_trace::synthetic::fig3_model;
+
+    #[test]
+    fn extremes_have_expected_quality() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let h = m.hierarchy();
+
+        let micro = Partition::microscopic(h, 20);
+        let qm = quality(&input, &micro);
+        assert_eq!(qm.n_areas, 240);
+        assert!(qm.loss.abs() < 1e-12, "microscopic partition loses nothing");
+        assert!(qm.complexity_reduction.abs() < 1e-12);
+
+        let full = Partition::full(h, 20);
+        let qf = quality(&input, &full);
+        assert_eq!(qf.n_areas, 1);
+        assert!((qf.loss_ratio - 1.0).abs() < 1e-12);
+        assert!(qf.complexity_reduction > 0.99);
+    }
+
+    #[test]
+    fn optimal_partitions_interpolate() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, 0.5).partition(&input);
+        let q = quality(&input, &part);
+        assert!(q.n_areas > 1 && q.n_areas < q.n_cells);
+        assert!((0.0..=1.0 + 1e-9).contains(&q.loss_ratio));
+        assert!(q.complexity_reduction > 0.0);
+    }
+
+    #[test]
+    fn loss_is_monotone_under_p() {
+        // Larger p → coarser optimal partition → no less loss.
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let mut prev = -1.0;
+        for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let part = aggregate_default(&input, p).partition(&input);
+            let l = quality(&input, &part).loss;
+            assert!(
+                l >= prev - 1e-9,
+                "loss should not decrease with p (p={p}: {l} < {prev})"
+            );
+            prev = l;
+        }
+    }
+}

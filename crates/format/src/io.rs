@@ -1,0 +1,152 @@
+//! File-level convenience API with buffered I/O and format autodetection.
+
+use crate::binary;
+use crate::error::{FormatError, Result};
+use crate::text;
+use ocelotl_trace::{MicroModel, Trace};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// On-disk trace encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `.ptf` — Paje-inspired plain text.
+    Text,
+    /// `.btf` — compact little-endian binary.
+    Binary,
+}
+
+impl Format {
+    /// Choose a format from a file extension (`.ptf` / `.btf`).
+    pub fn from_path(path: &Path) -> Option<Format> {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("ptf") => Some(Format::Text),
+            Some("btf") => Some(Format::Binary),
+            _ => None,
+        }
+    }
+
+    /// Detect the format from the first bytes of the file.
+    pub fn sniff(head: &[u8]) -> Option<Format> {
+        if head.starts_with(b"%PTF") {
+            Some(Format::Text)
+        } else if head.starts_with(b"BTF1") {
+            Some(Format::Binary)
+        } else {
+            None
+        }
+    }
+}
+
+/// Write a trace to `path`, picking the format from the extension
+/// (defaults to binary for unknown extensions).
+pub fn write_trace(trace: &Trace, path: &Path) -> Result<()> {
+    let fmt = Format::from_path(path).unwrap_or(Format::Binary);
+    let mut w = BufWriter::new(File::create(path)?);
+    match fmt {
+        Format::Text => text::write_text(trace, &mut w)?,
+        Format::Binary => binary::write_binary(trace, &mut w)?,
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn open_detected(path: &Path) -> Result<(Format, BufReader<File>)> {
+    let mut f = File::open(path)?;
+    let mut head = [0u8; 4];
+    let n = f.read(&mut head)?;
+    let fmt = Format::sniff(&head[..n])
+        .or_else(|| Format::from_path(path))
+        .ok_or_else(|| FormatError::parse("unrecognized trace format", None))?;
+    // Reopen from the start through a buffered reader.
+    drop(f);
+    Ok((fmt, BufReader::with_capacity(1 << 20, File::open(path)?)))
+}
+
+/// Read a whole trace from `path` (format sniffed from content).
+pub fn read_trace(path: &Path) -> Result<Trace> {
+    let (fmt, r) = open_detected(path)?;
+    match fmt {
+        Format::Text => text::read_text(r),
+        Format::Binary => binary::read_binary(r),
+    }
+}
+
+/// Stream a trace file straight into a microscopic model with `n_slices`
+/// periods — the paper's "trace reading + microscopic description" pipeline
+/// without materializing events.
+pub fn read_micro(path: &Path, n_slices: usize) -> Result<MicroModel> {
+    let (fmt, r) = open_detected(path)?;
+    match fmt {
+        Format::Text => text::stream_text_micro(r, n_slices),
+        Format::Binary => binary::stream_binary_micro(r, n_slices),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::{Hierarchy, LeafId, TraceBuilder};
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ocelotl-io-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> Trace {
+        let mut tb = TraceBuilder::new(Hierarchy::flat(2, "p"));
+        let s = tb.state("S");
+        tb.push_state(LeafId(0), s, 0.0, 2.0);
+        tb.push_state(LeafId(1), s, 1.0, 3.0);
+        tb.build()
+    }
+
+    #[test]
+    fn file_roundtrip_both_formats() {
+        let t = sample();
+        for name in ["t.ptf", "t.btf"] {
+            let p = tmpdir().join(name);
+            write_trace(&t, &p).unwrap();
+            let t2 = read_trace(&p).unwrap();
+            assert_eq!(t2.intervals, t.intervals, "{name}");
+            let m = read_micro(&p, 3).unwrap();
+            assert_eq!(m.n_slices(), 3);
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn sniffing_beats_extension() {
+        // Binary content under a .ptf name is still read as binary.
+        let t = sample();
+        let p = tmpdir().join("mislabeled.ptf");
+        {
+            let mut w = BufWriter::new(File::create(&p).unwrap());
+            binary::write_binary(&t, &mut w).unwrap();
+            w.flush().unwrap();
+        }
+        let t2 = read_trace(&p).unwrap();
+        assert_eq!(t2.intervals, t.intervals);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn unknown_format_rejected() {
+        let p = tmpdir().join("garbage.bin");
+        std::fs::write(&p, b"not a trace").unwrap();
+        assert!(read_trace(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(Format::from_path(Path::new("x.ptf")), Some(Format::Text));
+        assert_eq!(Format::from_path(Path::new("x.btf")), Some(Format::Binary));
+        assert_eq!(Format::from_path(Path::new("x.csv")), None);
+        assert_eq!(Format::sniff(b"%PTF 1"), Some(Format::Text));
+        assert_eq!(Format::sniff(b"BTF1"), Some(Format::Binary));
+        assert_eq!(Format::sniff(b"??"), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ocelotl-format — trace serialization
+//!
+//! Substrate crate standing in for the paper's Score-P/OTF2 + Paje trace
+//! files (see DESIGN.md §2 for the substitution rationale). Two encodings:
+//!
+//! - **PTF** ([`text`]): Paje-inspired plain text, self-describing,
+//!   diff-friendly;
+//! - **BTF** ([`binary`]): compact fixed-record binary for the Table II
+//!   scale (hundreds of millions of events);
+//! - **OMM** ([`micro_cache`]): the cached microscopic model, making the
+//!   paper's "preprocess once, interact instantly" economy durable across
+//!   analysis sessions.
+//!
+//! Both support the paper's two-stage analysis pipeline:
+//! *trace reading* (parse the file) and *microscopic description* (reduce
+//! events to the `d_x(s,t)` model) — the streaming readers fuse the two
+//! stages so multi-GB traces never materialize an event list.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod error;
+pub mod io;
+pub mod micro_cache;
+pub mod paje;
+pub mod text;
+
+pub use binary::{read_binary, stream_binary_micro, write_binary, BtfStreamWriter, INTERVAL_RECORD_BYTES};
+pub use error::{FormatError, Result};
+pub use io::{read_micro, read_trace, write_trace, Format};
+pub use micro_cache::{load_micro, read_micro_cache, save_micro, write_micro};
+pub use paje::{read_paje, write_paje};
+pub use text::{read_text, stream_text_micro, write_text};

@@ -1,0 +1,273 @@
+//! OMM — the cached microscopic-model format.
+//!
+//! The paper's §V.B workflow: a 50-minute preprocessing pass (trace reading
+//! + microscopic description) buys instantaneous interaction afterwards.
+//! Ocelotl makes that economy durable by *caching the microscopic model on
+//! disk*; this module is that cache. An `.omm` file stores the complete
+//! [`MicroModel`] — hierarchy, states, time grid and the dense
+//! `d_x(s,t)` array — so a re-analysis session skips the (dominant) trace
+//! reading stage entirely, at any scale.
+//!
+//! Layout (all integers little-endian, strings `u32`-length-prefixed UTF-8):
+//!
+//! ```text
+//! magic   "OMM1"
+//! grid    f64 start, f64 end, u32 n_slices
+//! u32 n_nodes  { u32 parent+1 (0 = root), str kind, str name }*  (pre-order)
+//! u32 n_states { str name }*
+//! f64 durations[leaf][state][slice]                (dense, leaf-major)
+//! ```
+
+use crate::binary::{put_str, read_len_str};
+use crate::error::{FormatError, Result};
+use bytes::BufMut;
+use ocelotl_trace::{Hierarchy, HierarchyBuilder, LeafId, MicroModel, StateId, StateRegistry, TimeGrid};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"OMM1";
+
+/// Serialize a microscopic model.
+pub fn write_micro<W: Write>(model: &MicroModel, mut w: W) -> Result<()> {
+    let mut head = Vec::with_capacity(4096);
+    head.put_slice(MAGIC);
+    head.put_f64_le(model.grid().start());
+    head.put_f64_le(model.grid().end());
+    head.put_u32_le(model.n_slices() as u32);
+
+    let h = model.hierarchy();
+    head.put_u32_le(h.len() as u32);
+    for id in h.node_ids() {
+        head.put_u32_le(h.parent(id).map(|p| p.0 + 1).unwrap_or(0));
+        put_str(&mut head, h.kind(id));
+        put_str(&mut head, h.name(id));
+    }
+    head.put_u32_le(model.n_states() as u32);
+    for (_, name) in model.states().iter() {
+        put_str(&mut head, name);
+    }
+    w.write_all(&head)?;
+
+    // Dense durations, leaf-major (the model's own layout).
+    let mut row = Vec::with_capacity(model.n_slices() * 8);
+    for leaf in 0..model.n_leaves() {
+        for x in 0..model.n_states() {
+            row.clear();
+            for &d in model.series(LeafId(leaf as u32), StateId(x as u16)) {
+                row.put_f64_le(d);
+            }
+            w.write_all(&row)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a microscopic model.
+pub fn read_micro_cache<R: Read>(mut r: R) -> Result<MicroModel> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(FormatError::UnsupportedVersion(
+            String::from_utf8_lossy(&magic).into_owned(),
+        ));
+    }
+    let mut fixed = [0u8; 20];
+    r.read_exact(&mut fixed)?;
+    let start = f64::from_le_bytes(fixed[0..8].try_into().unwrap());
+    let end = f64::from_le_bytes(fixed[8..16].try_into().unwrap());
+    let n_slices = u32::from_le_bytes(fixed[16..20].try_into().unwrap()) as usize;
+    if !(start.is_finite() && end.is_finite()) || end <= start || n_slices == 0 {
+        return Err(FormatError::parse("invalid time grid", None));
+    }
+    let grid = TimeGrid::new(start, end, n_slices);
+
+    let hierarchy = read_hierarchy(&mut r)?;
+
+    let mut count = [0u8; 4];
+    r.read_exact(&mut count)?;
+    let n_states = u32::from_le_bytes(count);
+    if n_states == 0 || n_states > 1 << 16 {
+        return Err(FormatError::parse("invalid state count", None));
+    }
+    let mut states = StateRegistry::new();
+    for _ in 0..n_states {
+        states.intern(&read_len_str(&mut r)?);
+    }
+    if states.len() != n_states as usize {
+        return Err(FormatError::parse("duplicate state names", None));
+    }
+
+    let cells = hierarchy.n_leaves() * states.len() * n_slices;
+    let mut durations = vec![0.0f64; cells];
+    let mut buf = [0u8; 8];
+    for d in durations.iter_mut() {
+        r.read_exact(&mut buf)?;
+        let v = f64::from_le_bytes(buf);
+        if !v.is_finite() || v < 0.0 {
+            return Err(FormatError::parse("invalid duration cell", None));
+        }
+        *d = v;
+    }
+    Ok(MicroModel::from_dense(hierarchy, states, grid, durations))
+}
+
+fn read_hierarchy<R: Read>(r: &mut R) -> Result<Hierarchy> {
+    let mut count = [0u8; 4];
+    r.read_exact(&mut count)?;
+    let n_nodes = u32::from_le_bytes(count);
+    if n_nodes == 0 {
+        return Err(FormatError::parse("model has no hierarchy", None));
+    }
+    let mut builder: Option<HierarchyBuilder> = None;
+    let mut node_map = Vec::with_capacity((n_nodes as usize).min(1 << 16));
+    for i in 0..n_nodes {
+        r.read_exact(&mut count)?;
+        let parent = u32::from_le_bytes(count);
+        let kind = read_len_str(r)?;
+        let name = read_len_str(r)?;
+        if parent == 0 {
+            if builder.is_some() || i != 0 {
+                return Err(FormatError::parse("multiple or misplaced roots", None));
+            }
+            let b = HierarchyBuilder::new(&name, &kind);
+            node_map.push(b.root());
+            builder = Some(b);
+        } else {
+            let b = builder
+                .as_mut()
+                .ok_or_else(|| FormatError::parse("node before root", None))?;
+            let pnode = *node_map
+                .get((parent - 1) as usize)
+                .ok_or_else(|| FormatError::parse("parent id out of order", None))?;
+            node_map.push(b.add_child(pnode, &name, &kind));
+        }
+    }
+    builder
+        .unwrap()
+        .build()
+        .map_err(|e| FormatError::parse(format!("invalid hierarchy: {e}"), None))
+}
+
+/// Write a model to an `.omm` file.
+pub fn save_micro(model: &MicroModel, path: &Path) -> Result<()> {
+    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
+    write_micro(model, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a model from an `.omm` file.
+pub fn load_micro(path: &Path) -> Result<MicroModel> {
+    let r = BufReader::with_capacity(1 << 20, File::open(path)?);
+    read_micro_cache(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::synthetic::{fig3_model, random_model};
+
+    fn roundtrip(m: &MicroModel) -> MicroModel {
+        let mut buf = Vec::new();
+        write_micro(m, &mut buf).unwrap();
+        read_micro_cache(buf.as_slice()).unwrap()
+    }
+
+    fn assert_models_equal(a: &MicroModel, b: &MicroModel) {
+        assert_eq!(a.n_leaves(), b.n_leaves());
+        assert_eq!(a.n_states(), b.n_states());
+        assert_eq!(a.n_slices(), b.n_slices());
+        assert_eq!(a.grid().start(), b.grid().start());
+        assert_eq!(a.grid().end(), b.grid().end());
+        for leaf in 0..a.n_leaves() {
+            let l = LeafId(leaf as u32);
+            assert_eq!(
+                a.hierarchy().name(a.hierarchy().leaf_node(l)),
+                b.hierarchy().name(b.hierarchy().leaf_node(l))
+            );
+            for x in 0..a.n_states() {
+                let x = StateId(x as u16);
+                assert_eq!(a.series(l, x), b.series(l, x), "leaf {leaf}");
+            }
+        }
+        for (id, name) in a.states().iter() {
+            assert_eq!(b.states().name(id), name);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_fig3() {
+        let m = fig3_model();
+        assert_models_equal(&m, &roundtrip(&m));
+    }
+
+    #[test]
+    fn roundtrip_preserves_random_models() {
+        for seed in [1u64, 2, 3] {
+            let m = random_model(&[3, 2, 2], 11, 3, seed);
+            assert_models_equal(&m, &roundtrip(&m));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = fig3_model();
+        let path = std::env::temp_dir().join(format!("omm-test-{}.omm", std::process::id()));
+        save_micro(&m, &path).unwrap();
+        let back = load_micro(&path).unwrap();
+        assert_models_equal(&m, &back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        assert!(read_micro_cache(&b"BTF1aaaa"[..]).is_err());
+        assert!(read_micro_cache(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let m = random_model(&[2, 2], 5, 2, 4);
+        let mut buf = Vec::new();
+        write_micro(&m, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(read_micro_cache(&buf[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn nan_cell_rejected() {
+        let m = random_model(&[2], 3, 1, 9);
+        let mut buf = Vec::new();
+        write_micro(&m, &mut buf).unwrap();
+        let n = buf.len();
+        buf[n - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
+        let err = read_micro_cache(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("duration cell"), "{err}");
+    }
+
+    #[test]
+    fn zero_slices_rejected() {
+        let m = random_model(&[2], 3, 1, 9);
+        let mut buf = Vec::new();
+        write_micro(&m, &mut buf).unwrap();
+        buf[20..24].copy_from_slice(&0u32.to_le_bytes());
+        assert!(read_micro_cache(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn aggregation_agrees_after_reload() {
+        use ocelotl_core::{aggregate_default, AggregationInput};
+        let m = fig3_model();
+        let back = roundtrip(&m);
+        let a = AggregationInput::build(&m);
+        let b = AggregationInput::build(&back);
+        for p in [0.0, 0.4, 0.8] {
+            assert_eq!(
+                aggregate_default(&a, p).partition(&a),
+                aggregate_default(&b, p).partition(&b)
+            );
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Pajé trace format interop.
+//!
+//! Pajé is the trace format of the paper's tool family (Pajé, ViTE,
+//! PajeNG, Ocelotl). A Pajé trace starts with *event definitions* binding
+//! event kinds to numeric ids and field lists, followed by event records.
+//! This module writes a self-contained, ViTE-compatible subset —
+//! `PajeDefineContainerType`, `PajeDefineStateType`,
+//! `PajeDefineEntityValue`, `PajeCreateContainer`, `PajeSetState` — and
+//! reads the same subset back (tolerating unknown event kinds).
+//!
+//! State changes are emitted as `PajeSetState` at interval starts; an
+//! explicit idle value closes intervals that are followed by a gap, so the
+//! round-trip through the set-state model reproduces our interval model
+//! exactly for traces without overlapping states per resource.
+
+use crate::error::{FormatError, Result};
+use ocelotl_trace::{HierarchyBuilder, LeafId, StateId, Trace, TraceBuilder};
+#[cfg(test)]
+use ocelotl_trace::Hierarchy;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Numeric event ids used in the header definitions.
+mod ids {
+    pub const DEFINE_CONTAINER_TYPE: u32 = 0;
+    pub const DEFINE_STATE_TYPE: u32 = 1;
+    pub const DEFINE_ENTITY_VALUE: u32 = 2;
+    pub const CREATE_CONTAINER: u32 = 3;
+    pub const SET_STATE: u32 = 4;
+    pub const DESTROY_CONTAINER: u32 = 5;
+}
+
+/// The idle pseudo-state closing gaps between intervals.
+const IDLE: &str = "Idle";
+
+/// Write a trace as a Pajé event file.
+pub fn write_paje<W: Write>(trace: &Trace, mut w: W) -> Result<()> {
+    write_header(&mut w)?;
+
+    // Container type per hierarchy level kind, chained to the parent level.
+    let h = &trace.hierarchy;
+    let mut kinds: Vec<(String, Option<String>)> = Vec::new();
+    for id in h.node_ids() {
+        let kind = h.kind(id).to_string();
+        let parent_kind = h.parent(id).map(|p| h.kind(p).to_string());
+        if !kinds.iter().any(|(k, _)| *k == kind) {
+            kinds.push((kind, parent_kind));
+        }
+    }
+    for (kind, parent) in &kinds {
+        match parent {
+            None => writeln!(w, "{} CT_{kind} 0 \"{kind}\"", ids::DEFINE_CONTAINER_TYPE)?,
+            Some(p) => writeln!(w, "{} CT_{kind} CT_{p} \"{kind}\"", ids::DEFINE_CONTAINER_TYPE)?,
+        }
+    }
+
+    // One state type on the leaf container type.
+    let leaf_kind = h.kind(h.leaf_node(LeafId(0)));
+    writeln!(w, "{} ST_state CT_{leaf_kind} \"State\"", ids::DEFINE_STATE_TYPE)?;
+    writeln!(w, "{} V_idle ST_state \"{IDLE}\" \"0.5 0.5 0.5\"", ids::DEFINE_ENTITY_VALUE)?;
+    for (sid, name) in trace.states.iter() {
+        writeln!(
+            w,
+            "{} V_{} ST_state \"{}\" \"0 0 0\"",
+            ids::DEFINE_ENTITY_VALUE,
+            sid.index(),
+            name
+        )?;
+    }
+
+    // Containers, pre-order (parents first): alias = node index.
+    for id in h.node_ids() {
+        let alias = format!("C{}", id.0);
+        match h.parent(id) {
+            None => writeln!(
+                w,
+                "{} 0.0 {alias} CT_{} 0 \"{}\"",
+                ids::CREATE_CONTAINER,
+                h.kind(id),
+                h.name(id)
+            )?,
+            Some(p) => writeln!(
+                w,
+                "{} 0.0 {alias} CT_{} C{} \"{}\"",
+                ids::CREATE_CONTAINER,
+                h.kind(id),
+                p.0,
+                h.name(id)
+            )?,
+        }
+    }
+
+    // State changes per resource, time-ordered, with idle fillers.
+    let mut per_leaf: Vec<Vec<(f64, f64, StateId)>> = vec![Vec::new(); h.n_leaves()];
+    for iv in &trace.intervals {
+        per_leaf[iv.resource.index()].push((iv.begin, iv.end, iv.state));
+    }
+    for (leaf, ivs) in per_leaf.iter_mut().enumerate() {
+        ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let node = h.leaf_node(LeafId(leaf as u32));
+        let alias = format!("C{}", node.0);
+        let mut cursor = f64::NEG_INFINITY;
+        for &(begin, end, state) in ivs.iter() {
+            if begin > cursor && cursor != f64::NEG_INFINITY {
+                writeln!(w, "{} {cursor} ST_state {alias} V_idle", ids::SET_STATE)?;
+            }
+            writeln!(
+                w,
+                "{} {begin} ST_state {alias} V_{}",
+                ids::SET_STATE,
+                state.index()
+            )?;
+            cursor = end;
+        }
+        if cursor != f64::NEG_INFINITY {
+            writeln!(w, "{} {cursor} ST_state {alias} V_idle", ids::SET_STATE)?;
+        }
+    }
+
+    // Destroy containers at the trace end (ViTE likes closure),
+    // children before parents.
+    if let Some((_, hi)) = trace.time_range() {
+        let ids: Vec<_> = h.node_ids().collect();
+        for id in ids.into_iter().rev() {
+            writeln!(
+                w,
+                "{} {hi} C{} CT_{}",
+                ids::DESTROY_CONTAINER,
+                id.0,
+                h.kind(id)
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn write_header<W: Write>(w: &mut W) -> Result<()> {
+    let defs = [
+        (
+            ids::DEFINE_CONTAINER_TYPE,
+            "PajeDefineContainerType",
+            vec![("Alias", "string"), ("Type", "string"), ("Name", "string")],
+        ),
+        (
+            ids::DEFINE_STATE_TYPE,
+            "PajeDefineStateType",
+            vec![("Alias", "string"), ("Type", "string"), ("Name", "string")],
+        ),
+        (
+            ids::DEFINE_ENTITY_VALUE,
+            "PajeDefineEntityValue",
+            vec![
+                ("Alias", "string"),
+                ("Type", "string"),
+                ("Name", "string"),
+                ("Color", "color"),
+            ],
+        ),
+        (
+            ids::CREATE_CONTAINER,
+            "PajeCreateContainer",
+            vec![
+                ("Time", "date"),
+                ("Alias", "string"),
+                ("Type", "string"),
+                ("Container", "string"),
+                ("Name", "string"),
+            ],
+        ),
+        (
+            ids::SET_STATE,
+            "PajeSetState",
+            vec![
+                ("Time", "date"),
+                ("Type", "string"),
+                ("Container", "string"),
+                ("Value", "string"),
+            ],
+        ),
+        (
+            ids::DESTROY_CONTAINER,
+            "PajeDestroyContainer",
+            vec![("Time", "date"), ("Name", "string"), ("Type", "string")],
+        ),
+    ];
+    for (id, name, fields) in defs {
+        writeln!(w, "%EventDef {name} {id}")?;
+        for (fname, ftype) in fields {
+            writeln!(w, "%    {fname} {ftype}")?;
+        }
+        writeln!(w, "%EndEventDef")?;
+    }
+    Ok(())
+}
+
+/// Read the Pajé subset written by [`write_paje`] back into a [`Trace`].
+///
+/// Unknown event kinds (defined in the header but not in our subset) are
+/// skipped. The idle pseudo-state is dropped; consecutive `PajeSetState`
+/// records delimit intervals.
+pub fn read_paje<R: BufRead>(r: R) -> Result<Trace> {
+    let mut set_state_id: Option<u32> = None;
+    let mut create_container_id: Option<u32> = None;
+    let mut define_value_id: Option<u32> = None;
+    let mut known: HashMap<u32, String> = HashMap::new();
+
+    let mut builder: Option<HierarchyBuilder> = None;
+    let mut alias_to_node: HashMap<String, ocelotl_trace::NodeId> = HashMap::new();
+    let mut value_names: HashMap<String, String> = HashMap::new();
+    let mut timelines: HashMap<String, Vec<(f64, String)>> = HashMap::new();
+
+    let mut in_def: Option<(u32, String)> = None;
+    for (line_no, line) in r.lines().enumerate() {
+        let line = line?;
+        let l = line.trim();
+        if l.is_empty() {
+            continue;
+        }
+        let err = |m: &str| FormatError::parse(m.to_string(), Some(line_no as u64 + 1));
+
+        if let Some(rest) = l.strip_prefix("%EventDef ") {
+            let mut it = rest.split_ascii_whitespace();
+            let name = it.next().ok_or_else(|| err("missing event name"))?;
+            let id: u32 = it
+                .next()
+                .ok_or_else(|| err("missing event id"))?
+                .parse()
+                .map_err(|_| err("bad event id"))?;
+            in_def = Some((id, name.to_string()));
+            continue;
+        }
+        if l == "%EndEventDef" {
+            if let Some((id, name)) = in_def.take() {
+                match name.as_str() {
+                    "PajeSetState" => set_state_id = Some(id),
+                    "PajeCreateContainer" => create_container_id = Some(id),
+                    "PajeDefineEntityValue" => define_value_id = Some(id),
+                    _ => {}
+                }
+                known.insert(id, name);
+            }
+            continue;
+        }
+        if l.starts_with('%') {
+            continue; // field definition or comment
+        }
+
+        let mut it = l.split_ascii_whitespace();
+        let id: u32 = it
+            .next()
+            .ok_or_else(|| err("empty record"))?
+            .parse()
+            .map_err(|_| err("bad record id"))?;
+        if Some(id) == create_container_id {
+            // Time Alias Type Container "Name"
+            let _time = it.next().ok_or_else(|| err("missing time"))?;
+            let alias = it.next().ok_or_else(|| err("missing alias"))?.to_string();
+            let ctype = it.next().ok_or_else(|| err("missing type"))?;
+            let parent = it.next().ok_or_else(|| err("missing parent"))?.to_string();
+            let name = l
+                .split('"')
+                .nth(1)
+                .ok_or_else(|| err("missing quoted name"))?
+                .to_string();
+            let kind = ctype.strip_prefix("CT_").unwrap_or(ctype).to_string();
+            if parent == "0" {
+                if builder.is_some() {
+                    return Err(err("multiple root containers"));
+                }
+                let b = HierarchyBuilder::new(&name, &kind);
+                alias_to_node.insert(alias, b.root());
+                builder = Some(b);
+            } else {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("container before root"))?;
+                let pnode = *alias_to_node
+                    .get(&parent)
+                    .ok_or_else(|| err("unknown parent container"))?;
+                let node = b.add_child(pnode, &name, &kind);
+                alias_to_node.insert(alias, node);
+            }
+        } else if Some(id) == define_value_id {
+            // Alias Type "Name" "Color"
+            let alias = it.next().ok_or_else(|| err("missing value alias"))?;
+            let name = l
+                .split('"')
+                .nth(1)
+                .ok_or_else(|| err("missing quoted value name"))?;
+            value_names.insert(alias.to_string(), name.to_string());
+        } else if Some(id) == set_state_id {
+            // Time Type Container Value
+            let time: f64 = it
+                .next()
+                .ok_or_else(|| err("missing time"))?
+                .parse()
+                .map_err(|_| err("bad time"))?;
+            if !time.is_finite() {
+                return Err(err("non-finite time"));
+            }
+            let _stype = it.next().ok_or_else(|| err("missing state type"))?;
+            let container = it.next().ok_or_else(|| err("missing container"))?;
+            let value = it.next().ok_or_else(|| err("missing value"))?;
+            timelines
+                .entry(container.to_string())
+                .or_default()
+                .push((time, value.to_string()));
+        } else if known.contains_key(&id) {
+            // Known but unsupported kind: skip.
+        } else {
+            return Err(err("record references undefined event id"));
+        }
+    }
+
+    let hierarchy = builder
+        .ok_or_else(|| FormatError::parse("no containers in Pajé trace", None))?
+        .build()
+        .map_err(|e| FormatError::parse(format!("invalid hierarchy: {e}"), None))?;
+
+    // Convert the per-container set-state timelines into intervals.
+    let mut tb = TraceBuilder::new(hierarchy);
+    let mut distinct_states = std::collections::HashSet::new();
+    let mut sorted: Vec<(String, Vec<(f64, String)>)> = timelines.into_iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    for (alias, mut tl) in sorted {
+        let node = *alias_to_node
+            .get(&alias)
+            .ok_or_else(|| FormatError::parse("state on unknown container", None))?;
+        let leaf = tb
+            .hierarchy()
+            .leaf_of(node)
+            .ok_or_else(|| FormatError::parse("state on non-leaf container", None))?;
+        tl.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in tl.windows(2) {
+            let (t0, ref v0) = w[0];
+            let (t1, _) = w[1];
+            let name = match value_names.get(v0) {
+                Some(n) => n.clone(),
+                None => v0.clone(),
+            };
+            if name == IDLE || t1 <= t0 {
+                continue;
+            }
+            distinct_states.insert(name.clone());
+            if distinct_states.len() > 1 << 16 {
+                return Err(FormatError::parse(
+                    "state count exceeds the u16 id space",
+                    None,
+                ));
+            }
+            let state = tb.state(&name);
+            tb.push_state(leaf, state, t0, t1);
+        }
+        // The final set-state has no successor: by convention it is the
+        // trailing idle marker the writer emits, so nothing is lost.
+    }
+    Ok(tb.build())
+}
+
+/// Self-describing hierarchy used by tests.
+#[cfg(test)]
+fn sample_hierarchy() -> Hierarchy {
+    let mut b = HierarchyBuilder::new("site", "site");
+    let c = b.add_child(b.root(), "cl", "cluster");
+    b.add_child(c, "m0", "machine");
+    b.add_child(c, "m1", "machine");
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::TraceBuilder;
+
+    #[test]
+    fn roundtrip_preserves_hierarchy_and_intervals() {
+        let mut tb = TraceBuilder::new(sample_hierarchy());
+        let s = tb.state("MPI_Send");
+        let wct = tb.state("MPI_Wait");
+        tb.push_state(LeafId(0), s, 0.0, 1.0);
+        tb.push_state(LeafId(0), wct, 1.0, 2.5); // back-to-back
+        tb.push_state(LeafId(0), s, 4.0, 5.0); // after a gap
+        tb.push_state(LeafId(1), wct, 0.5, 1.5);
+        let trace = tb.build();
+
+        let mut buf = Vec::new();
+        write_paje(&trace, &mut buf).unwrap();
+        let back = read_paje(buf.as_slice()).unwrap();
+
+        assert_eq!(back.hierarchy.len(), trace.hierarchy.len());
+        for id in trace.hierarchy.node_ids() {
+            assert_eq!(trace.hierarchy.path(id), back.hierarchy.path(id));
+            assert_eq!(trace.hierarchy.kind(id), back.hierarchy.kind(id));
+        }
+        // Intervals survive (state ids may be renumbered; compare by name).
+        assert_eq!(back.intervals.len(), trace.intervals.len());
+        let named = |t: &Trace| {
+            let mut v: Vec<(u32, String, f64, f64)> = t
+                .intervals
+                .iter()
+                .map(|iv| {
+                    (
+                        iv.resource.0,
+                        t.states.name(iv.state).to_string(),
+                        iv.begin,
+                        iv.end,
+                    )
+                })
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        assert_eq!(named(&trace), named(&back));
+    }
+
+    #[test]
+    fn reader_skips_unknown_event_kinds() {
+        let mut tb = TraceBuilder::new(sample_hierarchy());
+        let s = tb.state("X");
+        tb.push_state(LeafId(0), s, 0.0, 1.0);
+        let trace = tb.build();
+        let mut buf = Vec::new();
+        write_paje(&trace, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // Inject an extra definition + record of an unsupported kind.
+        text = text.replace(
+            "%EventDef PajeSetState 4",
+            "%EventDef PajeNewEvent 9\n%    Time date\n%EndEventDef\n%EventDef PajeSetState 4",
+        );
+        text.push_str("9 3.0 whatever\n");
+        let back = read_paje(text.as_bytes()).unwrap();
+        assert_eq!(back.intervals.len(), 1);
+    }
+
+    #[test]
+    fn reader_rejects_undefined_event_ids() {
+        let text = "%EventDef PajeSetState 4\n%EndEventDef\n77 1.0 x y\n";
+        assert!(read_paje(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_traces_without_containers() {
+        let text = "%EventDef PajeSetState 4\n%EndEventDef\n";
+        assert!(read_paje(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn writes_event_definitions_and_records() {
+        let mut tb = TraceBuilder::new(sample_hierarchy());
+        let s = tb.state("MPI_Send");
+        tb.push_state(LeafId(0), s, 0.0, 1.0);
+        tb.push_state(LeafId(0), s, 2.0, 3.0);
+        tb.push_state(LeafId(1), s, 0.5, 1.5);
+        let trace = tb.build();
+        let mut buf = Vec::new();
+        write_paje(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("%EventDef PajeSetState 4"));
+        assert!(text.contains("PajeDefineContainerType"));
+        // Gap between the two intervals of leaf 0 closed by an idle state.
+        assert!(text.contains("V_idle"));
+        // Three set-states for real states.
+        assert_eq!(text.matches("V_0\n").count(), 3);
+        // Containers for all 4 nodes.
+        assert_eq!(text.matches("\n3 0.0 C").count(), 4);
+    }
+}

@@ -1,0 +1,540 @@
+//! PTF — a Paje-inspired plain-text trace format.
+//!
+//! Line-oriented, self-describing, diff-friendly. Layout:
+//!
+//! ```text
+//! %PTF 1
+//! %range <t_min> <t_max>
+//! %meta <key> <value…>
+//! %node <id> <parent-id|-> <kind> <name>     (pre-order; ids are dense)
+//! %state <id> <name>
+//! S <resource> <state> <begin> <end>          (state interval)
+//! P <resource> <time> M                       (marker point event)
+//! P <resource> <time> S <peer>                (message send)
+//! P <resource> <time> R <peer>                (message recv)
+//! ```
+//!
+//! Node records must appear in pre-order (parents before children), which is
+//! exactly how the writer emits them; leaf numbering is then reproduced by
+//! the `HierarchyBuilder`'s DFS renumbering, so resource indices round-trip.
+
+use crate::error::{FormatError, Result};
+use ocelotl_trace::{
+    Hierarchy, HierarchyBuilder, LeafId, MicroBuilder, MicroModel, NodeId, PointEvent, PointKind,
+    StateId, StateRegistry, TimeGrid, Trace, TraceBuilder,
+};
+use std::io::{BufRead, Write};
+
+const MAGIC: &str = "%PTF 1";
+
+/// Write a trace in PTF text format.
+pub fn write_text<W: Write>(trace: &Trace, mut w: W) -> Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    if let Some((lo, hi)) = trace.time_range() {
+        writeln!(w, "%range {lo} {hi}")?;
+    }
+    for (k, v) in &trace.metadata {
+        writeln!(w, "%meta {k} {v}")?;
+    }
+    write_hierarchy(&trace.hierarchy, &mut w)?;
+    for (id, name) in trace.states.iter() {
+        writeln!(w, "%state {} {}", id.index(), name)?;
+    }
+    for iv in &trace.intervals {
+        writeln!(
+            w,
+            "S {} {} {} {}",
+            iv.resource.0,
+            iv.state.index(),
+            iv.begin,
+            iv.end
+        )?;
+    }
+    for p in &trace.points {
+        match p.kind {
+            PointKind::Marker => writeln!(w, "P {} {} M", p.resource.0, p.time)?,
+            PointKind::MsgSend { peer } => {
+                writeln!(w, "P {} {} S {}", p.resource.0, p.time, peer.0)?
+            }
+            PointKind::MsgRecv { peer } => {
+                writeln!(w, "P {} {} R {}", p.resource.0, p.time, peer.0)?
+            }
+        }
+    }
+    Ok(())
+}
+
+fn write_hierarchy<W: Write>(h: &Hierarchy, w: &mut W) -> Result<()> {
+    for id in h.node_ids() {
+        match h.parent(id) {
+            None => writeln!(w, "%node {} - {} {}", id.0, h.kind(id), h.name(id))?,
+            Some(p) => writeln!(w, "%node {} {} {} {}", id.0, p.0, h.kind(id), h.name(id))?,
+        }
+    }
+    Ok(())
+}
+
+/// Incremental PTF parser driving arbitrary event sinks.
+///
+/// [`read_text`] materializes a full [`Trace`]; [`stream_text_micro`] feeds
+/// events straight into a [`MicroBuilder`] without storing them — this is
+/// the paper's two-stage pipeline (trace reading → microscopic description).
+struct TextParser {
+    hierarchy_builder: Option<HierarchyBuilder>,
+    node_map: Vec<NodeId>,
+    states: StateRegistry,
+    state_map: Vec<StateId>,
+    metadata: Vec<(String, String)>,
+    range: Option<(f64, f64)>,
+    line_no: u64,
+}
+
+impl TextParser {
+    fn new() -> Self {
+        Self {
+            hierarchy_builder: None,
+            node_map: Vec::new(),
+            states: StateRegistry::new(),
+            state_map: Vec::new(),
+            metadata: Vec::new(),
+            range: None,
+            line_no: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> FormatError {
+        FormatError::parse(msg, Some(self.line_no))
+    }
+
+    /// Handle one header/metadata line; returns false if the line is an
+    /// event record (to be handled by the caller).
+    fn header_line(&mut self, line: &str) -> Result<bool> {
+        if let Some(rest) = line.strip_prefix("%range ") {
+            let mut it = rest.split_ascii_whitespace();
+            let lo = self.parse_f64(it.next())?;
+            let hi = self.parse_f64(it.next())?;
+            self.range = Some((lo, hi));
+            return Ok(true);
+        }
+        if let Some(rest) = line.strip_prefix("%meta ") {
+            let mut it = rest.splitn(2, ' ');
+            let k = it.next().unwrap_or_default().to_string();
+            let v = it.next().unwrap_or_default().to_string();
+            self.metadata.push((k, v));
+            return Ok(true);
+        }
+        if let Some(rest) = line.strip_prefix("%node ") {
+            self.node_line(rest)?;
+            return Ok(true);
+        }
+        if let Some(rest) = line.strip_prefix("%state ") {
+            let mut it = rest.splitn(2, ' ');
+            let id: usize = self.parse_usize(it.next())?;
+            let name = it.next().ok_or_else(|| self.err("missing state name"))?;
+            if self.states.len() >= (1 << 16) && self.states.get(name).is_none() {
+                return Err(self.err("state count exceeds the u16 id space"));
+            }
+            let sid = self.states.intern(name);
+            if self.state_map.len() != id {
+                return Err(self.err(format!(
+                    "state ids must be dense and in order (got {id}, expected {})",
+                    self.state_map.len()
+                )));
+            }
+            self.state_map.push(sid);
+            return Ok(true);
+        }
+        if line.starts_with('%') {
+            // Unknown directive: tolerated for forward compatibility.
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn node_line(&mut self, rest: &str) -> Result<()> {
+        let mut it = rest.splitn(4, ' ');
+        let id = self.parse_usize(it.next())?;
+        let parent = it.next().ok_or_else(|| self.err("missing parent"))?;
+        let kind = it
+            .next()
+            .ok_or_else(|| self.err("missing node kind"))?
+            .to_string();
+        let name = it
+            .next()
+            .ok_or_else(|| self.err("missing node name"))?
+            .to_string();
+        if parent == "-" {
+            if self.hierarchy_builder.is_some() {
+                return Err(self.err("multiple root nodes"));
+            }
+            if id != 0 {
+                return Err(self.err("root node must have id 0"));
+            }
+            let b = HierarchyBuilder::new(&name, &kind);
+            self.node_map.push(b.root());
+            self.hierarchy_builder = Some(b);
+        } else {
+            let pid: usize = parent
+                .parse()
+                .map_err(|_| self.err(format!("bad parent id {parent:?}")))?;
+            let b = self
+                .hierarchy_builder
+                .as_mut()
+                .ok_or_else(|| FormatError::parse("node before root", None))?;
+            let pnode = *self
+                .node_map
+                .get(pid)
+                .ok_or_else(|| FormatError::parse("parent id out of order", None))?;
+            if id != self.node_map.len() {
+                return Err(FormatError::parse(
+                    format!("node ids must be dense pre-order (got {id})"),
+                    None,
+                ));
+            }
+            let nid = b.add_child(pnode, &name, &kind);
+            self.node_map.push(nid);
+        }
+        Ok(())
+    }
+
+    fn parse_usize(&self, tok: Option<&str>) -> Result<usize> {
+        tok.ok_or_else(|| self.err("missing integer field"))?
+            .parse()
+            .map_err(|_| self.err("bad integer field"))
+    }
+
+    fn parse_u32(&self, tok: Option<&str>) -> Result<u32> {
+        tok.ok_or_else(|| self.err("missing integer field"))?
+            .parse()
+            .map_err(|_| self.err("bad integer field"))
+    }
+
+    fn parse_f64(&self, tok: Option<&str>) -> Result<f64> {
+        let v: f64 = tok
+            .ok_or_else(|| self.err("missing float field"))?
+            .parse()
+            .map_err(|_| self.err("bad float field"))?;
+        // `"NaN"`/`"inf"` parse successfully but poison every downstream
+        // comparison (a NaN interval passes `end < begin` yet violates the
+        // builder's `end >= begin` contract).
+        if !v.is_finite() {
+            return Err(self.err("non-finite float field"));
+        }
+        Ok(v)
+    }
+
+    fn parse_state_interval(&self, rest: &str) -> Result<(LeafId, StateId, f64, f64)> {
+        let mut it = rest.split_ascii_whitespace();
+        let resource = LeafId(self.parse_u32(it.next())?);
+        let sidx = self.parse_usize(it.next())?;
+        let state = *self
+            .state_map
+            .get(sidx)
+            .ok_or_else(|| self.err(format!("unknown state id {sidx}")))?;
+        let begin = self.parse_f64(it.next())?;
+        let end = self.parse_f64(it.next())?;
+        if end < begin {
+            return Err(self.err("negative interval"));
+        }
+        Ok((resource, state, begin, end))
+    }
+
+    fn parse_point(&self, rest: &str) -> Result<PointEvent> {
+        let mut it = rest.split_ascii_whitespace();
+        let resource = LeafId(self.parse_u32(it.next())?);
+        let time = self.parse_f64(it.next())?;
+        let kind = match it.next() {
+            Some("M") => PointKind::Marker,
+            Some("S") => PointKind::MsgSend {
+                peer: LeafId(self.parse_u32(it.next())?),
+            },
+            Some("R") => PointKind::MsgRecv {
+                peer: LeafId(self.parse_u32(it.next())?),
+            },
+            other => return Err(self.err(format!("bad point kind {other:?}"))),
+        };
+        Ok(PointEvent {
+            resource,
+            time,
+            kind,
+        })
+    }
+
+    fn finish_hierarchy(&mut self) -> Result<Hierarchy> {
+        let b = self
+            .hierarchy_builder
+            .take()
+            .ok_or_else(|| FormatError::parse("trace has no hierarchy", None))?;
+        b.build()
+            .map_err(|e| FormatError::parse(format!("invalid hierarchy: {e}"), None))
+    }
+}
+
+fn check_magic<R: BufRead>(r: &mut R) -> Result<()> {
+    let mut first = String::new();
+    r.read_line(&mut first)?;
+    if first.trim_end() != MAGIC {
+        return Err(FormatError::UnsupportedVersion(
+            first.trim_end().to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Read a full PTF trace into memory.
+pub fn read_text<R: BufRead>(mut r: R) -> Result<Trace> {
+    check_magic(&mut r)?;
+    let mut p = TextParser::new();
+    p.line_no = 1;
+
+    let mut intervals = Vec::new();
+    let mut points = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        p.line_no += 1;
+        let l = line.trim_end();
+        if l.is_empty() {
+            continue;
+        }
+        if p.header_line(l)? {
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("S ") {
+            intervals.push(p.parse_state_interval(rest)?);
+        } else if let Some(rest) = l.strip_prefix("P ") {
+            points.push(p.parse_point(rest)?);
+        } else {
+            return Err(p.err(format!("unknown record {l:?}")));
+        }
+    }
+
+    let hierarchy = p.finish_hierarchy()?;
+    let n_leaves = hierarchy.n_leaves();
+    let mut b = TraceBuilder::new(hierarchy).with_states(p.states);
+    for (k, v) in p.metadata {
+        b.push_meta(&k, &v);
+    }
+    for (resource, state, begin, end) in intervals {
+        if resource.index() >= n_leaves {
+            return Err(FormatError::parse(
+                format!("resource {} out of range", resource.0),
+                None,
+            ));
+        }
+        b.push_state(resource, state, begin, end);
+    }
+    for ev in points {
+        if ev.resource.index() >= n_leaves {
+            return Err(FormatError::parse(
+                format!("resource {} out of range", ev.resource.0),
+                None,
+            ));
+        }
+        b.push_point(ev);
+    }
+    Ok(b.build())
+}
+
+/// Stream a PTF trace directly into a microscopic model with `n_slices`
+/// regular periods, without materializing the event list.
+///
+/// Requires the `%range` header (written by [`write_text`]); the returned
+/// model covers exactly that range.
+pub fn stream_text_micro<R: BufRead>(mut r: R, n_slices: usize) -> Result<MicroModel> {
+    check_magic(&mut r)?;
+    let mut p = TextParser::new();
+    p.line_no = 1;
+
+    // Phase 1: headers (until the first event record).
+    let mut mb: Option<MicroBuilder> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        p.line_no += 1;
+        let l = line.trim_end();
+        if l.is_empty() {
+            continue;
+        }
+        if p.header_line(l)? {
+            continue;
+        }
+        // First event record: freeze the header state.
+        if mb.is_none() {
+            let (lo, hi) = p
+                .range
+                .ok_or_else(|| FormatError::parse("missing %range header for streaming", None))?;
+            let hierarchy = p.finish_hierarchy()?;
+            let grid = TimeGrid::new(lo, hi, n_slices);
+            mb = Some(MicroBuilder::new(hierarchy, p.states.clone(), grid));
+        }
+        let mb = mb.as_mut().unwrap();
+        if let Some(rest) = l.strip_prefix("S ") {
+            let (resource, state, begin, end) = p.parse_state_interval(rest)?;
+            mb.add(resource, state, begin, end);
+        } else if l.starts_with("P ") {
+            // Point events do not contribute to the micro model.
+        } else {
+            return Err(p.err(format!("unknown record {l:?}")));
+        }
+    }
+
+    match mb {
+        Some(mb) => Ok(mb.finish()),
+        None => {
+            // No events at all: build an empty model if we can.
+            let (lo, hi) = p
+                .range
+                .ok_or_else(|| FormatError::parse("missing %range header for streaming", None))?;
+            let hierarchy = p.finish_hierarchy()?;
+            let grid = TimeGrid::new(lo, hi, n_slices);
+            Ok(MicroBuilder::new(hierarchy, p.states, grid).finish())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::Hierarchy;
+
+    fn sample_trace() -> Trace {
+        let mut b = HierarchyBuilder::new("site", "site");
+        let c0 = b.add_child(b.root(), "c0", "cluster");
+        let c1 = b.add_child(b.root(), "c1", "cluster");
+        b.add_child(c0, "m0", "machine");
+        b.add_child(c0, "m1", "machine");
+        b.add_child(c1, "m2", "machine");
+        let h = b.build().unwrap();
+        let mut tb = TraceBuilder::new(h);
+        let run = tb.state("Running");
+        let wait = tb.state("MPI_Wait");
+        tb.push_meta("app", "unit test");
+        tb.push_state(LeafId(0), run, 0.0, 1.5);
+        tb.push_state(LeafId(1), wait, 0.25, 2.0);
+        tb.push_state(LeafId(2), run, 1.0, 3.0);
+        tb.push_point(PointEvent {
+            resource: LeafId(0),
+            time: 0.5,
+            kind: PointKind::MsgSend { peer: LeafId(2) },
+        });
+        tb.push_point(PointEvent {
+            resource: LeafId(2),
+            time: 0.75,
+            kind: PointKind::MsgRecv { peer: LeafId(0) },
+        });
+        tb.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let t2 = read_text(buf.as_slice()).unwrap();
+        assert_eq!(t2.hierarchy.n_leaves(), 3);
+        assert_eq!(t2.hierarchy.len(), t.hierarchy.len());
+        assert_eq!(t2.states.len(), 2);
+        assert_eq!(t2.intervals, t.intervals);
+        assert_eq!(t2.points, t.points);
+        assert_eq!(t2.meta("app"), Some("unit test"));
+        assert_eq!(t2.time_range(), t.time_range());
+        // Node names/paths survive.
+        for id in t.hierarchy.node_ids() {
+            assert_eq!(t.hierarchy.path(id), t2.hierarchy.path(id));
+            assert_eq!(t.hierarchy.kind(id), t2.hierarchy.kind(id));
+        }
+    }
+
+    #[test]
+    fn float_precision_roundtrips_exactly() {
+        let h = Hierarchy::flat(1, "p");
+        let mut tb = TraceBuilder::new(h);
+        let s = tb.state("x");
+        let begin = 0.1 + 0.2; // 0.30000000000000004
+        let end = std::f64::consts::PI * 1e9;
+        tb.push_state(LeafId(0), s, begin, end);
+        let t = tb.build();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let t2 = read_text(buf.as_slice()).unwrap();
+        assert_eq!(t2.intervals[0].begin, begin);
+        assert_eq!(t2.intervals[0].end, end);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let e = read_text("%OTF 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, FormatError::UnsupportedVersion(_)));
+    }
+
+    #[test]
+    fn unknown_record_rejected_with_line_number() {
+        let src = "%PTF 1\n%node 0 - root r\nGARBAGE\n";
+        let e = read_text(src.as_bytes()).unwrap_err();
+        match e {
+            FormatError::Parse { position, .. } => assert_eq!(position, Some(3)),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_resource_rejected() {
+        let src = "%PTF 1\n%node 0 - root r\n%state 0 s\nS 7 0 0.0 1.0\n";
+        assert!(read_text(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unknown_state_rejected() {
+        let src = "%PTF 1\n%node 0 - root r\n%state 0 s\nS 0 3 0.0 1.0\n";
+        assert!(read_text(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unknown_directives_tolerated() {
+        let src = "%PTF 1\n%flavor vanilla\n%node 0 - root r\n%state 0 s\nS 0 0 0.0 1.0\n";
+        let t = read_text(src.as_bytes()).unwrap();
+        assert_eq!(t.intervals.len(), 1);
+    }
+
+    #[test]
+    fn streaming_micro_matches_batch() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let streamed = stream_text_micro(buf.as_slice(), 6).unwrap();
+        let batch = MicroModel::from_trace(&t, 6).unwrap();
+        assert_eq!(streamed.n_slices(), 6);
+        for s in 0..3u32 {
+            for x in 0..2u16 {
+                for t in 0..6 {
+                    let a = streamed.duration(LeafId(s), StateId(x), t);
+                    let b = batch.duration(LeafId(s), StateId(x), t);
+                    assert!((a - b).abs() < 1e-12, "cell ({s},{x},{t}): {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_requires_range_header() {
+        let src = "%PTF 1\n%node 0 - root r\n%state 0 s\nS 0 0 0.0 1.0\n";
+        assert!(stream_text_micro(src.as_bytes(), 4).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let t = TraceBuilder::new(Hierarchy::flat(2, "p")).build();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let t2 = read_text(buf.as_slice()).unwrap();
+        assert_eq!(t2.intervals.len(), 0);
+        assert_eq!(t2.hierarchy.n_leaves(), 2);
+    }
+}

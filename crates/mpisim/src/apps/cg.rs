@@ -1,0 +1,317 @@
+//! NAS CG communication skeleton (§V.A).
+//!
+//! NPB-CG solves an unstructured sparse linear system by conjugate
+//! gradients; its signature communication is a *transpose/butterfly
+//! exchange* between partner processes plus frequent small reductions.
+//! The skeleton reproduces the phase structure the paper's Fig. 1 shows:
+//!
+//! 1. `MPI_Init` (staggered, ≈1.6 s);
+//! 2. a short transition (setup computes + 2 allreduces, 1.6 s → 2.2 s);
+//! 3. the iterative computation phase: per inner iteration, two
+//!    cross-machine butterfly exchanges, an intra-machine reduction toward
+//!    a per-machine root (the paper observes "each 8-core machine has a
+//!    process dedicated to `MPI_wait` while the others mainly run
+//!    `MPI_send`" — our machine-group root), and per outer iteration a
+//!    global allreduce (residual norm).
+
+use crate::engine::Op;
+use crate::platform::Platform;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable shape of the CG skeleton.
+#[derive(Debug, Clone)]
+pub struct CgConfig {
+    /// Outer CG iterations (75 for class C).
+    pub outer_iters: usize,
+    /// Inner iterations per outer step (calibrated for Table II counts).
+    pub inner_iters: usize,
+    /// Base compute block per inner iteration (seconds).
+    pub compute_per_inner: f64,
+    /// Butterfly exchange payload (bytes).
+    pub exchange_bytes: u64,
+    /// Intra-machine reduction payload (bytes).
+    pub reduce_bytes: u64,
+    /// Base `MPI_Init` duration (seconds).
+    pub init_base: f64,
+    /// Global allreduce period, in outer iterations.
+    pub sync_every: usize,
+    /// RNG seed for per-rank jitter.
+    pub seed: u64,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        Self {
+            outer_iters: 75,
+            inner_iters: 59,
+            compute_per_inner: 1.55e-3,
+            exchange_bytes: 150_000,
+            reduce_bytes: 64,
+            init_base: 1.35,
+            sync_every: 3,
+            seed: 0xC6,
+        }
+    }
+}
+
+impl CgConfig {
+    /// Scale the iteration count while preserving the trace's wall-clock
+    /// span: fewer iterations, each proportionally longer — in compute *and*
+    /// in message volume, so the communication:computation ratio (and hence
+    /// the visibility of network perturbations) is scale-invariant.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let inner = ((self.inner_iters as f64 * scale).round() as usize).max(1);
+        let stretch = self.inner_iters as f64 / inner as f64;
+        self.compute_per_inner *= stretch;
+        self.exchange_bytes = (self.exchange_bytes as f64 * stretch) as u64;
+        self.reduce_bytes = (self.reduce_bytes as f64 * stretch) as u64;
+        self.inner_iters = inner;
+        self
+    }
+
+    /// Estimated total event count (2 per state interval) for `n` ranks.
+    pub fn estimated_events(&self, platform: &Platform) -> usize {
+        let n = platform.n_ranks;
+        let mut states = 0usize;
+        for rank in 0..n {
+            let per_inner = self.states_per_inner(platform, rank);
+            states += self.outer_iters * self.inner_iters * per_inner;
+            states += self.outer_iters.div_ceil(self.sync_every);
+            states += 1 + 4; // init + transition
+        }
+        states * 2
+    }
+
+    fn states_per_inner(&self, platform: &Platform, rank: usize) -> usize {
+        let n = platform.n_ranks;
+        let group = machine_group(platform, rank);
+        let exchanges = [butterfly(rank, n, 2), butterfly(rank, n, 4)]
+            .iter()
+            .filter(|p| p.is_some())
+            .count();
+        // compute + (send, wait) per exchange + gather role states.
+        let reduction = if group.root == rank {
+            group.members.len() - 1 // one MPI_Wait per member
+        } else {
+            1 // one MPI_Send to the root
+        };
+        1 + 2 * exchanges + reduction
+    }
+}
+
+/// Butterfly partner at distance `n / div`; `None` when out of range or the
+/// partner would be the rank itself.
+fn butterfly(rank: usize, n: usize, div: usize) -> Option<usize> {
+    if n < div {
+        return None;
+    }
+    let p = rank ^ (n / div);
+    (p != rank && p < n).then_some(p)
+}
+
+struct Group {
+    root: usize,
+    members: Vec<usize>,
+}
+
+/// Ranks co-located on the rank's machine; the lowest rank is the reduction
+/// root (the paper's per-machine "wait" process).
+fn machine_group(platform: &Platform, rank: usize) -> Group {
+    let m = platform.location(rank).machine;
+    let members = platform.ranks_on_machine(m);
+    Group {
+        root: members[0],
+        members,
+    }
+}
+
+/// Build the per-rank programs of the CG skeleton.
+pub fn build_programs(platform: &Platform, cfg: &CgConfig) -> Vec<Vec<Op>> {
+    let n = platform.n_ranks;
+    let mut programs = Vec::with_capacity(n);
+    for rank in 0..n {
+        // Per-rank deterministic jitter stream.
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (rank as u64).wrapping_mul(0x9E37));
+        let speed = platform.speed_of(rank);
+        let mut ops = Vec::new();
+
+        // 1. Init: staggered across machines + per-rank noise.
+        let stagger = 0.02 * (platform.location(rank).machine as f64);
+        ops.push(Op::Init {
+            duration: cfg.init_base + stagger + 0.1 * rng.random::<f64>(),
+        });
+
+        // 2. Transition into the computation phase (two setup allreduces).
+        for _ in 0..2 {
+            ops.push(Op::Compute {
+                duration: (0.12 + 0.05 * rng.random::<f64>()) / speed,
+            });
+            ops.push(Op::Allreduce { bytes: 8 });
+        }
+
+        // 3. Iterative computation.
+        let group = machine_group(platform, rank);
+        let partners: Vec<usize> = [butterfly(rank, n, 2), butterfly(rank, n, 4)]
+            .into_iter()
+            .flatten()
+            .collect();
+        for outer in 0..cfg.outer_iters {
+            for _inner in 0..cfg.inner_iters {
+                // Post receives and sends first, overlap the compute block
+                // with the transfers, then wait — NPB-CG's overlap pattern.
+                // Moderate delays are absorbed by the compute slack, so a
+                // network perturbation stalls mainly its direct victims.
+                for &p in &partners {
+                    ops.push(Op::Irecv { src: p as u32 });
+                    ops.push(Op::Send {
+                        dst: p as u32,
+                        bytes: cfg.exchange_bytes,
+                    });
+                }
+                ops.push(Op::Compute {
+                    duration: cfg.compute_per_inner * (0.9 + 0.2 * rng.random::<f64>()) / speed,
+                });
+                for _ in &partners {
+                    ops.push(Op::Wait);
+                }
+                // Intra-machine gather toward the machine root: members
+                // contribute and move on; the root collects the staggered
+                // arrivals — this is the per-machine process "dedicated to
+                // MPI_wait" the paper observes in Fig. 1.
+                if group.root == rank {
+                    for &m in &group.members {
+                        if m != rank {
+                            ops.push(Op::Irecv { src: m as u32 });
+                        }
+                    }
+                    for _ in 1..group.members.len() {
+                        ops.push(Op::Wait);
+                    }
+                } else {
+                    ops.push(Op::Send {
+                        dst: group.root as u32,
+                        bytes: cfg.reduce_bytes,
+                    });
+                }
+            }
+            // Residual norm, sparser than the paper's per-iteration
+            // reductions so local perturbations stay local.
+            if outer % cfg.sync_every == 0 {
+                ops.push(Op::Allreduce { bytes: 8 });
+            }
+        }
+        programs.push(ops);
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::network::Network;
+    use crate::platform::{CaseId, Nic};
+
+    fn tiny_cfg() -> CgConfig {
+        CgConfig {
+            outer_iters: 3,
+            inner_iters: 4,
+            ..CgConfig::default()
+        }
+    }
+
+    #[test]
+    fn programs_run_to_completion() {
+        let p = Platform::uniform(4, 4, Nic::Infiniband20G);
+        let net = Network::for_platform(&p);
+        let programs = build_programs(&p, &tiny_cfg());
+        let (trace, stats) = Engine::new(&p, &net, 1).run(programs, &[]);
+        assert!(stats.intervals > 0);
+        assert!(trace.check_invariants().is_ok());
+        // All six engine states appear.
+        for s in ["MPI_Init", "Compute", "MPI_Send", "MPI_Wait", "MPI_Allreduce"] {
+            assert!(trace.states.get(s).is_some(), "missing state {s}");
+        }
+    }
+
+    #[test]
+    fn machine_roots_are_wait_heavy() {
+        let p = Platform::uniform(4, 4, Nic::Infiniband20G);
+        let net = Network::for_platform(&p);
+        let programs = build_programs(&p, &tiny_cfg());
+        let (trace, _) = Engine::new(&p, &net, 1).run(programs, &[]);
+        let wait = trace.states.get("MPI_Wait").unwrap();
+        let wait_count = |rank: u32| {
+            trace
+                .intervals
+                .iter()
+                .filter(|iv| iv.resource == ocelotl_trace::LeafId(rank) && iv.state == wait)
+                .count()
+        };
+        // Rank 0 is the root of machine 0 (members 0..4): it posts 3 waits
+        // per inner iteration vs 1 for the members (plus exchange waits).
+        assert!(
+            wait_count(0) > wait_count(1),
+            "root {} vs member {}",
+            wait_count(0),
+            wait_count(1)
+        );
+    }
+
+    #[test]
+    fn butterfly_partners_are_symmetric() {
+        for n in [4usize, 8, 64, 512] {
+            for r in 0..n {
+                if let Some(p) = butterfly(r, n, 2) {
+                    assert_eq!(butterfly(p, n, 2), Some(r), "n={n} r={r}");
+                }
+                if let Some(p) = butterfly(r, n, 4) {
+                    assert_eq!(butterfly(p, n, 4), Some(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_events_match_simulation() {
+        let p = Platform::uniform(2, 4, Nic::Infiniband20G);
+        let cfg = tiny_cfg();
+        let programs = build_programs(&p, &cfg);
+        let net = Network::for_platform(&p);
+        let (trace, _) = Engine::new(&p, &net, 2).run(programs, &[]);
+        let estimated = cfg.estimated_events(&p);
+        let actual = trace.event_count();
+        let ratio = actual as f64 / estimated as f64;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "estimate {estimated} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn scaled_config_preserves_span() {
+        let cfg = CgConfig::default();
+        let scaled = cfg.clone().scaled(0.1);
+        assert!(scaled.inner_iters < cfg.inner_iters);
+        // Total compute per outer iteration is preserved.
+        let full = cfg.compute_per_inner * cfg.inner_iters as f64;
+        let red = scaled.compute_per_inner * scaled.inner_iters as f64;
+        assert!((full - red).abs() / full < 0.15);
+    }
+
+    #[test]
+    fn case_a_event_estimate_near_paper() {
+        // Table II case A: 3,838,144 events. The calibrated skeleton should
+        // land within 20 % at full scale.
+        let p = crate::platform::case_platform(CaseId::A);
+        let est = CgConfig::default().estimated_events(&p);
+        let paper = 3_838_144.0;
+        let ratio = est as f64 / paper;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "estimated {est} vs paper {paper}"
+        );
+    }
+}

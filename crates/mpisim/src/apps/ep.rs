@@ -1,0 +1,167 @@
+//! NAS EP (Embarrassingly Parallel) communication skeleton.
+//!
+//! EP generates pairs of Gaussian deviates independently on every rank and
+//! only communicates at the very end (a handful of small reductions for the
+//! tallied counts). It is the NPB's *negative control*: there is nothing to
+//! see, and a good overview should say so concisely.
+//!
+//! For the aggregation that makes EP the ideal sanity check: the optimal
+//! spatiotemporal partition of an unperturbed EP run collapses to a
+//! near-trivial number of aggregates (homogeneous compute everywhere, one
+//! short reduction tail), whereas CG/LU produce structured partitions.
+
+use crate::engine::Op;
+use crate::platform::Platform;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable shape of the EP skeleton.
+#[derive(Debug, Clone)]
+pub struct EpConfig {
+    /// Number of compute chunks per rank (the random-number batches).
+    pub blocks: usize,
+    /// Duration of one compute chunk (seconds).
+    pub compute_per_block: f64,
+    /// Base `MPI_Init` duration (seconds).
+    pub init_base: f64,
+    /// Number of terminal allreduces (sx, sy, and the 10 annulus counts
+    /// travel in 3 calls in the reference implementation).
+    pub final_reduces: usize,
+    /// Payload of each terminal reduction (bytes).
+    pub reduce_bytes: u64,
+    /// RNG seed for per-rank jitter.
+    pub seed: u64,
+}
+
+impl Default for EpConfig {
+    fn default() -> Self {
+        Self {
+            blocks: 48,
+            compute_per_block: 0.18,
+            init_base: 0.5,
+            final_reduces: 3,
+            reduce_bytes: 80,
+            seed: 0xE9,
+        }
+    }
+}
+
+impl EpConfig {
+    /// Scale the block count while preserving the wall-clock span (fewer,
+    /// proportionally longer chunks).
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let blocks = ((self.blocks as f64 * scale).round() as usize).max(1);
+        self.compute_per_block *= self.blocks as f64 / blocks as f64;
+        self.blocks = blocks;
+        self
+    }
+
+    /// Estimated total event count (2 per state interval) for the platform.
+    pub fn estimated_events(&self, platform: &Platform) -> usize {
+        let states_per_rank = 1 + self.blocks + self.final_reduces;
+        platform.n_ranks * states_per_rank * 2
+    }
+}
+
+/// Build the per-rank programs of the EP skeleton.
+pub fn build_programs(platform: &Platform, cfg: &EpConfig) -> Vec<Vec<Op>> {
+    let n = platform.n_ranks;
+    let mut programs = Vec::with_capacity(n);
+    for rank in 0..n {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (rank as u64).wrapping_mul(0x9E37));
+        let speed = platform.speed_of(rank);
+        let mut ops = Vec::with_capacity(1 + cfg.blocks + cfg.final_reduces);
+        ops.push(Op::Init {
+            duration: cfg.init_base + 0.05 * rng.random::<f64>(),
+        });
+        for _ in 0..cfg.blocks {
+            ops.push(Op::Compute {
+                duration: cfg.compute_per_block * (0.95 + 0.1 * rng.random::<f64>()) / speed,
+            });
+        }
+        for _ in 0..cfg.final_reduces {
+            ops.push(Op::Allreduce {
+                bytes: cfg.reduce_bytes,
+            });
+        }
+        programs.push(ops);
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::network::Network;
+    use crate::platform::Nic;
+
+    fn tiny() -> EpConfig {
+        EpConfig {
+            blocks: 6,
+            compute_per_block: 0.05,
+            ..EpConfig::default()
+        }
+    }
+
+    #[test]
+    fn programs_run_to_completion() {
+        let p = Platform::uniform(2, 4, Nic::Infiniband20G);
+        let net = Network::for_platform(&p);
+        let (trace, stats) = Engine::new(&p, &net, 1).run(build_programs(&p, &tiny()), &[]);
+        assert!(stats.intervals > 0);
+        assert!(trace.check_invariants().is_ok());
+        assert!(trace.states.get("MPI_Init").is_some());
+        assert!(trace.states.get("Compute").is_some());
+        assert!(trace.states.get("MPI_Allreduce").is_some());
+        // EP never sends point-to-point messages (the registry pre-interns
+        // the standard names; what matters is that no interval uses them).
+        for name in ["MPI_Send", "MPI_Wait", "MPI_Recv"] {
+            let sid = trace.states.get(name).unwrap();
+            assert!(
+                trace.intervals.iter().all(|iv| iv.state != sid),
+                "unexpected {name} interval in an EP trace"
+            );
+        }
+    }
+
+    #[test]
+    fn communication_fraction_is_negligible() {
+        let p = Platform::uniform(2, 4, Nic::Infiniband20G);
+        let net = Network::for_platform(&p);
+        let (trace, _) = Engine::new(&p, &net, 1).run(build_programs(&p, &tiny()), &[]);
+        let reduce = trace.states.get("MPI_Allreduce").unwrap();
+        let total: f64 = trace.intervals.iter().map(|iv| iv.duration()).sum();
+        let comm: f64 = trace
+            .intervals
+            .iter()
+            .filter(|iv| iv.state == reduce)
+            .map(|iv| iv.duration())
+            .sum();
+        assert!(
+            comm / total < 0.05,
+            "EP must be compute-bound (comm fraction {})",
+            comm / total
+        );
+    }
+
+    #[test]
+    fn estimated_events_match_simulation() {
+        let p = Platform::uniform(2, 4, Nic::Infiniband20G);
+        let cfg = tiny();
+        let net = Network::for_platform(&p);
+        let (trace, _) = Engine::new(&p, &net, 2).run(build_programs(&p, &cfg), &[]);
+        assert_eq!(trace.event_count(), cfg.estimated_events(&p));
+    }
+
+    #[test]
+    fn scaled_preserves_total_compute() {
+        let cfg = EpConfig::default();
+        let scaled = cfg.clone().scaled(0.25);
+        assert!(scaled.blocks < cfg.blocks);
+        let full = cfg.compute_per_block * cfg.blocks as f64;
+        let red = scaled.compute_per_block * scaled.blocks as f64;
+        assert!((full - red).abs() / full < 0.1);
+    }
+}

@@ -1,0 +1,195 @@
+//! NAS FT (3-D FFT) communication skeleton.
+//!
+//! NPB-FT computes a 3-D fast Fourier transform with a 1-D (slab)
+//! decomposition: each iteration performs local FFTs along two axes, then a
+//! **global transpose** — an all-to-all personalized exchange moving almost
+//! the entire working set across the network — followed by the FFT along
+//! the remaining axis and a small checksum reduction.
+//!
+//! FT is the communication-heaviest NPB kernel: the overview's signature is
+//! a computation phase dominated by broad `MPI_Alltoall` bands that widen
+//! on slow interconnects, making it the natural stress test for the
+//! engine's all-to-all collective.
+
+use crate::engine::Op;
+use crate::platform::Platform;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable shape of the FT skeleton.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// FFT iterations (class C runs 20).
+    pub iters: usize,
+    /// Bytes exchanged per rank pair in each transpose.
+    pub transpose_bytes: u64,
+    /// Local FFT compute before the transpose (two axes, seconds).
+    pub compute_pre: f64,
+    /// Local FFT compute after the transpose (one axis, seconds).
+    pub compute_post: f64,
+    /// Base `MPI_Init` duration (seconds).
+    pub init_base: f64,
+    /// RNG seed for per-rank jitter.
+    pub seed: u64,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        Self {
+            iters: 20,
+            transpose_bytes: 1 << 16,
+            compute_pre: 0.08,
+            compute_post: 0.04,
+            init_base: 0.7,
+            seed: 0xF7,
+        }
+    }
+}
+
+impl FtConfig {
+    /// Scale the iteration count while preserving the wall-clock span.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let iters = ((self.iters as f64 * scale).round() as usize).max(1);
+        let stretch = self.iters as f64 / iters as f64;
+        self.compute_pre *= stretch;
+        self.compute_post *= stretch;
+        self.transpose_bytes = (self.transpose_bytes as f64 * stretch) as u64;
+        self.iters = iters;
+        self
+    }
+
+    /// Estimated total event count (2 per state interval) for the platform.
+    pub fn estimated_events(&self, platform: &Platform) -> usize {
+        // Per rank per iteration: compute_pre + alltoall + compute_post +
+        // checksum allreduce = 4 states; plus init.
+        platform.n_ranks * (1 + self.iters * 4) * 2
+    }
+}
+
+/// Build the per-rank programs of the FT skeleton.
+pub fn build_programs(platform: &Platform, cfg: &FtConfig) -> Vec<Vec<Op>> {
+    let n = platform.n_ranks;
+    let mut programs = Vec::with_capacity(n);
+    for rank in 0..n {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (rank as u64).wrapping_mul(0x9E37));
+        let speed = platform.speed_of(rank);
+        let mut ops = Vec::with_capacity(1 + cfg.iters * 4);
+        ops.push(Op::Init {
+            duration: cfg.init_base + 0.05 * rng.random::<f64>(),
+        });
+        for _ in 0..cfg.iters {
+            ops.push(Op::Compute {
+                duration: cfg.compute_pre * (0.95 + 0.1 * rng.random::<f64>()) / speed,
+            });
+            ops.push(Op::Alltoall {
+                bytes: cfg.transpose_bytes,
+            });
+            ops.push(Op::Compute {
+                duration: cfg.compute_post * (0.95 + 0.1 * rng.random::<f64>()) / speed,
+            });
+            ops.push(Op::Allreduce { bytes: 16 }); // checksum
+        }
+        programs.push(ops);
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::network::Network;
+    use crate::platform::Nic;
+
+    fn tiny() -> FtConfig {
+        FtConfig {
+            iters: 4,
+            ..FtConfig::default()
+        }
+    }
+
+    #[test]
+    fn programs_run_to_completion() {
+        let p = Platform::uniform(2, 4, Nic::Infiniband20G);
+        let net = Network::for_platform(&p);
+        let (trace, stats) = Engine::new(&p, &net, 1).run(build_programs(&p, &tiny()), &[]);
+        assert!(stats.intervals > 0);
+        assert!(trace.check_invariants().is_ok());
+        let a2a = trace.states.get("MPI_Alltoall").unwrap();
+        let count = trace.intervals.iter().filter(|iv| iv.state == a2a).count();
+        assert_eq!(count, 8 * 4, "one alltoall interval per rank per iter");
+    }
+
+    #[test]
+    fn alltoall_completes_simultaneously_for_all_ranks() {
+        let p = Platform::uniform(2, 2, Nic::Infiniband20G);
+        let mut net = Network::for_platform(&p);
+        net.jitter = 0.0;
+        let (trace, _) = Engine::new(&p, &net, 1).run(build_programs(&p, &tiny()), &[]);
+        let a2a = trace.states.get("MPI_Alltoall").unwrap();
+        let mut ends: Vec<f64> = trace
+            .intervals
+            .iter()
+            .filter(|iv| iv.state == a2a)
+            .map(|iv| iv.end)
+            .collect();
+        ends.sort_by(f64::total_cmp);
+        ends.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        assert_eq!(ends.len(), 4, "4 iterations, one common end each");
+    }
+
+    #[test]
+    fn transpose_dominates_on_slow_networks() {
+        // The same program on a 10× slower interconnect must spend far more
+        // time in MPI_Alltoall — the FT signature the paper's heterogeneity
+        // discussion (Fig. 4) relies on.
+        let time_in_a2a = |nic: Nic| {
+            let p = Platform::uniform(2, 4, nic);
+            let mut net = Network::for_platform(&p);
+            net.jitter = 0.0;
+            // Make the transpose dominate: big payload, light compute (the
+            // interval durations include entry skew, which is network-
+            // independent and would otherwise dilute the contrast).
+            let cfg = FtConfig {
+                transpose_bytes: 1 << 22,
+                compute_pre: 0.01,
+                compute_post: 0.005,
+                ..tiny()
+            };
+            let (trace, _) = Engine::new(&p, &net, 1).run(build_programs(&p, &cfg), &[]);
+            let a2a = trace.states.get("MPI_Alltoall").unwrap();
+            trace
+                .intervals
+                .iter()
+                .filter(|iv| iv.state == a2a)
+                .map(|iv| iv.duration())
+                .sum::<f64>()
+        };
+        let fast = time_in_a2a(Nic::Infiniband20G);
+        let slow = time_in_a2a(Nic::TenGbE);
+        assert!(
+            slow > 1.5 * fast,
+            "slow network must inflate the transpose ({slow} vs {fast})"
+        );
+    }
+
+    #[test]
+    fn estimated_events_match_simulation() {
+        let p = Platform::uniform(2, 4, Nic::Infiniband20G);
+        let cfg = tiny();
+        let net = Network::for_platform(&p);
+        let (trace, _) = Engine::new(&p, &net, 2).run(build_programs(&p, &cfg), &[]);
+        assert_eq!(trace.event_count(), cfg.estimated_events(&p));
+    }
+
+    #[test]
+    fn scaled_preserves_total_compute() {
+        let cfg = FtConfig::default();
+        let scaled = cfg.clone().scaled(0.2);
+        assert!(scaled.iters < cfg.iters);
+        let full = (cfg.compute_pre + cfg.compute_post) * cfg.iters as f64;
+        let red = (scaled.compute_pre + scaled.compute_post) * scaled.iters as f64;
+        assert!((full - red).abs() / full < 0.1);
+    }
+}

@@ -1,0 +1,322 @@
+//! NAS LU communication skeleton (§V.B).
+//!
+//! NPB-LU solves a synthetic system of nonlinear PDEs with an SSOR kernel:
+//! lower- and upper-triangular sweeps pipelined as a *wavefront* over a 2-D
+//! process grid, exchanging small faces with the four neighbors at every
+//! k-plane. The skeleton reproduces the structure of the paper's Fig. 4:
+//!
+//! 1. a long `MPI_Init` (≈17.5 s for class C at 700 processes);
+//! 2. a spatially-heterogeneous `MPI_Allreduce` setup phase (≈2.5 s);
+//! 3. the SSOR iterations: per iteration, a `blts` wavefront from the
+//!    north-west corner and a `buts` wavefront from the south-east corner,
+//!    with a residual-norm allreduce every few iterations.
+
+use crate::engine::Op;
+use crate::platform::Platform;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable shape of the LU skeleton.
+#[derive(Debug, Clone)]
+pub struct LuConfig {
+    /// SSOR iterations (`itmax`, 250 for class B/C).
+    pub itmax: usize,
+    /// k-planes per sweep (calibrated for Table II event counts).
+    pub nz: usize,
+    /// Base compute block per k-plane (seconds).
+    pub compute_per_k: f64,
+    /// Neighbor-face payload (bytes).
+    pub face_bytes: u64,
+    /// Base `MPI_Init` duration (seconds).
+    pub init_base: f64,
+    /// Allreduce period (iterations).
+    pub allreduce_every: usize,
+    /// Index of the cluster whose per-rank compute speed is heterogeneous
+    /// (graphite in case C), if any.
+    pub heterogeneous_cluster: Option<usize>,
+    /// RNG seed for per-rank jitter.
+    pub seed: u64,
+}
+
+impl Default for LuConfig {
+    fn default() -> Self {
+        Self {
+            itmax: 250,
+            nz: 64,
+            compute_per_k: 1.0e-3,
+            face_bytes: 2_000,
+            init_base: 16.8,
+            allreduce_every: 5,
+            heterogeneous_cluster: None,
+            seed: 0x1B,
+        }
+    }
+}
+
+impl LuConfig {
+    /// Scale the iteration count while preserving the wall-clock span —
+    /// in compute *and* in message volume (see `CgConfig::scaled`).
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let itmax = ((self.itmax as f64 * scale).round() as usize).max(1);
+        let stretch = self.itmax as f64 / itmax as f64;
+        self.compute_per_k *= stretch;
+        self.face_bytes = (self.face_bytes as f64 * stretch) as u64;
+        self.itmax = itmax;
+        self.allreduce_every = self.allreduce_every.clamp(1, itmax);
+        self
+    }
+
+    /// Estimated total event count (2 per state interval) for the platform.
+    pub fn estimated_events(&self, platform: &Platform) -> usize {
+        let n = platform.n_ranks;
+        let (nx, ny) = process_grid(n);
+        let mut states = 0usize;
+        for rank in 0..n {
+            let (i, j) = (rank % nx, rank / nx);
+            // blts neighbors: north (j-1) and west (i-1) in, south/east out;
+            // buts is symmetric. Per k-plane each sweep emits one MPI_Wait
+            // per inbound neighbor, one Compute, one MPI_Send per outbound
+            // neighbor (Irecv posts are invisible).
+            let blts_in = (j > 0) as usize + (i > 0) as usize;
+            let blts_out = (j + 1 < ny) as usize + (i + 1 < nx) as usize;
+            let per_k = 2 + 2 * (blts_in + blts_out);
+            let allreduces = self.itmax.div_ceil(self.allreduce_every);
+            states += self.itmax * self.nz * per_k + allreduces;
+            states += 1 + 4; // init + setup phase
+        }
+        states * 2
+    }
+}
+
+/// Factor `n` into the most square `nx × ny` grid (NPB LU uses a 2-D
+/// decomposition).
+pub fn process_grid(n: usize) -> (usize, usize) {
+    let mut best = (1, n);
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = (d, n / d);
+        }
+        d += 1;
+    }
+    (best.1, best.0) // nx ≥ ny
+}
+
+/// Build the per-rank programs of the LU skeleton.
+pub fn build_programs(platform: &Platform, cfg: &LuConfig) -> Vec<Vec<Op>> {
+    let n = platform.n_ranks;
+    let (nx, ny) = process_grid(n);
+    let mut programs = Vec::with_capacity(n);
+
+    for rank in 0..n {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (rank as u64).wrapping_mul(0x51D));
+        let loc = platform.location(rank);
+        let mut speed = platform.speed_of(rank);
+        // Heterogeneous cluster: per-rank multipliers emulate memory/cache
+        // contention on many-core nodes (graphite's 16 cores/machine).
+        if cfg.heterogeneous_cluster == Some(loc.cluster) {
+            speed *= 0.55 + 0.55 * rng.random::<f64>();
+        }
+
+        let (i, j) = (rank % nx, rank / nx);
+        let north = (j > 0).then(|| rank - nx);
+        let south = (j + 1 < ny).then(|| rank + nx);
+        let west = (i > 0).then(|| rank - 1);
+        let east = (i + 1 < nx).then(|| rank + 1);
+
+        let mut ops = Vec::new();
+        // 1. Long init (staggered by machine, noisy per rank).
+        ops.push(Op::Init {
+            duration: cfg.init_base
+                + 0.01 * loc.machine as f64
+                + 0.6 * rng.random::<f64>(),
+        });
+        // 2. Setup phase: heterogeneous computes + 2 allreduces.
+        for _ in 0..2 {
+            ops.push(Op::Compute {
+                duration: (0.4 + 0.8 * rng.random::<f64>()) / speed,
+            });
+            ops.push(Op::Allreduce { bytes: 40 });
+        }
+        // 3. SSOR iterations.
+        for it in 0..cfg.itmax {
+            // blts: wavefront from the north-west corner.
+            sweep(
+                &mut ops,
+                cfg,
+                &mut rng,
+                speed,
+                [north, west],
+                [south, east],
+            );
+            // buts: wavefront back from the south-east corner.
+            sweep(
+                &mut ops,
+                cfg,
+                &mut rng,
+                speed,
+                [south, east],
+                [north, west],
+            );
+            if it % cfg.allreduce_every == 0 {
+                ops.push(Op::Allreduce { bytes: 40 });
+            }
+        }
+        programs.push(ops);
+    }
+    programs
+}
+
+fn sweep(
+    ops: &mut Vec<Op>,
+    cfg: &LuConfig,
+    rng: &mut SmallRng,
+    speed: f64,
+    recv_from: [Option<usize>; 2],
+    send_to: [Option<usize>; 2],
+) {
+    for _k in 0..cfg.nz {
+        for src in recv_from.into_iter().flatten() {
+            ops.push(Op::Irecv { src: src as u32 });
+        }
+        for _ in recv_from.into_iter().flatten() {
+            ops.push(Op::Wait);
+        }
+        ops.push(Op::Compute {
+            duration: cfg.compute_per_k * (0.9 + 0.2 * rng.random::<f64>()) / speed,
+        });
+        for dst in send_to.into_iter().flatten() {
+            ops.push(Op::Send {
+                dst: dst as u32,
+                bytes: cfg.face_bytes,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::network::Network;
+    use crate::platform::{case_platform, CaseId, Nic};
+
+    fn tiny_cfg() -> LuConfig {
+        LuConfig {
+            itmax: 2,
+            nz: 3,
+            allreduce_every: 1,
+            init_base: 0.5,
+            ..LuConfig::default()
+        }
+    }
+
+    #[test]
+    fn process_grid_factors() {
+        assert_eq!(process_grid(64), (8, 8));
+        assert_eq!(process_grid(700), (28, 25));
+        assert_eq!(process_grid(900), (30, 30));
+        assert_eq!(process_grid(7), (7, 1));
+    }
+
+    #[test]
+    fn wavefront_runs_to_completion() {
+        let p = Platform::uniform(4, 4, Nic::Infiniband20G);
+        let net = Network::for_platform(&p);
+        let programs = build_programs(&p, &tiny_cfg());
+        let (trace, stats) = Engine::new(&p, &net, 5).run(programs, &[]);
+        assert!(stats.intervals > 0);
+        assert!(trace.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn corner_rank_never_waits_in_blts() {
+        // Rank 0 (north-west corner) has no blts dependencies; its first
+        // sweep emits no MPI_Wait before its first compute… overall it must
+        // wait strictly less than an interior rank.
+        let p = Platform::uniform(4, 4, Nic::Infiniband20G);
+        let net = Network::for_platform(&p);
+        let programs = build_programs(&p, &tiny_cfg());
+        let (trace, _) = Engine::new(&p, &net, 5).run(programs, &[]);
+        let wait = trace.states.get("MPI_Wait").unwrap();
+        let count = |r: u32| {
+            trace
+                .intervals
+                .iter()
+                .filter(|iv| iv.resource == ocelotl_trace::LeafId(r) && iv.state == wait)
+                .count()
+        };
+        // Interior rank 5 = (1,1) waits on 2 neighbors per sweep, corner 0
+        // only in buts.
+        assert!(count(5) > count(0));
+    }
+
+    #[test]
+    fn estimated_events_match_simulation() {
+        let p = Platform::uniform(3, 3, Nic::Infiniband20G);
+        let cfg = tiny_cfg();
+        let net = Network::for_platform(&p);
+        let programs = build_programs(&p, &cfg);
+        let (trace, _) = Engine::new(&p, &net, 6).run(programs, &[]);
+        let est = cfg.estimated_events(&p);
+        let actual = trace.event_count();
+        let ratio = actual as f64 / est as f64;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "estimate {est} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn case_c_event_estimate_near_paper() {
+        // Table II case C: 218,457,456 events at 700 processes.
+        let p = case_platform(CaseId::C);
+        let est = LuConfig::default().estimated_events(&p);
+        let paper = 218_457_456.0;
+        let ratio = est as f64 / paper;
+        assert!(
+            (0.75..=1.25).contains(&ratio),
+            "estimated {est} vs paper {paper}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_cluster_gets_varied_speeds() {
+        let p = case_platform(CaseId::C);
+        let cfg = LuConfig {
+            itmax: 1,
+            nz: 1,
+            heterogeneous_cluster: Some(1), // graphite
+            ..LuConfig::default()
+        };
+        let programs = build_programs(&p, &cfg);
+        // Graphite ranks are 104..168; compare their compute durations.
+        let compute_of = |r: usize| {
+            programs[r]
+                .iter()
+                .find_map(|op| match op {
+                    Op::Compute { duration } => Some(*duration),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let durations: Vec<f64> = (104..168).map(compute_of).collect();
+        let min = durations.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = durations.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max / min > 1.3,
+            "graphite ranks should vary in speed ({min}..{max})"
+        );
+    }
+
+    #[test]
+    fn scaled_preserves_span() {
+        let cfg = LuConfig::default();
+        let s = cfg.clone().scaled(0.02);
+        assert!(s.itmax < cfg.itmax);
+        let full = cfg.compute_per_k * cfg.itmax as f64;
+        let red = s.compute_per_k * s.itmax as f64;
+        assert!((full - red).abs() / full < 0.15);
+    }
+}

@@ -1,0 +1,233 @@
+//! NAS MG (MultiGrid) communication skeleton.
+//!
+//! NPB-MG applies V-cycles of a multigrid solver: each cycle restricts the
+//! residual down a pyramid of grids, relaxes, and prolongates back up. At
+//! every level each rank exchanges halos with its neighbors at rank-space
+//! stride `2^level`; message sizes and relaxation work shrink at coarser
+//! levels. The signature the overview should show: a *periodic* computation
+//! phase (one band per V-cycle) whose communication partners hop between
+//! intra-machine neighbors (fine levels) and cross-cluster partners (coarse
+//! levels) — a workload whose spatial structure changes within every period.
+
+use crate::engine::Op;
+use crate::platform::Platform;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable shape of the MG skeleton.
+#[derive(Debug, Clone)]
+pub struct MgConfig {
+    /// Number of V-cycles.
+    pub cycles: usize,
+    /// Grid levels (level 0 is the finest).
+    pub levels: usize,
+    /// Halo payload at the finest level (bytes); halves per level.
+    pub base_bytes: u64,
+    /// Relaxation compute at the finest level (seconds); quarters per level.
+    pub compute_finest: f64,
+    /// Base `MPI_Init` duration (seconds).
+    pub init_base: f64,
+    /// RNG seed for per-rank jitter.
+    pub seed: u64,
+}
+
+impl Default for MgConfig {
+    fn default() -> Self {
+        Self {
+            cycles: 20,
+            levels: 5,
+            base_bytes: 60_000,
+            compute_finest: 9e-3,
+            init_base: 0.9,
+            seed: 0x36,
+        }
+    }
+}
+
+impl MgConfig {
+    /// Scale the cycle count while preserving the wall-clock span.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let cycles = ((self.cycles as f64 * scale).round() as usize).max(1);
+        let stretch = self.cycles as f64 / cycles as f64;
+        self.compute_finest *= stretch;
+        self.base_bytes = (self.base_bytes as f64 * stretch) as u64;
+        self.cycles = cycles;
+        self
+    }
+
+    /// Levels actually exchanged on an `n`-rank run (stride must stay
+    /// inside the ring).
+    pub fn active_levels(&self, n_ranks: usize) -> usize {
+        (0..self.levels).filter(|&l| (1usize << l) < n_ranks).count()
+    }
+
+    /// Estimated total event count (2 per state interval) for the platform.
+    pub fn estimated_events(&self, platform: &Platform) -> usize {
+        let n = platform.n_ranks;
+        let lv = self.active_levels(n);
+        // Per rank per cycle: down + up sweeps, each (2 sends + 2 waits +
+        // 1 compute) per level, plus the residual allreduce.
+        let per_cycle = 2 * lv * 5 + 1;
+        n * (1 + self.cycles * per_cycle) * 2
+    }
+
+    /// Halo payload at `level`.
+    fn bytes_at(&self, level: usize) -> u64 {
+        (self.base_bytes >> level).max(256)
+    }
+
+    /// Relaxation compute at `level`.
+    fn compute_at(&self, level: usize) -> f64 {
+        self.compute_finest / (1u64 << (2 * level)) as f64
+    }
+}
+
+/// Ring neighbors at stride `d` (wrapping). `d` must be `< n`.
+fn neighbors(rank: usize, n: usize, d: usize) -> (usize, usize) {
+    ((rank + n - d) % n, (rank + d) % n)
+}
+
+/// One halo exchange + relaxation at `level`.
+fn sweep(ops: &mut Vec<Op>, rank: usize, n: usize, level: usize, cfg: &MgConfig, jitter: f64) {
+    let d = 1usize << level;
+    let (left, right) = neighbors(rank, n, d);
+    ops.push(Op::Irecv { src: left as u32 });
+    ops.push(Op::Irecv { src: right as u32 });
+    ops.push(Op::Send {
+        dst: right as u32,
+        bytes: cfg.bytes_at(level),
+    });
+    ops.push(Op::Send {
+        dst: left as u32,
+        bytes: cfg.bytes_at(level),
+    });
+    ops.push(Op::Compute {
+        duration: cfg.compute_at(level) * jitter,
+    });
+    ops.push(Op::Wait);
+    ops.push(Op::Wait);
+}
+
+/// Build the per-rank programs of the MG skeleton.
+pub fn build_programs(platform: &Platform, cfg: &MgConfig) -> Vec<Vec<Op>> {
+    let n = platform.n_ranks;
+    let mut programs = Vec::with_capacity(n);
+    for rank in 0..n {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (rank as u64).wrapping_mul(0x9E37));
+        let speed = platform.speed_of(rank);
+        let mut ops = Vec::new();
+        ops.push(Op::Init {
+            duration: cfg.init_base + 0.05 * rng.random::<f64>(),
+        });
+        for _cycle in 0..cfg.cycles {
+            let jitter = (0.9 + 0.2 * rng.random::<f64>()) / speed;
+            // Restriction: fine → coarse.
+            for level in 0..cfg.levels {
+                if (1usize << level) >= n {
+                    break;
+                }
+                sweep(&mut ops, rank, n, level, cfg, jitter);
+            }
+            // Prolongation: coarse → fine.
+            for level in (0..cfg.levels).rev() {
+                if (1usize << level) >= n {
+                    continue;
+                }
+                sweep(&mut ops, rank, n, level, cfg, jitter);
+            }
+            // Residual norm.
+            ops.push(Op::Allreduce { bytes: 8 });
+        }
+        programs.push(ops);
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::network::Network;
+    use crate::platform::Nic;
+
+    fn tiny() -> MgConfig {
+        MgConfig {
+            cycles: 3,
+            levels: 4,
+            ..MgConfig::default()
+        }
+    }
+
+    #[test]
+    fn programs_run_to_completion() {
+        let p = Platform::uniform(2, 4, Nic::Infiniband20G);
+        let net = Network::for_platform(&p);
+        let (trace, stats) = Engine::new(&p, &net, 1).run(build_programs(&p, &tiny()), &[]);
+        assert!(stats.intervals > 0);
+        assert!(trace.check_invariants().is_ok());
+        for s in ["MPI_Init", "Compute", "MPI_Send", "MPI_Wait", "MPI_Allreduce"] {
+            assert!(trace.states.get(s).is_some(), "missing state {s}");
+        }
+    }
+
+    #[test]
+    fn neighbor_exchange_is_symmetric() {
+        // If r sends right to q at stride d, then q's left neighbor is r:
+        // every send has a matching receive posting.
+        for n in [4usize, 8, 13, 64] {
+            for d in [1usize, 2, 4] {
+                if d >= n {
+                    continue;
+                }
+                for r in 0..n {
+                    let (_, right) = neighbors(r, n, d);
+                    let (left_of_right, _) = neighbors(right, n, d);
+                    assert_eq!(left_of_right, r, "n={n} d={d} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strides_beyond_ring_are_skipped() {
+        let cfg = MgConfig {
+            levels: 8,
+            ..tiny()
+        };
+        assert_eq!(cfg.active_levels(4), 2); // strides 1, 2 only
+        assert_eq!(cfg.active_levels(64), 6); // strides 1..32
+        let p = Platform::uniform(1, 4, Nic::Infiniband20G);
+        let net = Network::for_platform(&p);
+        // Must not deadlock or address out-of-range ranks.
+        let (trace, _) = Engine::new(&p, &net, 3).run(build_programs(&p, &cfg), &[]);
+        assert!(trace.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn estimated_events_match_simulation() {
+        let p = Platform::uniform(2, 4, Nic::Infiniband20G);
+        let cfg = tiny();
+        let net = Network::for_platform(&p);
+        let (trace, _) = Engine::new(&p, &net, 2).run(build_programs(&p, &cfg), &[]);
+        assert_eq!(trace.event_count(), cfg.estimated_events(&p));
+    }
+
+    #[test]
+    fn coarse_levels_carry_less_data_and_work() {
+        let cfg = MgConfig::default();
+        assert!(cfg.bytes_at(0) > cfg.bytes_at(3));
+        assert!(cfg.compute_at(0) > 10.0 * cfg.compute_at(3));
+        assert_eq!(cfg.bytes_at(20), 256, "floor under deep shifts");
+    }
+
+    #[test]
+    fn scaled_preserves_total_compute() {
+        let cfg = MgConfig::default();
+        let scaled = cfg.clone().scaled(0.2);
+        assert!(scaled.cycles < cfg.cycles);
+        let full = cfg.compute_finest * cfg.cycles as f64;
+        let red = scaled.compute_finest * scaled.cycles as f64;
+        assert!((full - red).abs() / full < 0.1);
+    }
+}

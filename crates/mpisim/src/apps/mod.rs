@@ -1,0 +1,7 @@
+//! Application communication skeletons (NAS Parallel Benchmarks).
+
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod lu;
+pub mod mg;

@@ -1,0 +1,276 @@
+//! Network model: link timing, heterogeneity, and perturbation injection.
+//!
+//! The paper's two anomalies are *external network contention*: other users'
+//! traffic crossing a shared switch slows messages during a time window
+//! (case A, §V.A) or machines hidden from the user keep a switch busy
+//! (case C, §V.B). We reproduce exactly that observable with
+//! [`Perturbation`]: a time window during which messages touching a set of
+//! machines are slowed by a factor.
+
+use crate::platform::Platform;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A time-windowed network slowdown affecting a set of machines.
+#[derive(Debug, Clone)]
+pub struct Perturbation {
+    /// Window start (seconds).
+    pub t0: f64,
+    /// Window end (seconds).
+    pub t1: f64,
+    /// Transfer-time multiplier (> 1) applied to affected messages.
+    pub factor: f64,
+    /// Global machine indices whose traffic is slowed.
+    pub machines: Vec<usize>,
+}
+
+impl Perturbation {
+    /// True if a message starting at `t` touching `machine` is affected.
+    #[inline]
+    pub fn hits(&self, t: f64, src_machine: usize, dst_machine: usize) -> bool {
+        t >= self.t0
+            && t < self.t1
+            && (self.machines.contains(&src_machine) || self.machines.contains(&dst_machine))
+    }
+}
+
+/// Latency/bandwidth network with per-cluster links, a backbone between
+/// clusters, intra-machine shared-memory transfers, multiplicative jitter,
+/// and perturbation windows.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// `(latency, bandwidth)` per cluster index.
+    cluster_links: Vec<(f64, f64)>,
+    /// Backbone between clusters of a site.
+    backbone: (f64, f64),
+    /// Intra-machine (shared memory) pseudo-link.
+    shm: (f64, f64),
+    /// Relative timing jitter amplitude (e.g. 0.05 = ±5 %).
+    pub jitter: f64,
+    /// Active perturbations.
+    pub perturbations: Vec<Perturbation>,
+}
+
+impl Network {
+    /// Derive the network from the platform's NICs.
+    pub fn for_platform(platform: &Platform) -> Self {
+        Self {
+            cluster_links: platform.clusters.iter().map(|c| c.nic.link()).collect(),
+            backbone: (10.0e-6, 1.0e9),
+            shm: (0.3e-6, 8.0e9),
+            jitter: 0.05,
+            perturbations: Vec::new(),
+        }
+    }
+
+    /// Add a perturbation window.
+    pub fn with_perturbation(mut self, p: Perturbation) -> Self {
+        self.perturbations.push(p);
+        self
+    }
+
+    /// Point-to-point transfer time for `bytes` from `src` to `dst` starting
+    /// at time `t` (includes perturbations and jitter).
+    pub fn transfer_time(
+        &self,
+        platform: &Platform,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        t: f64,
+        rng: &mut SmallRng,
+    ) -> f64 {
+        let ls = platform.location(src);
+        let ld = platform.location(dst);
+        let (lat, bw) = if ls.machine == ld.machine {
+            self.shm
+        } else if ls.cluster == ld.cluster {
+            self.cluster_links[ls.cluster]
+        } else {
+            // Cross-cluster: cluster link on each side plus backbone; the
+            // effective path is dominated by the slowest segment.
+            let a = self.cluster_links[ls.cluster];
+            let b = self.cluster_links[ld.cluster];
+            let lat = a.0 + b.0 + self.backbone.0;
+            let bw = a.1.min(b.1).min(self.backbone.1);
+            (lat, bw)
+        };
+        let mut time = lat + bytes as f64 / bw;
+        // Perturbations model *switch* contention: intra-machine traffic
+        // never crosses the switch and is unaffected.
+        if ls.machine != ld.machine {
+            for p in &self.perturbations {
+                if p.hits(t, ls.machine, ld.machine) {
+                    time *= p.factor;
+                }
+            }
+        }
+        time * (1.0 + self.jitter * rng.random::<f64>())
+    }
+
+    /// Duration of an `n`-rank allreduce of `bytes` starting when the last
+    /// rank arrives: a binomial-tree estimate over the slowest cluster link
+    /// among the participants (collectives span the whole job).
+    pub fn allreduce_time(&self, n: usize, bytes: u64, rng: &mut SmallRng) -> f64 {
+        let (lat, bw) = self
+            .cluster_links
+            .iter()
+            .fold((0.0f64, f64::INFINITY), |(l, b), &(cl, cb)| {
+                (l.max(cl), b.min(cb))
+            });
+        let rounds = (n.max(2) as f64).log2().ceil();
+        let per_round = lat + bytes as f64 / bw;
+        2.0 * rounds * per_round * (1.0 + self.jitter * rng.random::<f64>())
+    }
+
+    /// Duration of an `n`-rank all-to-all personalized exchange of `bytes`
+    /// per pair: each rank must inject `(n−1)·bytes` onto the slowest link
+    /// among the participating clusters, plus a pairwise-exchange latency
+    /// schedule of `n−1` rounds — the NPB-FT transpose cost shape.
+    pub fn alltoall_time(&self, n: usize, bytes: u64, rng: &mut SmallRng) -> f64 {
+        let (lat, bw) = self
+            .cluster_links
+            .iter()
+            .fold((0.0f64, f64::INFINITY), |(l, b), &(cl, cb)| {
+                (l.max(cl), b.min(cb))
+            });
+        let peers = n.saturating_sub(1).max(1) as f64;
+        let time = peers * (lat + bytes as f64 / bw);
+        time * (1.0 + self.jitter * rng.random::<f64>())
+    }
+
+    /// Local send-side occupancy (the visible `MPI_Send` duration of an
+    /// eager-protocol send): injection of the message onto the local link.
+    pub fn send_occupancy(
+        &self,
+        platform: &Platform,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        t: f64,
+        rng: &mut SmallRng,
+    ) -> f64 {
+        // Injection is modeled as a fixed fraction of the transfer: the
+        // sender's NIC must serialize the message; contention (perturbation)
+        // slows the injection too, which is how the paper observed elongated
+        // MPI_send states during the anomaly.
+        0.6 * self.transfer_time(platform, src, dst, bytes, t, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{case_platform, CaseId, Nic, Platform};
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn intra_machine_is_fastest() {
+        let p = Platform::uniform(2, 4, Nic::Infiniband20G);
+        let n = Network::for_platform(&p);
+        let mut r = rng();
+        let same = n.transfer_time(&p, 0, 1, 1 << 20, 0.0, &mut r);
+        let cross = n.transfer_time(&p, 0, 7, 1 << 20, 0.0, &mut r);
+        assert!(same < cross, "shm {same} should beat network {cross}");
+    }
+
+    #[test]
+    fn cross_cluster_is_slowest() {
+        let p = case_platform(CaseId::C);
+        let n = Network::for_platform(&p);
+        let mut r = rng();
+        // graphene→graphene (ranks 0 and 4: different machines, same cluster)
+        let intra = n.transfer_time(&p, 0, 4, 1 << 20, 0.0, &mut r);
+        // graphene→graphite (rank 104 is graphite)
+        let inter = n.transfer_time(&p, 0, 104, 1 << 20, 0.0, &mut r);
+        assert!(inter > intra);
+    }
+
+    #[test]
+    fn graphite_link_is_slower() {
+        let p = case_platform(CaseId::C);
+        let n = Network::for_platform(&p);
+        let mut r = rng();
+        // Same-cluster transfers: graphene (IB) vs graphite (10GbE).
+        let graphene = n.transfer_time(&p, 0, 4, 1 << 20, 0.0, &mut r);
+        let graphite = n.transfer_time(&p, 104, 120, 1 << 20, 0.0, &mut r);
+        assert!(
+            graphite > graphene,
+            "graphite {graphite} must be slower than graphene {graphene}"
+        );
+    }
+
+    #[test]
+    fn perturbation_window_slows_messages() {
+        let p = Platform::uniform(4, 2, Nic::Infiniband20G);
+        let n = Network::for_platform(&p).with_perturbation(Perturbation {
+            t0: 10.0,
+            t1: 20.0,
+            factor: 8.0,
+            machines: vec![1],
+        });
+        let mut r = rng();
+        // Message touching machine 1 (ranks 2,3) inside the window.
+        let slow = n.transfer_time(&p, 0, 2, 1 << 16, 15.0, &mut r);
+        let fast_outside = n.transfer_time(&p, 0, 2, 1 << 16, 25.0, &mut r);
+        let fast_elsewhere = n.transfer_time(&p, 0, 6, 1 << 16, 15.0, &mut r);
+        assert!(slow > 4.0 * fast_outside);
+        assert!(slow > 4.0 * fast_elsewhere);
+    }
+
+    #[test]
+    fn perturbation_hits_edges() {
+        let pert = Perturbation {
+            t0: 1.0,
+            t1: 2.0,
+            factor: 2.0,
+            machines: vec![3],
+        };
+        assert!(pert.hits(1.0, 3, 0));
+        assert!(pert.hits(1.5, 0, 3));
+        assert!(!pert.hits(2.0, 3, 3), "window end is exclusive");
+        assert!(!pert.hits(1.5, 0, 1), "unaffected machines");
+    }
+
+    #[test]
+    fn allreduce_scales_with_ranks() {
+        let p = Platform::uniform(8, 8, Nic::Infiniband20G);
+        let n = Network::for_platform(&p);
+        let mut r = rng();
+        let small = n.allreduce_time(8, 8, &mut r);
+        let large = n.allreduce_time(1024, 8, &mut r);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn send_occupancy_is_fraction_of_transfer() {
+        let p = Platform::uniform(2, 2, Nic::Infiniband20G);
+        let n = Network::for_platform(&p);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let occ = n.send_occupancy(&p, 0, 2, 1 << 20, 0.0, &mut r1);
+        let t = n.transfer_time(&p, 0, 2, 1 << 20, 0.0, &mut r2);
+        assert!(occ < t);
+        assert!(occ > 0.0);
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let p = Platform::uniform(2, 2, Nic::Infiniband20G);
+        let n = Network::for_platform(&p);
+        let mut r = rng();
+        let base = {
+            let mut quiet = n.clone();
+            quiet.jitter = 0.0;
+            quiet.transfer_time(&p, 0, 2, 1 << 10, 0.0, &mut r)
+        };
+        for _ in 0..100 {
+            let t = n.transfer_time(&p, 0, 2, 1 << 10, 0.0, &mut r);
+            assert!(t >= base * 0.999 && t <= base * 1.051);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Platform descriptions: the Grid'5000 stand-in.
+//!
+//! The paper runs on Grid'5000 sites whose resource hierarchy is
+//! site → cluster → machine → core, with one MPI process bound per core
+//! (§V). This module describes such platforms (including the four Table II
+//! configurations with their real cluster shapes and interconnects) and
+//! derives the `ocelotl_trace::Hierarchy` plus rank → location mappings.
+
+use ocelotl_trace::{Hierarchy, HierarchyBuilder};
+
+/// Interconnect technology of a cluster (values approximate the hardware
+/// named in §V: Infiniband MT25418 / Infiniband-20G vs 10 Gigabit Ethernet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nic {
+    /// Infiniband 20 Gb/s (adonis, edel, genepi, graphene*, griffon, parapide…).
+    Infiniband20G,
+    /// 10 Gigabit Ethernet (graphite): higher latency, lower bandwidth.
+    TenGbE,
+    /// 1 Gigabit Ethernet (worst case, unused by the paper's cases).
+    GbE,
+}
+
+impl Nic {
+    /// `(latency seconds, bandwidth bytes/s)` of one link.
+    pub fn link(&self) -> (f64, f64) {
+        match self {
+            Nic::Infiniband20G => (3.0e-6, 2.0e9),
+            Nic::TenGbE => (25.0e-6, 1.1e9),
+            Nic::GbE => (50.0e-6, 1.1e8),
+        }
+    }
+}
+
+/// One homogeneous cluster: `machines × cores_per_machine` cores.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Cluster name (e.g. `"griffon"`).
+    pub name: String,
+    /// Number of machines used.
+    pub machines: usize,
+    /// Cores (= MPI processes) per machine.
+    pub cores_per_machine: usize,
+    /// Interconnect.
+    pub nic: Nic,
+    /// Relative compute speed (1.0 = reference); per-core work is divided
+    /// by this factor.
+    pub speed: f64,
+}
+
+impl ClusterSpec {
+    /// Total cores in the cluster.
+    pub fn cores(&self) -> usize {
+        self.machines * self.cores_per_machine
+    }
+}
+
+/// A site hosting several clusters; `n_ranks` MPI processes are bound to
+/// cores in order (cluster by cluster, machine by machine).
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Site name (e.g. `"nancy"`).
+    pub site: String,
+    /// Clusters in rank-assignment order.
+    pub clusters: Vec<ClusterSpec>,
+    /// Number of MPI processes (≤ total cores).
+    pub n_ranks: usize,
+}
+
+/// Location of one rank on the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Index of the cluster within [`Platform::clusters`].
+    pub cluster: usize,
+    /// Machine index global across the platform (unique per machine).
+    pub machine: usize,
+    /// Core index within the machine.
+    pub core: usize,
+}
+
+impl Platform {
+    /// Create a platform, binding `n_ranks` processes; panics if the
+    /// clusters cannot host them.
+    pub fn new(site: &str, clusters: Vec<ClusterSpec>, n_ranks: usize) -> Self {
+        let capacity: usize = clusters.iter().map(|c| c.cores()).sum();
+        assert!(
+            n_ranks >= 1 && n_ranks <= capacity,
+            "platform {site} hosts {capacity} cores, cannot bind {n_ranks} ranks"
+        );
+        Self {
+            site: site.to_string(),
+            clusters,
+            n_ranks,
+        }
+    }
+
+    /// Uniform single-cluster platform (used by tests and micro-benchmarks).
+    pub fn uniform(n_machines: usize, cores_per_machine: usize, nic: Nic) -> Self {
+        let n = n_machines * cores_per_machine;
+        Self::new(
+            "site",
+            vec![ClusterSpec {
+                name: "cluster0".into(),
+                machines: n_machines,
+                cores_per_machine,
+                nic,
+                speed: 1.0,
+            }],
+            n,
+        )
+    }
+
+    /// Location of a rank (cluster, global machine index, core).
+    pub fn location(&self, rank: usize) -> Location {
+        debug_assert!(rank < self.n_ranks);
+        let mut remaining = rank;
+        let mut machine_base = 0;
+        for (ci, c) in self.clusters.iter().enumerate() {
+            if remaining < c.cores() {
+                return Location {
+                    cluster: ci,
+                    machine: machine_base + remaining / c.cores_per_machine,
+                    core: remaining % c.cores_per_machine,
+                };
+            }
+            remaining -= c.cores();
+            machine_base += c.machines;
+        }
+        unreachable!("rank {rank} beyond platform capacity")
+    }
+
+    /// Total number of machines.
+    pub fn n_machines(&self) -> usize {
+        self.clusters.iter().map(|c| c.machines).sum()
+    }
+
+    /// Ranks hosted on a given global machine index.
+    pub fn ranks_on_machine(&self, machine: usize) -> Vec<usize> {
+        (0..self.n_ranks)
+            .filter(|&r| self.location(r).machine == machine)
+            .collect()
+    }
+
+    /// Relative compute speed of the cluster hosting `rank`.
+    pub fn speed_of(&self, rank: usize) -> f64 {
+        self.clusters[self.location(rank).cluster].speed
+    }
+
+    /// Build the paper's 4-level hierarchy with exactly one leaf per rank:
+    /// site → cluster → machine → core.
+    pub fn hierarchy(&self) -> Hierarchy {
+        let mut b = HierarchyBuilder::new(&self.site, "site");
+        let mut rank = 0;
+        'outer: for c in &self.clusters {
+            let cn = b.add_child(b.root(), &c.name, "cluster");
+            for m in 0..c.machines {
+                if rank >= self.n_ranks {
+                    break 'outer;
+                }
+                let mn = b.add_child(cn, &format!("{}-{m}", c.name), "machine");
+                for k in 0..c.cores_per_machine {
+                    if rank >= self.n_ranks {
+                        break;
+                    }
+                    b.add_child(mn, &format!("rank{rank}-core{k}"), "core");
+                    rank += 1;
+                }
+            }
+        }
+        let h = b.build().expect("platform hierarchy is valid");
+        debug_assert_eq!(h.n_leaves(), self.n_ranks);
+        h
+    }
+}
+
+/// Table II case identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseId {
+    /// CG class C, 64 processes, Rennes/parapide.
+    A,
+    /// CG class C, 512 processes, Grenoble/adonis+edel+genepi.
+    B,
+    /// LU class C, 700 processes, Nancy/graphene+graphite+griffon.
+    C,
+    /// LU class B, 900 processes, Rennes/paradent+parapide+parapluie.
+    D,
+}
+
+impl CaseId {
+    /// All four cases, in Table II order.
+    pub const ALL: [CaseId; 4] = [CaseId::A, CaseId::B, CaseId::C, CaseId::D];
+
+    /// Case letter for reports.
+    pub fn letter(&self) -> char {
+        match self {
+            CaseId::A => 'A',
+            CaseId::B => 'B',
+            CaseId::C => 'C',
+            CaseId::D => 'D',
+        }
+    }
+}
+
+fn cl(name: &str, machines: usize, cores: usize, nic: Nic, speed: f64) -> ClusterSpec {
+    ClusterSpec {
+        name: name.into(),
+        machines,
+        cores_per_machine: cores,
+        nic,
+        speed,
+    }
+}
+
+/// The platform of a Table II case, with the paper's cluster shapes.
+pub fn case_platform(case: CaseId) -> Platform {
+    match case {
+        // parapide(8): 8 machines × 8 cores, Infiniband MT25418.
+        CaseId::A => Platform::new(
+            "rennes",
+            vec![cl("parapide", 8, 8, Nic::Infiniband20G, 1.0)],
+            64,
+        ),
+        // adonis(9), edel(24), genepi(31): 64 machines × 8 = 512 cores.
+        CaseId::B => Platform::new(
+            "grenoble",
+            vec![
+                cl("adonis", 9, 8, Nic::Infiniband20G, 1.0),
+                cl("edel", 24, 8, Nic::Infiniband20G, 1.05),
+                cl("genepi", 31, 8, Nic::Infiniband20G, 0.95),
+            ],
+            512,
+        ),
+        // graphene(26)×4 + graphite(4)×16 + griffon(67)×8 = 704 cores, 700 used.
+        // graphite has 10GbE (slower network) and 16 cores/machine.
+        CaseId::C => Platform::new(
+            "nancy",
+            vec![
+                cl("graphene", 26, 4, Nic::Infiniband20G, 1.0),
+                cl("graphite", 4, 16, Nic::TenGbE, 1.1),
+                cl("griffon", 67, 8, Nic::Infiniband20G, 0.9),
+            ],
+            700,
+        ),
+        // paradent(38)×8 + parapide(21)×8 + parapluie(18)×24 = 904 cores, 900 used.
+        CaseId::D => Platform::new(
+            "rennes",
+            vec![
+                cl("paradent", 38, 8, Nic::Infiniband20G, 0.9),
+                cl("parapide", 21, 8, Nic::Infiniband20G, 1.1),
+                cl("parapluie", 18, 24, Nic::Infiniband20G, 0.8),
+            ],
+            900,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_platforms_match_table2_process_counts() {
+        assert_eq!(case_platform(CaseId::A).n_ranks, 64);
+        assert_eq!(case_platform(CaseId::B).n_ranks, 512);
+        assert_eq!(case_platform(CaseId::C).n_ranks, 700);
+        assert_eq!(case_platform(CaseId::D).n_ranks, 900);
+    }
+
+    #[test]
+    fn hierarchy_has_one_leaf_per_rank() {
+        for case in CaseId::ALL {
+            let p = case_platform(case);
+            let h = p.hierarchy();
+            assert_eq!(h.n_leaves(), p.n_ranks, "case {}", case.letter());
+            assert_eq!(h.max_depth(), 3);
+            assert_eq!(h.top_level().len(), p.clusters.len());
+        }
+    }
+
+    #[test]
+    fn locations_are_consistent() {
+        let p = case_platform(CaseId::C);
+        // First graphene rank.
+        let l0 = p.location(0);
+        assert_eq!((l0.cluster, l0.machine, l0.core), (0, 0, 0));
+        // Last graphene rank: 26×4 = 104 ranks on machines 0..26.
+        let l = p.location(103);
+        assert_eq!((l.cluster, l.machine, l.core), (0, 25, 3));
+        // First graphite rank.
+        let l = p.location(104);
+        assert_eq!((l.cluster, l.machine, l.core), (1, 26, 0));
+        // First griffon rank: after 104 + 64 = 168.
+        let l = p.location(168);
+        assert_eq!((l.cluster, l.machine, l.core), (2, 30, 0));
+    }
+
+    #[test]
+    fn ranks_on_machine_partition_the_ranks() {
+        let p = case_platform(CaseId::A);
+        let mut seen = vec![false; p.n_ranks];
+        for m in 0..p.n_machines() {
+            for r in p.ranks_on_machine(m) {
+                assert!(!seen[r]);
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_platform() {
+        let p = Platform::uniform(4, 2, Nic::Infiniband20G);
+        assert_eq!(p.n_ranks, 8);
+        assert_eq!(p.location(5).machine, 2);
+        assert_eq!(p.hierarchy().n_leaves(), 8);
+    }
+
+    #[test]
+    fn hierarchy_leaf_order_matches_rank_order() {
+        // Leaf i of the hierarchy must be rank i (the DFS order of the
+        // builder follows cluster/machine/core nesting).
+        let p = case_platform(CaseId::B);
+        let h = p.hierarchy();
+        for r in [0usize, 71, 100, 511] {
+            let leaf = h.leaf_node(ocelotl_trace::LeafId(r as u32));
+            let name = h.name(leaf);
+            assert!(
+                name.starts_with(&format!("rank{r}-")),
+                "leaf {r} is named {name}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bind")]
+    fn overcommitted_platform_panics() {
+        Platform::new(
+            "x",
+            vec![cl("c", 1, 4, Nic::GbE, 1.0)],
+            5,
+        );
+    }
+
+    #[test]
+    fn nic_links_are_ordered() {
+        let (l_ib, b_ib) = Nic::Infiniband20G.link();
+        let (l_te, b_te) = Nic::TenGbE.link();
+        assert!(l_ib < l_te, "Infiniband has lower latency");
+        assert!(b_ib > b_te, "Infiniband has higher bandwidth");
+    }
+}

@@ -1,0 +1,47 @@
+//! # ocelotl — spatiotemporal trace aggregation toolkit
+//!
+//! Facade crate of the CLUSTER 2014 reproduction of *"A Spatiotemporal Data
+//! Aggregation Technique for Performance Analysis of Large-scale Execution
+//! Traces"* (Dosimont et al.). Re-exports the substrate crates:
+//!
+//! - [`trace`] — the trace microscopic model (hierarchy, states, slices);
+//! - [`core`] — the aggregation algorithms (Algorithm 1 and the baselines);
+//! - [`format`] — PTF/BTF trace files with streaming readers;
+//! - [`mpisim`] — the MPI platform simulator regenerating the paper's traces;
+//! - [`viz`] — the overview renderers (SVG/ASCII, visual aggregation, Gantt).
+//!
+//! ```
+//! use ocelotl::prelude::*;
+//!
+//! // Simulate a small CG run (Table II case A at 1/100 scale)...
+//! let scenario = ocelotl::mpisim::scenario(CaseId::A, 0.01);
+//! let (trace, _stats) = scenario.run(42);
+//! // ...slice it into the 30-period microscopic model the paper uses...
+//! let model = MicroModel::from_trace(&trace, 30).unwrap();
+//! // ...and compute the optimal spatiotemporal partition at p = 0.5.
+//! let input = AggregationInput::build(&model);
+//! let partition = aggregate_default(&input, 0.5).partition(&input);
+//! assert!(partition.validate(model.hierarchy(), 30).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ocelotl_core as core;
+pub use ocelotl_format as format;
+pub use ocelotl_mpisim as mpisim;
+pub use ocelotl_trace as trace;
+pub use ocelotl_viz as viz;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use ocelotl_core::{
+        aggregate, aggregate_default, product_aggregation, quality, significant_partitions,
+        AggregationInput, Area, Cut, CutTree, DpConfig, Partition,
+    };
+    pub use ocelotl_mpisim::{CaseId, Platform, Scenario};
+    pub use ocelotl_trace::{
+        Hierarchy, HierarchyBuilder, LeafId, MicroModel, NodeId, StateId, StateRegistry, TimeGrid,
+        Trace, TraceBuilder,
+    };
+}

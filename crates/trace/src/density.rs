@@ -1,0 +1,298 @@
+//! Event-density microscopic model.
+//!
+//! The authors' predecessor work on pure time aggregation (Pagano et al.
+//! \[11\], Dosimont et al. \[12\] in the paper's bibliography) aggregates
+//! *event counts* per slice rather than state-time proportions. This module
+//! provides that metric for the spatiotemporal algorithm: each cell
+//! `(s, t, x)` holds the **number of events** of kind `x` produced by
+//! resource `s` during slice `t`.
+//!
+//! Event kinds are the trace's state names (a state interval contributes
+//! its *enter* and *leave* event, matching
+//! [`Trace::event_count`](crate::Trace::event_count)) plus one pseudo-state
+//! per [`PointKind`](crate::PointKind) present in the trace (`evt:send`,
+//! `evt:recv`, `evt:marker`).
+//!
+//! Two entry points share the counting pass:
+//!
+//! - [`event_counts`] returns the **raw counts** (useful for inspection;
+//!   note `ρ_x(s,t) = count/d(t)` may exceed 1, outside the domain the
+//!   paper's Eq. 2–3 were designed for);
+//! - [`event_density`] returns counts **normalized to the peak cell** so
+//!   that `ρ ∈ [0, 1]` reads as "fraction of the observed peak rate". The
+//!   normalization constant matters: the entropy gain of Eq. 3 is *not*
+//!   scale-invariant (scaling `d_x` by `c` shifts the gain by
+//!   `c·log₂c·(ρ̄ − Σρ)`), so fixing the peak at 1 is part of the model
+//!   definition, exactly as choosing time-proportions is for states.
+
+use crate::hierarchy::LeafId;
+use crate::micro::MicroModel;
+use crate::slicing::TimeGrid;
+use crate::state::StateId;
+use crate::trace::Trace;
+use crate::{PointKind, Time};
+
+/// Pseudo-state names for point events.
+const SEND_NAME: &str = "evt:send";
+const RECV_NAME: &str = "evt:recv";
+const MARKER_NAME: &str = "evt:marker";
+
+/// Build the raw event-count model of a trace over an explicit grid.
+///
+/// Events with timestamps outside the grid are dropped; an interval's enter
+/// and leave events are counted independently (one may fall inside the grid
+/// while the other does not).
+pub fn event_counts(trace: &Trace, grid: TimeGrid) -> MicroModel {
+    let mut states = trace.states.clone();
+    let send = trace
+        .points
+        .iter()
+        .any(|p| matches!(p.kind, PointKind::MsgSend { .. }))
+        .then(|| states.intern(SEND_NAME));
+    let recv = trace
+        .points
+        .iter()
+        .any(|p| matches!(p.kind, PointKind::MsgRecv { .. }))
+        .then(|| states.intern(RECV_NAME));
+    let marker = trace
+        .points
+        .iter()
+        .any(|p| matches!(p.kind, PointKind::Marker))
+        .then(|| states.intern(MARKER_NAME));
+
+    let n_states = states.len();
+    let n_slices = grid.n_slices();
+    let mut counts = vec![0.0f64; trace.hierarchy.n_leaves() * n_states * n_slices];
+    let mut bump = |resource: LeafId, state: StateId, ts: Time| {
+        if ts < grid.start() || ts > grid.end() {
+            return;
+        }
+        let idx = (resource.index() * n_states + state.index()) * n_slices + grid.slice_of(ts);
+        counts[idx] += 1.0;
+    };
+    for iv in &trace.intervals {
+        bump(iv.resource, iv.state, iv.begin);
+        bump(iv.resource, iv.state, iv.end);
+    }
+    for p in &trace.points {
+        let state = match p.kind {
+            PointKind::MsgSend { .. } => send,
+            PointKind::MsgRecv { .. } => recv,
+            PointKind::Marker => marker,
+        }
+        .expect("kind interned above");
+        bump(p.resource, state, p.time);
+    }
+    MicroModel::from_dense(trace.hierarchy.clone(), states, grid, counts)
+}
+
+/// Build the peak-normalized event-density model of a trace: raw counts
+/// scaled so the busiest `(s, t, x)` cell has `ρ = 1`. This keeps the
+/// proportions inside the `[0, 1]` domain of the paper's measures while
+/// preserving every count ratio. A trace without in-grid events yields an
+/// all-zero model.
+pub fn event_density(trace: &Trace, grid: TimeGrid) -> MicroModel {
+    let raw = event_counts(trace, grid);
+    let mut peak = 0.0f64;
+    for leaf in 0..raw.n_leaves() {
+        for x in 0..raw.n_states() {
+            for &c in raw.series(LeafId(leaf as u32), StateId(x as u16)) {
+                peak = peak.max(c);
+            }
+        }
+    }
+    if peak == 0.0 {
+        return raw;
+    }
+    let scale = grid.slice_duration() / peak;
+    let hierarchy = raw.hierarchy().clone();
+    let states = raw.states().clone();
+    let n_states = raw.n_states();
+    let n_slices = raw.n_slices();
+    let mut scaled = vec![0.0f64; raw.n_leaves() * n_states * n_slices];
+    for leaf in 0..raw.n_leaves() {
+        for x in 0..n_states {
+            let src = raw.series(LeafId(leaf as u32), StateId(x as u16));
+            let base = (leaf * n_states + x) * n_slices;
+            for (t, &c) in src.iter().enumerate() {
+                scaled[base + t] = c * scale;
+            }
+        }
+    }
+    MicroModel::from_dense(hierarchy, states, grid, scaled)
+}
+
+/// Build the peak-normalized event-density model over the trace's observed
+/// time range, divided into `n_slices` regular periods. `None` for empty
+/// traces.
+pub fn event_density_auto(trace: &Trace, n_slices: usize) -> Option<MicroModel> {
+    let (lo, hi) = trace.time_range()?;
+    if hi <= lo {
+        return None;
+    }
+    Some(event_density(trace, TimeGrid::new(lo, hi, n_slices)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use crate::{Hierarchy, PointEvent};
+
+    fn sample_trace() -> Trace {
+        let h = Hierarchy::flat(2, "p");
+        let mut b = TraceBuilder::new(h);
+        let run = b.state("Run");
+        let wait = b.state("Wait");
+        // p0: Run [0,3), Wait [3,8); p1: Run [2,10).
+        b.push_state(LeafId(0), run, 0.0, 3.0);
+        b.push_state(LeafId(0), wait, 3.0, 8.0);
+        b.push_state(LeafId(1), run, 2.0, 10.0);
+        b.push_point(PointEvent {
+            resource: LeafId(0),
+            time: 2.5,
+            kind: PointKind::MsgSend { peer: LeafId(1) },
+        });
+        b.push_point(PointEvent {
+            resource: LeafId(1),
+            time: 2.6,
+            kind: PointKind::MsgRecv { peer: LeafId(0) },
+        });
+        b.build()
+    }
+
+    #[test]
+    fn counts_land_in_the_right_slices() {
+        let t = sample_trace();
+        let grid = TimeGrid::new(0.0, 10.0, 10);
+        let m = event_counts(&t, grid);
+        let run = m.states().get("Run").unwrap();
+        let wait = m.states().get("Wait").unwrap();
+        // p0 Run: enter at 0.0 (slice 0), leave at 3.0 (slice 3).
+        assert_eq!(m.duration(LeafId(0), run, 0), 1.0);
+        assert_eq!(m.duration(LeafId(0), run, 3), 1.0);
+        assert_eq!(m.duration(LeafId(0), run, 1), 0.0);
+        // p0 Wait: enter 3.0 (slice 3), leave 8.0 (slice 8).
+        assert_eq!(m.duration(LeafId(0), wait, 3), 1.0);
+        assert_eq!(m.duration(LeafId(0), wait, 8), 1.0);
+        // p1 Run: enter 2.0 (slice 2), leave 10.0 (clamped to slice 9).
+        assert_eq!(m.duration(LeafId(1), run, 2), 1.0);
+        assert_eq!(m.duration(LeafId(1), run, 9), 1.0);
+    }
+
+    #[test]
+    fn point_events_get_their_own_pseudo_states() {
+        let t = sample_trace();
+        let m = event_counts(&t, TimeGrid::new(0.0, 10.0, 10));
+        let send = m.states().get("evt:send").unwrap();
+        let recv = m.states().get("evt:recv").unwrap();
+        assert!(m.states().get("evt:marker").is_none(), "no markers pushed");
+        let slice = m.grid().slice_of(2.5);
+        assert_eq!(m.duration(LeafId(0), send, slice), 1.0);
+        assert_eq!(m.duration(LeafId(1), recv, m.grid().slice_of(2.6)), 1.0);
+    }
+
+    #[test]
+    fn grand_total_equals_event_count_when_grid_covers() {
+        let t = sample_trace();
+        let (lo, hi) = t.time_range().unwrap();
+        let m = event_counts(&t, TimeGrid::new(lo, hi, 7));
+        assert_eq!(m.grand_total() as usize, t.event_count());
+    }
+
+    #[test]
+    fn density_normalizes_peak_cell_to_rho_one() {
+        let h = Hierarchy::flat(1, "p");
+        let mut b = TraceBuilder::new(h);
+        let s = b.state("S");
+        // 4 intervals inside [0, 1): 4 enters + 4 leaves in slice 0 = 8
+        // events; 1 interval in [5, 6): 2 events in slice 5.
+        for i in 0..4 {
+            let t0 = i as f64 * 0.2;
+            b.push_state(LeafId(0), s, t0, t0 + 0.1);
+        }
+        b.push_state(LeafId(0), s, 5.0, 5.9);
+        let t = b.build();
+        let grid = TimeGrid::new(0.0, 10.0, 10);
+        let m = event_density(&t, grid);
+        let sid = m.states().get("S").unwrap();
+        assert!((m.rho(LeafId(0), sid, 0) - 1.0).abs() < 1e-12, "peak cell");
+        // Ratios preserved: slice 5 has 2/8 of the peak.
+        assert!((m.rho(LeafId(0), sid, 5) - 0.25).abs() < 1e-12);
+        // Everything within [0, 1].
+        for t in 0..10 {
+            let r = m.rho(LeafId(0), sid, t);
+            assert!((0.0..=1.0).contains(&r), "rho out of range: {r}");
+        }
+    }
+
+    #[test]
+    fn density_of_eventless_grid_is_all_zero() {
+        let t = sample_trace();
+        let m = event_density(&t, TimeGrid::new(4.0, 6.0, 2));
+        assert_eq!(m.grand_total(), 0.0);
+    }
+
+    #[test]
+    fn events_outside_explicit_grid_are_dropped() {
+        let t = sample_trace();
+        // Grid covering [4, 6] only: p0 Wait has neither endpoint inside;
+        // eligible events: none of Run's, no points. Only... nothing.
+        let m = event_counts(&t, TimeGrid::new(4.0, 6.0, 2));
+        assert_eq!(m.grand_total(), 0.0);
+        // Grid [2, 4]: p0 Run leave (3.0), p0 Wait enter (3.0), p1 Run
+        // enter (2.0), send (2.5), recv (2.6) = 5 events.
+        let m = event_counts(&t, TimeGrid::new(2.0, 4.0, 2));
+        assert_eq!(m.grand_total(), 5.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_none() {
+        let t = TraceBuilder::new(Hierarchy::flat(1, "p")).build();
+        assert!(event_density_auto(&t, 5).is_none());
+    }
+
+    #[test]
+    fn marker_kind_interned_only_when_present() {
+        let h = Hierarchy::flat(1, "p");
+        let mut b = TraceBuilder::new(h);
+        b.push_point(PointEvent {
+            resource: LeafId(0),
+            time: 1.0,
+            kind: PointKind::Marker,
+        });
+        b.push_point(PointEvent {
+            resource: LeafId(0),
+            time: 3.0,
+            kind: PointKind::Marker,
+        });
+        let t = b.build();
+        let m = event_counts(&t, TimeGrid::new(0.0, 4.0, 4));
+        assert_eq!(m.n_states(), 1);
+        let marker = m.states().get("evt:marker").unwrap();
+        assert_eq!(m.duration(LeafId(0), marker, 1), 1.0);
+        assert_eq!(m.duration(LeafId(0), marker, 3), 1.0);
+        assert_eq!(m.grand_total(), 2.0);
+    }
+
+    #[test]
+    fn state_registry_of_source_trace_is_not_mutated() {
+        let t = sample_trace();
+        let n_before = t.states.len();
+        let _ = event_density_auto(&t, 5).unwrap();
+        assert_eq!(t.states.len(), n_before);
+    }
+
+    #[test]
+    fn timestamp_exactly_at_grid_end_counts_in_last_slice() {
+        let h = Hierarchy::flat(1, "p");
+        let mut b = TraceBuilder::new(h);
+        let s = b.state("S");
+        b.push_state(LeafId(0), s, 0.0, 10.0);
+        let t = b.build();
+        let m = event_counts(&t, TimeGrid::new(0.0, 10.0, 5));
+        let sid = m.states().get("S").unwrap();
+        assert_eq!(m.duration(LeafId(0), sid, 4), 1.0);
+        assert_eq!(m.duration(LeafId(0), sid, 0), 1.0);
+    }
+}

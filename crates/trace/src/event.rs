@@ -1,0 +1,102 @@
+//! Raw trace events: timestamped state intervals produced by resources.
+//!
+//! The raw trace time is continuous (§III.A(2)); a [`StateInterval`] records
+//! that a leaf resource was in a given state over `[begin, end)`. Point
+//! events (e.g. message send/recv markers) are kept for Gantt rendering and
+//! diagnostics but do not enter the microscopic model.
+
+use crate::hierarchy::LeafId;
+use crate::state::StateId;
+
+/// Timestamps are seconds since the trace origin.
+pub type Time = f64;
+
+/// A resource occupying one state over a half-open time interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateInterval {
+    /// The leaf resource producing the event.
+    pub resource: LeafId,
+    /// The state occupied.
+    pub state: StateId,
+    /// Interval start (inclusive).
+    pub begin: Time,
+    /// Interval end (exclusive).
+    pub end: Time,
+}
+
+impl StateInterval {
+    /// Construct an interval; `end` must be ≥ `begin`.
+    pub fn new(resource: LeafId, state: StateId, begin: Time, end: Time) -> Self {
+        debug_assert!(end >= begin, "interval must be non-negative");
+        Self {
+            resource,
+            state,
+            begin,
+            end,
+        }
+    }
+
+    /// Interval length.
+    #[inline]
+    pub fn duration(&self) -> Time {
+        self.end - self.begin
+    }
+}
+
+/// Kinds of point events retained for diagnostics / Gantt arrows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointKind {
+    /// A message left `resource` towards `peer`.
+    MsgSend {
+        /// Destination resource.
+        peer: LeafId,
+    },
+    /// A message arrived at `resource` from `peer`.
+    MsgRecv {
+        /// Source resource.
+        peer: LeafId,
+    },
+    /// Free-form marker.
+    Marker,
+}
+
+/// A point event at a single timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointEvent {
+    /// The resource where the event occurred.
+    pub resource: LeafId,
+    /// Event timestamp.
+    pub time: Time,
+    /// What happened.
+    pub kind: PointKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_duration() {
+        let iv = StateInterval::new(LeafId(0), StateId(1), 1.5, 4.0);
+        assert!((iv.duration() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_interval_is_allowed() {
+        let iv = StateInterval::new(LeafId(3), StateId(0), 2.0, 2.0);
+        assert_eq!(iv.duration(), 0.0);
+    }
+
+    #[test]
+    fn point_event_kinds() {
+        let e = PointEvent {
+            resource: LeafId(1),
+            time: 0.25,
+            kind: PointKind::MsgSend { peer: LeafId(2) },
+        };
+        match e.kind {
+            PointKind::MsgSend { peer } => assert_eq!(peer, LeafId(2)),
+            _ => panic!("wrong kind"),
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! Resource hierarchy: the algebraic structure of the spatial dimension.
+//!
+//! The paper (§III.A) models the platform resources `S = {s1, …, sn}` as the
+//! leaves of a rooted tree `H(S)` (site → cluster → machine → core). A
+//! *hierarchy-consistent* spatial aggregate is exactly a node of this tree.
+//!
+//! Leaves are numbered in depth-first order so that every node owns a
+//! contiguous leaf range `leaf_start..leaf_end`. This makes `|S_k|` an O(1)
+//! lookup and lets per-node time series be accumulated bottom-up in a single
+//! post-order pass.
+
+use std::fmt;
+
+/// Index of a node inside a [`Hierarchy`] arena.
+///
+/// The public field is the raw arena index; constructing an id that is out
+/// of range for the hierarchy it is used with will panic at the use site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a *leaf* resource in depth-first order (`0..hierarchy.n_leaves()`).
+///
+/// This is the `s ∈ S` of the paper; the microscopic model is indexed by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LeafId(pub u32);
+
+impl LeafId {
+    /// Raw leaf index (usable to index microscopic-model arrays).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    /// Level label, e.g. `"site"`, `"cluster"`, `"machine"`, `"core"`.
+    kind: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Contiguous range of DFS leaf indices dominated by this node.
+    leaf_start: u32,
+    leaf_end: u32,
+    depth: u32,
+}
+
+/// A rooted tree over the platform resources.
+///
+/// Invariants established by [`HierarchyBuilder::build`]:
+/// - exactly one root;
+/// - every non-leaf dominates ≥ 1 leaf, leaves of a subtree are contiguous in
+///   DFS order;
+/// - `leaf_of`/`leaf_node` are inverse bijections between leaf indices and
+///   leaf nodes.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    nodes: Vec<Node>,
+    root: NodeId,
+    /// Leaf nodes in DFS order; `leaves[i]` is the node of `LeafId(i)`.
+    leaves: Vec<NodeId>,
+    /// For each node id, `Some(LeafId)` if the node is a leaf.
+    leaf_of_node: Vec<Option<LeafId>>,
+    post_order: Vec<NodeId>,
+    max_depth: u32,
+}
+
+impl Hierarchy {
+    /// Single-level hierarchy: a root with `n` leaf children named `"{prefix}{i}"`.
+    pub fn flat(n: usize, prefix: &str) -> Self {
+        let mut b = HierarchyBuilder::new("root", "root");
+        for i in 0..n {
+            b.add_child(b.root(), &format!("{prefix}{i}"), "leaf");
+        }
+        b.build().expect("flat hierarchy is always valid")
+    }
+
+    /// Balanced hierarchy with the given fan-out per level; e.g. `&[3, 4]`
+    /// yields a root, 3 internal nodes, and 12 leaves.
+    pub fn balanced(fanouts: &[usize]) -> Self {
+        let mut b = HierarchyBuilder::new("root", "root");
+        let mut frontier = vec![b.root()];
+        for (lvl, &f) in fanouts.iter().enumerate() {
+            assert!(f > 0, "fan-out must be positive");
+            let kind = format!("level{}", lvl + 1);
+            let mut next = Vec::with_capacity(frontier.len() * f);
+            for &p in &frontier {
+                for c in 0..f {
+                    next.push(b.add_child(p, &format!("{p}.{c}"), &kind));
+                }
+            }
+            frontier = next;
+        }
+        b.build().expect("balanced hierarchy is always valid")
+    }
+
+    /// The root node (the whole resource set `S`).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of nodes (internal + leaves).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: a hierarchy has at least a root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of leaves, i.e. `|S|` in the paper.
+    #[inline]
+    pub fn n_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Display name of a node.
+    #[inline]
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Level label of a node (e.g. `"cluster"`, `"machine"`).
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].kind
+    }
+
+    /// Parent node, `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children of a node, in declaration order.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// True if the node has no children (it is a microscopic resource).
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].children.is_empty()
+    }
+
+    /// Distance from the root (root has depth 0).
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].depth
+    }
+
+    /// Maximum node depth in the tree.
+    #[inline]
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// DFS-contiguous leaf range dominated by `id`.
+    #[inline]
+    pub fn leaf_range(&self, id: NodeId) -> std::ops::Range<usize> {
+        let n = &self.nodes[id.index()];
+        n.leaf_start as usize..n.leaf_end as usize
+    }
+
+    /// `|S_k|`: number of microscopic resources under `id` (Eq. 1 denominator).
+    #[inline]
+    pub fn n_leaves_under(&self, id: NodeId) -> usize {
+        let n = &self.nodes[id.index()];
+        (n.leaf_end - n.leaf_start) as usize
+    }
+
+    /// The node of a given leaf index.
+    #[inline]
+    pub fn leaf_node(&self, leaf: LeafId) -> NodeId {
+        self.leaves[leaf.index()]
+    }
+
+    /// The leaf index of a node, if it is a leaf.
+    #[inline]
+    pub fn leaf_of(&self, id: NodeId) -> Option<LeafId> {
+        self.leaf_of_node[id.index()]
+    }
+
+    /// All node ids in post-order (children before parents). The aggregation
+    /// algorithms rely on this order: a node's optimal sub-partitions are
+    /// available before its parent is processed.
+    #[inline]
+    pub fn post_order(&self) -> &[NodeId] {
+        &self.post_order
+    }
+
+    /// All node ids in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// `/`-separated path from the root to `id` (root name omitted).
+    pub fn path(&self, id: NodeId) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if self.parent(c).is_some() {
+                parts.push(self.name(c));
+            }
+            cur = self.parent(c);
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// Resolve a `/`-separated path (relative to the root) to a node.
+    pub fn find_path(&self, path: &str) -> Option<NodeId> {
+        let mut cur = self.root;
+        if path.is_empty() {
+            return Some(cur);
+        }
+        'seg: for seg in path.split('/') {
+            for &c in self.children(cur) {
+                if self.name(c) == seg {
+                    cur = c;
+                    continue 'seg;
+                }
+            }
+            return None;
+        }
+        Some(cur)
+    }
+
+    /// True if `anc` dominates `node` (reflexively).
+    pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
+        let a = &self.nodes[anc.index()];
+        let n = &self.nodes[node.index()];
+        a.leaf_start <= n.leaf_start && n.leaf_end <= a.leaf_end && a.depth <= n.depth
+    }
+
+    /// Children of the root, in order — convenient for cluster-level queries.
+    pub fn top_level(&self) -> &[NodeId] {
+        self.children(self.root)
+    }
+
+    /// Verify structural invariants; used by tests and by `build`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty hierarchy".into());
+        }
+        let mut seen_leaves = 0u32;
+        for id in self.node_ids() {
+            let n = &self.nodes[id.index()];
+            if n.leaf_start > n.leaf_end {
+                return Err(format!("{id}: inverted leaf range"));
+            }
+            if n.children.is_empty() {
+                if n.leaf_end - n.leaf_start != 1 {
+                    return Err(format!("{id}: leaf does not own exactly one leaf slot"));
+                }
+                seen_leaves += 1;
+            } else {
+                // Children must tile the parent's range contiguously.
+                let mut cursor = n.leaf_start;
+                for &c in &n.children {
+                    let cn = &self.nodes[c.index()];
+                    if cn.parent != Some(id) {
+                        return Err(format!("{c}: bad parent link"));
+                    }
+                    if cn.leaf_start != cursor {
+                        return Err(format!("{c}: leaf range not contiguous with siblings"));
+                    }
+                    cursor = cn.leaf_end;
+                }
+                if cursor != n.leaf_end {
+                    return Err(format!("{id}: children do not tile leaf range"));
+                }
+            }
+        }
+        if seen_leaves as usize != self.leaves.len() {
+            return Err("leaf count mismatch".into());
+        }
+        let r = &self.nodes[self.root.index()];
+        if r.leaf_start != 0 || r.leaf_end as usize != self.leaves.len() {
+            return Err("root does not span all leaves".into());
+        }
+        Ok(())
+    }
+}
+
+/// Incremental construction of a [`Hierarchy`].
+///
+/// Nodes may be added in any order; `build` computes DFS leaf numbering,
+/// depths, post-order, and validates the result.
+#[derive(Debug, Clone)]
+pub struct HierarchyBuilder {
+    names: Vec<String>,
+    kinds: Vec<String>,
+    parents: Vec<Option<u32>>,
+    children: Vec<Vec<u32>>,
+}
+
+impl HierarchyBuilder {
+    /// Start a hierarchy with a root node.
+    pub fn new(root_name: &str, root_kind: &str) -> Self {
+        Self {
+            names: vec![root_name.to_string()],
+            kinds: vec![root_kind.to_string()],
+            parents: vec![None],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// The root node id (always `NodeId(0)` in builder space).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes added so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always false: the builder starts with a root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // always has a root
+    }
+
+    /// Append a child under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: NodeId, name: &str, kind: &str) -> NodeId {
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.kinds.push(kind.to_string());
+        self.parents.push(Some(parent.0));
+        self.children.push(Vec::new());
+        self.children[parent.index()].push(id);
+        NodeId(id)
+    }
+
+    /// Finalize: renumber nodes in DFS order, compute leaf ranges and depths.
+    pub fn build(self) -> Result<Hierarchy, String> {
+        let n = self.names.len();
+        // DFS from root to assign the final arena order (pre-order).
+        let mut order = Vec::with_capacity(n);
+        let mut new_id = vec![u32::MAX; n];
+        let mut stack = vec![0u32];
+        while let Some(old) = stack.pop() {
+            new_id[old as usize] = order.len() as u32;
+            order.push(old);
+            // Push children reversed so they pop in declaration order.
+            for &c in self.children[old as usize].iter().rev() {
+                stack.push(c);
+            }
+        }
+        if order.len() != n {
+            return Err("unreachable nodes in hierarchy".into());
+        }
+
+        let mut nodes: Vec<Node> = order
+            .iter()
+            .map(|&old| Node {
+                name: self.names[old as usize].clone(),
+                kind: self.kinds[old as usize].clone(),
+                parent: self.parents[old as usize].map(|p| NodeId(new_id[p as usize])),
+                children: self.children[old as usize]
+                    .iter()
+                    .map(|&c| NodeId(new_id[c as usize]))
+                    .collect(),
+                leaf_start: 0,
+                leaf_end: 0,
+                depth: 0,
+            })
+            .collect();
+
+        // Depths (parents precede children in pre-order).
+        for i in 0..n {
+            if let Some(p) = nodes[i].parent {
+                nodes[i].depth = nodes[p.index()].depth + 1;
+            }
+        }
+        let max_depth = nodes.iter().map(|nd| nd.depth).max().unwrap_or(0);
+
+        // Leaf numbering: pre-order visit; leaves get consecutive indices.
+        let mut leaves = Vec::new();
+        let mut leaf_of_node = vec![None; n];
+        for i in 0..n {
+            if nodes[i].children.is_empty() {
+                let leaf = LeafId(leaves.len() as u32);
+                nodes[i].leaf_start = leaf.0;
+                nodes[i].leaf_end = leaf.0 + 1;
+                leaf_of_node[i] = Some(leaf);
+                leaves.push(NodeId(i as u32));
+            }
+        }
+        // Internal leaf ranges: reverse pre-order = children processed first.
+        for i in (0..n).rev() {
+            if !nodes[i].children.is_empty() {
+                let first = nodes[i].children[0];
+                let last = *nodes[i].children.last().unwrap();
+                nodes[i].leaf_start = nodes[first.index()].leaf_start;
+                nodes[i].leaf_end = nodes[last.index()].leaf_end;
+            }
+        }
+
+        // Post-order traversal.
+        let mut post_order = Vec::with_capacity(n);
+        let mut stack: Vec<(NodeId, bool)> = vec![(NodeId(0), false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                post_order.push(id);
+            } else {
+                stack.push((id, true));
+                for &c in nodes[id.index()].children.iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+
+        let h = Hierarchy {
+            nodes,
+            root: NodeId(0),
+            leaves,
+            leaf_of_node,
+            post_order,
+            max_depth,
+        };
+        h.check_invariants()?;
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_hierarchy_basics() {
+        let h = Hierarchy::flat(5, "p");
+        assert_eq!(h.n_leaves(), 5);
+        assert_eq!(h.len(), 6);
+        assert_eq!(h.n_leaves_under(h.root()), 5);
+        assert_eq!(h.leaf_range(h.root()), 0..5);
+        assert!(h.check_invariants().is_ok());
+        assert_eq!(h.max_depth(), 1);
+    }
+
+    #[test]
+    fn balanced_hierarchy_shape() {
+        let h = Hierarchy::balanced(&[3, 4]);
+        assert_eq!(h.n_leaves(), 12);
+        assert_eq!(h.len(), 1 + 3 + 12);
+        assert_eq!(h.top_level().len(), 3);
+        for &c in h.top_level() {
+            assert_eq!(h.n_leaves_under(c), 4);
+        }
+        assert_eq!(h.max_depth(), 2);
+    }
+
+    #[test]
+    fn leaf_numbering_is_dfs_contiguous() {
+        let mut b = HierarchyBuilder::new("site", "site");
+        let c1 = b.add_child(b.root(), "c1", "cluster");
+        let c2 = b.add_child(b.root(), "c2", "cluster");
+        b.add_child(c2, "m3", "machine");
+        b.add_child(c1, "m1", "machine");
+        b.add_child(c1, "m2", "machine");
+        let h = b.build().unwrap();
+        assert_eq!(h.n_leaves(), 3);
+        // c1's machines must occupy leaves 0..2 (declaration order preserved).
+        let c1 = h.find_path("c1").unwrap();
+        let c2 = h.find_path("c2").unwrap();
+        assert_eq!(h.leaf_range(c1), 0..2);
+        assert_eq!(h.leaf_range(c2), 2..3);
+        assert_eq!(h.name(h.leaf_node(LeafId(0))), "m1");
+        assert_eq!(h.name(h.leaf_node(LeafId(1))), "m2");
+        assert_eq!(h.name(h.leaf_node(LeafId(2))), "m3");
+    }
+
+    #[test]
+    fn post_order_children_before_parents() {
+        let h = Hierarchy::balanced(&[2, 2]);
+        let pos: std::collections::HashMap<NodeId, usize> = h
+            .post_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        for id in h.node_ids() {
+            for &c in h.children(id) {
+                assert!(pos[&c] < pos[&id], "child {c} must precede parent {id}");
+            }
+        }
+        assert_eq!(h.post_order().len(), h.len());
+    }
+
+    #[test]
+    fn paths_roundtrip() {
+        let h = Hierarchy::balanced(&[2, 3]);
+        for id in h.node_ids() {
+            let p = h.path(id);
+            assert_eq!(h.find_path(&p), Some(id), "path {p:?}");
+        }
+        assert_eq!(h.find_path("nope"), None);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let h = Hierarchy::balanced(&[2, 2]);
+        let root = h.root();
+        for id in h.node_ids() {
+            assert!(h.is_ancestor(root, id));
+            assert!(h.is_ancestor(id, id));
+        }
+        let a = h.top_level()[0];
+        let b = h.top_level()[1];
+        assert!(!h.is_ancestor(a, b));
+        assert!(!h.is_ancestor(b, a));
+        for &c in h.children(a) {
+            assert!(h.is_ancestor(a, c));
+            assert!(!h.is_ancestor(b, c));
+        }
+    }
+
+    #[test]
+    fn leaf_node_and_leaf_of_are_inverse() {
+        let h = Hierarchy::balanced(&[2, 2, 2]);
+        for i in 0..h.n_leaves() {
+            let leaf = LeafId(i as u32);
+            let node = h.leaf_node(leaf);
+            assert_eq!(h.leaf_of(node), Some(leaf));
+            assert!(h.is_leaf(node));
+        }
+        assert_eq!(h.leaf_of(h.root()), None);
+    }
+
+    #[test]
+    fn single_node_hierarchy() {
+        let b = HierarchyBuilder::new("only", "root");
+        let h = b.build().unwrap();
+        assert_eq!(h.n_leaves(), 1);
+        assert!(h.is_leaf(h.root()));
+        assert_eq!(h.leaf_range(h.root()), 0..1);
+    }
+
+    #[test]
+    fn display_and_index() {
+        let h = Hierarchy::flat(2, "x");
+        let id = h.root();
+        assert_eq!(format!("{id}"), "n0");
+        assert_eq!(id.index(), 0);
+    }
+}

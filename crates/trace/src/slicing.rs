@@ -1,0 +1,206 @@
+//! Discretization of continuous trace time into regular slices.
+//!
+//! The paper divides the raw trace into `|T|` regular time periods and
+//! associates events with the periods where they are active (§III.A(2)).
+//! [`TimeGrid`] implements that division plus the proration of an interval
+//! onto the slices it overlaps.
+
+use crate::event::Time;
+
+/// A regular grid of `n_slices` time periods covering `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeGrid {
+    start: Time,
+    end: Time,
+    n_slices: usize,
+}
+
+impl TimeGrid {
+    /// Create a grid; requires `end > start` and `n_slices ≥ 1`.
+    pub fn new(start: Time, end: Time, n_slices: usize) -> Self {
+        assert!(n_slices >= 1, "need at least one slice");
+        assert!(end > start, "grid must have positive extent (start={start}, end={end})");
+        Self {
+            start,
+            end,
+            n_slices,
+        }
+    }
+
+    /// Grid origin.
+    #[inline]
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// Grid end.
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.end
+    }
+
+    /// `|T|`: number of microscopic time periods.
+    #[inline]
+    pub fn n_slices(&self) -> usize {
+        self.n_slices
+    }
+
+    /// `d(t)`: duration of every slice (regular grid).
+    #[inline]
+    pub fn slice_duration(&self) -> Time {
+        (self.end - self.start) / self.n_slices as f64
+    }
+
+    /// Bounds `[lo, hi)` of slice `i`.
+    #[inline]
+    pub fn slice_bounds(&self, i: usize) -> (Time, Time) {
+        let w = self.slice_duration();
+        let lo = self.start + w * i as f64;
+        let hi = if i + 1 == self.n_slices {
+            self.end
+        } else {
+            self.start + w * (i + 1) as f64
+        };
+        (lo, hi)
+    }
+
+    /// Slice containing time `t` (clamped to the grid).
+    #[inline]
+    pub fn slice_of(&self, t: Time) -> usize {
+        if t <= self.start {
+            return 0;
+        }
+        if t >= self.end {
+            return self.n_slices - 1;
+        }
+        let idx = ((t - self.start) / self.slice_duration()) as usize;
+        idx.min(self.n_slices - 1)
+    }
+
+    /// Overlap duration between `[begin, end)` and slice `i`.
+    #[inline]
+    pub fn overlap(&self, begin: Time, end: Time, i: usize) -> Time {
+        let (lo, hi) = self.slice_bounds(i);
+        (end.min(hi) - begin.max(lo)).max(0.0)
+    }
+
+    /// Iterate `(slice_index, overlap_duration)` for every slice an interval
+    /// touches, visiting only the overlapped slices (O(overlapped) not O(|T|)).
+    pub fn prorate(&self, begin: Time, end: Time) -> ProrateIter<'_> {
+        let b = begin.max(self.start);
+        let e = end.min(self.end);
+        let (first, last) = if e <= b {
+            (1, 0) // empty
+        } else {
+            (self.slice_of(b), self.slice_of(e - 1e-300).max(self.slice_of(b)))
+        };
+        ProrateIter {
+            grid: self,
+            begin: b,
+            end: e,
+            cur: first,
+            last,
+        }
+    }
+}
+
+/// Iterator over `(slice, overlap)` pairs; see [`TimeGrid::prorate`].
+pub struct ProrateIter<'a> {
+    grid: &'a TimeGrid,
+    begin: Time,
+    end: Time,
+    cur: usize,
+    last: usize,
+}
+
+impl Iterator for ProrateIter<'_> {
+    type Item = (usize, Time);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.cur <= self.last {
+            let i = self.cur;
+            self.cur += 1;
+            let ov = self.grid.overlap(self.begin, self.end, i);
+            if ov > 0.0 {
+                return Some((i, ov));
+            }
+            // Zero-overlap slice at the boundary: skip it but keep scanning.
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_bounds_cover_grid_exactly() {
+        let g = TimeGrid::new(0.0, 10.0, 4);
+        assert_eq!(g.slice_bounds(0), (0.0, 2.5));
+        assert_eq!(g.slice_bounds(3), (7.5, 10.0));
+        assert!((g.slice_duration() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_of_clamps() {
+        let g = TimeGrid::new(1.0, 2.0, 10);
+        assert_eq!(g.slice_of(0.0), 0);
+        assert_eq!(g.slice_of(1.0), 0);
+        assert_eq!(g.slice_of(1.95), 9);
+        assert_eq!(g.slice_of(2.0), 9);
+        assert_eq!(g.slice_of(99.0), 9);
+    }
+
+    #[test]
+    fn prorate_splits_duration_exactly() {
+        let g = TimeGrid::new(0.0, 10.0, 5);
+        let parts: Vec<(usize, f64)> = g.prorate(1.0, 7.0).collect();
+        let total: f64 = parts.iter().map(|&(_, d)| d).sum();
+        assert!((total - 6.0).abs() < 1e-12);
+        assert_eq!(parts.len(), 4); // slices 0..=3
+        assert_eq!(parts[0].0, 0);
+        assert!((parts[0].1 - 1.0).abs() < 1e-12);
+        assert!((parts[1].1 - 2.0).abs() < 1e-12);
+        assert!((parts[3].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prorate_clips_to_grid() {
+        let g = TimeGrid::new(0.0, 4.0, 2);
+        let parts: Vec<(usize, f64)> = g.prorate(-5.0, 100.0).collect();
+        let total: f64 = parts.iter().map(|&(_, d)| d).sum();
+        assert!((total - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prorate_empty_interval() {
+        let g = TimeGrid::new(0.0, 4.0, 2);
+        assert_eq!(g.prorate(3.0, 3.0).count(), 0);
+        assert_eq!(g.prorate(5.0, 6.0).count(), 0);
+        assert_eq!(g.prorate(3.0, 1.0).count(), 0);
+    }
+
+    #[test]
+    fn prorate_interval_within_single_slice() {
+        let g = TimeGrid::new(0.0, 30.0, 30);
+        let parts: Vec<(usize, f64)> = g.prorate(5.25, 5.75).collect();
+        assert_eq!(parts, vec![(5, 0.5)]);
+    }
+
+    #[test]
+    fn prorate_interval_on_slice_boundary() {
+        let g = TimeGrid::new(0.0, 10.0, 10);
+        // [3.0, 4.0) is exactly slice 3.
+        let parts: Vec<(usize, f64)> = g.prorate(3.0, 4.0).collect();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].0, 3);
+        assert!((parts[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn zero_extent_grid_panics() {
+        TimeGrid::new(1.0, 1.0, 3);
+    }
+}

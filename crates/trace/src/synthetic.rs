@@ -1,0 +1,333 @@
+//! Deterministic synthetic microscopic models.
+//!
+//! Provides the paper's Fig. 3 artificial trace (12 resources × 20 slices ×
+//! 2 states), a block-structured generator with known ground truth, and a
+//! small deterministic PRNG so no external dependency is needed here.
+
+use crate::hierarchy::Hierarchy;
+use crate::micro::MicroModel;
+use crate::slicing::TimeGrid;
+use crate::state::StateRegistry;
+
+/// SplitMix64: tiny deterministic PRNG for reproducible synthetic data.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The paper's Fig. 3 artificial trace: 12 resources in 3 clusters of 4,
+/// 20 microscopic time periods, two states with `ρ₂ = 1 − ρ₁`.
+///
+/// The spatiotemporal patterns follow the description in §III.D:
+/// - slices 0–1: homogeneous in time, heterogeneous in space;
+/// - slices 2–4: same, except cluster SA is internally homogeneous;
+/// - slices 5–6: homogeneous in time and in space at the cluster level;
+/// - slice 7: fully homogeneous;
+/// - slices 8–19: SA spatially homogeneous but varying in time, SB constant,
+///   SC a mix of per-resource temporal patterns.
+pub fn fig3_model() -> MicroModel {
+    let hierarchy = fig3_hierarchy();
+    let states = StateRegistry::from_names(["state1", "state2"]);
+    let n_slices = 20;
+    let grid = TimeGrid::new(0.0, n_slices as f64, n_slices);
+    let n = hierarchy.n_leaves();
+
+    // ρ₁ per (resource, slice).
+    let mut rho1 = vec![0.0f64; n * n_slices];
+    let mut set = |s: usize, t: usize, v: f64| rho1[s * n_slices + t] = v;
+
+    for s in 0..12 {
+        // Slices 0–1: fully heterogeneous in space, constant in time.
+        let v = 0.05 + 0.08 * s as f64; // 0.05 .. 0.93
+        set(s, 0, v);
+        set(s, 1, v);
+        // Slices 2–4: SA homogeneous (0.8); SB/SC heterogeneous.
+        let v = if s < 4 { 0.8 } else { 0.10 + 0.09 * (s - 4) as f64 };
+        for t in 2..5 {
+            set(s, t, v);
+        }
+        // Slices 5–6: cluster-homogeneous levels.
+        let v = match s / 4 {
+            0 => 0.9,
+            1 => 0.5,
+            _ => 0.1,
+        };
+        set(s, 5, v);
+        set(s, 6, v);
+        // Slice 7: fully homogeneous.
+        set(s, 7, 0.5);
+        // Slices 8–19.
+        for t in 8..20 {
+            let v = match s {
+                // SA: same ramp for every resource (space-homog, time-heterog).
+                0..=3 => 0.15 + 0.05 * (t - 8) as f64,
+                // SB: constant (homog in both).
+                4..=7 => 0.35,
+                // SC: per-resource temporal patterns.
+                8 | 9 => {
+                    if t < 14 {
+                        0.2
+                    } else {
+                        0.8
+                    }
+                }
+                10 => {
+                    if t % 2 == 0 {
+                        0.25
+                    } else {
+                        0.75
+                    }
+                }
+                _ => {
+                    if t < 11 {
+                        0.9
+                    } else {
+                        0.3
+                    }
+                }
+            };
+            set(s, t, v);
+        }
+    }
+
+    // Expand to the dense [leaf][state][slice] layout with ρ₂ = 1 − ρ₁.
+    let mut rho = vec![0.0f64; n * 2 * n_slices];
+    for s in 0..n {
+        for t in 0..n_slices {
+            let v = rho1[s * n_slices + t];
+            rho[(s * 2) * n_slices + t] = v;
+            rho[(s * 2 + 1) * n_slices + t] = 1.0 - v;
+        }
+    }
+    MicroModel::from_proportions(hierarchy, states, grid, rho)
+}
+
+/// The Fig. 3 hierarchy: root S with clusters SA, SB, SC of 4 resources each.
+pub fn fig3_hierarchy() -> Hierarchy {
+    let mut b = crate::hierarchy::HierarchyBuilder::new("S", "root");
+    for (ci, cname) in ["SA", "SB", "SC"].iter().enumerate() {
+        let c = b.add_child(b.root(), cname, "cluster");
+        for k in 0..4 {
+            b.add_child(c, &format!("s{}", ci * 4 + k + 1), "resource");
+        }
+    }
+    b.build().expect("fig3 hierarchy is valid")
+}
+
+/// A rectangular homogeneous block: all cells `(s, t)` with
+/// `s ∈ leaves`, `t ∈ slices` share the same state proportions.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Leaf index range covered by the block.
+    pub leaves: std::ops::Range<usize>,
+    /// Slice index range covered by the block.
+    pub slices: std::ops::Range<usize>,
+    /// One proportion per state; must sum to ≤ 1.
+    pub rho: Vec<f64>,
+}
+
+/// Build a micro model from homogeneous blocks over a given hierarchy.
+/// Cells not covered by any block keep all-zero proportions.
+/// Later blocks overwrite earlier ones.
+pub fn block_model(
+    hierarchy: Hierarchy,
+    states: StateRegistry,
+    n_slices: usize,
+    blocks: &[Block],
+) -> MicroModel {
+    let n = hierarchy.n_leaves();
+    let x = states.len();
+    let grid = TimeGrid::new(0.0, n_slices as f64, n_slices);
+    let mut rho = vec![0.0f64; n * x * n_slices];
+    for b in blocks {
+        assert_eq!(b.rho.len(), x, "block must give one ρ per state");
+        for s in b.leaves.clone() {
+            for t in b.slices.clone() {
+                for (xi, &r) in b.rho.iter().enumerate() {
+                    rho[(s * x + xi) * n_slices + t] = r;
+                }
+            }
+        }
+    }
+    MicroModel::from_proportions(hierarchy, states, grid, rho)
+}
+
+/// Random micro model: balanced hierarchy, uniform random proportions.
+/// Deterministic for a given seed.
+pub fn random_model(
+    fanouts: &[usize],
+    n_slices: usize,
+    n_states: usize,
+    seed: u64,
+) -> MicroModel {
+    let hierarchy = Hierarchy::balanced(fanouts);
+    let states =
+        StateRegistry::from_names((0..n_states).map(|i| format!("st{i}")).collect::<Vec<_>>());
+    let grid = TimeGrid::new(0.0, n_slices as f64, n_slices);
+    let n = hierarchy.n_leaves();
+    let mut rng = SplitMix64(seed);
+    let mut rho = vec![0.0f64; n * n_states * n_slices];
+    for s in 0..n {
+        for t in 0..n_slices {
+            // Random point on the simplex scaled to sum ≤ 1.
+            let mut parts: Vec<f64> = (0..n_states).map(|_| rng.next_f64()).collect();
+            let sum: f64 = parts.iter().sum();
+            if sum > 0.0 {
+                let scale = rng.next_f64() / sum; // total occupancy in [0,1)
+                for p in &mut parts {
+                    *p *= scale;
+                }
+            }
+            for (xi, &p) in parts.iter().enumerate() {
+                rho[(s * n_states + xi) * n_slices + t] = p;
+            }
+        }
+    }
+    MicroModel::from_proportions(hierarchy, states, grid, rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::LeafId;
+    use crate::state::StateId;
+
+    #[test]
+    fn fig3_dimensions_match_paper() {
+        let m = fig3_model();
+        assert_eq!(m.n_leaves(), 12);
+        assert_eq!(m.n_slices(), 20);
+        assert_eq!(m.n_states(), 2);
+        assert_eq!(m.hierarchy().top_level().len(), 3);
+    }
+
+    #[test]
+    fn fig3_proportions_sum_to_one() {
+        let m = fig3_model();
+        for s in 0..12 {
+            for t in 0..20 {
+                let total: f64 = (0..2)
+                    .map(|x| m.rho(LeafId(s), StateId(x), t))
+                    .sum();
+                assert!((total - 1.0).abs() < 1e-9, "cell ({s},{t}) sums to {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_region_properties() {
+        let m = fig3_model();
+        let x0 = StateId(0);
+        // Slice 7 fully homogeneous.
+        for s in 0..12 {
+            assert!((m.rho(LeafId(s), x0, 7) - 0.5).abs() < 1e-9);
+        }
+        // Slices 0-1 heterogeneous across resources.
+        let vals: Vec<f64> = (0..12).map(|s| m.rho(LeafId(s), x0, 0)).collect();
+        for w in vals.windows(2) {
+            assert!((w[0] - w[1]).abs() > 1e-3);
+        }
+        // SA homogeneous across space in slices 8..20 but varies in time.
+        for t in 8..20 {
+            let v = m.rho(LeafId(0), x0, t);
+            for s in 1..4 {
+                assert!((m.rho(LeafId(s), x0, t) - v).abs() < 1e-9);
+            }
+        }
+        assert!((m.rho(LeafId(0), x0, 8) - m.rho(LeafId(0), x0, 19)).abs() > 0.1);
+    }
+
+    #[test]
+    fn block_model_places_blocks() {
+        let h = Hierarchy::flat(4, "p");
+        let st = StateRegistry::from_names(["a", "b"]);
+        let m = block_model(
+            h,
+            st,
+            10,
+            &[
+                Block {
+                    leaves: 0..2,
+                    slices: 0..5,
+                    rho: vec![0.75, 0.25],
+                },
+                Block {
+                    leaves: 2..4,
+                    slices: 5..10,
+                    rho: vec![0.1, 0.2],
+                },
+            ],
+        );
+        assert!((m.rho(LeafId(0), StateId(0), 0) - 0.75).abs() < 1e-12);
+        assert!((m.rho(LeafId(1), StateId(1), 4) - 0.25).abs() < 1e-12);
+        assert_eq!(m.rho(LeafId(0), StateId(0), 7), 0.0);
+        assert!((m.rho(LeafId(3), StateId(1), 9) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_model_is_deterministic() {
+        let a = random_model(&[2, 3], 8, 3, 42);
+        let b = random_model(&[2, 3], 8, 3, 42);
+        let c = random_model(&[2, 3], 8, 3, 43);
+        assert_eq!(a.n_leaves(), 6);
+        let mut same = true;
+        let mut diff_seed_same = true;
+        for s in 0..6 {
+            for x in 0..3 {
+                for t in 0..8 {
+                    let (l, xi) = (LeafId(s), StateId(x));
+                    same &= a.rho(l, xi, t) == b.rho(l, xi, t);
+                    diff_seed_same &= a.rho(l, xi, t) == c.rho(l, xi, t);
+                }
+            }
+        }
+        assert!(same);
+        assert!(!diff_seed_same);
+    }
+
+    #[test]
+    fn random_model_rho_sums_below_one() {
+        let m = random_model(&[4, 4], 12, 4, 7);
+        for s in 0..16 {
+            for t in 0..12 {
+                let total: f64 = (0..4).map(|x| m.rho(LeafId(s), StateId(x), t)).sum();
+                assert!(total <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_is_reproducible() {
+        let mut a = SplitMix64(1);
+        let mut b = SplitMix64(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let f = SplitMix64(2).next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

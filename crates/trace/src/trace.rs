@@ -1,0 +1,242 @@
+//! In-memory trace container and programmatic builder.
+//!
+//! A [`Trace`] bundles the three paper dimensions: the hierarchy (space),
+//! the recorded state intervals (which discretize into time × state), plus
+//! optional point events and free-form metadata.
+
+use crate::event::{PointEvent, StateInterval, Time};
+use crate::hierarchy::{Hierarchy, LeafId};
+use crate::state::{StateId, StateRegistry};
+
+/// A complete execution trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The platform resource hierarchy (spatial dimension).
+    pub hierarchy: Hierarchy,
+    /// The interned state names (state dimension).
+    pub states: StateRegistry,
+    /// All recorded state intervals.
+    pub intervals: Vec<StateInterval>,
+    /// Point events (message markers etc.), not part of the micro model.
+    pub points: Vec<PointEvent>,
+    /// Free-form key/value metadata (application, platform, …).
+    pub metadata: Vec<(String, String)>,
+    time_min: Time,
+    time_max: Time,
+}
+
+impl Trace {
+    /// Observed time extent `[min, max]`; `None` if the trace has no events.
+    pub fn time_range(&self) -> Option<(Time, Time)> {
+        if self.intervals.is_empty() && self.points.is_empty() {
+            None
+        } else {
+            Some((self.time_min, self.time_max))
+        }
+    }
+
+    /// Number of event records: 2 per state interval (enter + leave, as a
+    /// Score-P/Paje writer would emit) plus 1 per point event. This is the
+    /// quantity reported in the paper's Table II "Event number" row.
+    pub fn event_count(&self) -> usize {
+        self.intervals.len() * 2 + self.points.len()
+    }
+
+    /// Metadata value by key, if present.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.metadata
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Check internal consistency (resources and states in range, intervals
+    /// non-negative, within reported time range).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.hierarchy.n_leaves();
+        let x = self.states.len();
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if iv.resource.index() >= n {
+                return Err(format!("interval {i}: resource out of range"));
+            }
+            if iv.state.index() >= x {
+                return Err(format!("interval {i}: state out of range"));
+            }
+            if iv.end < iv.begin || iv.end.is_nan() || iv.begin.is_nan() {
+                return Err(format!("interval {i}: negative duration"));
+            }
+        }
+        for (i, p) in self.points.iter().enumerate() {
+            if p.resource.index() >= n {
+                return Err(format!("point {i}: resource out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental construction of a [`Trace`].
+pub struct TraceBuilder {
+    hierarchy: Hierarchy,
+    states: StateRegistry,
+    intervals: Vec<StateInterval>,
+    points: Vec<PointEvent>,
+    metadata: Vec<(String, String)>,
+    time_min: Time,
+    time_max: Time,
+}
+
+impl TraceBuilder {
+    /// Start building a trace over the given hierarchy.
+    pub fn new(hierarchy: Hierarchy) -> Self {
+        Self {
+            hierarchy,
+            states: StateRegistry::new(),
+            intervals: Vec::new(),
+            points: Vec::new(),
+            metadata: Vec::new(),
+            time_min: f64::INFINITY,
+            time_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Use a pre-populated state registry (ids will be shared with callers).
+    pub fn with_states(mut self, states: StateRegistry) -> Self {
+        self.states = states;
+        self
+    }
+
+    /// The hierarchy this trace is being built over.
+    #[inline]
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Intern a state name.
+    pub fn state(&mut self, name: &str) -> StateId {
+        self.states.intern(name)
+    }
+
+    /// Record that `resource` was in `state` over `[begin, end)`.
+    pub fn push_state(&mut self, resource: LeafId, state: StateId, begin: Time, end: Time) {
+        assert!(
+            end >= begin,
+            "negative interval [{begin}, {end}) for {resource:?}"
+        );
+        assert!(
+            resource.index() < self.hierarchy.n_leaves(),
+            "resource {resource:?} out of range"
+        );
+        self.time_min = self.time_min.min(begin);
+        self.time_max = self.time_max.max(end);
+        self.intervals.push(StateInterval {
+            resource,
+            state,
+            begin,
+            end,
+        });
+    }
+
+    /// Record a point event.
+    pub fn push_point(&mut self, ev: PointEvent) {
+        self.time_min = self.time_min.min(ev.time);
+        self.time_max = self.time_max.max(ev.time);
+        self.points.push(ev);
+    }
+
+    /// Attach a metadata key/value pair.
+    pub fn push_meta(&mut self, key: &str, value: &str) {
+        self.metadata.push((key.to_string(), value.to_string()));
+    }
+
+    /// Number of intervals pushed so far.
+    pub fn n_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Finalize the trace.
+    pub fn build(self) -> Trace {
+        let t = Trace {
+            hierarchy: self.hierarchy,
+            states: self.states,
+            intervals: self.intervals,
+            points: self.points,
+            metadata: self.metadata,
+            time_min: self.time_min,
+            time_max: self.time_max,
+        };
+        debug_assert!(t.check_invariants().is_ok());
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PointKind;
+
+    fn tiny() -> Trace {
+        let h = Hierarchy::flat(2, "p");
+        let mut b = TraceBuilder::new(h);
+        let run = b.state("Run");
+        let wait = b.state("Wait");
+        b.push_state(LeafId(0), run, 0.0, 5.0);
+        b.push_state(LeafId(1), wait, 1.0, 6.0);
+        b.push_meta("app", "test");
+        b.build()
+    }
+
+    #[test]
+    fn time_range_tracks_events() {
+        let t = tiny();
+        assert_eq!(t.time_range(), Some((0.0, 6.0)));
+    }
+
+    #[test]
+    fn event_count_counts_enter_and_leave() {
+        let t = tiny();
+        assert_eq!(t.event_count(), 4);
+    }
+
+    #[test]
+    fn metadata_lookup() {
+        let t = tiny();
+        assert_eq!(t.meta("app"), Some("test"));
+        assert_eq!(t.meta("nope"), None);
+    }
+
+    #[test]
+    fn empty_trace_has_no_range() {
+        let t = TraceBuilder::new(Hierarchy::flat(1, "p")).build();
+        assert_eq!(t.time_range(), None);
+        assert_eq!(t.event_count(), 0);
+    }
+
+    #[test]
+    fn points_extend_time_range() {
+        let h = Hierarchy::flat(1, "p");
+        let mut b = TraceBuilder::new(h);
+        b.push_point(PointEvent {
+            resource: LeafId(0),
+            time: 42.0,
+            kind: PointKind::Marker,
+        });
+        let t = b.build();
+        assert_eq!(t.time_range(), Some((42.0, 42.0)));
+        assert_eq!(t.event_count(), 1);
+    }
+
+    #[test]
+    fn invariants_hold_for_built_trace() {
+        assert!(tiny().check_invariants().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_resource_panics() {
+        let h = Hierarchy::flat(1, "p");
+        let mut b = TraceBuilder::new(h);
+        let s = b.state("x");
+        b.push_state(LeafId(5), s, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests of the hierarchy arena on arbitrary tree shapes: the
+//! spatial dimension's invariants (§III.A) must hold for *any* rooted tree,
+//! not just the balanced ones the other tests use.
+
+use ocelotl_trace::{Hierarchy, HierarchyBuilder, LeafId, NodeId};
+use proptest::prelude::*;
+
+/// Build a random tree: node `i` (1-based) attaches to a parent chosen
+/// among the already-created nodes by `parent_picks[i-1]`.
+fn random_tree(parent_picks: &[usize]) -> Hierarchy {
+    let mut b = HierarchyBuilder::new("root", "site");
+    let mut nodes: Vec<NodeId> = vec![b.root()];
+    for (i, &pick) in parent_picks.iter().enumerate() {
+        let parent = nodes[pick % nodes.len()];
+        let node = b.add_child(parent, &format!("n{i}"), "node");
+        nodes.push(node);
+    }
+    b.build().expect("random tree is a valid hierarchy")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn invariants_hold_on_arbitrary_trees(picks in prop::collection::vec(0usize..1000, 1..60)) {
+        let h = random_tree(&picks);
+        prop_assert!(h.check_invariants().is_ok());
+        prop_assert_eq!(h.len(), picks.len() + 1);
+    }
+
+    /// The leaf ranges of any node's children partition the node's range
+    /// (disjoint, covering, in order).
+    #[test]
+    fn child_leaf_ranges_partition_the_parent(picks in prop::collection::vec(0usize..1000, 1..60)) {
+        let h = random_tree(&picks);
+        for node in h.node_ids() {
+            let children = h.children(node);
+            if children.is_empty() {
+                prop_assert_eq!(h.leaf_range(node).len(), 1, "leaves own one leaf");
+                continue;
+            }
+            let r = h.leaf_range(node);
+            let mut cursor = r.start;
+            for &c in children {
+                let cr = h.leaf_range(c);
+                prop_assert_eq!(cr.start, cursor, "children are DFS-contiguous");
+                cursor = cr.end;
+            }
+            prop_assert_eq!(cursor, r.end, "children cover the parent exactly");
+        }
+    }
+
+    /// Post-order visits every node exactly once, children before parents.
+    #[test]
+    fn post_order_is_a_valid_topological_order(picks in prop::collection::vec(0usize..1000, 1..60)) {
+        let h = random_tree(&picks);
+        let order = h.post_order();
+        prop_assert_eq!(order.len(), h.len());
+        let mut pos = vec![usize::MAX; h.len()];
+        for (i, &n) in order.iter().enumerate() {
+            prop_assert_eq!(pos[n.index()], usize::MAX, "node visited twice");
+            pos[n.index()] = i;
+        }
+        for node in h.node_ids() {
+            for &c in h.children(node) {
+                prop_assert!(
+                    pos[c.index()] < pos[node.index()],
+                    "child {c:?} after parent {node:?}"
+                );
+            }
+        }
+    }
+
+    /// `find_path(path(n)) == n` for every node, and leaf lookups invert.
+    #[test]
+    fn paths_round_trip(picks in prop::collection::vec(0usize..1000, 1..40)) {
+        let h = random_tree(&picks);
+        for node in h.node_ids() {
+            prop_assert_eq!(h.find_path(&h.path(node)), Some(node));
+        }
+        for leaf in 0..h.n_leaves() {
+            let node = h.leaf_node(LeafId(leaf as u32));
+            prop_assert_eq!(h.leaf_of(node), Some(LeafId(leaf as u32)));
+            prop_assert!(h.is_leaf(node));
+        }
+    }
+
+    /// `is_ancestor` agrees with parent-chain walking, and ancestor leaf
+    /// ranges contain descendant ranges.
+    #[test]
+    fn ancestry_is_consistent(picks in prop::collection::vec(0usize..1000, 1..40)) {
+        let h = random_tree(&picks);
+        for a in h.node_ids() {
+            for b in h.node_ids() {
+                // Walk b's parent chain looking for a.
+                let mut cur = Some(b);
+                let mut found = false;
+                while let Some(n) = cur {
+                    if n == a {
+                        found = true;
+                        break;
+                    }
+                    cur = h.parent(n);
+                }
+                prop_assert_eq!(h.is_ancestor(a, b), found, "a={:?} b={:?}", a, b);
+                if found {
+                    let (ra, rb) = (h.leaf_range(a), h.leaf_range(b));
+                    prop_assert!(ra.start <= rb.start && rb.end <= ra.end);
+                }
+            }
+        }
+    }
+
+    /// Depth is parent depth + 1; max_depth is attained by some node.
+    #[test]
+    fn depths_are_consistent(picks in prop::collection::vec(0usize..1000, 1..60)) {
+        let h = random_tree(&picks);
+        prop_assert_eq!(h.depth(h.root()), 0);
+        let mut max_seen = 0;
+        for node in h.node_ids() {
+            if let Some(p) = h.parent(node) {
+                prop_assert_eq!(h.depth(node), h.depth(p) + 1);
+            }
+            max_seen = max_seen.max(h.depth(node));
+        }
+        prop_assert_eq!(max_seen, h.max_depth());
+    }
+
+    /// n_leaves_under sums over children; the root sees every leaf.
+    #[test]
+    fn leaf_counts_are_additive(picks in prop::collection::vec(0usize..1000, 1..60)) {
+        let h = random_tree(&picks);
+        prop_assert_eq!(h.n_leaves_under(h.root()), h.n_leaves());
+        for node in h.node_ids() {
+            let children = h.children(node);
+            if !children.is_empty() {
+                let sum: usize = children.iter().map(|&c| h.n_leaves_under(c)).sum();
+                prop_assert_eq!(h.n_leaves_under(node), sum);
+            }
+        }
+    }
+}

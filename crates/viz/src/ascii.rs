@@ -1,0 +1,243 @@
+//! Terminal rendering of the aggregated overview.
+//!
+//! Each character cell shows the mode state of the covering aggregate
+//! (uppercase initial when the mode is confident, lowercase when contested,
+//! `·` when idle); `▚`-style marks are replaced by `/` (diagonal) and `x`
+//! (cross) overlays on visual aggregates.
+
+use crate::visual_agg::Item;
+use ocelotl_core::AggregationInput;
+use std::fmt::Write as _;
+
+/// Options for the ASCII renderer.
+#[derive(Debug, Clone)]
+pub struct AsciiOptions {
+    /// Character columns of the plot area.
+    pub width: usize,
+    /// Character rows of the plot area (leaves are squeezed into these).
+    pub height: usize,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        Self {
+            width: 96,
+            height: 24,
+        }
+    }
+}
+
+/// Render items to a multi-line string (plot + legend).
+pub fn render_ascii(input: &AggregationInput, items: &[Item], opts: &AsciiOptions) -> String {
+    let h = input.hierarchy();
+    let n_leaves = h.n_leaves();
+    let n_slices = input.n_slices();
+    let rows = opts.height.min(n_leaves).max(1);
+    let cols = opts.width.max(n_slices.min(opts.width));
+
+    // Paint each cell with the item covering its (leaf, slice).
+    let letters = assign_state_chars(input.states());
+    let mut grid = vec![b'.'; rows * cols];
+    for item in items {
+        let leaves = h.leaf_range(item.node);
+        let y0 = leaves.start * rows / n_leaves;
+        let y1 = ((leaves.end * rows).div_ceil(n_leaves)).min(rows);
+        let x0 = item.first_slice * cols / n_slices;
+        let x1 = ((item.last_slice + 1) * cols).div_ceil(n_slices).min(cols);
+        let ch = match item.mode.state {
+            Some(st) => {
+                let initial = letters[st.index()];
+                if item.mode.alpha >= 0.5 {
+                    initial.to_ascii_uppercase()
+                } else {
+                    initial.to_ascii_lowercase()
+                }
+            }
+            None => b'.',
+        };
+        for y in y0..y1 {
+            for x in x0..x1 {
+                grid[y * cols + x] = ch;
+            }
+        }
+        // Mark overlay in the middle of the block.
+        if let Some(mark) = item.mark {
+            let (my, mx) = ((y0 + y1) / 2, (x0 + x1) / 2);
+            if my < rows && mx < cols {
+                grid[my * cols + mx] = match mark {
+                    crate::visual_agg::VisualMark::Diagonal => b'/',
+                    crate::visual_agg::VisualMark::Cross => b'x',
+                };
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 12) + 256);
+    // Cluster row labels (first row of each cluster band).
+    let mut row_label = vec![String::new(); rows];
+    for &c in h.top_level() {
+        let y = h.leaf_range(c).start * rows / n_leaves;
+        if y < rows && row_label[y].is_empty() {
+            row_label[y] = h.name(c).chars().take(8).collect();
+        }
+    }
+    for y in 0..rows {
+        let _ = write!(out, "{:>8} |", row_label[y]);
+        out.push_str(std::str::from_utf8(&grid[y * cols..(y + 1) * cols]).unwrap());
+        out.push_str("|\n");
+    }
+    // Legend.
+    let _ = write!(out, "{:>8} +", "");
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n  legend:");
+    for (id, name) in input.states().iter() {
+        let _ = write!(out, " {}={}", letters[id.index()] as char, name);
+    }
+    out.push_str(" .=idle (lowercase = contested mode, /=uniform visual agg, x=mixed)\n");
+    out
+}
+
+/// Distinguishing character for a state name: MPI states use the letter
+/// after `MPI_`, others their first letter. (The renderer itself uses
+/// [`assign_state_chars`], which resolves collisions across the registry.)
+#[cfg(test)]
+fn state_char(name: &str) -> u8 {
+    let stripped = name.strip_prefix("MPI_").unwrap_or(name);
+    stripped.bytes().next().unwrap_or(b'?')
+}
+
+/// One uppercase glyph per state, resolving first-letter collisions (bin
+/// pseudo-states like `cpu∈[0.00,0.25)` all start with the same letter) by
+/// scanning the name for an unused alphanumeric, then falling back to any
+/// free letter/digit.
+fn assign_state_chars(states: &ocelotl_trace::StateRegistry) -> Vec<u8> {
+    let mut used = [false; 128];
+    let mut out = vec![b'?'; states.len()];
+    for (id, name) in states.iter() {
+        let stripped = name.strip_prefix("MPI_").unwrap_or(name);
+        let from_name = stripped
+            .bytes()
+            .filter(u8::is_ascii_alphanumeric)
+            .map(|b| b.to_ascii_uppercase());
+        let fallback = (b'A'..=b'Z').chain(b'0'..=b'9');
+        let ch = from_name
+            .chain(fallback)
+            .find(|&u| !used[u as usize])
+            .unwrap_or(b'#');
+        if ch != b'#' {
+            used[ch as usize] = true;
+        }
+        out[id.index()] = ch;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visual_agg::visually_aggregate;
+    use ocelotl_core::{aggregate_default, AggregationInput};
+    use ocelotl_trace::synthetic::fig3_model;
+
+    fn render(p: f64, opts: &AsciiOptions) -> String {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, p).partition(&input);
+        let va = visually_aggregate(&input, &part, 1.0);
+        render_ascii(&input, &va.items, opts)
+    }
+
+    #[test]
+    fn dimensions_match_options() {
+        let out = render(0.4, &AsciiOptions { width: 40, height: 12 });
+        let plot_lines: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains('|') && !l.contains('+'))
+            .collect();
+        assert_eq!(plot_lines.len(), 12);
+        for l in &plot_lines {
+            let body = l.split('|').nth(1).unwrap();
+            assert_eq!(body.len(), 40);
+        }
+    }
+
+    #[test]
+    fn legend_and_labels_present() {
+        let out = render(0.4, &AsciiOptions::default());
+        assert!(out.contains("legend:"));
+        assert!(out.contains("SA"));
+        assert!(out.contains("state1"));
+    }
+
+    #[test]
+    fn no_idle_cells_for_full_occupancy_model() {
+        // fig3's two states always sum to 1, so no '.' should remain inside
+        // the plot (every cell has a confident or contested mode).
+        let out = render(0.4, &AsciiOptions { width: 20, height: 12 });
+        for line in out.lines().filter(|l| l.contains('|')) {
+            let body = line.split('|').nth(1).unwrap_or("");
+            assert!(!body.contains('.'), "idle cell in {line:?}");
+        }
+    }
+
+    #[test]
+    fn state_char_strips_mpi_prefix() {
+        assert_eq!(state_char("MPI_Send"), b'S');
+        assert_eq!(state_char("MPI_Wait"), b'W');
+        assert_eq!(state_char("Compute"), b'C');
+    }
+
+    #[test]
+    fn colliding_first_letters_get_distinct_glyphs() {
+        use ocelotl_trace::StateRegistry;
+        let r = StateRegistry::from_names([
+            "cpu∈[0.00,0.25)",
+            "cpu∈[0.25,0.50)",
+            "cpu∈[0.50,0.75)",
+            "cpu∈[0.75,1.00]",
+        ]);
+        let letters = assign_state_chars(&r);
+        let mut sorted = letters.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "glyphs must be pairwise distinct: {letters:?}");
+        assert_eq!(letters[0], b'C', "first state keeps its initial");
+    }
+
+    #[test]
+    fn glyph_assignment_prefers_name_characters() {
+        use ocelotl_trace::StateRegistry;
+        let r = StateRegistry::from_names(["MPI_Send", "MPI_Ssend", "Sleep"]);
+        let letters = assign_state_chars(&r);
+        assert_eq!(letters[0], b'S');
+        // "Ssend" scans S (taken) then the second s — still 'S'-family fails,
+        // so it lands on the next unused alphanumeric in the name: 'E'.
+        assert_eq!(letters[1], b'E');
+        assert_eq!(letters[2], b'L');
+    }
+
+    #[test]
+    fn glyph_assignment_exhaustion_falls_back() {
+        use ocelotl_trace::StateRegistry;
+        // 40 distinct names drawing on only two letters force the fallback
+        // through the whole A–Z / 0–9 pool and into the shared '#' glyph.
+        let r = StateRegistry::from_names((1..=40).map(|i| format!("s{}", "x".repeat(i))));
+        let letters = assign_state_chars(&r);
+        assert_eq!(letters[0], b'S');
+        assert_eq!(letters[1], b'X');
+        assert!(letters.contains(&b'#'), "overflow states share the # glyph");
+        // All non-overflow glyphs are pairwise distinct.
+        let mut real: Vec<u8> = letters.iter().copied().filter(|&c| c != b'#').collect();
+        let n_real = real.len();
+        real.sort_unstable();
+        real.dedup();
+        assert_eq!(real.len(), n_real);
+    }
+
+    #[test]
+    fn more_rows_than_leaves_is_clamped() {
+        let out = render(0.5, &AsciiOptions { width: 30, height: 100 });
+        let plot_lines = out.lines().filter(|l| l.contains('|') && !l.contains('+')).count();
+        assert_eq!(plot_lines, 12, "rows clamp to |S|");
+    }
+}

@@ -1,0 +1,300 @@
+//! State colors and transparency (§IV).
+//!
+//! Each state gets a color; each aggregate is painted with the color of its
+//! *mode* state (highest aggregated proportion) at transparency
+//! `α = ρ_max / Σ_x ρ_x ∈ [1/|X|, 1]`, so a confident mode is saturated and
+//! a contested one faint.
+
+use ocelotl_trace::{StateId, StateRegistry};
+
+/// An sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Color {
+    /// CSS hex form `#rrggbb`.
+    pub fn hex(&self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+/// The paper's Fig. 1 colors for the common MPI states, then a fallback
+/// palette for anything else.
+const SEMANTIC: &[(&str, Color)] = &[
+    ("MPI_Init", Color { r: 0xe6, g: 0xc8, b: 0x1e }),      // yellow
+    ("MPI_Send", Color { r: 0x2e, g: 0xa0, b: 0x2e }),      // green
+    ("MPI_Wait", Color { r: 0xd6, g: 0x2a, b: 0x2a }),      // red
+    ("MPI_Recv", Color { r: 0xe6, g: 0x7e, b: 0x22 }),      // orange
+    ("MPI_Allreduce", Color { r: 0x2a, g: 0x5c, b: 0xd6 }), // blue
+    ("Compute", Color { r: 0x9a, g: 0x9a, b: 0x9a }),       // gray
+    ("MPI_Barrier", Color { r: 0x8e, g: 0x44, b: 0xad }),   // purple
+];
+
+const FALLBACK: &[Color] = &[
+    Color { r: 0x17, g: 0xbe, b: 0xcf },
+    Color { r: 0xbc, g: 0xbd, b: 0x22 },
+    Color { r: 0xe3, g: 0x77, b: 0xc2 },
+    Color { r: 0x8c, g: 0x56, b: 0x4b },
+    Color { r: 0x1f, g: 0x77, b: 0xb4 },
+    Color { r: 0xff, g: 0x7f, b: 0x0e },
+    Color { r: 0x2c, g: 0xa0, b: 0x2c },
+    Color { r: 0x98, g: 0xdf, b: 0x8a },
+];
+
+/// Stable mapping from states to colors.
+#[derive(Debug, Clone)]
+pub struct Palette {
+    colors: Vec<Color>,
+}
+
+impl Palette {
+    /// Assign semantic colors by state name, falling back to a cycling
+    /// palette for unknown names.
+    pub fn for_states(states: &StateRegistry) -> Self {
+        let mut colors = Vec::with_capacity(states.len());
+        let mut next_fallback = 0usize;
+        for (_, name) in states.iter() {
+            if let Some((_, c)) = SEMANTIC.iter().find(|(n, _)| *n == name) {
+                colors.push(*c);
+            } else {
+                colors.push(FALLBACK[next_fallback % FALLBACK.len()]);
+                next_fallback += 1;
+            }
+        }
+        Self { colors }
+    }
+
+    /// Color of a state.
+    #[inline]
+    pub fn color(&self, state: StateId) -> Color {
+        self.colors[state.index()]
+    }
+}
+
+/// The mode state of an aggregate and its display transparency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mode {
+    /// `argmax_x ρ_x`, `None` when every proportion is zero (idle area).
+    pub state: Option<StateId>,
+    /// `α = ρ_max / Σ_x ρ_x`; 0 for idle areas.
+    pub alpha: f64,
+    /// The winning proportion itself.
+    pub rho_max: f64,
+}
+
+/// Compute the mode of a set of per-state aggregated proportions (Eq. 1
+/// output), per §IV.
+pub fn mode(rhos: &[f64]) -> Mode {
+    let mut best: Option<(usize, f64)> = None;
+    let mut total = 0.0;
+    for (x, &r) in rhos.iter().enumerate() {
+        total += r;
+        if r > best.map_or(0.0, |(_, b)| b) {
+            best = Some((x, r));
+        }
+    }
+    match best {
+        Some((x, r)) if total > 0.0 => Mode {
+            state: Some(StateId(x as u16)),
+            alpha: r / total,
+            rho_max: r,
+        },
+        _ => Mode {
+            state: None,
+            alpha: 0.0,
+            rho_max: 0.0,
+        },
+    }
+}
+
+/// How mode confidence is encoded into the final pixel color.
+///
+/// The paper renders confidence as plain alpha transparency but notes
+/// (§VI) that "solutions using different color spaces, as YCbCr, could be
+/// employed" because alpha's perceptual effect depends on the hue. The
+/// `YCbCr` variant implements that suggestion: confidence scales the
+/// *chroma* (Cb/Cr distance from gray) while keeping luma stable, giving a
+/// hue-independent fade to gray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConfidenceEncoding {
+    /// Alpha blending against white (the paper's §IV default).
+    #[default]
+    Alpha,
+    /// Chroma scaling in YCbCr space (the paper's §VI suggestion).
+    YCbCr,
+}
+
+/// Convert sRGB to (Y, Cb, Cr) in [0,255] (BT.601 full range).
+fn rgb_to_ycbcr(c: Color) -> (f64, f64, f64) {
+    let (r, g, b) = (c.r as f64, c.g as f64, c.b as f64);
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b;
+    (y, cb, cr)
+}
+
+/// Convert (Y, Cb, Cr) back to sRGB.
+fn ycbcr_to_rgb(y: f64, cb: f64, cr: f64) -> Color {
+    let r = y + 1.402 * (cr - 128.0);
+    let g = y - 0.344136 * (cb - 128.0) - 0.714136 * (cr - 128.0);
+    let b = y + 1.772 * (cb - 128.0);
+    let clamp = |v: f64| v.clamp(0.0, 255.0).round() as u8;
+    Color {
+        r: clamp(r),
+        g: clamp(g),
+        b: clamp(b),
+    }
+}
+
+/// Resolve the displayed color of a mode at a given confidence.
+///
+/// `Alpha` blends toward white by `1 − confidence` (what an SVG
+/// `fill-opacity` on white background shows); `YCbCr` scales chroma by the
+/// confidence and nudges luma toward mid-gray, keeping perceived intensity
+/// comparable across hues.
+pub fn confidence_color(base: Color, confidence: f64, encoding: ConfidenceEncoding) -> Color {
+    let a = confidence.clamp(0.0, 1.0);
+    match encoding {
+        ConfidenceEncoding::Alpha => {
+            let blend = |c: u8| (c as f64 * a + 255.0 * (1.0 - a)).round() as u8;
+            Color {
+                r: blend(base.r),
+                g: blend(base.g),
+                b: blend(base.b),
+            }
+        }
+        ConfidenceEncoding::YCbCr => {
+            let (y, cb, cr) = rgb_to_ycbcr(base);
+            let y2 = y * a + 170.0 * (1.0 - a); // drift toward light gray
+            let cb2 = 128.0 + (cb - 128.0) * a;
+            let cr2 = 128.0 + (cr - 128.0) * a;
+            ycbcr_to_rgb(y2, cb2, cr2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantic_colors_resolve() {
+        let reg = StateRegistry::from_names(["MPI_Init", "MPI_Send", "MPI_Wait", "Custom"]);
+        let p = Palette::for_states(&reg);
+        assert_eq!(p.color(StateId(0)).hex(), "#e6c81e");
+        assert_eq!(p.color(StateId(1)).hex(), "#2ea02e");
+        assert_eq!(p.color(StateId(2)).hex(), "#d62a2a");
+        // Custom gets a fallback color distinct from the semantic ones.
+        assert_eq!(p.color(StateId(3)), FALLBACK[0]);
+    }
+
+    #[test]
+    fn fallbacks_cycle_without_panic() {
+        let names: Vec<String> = (0..20).map(|i| format!("s{i}")).collect();
+        let reg = StateRegistry::from_names(names);
+        let p = Palette::for_states(&reg);
+        assert_eq!(p.color(StateId(19)), p.color(StateId(11)));
+    }
+
+    #[test]
+    fn mode_picks_argmax() {
+        let m = mode(&[0.1, 0.6, 0.3]);
+        assert_eq!(m.state, Some(StateId(1)));
+        assert!((m.alpha - 0.6).abs() < 1e-12);
+        assert!((m.rho_max - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_alpha_bounds() {
+        // Uniform proportions → α = 1/|X| (the paper's lower bound).
+        let m = mode(&[0.25, 0.25, 0.25, 0.25]);
+        assert!((m.alpha - 0.25).abs() < 1e-12);
+        // Single active state → α = 1.
+        let m = mode(&[0.0, 0.7, 0.0]);
+        assert!((m.alpha - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_area_has_no_mode() {
+        let m = mode(&[0.0, 0.0]);
+        assert_eq!(m.state, None);
+        assert_eq!(m.alpha, 0.0);
+    }
+
+    #[test]
+    fn ycbcr_roundtrip_is_close() {
+        for c in [
+            Color { r: 230, g: 200, b: 30 },
+            Color { r: 46, g: 160, b: 46 },
+            Color { r: 214, g: 42, b: 42 },
+            Color { r: 0, g: 0, b: 0 },
+            Color { r: 255, g: 255, b: 255 },
+        ] {
+            let (y, cb, cr) = rgb_to_ycbcr(c);
+            let back = ycbcr_to_rgb(y, cb, cr);
+            assert!((c.r as i16 - back.r as i16).abs() <= 1, "{c:?} vs {back:?}");
+            assert!((c.g as i16 - back.g as i16).abs() <= 1);
+            assert!((c.b as i16 - back.b as i16).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn full_confidence_keeps_the_base_color() {
+        let base = Color { r: 46, g: 160, b: 46 };
+        for enc in [ConfidenceEncoding::Alpha, ConfidenceEncoding::YCbCr] {
+            let c = confidence_color(base, 1.0, enc);
+            assert!((c.r as i16 - base.r as i16).abs() <= 1, "{enc:?}");
+            assert!((c.g as i16 - base.g as i16).abs() <= 1);
+            assert!((c.b as i16 - base.b as i16).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn zero_confidence_is_achromatic_in_ycbcr() {
+        let base = Color { r: 214, g: 42, b: 42 };
+        let c = confidence_color(base, 0.0, ConfidenceEncoding::YCbCr);
+        // All channels equal (gray) within rounding.
+        assert!((c.r as i16 - c.g as i16).abs() <= 2, "{c:?}");
+        assert!((c.g as i16 - c.b as i16).abs() <= 2, "{c:?}");
+    }
+
+    #[test]
+    fn alpha_zero_confidence_is_white() {
+        let base = Color { r: 10, g: 20, b: 30 };
+        let c = confidence_color(base, 0.0, ConfidenceEncoding::Alpha);
+        assert_eq!(c, Color { r: 255, g: 255, b: 255 });
+    }
+
+    #[test]
+    fn ycbcr_fade_is_hue_independent() {
+        // At the same confidence, the chroma reduction factor is identical
+        // for different hues (the paper's motivation for YCbCr).
+        let conf = 0.5;
+        for base in [
+            Color { r: 214, g: 42, b: 42 },
+            Color { r: 46, g: 160, b: 46 },
+            Color { r: 42, g: 92, b: 214 },
+        ] {
+            let (_, cb0, cr0) = rgb_to_ycbcr(base);
+            let faded = confidence_color(base, conf, ConfidenceEncoding::YCbCr);
+            let (_, cb1, cr1) = rgb_to_ycbcr(faded);
+            let chroma0 = ((cb0 - 128.0).powi(2) + (cr0 - 128.0).powi(2)).sqrt();
+            let chroma1 = ((cb1 - 128.0).powi(2) + (cr1 - 128.0).powi(2)).sqrt();
+            let ratio = chroma1 / chroma0;
+            assert!((ratio - conf).abs() < 0.05, "hue {base:?}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn hex_format() {
+        let c = Color { r: 255, g: 0, b: 16 };
+        assert_eq!(c.hex(), "#ff0010");
+    }
+}

@@ -1,0 +1,211 @@
+//! Microscopic Gantt chart + clutter diagnostics (the paper's Fig. 2).
+//!
+//! The paper's point: drawing every state interval of a large trace breaks
+//! down — objects fall below one pixel, overdraw destroys information, and
+//! the entity budget (criterion G1) is violated by orders of magnitude.
+//! [`clutter_metrics`] quantifies exactly that, and [`render_gantt_svg`]
+//! reproduces the cluttered rendering for small-enough traces.
+
+use crate::color::Palette;
+use ocelotl_trace::Trace;
+use std::fmt::Write as _;
+
+/// Quantified clutter of a microscopic Gantt rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClutterReport {
+    /// Total drawable objects (state intervals).
+    pub n_objects: usize,
+    /// Pixel budget of the canvas (`width × height`).
+    pub pixel_budget: usize,
+    /// Objects narrower than one pixel.
+    pub sub_pixel_objects: usize,
+    /// Fraction of objects narrower than one pixel.
+    pub sub_pixel_fraction: f64,
+    /// Rows available per resource (`height / |S|`); < 1 means resources
+    /// cannot even get their own pixel row.
+    pub pixels_per_resource: f64,
+    /// Mean number of objects competing for each painted pixel column
+    /// within a resource row (overdraw; 1.0 = no conflict).
+    pub mean_overdraw: f64,
+    /// Worst-case overdraw across all (row, column) pixels.
+    pub max_overdraw: usize,
+}
+
+impl ClutterReport {
+    /// Elmqvist & Fekete's G1 "entity budget": a rendering is considered
+    /// uncluttered when every object is at least a pixel wide, every
+    /// resource has at least one row, and overdraw is absent.
+    pub fn satisfies_entity_budget(&self) -> bool {
+        self.sub_pixel_objects == 0 && self.pixels_per_resource >= 1.0 && self.max_overdraw <= 1
+    }
+}
+
+/// Measure the clutter of drawing `trace` microscopically on a
+/// `width × height` canvas.
+pub fn clutter_metrics(trace: &Trace, width: usize, height: usize) -> ClutterReport {
+    let n = trace.hierarchy.n_leaves();
+    let (lo, hi) = trace.time_range().unwrap_or((0.0, 1.0));
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let px_per_sec = width as f64 / span;
+
+    let mut sub_pixel = 0usize;
+    // Overdraw: count objects per (row, pixel-column) bucket.
+    let mut columns = vec![0u32; n * width];
+    for iv in &trace.intervals {
+        if iv.duration() * px_per_sec < 1.0 {
+            sub_pixel += 1;
+        }
+        let x0 = (((iv.begin - lo) * px_per_sec) as usize).min(width - 1);
+        let x1 = (((iv.end - lo) * px_per_sec) as usize).min(width - 1);
+        let row = iv.resource.index();
+        for x in x0..=x1 {
+            columns[row * width + x] += 1;
+        }
+    }
+    let painted: Vec<u32> = columns.into_iter().filter(|&c| c > 0).collect();
+    let mean_overdraw = if painted.is_empty() {
+        0.0
+    } else {
+        painted.iter().map(|&c| c as f64).sum::<f64>() / painted.len() as f64
+    };
+    let max_overdraw = painted.iter().copied().max().unwrap_or(0) as usize;
+
+    let n_objects = trace.intervals.len();
+    ClutterReport {
+        n_objects,
+        pixel_budget: width * height,
+        sub_pixel_objects: sub_pixel,
+        sub_pixel_fraction: if n_objects == 0 {
+            0.0
+        } else {
+            sub_pixel as f64 / n_objects as f64
+        },
+        pixels_per_resource: height as f64 / n as f64,
+        mean_overdraw,
+        max_overdraw,
+    }
+}
+
+/// Render the microscopic Gantt chart as SVG (one rect per interval).
+///
+/// Refuses traces above `max_objects` (the whole point of the paper is that
+/// this rendering does not scale; the limit keeps the file size sane).
+pub fn render_gantt_svg(
+    trace: &Trace,
+    width: f64,
+    height: f64,
+    max_objects: usize,
+) -> Result<String, String> {
+    if trace.intervals.len() > max_objects {
+        return Err(format!(
+            "trace has {} objects, beyond the renderer limit {max_objects} — \
+             this is precisely the paper's Fig. 2 argument",
+            trace.intervals.len()
+        ));
+    }
+    let n = trace.hierarchy.n_leaves() as f64;
+    let (lo, hi) = trace.time_range().unwrap_or((0.0, 1.0));
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let palette = Palette::for_states(&trace.states);
+    let row_h = height / n;
+
+    let mut s = String::with_capacity(trace.intervals.len() * 90 + 512);
+    let _ = writeln!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" viewBox=\"0 0 {width:.0} {height:.0}\">"
+    );
+    let _ = writeln!(
+        s,
+        "<rect width=\"{width:.0}\" height=\"{height:.0}\" fill=\"white\"/>"
+    );
+    for iv in &trace.intervals {
+        let x0 = (iv.begin - lo) / span * width;
+        let w = (iv.duration() / span * width).max(0.05);
+        let y = iv.resource.index() as f64 * row_h;
+        let _ = writeln!(
+            s,
+            "<rect x=\"{x0:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{row_h:.2}\" fill=\"{}\"/>",
+            palette.color(iv.state).hex()
+        );
+    }
+    s.push_str("</svg>\n");
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::{Hierarchy, LeafId, TraceBuilder};
+
+    fn trace_with(n_res: usize, per_res: usize, dur: f64) -> Trace {
+        let h = Hierarchy::flat(n_res, "p");
+        let mut tb = TraceBuilder::new(h);
+        let s = tb.state("S");
+        for r in 0..n_res {
+            for k in 0..per_res {
+                let t0 = k as f64 * dur;
+                tb.push_state(LeafId(r as u32), s, t0, t0 + dur * 0.9);
+            }
+        }
+        tb.build()
+    }
+
+    #[test]
+    fn uncluttered_trace_passes_budget() {
+        // 4 resources × 10 long intervals on a big canvas.
+        let t = trace_with(4, 10, 10.0);
+        let m = clutter_metrics(&t, 1000, 400);
+        assert_eq!(m.n_objects, 40);
+        assert_eq!(m.sub_pixel_objects, 0);
+        assert!(m.satisfies_entity_budget(), "{m:?}");
+    }
+
+    #[test]
+    fn dense_trace_fails_budget() {
+        // 100 resources × 5000 micro intervals on a small canvas.
+        let t = trace_with(100, 5000, 1e-4);
+        let m = clutter_metrics(&t, 800, 80);
+        assert!(m.sub_pixel_fraction > 0.9, "{m:?}");
+        assert!(m.pixels_per_resource < 1.0);
+        assert!(m.mean_overdraw > 1.5);
+        assert!(!m.satisfies_entity_budget());
+    }
+
+    #[test]
+    fn overdraw_counts_conflicts() {
+        // Two intervals of one resource in the same pixel column.
+        let h = Hierarchy::flat(1, "p");
+        let mut tb = TraceBuilder::new(h);
+        let s = tb.state("S");
+        tb.push_state(LeafId(0), s, 0.0, 100.0); // sets the span
+        tb.push_state(LeafId(0), s, 0.0, 1e-4);
+        tb.push_state(LeafId(0), s, 2e-4, 3e-4);
+        let t = tb.build();
+        let m = clutter_metrics(&t, 100, 10);
+        assert!(m.max_overdraw >= 3);
+    }
+
+    #[test]
+    fn gantt_svg_renders_small_traces() {
+        let t = trace_with(3, 5, 1.0);
+        let svg = render_gantt_svg(&t, 300.0, 60.0, 1000).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect").count(), 15 + 1);
+    }
+
+    #[test]
+    fn gantt_svg_refuses_huge_traces() {
+        let t = trace_with(10, 200, 0.01);
+        let err = render_gantt_svg(&t, 300.0, 60.0, 100).unwrap_err();
+        assert!(err.contains("2000 objects"));
+    }
+
+    #[test]
+    fn empty_trace_metrics() {
+        let t = TraceBuilder::new(Hierarchy::flat(2, "p")).build();
+        let m = clutter_metrics(&t, 100, 100);
+        assert_eq!(m.n_objects, 0);
+        assert_eq!(m.sub_pixel_fraction, 0.0);
+        assert_eq!(m.mean_overdraw, 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Geometry: mapping spatiotemporal areas onto a pixel canvas.
+//!
+//! Time maps linearly to `x`; the DFS leaf order maps to `y` (so hierarchy
+//! nodes are contiguous vertical bands, like the paper's figures).
+
+use ocelotl_core::Area;
+use ocelotl_trace::Hierarchy;
+
+/// A pixel-space rectangle (`x1`/`y1` exclusive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Top edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Bottom edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+}
+
+/// Canvas geometry for a trace of `n_leaves × n_slices` cells.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    /// Canvas width (pixels).
+    pub width: f64,
+    /// Canvas height (pixels).
+    pub height: f64,
+    /// Number of leaf rows.
+    pub n_leaves: usize,
+    /// Number of time slices.
+    pub n_slices: usize,
+}
+
+impl Layout {
+    /// Create a layout; all dimensions must be positive.
+    pub fn new(width: f64, height: f64, n_leaves: usize, n_slices: usize) -> Self {
+        assert!(width > 0.0 && height > 0.0 && n_leaves > 0 && n_slices > 0);
+        Self {
+            width,
+            height,
+            n_leaves,
+            n_slices,
+        }
+    }
+
+    /// Pixel height of one leaf row.
+    #[inline]
+    pub fn row_height(&self) -> f64 {
+        self.height / self.n_leaves as f64
+    }
+
+    /// Pixel width of one slice column.
+    #[inline]
+    pub fn col_width(&self) -> f64 {
+        self.width / self.n_slices as f64
+    }
+
+    /// Rectangle of an area (node rows × slice columns).
+    pub fn rect_of(&self, hierarchy: &Hierarchy, area: &Area) -> Rect {
+        let leaves = hierarchy.leaf_range(area.node);
+        self.rect_of_cells(
+            leaves.start,
+            leaves.end,
+            area.first_slice,
+            area.last_slice + 1,
+        )
+    }
+
+    /// Rectangle of an arbitrary cell block `[leaf0, leaf1) × [t0, t1)`.
+    pub fn rect_of_cells(&self, leaf0: usize, leaf1: usize, t0: usize, t1: usize) -> Rect {
+        Rect {
+            x0: t0 as f64 * self.col_width(),
+            x1: t1 as f64 * self.col_width(),
+            y0: leaf0 as f64 * self.row_height(),
+            y1: leaf1 as f64 * self.row_height(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_core::Area;
+    use ocelotl_trace::Hierarchy;
+
+    #[test]
+    fn rects_tile_the_canvas() {
+        let h = Hierarchy::balanced(&[2, 2]);
+        let l = Layout::new(100.0, 40.0, 4, 10);
+        let full = l.rect_of(&h, &Area::new(h.root(), 0, 9));
+        assert_eq!(full, Rect { x0: 0.0, y0: 0.0, x1: 100.0, y1: 40.0 });
+        let half = l.rect_of(&h, &Area::new(h.top_level()[1], 5, 9));
+        assert_eq!(half, Rect { x0: 50.0, y0: 20.0, x1: 100.0, y1: 40.0 });
+        assert_eq!(half.width(), 50.0);
+        assert_eq!(half.height(), 20.0);
+    }
+
+    #[test]
+    fn partition_rects_are_disjoint_and_cover() {
+        // Area of rects of any valid partition must equal the canvas area.
+        use ocelotl_core::{aggregate_default, AggregationInput};
+        use ocelotl_trace::synthetic::fig3_model;
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, 0.4).partition(&input);
+        let l = Layout::new(200.0, 120.0, 12, 20);
+        let total: f64 = part
+            .areas()
+            .iter()
+            .map(|a| {
+                let r = l.rect_of(m.hierarchy(), a);
+                r.width() * r.height()
+            })
+            .sum();
+        assert!((total - 200.0 * 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_and_col_sizes() {
+        let l = Layout::new(300.0, 90.0, 30, 60);
+        assert!((l.row_height() - 3.0).abs() < 1e-12);
+        assert!((l.col_width() - 5.0).abs() < 1e-12);
+    }
+}

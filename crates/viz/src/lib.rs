@@ -1,0 +1,35 @@
+//! # ocelotl-viz — rendering the aggregated overview
+//!
+//! Implements §IV of the paper:
+//!
+//! - mode-state coloring with confidence transparency
+//!   `α = ρ_max/Σ_x ρ_x` ([`color`]);
+//! - rectangle layout of hierarchy-and-order-consistent partitions
+//!   ([`layout`]);
+//! - **visual aggregation** with diagonal/cross marks when the pixel budget
+//!   is exceeded ([`visual_agg`], criterion G1/G4);
+//! - SVG ([`svg`]) and terminal ([`ascii`]) renderers, composed end-to-end
+//!   by [`overview`];
+//! - the microscopic Gantt chart and its clutter metrics ([`gantt`]) that
+//!   reproduce the paper's Fig. 2 argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod color;
+pub mod gantt;
+pub mod layout;
+pub mod overview;
+pub mod report;
+pub mod svg;
+pub mod visual_agg;
+
+pub use ascii::{render_ascii, AsciiOptions};
+pub use color::{confidence_color, mode, Color, ConfidenceEncoding, Mode, Palette};
+pub use gantt::{clutter_metrics, render_gantt_svg, ClutterReport};
+pub use layout::{Layout, Rect};
+pub use overview::{overview, Overview, OverviewOptions};
+pub use report::{html_report, ReportOptions};
+pub use svg::{render_svg, SvgOptions};
+pub use visual_agg::{visually_aggregate, Item, VisualAggregation, VisualMark};

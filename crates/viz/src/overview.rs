@@ -1,0 +1,122 @@
+//! One-call construction of the paper's overview visualization: data
+//! aggregation → visual aggregation → SVG/ASCII rendering.
+
+use crate::ascii::{render_ascii, AsciiOptions};
+use crate::svg::{render_svg, SvgOptions};
+use crate::visual_agg::{visually_aggregate, VisualAggregation};
+use ocelotl_core::{aggregate, AggregationInput, DpConfig, Partition};
+
+/// Options of the end-to-end overview pipeline.
+#[derive(Debug, Clone)]
+pub struct OverviewOptions {
+    /// Trade-off parameter `p ∈ [0, 1]` (the aggregation-strength slider).
+    pub p: f64,
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+    /// Minimum pixel height below which aggregates are visually merged.
+    pub min_pixel_height: f64,
+    /// Trace time extent for axis labels.
+    pub time_range: Option<(f64, f64)>,
+}
+
+impl Default for OverviewOptions {
+    fn default() -> Self {
+        Self {
+            p: 0.5,
+            width: 960.0,
+            height: 480.0,
+            min_pixel_height: 2.0,
+            time_range: None,
+        }
+    }
+}
+
+/// A fully computed overview, ready to render.
+#[derive(Debug, Clone)]
+pub struct Overview {
+    /// The optimal partition at `p`.
+    pub partition: Partition,
+    /// The visual-aggregation pass over it.
+    pub visual: VisualAggregation,
+    /// Options used (geometry is needed again at render time).
+    pub options: OverviewOptions,
+}
+
+/// Build the overview for cached aggregation inputs.
+pub fn overview(input: &AggregationInput, options: OverviewOptions) -> Overview {
+    let tree = aggregate(input, options.p, &DpConfig::default());
+    let partition = tree.partition(input);
+    let rows_per_leaf = options.height / input.hierarchy().n_leaves() as f64;
+    let min_rows = options.min_pixel_height / rows_per_leaf;
+    let visual = visually_aggregate(input, &partition, min_rows);
+    Overview {
+        partition,
+        visual,
+        options,
+    }
+}
+
+impl Overview {
+    /// Render as a standalone SVG document.
+    pub fn to_svg(&self, input: &AggregationInput) -> String {
+        render_svg(
+            input,
+            &self.visual.items,
+            &SvgOptions {
+                width: self.options.width,
+                height: self.options.height,
+                time_range: self.options.time_range,
+                ..SvgOptions::default()
+            },
+        )
+    }
+
+    /// Render as terminal text.
+    pub fn to_ascii(&self, input: &AggregationInput, width: usize, height: usize) -> String {
+        render_ascii(input, &self.visual.items, &AsciiOptions { width, height })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_core::AggregationInput;
+    use ocelotl_trace::synthetic::fig3_model;
+
+    #[test]
+    fn end_to_end_overview() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let ov = overview(
+            &input,
+            OverviewOptions {
+                p: 0.4,
+                time_range: Some((0.0, 20.0)),
+                ..OverviewOptions::default()
+            },
+        );
+        assert!(ov.partition.len() > 1);
+        let svg = ov.to_svg(&input);
+        assert!(svg.contains("</svg>"));
+        let txt = ov.to_ascii(&input, 60, 12);
+        assert!(txt.contains("legend:"));
+    }
+
+    #[test]
+    fn tight_pixel_budget_forces_visual_aggregation() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let ov = overview(
+            &input,
+            OverviewOptions {
+                p: 0.0,
+                height: 24.0,          // 2 px per leaf…
+                min_pixel_height: 8.0, // …but 8 px required
+                ..OverviewOptions::default()
+            },
+        );
+        assert!(ov.visual.n_visual > 0);
+    }
+}

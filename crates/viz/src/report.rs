@@ -1,0 +1,287 @@
+//! Self-contained HTML analysis report: quality curves over the
+//! significant aggregation levels, embedded overview renderings, and the
+//! per-aggregate summary table — the static counterpart of the Ocelotl UI.
+
+use crate::overview::{overview, OverviewOptions};
+use ocelotl_core::{quality, significant_partitions, AggregationInput, DpConfig, PEntry};
+use std::fmt::Write as _;
+
+/// Options of the report generator.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Report title.
+    pub title: String,
+    /// Dichotomy resolution for the significant-level search.
+    pub p_resolution: f64,
+    /// How many levels to render as full overviews (spread across the
+    /// slider range).
+    pub rendered_levels: usize,
+    /// Geometry of embedded overviews.
+    pub width: f64,
+    /// Geometry of embedded overviews.
+    pub height: f64,
+    /// Trace time extent for axis labels.
+    pub time_range: Option<(f64, f64)>,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self {
+            title: "ocelotl analysis report".into(),
+            p_resolution: 1e-2,
+            rendered_levels: 3,
+            width: 860.0,
+            height: 380.0,
+            time_range: None,
+        }
+    }
+}
+
+/// One row of the quality table.
+#[derive(Debug, Clone)]
+pub struct LevelRow {
+    /// Stability interval of p.
+    pub p_low: f64,
+    /// Stability interval of p.
+    pub p_high: f64,
+    /// Aggregate count.
+    pub n_areas: usize,
+    /// Normalized information loss.
+    pub loss_ratio: f64,
+    /// Complexity reduction.
+    pub complexity_reduction: f64,
+}
+
+/// Generate the full report; returns the HTML document.
+pub fn html_report(input: &AggregationInput, opts: &ReportOptions) -> String {
+    let entries = significant_partitions(input, &DpConfig::default(), opts.p_resolution);
+    let rows: Vec<LevelRow> = entries
+        .iter()
+        .map(|e| {
+            let q = quality(input, &e.partition);
+            LevelRow {
+                p_low: e.p_low,
+                p_high: e.p_high,
+                n_areas: e.partition.len(),
+                loss_ratio: q.loss_ratio,
+                complexity_reduction: q.complexity_reduction,
+            }
+        })
+        .collect();
+
+    let mut html = String::with_capacity(1 << 16);
+    let _ = write!(
+        html,
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>{}</title>\n\
+         <style>body{{font-family:sans-serif;max-width:1000px;margin:2em auto}}\
+         table{{border-collapse:collapse}}td,th{{border:1px solid #ccc;padding:4px 10px;text-align:right}}\
+         th{{background:#f0f0f0}}svg{{max-width:100%}}</style></head><body>\n\
+         <h1>{}</h1>\n",
+        esc(&opts.title),
+        esc(&opts.title)
+    );
+    let _ = writeln!(
+        html,
+        "<p>|S| = {} resources · |T| = {} slices · |X| = {} states · {} significant aggregation levels</p>",
+        input.hierarchy().n_leaves(),
+        input.n_slices(),
+        input.n_states(),
+        entries.len()
+    );
+
+    // Quality curve: loss ratio and complexity reduction vs p.
+    html.push_str("<h2>Quality trade-off (criterion G5)</h2>\n");
+    html.push_str(&quality_curve_svg(&rows));
+
+    // Level table.
+    html.push_str(
+        "<h2>Significant levels</h2>\n<table><tr><th>p range</th><th>aggregates</th>\
+         <th>loss ratio</th><th>complexity reduction</th></tr>\n",
+    );
+    for r in &rows {
+        let _ = writeln!(
+            html,
+            "<tr><td>[{:.3}, {:.3}]</td><td>{}</td><td>{:.3}</td><td>{:.1} %</td></tr>",
+            r.p_low,
+            r.p_high,
+            r.n_areas,
+            r.loss_ratio,
+            100.0 * r.complexity_reduction
+        );
+    }
+    html.push_str("</table>\n");
+
+    // Rendered overviews at a spread of levels.
+    html.push_str("<h2>Overviews</h2>\n");
+    for e in pick_levels(&entries, opts.rendered_levels) {
+        let p = 0.5 * (e.p_low + e.p_high);
+        let ov = overview(
+            input,
+            OverviewOptions {
+                p,
+                width: opts.width,
+                height: opts.height,
+                time_range: opts.time_range,
+                ..OverviewOptions::default()
+            },
+        );
+        let _ = writeln!(
+            html,
+            "<h3>p ≈ {:.3} — {} aggregates ({} visual)</h3>\n{}",
+            p,
+            ov.partition.len(),
+            ov.visual.n_visual,
+            ov.to_svg(input)
+        );
+    }
+
+    html.push_str("</body></html>\n");
+    html
+}
+
+/// Pick `n` levels spread across the list (always includes first/last).
+fn pick_levels(entries: &[PEntry], n: usize) -> Vec<&PEntry> {
+    if entries.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    if entries.len() <= n {
+        return entries.iter().collect();
+    }
+    (0..n)
+        .map(|k| &entries[k * (entries.len() - 1) / (n - 1).max(1)])
+        .collect()
+}
+
+/// Inline SVG line chart of loss ratio & complexity reduction vs p.
+fn quality_curve_svg(rows: &[LevelRow]) -> String {
+    let (w, h, ml, mb) = (640.0, 240.0, 40.0, 26.0);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\" font-size=\"10\">",
+        w + ml + 10.0,
+        h + mb + 10.0,
+        w + ml + 10.0,
+        h + mb + 10.0
+    );
+    let x = |p: f64| ml + p * w;
+    let y = |v: f64| 5.0 + (1.0 - v) * h;
+    // Axes.
+    let _ = writeln!(
+        s,
+        "<line x1=\"{ml}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#000\"/>\
+         <line x1=\"{ml}\" y1=\"5\" x2=\"{ml}\" y2=\"{}\" stroke=\"#000\"/>",
+        y(0.0),
+        ml + w,
+        y(0.0),
+        y(0.0)
+    );
+    for (v, label) in [(0.0, "0"), (0.5, "0.5"), (1.0, "1")] {
+        let _ = writeln!(
+            s,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{label}</text>",
+            ml - 4.0,
+            y(v) + 3.0
+        );
+    }
+    for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let _ = writeln!(
+            s,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">p={p}</text>",
+            x(p),
+            y(0.0) + 14.0
+        );
+    }
+    // Step curves across stability intervals.
+    let mut path_loss = String::new();
+    let mut path_cpx = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let cmd = if i == 0 { "M" } else { "L" };
+        let _ = write!(
+            path_loss,
+            "{cmd}{:.1},{:.1} L{:.1},{:.1} ",
+            x(r.p_low),
+            y(r.loss_ratio),
+            x(r.p_high),
+            y(r.loss_ratio)
+        );
+        let _ = write!(
+            path_cpx,
+            "{cmd}{:.1},{:.1} L{:.1},{:.1} ",
+            x(r.p_low),
+            y(r.complexity_reduction),
+            x(r.p_high),
+            y(r.complexity_reduction)
+        );
+    }
+    let _ = write!(
+        s,
+        "<path d=\"{path_loss}\" fill=\"none\" stroke=\"#d62a2a\" stroke-width=\"1.5\"/>\n\
+         <path d=\"{path_cpx}\" fill=\"none\" stroke=\"#2a5cd6\" stroke-width=\"1.5\"/>\n\
+         <text x=\"{}\" y=\"14\" fill=\"#d62a2a\">information loss ratio</text>\n\
+         <text x=\"{}\" y=\"28\" fill=\"#2a5cd6\">complexity reduction</text>\n</svg>\n",
+        ml + 8.0,
+        ml + 8.0
+    );
+    s
+}
+
+fn esc(t: &str) -> String {
+    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::synthetic::fig3_model;
+
+    #[test]
+    fn report_is_complete_html() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let html = html_report(
+            &input,
+            &ReportOptions {
+                title: "fig3 <test>".into(),
+                time_range: Some((0.0, 20.0)),
+                ..Default::default()
+            },
+        );
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        assert!(html.contains("fig3 &lt;test&gt;"), "title escaped");
+        assert!(html.contains("Significant levels"));
+        // Embedded overview SVGs present.
+        assert!(html.matches("<svg").count() >= 2);
+        assert!(html.contains("complexity reduction"));
+    }
+
+    #[test]
+    fn pick_levels_spreads_and_includes_ends() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let entries = significant_partitions(&input, &DpConfig::default(), 1e-2);
+        let picked = pick_levels(&entries, 3);
+        assert_eq!(picked.len(), 3.min(entries.len()));
+        if entries.len() >= 3 {
+            assert_eq!(picked[0].p_low, entries[0].p_low);
+            assert_eq!(
+                picked.last().unwrap().p_high,
+                entries.last().unwrap().p_high
+            );
+        }
+    }
+
+    #[test]
+    fn quality_curve_handles_single_level() {
+        let rows = vec![LevelRow {
+            p_low: 0.0,
+            p_high: 1.0,
+            n_areas: 1,
+            loss_ratio: 1.0,
+            complexity_reduction: 0.99,
+        }];
+        let svg = quality_curve_svg(&rows);
+        assert!(svg.contains("<path"));
+    }
+}

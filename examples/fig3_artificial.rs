@@ -1,0 +1,123 @@
+//! Reproduction of the paper's Fig. 3: the artificial 12-resource ×
+//! 20-slice trace, aggregated every way the paper shows.
+//!
+//! ```text
+//! cargo run --release --example fig3_artificial
+//! ```
+//!
+//! Prints the pIC comparison between the spatiotemporal optimum (Fig. 3.d)
+//! and the product of unidimensional optima (Fig. 3.c), the nested
+//! representations across p (Fig. 3.d vs 3.e), and the data/visual
+//! aggregate counts of the visual-aggregation pass (Fig. 3.f). Writes SVG
+//! renderings to `out/`.
+
+use ocelotl::core::{
+    aggregate_default, product_aggregation, significant_partitions, AggregationInput, DpConfig,
+    Partition,
+};
+use ocelotl::trace::synthetic::fig3_model;
+use ocelotl::viz::{overview, visually_aggregate, OverviewOptions};
+use std::fs;
+
+fn main() {
+    let model = fig3_model();
+    let input = AggregationInput::build(&model);
+    let h = model.hierarchy();
+    fs::create_dir_all("out").expect("create out/");
+
+    println!("Fig. 3 artificial trace: |S| = 12 (3 clusters), |T| = 20, |X| = 2\n");
+
+    // --- Fig 3.c vs 3.d: product of 1-D optima vs true 2-D optimum -------
+    println!("{:<6} {:>10} {:>10} {:>12} {:>8} {:>8}", "p", "pIC(2D)", "pIC(SxT)", "advantage", "2D areas", "SxT areas");
+    for p in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        let tree = aggregate_default(&input, p);
+        let part2d = tree.partition(&input);
+        let prod = product_aggregation(&model, p);
+        let pic2d = part2d.pic(&input, p);
+        let picp = prod.partition.pic(&input, p);
+        println!(
+            "{:<6} {:>10.4} {:>10.4} {:>12.4} {:>8} {:>8}",
+            p,
+            pic2d,
+            picp,
+            pic2d - picp,
+            part2d.len(),
+            prod.partition.len()
+        );
+        assert!(pic2d >= picp - 1e-9, "the 2-D optimum can never lose");
+    }
+
+    // --- Fig 3.d / 3.e: two levels of detail ------------------------------
+    let entries = significant_partitions(&input, &DpConfig::default(), 1e-3);
+    println!("\nsignificant aggregation levels (paper shows two: 56 and 15 areas):");
+    for e in &entries {
+        println!(
+            "  p ∈ [{:.3}, {:.3}] → {:>3} areas (loss {:.3}, gain {:.3})",
+            e.p_low,
+            e.p_high,
+            e.partition.len(),
+            e.partition.loss(&input),
+            e.partition.gain(&input),
+        );
+    }
+
+    // Pick the levels closest to the paper's two illustrated partitions
+    // (Fig. 3.d: 56 areas at p_d; Fig. 3.e: 15 areas at p_e > p_d).
+    let closest = |target: usize| {
+        entries
+            .iter()
+            .min_by_key(|e| e.partition.len().abs_diff(target))
+            .expect("has levels")
+    };
+    let detailed = closest(56);
+    let coarse = closest(15);
+    println!(
+        "\nFig. 3.d analogue: {} areas (paper: 56); Fig. 3.e analogue: {} areas (paper: 15)",
+        detailed.partition.len(),
+        coarse.partition.len()
+    );
+
+    // --- Fig 3.f: visual aggregation --------------------------------------
+    // Threshold of 2 leaf-rows applied to the detailed partition (as in the
+    // paper's illustration of Fig. 3.d → 3.f).
+    let va = visually_aggregate(&input, &detailed.partition, 2.0);
+    println!(
+        "Fig. 3.f analogue: {} data aggregates + {} visual aggregates (paper: 21 + 7)",
+        va.n_data, va.n_visual
+    );
+
+    // --- renderings --------------------------------------------------------
+    let p_detailed = 0.5 * (detailed.p_low + detailed.p_high);
+    let p_coarse = 0.5 * (coarse.p_low + coarse.p_high);
+    for (name, p) in [("fig3_detailed", p_detailed), ("fig3_coarse", p_coarse)] {
+        let ov = overview(
+            &input,
+            OverviewOptions {
+                p,
+                width: 800.0,
+                height: 360.0,
+                time_range: Some((0.0, 20.0)),
+                ..OverviewOptions::default()
+            },
+        );
+        let path = format!("out/{name}.svg");
+        fs::write(&path, ov.to_svg(&input)).expect("write svg");
+        println!("wrote {path} ({} items)", ov.visual.items.len());
+    }
+
+    // Microscopic rendering for comparison (Fig. 3.a).
+    let micro = Partition::microscopic(h, 20);
+    let va_micro = visually_aggregate(&input, &micro, 1.0);
+    let svg = ocelotl::viz::render_svg(
+        &input,
+        &va_micro.items,
+        &ocelotl::viz::SvgOptions {
+            width: 800.0,
+            height: 360.0,
+            time_range: Some((0.0, 20.0)),
+            ..Default::default()
+        },
+    );
+    fs::write("out/fig3_microscopic.svg", svg).expect("write svg");
+    println!("wrote out/fig3_microscopic.svg (240 cells)");
+}

@@ -1,0 +1,119 @@
+//! Reproduction of the paper's Fig. 4 / §V.B: analyze a 700-process NAS-LU
+//! run over three heterogeneous Nancy clusters (Table II case C).
+//!
+//! ```text
+//! cargo run --release --example lu_heterogeneous [scale]
+//! ```
+//!
+//! Expected structure, as in the paper: an init phase, the three clusters
+//! separated spatially by the aggregation, the graphite cluster (10 GbE,
+//! 16 cores/machine) spatially heterogeneous, and a temporal rupture on
+//! griffon at t = 34.5 s caused by machines hidden behind its switches.
+
+use ocelotl::core::AggregationInput;
+use ocelotl::mpisim::{scenario, CaseId};
+use ocelotl::prelude::*;
+use ocelotl::viz::{overview, OverviewOptions};
+use std::fs;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.008);
+    let sc = scenario(CaseId::C, scale);
+    println!(
+        "case C: NAS-LU, {} processes on {} (graphene/graphite/griffon)",
+        sc.platform.n_ranks, sc.platform.site
+    );
+    let (trace, stats) = sc.run(7);
+    println!(
+        "simulated {} events, makespan {:.1} s",
+        trace.event_count(),
+        stats.makespan
+    );
+
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+    let h = model.hierarchy().clone();
+
+    let p = 0.35;
+    let ov = overview(
+        &input,
+        OverviewOptions {
+            p,
+            width: 1100.0,
+            height: 560.0,
+            min_pixel_height: 2.0,
+            time_range: trace.time_range(),
+        },
+    );
+    println!(
+        "\noverview at p = {p}: {} aggregates → {} data + {} visual after the pixel budget",
+        ov.partition.len(),
+        ov.visual.n_data,
+        ov.visual.n_visual
+    );
+    print!("{}", ov.to_ascii(&input, 110, 21));
+
+    fs::create_dir_all("out").unwrap();
+    fs::write("out/fig4.svg", ov.to_svg(&input)).unwrap();
+    println!("wrote out/fig4.svg");
+
+    // --- structural checks matching the paper's reading of Fig. 4 ---------
+    let part = &ov.partition;
+
+    // 1. The three clusters are separated: no aggregate spans the root.
+    let spans_root = part.areas().iter().any(|a| a.node == h.root());
+    println!(
+        "\n1. clusters separated spatially: {}",
+        if spans_root { "NO (root-level aggregate remains)" } else { "yes" }
+    );
+
+    // 2. Graphite is more fragmented (spatially heterogeneous) than
+    //    graphene, relative to cluster size.
+    let frag = |cluster: NodeId| {
+        let areas = part
+            .areas()
+            .iter()
+            .filter(|a| h.is_ancestor(cluster, a.node) && a.node != cluster)
+            .count();
+        areas as f64 / h.n_leaves_under(cluster) as f64
+    };
+    let clusters = h.top_level();
+    let (graphene, graphite, griffon) = (clusters[0], clusters[1], clusters[2]);
+    println!(
+        "2. fragmentation (areas per process): graphene {:.2}, graphite {:.2}, griffon {:.2}",
+        frag(graphene),
+        frag(graphite),
+        frag(griffon)
+    );
+
+    // 3. Temporal rupture on griffon at 34.5 s.
+    let grid = model.grid();
+    let (r0, r1) = (grid.slice_of(34.5), grid.slice_of(36.5));
+    let hits = part
+        .areas()
+        .iter()
+        .filter(|a| {
+            h.is_ancestor(griffon, a.node)
+                && a.first_slice > r0
+                && a.first_slice <= r1 + 1
+        })
+        .count();
+    println!(
+        "3. griffon aggregates opening a boundary in the 34.5 s window (slices {r0}..={r1}): {hits}"
+    );
+
+    // 4. Mode states per phase, as the paper reads them.
+    let init_slice = 2; // well inside the ≈17.5 s init at 30 slices over ≈60 s
+    let rho_init = input.rho_aggregate_all(h.root(), init_slice, init_slice);
+    let mode = ocelotl::viz::mode(&rho_init);
+    println!(
+        "4. mode during init phase: {} (α = {:.2})",
+        mode.state
+            .map(|s| model.states().name(s).to_string())
+            .unwrap_or_default(),
+        mode.alpha
+    );
+}

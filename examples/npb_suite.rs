@@ -1,0 +1,101 @@
+//! NPB suite tour: run the four kernel skeletons (CG, LU, MG, EP) on the
+//! same small platform and compare their aggregated overviews at the same
+//! trade-off — the spatiotemporal signature of each communication pattern.
+//!
+//! ```text
+//! cargo run --release --example npb_suite
+//! ```
+
+use ocelotl::core::{aggregate, quality, AggregationInput, DpConfig};
+use ocelotl::mpisim::apps::{cg, ep, ft, lu, mg};
+use ocelotl::mpisim::{Engine, Network, Nic, Op};
+use ocelotl::prelude::*;
+use ocelotl::viz::{overview, OverviewOptions};
+
+fn main() {
+    let platform = Platform::uniform(4, 4, Nic::Infiniband20G);
+    let network = Network::for_platform(&platform);
+
+    let kernels: Vec<(&str, Vec<Vec<Op>>)> = vec![
+        (
+            "CG (butterfly exchange + machine reductions)",
+            cg::build_programs(
+                &platform,
+                &cg::CgConfig::default().scaled(0.05),
+            ),
+        ),
+        (
+            "LU (SSOR wavefront)",
+            lu::build_programs(
+                &platform,
+                &lu::LuConfig::default().scaled(0.05),
+            ),
+        ),
+        (
+            "MG (V-cycle halo exchange)",
+            mg::build_programs(
+                &platform,
+                &mg::MgConfig {
+                    cycles: 10,
+                    ..mg::MgConfig::default()
+                },
+            ),
+        ),
+        (
+            "FT (3-D FFT — global transpose per iteration)",
+            ft::build_programs(
+                &platform,
+                &ft::FtConfig {
+                    iters: 10,
+                    ..ft::FtConfig::default()
+                },
+            ),
+        ),
+        (
+            "EP (embarrassingly parallel — negative control)",
+            ep::build_programs(
+                &platform,
+                &ep::EpConfig {
+                    blocks: 24,
+                    ..ep::EpConfig::default()
+                },
+            ),
+        ),
+    ];
+
+    for (name, programs) in kernels {
+        let (trace, stats) = Engine::new(&platform, &network, 42).run(programs, &[]);
+        let model = MicroModel::from_trace(&trace, 30).unwrap();
+        let input = AggregationInput::build(&model);
+        let p = 0.4;
+        // coarse_ties: pure (ρ = 1) compute phases tie on pIC; prefer the
+        // coarsest optimum for display.
+        let partition = aggregate(&input, p, &DpConfig::coarse_ties()).partition(&input);
+        let q = quality(&input, &partition);
+        println!(
+            "\n=== {name} ===\n    {} events over {:.1} s → {} aggregates at p = {p} (complexity −{:.1} %, loss ratio {:.3})",
+            trace.event_count(),
+            stats.makespan,
+            partition.len(),
+            100.0 * q.complexity_reduction,
+            q.loss_ratio,
+        );
+        let ov = overview(
+            &input,
+            OverviewOptions {
+                p,
+                time_range: trace.time_range(),
+                ..OverviewOptions::default()
+            },
+        );
+        print!("{}", ov.to_ascii(&input, 72, 8));
+    }
+
+    println!(
+        "\nReading the signatures: EP collapses to a few homogeneous bands \
+         (nothing to see); CG shows the per-machine wait/send split; LU's \
+         wavefront staggers the machines; MG alternates compute-heavy and \
+         exchange-heavy stripes once per V-cycle; FT is wall-to-wall \
+         transpose (MPI_Alltoall) bands."
+    );
+}

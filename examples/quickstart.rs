@@ -1,0 +1,82 @@
+//! Quickstart: build a small trace by hand, aggregate it, and print the
+//! overview at a few aggregation strengths.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ocelotl::prelude::*;
+use ocelotl::viz::{overview, OverviewOptions};
+
+fn main() {
+    // 1. A platform of 2 clusters × 4 machines.
+    let mut b = HierarchyBuilder::new("site", "site");
+    for c in 0..2 {
+        let cluster = b.add_child(b.root(), &format!("cluster{c}"), "cluster");
+        for m in 0..4 {
+            b.add_child(cluster, &format!("m{c}{m}"), "machine");
+        }
+    }
+    let hierarchy = b.build().unwrap();
+
+    // 2. A synthetic workload: cluster0 computes steadily; cluster1 computes
+    //    too, but stalls in MPI_Wait during [4 s, 6 s) — an injected anomaly.
+    let mut tb = TraceBuilder::new(hierarchy);
+    let compute = tb.state("Compute");
+    let wait = tb.state("MPI_Wait");
+    for leaf in 0..8u32 {
+        let mut t = 0.0;
+        while t < 10.0 {
+            let stalled = leaf >= 4 && (4.0..6.0).contains(&t);
+            let state = if stalled { wait } else { compute };
+            // Small per-leaf phase shift to keep things non-trivial.
+            let step = 0.05 + 0.01 * (leaf as f64 % 3.0);
+            tb.push_state(LeafId(leaf), state, t, (t + step).min(10.0));
+            t += step;
+        }
+    }
+    let trace = tb.build();
+    println!(
+        "trace: {} events over {:?}",
+        trace.event_count(),
+        trace.time_range().unwrap()
+    );
+
+    // 3. Microscopic model (the paper uses 30 time slices) + cached inputs.
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+
+    // 4. Aggregate at increasing strength and show the overview.
+    for p in [0.1, 0.5, 0.9] {
+        let tree = aggregate_default(&input, p);
+        let partition = tree.partition(&input);
+        let q = quality(&input, &partition);
+        println!(
+            "\n=== p = {p}: {} aggregates (complexity −{:.1} %, loss ratio {:.3}) ===",
+            partition.len(),
+            100.0 * q.complexity_reduction,
+            q.loss_ratio,
+        );
+        let ov = overview(
+            &input,
+            OverviewOptions {
+                p,
+                time_range: trace.time_range(),
+                ..OverviewOptions::default()
+            },
+        );
+        print!("{}", ov.to_ascii(&input, 72, 8));
+    }
+
+    // 5. The significant p values an analyst can slide through.
+    let entries = significant_partitions(&input, &DpConfig::default(), 1e-3);
+    println!("\nsignificant aggregation levels:");
+    for e in &entries {
+        println!(
+            "  p ∈ [{:.3}, {:.3}] → {} aggregates",
+            e.p_low,
+            e.p_high,
+            e.partition.len()
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Trace explorer: load a `.ptf`/`.btf` trace file (or simulate a Table II
+//! case) and browse its spatiotemporal overview from the terminal.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer -- --case A --scale 0.05
+//! cargo run --release --example trace_explorer -- --file mytrace.btf --p 0.4
+//! cargo run --release --example trace_explorer -- --case C --list-levels
+//! cargo run --release --example trace_explorer -- --case A --zoom cluster0/machine2 --p 0.3
+//! cargo run --release --example trace_explorer -- --case A --report out/report.html
+//! ```
+
+use ocelotl::core::{significant_partitions, significant_ps, AggregationInput, DpConfig};
+use ocelotl::format::{read_micro, write_trace};
+use ocelotl::mpisim::{scenario, CaseId};
+use ocelotl::prelude::*;
+use ocelotl::viz::{clutter_metrics, overview, OverviewOptions};
+use std::path::PathBuf;
+
+struct Args {
+    case: CaseId,
+    scale: f64,
+    file: Option<PathBuf>,
+    p: f64,
+    slices: usize,
+    list_levels: bool,
+    save: Option<PathBuf>,
+    zoom: Option<String>,
+    report: Option<PathBuf>,
+    summary: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        case: CaseId::A,
+        scale: 0.02,
+        file: None,
+        p: 0.4,
+        slices: 30,
+        list_levels: false,
+        save: None,
+        zoom: None,
+        report: None,
+        summary: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--case" => {
+                args.case = match it.next().as_deref() {
+                    Some("A") | Some("a") => CaseId::A,
+                    Some("B") | Some("b") => CaseId::B,
+                    Some("C") | Some("c") => CaseId::C,
+                    Some("D") | Some("d") => CaseId::D,
+                    other => panic!("unknown case {other:?} (use A|B|C|D)"),
+                }
+            }
+            "--scale" => args.scale = it.next().unwrap().parse().expect("bad --scale"),
+            "--file" => args.file = Some(PathBuf::from(it.next().unwrap())),
+            "--p" => args.p = it.next().unwrap().parse().expect("bad --p"),
+            "--slices" => args.slices = it.next().unwrap().parse().expect("bad --slices"),
+            "--list-levels" => args.list_levels = true,
+            "--save" => args.save = Some(PathBuf::from(it.next().unwrap())),
+            "--zoom" => args.zoom = Some(it.next().expect("--zoom path")),
+            "--report" => args.report = Some(PathBuf::from(it.next().unwrap())),
+            "--summary" => args.summary = it.next().unwrap().parse().expect("bad --summary"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: trace_explorer [--case A|B|C|D] [--scale f] [--file trace.(ptf|btf)]\n\
+                     [--p f] [--slices n] [--list-levels] [--save out.(ptf|btf)]\n\
+                     [--zoom hierarchy/path] [--report out.html] [--summary n]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Obtain a microscopic model: from a file (streaming, never
+    // materializing the event list) or from a fresh simulation.
+    let (model, label) = match &args.file {
+        Some(path) => {
+            let t0 = std::time::Instant::now();
+            let model = read_micro(path, args.slices).expect("read trace file");
+            println!(
+                "read {} → micro model in {:.2?}",
+                path.display(),
+                t0.elapsed()
+            );
+            (model, path.display().to_string())
+        }
+        None => {
+            let sc = scenario(args.case, args.scale);
+            println!(
+                "simulating case {} at scale {} ({} ranks)…",
+                sc.case.letter(),
+                args.scale,
+                sc.platform.n_ranks
+            );
+            let (trace, stats) = sc.run(42);
+            println!(
+                "  {} events, makespan {:.1} s",
+                trace.event_count(),
+                stats.makespan
+            );
+            // Report what a microscopic Gantt would look like (Fig. 2).
+            let clutter = clutter_metrics(&trace, 1920, 1080);
+            println!(
+                "  Gantt clutter on 1920×1080: {} objects ({:.1} % sub-pixel), \
+                 {:.2} px/resource, overdraw mean {:.1} / max {}",
+                clutter.n_objects,
+                100.0 * clutter.sub_pixel_fraction,
+                clutter.pixels_per_resource,
+                clutter.mean_overdraw,
+                clutter.max_overdraw,
+            );
+            if let Some(out) = &args.save {
+                write_trace(&trace, out).expect("save trace");
+                println!("  saved trace to {}", out.display());
+            }
+            let model = MicroModel::from_trace(&trace, args.slices).unwrap();
+            (model, format!("case {}", args.case.letter()))
+        }
+    };
+
+    // Optional drill-down into a subtree before analysis (Ocelotl's zoom).
+    let model = match &args.zoom {
+        None => model,
+        Some(path) => {
+            let node = model
+                .hierarchy()
+                .find_path(path)
+                .unwrap_or_else(|| panic!("--zoom: no node at path {path:?}"));
+            let sub = model.submodel(node, 0, model.n_slices() - 1);
+            println!(
+                "zoomed into {path:?}: |S| = {} resources",
+                sub.n_leaves()
+            );
+            sub
+        }
+    };
+    println!(
+        "microscopic model: |S| = {}, |T| = {}, |X| = {}",
+        model.n_leaves(),
+        model.n_slices(),
+        model.n_states()
+    );
+    let t0 = std::time::Instant::now();
+    let input = AggregationInput::build(&model);
+    println!(
+        "aggregation inputs built in {:.2?} ({} MiB cached)",
+        t0.elapsed(),
+        input.memory_bytes() >> 20
+    );
+
+    if args.list_levels {
+        let t0 = std::time::Instant::now();
+        let entries = significant_partitions(&input, &DpConfig::default(), 1e-3);
+        println!(
+            "significant levels ({} distinct partitions, {:.2?}):",
+            entries.len(),
+            t0.elapsed()
+        );
+        for (e, p) in entries.iter().zip(significant_ps(&entries)) {
+            println!(
+                "  p ∈ [{:.3}, {:.3}] (try --p {:.3}) → {} aggregates",
+                e.p_low,
+                e.p_high,
+                p,
+                e.partition.len()
+            );
+        }
+        return;
+    }
+
+    let t0 = std::time::Instant::now();
+    let ov = overview(
+        &input,
+        OverviewOptions {
+            p: args.p,
+            time_range: Some((model.grid().start(), model.grid().end())),
+            ..OverviewOptions::default()
+        },
+    );
+    println!(
+        "\n{label} at p = {}: {} aggregates ({} data + {} visual) in {:.2?}",
+        args.p,
+        ov.partition.len(),
+        ov.visual.n_data,
+        ov.visual.n_visual,
+        t0.elapsed()
+    );
+    print!("{}", ov.to_ascii(&input, 100, 20));
+
+    if args.summary > 0 {
+        println!("\nlargest aggregates:");
+        print!("{}", ocelotl::core::summary_text(&input, &ov.partition, args.summary));
+    }
+
+    if let Some(path) = &args.report {
+        let html = ocelotl::viz::html_report(
+            &input,
+            &ocelotl::viz::ReportOptions {
+                title: format!("ocelotl report — {label}"),
+                time_range: Some((model.grid().start(), model.grid().end())),
+                ..Default::default()
+            },
+        );
+        std::fs::write(path, html).expect("write report");
+        println!("wrote {}", path.display());
+    }
+}

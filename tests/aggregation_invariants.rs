@@ -1,0 +1,124 @@
+//! Property-based invariants of the aggregation algorithms on random
+//! microscopic models.
+
+use ocelotl::core::{
+    aggregate, aggregate_default, product_aggregation, AggregationInput, DpConfig, Partition,
+};
+use ocelotl::trace::synthetic::random_model;
+use proptest::prelude::*;
+
+/// Strategy: a random model shape (fanouts × slices × states) and seed.
+fn arb_shape() -> impl Strategy<Value = (Vec<usize>, usize, usize, u64)> {
+    (
+        prop::collection::vec(2usize..4, 1..3), // hierarchy fanouts
+        2usize..10,                             // slices
+        1usize..4,                              // states
+        any::<u64>(),                           // data seed
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimal_partition_is_always_valid((fanouts, t, x, seed) in arb_shape(), p in 0.0f64..=1.0) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, p).partition(&input);
+        prop_assert!(part.validate(m.hierarchy(), t).is_ok());
+    }
+
+    #[test]
+    fn dp_dominates_reference_partitions((fanouts, t, x, seed) in arb_shape(), p in 0.0f64..=1.0) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let best = aggregate_default(&input, p).optimal_pic(&input);
+        let h = m.hierarchy();
+        for reference in [
+            Partition::microscopic(h, t),
+            Partition::full(h, t),
+        ] {
+            prop_assert!(best >= reference.pic(&input, p) - 1e-9);
+        }
+        let prod = product_aggregation(&m, p);
+        prop_assert!(best >= prod.partition.pic(&input, p) - 1e-9);
+    }
+
+    #[test]
+    fn sequential_and_parallel_dp_agree((fanouts, t, x, seed) in arb_shape(), p in 0.0f64..=1.0) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let seq = aggregate(&input, p, &DpConfig { parallel: false, ..Default::default() });
+        let par = aggregate(&input, p, &DpConfig { parallel: true, ..Default::default() });
+        prop_assert_eq!(seq.partition(&input), par.partition(&input));
+        prop_assert!((seq.optimal_pic(&input) - par.optimal_pic(&input)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extracted_partition_pic_matches_dp_value((fanouts, t, x, seed) in arb_shape(), p in 0.0f64..=1.0) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let tree = aggregate_default(&input, p);
+        let part = tree.partition(&input);
+        prop_assert!((tree.optimal_pic(&input) - part.pic(&input, p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_never_decreases_with_p((fanouts, t, x, seed) in arb_shape()) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let mut prev = -1.0f64;
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let part = aggregate_default(&input, p).partition(&input);
+            let loss = part.loss(&input);
+            prop_assert!(loss >= prev - 1e-9, "loss {loss} < {prev} at p={p}");
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn p_zero_partitions_lose_nothing((fanouts, t, x, seed) in arb_shape()) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, 0.0).partition(&input);
+        prop_assert!(part.loss(&input) < 1e-6);
+    }
+
+    #[test]
+    fn pic_is_monotone_in_quality_not_area_count((fanouts, t, x, seed) in arb_shape(), p in 0.1f64..=0.9) {
+        // Sanity: the optimum never has *more* areas than microscopic nor
+        // fewer than one; and its pIC is finite.
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, p).partition(&input);
+        prop_assert!(!part.is_empty());
+        prop_assert!(part.len() <= m.n_leaves() * t);
+        prop_assert!(part.pic(&input, p).is_finite());
+    }
+}
+
+#[test]
+fn dp_equals_brute_force_on_exhaustive_instances() {
+    use ocelotl::core::analysis::brute_force_best;
+    for seed in 0..8u64 {
+        let m = random_model(&[2, 2], 3, 2, seed);
+        let input = AggregationInput::build(&m);
+        for p in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let dp = aggregate(
+                &input,
+                p,
+                &DpConfig {
+                    epsilon: 0.0,
+                    parallel: false,
+                    ..DpConfig::default()
+                },
+            )
+            .optimal_pic(&input);
+            let (bf, _) = brute_force_best(&input, p);
+            assert!(
+                (dp - bf).abs() < 1e-9,
+                "seed={seed} p={p}: dp={dp} bf={bf}"
+            );
+        }
+    }
+}

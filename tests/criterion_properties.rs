@@ -1,0 +1,201 @@
+//! Mathematical properties of the information criterion (Eq. 1–4) that the
+//! implementation must uphold, checked on random microscopic models.
+
+use ocelotl::core::{aggregate_default, Area, AggregationInput, Partition};
+use ocelotl::prelude::*;
+use ocelotl::trace::synthetic::random_model;
+use ocelotl::trace::StateId;
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = (Vec<usize>, usize, usize, u64)> {
+    (
+        prop::collection::vec(2usize..4, 1..3),
+        2usize..9,
+        1usize..4,
+        any::<u64>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `pIC*(p) = max over partitions of p·gain − (1−p)·loss` is a maximum
+    /// of linear functions of p, hence convex: second differences over a
+    /// uniform p grid must be non-negative.
+    #[test]
+    fn optimal_pic_is_convex_in_p((fanouts, t, x, seed) in arb_model()) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let grid: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let vals: Vec<f64> = grid
+            .iter()
+            .map(|&p| aggregate_default(&input, p).optimal_pic(&input))
+            .collect();
+        for w in vals.windows(3) {
+            let second_diff = w[2] - 2.0 * w[1] + w[0];
+            prop_assert!(
+                second_diff >= -1e-6,
+                "convexity violated: {vals:?}"
+            );
+        }
+    }
+
+    /// Endpoints: at p = 0 the optimum is the zero-loss microscopic value 0;
+    /// at p = 1 the optimum is the maximal gain, never below 0.
+    #[test]
+    fn optimal_pic_endpoints((fanouts, t, x, seed) in arb_model()) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let at0 = aggregate_default(&input, 0.0).optimal_pic(&input);
+        prop_assert!(at0.abs() < 1e-9, "pIC*(0) = {at0}, expected 0");
+        let at1 = aggregate_default(&input, 1.0).optimal_pic(&input);
+        prop_assert!(at1 >= -1e-9, "pIC*(1) = {at1}, expected >= 0");
+    }
+
+    /// Loss (Eq. 2) is a Kullback–Leibler divergence: non-negative for
+    /// every admissible area.
+    #[test]
+    fn loss_is_nonnegative_everywhere((fanouts, t, x, seed) in arb_model()) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let h = m.hierarchy();
+        for node in h.node_ids() {
+            for i in 0..t {
+                for j in i..t {
+                    prop_assert!(
+                        input.loss(node, i, j) >= -1e-9,
+                        "negative loss at node {node:?} [{i},{j}]"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Aggregated proportions follow Eq. 1 exactly:
+    /// `ρ_x(S_k, T_(i,j)) = (1/|S_k|) Σ_s (Σ_t d_x(s,t) / Σ_t d(t))`.
+    #[test]
+    fn aggregated_rho_matches_eq1((fanouts, t, x, seed) in arb_model()) {
+        let m = random_model(&fanouts, t, x, seed);
+        let input = AggregationInput::build(&m);
+        let h = m.hierarchy().clone();
+        let slice_d = m.grid().slice_duration();
+        for node in h.node_ids() {
+            let (i, j) = (0, t - 1);
+            let rhos = input.rho_aggregate_all(node, i, j);
+            for state in 0..x {
+                let mut manual = 0.0;
+                for s in h.leaf_range(node) {
+                    let mut num = 0.0;
+                    for slice in i..=j {
+                        num += m.duration(LeafId(s as u32), StateId(state as u16), slice);
+                    }
+                    manual += num / (slice_d * (j - i + 1) as f64);
+                }
+                manual /= h.n_leaves_under(node) as f64;
+                prop_assert!(
+                    (rhos[state] - manual).abs() < 1e-9,
+                    "Eq. 1 mismatch at node {node:?} state {state}: {} vs {manual}",
+                    rhos[state]
+                );
+            }
+        }
+    }
+
+    /// Additivity over the state dimension (§III.C): for any fixed
+    /// partition, the pIC on a stacked two-layer model equals the sum of
+    /// the per-layer pICs.
+    #[test]
+    fn pic_is_additive_over_stacked_layers(
+        (fanouts, t, x, seed) in arb_model(),
+        p in 0.0f64..=1.0,
+    ) {
+        let m1 = random_model(&fanouts, t, x, seed);
+        let m2 = random_model(&fanouts, t, x, seed.wrapping_add(1));
+        let stacked = m1.stack(&m2, "layer2:");
+        let in1 = AggregationInput::build(&m1);
+        let in2 = AggregationInput::build(&m2);
+        let ins = AggregationInput::build(&stacked);
+
+        // A nontrivial fixed partition: top-level clusters × two intervals.
+        let h = m1.hierarchy();
+        let parts: Vec<Area> = if t >= 2 {
+            h.top_level()
+                .iter()
+                .flat_map(|&c| [Area::new(c, 0, t / 2 - 1), Area::new(c, t / 2, t - 1)])
+                .collect()
+        } else {
+            h.top_level().iter().map(|&c| Area::new(c, 0, 0)).collect()
+        };
+        let partition = Partition::new(parts);
+        prop_assert!(partition.validate(h, t).is_ok());
+
+        let sum = partition.pic(&in1, p) + partition.pic(&in2, p);
+        let joint = partition.pic(&ins, p);
+        prop_assert!(
+            (sum - joint).abs() < 1e-6,
+            "additivity violated: {sum} vs {joint}"
+        );
+    }
+
+    /// The joint optimum of a stacked model can never beat the sum of the
+    /// per-layer optima (the layers share one partition).
+    #[test]
+    fn joint_optimum_bounded_by_per_layer_optima(
+        (fanouts, t, x, seed) in arb_model(),
+        p in 0.0f64..=1.0,
+    ) {
+        let m1 = random_model(&fanouts, t, x, seed);
+        let m2 = random_model(&fanouts, t, x, seed.wrapping_mul(31).wrapping_add(7));
+        let stacked = m1.stack(&m2, "layer2:");
+        let in1 = AggregationInput::build(&m1);
+        let in2 = AggregationInput::build(&m2);
+        let ins = AggregationInput::build(&stacked);
+        let separate = aggregate_default(&in1, p).optimal_pic(&in1)
+            + aggregate_default(&in2, p).optimal_pic(&in2);
+        let joint = aggregate_default(&ins, p).optimal_pic(&ins);
+        prop_assert!(
+            joint <= separate + 1e-6,
+            "joint {joint} exceeds separate sum {separate}"
+        );
+    }
+
+    /// Scaling every duration by a constant leaves proportions, loss and
+    /// gain unchanged (ρ is duration over slice length; both scale).
+    ///
+    /// Note this is *time* scaling (stretching the grid with the data), not
+    /// value scaling at fixed grid — the latter is not an invariance
+    /// (see the event-density normalization note in `trace::density`).
+    #[test]
+    fn time_dilation_leaves_measures_invariant(
+        (fanouts, t, x, seed) in arb_model(),
+        factor in 0.1f64..10.0,
+    ) {
+        let m = random_model(&fanouts, t, x, seed);
+        let h = m.hierarchy().clone();
+        let grid = TimeGrid::new(
+            m.grid().start() * factor,
+            m.grid().end() * factor,
+            t,
+        );
+        let mut durations = Vec::with_capacity(h.n_leaves() * x * t);
+        for leaf in 0..h.n_leaves() {
+            for state in 0..x {
+                for &d in m.series(LeafId(leaf as u32), StateId(state as u16)) {
+                    durations.push(d * factor);
+                }
+            }
+        }
+        let scaled = ocelotl::trace::MicroModel::from_dense(
+            h.clone(),
+            m.states().clone(),
+            grid,
+            durations,
+        );
+        let in_a = AggregationInput::build(&m);
+        let in_b = AggregationInput::build(&scaled);
+        for node in h.node_ids() {
+            prop_assert!((in_a.loss(node, 0, t - 1) - in_b.loss(node, 0, t - 1)).abs() < 1e-6);
+            prop_assert!((in_a.gain(node, 0, t - 1) - in_b.gain(node, 0, t - 1)).abs() < 1e-6);
+        }
+    }
+}

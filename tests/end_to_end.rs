@@ -1,0 +1,144 @@
+//! End-to-end integration: simulate → serialize → stream → aggregate →
+//! render, across every crate of the workspace.
+
+use ocelotl::core::{aggregate_default, quality, AggregationInput};
+use ocelotl::format::{read_micro, read_trace, write_trace};
+use ocelotl::mpisim::{scenario, CaseId};
+use ocelotl::prelude::*;
+use ocelotl::viz::{overview, OverviewOptions};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ocelotl-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d.join(name)
+}
+
+#[test]
+fn simulate_serialize_stream_aggregate_render() {
+    // 1. Simulate Table II case A at small scale.
+    let sc = scenario(CaseId::A, 0.01);
+    let (trace, stats) = sc.run(7);
+    assert!(trace.check_invariants().is_ok());
+    assert!(stats.intervals > 1000);
+
+    // 2. Serialize to both formats and read back.
+    for name in ["e2e.ptf", "e2e.btf"] {
+        let path = tmp(name);
+        write_trace(&trace, &path).unwrap();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back.intervals.len(), trace.intervals.len(), "{name}");
+        assert_eq!(back.hierarchy.n_leaves(), 64);
+
+        // 3. Streaming micro model == in-memory micro model.
+        let streamed = read_micro(&path, 30).unwrap();
+        let direct = MicroModel::from_trace(&trace, 30).unwrap();
+        let mut max_err: f64 = 0.0;
+        for leaf in 0..64u32 {
+            for x in 0..direct.n_states() as u16 {
+                for t in 0..30 {
+                    let a = streamed.duration(LeafId(leaf), StateId(x), t);
+                    let b = direct.duration(LeafId(leaf), StateId(x), t);
+                    max_err = max_err.max((a - b).abs());
+                }
+            }
+        }
+        assert!(max_err < 1e-9, "{name}: streamed vs direct differ by {max_err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    // 4. Aggregate and validate.
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+    let part = aggregate_default(&input, 0.4).partition(&input);
+    part.validate(model.hierarchy(), 30).unwrap();
+    let q = quality(&input, &part);
+    assert!(q.complexity_reduction > 0.5, "overview must actually reduce: {q:?}");
+    assert!(q.loss_ratio < 1.0);
+
+    // 5. Render.
+    let ov = overview(
+        &input,
+        OverviewOptions {
+            p: 0.4,
+            time_range: trace.time_range(),
+            ..OverviewOptions::default()
+        },
+    );
+    let svg = ov.to_svg(&input);
+    assert!(svg.contains("</svg>"));
+    assert!(svg.contains("parapide"));
+    let txt = ov.to_ascii(&input, 80, 16);
+    assert!(txt.contains("legend:"));
+}
+
+#[test]
+fn reaggregation_at_new_p_reuses_cached_inputs() {
+    // The "instantaneous interaction" property: building inputs once and
+    // re-running the DP at many p values must agree with fresh runs.
+    let sc = scenario(CaseId::A, 0.005);
+    let (trace, _) = sc.run(3);
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+    for p in [0.0, 0.3, 0.7, 1.0] {
+        let p1 = aggregate_default(&input, p).partition(&input);
+        let input2 = AggregationInput::build(&model);
+        let p2 = aggregate_default(&input2, p).partition(&input2);
+        assert_eq!(p1, p2, "cached inputs must be equivalent at p={p}");
+    }
+}
+
+#[test]
+fn slices_parameter_controls_resolution() {
+    let sc = scenario(CaseId::A, 0.005);
+    let (trace, _) = sc.run(11);
+    for slices in [5, 30, 64] {
+        let model = MicroModel::from_trace(&trace, slices).unwrap();
+        assert_eq!(model.n_slices(), slices);
+        let input = AggregationInput::build(&model);
+        let part = aggregate_default(&input, 0.5).partition(&input);
+        part.validate(model.hierarchy(), slices).unwrap();
+    }
+}
+
+#[test]
+fn paje_export_of_simulated_trace_roundtrips() {
+    // The Pajé writer/reader (tool-family interop) must preserve every
+    // non-degenerate interval of a simulated trace; zero-duration states
+    // (instantaneous receives) are legitimately dropped by the set-state
+    // timeline model.
+    let sc = scenario(CaseId::A, 0.004);
+    let (trace, _) = sc.run(5);
+    let mut buf = Vec::new();
+    ocelotl::format::write_paje(&trace, &mut buf).unwrap();
+    let back = ocelotl::format::read_paje(buf.as_slice()).unwrap();
+    assert_eq!(back.hierarchy.n_leaves(), 64);
+    for id in trace.hierarchy.node_ids() {
+        assert_eq!(trace.hierarchy.path(id), back.hierarchy.path(id));
+    }
+    let nonzero = |t: &Trace| t.intervals.iter().filter(|iv| iv.duration() > 0.0).count();
+    assert_eq!(nonzero(&back), nonzero(&trace));
+    let mass = |t: &Trace| t.intervals.iter().map(|iv| iv.duration()).sum::<f64>();
+    assert!((mass(&back) - mass(&trace)).abs() < 1e-6 * mass(&trace).max(1.0));
+}
+
+#[test]
+fn zoom_into_anomaly_region_and_reaggregate() {
+    // The Ocelotl drill-down workflow: overview → spot the anomaly →
+    // zoom into the affected machine → re-aggregate the sub-model.
+    let sc = scenario(CaseId::A, 0.01);
+    let (trace, _) = sc.run(42);
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let machine = model
+        .hierarchy()
+        .find_path("parapide/parapide-3")
+        .expect("machine 3 exists");
+    let grid = *model.grid();
+    let (s0, s1) = (grid.slice_of(2.5), grid.slice_of(4.0));
+    let sub = model.submodel(machine, s0, s1);
+    assert_eq!(sub.n_leaves(), 8, "one machine = 8 ranks");
+    assert_eq!(sub.n_slices(), s1 - s0 + 1);
+    let input = AggregationInput::build(&sub);
+    let part = aggregate_default(&input, 0.3).partition(&input);
+    part.validate(sub.hierarchy(), sub.n_slices()).unwrap();
+    assert!(part.len() >= 1);
+}

@@ -1,0 +1,163 @@
+//! The MG and EP skeletons (beyond the paper's CG/LU) as aggregation
+//! inputs: EP is the negative control whose overview must collapse to a
+//! handful of aggregates, while MG's per-cycle structure keeps the overview
+//! busier at the same trade-off.
+
+use ocelotl::core::{aggregate, aggregate_default, quality, AggregationInput, DpConfig};
+use ocelotl::mpisim::apps::{ep, ft, mg};
+use ocelotl::mpisim::{Engine, Network, Nic};
+use ocelotl::prelude::*;
+
+fn run_ep(n_machines: usize, cores: usize) -> Trace {
+    let p = Platform::uniform(n_machines, cores, Nic::Infiniband20G);
+    let net = Network::for_platform(&p);
+    let cfg = ep::EpConfig {
+        blocks: 24,
+        ..ep::EpConfig::default()
+    };
+    Engine::new(&p, &net, 11).run(ep::build_programs(&p, &cfg), &[]).0
+}
+
+fn run_mg(n_machines: usize, cores: usize) -> Trace {
+    let p = Platform::uniform(n_machines, cores, Nic::Infiniband20G);
+    let net = Network::for_platform(&p);
+    let cfg = mg::MgConfig {
+        cycles: 8,
+        ..mg::MgConfig::default()
+    };
+    Engine::new(&p, &net, 11).run(mg::build_programs(&p, &cfg), &[]).0
+}
+
+#[test]
+fn ep_is_the_negative_control() {
+    let trace = run_ep(4, 4);
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+    // EP's compute phase is pure (ρ = 1) in nearly every cell, the
+    // degenerate-tie regime — `coarse_ties` picks the coarsest optimum.
+    let part = aggregate(&input, 0.5, &DpConfig::coarse_ties()).partition(&input);
+    assert!(part.validate(model.hierarchy(), 30).is_ok());
+    let q = quality(&input, &part);
+    // 16 ranks × 30 slices = 480 cells; a featureless run must summarize
+    // into a small multiple of its two phases (compute, reduce tail).
+    assert!(
+        part.len() <= 24,
+        "EP overview should be near-trivial, got {} areas",
+        part.len()
+    );
+    assert!(q.complexity_reduction > 0.9);
+}
+
+#[test]
+fn mg_is_busier_than_ep_at_the_same_tradeoff() {
+    let ep_trace = run_ep(4, 4);
+    let mg_trace = run_mg(4, 4);
+    let areas = |trace: &Trace| {
+        let model = MicroModel::from_trace(trace, 30).unwrap();
+        let input = AggregationInput::build(&model);
+        aggregate_default(&input, 0.35).partition(&input).len()
+    };
+    let (a_ep, a_mg) = (areas(&ep_trace), areas(&mg_trace));
+    assert!(
+        a_mg > a_ep,
+        "MG ({a_mg} areas) must show more structure than EP ({a_ep})"
+    );
+}
+
+#[test]
+fn mg_exchanges_cross_machine_boundaries_at_coarse_levels() {
+    // With 4 machines × 4 cores, strides 1..4 stay mostly intra-machine
+    // while strides 4+ cross machines; MPI_Wait time must be nonzero
+    // everywhere (every rank both sends and receives at every level).
+    let trace = run_mg(4, 4);
+    let wait = trace.states.get("MPI_Wait").unwrap();
+    for leaf in 0..16u32 {
+        let total: f64 = trace
+            .intervals
+            .iter()
+            .filter(|iv| iv.resource == LeafId(leaf) && iv.state == wait)
+            .map(|iv| iv.duration())
+            .sum();
+        assert!(total > 0.0, "rank {leaf} never waited");
+    }
+}
+
+#[test]
+fn ft_transpose_mode_dominates_the_overview() {
+    // FT on a slow interconnect: the transpose (MPI_Alltoall) should be the
+    // mode of a large share of the computation-phase aggregates.
+    let p = Platform::uniform(4, 4, Nic::TenGbE);
+    let net = Network::for_platform(&p);
+    let cfg = ft::FtConfig {
+        iters: 10,
+        transpose_bytes: 1 << 20,
+        compute_pre: 0.01,
+        compute_post: 0.005,
+        ..ft::FtConfig::default()
+    };
+    let (trace, _) = Engine::new(&p, &net, 5).run(ft::build_programs(&p, &cfg), &[]);
+
+    // Trace level: the transpose outweighs the local FFT compute.
+    let time_in = |name: &str| {
+        let sid = trace.states.get(name).unwrap();
+        trace
+            .intervals
+            .iter()
+            .filter(|iv| iv.state == sid)
+            .map(|iv| iv.duration())
+            .sum::<f64>()
+    };
+    let (a2a_time, compute_time) = (time_in("MPI_Alltoall"), time_in("Compute"));
+    assert!(
+        a2a_time > compute_time,
+        "transpose ({a2a_time:.3} s) should outweigh compute ({compute_time:.3} s)"
+    );
+
+    // Overview level: the computation phase carries Alltoall-mode bands.
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+    let part = aggregate(&input, 0.5, &DpConfig::coarse_ties()).partition(&input);
+    assert!(part.validate(model.hierarchy(), 30).is_ok());
+    let has_a2a_band = part.areas().iter().any(|area| {
+        ocelotl::core::inspect_area(&input, area).mode.as_deref() == Some("MPI_Alltoall")
+    });
+    assert!(has_a2a_band, "no Alltoall-mode aggregate in the overview");
+}
+
+#[test]
+fn perturbed_ep_is_no_longer_featureless() {
+    // Injecting a compute slowdown on one machine must break EP's
+    // homogeneity — the partition needs more areas to stay faithful.
+    let p = Platform::uniform(4, 4, Nic::Infiniband20G);
+    let net = Network::for_platform(&p);
+    let cfg = ep::EpConfig {
+        blocks: 24,
+        ..ep::EpConfig::default()
+    };
+    let mut programs = ep::build_programs(&p, &cfg);
+    // Slow down machine 2's ranks (8..12) mid-run: stretch their middle
+    // compute blocks, the way a co-scheduled job would.
+    for prog in programs.iter_mut().take(12).skip(8) {
+        for op in prog.iter_mut().skip(9).take(6) {
+            if let ocelotl::mpisim::Op::Compute { duration } = op {
+                *duration *= 3.0;
+            }
+        }
+    }
+    let (trace, _) = Engine::new(&p, &net, 11).run(programs, &[]);
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+    let part = aggregate_default(&input, 0.5).partition(&input);
+
+    let clean = run_ep(4, 4);
+    let clean_model = MicroModel::from_trace(&clean, 30).unwrap();
+    let clean_input = AggregationInput::build(&clean_model);
+    let clean_part = aggregate_default(&clean_input, 0.5).partition(&clean_input);
+
+    assert!(
+        part.len() > clean_part.len(),
+        "perturbed EP ({}) must need more areas than clean EP ({})",
+        part.len(),
+        clean_part.len()
+    );
+}

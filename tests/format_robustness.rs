@@ -1,0 +1,187 @@
+//! Failure injection for the trace readers: corrupt, truncated, malicious
+//! or plain garbage inputs must yield `Err`, never a panic, hang, or
+//! pathological allocation.
+
+use ocelotl::format::{read_binary, read_paje, read_text, write_binary};
+use ocelotl::prelude::*;
+use proptest::prelude::*;
+
+fn sample_trace() -> Trace {
+    let mut b = TraceBuilder::new(Hierarchy::balanced(&[2, 2]));
+    let s = b.state("Run");
+    let w = b.state("Wait");
+    for leaf in 0..4u32 {
+        b.push_state(LeafId(leaf), s, 0.0, 5.0);
+        b.push_state(LeafId(leaf), w, 5.0, 8.0);
+    }
+    b.push_meta("k", "v");
+    b.build()
+}
+
+fn sample_btf() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_binary(&sample_trace(), &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn btf_with_nan_interval_is_rejected() {
+    let mut buf = sample_btf();
+    // Find the first interval record: header ends after the u64 interval
+    // count; patch its begin field with NaN. The record layout is
+    // u32 res, u16 state, f64 begin, f64 end. Locate by searching for the
+    // first occurrence of begin = 0.0, end = 5.0 as adjacent f64s.
+    let begin = 0.0f64.to_le_bytes();
+    let end = 5.0f64.to_le_bytes();
+    let pos = buf
+        .windows(16)
+        .position(|w| w[..8] == begin && w[8..] == end)
+        .expect("interval record present");
+    buf[pos..pos + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+    let err = read_binary(buf.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("invalid interval"), "{err}");
+}
+
+#[test]
+fn btf_with_nan_time_range_is_rejected() {
+    let mut buf = sample_btf();
+    buf[4..12].copy_from_slice(&f64::NAN.to_le_bytes());
+    assert!(read_binary(buf.as_slice()).is_err());
+}
+
+#[test]
+fn btf_with_huge_metadata_count_does_not_allocate() {
+    let mut buf = sample_btf();
+    // Metadata count sits right after magic (4) + range (16).
+    buf[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+    // Must fail fast on EOF, not attempt a 4-billion-entry allocation.
+    assert!(read_binary(buf.as_slice()).is_err());
+}
+
+#[test]
+fn btf_with_huge_state_count_is_rejected() {
+    let t = sample_trace();
+    let mut buf = Vec::new();
+    write_binary(&t, &mut buf).unwrap();
+    // The state-count u32 directly precedes the name "Run" (length-prefixed).
+    let name = b"Run";
+    let pos = buf
+        .windows(name.len())
+        .position(|w| w == name)
+        .unwrap();
+    // Layout: ... u32 n_states, u32 len("Run"), "Run" — counts at pos-8.
+    buf[pos - 8..pos - 4].copy_from_slice(&(1u32 << 20).to_le_bytes());
+    let err = read_binary(buf.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("u16 id space"), "{err}");
+}
+
+#[test]
+fn btf_truncations_never_panic() {
+    let buf = sample_btf();
+    for cut in 0..buf.len() {
+        // Every prefix must be a clean error.
+        assert!(read_binary(&buf[..cut]).is_err(), "prefix of {cut} bytes");
+    }
+}
+
+#[test]
+fn ptf_with_nan_interval_is_rejected() {
+    let text = "\
+%PTF 1
+%node 0 - root site
+%node 1 0 machine m0
+%state 0 Run
+S 0 0 NaN 5.0
+";
+    let err = read_text(text.as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("non-finite"), "{err}");
+}
+
+#[test]
+fn ptf_with_infinite_range_is_rejected() {
+    let text = "\
+%PTF 1
+%range 0 inf
+%node 0 - root site
+";
+    assert!(read_text(text.as_bytes()).is_err());
+}
+
+#[test]
+fn paje_with_nan_time_is_rejected() {
+    let text = "\
+%EventDef PajeSetState 10
+%EndEventDef
+%EventDef PajeCreateContainer 7
+%EndEventDef
+7 0.0 c0 CT_root 0 \"root\"
+7 0.0 c1 CT_proc c0 \"p0\"
+10 NaN ST c1 Run
+10 2.0 ST c1 Wait
+";
+    let err = read_paje(text.as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("non-finite"), "{err}");
+}
+
+#[test]
+fn readers_reject_each_others_magic() {
+    let btf = sample_btf();
+    assert!(read_text(btf.as_slice()).is_err());
+    let mut ptf = Vec::new();
+    ocelotl::format::write_text(&sample_trace(), &mut ptf).unwrap();
+    assert!(read_binary(ptf.as_slice()).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic any reader.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_binary(bytes.as_slice());
+        let _ = read_text(bytes.as_slice());
+        let _ = read_paje(bytes.as_slice());
+    }
+
+    /// Arbitrary bytes *behind a valid magic* never panic (exercises the
+    /// header parsers rather than dying at the magic check).
+    #[test]
+    fn arbitrary_payload_behind_magic_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut btf = b"BTF1".to_vec();
+        btf.extend_from_slice(&bytes);
+        let _ = read_binary(btf.as_slice());
+
+        let mut ptf = b"%PTF 1\n".to_vec();
+        ptf.extend_from_slice(&bytes);
+        let _ = read_text(ptf.as_slice());
+    }
+
+    /// Single-byte corruption of a valid BTF file either round-trips to a
+    /// valid trace or errors — never panics.
+    #[test]
+    fn single_byte_corruption_never_panics(pos in 0usize..1000, val in any::<u8>()) {
+        let mut buf = sample_btf();
+        let pos = pos % buf.len();
+        buf[pos] = val;
+        if let Ok(t) = read_binary(buf.as_slice()) {
+            // If it still parses, it must be internally consistent.
+            prop_assert!(t.check_invariants().is_ok());
+        }
+    }
+
+    /// Random line shuffling/deletion of a PTF file never panics.
+    #[test]
+    fn ptf_line_deletion_never_panics(drop_mask in prop::collection::vec(any::<bool>(), 32)) {
+        let mut text = Vec::new();
+        ocelotl::format::write_text(&sample_trace(), &mut text).unwrap();
+        let text = String::from_utf8(text).unwrap();
+        let kept: Vec<&str> = text
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *drop_mask.get(i % drop_mask.len()).unwrap_or(&true))
+            .map(|(_, l)| l)
+            .collect();
+        let mutated = kept.join("\n");
+        let _ = read_text(mutated.as_bytes());
+    }
+}

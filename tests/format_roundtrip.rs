@@ -1,0 +1,128 @@
+//! Property-based round-trip tests for the PTF (text) and BTF (binary)
+//! trace formats.
+
+use ocelotl::format::{read_binary, read_text, write_binary, write_text};
+use ocelotl::prelude::*;
+use ocelotl::trace::{PointEvent, PointKind};
+use proptest::prelude::*;
+
+/// Strategy: a small random hierarchy (1–3 levels) plus random events.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        1usize..4,                          // clusters
+        1usize..4,                          // machines per cluster
+        prop::collection::vec((0f64..100.0, 0f64..5.0, 0usize..4), 0..200),
+        prop::collection::vec((0f64..100.0, 0usize..3), 0..20),
+    )
+        .prop_map(|(nc, nm, ivs, pts)| {
+            let mut b = HierarchyBuilder::new("site", "site");
+            for c in 0..nc {
+                let cl = b.add_child(b.root(), &format!("c{c}"), "cluster");
+                for m in 0..nm {
+                    b.add_child(cl, &format!("m{c}.{m}"), "machine");
+                }
+            }
+            let h = b.build().unwrap();
+            let n = h.n_leaves();
+            let mut tb = TraceBuilder::new(h);
+            let states = [tb.state("Compute"), tb.state("MPI_Send"), tb.state("MPI_Wait"), tb.state("MPI_Recv")];
+            tb.push_meta("generator", "proptest");
+            for (i, (begin, dur, x)) in ivs.into_iter().enumerate() {
+                let leaf = LeafId((i % n) as u32);
+                tb.push_state(leaf, states[x], begin, begin + dur);
+            }
+            for (i, (t, kind)) in pts.into_iter().enumerate() {
+                let resource = LeafId((i % n) as u32);
+                let peer = LeafId(((i + 1) % n) as u32);
+                let kind = match kind {
+                    0 => PointKind::Marker,
+                    1 => PointKind::MsgSend { peer },
+                    _ => PointKind::MsgRecv { peer },
+                };
+                tb.push_point(PointEvent { resource, time: t, kind });
+            }
+            tb.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_roundtrip_is_lossless(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        write_text(&trace, &mut buf).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        prop_assert_eq!(&back.intervals, &trace.intervals);
+        prop_assert_eq!(&back.points, &trace.points);
+        prop_assert_eq!(back.hierarchy.len(), trace.hierarchy.len());
+        prop_assert_eq!(back.time_range(), trace.time_range());
+        for id in trace.hierarchy.node_ids() {
+            prop_assert_eq!(trace.hierarchy.path(id), back.hierarchy.path(id));
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        write_binary(&trace, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(&back.intervals, &trace.intervals);
+        prop_assert_eq!(&back.points, &trace.points);
+        prop_assert_eq!(back.states.len(), trace.states.len());
+    }
+
+    #[test]
+    fn binary_never_panics_on_truncation(trace in arb_trace(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        write_binary(&trace, &mut buf).unwrap();
+        let cut = ((buf.len() as f64) * frac) as usize;
+        // Truncated input must error (or, for cut == len, succeed) — never panic.
+        let _ = read_binary(&buf[..cut]);
+    }
+
+    #[test]
+    fn text_never_panics_on_line_corruption(trace in arb_trace(), line in 0usize..50, garbage in "[a-zA-Z0-9 ]{0,30}") {
+        let mut buf = Vec::new();
+        write_text(&trace, &mut buf).unwrap();
+        let mut lines: Vec<String> = String::from_utf8(buf).unwrap().lines().map(String::from).collect();
+        if !lines.is_empty() {
+            let idx = line % lines.len();
+            lines[idx] = garbage;
+            let corrupted = lines.join("\n");
+            let _ = read_text(corrupted.as_bytes()); // may error, must not panic
+        }
+    }
+}
+
+#[test]
+fn micro_from_either_format_agrees() {
+    use ocelotl::format::{stream_binary_micro, stream_text_micro};
+    // Deterministic mid-size trace.
+    let h = Hierarchy::balanced(&[2, 3]);
+    let mut tb = TraceBuilder::new(h);
+    let s = tb.state("S");
+    let w = tb.state("W");
+    for leaf in 0..6u32 {
+        for k in 0..50 {
+            let t = k as f64 * 0.37 + leaf as f64 * 0.05;
+            tb.push_state(LeafId(leaf), if k % 3 == 0 { w } else { s }, t, t + 0.3);
+        }
+    }
+    let trace = tb.build();
+    let mut tbuf = Vec::new();
+    let mut bbuf = Vec::new();
+    write_text(&trace, &mut tbuf).unwrap();
+    write_binary(&trace, &mut bbuf).unwrap();
+    let mt = stream_text_micro(tbuf.as_slice(), 20).unwrap();
+    let mb = stream_binary_micro(bbuf.as_slice(), 20).unwrap();
+    for leaf in 0..6u32 {
+        for x in 0..2u16 {
+            for t in 0..20 {
+                let a = mt.duration(LeafId(leaf), StateId(x), t);
+                let b = mb.duration(LeafId(leaf), StateId(x), t);
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Programmatic checks of the paper's §V case studies: the anomalies the
+//! figures show must be *detected* by the aggregation, not just drawn.
+
+use ocelotl::core::{aggregate_default, AggregationInput};
+use ocelotl::mpisim::{scenario, CaseId, Network};
+use ocelotl::prelude::*;
+
+/// Per-machine MPI_Send+MPI_Wait proportion inside vs outside a window.
+fn window_stress(
+    model: &MicroModel,
+    machine_node: NodeId,
+    s0: usize,
+    s1: usize,
+    baseline_from: usize,
+) -> (f64, f64) {
+    let h = model.hierarchy();
+    let send = model.states().get("MPI_Send").unwrap();
+    let wait = model.states().get("MPI_Wait").unwrap();
+    let mut inw = 0.0;
+    let mut inn = 0usize;
+    let mut out = 0.0;
+    let mut outn = 0usize;
+    for leaf in h.leaf_range(machine_node) {
+        for t in 0..model.n_slices() {
+            let v = model.rho(LeafId(leaf as u32), send, t)
+                + model.rho(LeafId(leaf as u32), wait, t);
+            if (s0..=s1).contains(&t) {
+                inw += v;
+                inn += 1;
+            } else if t >= baseline_from && t < s0 {
+                out += v;
+                outn += 1;
+            }
+        }
+    }
+    (inw / inn.max(1) as f64, out / outn.max(1) as f64)
+}
+
+#[test]
+fn case_a_perturbation_is_detected_and_localized() {
+    let scale = 0.02;
+    let sc = scenario(CaseId::A, scale);
+    let (trace, _) = sc.run(42);
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let h = model.hierarchy().clone();
+    let grid = *model.grid();
+    let (s0, s1) = (grid.slice_of(3.0), grid.slice_of(3.45));
+    let baseline_from = grid.slice_of(2.4);
+
+    // Machines 3 (perturbed), 1 and 7 (butterfly partners) stressed;
+    // machine 5 (uncoupled) must stay near baseline.
+    let cluster = h.top_level()[0];
+    let machines = h.children(cluster);
+    let stress = |m: usize| window_stress(&model, machines[m], s0, s1, baseline_from);
+    let (in3, out3) = stress(3);
+    let (in5, out5) = stress(5);
+    assert!(
+        in3 > 2.5 * out3,
+        "perturbed machine must be stressed in-window ({in3:.3} vs {out3:.3})"
+    );
+    assert!(
+        in5 < in3 * 0.75,
+        "uncoupled machine 5 ({in5:.3}) must be calmer than machine 3 ({in3:.3})"
+    );
+    let _ = out5;
+
+    // The spatiotemporal aggregation opens temporal boundaries inside the
+    // window (the paper's "disruptions in the temporal aggregation").
+    let input = AggregationInput::build(&model);
+    let part = aggregate_default(&input, 0.3).partition(&input);
+    let hits = part
+        .areas()
+        .iter()
+        .filter(|a| a.first_slice > s0 && a.first_slice <= s1 + 1)
+        .count();
+    assert!(hits > 0, "no temporal cut bracketing the perturbation");
+
+    // A clean run (no perturbation) of the same workload shows less stress
+    // and fewer cuts in the same window.
+    let mut clean = sc.clone();
+    clean.network = Network::for_platform(&clean.platform);
+    let (trace_c, _) = clean.run(42);
+    let model_c = MicroModel::from_trace(&trace_c, 30).unwrap();
+    let input_c = AggregationInput::build(&model_c);
+    let part_c = aggregate_default(&input_c, 0.3).partition(&input_c);
+    let grid_c = *model_c.grid();
+    let (c0, c1) = (grid_c.slice_of(3.0), grid_c.slice_of(3.45));
+    let hits_clean = part_c
+        .areas()
+        .iter()
+        .filter(|a| a.first_slice > c0 && a.first_slice <= c1 + 1)
+        .count();
+    assert!(
+        hits > hits_clean,
+        "perturbed run must cut more in-window ({hits} vs clean {hits_clean})"
+    );
+
+    let hc = model_c.hierarchy();
+    let (in3c, out3c) = {
+        let cluster = hc.top_level()[0];
+        let machines = hc.children(cluster);
+        window_stress(&model_c, machines[3], c0, c1, grid_c.slice_of(2.4))
+    };
+    assert!(
+        in3c < 1.8 * out3c,
+        "clean run should not stress machine 3 ({in3c:.3} vs {out3c:.3})"
+    );
+}
+
+#[test]
+fn case_a_init_phase_aggregates_cleanly() {
+    // Fig. 1: the initialization phase forms a single spatiotemporal
+    // aggregate (all resources behave identically in MPI_Init).
+    let sc = scenario(CaseId::A, 0.01);
+    let (trace, _) = sc.run(9);
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+    let h = model.hierarchy();
+
+    let part = aggregate_default(&input, 0.4).partition(&input);
+    // Slice 0..=2 lie inside MPI_Init (≈1.4 s of ≈8.7 s at 30 slices).
+    let init_areas: Vec<_> = part
+        .areas()
+        .iter()
+        .filter(|a| a.first_slice <= 2)
+        .collect();
+    assert!(
+        init_areas.len() <= 4,
+        "init phase should be a handful of aggregates, got {}",
+        init_areas.len()
+    );
+    // Their mode is MPI_Init with near-full confidence.
+    let init = model.states().get("MPI_Init").unwrap();
+    for a in init_areas {
+        let rhos = input.rho_aggregate_all(a.node, a.first_slice, a.last_slice.min(2));
+        let m = ocelotl::viz::mode(&rhos);
+        assert_eq!(m.state, Some(init), "init-phase mode must be MPI_Init");
+        assert!(m.alpha > 0.9, "confident mode, got α={}", m.alpha);
+    }
+    let _ = h;
+}
+
+#[test]
+fn case_a_machine_roots_are_wait_dedicated() {
+    // Fig. 1: "each 8-core machine has a process dedicated to MPI_wait
+    // function calls while the others are mainly running MPI_send".
+    let sc = scenario(CaseId::A, 0.01);
+    let (trace, _) = sc.run(21);
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let wait = model.states().get("MPI_Wait").unwrap();
+    // Compare total wait proportion of machine roots vs members during the
+    // computation phase.
+    let grid = model.grid();
+    let comp0 = grid.slice_of(2.5);
+    let mut root_wait = 0.0;
+    let mut member_wait = 0.0;
+    for leaf in 0..64u32 {
+        let total: f64 = (comp0..30).map(|t| model.rho(LeafId(leaf), wait, t)).sum();
+        if leaf % 8 == 0 {
+            root_wait += total / 8.0;
+        } else {
+            member_wait += total / 56.0;
+        }
+    }
+    assert!(
+        root_wait > 1.5 * member_wait,
+        "machine roots must be wait-heavy: {root_wait:.3} vs {member_wait:.3}"
+    );
+}
+
+#[test]
+fn case_c_structure_matches_fig4() {
+    let sc = scenario(CaseId::C, 0.004);
+    let (trace, _) = sc.run(7);
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let input = AggregationInput::build(&model);
+    let h = model.hierarchy().clone();
+    let part = aggregate_default(&input, 0.35).partition(&input);
+    part.validate(&h, 30).unwrap();
+
+    // 1. The three clusters are separated spatially.
+    assert!(
+        !part.areas().iter().any(|a| a.node == h.root()),
+        "no aggregate should span the whole site at p=0.35"
+    );
+
+    // 2. graphite (heterogeneous 10GbE cluster) fragments more than
+    //    graphene, normalized by process count.
+    let clusters = h.top_level();
+    let frag = |c: NodeId| {
+        part.areas()
+            .iter()
+            .filter(|a| h.is_ancestor(c, a.node) && a.node != c)
+            .count() as f64
+            / h.n_leaves_under(c) as f64
+    };
+    let (graphene, graphite, griffon) = (clusters[0], clusters[1], clusters[2]);
+    assert!(
+        frag(graphite) > 1.3 * frag(graphene),
+        "graphite {:.2} should fragment more than graphene {:.2}",
+        frag(graphite),
+        frag(graphene)
+    );
+
+    // 3. The griffon rupture at 34.5 s opens temporal boundaries there.
+    let grid = model.grid();
+    let (r0, r1) = (grid.slice_of(34.5), grid.slice_of(36.5));
+    let rupture_hits = part
+        .areas()
+        .iter()
+        .filter(|a| h.is_ancestor(griffon, a.node) && a.first_slice > r0 && a.first_slice <= r1 + 1)
+        .count();
+    assert!(rupture_hits > 0, "griffon rupture not detected");
+
+    // 4. The init phase is MPI_Init-dominated for every cluster.
+    let init = model.states().get("MPI_Init").unwrap();
+    for &c in clusters {
+        let rhos = input.rho_aggregate_all(c, 1, 2);
+        let m = ocelotl::viz::mode(&rhos);
+        assert_eq!(m.state, Some(init));
+    }
+}
+
+#[test]
+fn table2_event_counts_track_paper_within_tolerance() {
+    for case in CaseId::ALL {
+        let sc = scenario(case, 1.0);
+        let est = sc.estimated_events() as f64;
+        let paper = sc.paper_events as f64;
+        assert!(
+            (0.75..=1.25).contains(&(est / paper)),
+            "case {}: {est} vs paper {paper}",
+            case.letter()
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! End-to-end checks of the variable (sampled-counter) metric pipeline:
+//! a binned CPU-load signal feeds the same aggregation as MPI states, and
+//! load anomalies must be detected by the optimal partition exactly like
+//! the paper's §V communication anomalies.
+
+use ocelotl::core::{aggregate_default, AggregationInput};
+use ocelotl::prelude::*;
+use ocelotl::trace::{BinSpec, VariableTrace, VariableTraceBuilder};
+use proptest::prelude::*;
+
+/// Deterministic per-leaf jitter in `[0, amp)` (hash-derived, stable).
+fn jitter(leaf: usize, step: usize, amp: f64) -> f64 {
+    let h = (leaf.wrapping_mul(2654435761)).wrapping_add(step.wrapping_mul(40503)) % 97;
+    h as f64 / 97.0 * amp
+}
+
+/// Two clusters with distinct baseline loads; one machine of cluster 0
+/// optionally spikes during `[40, 60)` of the `[0, 100)` signal.
+fn load_trace(spike: bool) -> VariableTrace {
+    let h = Hierarchy::balanced(&[2, 4, 4]); // 2 clusters × 4 machines × 4 cores
+    let mut b = VariableTraceBuilder::new(h);
+    let v = b.variable("cpu_load");
+    let hier = b.hierarchy().clone();
+    let spiky_machine = hier.children(hier.top_level()[0])[1];
+    let spiky_leaves = hier.leaf_range(spiky_machine);
+    for leaf in 0..hier.n_leaves() {
+        let base = if leaf < 16 { 0.2 } else { 0.8 };
+        for step in 0..100 {
+            let t = step as f64;
+            let in_spike = spike && (40.0..60.0).contains(&t) && spiky_leaves.contains(&leaf);
+            let value = if in_spike {
+                0.95
+            } else {
+                base + jitter(leaf, step, 0.05)
+            };
+            b.push_sample(LeafId(leaf as u32), v, t, value);
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn clusters_with_distinct_loads_are_separated_spatially() {
+    let trace = load_trace(false);
+    let v = trace.variables.get("cpu_load").unwrap();
+    let grid = TimeGrid::new(0.0, 100.0, 20);
+    let model = trace.micro_model(v, grid, &BinSpec::uniform(0.0, 1.0, 4));
+    let input = AggregationInput::build(&model);
+    let part = aggregate_default(&input, 0.5).partition(&input);
+    assert!(part.validate(model.hierarchy(), 20).is_ok());
+
+    // The 0.2-load and 0.8-load clusters live in different bins, so no area
+    // may straddle both clusters (i.e. be rooted at the site).
+    let root = model.hierarchy().root();
+    assert!(
+        part.areas().iter().all(|a| a.node != root),
+        "an aggregate straddles the two heterogeneous clusters"
+    );
+}
+
+#[test]
+fn homogeneous_cluster_collapses_to_few_areas() {
+    let trace = load_trace(false);
+    let v = trace.variables.get("cpu_load").unwrap();
+    let grid = TimeGrid::new(0.0, 100.0, 20);
+    let model = trace.micro_model(v, grid, &BinSpec::uniform(0.0, 1.0, 4));
+    let h = model.hierarchy().clone();
+    let input = AggregationInput::build(&model);
+    let part = aggregate_default(&input, 0.8).partition(&input);
+
+    // Without a spike the jittered-but-homogeneous clusters should be
+    // summarized far below the microscopic complexity (32 × 20 cells).
+    assert!(
+        part.len() <= 8,
+        "expected coarse summary, got {} areas",
+        part.len()
+    );
+    // And cluster 1 (constant 0.8 + jitter inside one bin) should be a
+    // single cluster-level area covering the whole time range.
+    let c1 = h.top_level()[1];
+    let c1_areas: Vec<_> = part.areas_of_node(c1).collect();
+    assert_eq!(c1_areas.len(), 1);
+    assert_eq!(c1_areas[0].first_slice, 0);
+    assert_eq!(c1_areas[0].last_slice, 19);
+}
+
+#[test]
+fn load_spike_opens_temporal_cuts_on_the_spiking_machine() {
+    let grid = TimeGrid::new(0.0, 100.0, 20);
+    let bins = BinSpec::uniform(0.0, 1.0, 4);
+
+    let run = |spike: bool| {
+        let trace = load_trace(spike);
+        let v = trace.variables.get("cpu_load").unwrap();
+        let model = trace.micro_model(v, grid, &bins);
+        let h = model.hierarchy().clone();
+        let input = AggregationInput::build(&model);
+        let part = aggregate_default(&input, 0.4).partition(&input);
+        // Temporal boundaries opened strictly inside the spike window
+        // [slice 8, slice 12) on areas under the spiky machine's subtree.
+        let machine = h.children(h.top_level()[0])[1];
+        part.areas()
+            .iter()
+            .filter(|a| {
+                h.is_ancestor(machine, a.node)
+                    && a.first_slice > 8
+                    && a.first_slice <= 12
+            })
+            .count()
+    };
+
+    let with_spike = run(true);
+    let without = run(false);
+    assert!(
+        with_spike > 0,
+        "no temporal cut bracketing the injected load spike"
+    );
+    assert!(
+        with_spike > without,
+        "spike must open more cuts than the clean signal ({with_spike} vs {without})"
+    );
+}
+
+#[test]
+fn variable_pipeline_feeds_quality_and_pvalues() {
+    use ocelotl::core::{quality, significant_partitions, DpConfig};
+    let trace = load_trace(true);
+    let v = trace.variables.get("cpu_load").unwrap();
+    let model = trace
+        .micro_model_auto(v, 20, 4)
+        .expect("auto model for sampled trace");
+    let input = AggregationInput::build(&model);
+    let entries = significant_partitions(&input, &DpConfig::default(), 1e-3);
+    assert!(!entries.is_empty());
+    for e in &entries {
+        let q = quality(&input, &e.partition);
+        assert!((0.0..=1.0 + 1e-9).contains(&q.complexity_reduction));
+        assert!((0.0..=1.0 + 1e-9).contains(&q.loss_ratio));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sample-and-hold mass conservation: with all samples inside the grid,
+    /// each resource contributes exactly `grid.end − first_sample_time`.
+    #[test]
+    fn step_hold_mass_is_conserved(
+        times in prop::collection::vec(0.0f64..99.0, 1..40),
+        values in prop::collection::vec(-5.0f64..5.0, 40),
+        n_bins in 1usize..6,
+        n_slices in 1usize..25,
+    ) {
+        let mut b = VariableTraceBuilder::new(Hierarchy::flat(1, "p"));
+        let v = b.variable("m");
+        let mut first = f64::INFINITY;
+        for (i, &t) in times.iter().enumerate() {
+            b.push_sample(LeafId(0), v, t, values[i % values.len()]);
+            first = first.min(t);
+        }
+        let trace = b.build();
+        let grid = TimeGrid::new(0.0, 100.0, n_slices);
+        let m = trace.micro_model(v, grid, &BinSpec::uniform(-5.0, 5.0, n_bins));
+        prop_assert!((m.grand_total() - (100.0 - first)).abs() < 1e-6);
+    }
+
+    /// Every finite value maps to exactly one bin, bins tile the range, and
+    /// in-range values land in the bin whose bounds contain them.
+    #[test]
+    fn bins_tile_the_value_range(
+        lo in -100.0f64..100.0,
+        width in 0.1f64..50.0,
+        n_bins in 1usize..12,
+        value in -200.0f64..200.0,
+    ) {
+        let hi = lo + width;
+        let bins = BinSpec::uniform(lo, hi, n_bins);
+        prop_assert_eq!(bins.n_bins(), n_bins);
+        // Edges tile: bin i's hi == bin i+1's lo.
+        for i in 0..n_bins - 1 {
+            prop_assert_eq!(bins.bounds(i).1, bins.bounds(i + 1).0);
+        }
+        let b = bins.bin_of(value);
+        prop_assert!(b < n_bins);
+        if (lo..hi).contains(&value) {
+            let (blo, bhi) = bins.bounds(b);
+            // Float division may land on a boundary; accept the neighbor tol.
+            prop_assert!(value >= blo - 1e-9 && value < bhi + 1e-9);
+        }
+    }
+
+    /// Aggregation over a binned variable model upholds the DP invariants
+    /// (valid partition, dominates the reference partitions).
+    #[test]
+    fn aggregation_invariants_hold_on_variable_models(
+        seed in any::<u64>(),
+        p in 0.0f64..=1.0,
+        n_slices in 2usize..10,
+    ) {
+        let h = Hierarchy::balanced(&[2, 2]);
+        let mut b = VariableTraceBuilder::new(h);
+        let v = b.variable("load");
+        let mut s = seed;
+        for leaf in 0..4u32 {
+            for step in 0..10 {
+                // xorshift for deterministic pseudo-random values
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let val = (s % 1000) as f64 / 1000.0;
+                b.push_sample(LeafId(leaf), v, step as f64, val);
+            }
+        }
+        let trace = b.build();
+        let grid = TimeGrid::new(0.0, 10.0, n_slices);
+        let m = trace.micro_model(v, grid, &BinSpec::uniform(0.0, 1.0, 3));
+        let input = AggregationInput::build(&m);
+        let tree = aggregate_default(&input, p);
+        let part = tree.partition(&input);
+        prop_assert!(part.validate(m.hierarchy(), n_slices).is_ok());
+        let best = tree.optimal_pic(&input);
+        let micro = ocelotl::core::Partition::microscopic(m.hierarchy(), n_slices);
+        let full = ocelotl::core::Partition::full(m.hierarchy(), n_slices);
+        prop_assert!(best >= micro.pic(&input, p) - 1e-9);
+        prop_assert!(best >= full.pic(&input, p) - 1e-9);
+    }
+}
