@@ -75,7 +75,10 @@ fn bench_agreement(c: &mut Criterion) {
     for node in m.hierarchy().node_ids() {
         for i in 0..12 {
             for j in i..12 {
-                let (ng, nl) = (naive[node.index()].0.get(i, j), naive[node.index()].1.get(i, j));
+                let (ng, nl) = (
+                    naive[node.index()].0.get(i, j),
+                    naive[node.index()].1.get(i, j),
+                );
                 assert!((input.gain(node, i, j) - ng).abs() < 1e-9);
                 assert!((input.loss(node, i, j) - nl).abs() < 1e-9);
             }

@@ -15,9 +15,11 @@ fn bench_ablation(c: &mut Criterion) {
     ] {
         let m = random_model(&fanouts, slices, 4, 77);
         let input = AggregationInput::build(&m);
-        g.bench_with_input(BenchmarkId::new("spatiotemporal", label), &input, |b, input| {
-            b.iter(|| black_box(aggregate_default(input, 0.5)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("spatiotemporal", label),
+            &input,
+            |b, input| b.iter(|| black_box(aggregate_default(input, 0.5))),
+        );
         g.bench_with_input(BenchmarkId::new("product_1d", label), &m, |b, m| {
             b.iter(|| black_box(product_aggregation(m, 0.5)))
         });

@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ocelotl::core::{aggregate_default, AggregationInput};
+use ocelotl::mpisim::CaseId;
 use ocelotl::viz::{overview, OverviewOptions};
 use ocelotl_bench::{case_model, detect_window_anomaly};
-use ocelotl::mpisim::CaseId;
 use std::hint::black_box;
 
 fn bench_fig1(c: &mut Criterion) {
@@ -18,7 +18,13 @@ fn bench_fig1(c: &mut Criterion) {
     });
     g.bench_function("overview_render", |b| {
         b.iter(|| {
-            let ov = overview(&input, OverviewOptions { p: 0.3, ..Default::default() });
+            let ov = overview(
+                &input,
+                OverviewOptions {
+                    p: 0.3,
+                    ..Default::default()
+                },
+            );
             black_box(ov.to_svg(&input))
         })
     });

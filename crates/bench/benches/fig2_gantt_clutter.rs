@@ -21,7 +21,13 @@ fn bench_fig2(c: &mut Criterion) {
     });
     g.bench_function("aggregated_overview", |b| {
         b.iter(|| {
-            black_box(overview(&input, OverviewOptions { p: 0.3, ..Default::default() }))
+            black_box(overview(
+                &input,
+                OverviewOptions {
+                    p: 0.3,
+                    ..Default::default()
+                },
+            ))
         })
     });
     g.finish();
@@ -30,7 +36,13 @@ fn bench_fig2(c: &mut Criterion) {
     // the budget the Gantt violates.
     let m = clutter_metrics(&trace, 1920, 1080);
     assert!(!m.satisfies_entity_budget());
-    let ov = overview(&input, OverviewOptions { p: 0.3, ..Default::default() });
+    let ov = overview(
+        &input,
+        OverviewOptions {
+            p: 0.3,
+            ..Default::default()
+        },
+    );
     assert!(ov.visual.items.len() < 10_000);
 }
 

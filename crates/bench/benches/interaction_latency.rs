@@ -3,7 +3,9 @@
 //! case-C-sized model (700 processes × 30 slices).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ocelotl::core::{aggregate, aggregate_default, significant_partitions, AggregationInput, DpConfig};
+use ocelotl::core::{
+    aggregate, aggregate_default, significant_partitions, AggregationInput, DpConfig,
+};
 use ocelotl::mpisim::CaseId;
 use ocelotl_bench::case_model;
 use std::hint::black_box;
@@ -14,12 +16,17 @@ fn bench_interaction(c: &mut Criterion) {
     let mut g = c.benchmark_group("interaction");
     g.sample_size(20);
     for p in [0.1f64, 0.5, 0.9] {
-        g.bench_with_input(BenchmarkId::new("reaggregate", format!("p{p}")), &p, |b, &p| {
-            b.iter(|| black_box(aggregate_default(&input, p)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("reaggregate", format!("p{p}")),
+            &p,
+            |b, &p| b.iter(|| black_box(aggregate_default(&input, p))),
+        );
     }
     g.bench_function("sequential_dp", |b| {
-        let cfg = DpConfig { parallel: false, ..Default::default() };
+        let cfg = DpConfig {
+            parallel: false,
+            ..Default::default()
+        };
         b.iter(|| black_box(aggregate(&input, 0.5, &cfg)))
     });
     g.bench_function("slider_enumeration_coarse", |b| {

@@ -17,7 +17,10 @@ fn bench_parallel(c: &mut Criterion) {
         let m = random_model(&fanouts, slices, 4, 5);
         let input = AggregationInput::build(&m);
         for parallel in [false, true] {
-            let cfg = DpConfig { parallel, ..Default::default() };
+            let cfg = DpConfig {
+                parallel,
+                ..Default::default()
+            };
             let id = BenchmarkId::new(if parallel { "parallel" } else { "sequential" }, label);
             g.bench_with_input(id, &input, |b, input| {
                 b.iter(|| black_box(aggregate(input, 0.5, &cfg)))

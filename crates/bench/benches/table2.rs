@@ -33,9 +33,7 @@ fn bench_table2(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("microscopic_description", case.letter()),
             &trace,
-            |b, trace| {
-                b.iter(|| black_box(MicroModel::from_trace(trace, PAPER_SLICES).unwrap()))
-            },
+            |b, trace| b.iter(|| black_box(MicroModel::from_trace(trace, PAPER_SLICES).unwrap())),
         );
         let model = MicroModel::from_trace(&trace, PAPER_SLICES).unwrap();
         g.bench_with_input(

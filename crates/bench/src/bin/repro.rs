@@ -44,16 +44,47 @@ fn main() {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--table2" => { f.table2 = true; any = true }
-            "--fig1" => { f.fig1 = true; any = true }
-            "--fig2" => { f.fig2 = true; any = true }
-            "--fig3" => { f.fig3 = true; any = true }
-            "--fig4" => { f.fig4 = true; any = true }
-            "--scaling" => { f.scaling = true; any = true }
-            "--ablations" => { f.ablations = true; any = true }
-            "--report" => { f.report = true; any = true }
+            "--table2" => {
+                f.table2 = true;
+                any = true
+            }
+            "--fig1" => {
+                f.fig1 = true;
+                any = true
+            }
+            "--fig2" => {
+                f.fig2 = true;
+                any = true
+            }
+            "--fig3" => {
+                f.fig3 = true;
+                any = true
+            }
+            "--fig4" => {
+                f.fig4 = true;
+                any = true
+            }
+            "--scaling" => {
+                f.scaling = true;
+                any = true
+            }
+            "--ablations" => {
+                f.ablations = true;
+                any = true
+            }
+            "--report" => {
+                f.report = true;
+                any = true
+            }
             "--all" => any = false,
-            "--scale" => f.scale = Some(it.next().expect("--scale value").parse().expect("bad scale")),
+            "--scale" => {
+                f.scale = Some(
+                    it.next()
+                        .expect("--scale value")
+                        .parse()
+                        .expect("bad scale"),
+                )
+            }
             "--full" => f.scale = Some(1.0),
             "--help" | "-h" => {
                 println!("usage: repro [--all|--table2|--fig1|--fig2|--fig3|--fig4|--scaling|--ablations|--report] [--scale f|--full]");
@@ -113,11 +144,17 @@ fn repro_ablations(scale: f64) {
         use ocelotl::mpisim::{Engine, Network, Nic};
         let p = Platform::uniform(4, 4, Nic::Infiniband20G);
         let net = Network::for_platform(&p);
-        let cfg = ep::EpConfig { blocks: 24, ..ep::EpConfig::default() };
+        let cfg = ep::EpConfig {
+            blocks: 24,
+            ..ep::EpConfig::default()
+        };
         let (trace, _) = Engine::new(&p, &net, 9).run(ep::build_programs(&p, &cfg), &[]);
         MicroModel::from_trace(&trace, 30).unwrap()
     };
-    for (name, m) in [("case A (CG-64)", &case_a), ("EP 16 ranks (degenerate)", &ep_model)] {
+    for (name, m) in [
+        ("case A (CG-64)", &case_a),
+        ("EP 16 ranks (degenerate)", &ep_model),
+    ] {
         let input = AggregationInput::build(m);
         let faithful = aggregate_default(&input, 0.5).partition(&input);
         let coarse = aggregate(&input, 0.5, &DpConfig::coarse_ties()).partition(&input);
@@ -164,7 +201,10 @@ fn repro_ablations(scale: f64) {
     println!("\n-- metric: state proportions vs event density (case A, p = 0.3) --");
     for (name, model) in [
         ("states", MicroModel::from_trace(&trace, 30).unwrap()),
-        ("density", ocelotl::trace::event_density_auto(&trace, 30).unwrap()),
+        (
+            "density",
+            ocelotl::trace::event_density_auto(&trace, 30).unwrap(),
+        ),
     ] {
         let input = AggregationInput::build(&model);
         let part = aggregate_default(&input, 0.3).partition(&input);
@@ -213,7 +253,15 @@ fn repro_table2(scale: f64) {
     println!("(simulated substrate at scale {scale}; paper values at scale 1.0 in parens)\n");
     println!(
         "{:<5} {:>6} {:>12} {:>14} {:>11} {:>12} {:>12} {:>12} {:>12}",
-        "case", "procs", "events", "(paper)", "trace", "reading", "micro", "aggregation", "interaction"
+        "case",
+        "procs",
+        "events",
+        "(paper)",
+        "trace",
+        "reading",
+        "micro",
+        "aggregation",
+        "interaction"
     );
     for case in CaseId::ALL {
         let row = table2_row(case, scale, 42);
@@ -260,7 +308,9 @@ fn repro_table2(scale: f64) {
 }
 
 fn repro_fig1(scale: f64) {
-    println!("\n================ Fig. 1 — CG-64 overview with network perturbation ================");
+    println!(
+        "\n================ Fig. 1 — CG-64 overview with network perturbation ================"
+    );
     let (sc, model) = case_model(CaseId::A, scale, 42);
     let det = detect_window_anomaly(&model, 3.0, 3.45, 0.3);
     println!(
@@ -290,7 +340,9 @@ fn repro_fig1(scale: f64) {
 }
 
 fn repro_fig2(scale: f64) {
-    println!("\n================ Fig. 2 — the microscopic Gantt chart breaks down ================");
+    println!(
+        "\n================ Fig. 2 — the microscopic Gantt chart breaks down ================"
+    );
     let (_, model) = case_model(CaseId::A, scale, 42);
     let sc = ocelotl::mpisim::scenario(CaseId::A, scale);
     let (trace, _) = sc.run(42);
@@ -305,7 +357,13 @@ fn repro_fig2(scale: f64) {
         m.satisfies_entity_budget()
     );
     let input = AggregationInput::build(&model);
-    let ov = overview(&input, OverviewOptions { p: 0.3, ..Default::default() });
+    let ov = overview(
+        &input,
+        OverviewOptions {
+            p: 0.3,
+            ..Default::default()
+        },
+    );
     println!(
         "aggregated overview: {} drawable items — within the entity budget (paper's G1)",
         ov.visual.items.len()
@@ -314,7 +372,9 @@ fn repro_fig2(scale: f64) {
 }
 
 fn repro_fig3() {
-    println!("\n================ Fig. 3 — artificial trace, all aggregation variants ================");
+    println!(
+        "\n================ Fig. 3 — artificial trace, all aggregation variants ================"
+    );
     let model = fig3_model();
     let input = AggregationInput::build(&model);
 
@@ -393,7 +453,9 @@ fn repro_fig4(scale: f64) {
     let rupture = part
         .areas()
         .iter()
-        .filter(|a| h.is_ancestor(clusters[2], a.node) && a.first_slice > r0 && a.first_slice <= r1 + 1)
+        .filter(|a| {
+            h.is_ancestor(clusters[2], a.node) && a.first_slice > r0 && a.first_slice <= r1 + 1
+        })
         .count();
     println!("griffon temporal rupture at 34.5 s: {rupture} boundaries in slices {r0}..={r1}");
 
@@ -445,7 +507,10 @@ fn repro_scaling() {
     let m = random_model(&[8, 128], 30, 4, 9);
     let input = AggregationInput::build(&m);
     for (label, parallel) in [("sequential", false), ("parallel", true)] {
-        let cfg = DpConfig { parallel, ..Default::default() };
+        let cfg = DpConfig {
+            parallel,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let _ = aggregate(&input, 0.5, &cfg);
         println!("  {label:>10}: {:>10}", fmt_duration(t0.elapsed()));

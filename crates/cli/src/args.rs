@@ -184,6 +184,9 @@ mod tests {
     #[test]
     fn require_reports_missing() {
         let a = Args::parse(&toks("")).unwrap();
-        assert!(matches!(a.require::<usize>("case"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            a.require::<usize>("case"),
+            Err(CliError::Usage(_))
+        ));
     }
 }

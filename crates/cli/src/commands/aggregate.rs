@@ -2,11 +2,11 @@
 //! spatiotemporal partition.
 
 use crate::args::Args;
-use crate::helpers::{obtain_model, run_dp, Metric};
+use crate::helpers::{build_cube, describe_cube, obtain_model, run_dp, Metric};
 use crate::CliError;
 use ocelotl::core::{
-    compare_partitions, inspect_area, product_aggregation, quality, summary_text,
-    AggregationInput, Partition,
+    compare_partitions, inspect_area, product_aggregation, quality, summary_text, MemoryMode,
+    Partition,
 };
 use std::io::Write;
 use std::path::Path;
@@ -21,6 +21,9 @@ OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
     --p F            trade-off parameter in [0, 1] (default 0.5)
     --metric M       states | density (default states)
+    --memory M       gain/loss cube backend: dense | lazy | auto (default
+                     auto: dense while the O(|S||T|^2) matrices fit in 1 GiB,
+                     lazy beyond - O(|S||T||X|) memory, O(|X|) per query)
     --coarse         prefer the coarsest partition among pIC ties
     --list N         also print the N most populated aggregates
     --compare        also score the paper's SIII.D baselines (1-D optima,
@@ -38,15 +41,16 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Ok(());
     }
     args.expect_known(&[
-        "help", "slices", "p", "metric", "coarse", "list", "compare", "diff-p", "tsv",
+        "help", "slices", "p", "metric", "memory", "coarse", "list", "compare", "diff-p", "tsv",
     ])?;
     let path = Path::new(args.positional(0, "trace file")?);
     let n_slices: usize = args.get_or("slices", 30)?;
     let p: f64 = args.get_or("p", 0.5)?;
     let metric: Metric = args.get_or("metric", Metric::States)?;
+    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
 
     let model = obtain_model(path, n_slices, metric)?;
-    let input = AggregationInput::build(&model);
+    let input = build_cube(&model, memory);
     let tree = run_dp(&input, p, args.has("coarse"))?;
     let partition = tree.partition(&input);
     let q = quality(&input, &partition);
@@ -60,17 +64,14 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         metric
     )?;
     writeln!(out, "p:           {p}")?;
+    writeln!(out, "memory:      {}", describe_cube(&input))?;
     writeln!(
         out,
         "aggregates:  {} (of {} microscopic cells)",
         partition.len(),
         q.n_cells
     )?;
-    writeln!(
-        out,
-        "complexity:  -{:.2} %",
-        100.0 * q.complexity_reduction
-    )?;
+    writeln!(out, "complexity:  -{:.2} %", 100.0 * q.complexity_reduction)?;
     writeln!(
         out,
         "information: loss {:.6} bits (ratio {:.4}), gain {:.6} bits (ratio {:.4})",
@@ -121,7 +122,12 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         let other = run_dp(&input, p2, args.has("coarse"))?.partition(&input);
         let c = compare_partitions(model.hierarchy(), model.n_slices(), &partition, &other);
         writeln!(out, "\noverview change from p = {p} to p = {p2}:")?;
-        writeln!(out, "  areas:                    {} -> {}", partition.len(), other.len())?;
+        writeln!(
+            out,
+            "  areas:                    {} -> {}",
+            partition.len(),
+            other.len()
+        )?;
         writeln!(
             out,
             "  variation of information: {:.4} bits",
@@ -263,6 +269,42 @@ mod tests {
     }
 
     #[test]
+    fn memory_backends_agree_line_for_line() {
+        let p = fixture_trace("agg-mem");
+        let dense = run_ok(format!(
+            "{} --slices 10 --p 0.4 --memory dense --list 5",
+            p.display()
+        ));
+        let lazy = run_ok(format!(
+            "{} --slices 10 --p 0.4 --memory lazy --list 5",
+            p.display()
+        ));
+        assert!(dense.contains("memory:      dense"), "{dense}");
+        assert!(lazy.contains("memory:      lazy"), "{lazy}");
+        // Everything except the backend line must match exactly.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("memory:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&dense), strip(&lazy));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn unknown_memory_mode_rejected() {
+        let p = fixture_trace("agg-badmem");
+        let tokens: Vec<String> = format!("{} --memory hologram", p.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
     fn omm_cache_input_accepted() {
         let p = fixture_trace("agg-omm");
         let trace = crate::helpers::load_trace(&p).unwrap();
@@ -270,7 +312,10 @@ mod tests {
         let omm = p.with_extension("omm");
         ocelotl::format::save_micro(&model, &omm).unwrap();
         let text = run_ok(format!("{} --p 0.4", omm.display()));
-        assert!(text.contains("10 slices"), "grid comes from the cache:\n{text}");
+        assert!(
+            text.contains("10 slices"),
+            "grid comes from the cache:\n{text}"
+        );
         std::fs::remove_file(&p).ok();
         std::fs::remove_file(&omm).ok();
     }

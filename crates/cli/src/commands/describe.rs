@@ -81,11 +81,10 @@ mod tests {
     fn describe_then_reload_matches_direct_build() {
         let p = fixture_trace("describe");
         let omm = p.with_extension("omm");
-        let tokens: Vec<String> =
-            format!("{} --slices 10 --out {}", p.display(), omm.display())
-                .split_whitespace()
-                .map(String::from)
-                .collect();
+        let tokens: Vec<String> = format!("{} --slices 10 --out {}", p.display(), omm.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
         let mut out = Vec::new();
         run(&tokens, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();

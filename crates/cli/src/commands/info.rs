@@ -104,10 +104,7 @@ mod tests {
     fn missing_file_is_invalid() {
         let tokens = vec!["/no/such/file.btf".to_string()];
         let mut out = Vec::new();
-        assert!(matches!(
-            run(&tokens, &mut out),
-            Err(CliError::Invalid(_))
-        ));
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Invalid(_))));
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! rectangle of the overview).
 
 use crate::args::Args;
-use crate::helpers::{obtain_model, run_dp, Metric};
+use crate::helpers::{build_cube, obtain_model, run_dp, Metric};
 use crate::CliError;
-use ocelotl::core::{area_at, inspect_area, AggregationInput};
+use ocelotl::core::{area_at, inspect_area, MemoryMode};
 use ocelotl::trace::LeafId;
 use std::io::Write;
 use std::path::Path;
@@ -23,6 +23,7 @@ OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
     --p F            trade-off parameter in [0, 1] (default 0.5)
     --metric M       states | density (default states)
+    --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
     --coarse         prefer the coarsest partition among pIC ties
 ";
 
@@ -33,7 +34,9 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help", "leaf", "slice", "slices", "p", "metric", "coarse"])?;
+    args.expect_known(&[
+        "help", "leaf", "slice", "slices", "p", "metric", "memory", "coarse",
+    ])?;
     let path = Path::new(args.positional(0, "trace file")?);
     let leaf: usize = args.require("leaf")?;
     let slice: usize = args.require("slice")?;
@@ -53,7 +56,8 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "slice {slice} out of range (model has {n_slices})"
         )));
     }
-    let input = AggregationInput::build(&model);
+    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
+    let input = build_cube(&model, memory);
     let tree = run_dp(&input, p, args.has("coarse"))?;
     let partition = tree.partition(&input);
     let area = area_at(&partition, &input, LeafId(leaf as u32), slice)
@@ -114,7 +118,10 @@ mod tests {
     fn inspects_the_anomalous_cell() {
         let p = fixture_trace("inspect");
         // Leaf 3 waits during slices 4..7 of the 10-slice fixture.
-        let text = run_ok(format!("{} --slices 10 --leaf 3 --slice 5 --p 0.3", p.display()));
+        let text = run_ok(format!(
+            "{} --slices 10 --leaf 3 --slice 5 --p 0.3",
+            p.display()
+        ));
         assert!(text.contains("mode:"));
         assert!(text.contains("MPI_Wait"), "expected wait mode:\n{text}");
         std::fs::remove_file(&p).ok();

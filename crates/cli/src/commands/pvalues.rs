@@ -2,9 +2,9 @@
 //! of Ocelotl's aggregation-strength slider).
 
 use crate::args::Args;
-use crate::helpers::{obtain_model, Metric};
+use crate::helpers::{build_cube, describe_cube, obtain_model, Metric};
 use crate::CliError;
-use ocelotl::core::{quality, significant_partitions, AggregationInput, DpConfig};
+use ocelotl::core::{quality, significant_partitions, DpConfig, MemoryMode};
 use std::io::Write;
 use std::path::Path;
 
@@ -19,6 +19,7 @@ step through.
 OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
     --metric M       states | density (default states)
+    --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
     --resolution F   dichotomy resolution on p (default 1e-3)
 ";
 
@@ -29,7 +30,7 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help", "slices", "metric", "resolution"])?;
+    args.expect_known(&["help", "slices", "metric", "memory", "resolution"])?;
     let path = Path::new(args.positional(0, "trace file")?);
     let n_slices: usize = args.get_or("slices", 30)?;
     let metric: Metric = args.get_or("metric", Metric::States)?;
@@ -40,10 +41,12 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         )));
     }
 
+    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
     let model = obtain_model(path, n_slices, metric)?;
-    let input = AggregationInput::build(&model);
+    let input = build_cube(&model, memory);
     let entries = significant_partitions(&input, &DpConfig::default(), resolution);
 
+    writeln!(out, "memory: {}", describe_cube(&input))?;
     writeln!(
         out,
         "{} significant levels (resolution {resolution}):",

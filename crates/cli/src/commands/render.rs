@@ -2,10 +2,10 @@
 //! the microscopic Gantt chart.
 
 use crate::args::Args;
-use crate::helpers::{is_micro_cache, load_trace, obtain_model, run_dp, Metric};
+use crate::helpers::{build_cube, is_micro_cache, load_trace, obtain_model, run_dp, Metric};
 use crate::CliError;
-use ocelotl::core::AggregationInput;
-use ocelotl::viz::{clutter_metrics, render_gantt_svg, overview, OverviewOptions};
+use ocelotl::core::MemoryMode;
+use ocelotl::viz::{clutter_metrics, overview, render_gantt_svg, OverviewOptions};
 use std::io::Write;
 use std::path::Path;
 
@@ -19,6 +19,7 @@ OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
     --p F            trade-off parameter in [0, 1] (default 0.5)
     --metric M       states | density (default states)
+    --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
     --coarse         prefer the coarsest partition among pIC ties
     --out FILE       write SVG here (default: overview.svg next to input)
     --ascii          print an ASCII overview to stdout instead of SVG
@@ -35,7 +36,8 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Ok(());
     }
     args.expect_known(&[
-        "help", "slices", "p", "metric", "coarse", "out", "ascii", "width", "height", "gantt",
+        "help", "slices", "p", "metric", "memory", "coarse", "out", "ascii", "width", "height",
+        "gantt",
     ])?;
     let path = Path::new(args.positional(0, "trace file")?);
 
@@ -80,9 +82,10 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let n_slices: usize = args.get_or("slices", 30)?;
     let p: f64 = args.get_or("p", 0.5)?;
     let metric: Metric = args.get_or("metric", Metric::States)?;
+    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
     let model = obtain_model(path, n_slices, metric)?;
     let time_range = Some((model.grid().start(), model.grid().end()));
-    let input = AggregationInput::build(&model);
+    let input = build_cube(&model, memory);
     // Validate p and tie-breaking through the shared path.
     run_dp(&input, p, args.has("coarse"))?;
 
@@ -121,11 +124,7 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 /// `--out` or `<input stem>.<suffix>` next to the input.
-fn output_path(
-    args: &Args,
-    input: &Path,
-    suffix: &str,
-) -> Result<std::path::PathBuf, CliError> {
+fn output_path(args: &Args, input: &Path, suffix: &str) -> Result<std::path::PathBuf, CliError> {
     Ok(match args.get("out")? {
         Some(o) => std::path::PathBuf::from(o),
         None => input.with_extension(suffix),
@@ -147,7 +146,10 @@ mod tests {
     #[test]
     fn ascii_renders_to_stdout() {
         let p = fixture_trace("render-ascii");
-        let text = run_ok(format!("{} --slices 10 --ascii --width 40 --height 4", p.display()));
+        let text = run_ok(format!(
+            "{} --slices 10 --ascii --width 40 --height 4",
+            p.display()
+        ));
         assert!(text.contains("legend:"));
         assert!(text.contains('|'));
         std::fs::remove_file(&p).ok();

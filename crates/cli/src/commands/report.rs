@@ -1,9 +1,9 @@
 //! `ocelotl report <trace>` — self-contained HTML analysis report.
 
 use crate::args::Args;
-use crate::helpers::{obtain_model, Metric};
+use crate::helpers::{build_cube, obtain_model, Metric};
 use crate::CliError;
-use ocelotl::core::AggregationInput;
+use ocelotl::core::MemoryMode;
 use ocelotl::viz::{html_report, ReportOptions};
 use std::io::Write;
 use std::path::Path;
@@ -17,6 +17,7 @@ aggregation levels plus embedded overviews at representative strengths.
 OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
     --metric M       states | density (default states)
+    --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
     --out FILE       output path (default: <input>.report.html)
     --levels N       overviews embedded in the report (default 4)
     --title S        report title (default: input file name)
@@ -29,7 +30,9 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help", "slices", "metric", "out", "levels", "title"])?;
+    args.expect_known(&[
+        "help", "slices", "metric", "memory", "out", "levels", "title",
+    ])?;
     let path = Path::new(args.positional(0, "trace file")?);
     let n_slices: usize = args.get_or("slices", 30)?;
     let metric: Metric = args.get_or("metric", Metric::States)?;
@@ -42,9 +45,10 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .unwrap_or_else(|| "trace".into()),
     };
 
+    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
     let model = obtain_model(path, n_slices, metric)?;
     let time_range = Some((model.grid().start(), model.grid().end()));
-    let input = AggregationInput::build(&model);
+    let input = build_cube(&model, memory);
     let html = html_report(
         &input,
         &ReportOptions {
@@ -72,11 +76,14 @@ mod tests {
     fn writes_html_report() {
         let p = fixture_trace("report");
         let html = p.with_extension("html");
-        let tokens: Vec<String> =
-            format!("{} --slices 10 --out {} --levels 2", p.display(), html.display())
-                .split_whitespace()
-                .map(String::from)
-                .collect();
+        let tokens: Vec<String> = format!(
+            "{} --slices 10 --out {} --levels 2",
+            p.display(),
+            html.display()
+        )
+        .split_whitespace()
+        .map(String::from)
+        .collect();
         let mut out = Vec::new();
         run(&tokens, &mut out).unwrap();
         let content = std::fs::read_to_string(&html).unwrap();

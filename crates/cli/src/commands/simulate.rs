@@ -33,14 +33,18 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help", "case", "app", "machines", "cores", "scale", "seed", "out"])?;
+    args.expect_known(&[
+        "help", "case", "app", "machines", "cores", "scale", "seed", "out",
+    ])?;
     let out_path = args.require::<String>("out")?;
     let out_path = Path::new(&out_path);
     let seed: u64 = args.get_or("seed", 42)?;
 
     let trace = match (args.get("case")?, args.get("app")?) {
         (Some(_), Some(_)) => {
-            return Err(CliError::Usage("--case and --app are mutually exclusive".into()))
+            return Err(CliError::Usage(
+                "--case and --app are mutually exclusive".into(),
+            ))
         }
         (Some(case), None) => {
             let case = parse_case(case)?;
@@ -65,7 +69,9 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let machines: usize = args.get_or("machines", 4)?;
             let cores: usize = args.get_or("cores", 4)?;
             if machines == 0 || cores == 0 {
-                return Err(CliError::Usage("--machines/--cores must be positive".into()));
+                return Err(CliError::Usage(
+                    "--machines/--cores must be positive".into(),
+                ));
             }
             let platform = Platform::uniform(machines, cores, Nic::Infiniband20G);
             let network = Network::for_platform(&platform);
@@ -108,9 +114,7 @@ fn parse_case(s: &str) -> Result<CaseId, CliError> {
         "B" => Ok(CaseId::B),
         "C" => Ok(CaseId::C),
         "D" => Ok(CaseId::D),
-        other => Err(CliError::Usage(format!(
-            "unknown case {other:?} (A|B|C|D)"
-        ))),
+        other => Err(CliError::Usage(format!("unknown case {other:?} (A|B|C|D)"))),
     }
 }
 
@@ -144,7 +148,10 @@ mod tests {
     #[test]
     fn simulates_standalone_ep() {
         let p = tmp("ep.ptf");
-        let text = run_ok(format!("--app ep --machines 2 --cores 2 --out {}", p.display()));
+        let text = run_ok(format!(
+            "--app ep --machines 2 --cores 2 --out {}",
+            p.display()
+        ));
         assert!(text.contains("ep on 2x2"));
         let trace = load_trace(&p).unwrap();
         assert_eq!(trace.meta("app"), Some("ep"));
@@ -166,7 +173,10 @@ mod tests {
         for line in ["--case Z --out x.btf", "--case A --scale 2 --out x.btf"] {
             let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
             let mut out = Vec::new();
-            assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))), "{line}");
+            assert!(
+                matches!(run(&tokens, &mut out), Err(CliError::Usage(_))),
+                "{line}"
+            );
         }
     }
 }

@@ -2,7 +2,7 @@
 //! dispatch, metric selection, and model/input construction.
 
 use crate::CliError;
-use ocelotl::core::{aggregate, AggregationInput, CutTree, DpConfig};
+use ocelotl::core::{aggregate, CubeBackend, CutTree, DpConfig, MemoryMode, QualityCube};
 use ocelotl::trace::{event_density_auto, MicroModel, Trace};
 use std::fs::File;
 use std::io::BufReader;
@@ -84,11 +84,7 @@ pub fn is_micro_cache(path: &Path) -> bool {
 /// Obtain the microscopic model behind a path: `.omm` caches load directly
 /// (their grid/metric were fixed at `describe` time; `n_slices`/`metric`
 /// are ignored), anything else is read as a trace and sliced.
-pub fn obtain_model(
-    path: &Path,
-    n_slices: usize,
-    metric: Metric,
-) -> Result<MicroModel, CliError> {
+pub fn obtain_model(path: &Path, n_slices: usize, metric: Metric) -> Result<MicroModel, CliError> {
     if is_micro_cache(path) {
         if !path.exists() {
             return Err(CliError::Invalid(format!(
@@ -103,7 +99,7 @@ pub fn obtain_model(
 }
 
 /// Run Algorithm 1 with the CLI's knobs.
-pub fn run_dp(input: &AggregationInput, p: f64, coarse: bool) -> Result<CutTree, CliError> {
+pub fn run_dp<C: QualityCube>(input: &C, p: f64, coarse: bool) -> Result<CutTree, CliError> {
     if !(0.0..=1.0).contains(&p) {
         return Err(CliError::Usage(format!("--p must lie in [0, 1], got {p}")));
     }
@@ -113,6 +109,27 @@ pub fn run_dp(input: &AggregationInput, p: f64, coarse: bool) -> Result<CutTree,
         DpConfig::default()
     };
     Ok(aggregate(input, p, &config))
+}
+
+/// Build the gain/loss cube for the chosen `--memory` mode.
+///
+/// `auto` sizes the dense triangular matrices against the 1 GiB default
+/// ceiling and falls back to the lazy (prefix-sums-only) backend beyond it.
+pub fn build_cube(model: &MicroModel, mode: MemoryMode) -> CubeBackend {
+    CubeBackend::build(model, mode)
+}
+
+/// One-line description of the cube a command ended up using.
+pub fn describe_cube(cube: &CubeBackend) -> String {
+    let mode = match cube.mode() {
+        MemoryMode::Dense => "dense",
+        MemoryMode::Lazy => "lazy",
+        MemoryMode::Auto => unreachable!("a built cube has a fixed mode"),
+    };
+    format!(
+        "{mode} ({:.1} MiB resident)",
+        cube.memory_bytes() as f64 / (1u64 << 20) as f64
+    )
 }
 
 /// A small deterministic test trace written to a temp file; returns the
@@ -126,7 +143,11 @@ pub fn fixture_trace(name: &str) -> std::path::PathBuf {
     for leaf in 0..4u32 {
         for k in 0..10 {
             let t = k as f64;
-            let state = if leaf == 3 && (4..7).contains(&k) { wait } else { run };
+            let state = if leaf == 3 && (4..7).contains(&k) {
+                wait
+            } else {
+                run
+            };
             b.push_state(LeafId(leaf), state, t, t + 1.0);
         }
     }
@@ -135,7 +156,10 @@ pub fn fixture_trace(name: &str) -> std::path::PathBuf {
     let path = std::env::temp_dir().join(format!(
         "ocelotl-cli-{}-{}-{name}.btf",
         std::process::id(),
-        std::thread::current().name().unwrap_or("t").replace("::", "-"),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-"),
     ));
     ocelotl::format::write_trace(&trace, &path).unwrap();
     path
@@ -188,9 +212,23 @@ mod tests {
         let src = fixture_trace("badp");
         let t = load_trace(&src).unwrap();
         let m = build_model(&t, 5, Metric::States).unwrap();
-        let input = AggregationInput::build(&m);
+        let input = build_cube(&m, MemoryMode::Auto);
         assert!(run_dp(&input, 1.5, false).is_err());
         assert!(run_dp(&input, 0.5, true).is_ok());
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn cube_modes_build_and_describe() {
+        let src = fixture_trace("cube-modes");
+        let t = load_trace(&src).unwrap();
+        let m = build_model(&t, 8, Metric::States).unwrap();
+        let dense = build_cube(&m, MemoryMode::Dense);
+        let lazy = build_cube(&m, MemoryMode::Lazy);
+        assert!(describe_cube(&dense).starts_with("dense"));
+        assert!(describe_cube(&lazy).starts_with("lazy"));
+        // Tiny model: auto must stay dense.
+        assert!(describe_cube(&build_cube(&m, MemoryMode::Auto)).starts_with("dense"));
         std::fs::remove_file(&src).ok();
     }
 }

@@ -104,7 +104,9 @@ Run `ocelotl <command> --help` for per-command options.
 /// Dispatch a full argument vector (excluding the program name).
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
-        return Err(CliError::Usage("missing command (try `ocelotl help`)".into()));
+        return Err(CliError::Usage(
+            "missing command (try `ocelotl help`)".into(),
+        ));
     };
     let rest = &argv[1..];
     match command.as_str() {

@@ -65,7 +65,10 @@ fn analyst_workflow_end_to_end() {
     assert!(text.contains("significant levels"), "{text}");
 
     // 6. Render: ASCII to stdout, SVG + Gantt to files.
-    let text = cli(&format!("render {omm} --p 0.4 --ascii --width 60 --height 8")).unwrap();
+    let text = cli(&format!(
+        "render {omm} --p 0.4 --ascii --width 60 --height 8"
+    ))
+    .unwrap();
     assert!(text.contains("legend:"), "{text}");
     let svg = w.path("overview.svg");
     cli(&format!("render {omm} --p 0.4 --out {svg}")).unwrap();
@@ -96,7 +99,10 @@ fn gantt_on_cache_is_a_usage_error() {
     let w = Workdir::new("gantt-omm");
     let trace = w.path("t.btf");
     let omm = w.path("t.omm");
-    cli(&format!("simulate --app ep --machines 2 --cores 2 --out {trace}")).unwrap();
+    cli(&format!(
+        "simulate --app ep --machines 2 --cores 2 --out {trace}"
+    ))
+    .unwrap();
     cli(&format!("describe {trace} --slices 10 --out {omm}")).unwrap();
     let err = cli(&format!("render {omm} --gantt")).unwrap_err();
     assert!(matches!(err, CliError::Usage(_)), "{err}");
@@ -107,7 +113,10 @@ fn density_metric_flows_through_describe() {
     let w = Workdir::new("density");
     let trace = w.path("t.btf");
     let omm = w.path("t.omm");
-    cli(&format!("simulate --app mg --machines 2 --cores 2 --out {trace}")).unwrap();
+    cli(&format!(
+        "simulate --app mg --machines 2 --cores 2 --out {trace}"
+    ))
+    .unwrap();
     cli(&format!(
         "describe {trace} --slices 20 --metric density --out {omm}"
     ))

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the handful of [`BufMut`] methods the trace format
+//! writers rely on are reimplemented here over `Vec<u8>`. The API is
+//! call-compatible with the real crate for that subset; swap the path
+//! dependency for the real `bytes` when a registry is available.
+
+#![forbid(unsafe_code)]
+
+/// Little-endian append-only buffer operations (the subset of the real
+/// `bytes::BufMut` used by the BTF/OMM writers).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a `u16` in little-endian order.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append an `f64` in little-endian IEEE-754 order.
+    fn put_f64_le(&mut self, v: f64);
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_layout() {
+        let mut b = Vec::new();
+        b.put_u32_le(0x0403_0201);
+        assert_eq!(b, [1, 2, 3, 4]);
+        b.put_u64_le(1);
+        assert_eq!(&b[4..], [1, 0, 0, 0, 0, 0, 0, 0]);
+        let mut f = Vec::new();
+        f.put_f64_le(1.5);
+        assert_eq!(f64::from_le_bytes(f[..8].try_into().unwrap()), 1.5);
+    }
+
+    #[test]
+    fn slices_and_bytes_append() {
+        let mut b = Vec::new();
+        b.put_u8(7);
+        b.put_slice(b"abc");
+        b.put_u16_le(0x0201);
+        assert_eq!(b, [7, b'a', b'b', b'c', 1, 2]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The workspace builds without network access, so the bench files keep
+//! the real criterion source shape (`criterion_group!`/`criterion_main!`,
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`) but run
+//! on this minimal harness: each benchmark is warmed up once, then timed
+//! over an adaptive number of iterations, and the median/mean wall-clock
+//! time is printed to stdout. There is no statistical analysis, HTML
+//! report, or regression detection — swap the path dependency for the
+//! real crate when a registry is available.
+//!
+//! Filtering works like libtest: extra CLI arguments are substring
+//! filters on the benchmark name (`cargo bench -- dp` runs only ids
+//! containing "dp").
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of the std hint).
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Hard cap on timed iterations per benchmark.
+const MAX_ITERS: u32 = 200;
+
+/// Identifier of one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id, mirroring criterion's display form.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from a bare parameter (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `f`, repeating it adaptively (1 warm-up + up to [`MAX_ITERS`]
+    /// timed runs or [`TARGET_MEASURE`], whichever stops first).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let mut spent = Duration::ZERO;
+        let mut n = 0u32;
+        while n < MAX_ITERS && (n == 0 || spent < TARGET_MEASURE) {
+            let t0 = Instant::now();
+            black_box(f());
+            spent += t0.elapsed();
+            n += 1;
+        }
+        self.total = spent;
+        self.iters = n;
+    }
+}
+
+/// The bench context: registry of results plus the name filter.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip flags (cargo bench passes `--bench`); bare words filter.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Self { filters }
+    }
+}
+
+impl Criterion {
+    /// Harness-compat no-op (the real crate parses criterion-specific args).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.selected(id) {
+            return;
+        }
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.total / b.iters
+        } else {
+            Duration::ZERO
+        };
+        println!("bench  {id:<60} {:>12}  ({} iters)", fmt_dur(mean), b.iters);
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.name, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named benchmark group (prefixes ids with `group/`).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Harness-compat no-op (sampling is adaptive here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Harness-compat no-op.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().name);
+        self.c.run_one(&id, &mut f);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().name);
+        self.c.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op; kept for source compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+/// Declare a group of benchmark functions, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, as in the real crate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_closures() {
+        let mut c = Criterion { filters: vec![] };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran >= 2, "warm-up + at least one timed iteration");
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            filters: vec!["wanted".into()],
+        };
+        let mut hits = Vec::new();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::new("wanted", 3), &7usize, |b, &x| {
+                b.iter(|| black_box(x * 2));
+                hits.push("wanted");
+            });
+            g.bench_function("skipped", |b| {
+                b.iter(|| black_box(1));
+                hits.push("skipped");
+            });
+            g.finish();
+        }
+        assert_eq!(hits, vec!["wanted"], "filter must select by substring");
+    }
+}

@@ -1,0 +1,441 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace builds without network access, so the data-parallel
+//! subset the aggregation engine uses — `into_par_iter().map().collect()`,
+//! `par_iter().for_each()`, and `par_chunks().fold().reduce()` — is
+//! reimplemented here on `std::thread::scope`. Semantics match rayon for
+//! that subset: `map`/`collect` preserve input order, `fold` produces one
+//! accumulator per worker, `reduce` combines them deterministically
+//! (worker order), and panics propagate to the caller.
+//!
+//! Unlike rayon there is no work-stealing pool: each combinator evaluates
+//! eagerly by splitting its input into contiguous slabs over scoped
+//! threads. A global token budget bounds the total number of live worker
+//! threads so nested parallelism (the DP's fork–join over hierarchy
+//! siblings) degrades to sequential execution instead of spawning one
+//! thread per tree node.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Items of the canonical prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread budget
+// ---------------------------------------------------------------------------
+
+fn budget() -> &'static AtomicUsize {
+    static BUDGET: OnceLock<AtomicUsize> = OnceLock::new();
+    BUDGET.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        // A couple of spare tokens per core keeps nested fork–join levels
+        // busy without unbounded thread growth.
+        AtomicUsize::new(2 * cores)
+    })
+}
+
+/// Try to take up to `want` worker tokens; returns how many were granted.
+fn acquire_workers(want: usize) -> usize {
+    let b = budget();
+    let mut cur = b.load(Ordering::Relaxed);
+    loop {
+        let take = want.min(cur);
+        if take == 0 {
+            return 0;
+        }
+        match b.compare_exchange_weak(cur, cur - take, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return take,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+fn release_workers(n: usize) {
+    if n > 0 {
+        budget().fetch_add(n, Ordering::AcqRel);
+    }
+}
+
+/// RAII handle on acquired worker tokens: releasing on `Drop` keeps the
+/// budget intact even when a worker panic unwinds through the caller
+/// (e.g. under `#[should_panic]` or `catch_unwind`), so later parallel
+/// work is not silently degraded to sequential execution.
+struct WorkerTokens(usize);
+
+impl WorkerTokens {
+    fn acquire(want: usize) -> Self {
+        Self(acquire_workers(want))
+    }
+}
+
+impl Drop for WorkerTokens {
+    fn drop(&mut self) {
+        release_workers(self.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core executor
+// ---------------------------------------------------------------------------
+
+/// Split `items` into at most `parts` contiguous slabs (all non-empty).
+fn slabs<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    // Drain from the back to avoid repeated shifts; reverse at the end.
+    for k in 0..parts {
+        let take = base + usize::from(k < extra);
+        let at = items.len() - take;
+        out.push(items.split_off(at));
+    }
+    out.reverse();
+    out
+}
+
+/// Order-preserving parallel map over owned items.
+fn run_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let tokens = WorkerTokens::acquire(items.len() - 1);
+    if tokens.0 == 0 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut parts = slabs(items, tokens.0 + 1);
+    // The caller's thread keeps the first slab; workers get the rest.
+    let own = parts.remove(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|slab| s.spawn(move || slab.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out: Vec<R> = own.into_iter().map(f).collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Parallel fold: one accumulator per slab, in slab order.
+fn run_fold<T, Acc, Init, F>(items: Vec<T>, init: &Init, f: &F) -> Vec<Acc>
+where
+    T: Send,
+    Acc: Send,
+    Init: Fn() -> Acc + Sync,
+    F: Fn(Acc, T) -> Acc + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let tokens = WorkerTokens::acquire(items.len().saturating_sub(1));
+    let mut parts = slabs(items, tokens.0 + 1);
+    let own = parts.remove(0);
+    let fold_slab = |slab: Vec<T>| slab.into_iter().fold(init(), f);
+    let fold_slab = &fold_slab;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|slab| s.spawn(move || fold_slab(slab)))
+            .collect();
+        let mut accs = vec![fold_slab(own)];
+        for h in handles {
+            match h.join() {
+                Ok(acc) => accs.push(acc),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        accs
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Public iterator type
+// ---------------------------------------------------------------------------
+
+/// An eager "parallel iterator": the materialized items awaiting a
+/// consuming combinator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Consuming combinators, mirroring the used subset of
+/// `rayon::iter::ParallelIterator`.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Into the backing items (implementation detail of the shim).
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Parallel order-preserving map.
+    fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParIter {
+            items: run_map(self.into_items(), &f),
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        run_map(self.into_items(), &|item| f(item));
+    }
+
+    /// Parallel fold into one accumulator per worker slab.
+    fn fold<Acc, Init, F>(self, init: Init, f: F) -> ParIter<Acc>
+    where
+        Acc: Send,
+        Init: Fn() -> Acc + Sync,
+        F: Fn(Acc, Self::Item) -> Acc + Sync,
+    {
+        ParIter {
+            items: run_fold(self.into_items(), &init, &f),
+        }
+    }
+
+    /// Combine all items pairwise, starting from `init()` (sequential,
+    /// deterministic slab order).
+    fn reduce<Init, Op>(self, init: Init, op: Op) -> Self::Item
+    where
+        Init: Fn() -> Self::Item,
+        Op: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.into_items().into_iter().fold(init(), op)
+    }
+
+    /// Collect into any container buildable from a `Vec` (order preserved).
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.into_items())
+    }
+
+    /// Sum of the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.into_items().into_iter().sum()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// By-value conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Start a parallel pipeline over the items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// By-reference conversion (`rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Start a parallel pipeline over borrowed items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Chunked slice access (`rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over non-overlapping chunks of `chunk_size`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::budget;
+    use super::prelude::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0usize..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let data: Vec<u32> = (0..1000).collect();
+        data.par_iter().for_each(|&x| {
+            count.fetch_add(x as usize, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let data: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+        let total = data
+            .par_chunks(128)
+            .fold(|| 0.0f64, |acc, chunk| acc + chunk.iter().sum::<f64>())
+            .reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(total, (0..4096).sum::<i64>() as f64);
+    }
+
+    #[test]
+    fn nested_parallelism_terminates() {
+        let out: Vec<Vec<usize>> = (0usize..64)
+            .into_par_iter()
+            .map(|i| {
+                (0usize..64)
+                    .into_par_iter()
+                    .map(move |j| i * 64 + j)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[63][63], 64 * 64 - 1);
+    }
+
+    #[test]
+    fn budget_survives_worker_panics() {
+        // A panic in parallel code must not leak worker tokens: afterwards
+        // parallel execution still engages (regression test for the drop
+        // guard in run_map/run_fold).
+        for _ in 0..8 {
+            let caught = std::panic::catch_unwind(|| {
+                (0usize..256).into_par_iter().for_each(|i| {
+                    if i == 200 {
+                        panic!("deliberate");
+                    }
+                });
+            });
+            assert!(caught.is_err());
+        }
+        // All tokens must be back in the pool once the panics unwound.
+        // (Other tests run concurrently and borrow tokens transiently, so
+        // poll briefly instead of reading one instant.)
+        let full = 2 * std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut seen = 0;
+        for _ in 0..200 {
+            seen = budget().load(Ordering::Acquire);
+            if seen == full {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(seen, full, "worker tokens leaked across panics");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        (0usize..1000).into_par_iter().for_each(|i| {
+            if i == 977 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<usize> = (0usize..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let total: f64 = Vec::<f64>::new()
+            .par_iter()
+            .fold(|| 0.0, |a, &b| a + b)
+            .reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(total, 0.0);
+    }
+}

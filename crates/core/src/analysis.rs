@@ -2,7 +2,7 @@
 //! partitions (for small instances) and diagnostics comparing aggregation
 //! strategies.
 
-use crate::input::AggregationInput;
+use crate::cube::QualityCube;
 use crate::partition::{Area, Partition};
 use ocelotl_trace::{Hierarchy, NodeId};
 
@@ -65,12 +65,7 @@ pub fn enumerate_partitions(
 /// Partitions of `(node, [i, k])` whose *top-level* temporal extent is not
 /// further cut (the piece is either kept or spatially refined; spatial
 /// children may recurse freely).
-fn enumerate_left_piece(
-    hierarchy: &Hierarchy,
-    node: NodeId,
-    i: usize,
-    k: usize,
-) -> Vec<Vec<Area>> {
+fn enumerate_left_piece(hierarchy: &Hierarchy, node: NodeId, i: usize, k: usize) -> Vec<Vec<Area>> {
     let mut out = vec![vec![Area::new(node, i, k)]];
     let children = hierarchy.children(node);
     if !children.is_empty() {
@@ -93,7 +88,7 @@ fn enumerate_left_piece(
 }
 
 /// Brute-force optimum over all consistent partitions (tiny instances only).
-pub fn brute_force_best(input: &AggregationInput, p: f64) -> (f64, Partition) {
+pub fn brute_force_best<C: QualityCube>(input: &C, p: f64) -> (f64, Partition) {
     let h = input.hierarchy();
     let all = enumerate_partitions(h, h.root(), 0, input.n_slices() - 1);
     let mut best_pic = f64::NEG_INFINITY;
@@ -163,7 +158,12 @@ pub fn total_mutual_information(model: &ocelotl_trace::MicroModel) -> f64 {
     for x in 0..model.n_states() {
         let x = ocelotl_trace::StateId(x as u16);
         let mass: f64 = (0..model.n_leaves())
-            .map(|s| model.series(ocelotl_trace::LeafId(s as u32), x).iter().sum::<f64>())
+            .map(|s| {
+                model
+                    .series(ocelotl_trace::LeafId(s as u32), x)
+                    .iter()
+                    .sum::<f64>()
+            })
             .sum();
         acc += mass * mutual_information(model, x);
         total_mass += mass;
@@ -178,8 +178,8 @@ pub fn total_mutual_information(model: &ocelotl_trace::MicroModel) -> f64 {
 /// Improvement of the true spatiotemporal optimum over the product of the
 /// unidimensional optima (§III.D): `pic_2d − pic_product` evaluated on the
 /// full spatiotemporal inputs at the same `p`.
-pub fn spatiotemporal_advantage(
-    input: &AggregationInput,
+pub fn spatiotemporal_advantage<C: QualityCube>(
+    input: &C,
     product: &Partition,
     pic_2d: f64,
     p: f64,
@@ -281,7 +281,11 @@ pub fn compare_partitions(
 
     let vi = (ha + hb - 2.0 * mi).max(0.0);
     let hmax = ha.max(hb);
-    let nmi = if hmax <= 1e-12 { 1.0 } else { (mi / hmax).clamp(0.0, 1.0) };
+    let nmi = if hmax <= 1e-12 {
+        1.0
+    } else {
+        (mi / hmax).clamp(0.0, 1.0)
+    };
 
     // Rand index from pair counts: pairs co-clustered in both, separated in
     // both, over all pairs.
@@ -394,7 +398,10 @@ mod tests {
             .collect();
         let m = block_model(h, states, 6, &blocks);
         let mi = mutual_information(&m, ocelotl_trace::StateId(0));
-        assert!(mi.abs() < 1e-9, "product structure must have MI 0, got {mi}");
+        assert!(
+            mi.abs() < 1e-9,
+            "product structure must have MI 0, got {mi}"
+        );
     }
 
     #[test]
@@ -409,10 +416,26 @@ mod tests {
             states,
             2,
             &[
-                Block { leaves: 0..1, slices: 0..1, rho: vec![0.9] },
-                Block { leaves: 1..2, slices: 1..2, rho: vec![0.9] },
-                Block { leaves: 0..1, slices: 1..2, rho: vec![0.1] },
-                Block { leaves: 1..2, slices: 0..1, rho: vec![0.1] },
+                Block {
+                    leaves: 0..1,
+                    slices: 0..1,
+                    rho: vec![0.9],
+                },
+                Block {
+                    leaves: 1..2,
+                    slices: 1..2,
+                    rho: vec![0.9],
+                },
+                Block {
+                    leaves: 0..1,
+                    slices: 1..2,
+                    rho: vec![0.1],
+                },
+                Block {
+                    leaves: 1..2,
+                    slices: 0..1,
+                    rho: vec![0.1],
+                },
             ],
         );
         let mi = mutual_information(&m, ocelotl_trace::StateId(0));

@@ -20,7 +20,7 @@
 //! under floating-point noise; and the pseudocode's `pIC[i, cut]` is read as
 //! `pIC[i, cutt]` (obvious typo fix).
 
-use crate::input::AggregationInput;
+use crate::cube::QualityCube;
 use crate::partition::{Area, Partition};
 use crate::tri::TriMatrix;
 use ocelotl_trace::NodeId;
@@ -112,7 +112,7 @@ impl CutTree {
     }
 
     /// Optimal pIC over the whole trace (root node, full interval).
-    pub fn optimal_pic(&self, input: &AggregationInput) -> f64 {
+    pub fn optimal_pic<C: QualityCube>(&self, input: &C) -> f64 {
         self.pic[input.hierarchy().root().index()].get(0, self.n_slices - 1)
     }
 
@@ -133,13 +133,13 @@ impl CutTree {
     }
 
     /// Number of aggregates in the optimal partition of the whole trace.
-    pub fn optimal_n_areas(&self, input: &AggregationInput) -> usize {
+    pub fn optimal_n_areas<C: QualityCube>(&self, input: &C) -> usize {
         self.n_areas(input.hierarchy().root(), 0, self.n_slices - 1)
     }
 
     /// Recover the optimal partition of the whole trace by following the
     /// sequence of cuts from `(S_root, T_(0,|T|−1))`.
-    pub fn partition(&self, input: &AggregationInput) -> Partition {
+    pub fn partition<C: QualityCube>(&self, input: &C) -> Partition {
         let mut areas = Vec::new();
         let mut stack = vec![Area::new(input.hierarchy().root(), 0, self.n_slices - 1)];
         while let Some(area) = stack.pop() {
@@ -161,23 +161,24 @@ impl CutTree {
     }
 }
 
-/// Run Algorithm 1 on cached inputs for trade-off `p`.
-pub fn aggregate(input: &AggregationInput, p: f64, config: &DpConfig) -> CutTree {
+/// Run Algorithm 1 on any quality cube for trade-off `p`.
+pub fn aggregate<C: QualityCube>(input: &C, p: f64, config: &DpConfig) -> CutTree {
     assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
     let h = input.hierarchy();
     let n_nodes = h.len();
     let n_slices = input.n_slices();
 
+    type NodeResult = (TriMatrix<i32>, TriMatrix<f64>, TriMatrix<u32>);
+
     if config.parallel {
         // Children of a node are independent subproblems: solve them with a
         // parallel fork–join recursion. Results land in per-node OnceLocks
         // (each node is written exactly once, after its children).
-        type NodeResult = (TriMatrix<i32>, TriMatrix<f64>, TriMatrix<u32>);
         let solved: Vec<OnceLock<NodeResult>> = (0..n_nodes).map(|_| OnceLock::new()).collect();
 
-        fn solve(
+        fn solve<C: QualityCube>(
             node: NodeId,
-            input: &AggregationInput,
+            input: &C,
             p: f64,
             config: &DpConfig,
             solved: &[OnceLock<NodeResult>],
@@ -190,10 +191,8 @@ pub fn aggregate(input: &AggregationInput, p: f64, config: &DpConfig) -> CutTree
                 .iter()
                 .map(|c| solved[c.index()].get().expect("child solved"))
                 .collect();
-            let child_pics: Vec<&TriMatrix<f64>> =
-                child_results.iter().map(|r| &r.1).collect();
-            let child_counts: Vec<&TriMatrix<u32>> =
-                child_results.iter().map(|r| &r.2).collect();
+            let child_pics: Vec<&TriMatrix<f64>> = child_results.iter().map(|r| &r.1).collect();
+            let child_counts: Vec<&TriMatrix<u32>> = child_results.iter().map(|r| &r.2).collect();
             let result = solve_node(input, node, p, config, &child_pics, &child_counts);
             solved[node.index()].set(result).expect("node solved once");
         }
@@ -217,18 +216,15 @@ pub fn aggregate(input: &AggregationInput, p: f64, config: &DpConfig) -> CutTree
             n_slices,
         }
     } else {
-        let mut results: Vec<Option<(TriMatrix<i32>, TriMatrix<f64>, TriMatrix<u32>)>> =
-            vec![None; n_nodes];
+        let mut results: Vec<Option<NodeResult>> = vec![None; n_nodes];
         for &node in h.post_order() {
             let child_results: Vec<_> = h
                 .children(node)
                 .iter()
                 .map(|c| results[c.index()].as_ref().expect("post-order"))
                 .collect();
-            let child_pics: Vec<&TriMatrix<f64>> =
-                child_results.iter().map(|r| &r.1).collect();
-            let child_counts: Vec<&TriMatrix<u32>> =
-                child_results.iter().map(|r| &r.2).collect();
+            let child_pics: Vec<&TriMatrix<f64>> = child_results.iter().map(|r| &r.1).collect();
+            let child_counts: Vec<&TriMatrix<u32>> = child_results.iter().map(|r| &r.2).collect();
             let result = solve_node(input, node, p, config, &child_pics, &child_counts);
             results[node.index()] = Some(result);
         }
@@ -252,7 +248,7 @@ pub fn aggregate(input: &AggregationInput, p: f64, config: &DpConfig) -> CutTree
 }
 
 /// Convenience wrapper with default configuration.
-pub fn aggregate_default(input: &AggregationInput, p: f64) -> CutTree {
+pub fn aggregate_default<C: QualityCube>(input: &C, p: f64) -> CutTree {
     aggregate(input, p, &DpConfig::default())
 }
 
@@ -261,8 +257,8 @@ pub fn aggregate_default(input: &AggregationInput, p: f64) -> CutTree {
 /// Also tracks, per cell, the aggregate count of the chosen subpartition;
 /// when [`DpConfig::prefer_coarse_ties`] is set, pIC-equal cuts (within
 /// `epsilon`) with a lower count displace the current choice.
-fn solve_node(
-    input: &AggregationInput,
+fn solve_node<C: QualityCube>(
+    input: &C,
     node: NodeId,
     p: f64,
     config: &DpConfig,
@@ -278,9 +274,11 @@ fn solve_node(
 
     for i in (0..n).rev() {
         for j in i..n {
-            // No cut: the area itself as one aggregate.
+            // No cut: the area itself as one aggregate. `gain_loss` lets a
+            // lazy cube evaluate the cell in a single pass over the states.
+            let (g, l) = input.gain_loss(node, i, j);
             let mut best_cut = j as i32;
-            let mut best = p * input.gain(node, i, j) - (1.0 - p) * input.loss(node, i, j);
+            let mut best = p * g - (1.0 - p) * l;
             let mut best_cnt = 1u32;
 
             // Spatial cut?
@@ -476,14 +474,21 @@ mod tests {
         // Zero loss is achievable with 3 aggregates; the optimum cannot lose
         // information nor use more areas than the blocks require.
         assert!(part.loss(&input) < 1e-9);
-        assert!(part.len() <= 4, "expected ≤4 aggregates, got {}", part.len());
+        assert!(
+            part.len() <= 4,
+            "expected ≤4 aggregates, got {}",
+            part.len()
+        );
         // The second cluster must have a temporal cut at slice 4/5 boundary.
         let c2 = m.hierarchy().top_level()[1];
         let has_cut = part
             .areas()
             .iter()
             .any(|a| a.node == c2 && a.last_slice == 4);
-        assert!(has_cut, "missing temporal cut at the block boundary: {part:?}");
+        assert!(
+            has_cut,
+            "missing temporal cut at the block boundary: {part:?}"
+        );
     }
 
     #[test]
@@ -548,10 +553,7 @@ mod tests {
         for p in [0.0, 0.3, 0.7, 1.0] {
             let a = aggregate_default(&in_flat, p).optimal_pic(&in_flat);
             let b = aggregate_default(&in_chain, p).optimal_pic(&in_chain);
-            assert!(
-                (a - b).abs() < 1e-9,
-                "p={p}: flat {a} vs chained {b}"
-            );
+            assert!((a - b).abs() < 1e-9, "p={p}: flat {a} vs chained {b}");
         }
     }
 
@@ -574,12 +576,32 @@ mod tests {
             10,
             &[
                 // Cluster 0: state a throughout.
-                Block { leaves: 0..4, slices: 0..10, rho: vec![1.0, 0.0] },
+                Block {
+                    leaves: 0..4,
+                    slices: 0..10,
+                    rho: vec![1.0, 0.0],
+                },
                 // Cluster 1: state a, except leaves 4..6 flip to b in [4, 7).
-                Block { leaves: 4..8, slices: 0..4, rho: vec![1.0, 0.0] },
-                Block { leaves: 4..6, slices: 4..7, rho: vec![0.0, 1.0] },
-                Block { leaves: 6..8, slices: 4..7, rho: vec![1.0, 0.0] },
-                Block { leaves: 4..8, slices: 7..10, rho: vec![1.0, 0.0] },
+                Block {
+                    leaves: 4..8,
+                    slices: 0..4,
+                    rho: vec![1.0, 0.0],
+                },
+                Block {
+                    leaves: 4..6,
+                    slices: 4..7,
+                    rho: vec![0.0, 1.0],
+                },
+                Block {
+                    leaves: 6..8,
+                    slices: 4..7,
+                    rho: vec![1.0, 0.0],
+                },
+                Block {
+                    leaves: 4..8,
+                    slices: 7..10,
+                    rho: vec![1.0, 0.0],
+                },
             ],
         )
     }

@@ -3,243 +3,51 @@
 //! For every node `S_k` of the hierarchy and every interval `T_(i,j)`, the
 //! algorithm needs `gain(S_k, T_(i,j))` and `loss(S_k, T_(i,j))`. Both
 //! derive from three **additive** per-state quantities (sum of durations,
-//! sum of proportions, sum of Shannon information), which we prefix-sum over
-//! time per node: leaves read the microscopic model directly, internal nodes
-//! sum their children. Each triangular cell is then O(1) per state, giving
-//! the paper's `O(|S||T|²)` input complexity (per state).
+//! sum of proportions, sum of Shannon information), which are prefix-summed
+//! over time per node; each triangular cell then evaluates in `O(1)` per
+//! state. The machinery lives in [`crate::cube`]; this module keeps the
+//! historical [`AggregationInput`] name as the *dense* backend.
 //!
-//! The per-node gain/loss matrices are *cached* in [`AggregationInput`]:
-//! re-running the optimization for a new trade-off `p` (the analyst sliding
-//! the aggregation strength) does not touch the microscopic data again —
-//! this is the paper's "instantaneous interaction" property (§V.B).
+//! # Dense vs. lazy: the memory trade-off
+//!
+//! [`AggregationInput`] (= [`DenseCube`](crate::DenseCube)) materializes
+//! two `O(|T|²)` triangular matrices per hierarchy node — the paper's
+//! §III.E data structure. That costs `O(|S|·|T|²)` resident floats but
+//! makes every `gain`/`loss` query a single array read, so re-running the
+//! optimizer when the analyst slides the trade-off `p` never touches the
+//! microscopic data again: the paper's "instantaneous interaction"
+//! property (§V.B). At |S| ≈ 1500 nodes and |T| = 4096 slices, however,
+//! those matrices are ~200 GB — a hard wall.
+//!
+//! [`LazyCube`](crate::LazyCube) keeps only the `O(|S|·|T|·|X|)` prefix
+//! sums and evaluates each queried cell on demand in `O(|X|)`: memory
+//! drops from quadratic to **linear** in `|T|`, at the price of an
+//! `O(|X|)` loop per query. Rule of thumb: stay dense while
+//! [`dense_matrix_bytes`](crate::cube::dense_matrix_bytes) fits your RAM
+//! budget (the CLI's `--memory auto` uses a 1 GiB default), go lazy
+//! beyond. Both backends answer bit-identically — see the
+//! `backend_equivalence` test suite.
 
-use crate::measures::{xlog2x, AreaSums};
-use crate::tri::TriMatrix;
-use ocelotl_trace::{Hierarchy, LeafId, MicroModel, NodeId, StateId, StateRegistry};
-use rayon::prelude::*;
+pub use crate::cube::DenseCube;
 
 /// Cached per-node aggregation inputs for a microscopic model.
-#[derive(Debug, Clone)]
-pub struct AggregationInput {
-    hierarchy: Hierarchy,
-    states: StateRegistry,
-    n_slices: usize,
-    slice_duration: f64,
-    /// Per node: `gain(S_k, T_(i,j))` summed over states.
-    gain: Vec<TriMatrix<f64>>,
-    /// Per node: `loss(S_k, T_(i,j))` summed over states.
-    loss: Vec<TriMatrix<f64>>,
-    /// Per node: prefix sums over slices of `Σ_s d_x(s,t)`,
-    /// laid out `[state × (n_slices + 1)]`.
-    prefix_duration: Vec<Vec<f64>>,
-}
-
-impl AggregationInput {
-    /// Build the cached inputs from a microscopic model.
-    ///
-    /// Leaf prefix sums and all per-node triangular matrices are computed in
-    /// parallel (each node only reads its own prefix sums).
-    pub fn build(model: &MicroModel) -> Self {
-        let hierarchy = model.hierarchy().clone();
-        let states = model.states().clone();
-        let n_slices = model.n_slices();
-        let n_states = model.n_states();
-        let n_nodes = hierarchy.len();
-        let slice_duration = model.grid().slice_duration();
-        assert!(n_states >= 1, "need at least one state");
-
-        let stride = n_slices + 1;
-
-        // 1. Per-node prefix sums of Σ_s d_x(s,t) and Σ_s ρ·log₂ρ.
-        //    (Σ_s ρ is prefix_duration / slice_duration, not stored.)
-        let mut prefix_duration: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
-        let mut prefix_info: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
-
-        // Leaves in parallel.
-        let leaf_prefixes: Vec<(usize, Vec<f64>, Vec<f64>)> = (0..hierarchy.n_leaves())
-            .into_par_iter()
-            .map(|leaf| {
-                let node = hierarchy.leaf_node(LeafId(leaf as u32));
-                let mut pd = vec![0.0; n_states * stride];
-                let mut pi = vec![0.0; n_states * stride];
-                for x in 0..n_states {
-                    let series = model.series(LeafId(leaf as u32), StateId(x as u16));
-                    let (pd_row, pi_row) = (x * stride, x * stride);
-                    let mut acc_d = 0.0;
-                    let mut acc_i = 0.0;
-                    for (t, &d) in series.iter().enumerate() {
-                        acc_d += d;
-                        acc_i += xlog2x(d / slice_duration);
-                        pd[pd_row + t + 1] = acc_d;
-                        pi[pi_row + t + 1] = acc_i;
-                    }
-                }
-                (node.index(), pd, pi)
-            })
-            .collect();
-        for (idx, pd, pi) in leaf_prefixes {
-            prefix_duration[idx] = pd;
-            prefix_info[idx] = pi;
-        }
-
-        // Internal nodes: sum of children, in post-order (children ready first).
-        for &node in hierarchy.post_order() {
-            if hierarchy.is_leaf(node) {
-                continue;
-            }
-            let mut pd = vec![0.0; n_states * stride];
-            let mut pi = vec![0.0; n_states * stride];
-            for &c in hierarchy.children(node) {
-                let (cpd, cpi) = (&prefix_duration[c.index()], &prefix_info[c.index()]);
-                for (a, &b) in pd.iter_mut().zip(cpd) {
-                    *a += b;
-                }
-                for (a, &b) in pi.iter_mut().zip(cpi) {
-                    *a += b;
-                }
-            }
-            prefix_duration[node.index()] = pd;
-            prefix_info[node.index()] = pi;
-        }
-
-        // 2. Triangular gain/loss matrices, parallel over nodes.
-        let matrices: Vec<(TriMatrix<f64>, TriMatrix<f64>)> = (0..n_nodes)
-            .into_par_iter()
-            .map(|idx| {
-                let node = NodeId(idx as u32);
-                let n_res = hierarchy.n_leaves_under(node);
-                let pd = &prefix_duration[idx];
-                let pi = &prefix_info[idx];
-                let mut gain = TriMatrix::<f64>::new(n_slices);
-                let mut loss = TriMatrix::<f64>::new(n_slices);
-                for i in 0..n_slices {
-                    for j in i..n_slices {
-                        let period = (j - i + 1) as f64 * slice_duration;
-                        let mut g = 0.0;
-                        let mut l = 0.0;
-                        for x in 0..n_states {
-                            let row = x * stride;
-                            let sums = AreaSums {
-                                sum_duration: pd[row + j + 1] - pd[row + i],
-                                sum_rho: (pd[row + j + 1] - pd[row + i]) / slice_duration,
-                                sum_rho_log_rho: pi[row + j + 1] - pi[row + i],
-                            };
-                            g += sums.gain(n_res, period);
-                            l += sums.loss(n_res, period);
-                        }
-                        gain.set(i, j, g);
-                        loss.set(i, j, l);
-                    }
-                }
-                (gain, loss)
-            })
-            .collect();
-
-        let mut gain = Vec::with_capacity(n_nodes);
-        let mut loss = Vec::with_capacity(n_nodes);
-        for (g, l) in matrices {
-            gain.push(g);
-            loss.push(l);
-        }
-
-        Self {
-            hierarchy,
-            states,
-            n_slices,
-            slice_duration,
-            gain,
-            loss,
-            prefix_duration,
-        }
-    }
-
-    /// The spatial hierarchy.
-    #[inline]
-    pub fn hierarchy(&self) -> &Hierarchy {
-        &self.hierarchy
-    }
-
-    /// The state registry.
-    #[inline]
-    pub fn states(&self) -> &StateRegistry {
-        &self.states
-    }
-
-    /// `|T|`: number of time slices.
-    #[inline]
-    pub fn n_slices(&self) -> usize {
-        self.n_slices
-    }
-
-    /// `|X|`: number of states.
-    #[inline]
-    pub fn n_states(&self) -> usize {
-        self.states.len()
-    }
-
-    /// `d(t)`: duration of one slice.
-    #[inline]
-    pub fn slice_duration(&self) -> f64 {
-        self.slice_duration
-    }
-
-    /// `gain(S_k, T_(i,j))` summed over states.
-    #[inline]
-    pub fn gain(&self, node: NodeId, i: usize, j: usize) -> f64 {
-        self.gain[node.index()].get(i, j)
-    }
-
-    /// `loss(S_k, T_(i,j))` summed over states.
-    #[inline]
-    pub fn loss(&self, node: NodeId, i: usize, j: usize) -> f64 {
-        self.loss[node.index()].get(i, j)
-    }
-
-    /// Aggregated proportion `ρ_x(S_k, T_(i,j))` per Eq. 1.
-    pub fn rho_aggregate(&self, node: NodeId, x: StateId, i: usize, j: usize) -> f64 {
-        let stride = self.n_slices + 1;
-        let pd = &self.prefix_duration[node.index()];
-        let row = x.index() * stride;
-        let sum_d = pd[row + j + 1] - pd[row + i];
-        let n_res = self.hierarchy.n_leaves_under(node) as f64;
-        let period = (j - i + 1) as f64 * self.slice_duration;
-        sum_d / (n_res * period)
-    }
-
-    /// All aggregated proportions of an area, indexed by state.
-    pub fn rho_aggregate_all(&self, node: NodeId, i: usize, j: usize) -> Vec<f64> {
-        (0..self.n_states())
-            .map(|x| self.rho_aggregate(node, StateId(x as u16), i, j))
-            .collect()
-    }
-
-    /// Estimated resident size in bytes (diagnostic; the paper's space bound
-    /// is `O(|S||T|²)`).
-    pub fn memory_bytes(&self) -> usize {
-        let tri = self.gain.iter().map(|m| m.len()).sum::<usize>()
-            + self.loss.iter().map(|m| m.len()).sum::<usize>();
-        let pref = self
-            .prefix_duration
-            .iter()
-            .map(|v| v.len())
-            .sum::<usize>();
-        (tri + pref) * std::mem::size_of::<f64>()
-    }
-}
+///
+/// Historical name for the dense quality-cube backend; `AggregationInput`
+/// in existing code, docs, and the paper-facing API is exactly
+/// [`DenseCube`]. Prefer writing new consumers against the
+/// [`QualityCube`](crate::QualityCube) trait so they also accept
+/// [`LazyCube`](crate::LazyCube) and [`CubeBackend`](crate::CubeBackend).
+pub type AggregationInput = DenseCube;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::measures::AreaSums;
     use ocelotl_trace::synthetic::{fig3_model, random_model};
-    use ocelotl_trace::TimeGrid;
+    use ocelotl_trace::{Hierarchy, LeafId, MicroModel, NodeId, StateId, StateRegistry, TimeGrid};
 
     /// Direct (slow) evaluation of gain/loss for cross-checking.
-    fn direct_gain_loss(
-        model: &MicroModel,
-        node: NodeId,
-        i: usize,
-        j: usize,
-    ) -> (f64, f64) {
+    fn direct_gain_loss(model: &MicroModel, node: NodeId, i: usize, j: usize) -> (f64, f64) {
         let h = model.hierarchy();
         let w = model.grid().slice_duration();
         let n_res = h.n_leaves_under(node);

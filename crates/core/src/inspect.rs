@@ -7,7 +7,7 @@
 //! proportions, how many resources and how much time it spans, and how
 //! faithful the aggregate is (its own gain/loss contribution).
 
-use crate::input::AggregationInput;
+use crate::cube::QualityCube;
 
 use crate::partition::{Area, Partition};
 use ocelotl_trace::{LeafId, StateId};
@@ -37,7 +37,7 @@ pub struct AreaReport {
 }
 
 /// Inspect one area.
-pub fn inspect_area(input: &AggregationInput, area: &Area) -> AreaReport {
+pub fn inspect_area<C: QualityCube>(input: &C, area: &Area) -> AreaReport {
     let h = input.hierarchy();
     let rhos = input.rho_aggregate_all(area.node, area.first_slice, area.last_slice);
     let total: f64 = rhos.iter().sum();
@@ -66,7 +66,12 @@ pub fn inspect_area(input: &AggregationInput, area: &Area) -> AreaReport {
 
 /// Find the aggregate of a partition covering a microscopic cell
 /// (the hit-test behind hovering a pixel).
-pub fn area_at(partition: &Partition, input: &AggregationInput, leaf: LeafId, slice: usize) -> Option<Area> {
+pub fn area_at<C: QualityCube>(
+    partition: &Partition,
+    input: &C,
+    leaf: LeafId,
+    slice: usize,
+) -> Option<Area> {
     let h = input.hierarchy();
     partition
         .areas()
@@ -80,7 +85,7 @@ pub fn area_at(partition: &Partition, input: &AggregationInput, leaf: LeafId, sl
 
 /// Summarize a whole partition: the `n` largest aggregates by cell count,
 /// with their reports — the textual counterpart of the paper's overview.
-pub fn summarize(input: &AggregationInput, partition: &Partition, n: usize) -> Vec<AreaReport> {
+pub fn summarize<C: QualityCube>(input: &C, partition: &Partition, n: usize) -> Vec<AreaReport> {
     let h = input.hierarchy();
     let mut areas: Vec<Area> = partition.areas().to_vec();
     areas.sort_by_key(|a| std::cmp::Reverse(a.n_cells(h)));
@@ -90,7 +95,7 @@ pub fn summarize(input: &AggregationInput, partition: &Partition, n: usize) -> V
 
 /// Render a partition summary as fixed-width text (for terminal UIs and
 /// the `trace_explorer` example).
-pub fn summary_text(input: &AggregationInput, partition: &Partition, n: usize) -> String {
+pub fn summary_text<C: QualityCube>(input: &C, partition: &Partition, n: usize) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(

@@ -26,9 +26,14 @@
 //!
 //! Module map:
 //! - [`measures`] — Eq. 2–4 (loss, gain, pIC);
-//! - [`input`] — cached per-node gain/loss interval matrices (`O(|S||T|²)`);
+//! - [`cube`] — the [`QualityCube`] abstraction over `gain`/`loss` access,
+//!   with the precomputed [`DenseCube`] (`O(|S||T|²)` memory, `O(1)`
+//!   queries) and the on-demand [`LazyCube`] (`O(|S||T||X|)` memory,
+//!   `O(|X|)` queries) backends;
+//! - [`input`] — the historical [`AggregationInput`] name (= dense cube)
+//!   and the dense/lazy trade-off discussion;
 //! - [`dp`] — Algorithm 1, the `O(|S||T|³)` spatiotemporal optimizer
-//!   (sequential and fork–join parallel);
+//!   (sequential and fork–join parallel), generic over the cube;
 //! - [`partition`] — areas, partitions, validation;
 //! - [`onedim`] — the unidimensional baselines and their product (§III.D);
 //! - [`pvalues`] — significant trade-off values (the Ocelotl slider);
@@ -40,9 +45,10 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cube;
 pub mod dp;
-pub mod inspect;
 pub mod input;
+pub mod inspect;
 pub mod measures;
 pub mod onedim;
 pub mod partition;
@@ -53,9 +59,13 @@ pub mod tri;
 pub use analysis::{
     compare_partitions, mutual_information, total_mutual_information, PartitionComparison,
 };
+pub use cube::{
+    dense_matrix_bytes, CubeBackend, CubeCore, DenseCube, LazyCube, MemoryMode, QualityCube,
+    AUTO_DENSE_LIMIT_BYTES,
+};
 pub use dp::{aggregate, aggregate_default, Cut, CutTree, DpConfig};
-pub use inspect::{area_at, inspect_area, summarize, summary_text, AreaReport};
 pub use input::AggregationInput;
+pub use inspect::{area_at, inspect_area, summarize, summary_text, AreaReport};
 pub use measures::{pic, xlog2x, AreaSums};
 pub use onedim::{
     collapse_space, collapse_time, product_aggregation, spatial_partition, temporal_partition,

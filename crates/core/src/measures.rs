@@ -125,7 +125,10 @@ mod tests {
         // 4 cells, all ρ = 0.3, one resource × 4 slices of duration 2.
         let s = sums_from_rhos(&[0.3; 4], 2.0);
         let loss = s.loss(1, 8.0);
-        assert!(loss.abs() < 1e-12, "homogeneous loss should be 0, got {loss}");
+        assert!(
+            loss.abs() < 1e-12,
+            "homogeneous loss should be 0, got {loss}"
+        );
         let rho = s.rho_aggregate(1, 8.0);
         assert!((rho - 0.3).abs() < 1e-12);
     }
@@ -189,7 +192,13 @@ mod tests {
         let rho_agg = s.rho_aggregate(4, 1.0);
         let direct: f64 = rhos
             .iter()
-            .map(|&r| if r > 0.0 { r * (r / rho_agg).log2() } else { 0.0 })
+            .map(|&r| {
+                if r > 0.0 {
+                    r * (r / rho_agg).log2()
+                } else {
+                    0.0
+                }
+            })
             .sum();
         assert!((s.loss(4, 1.0) - direct).abs() < 1e-12);
         assert!(direct >= 0.0);

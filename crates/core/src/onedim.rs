@@ -15,12 +15,10 @@
 //! Their Cartesian product (`Fig. 3.c`) is the baseline the paper argues is
 //! strictly weaker than the true spatiotemporal optimum (`Fig. 3.d`).
 
-use crate::input::AggregationInput;
+use crate::cube::QualityCube;
 use crate::measures::pic;
 use crate::partition::Partition;
-use ocelotl_trace::{
-    Hierarchy, HierarchyBuilder, LeafId, MicroModel, NodeId, StateId, TimeGrid,
-};
+use ocelotl_trace::{Hierarchy, HierarchyBuilder, LeafId, MicroModel, NodeId, StateId, TimeGrid};
 
 /// Collapse the temporal dimension: the whole trace becomes one slice, so
 /// the spatial algorithm sees micro cells `(s, T)` with
@@ -34,7 +32,10 @@ pub fn collapse_time(model: &MicroModel) -> MicroModel {
     let mut durations = vec![0.0f64; n * x];
     for s in 0..n {
         for xi in 0..x {
-            durations[s * x + xi] = model.series(LeafId(s as u32), StateId(xi as u16)).iter().sum();
+            durations[s * x + xi] = model
+                .series(LeafId(s as u32), StateId(xi as u16))
+                .iter()
+                .sum();
         }
     }
     MicroModel::from_dense(h, states, grid, durations)
@@ -49,11 +50,17 @@ pub fn collapse_space(model: &MicroModel) -> MicroModel {
     let n = model.n_leaves();
     let x = model.n_states();
     let t = model.n_slices();
-    let h = HierarchyBuilder::new("S", "root").build().expect("single node");
+    let h = HierarchyBuilder::new("S", "root")
+        .build()
+        .expect("single node");
     let mut durations = vec![0.0f64; x * t];
     for s in 0..n {
         for xi in 0..x {
-            for (ti, &d) in model.series(LeafId(s as u32), StateId(xi as u16)).iter().enumerate() {
+            for (ti, &d) in model
+                .series(LeafId(s as u32), StateId(xi as u16))
+                .iter()
+                .enumerate()
+            {
                 durations[xi * t + ti] += d / n as f64;
             }
         }
@@ -75,7 +82,7 @@ pub struct SpatialPartition {
 /// trace, by post-order DFS (`O(|S|)` comparisons).
 ///
 /// `input` must be built on a 1-slice model (see [`collapse_time`]).
-pub fn spatial_partition(input: &AggregationInput, p: f64) -> SpatialPartition {
+pub fn spatial_partition<C: QualityCube>(input: &C, p: f64) -> SpatialPartition {
     assert_eq!(
         input.n_slices(),
         1,
@@ -88,15 +95,12 @@ pub fn spatial_partition(input: &AggregationInput, p: f64) -> SpatialPartition {
     let mut best = vec![0.0f64; n];
     let mut split = vec![false; n];
     for &node in h.post_order() {
-        let own = pic(p, input.gain(node, 0, 0), input.loss(node, 0, 0));
+        let (g, l) = input.gain_loss(node, 0, 0);
+        let own = pic(p, g, l);
         if h.is_leaf(node) {
             best[node.index()] = own;
         } else {
-            let children_sum: f64 = h
-                .children(node)
-                .iter()
-                .map(|c| best[c.index()])
-                .sum();
+            let children_sum: f64 = h.children(node).iter().map(|c| best[c.index()]).sum();
             if children_sum > own + 1e-9 {
                 best[node.index()] = children_sum;
                 split[node.index()] = true;
@@ -136,7 +140,7 @@ pub struct TemporalPartition {
 /// the classic `O(|T|²)` interval dynamic program (Jackson et al. [20]).
 ///
 /// `input` must be built on a 1-leaf model (see [`collapse_space`]).
-pub fn temporal_partition(input: &AggregationInput, p: f64) -> TemporalPartition {
+pub fn temporal_partition<C: QualityCube>(input: &C, p: f64) -> TemporalPartition {
     assert_eq!(
         input.hierarchy().n_leaves(),
         1,
@@ -144,7 +148,10 @@ pub fn temporal_partition(input: &AggregationInput, p: f64) -> TemporalPartition
     );
     let root = input.hierarchy().root();
     let n = input.n_slices();
-    let q = |i: usize, j: usize| pic(p, input.gain(root, i, j), input.loss(root, i, j));
+    let q = |i: usize, j: usize| {
+        let (g, l) = input.gain_loss(root, i, j);
+        pic(p, g, l)
+    };
 
     // best[j]: optimal pIC of a partition of slices 0..=j;
     // back[j]: start index of the last interval of that optimum.
@@ -196,9 +203,12 @@ pub struct ProductAggregation {
 }
 
 /// Run both unidimensional algorithms at trade-off `p` and combine them.
+///
+/// The collapsed models are tiny (one slice, resp. one leaf), so the
+/// dense cube is always the right backend here.
 pub fn product_aggregation(model: &MicroModel, p: f64) -> ProductAggregation {
-    let time_collapsed = AggregationInput::build(&collapse_time(model));
-    let space_collapsed = AggregationInput::build(&collapse_space(model));
+    let time_collapsed = crate::cube::DenseCube::build(&collapse_time(model));
+    let space_collapsed = crate::cube::DenseCube::build(&collapse_space(model));
     let spatial = spatial_partition(&time_collapsed, p);
     let temporal = temporal_partition(&space_collapsed, p);
     let partition = Partition::product(&spatial.nodes, &temporal.intervals);
@@ -247,6 +257,7 @@ pub fn validate_temporal(intervals: &[(usize, usize)], n: usize) -> Result<(), S
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::AggregationInput;
     use ocelotl_trace::synthetic::{block_model, fig3_model, random_model, Block};
     use ocelotl_trace::StateRegistry;
 
@@ -267,10 +278,7 @@ mod tests {
         // Average of 4 resources.
         for t in 0..5 {
             for x in 0..2 {
-                let avg: f64 = (0..4)
-                    .map(|s| m.rho(LeafId(s), StateId(x), t))
-                    .sum::<f64>()
-                    / 4.0;
+                let avg: f64 = (0..4).map(|s| m.rho(LeafId(s), StateId(x), t)).sum::<f64>() / 4.0;
                 assert!((c.rho(LeafId(0), StateId(x), t) - avg).abs() < 1e-12);
             }
         }

@@ -3,7 +3,7 @@
 //! A partition of `S × T` is a set of disjoint, covering macroscopic areas,
 //! each the Cartesian product of a hierarchy node and a slice interval.
 
-use crate::input::AggregationInput;
+use crate::cube::QualityCube;
 use crate::measures::pic;
 use ocelotl_trace::{Hierarchy, NodeId};
 
@@ -110,21 +110,18 @@ impl Partition {
     }
 
     /// Total pIC of the partition at trade-off `p` (additivity, §III.C).
-    pub fn pic(&self, input: &AggregationInput, p: f64) -> f64 {
+    pub fn pic<C: QualityCube>(&self, input: &C, p: f64) -> f64 {
         self.areas
             .iter()
             .map(|a| {
-                pic(
-                    p,
-                    input.gain(a.node, a.first_slice, a.last_slice),
-                    input.loss(a.node, a.first_slice, a.last_slice),
-                )
+                let (g, l) = input.gain_loss(a.node, a.first_slice, a.last_slice);
+                pic(p, g, l)
             })
             .sum()
     }
 
     /// Total gain of the partition.
-    pub fn gain(&self, input: &AggregationInput) -> f64 {
+    pub fn gain<C: QualityCube>(&self, input: &C) -> f64 {
         self.areas
             .iter()
             .map(|a| input.gain(a.node, a.first_slice, a.last_slice))
@@ -132,7 +129,7 @@ impl Partition {
     }
 
     /// Total information loss of the partition.
-    pub fn loss(&self, input: &AggregationInput) -> f64 {
+    pub fn loss<C: QualityCube>(&self, input: &C) -> f64 {
         self.areas
             .iter()
             .map(|a| input.loss(a.node, a.first_slice, a.last_slice))
@@ -216,10 +213,7 @@ mod tests {
     fn overlapping_areas_rejected() {
         let h = Hierarchy::balanced(&[2, 2]);
         let a = h.top_level()[0];
-        let p = Partition::new(vec![
-            Area::new(h.root(), 0, 1),
-            Area::new(a, 0, 0),
-        ]);
+        let p = Partition::new(vec![Area::new(h.root(), 0, 1), Area::new(a, 0, 0)]);
         assert!(p.validate(&h, 2).is_err());
     }
 

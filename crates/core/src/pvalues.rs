@@ -6,8 +6,8 @@
 //! boundaries by dichotomic search and returns one representative partition
 //! per stability interval.
 
+use crate::cube::QualityCube;
 use crate::dp::{aggregate, DpConfig};
-use crate::input::AggregationInput;
 use crate::partition::Partition;
 
 /// One stability interval of the trade-off parameter.
@@ -27,8 +27,8 @@ pub struct PEntry {
 /// The number of `aggregate` runs is `O(k·log(1/resolution))` for `k`
 /// distinct partitions; each run touches only the cached gain/loss matrices
 /// (the "instantaneous interaction" property of §V.B).
-pub fn significant_partitions(
-    input: &AggregationInput,
+pub fn significant_partitions<C: QualityCube>(
+    input: &C,
     config: &DpConfig,
     resolution: f64,
 ) -> Vec<PEntry> {
@@ -82,10 +82,7 @@ fn explore(
 /// Convenience: the representative `p` values (midpoints of stability
 /// intervals), suitable for a UI slider.
 pub fn significant_ps(entries: &[PEntry]) -> Vec<f64> {
-    entries
-        .iter()
-        .map(|e| 0.5 * (e.p_low + e.p_high))
-        .collect()
+    entries.iter().map(|e| 0.5 * (e.p_low + e.p_high)).collect()
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! *information loss* of the corresponding partition, normalized against
 //! the two extreme representations (microscopic ↔ fully aggregated).
 
-use crate::input::AggregationInput;
+use crate::cube::QualityCube;
 use crate::partition::Partition;
 
 /// Normalized quality figures of one partition.
@@ -31,7 +31,7 @@ pub struct QualityReport {
 }
 
 /// Evaluate a partition's quality against the cached inputs.
-pub fn quality(input: &AggregationInput, partition: &Partition) -> QualityReport {
+pub fn quality<C: QualityCube>(input: &C, partition: &Partition) -> QualityReport {
     let h = input.hierarchy();
     let n_slices = input.n_slices();
     let n_cells = h.n_leaves() * n_slices;
@@ -46,7 +46,11 @@ pub fn quality(input: &AggregationInput, partition: &Partition) -> QualityReport
         complexity_reduction: 1.0 - partition.len() as f64 / n_cells as f64,
         loss,
         gain,
-        loss_ratio: if full_loss > 0.0 { loss / full_loss } else { 0.0 },
+        loss_ratio: if full_loss > 0.0 {
+            loss / full_loss
+        } else {
+            0.0
+        },
         gain_ratio: if full_gain.abs() > 0.0 {
             gain / full_gain
         } else {

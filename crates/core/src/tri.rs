@@ -43,7 +43,11 @@ impl<T: Copy + Default> TriMatrix<T> {
     /// Linear offset of cell `[i, j]`.
     #[inline]
     fn offset(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i <= j && j < self.n, "bad interval [{i}, {j}] for n={}", self.n);
+        debug_assert!(
+            i <= j && j < self.n,
+            "bad interval [{i}, {j}] for n={}",
+            self.n
+        );
         // Row i starts after rows 0..i, which hold (n) + (n-1) + … + (n-i+1)
         // = i·(2n − i + 1)/2 cells.
         i * (2 * self.n - i + 1) / 2 + (j - i)
@@ -136,14 +140,12 @@ mod tests {
     fn iter_visits_all_cells_in_order() {
         let m = TriMatrix::<u8>::new(3);
         let cells: Vec<(usize, usize)> = m.iter().map(|(i, j, _)| (i, j)).collect();
-        assert_eq!(
-            cells,
-            vec![(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]
-        );
+        assert_eq!(cells, vec![(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]);
     }
 
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)] // bounds are debug_assert!s; release elides them
     fn lower_triangle_access_panics_in_debug() {
         let m = TriMatrix::<u8>::new(3);
         // i > j is invalid.

@@ -243,7 +243,12 @@ impl BtfStreamWriter<std::io::BufWriter<std::fs::File>> {
         metadata: &[(String, String)],
     ) -> Result<Self> {
         let f = std::fs::File::create(path)?;
-        Self::new(std::io::BufWriter::with_capacity(1 << 20, f), hierarchy, states, metadata)
+        Self::new(
+            std::io::BufWriter::with_capacity(1 << 20, f),
+            hierarchy,
+            states,
+            metadata,
+        )
     }
 }
 
@@ -469,7 +474,8 @@ mod tests {
         let cur = std::io::Cursor::new(Vec::new());
         let mut sw = BtfStreamWriter::new(cur, &t.hierarchy, &t.states, &t.metadata).unwrap();
         for iv in &t.intervals {
-            sw.write_interval(iv.resource, iv.state, iv.begin, iv.end).unwrap();
+            sw.write_interval(iv.resource, iv.state, iv.begin, iv.end)
+                .unwrap();
         }
         let n = {
             let points = t.points.clone();
@@ -483,10 +489,12 @@ mod tests {
         let path = std::env::temp_dir().join(format!("btf-stream-{}.btf", std::process::id()));
         let mut sw = BtfStreamWriter::create(&path, &t.hierarchy, &t.states, &t.metadata).unwrap();
         for iv in &t.intervals {
-            sw.write_interval(iv.resource, iv.state, iv.begin, iv.end).unwrap();
+            sw.write_interval(iv.resource, iv.state, iv.begin, iv.end)
+                .unwrap();
         }
         sw.finish(&t.points).unwrap();
-        let back = read_binary(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        let back =
+            read_binary(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
         assert_eq!(back.intervals, t.intervals);
         assert_eq!(back.points, t.points);
         assert_eq!(back.time_range(), t.time_range());
@@ -500,7 +508,8 @@ mod tests {
         let path = std::env::temp_dir().join(format!("btf-empty-{}.btf", std::process::id()));
         let sw = BtfStreamWriter::create(&path, &h, &states, &[]).unwrap();
         sw.finish(&[]).unwrap();
-        let back = read_binary(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        let back =
+            read_binary(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
         assert!(back.intervals.is_empty());
         assert_eq!(back.hierarchy.n_leaves(), 2);
         std::fs::remove_file(&path).ok();

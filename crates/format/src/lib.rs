@@ -26,7 +26,9 @@ pub mod micro_cache;
 pub mod paje;
 pub mod text;
 
-pub use binary::{read_binary, stream_binary_micro, write_binary, BtfStreamWriter, INTERVAL_RECORD_BYTES};
+pub use binary::{
+    read_binary, stream_binary_micro, write_binary, BtfStreamWriter, INTERVAL_RECORD_BYTES,
+};
 pub use error::{FormatError, Result};
 pub use io::{read_micro, read_trace, write_trace, Format};
 pub use micro_cache::{load_micro, read_micro_cache, save_micro, write_micro};

@@ -1,7 +1,8 @@
 //! OMM — the cached microscopic-model format.
 //!
-//! The paper's §V.B workflow: a 50-minute preprocessing pass (trace reading
-//! + microscopic description) buys instantaneous interaction afterwards.
+//! The paper's §V.B workflow: a 50-minute preprocessing pass (trace
+//! reading plus microscopic description) buys instantaneous interaction
+//! afterwards.
 //! Ocelotl makes that economy durable by *caching the microscopic model on
 //! disk*; this module is that cache. An `.omm` file stores the complete
 //! [`MicroModel`] — hierarchy, states, time grid and the dense
@@ -21,7 +22,9 @@
 use crate::binary::{put_str, read_len_str};
 use crate::error::{FormatError, Result};
 use bytes::BufMut;
-use ocelotl_trace::{Hierarchy, HierarchyBuilder, LeafId, MicroModel, StateId, StateRegistry, TimeGrid};
+use ocelotl_trace::{
+    Hierarchy, HierarchyBuilder, LeafId, MicroModel, StateId, StateRegistry, TimeGrid,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;

@@ -14,9 +14,9 @@
 //! exactly for traces without overlapping states per resource.
 
 use crate::error::{FormatError, Result};
-use ocelotl_trace::{HierarchyBuilder, LeafId, StateId, Trace, TraceBuilder};
 #[cfg(test)]
 use ocelotl_trace::Hierarchy;
+use ocelotl_trace::{HierarchyBuilder, LeafId, StateId, Trace, TraceBuilder};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
@@ -50,14 +50,26 @@ pub fn write_paje<W: Write>(trace: &Trace, mut w: W) -> Result<()> {
     for (kind, parent) in &kinds {
         match parent {
             None => writeln!(w, "{} CT_{kind} 0 \"{kind}\"", ids::DEFINE_CONTAINER_TYPE)?,
-            Some(p) => writeln!(w, "{} CT_{kind} CT_{p} \"{kind}\"", ids::DEFINE_CONTAINER_TYPE)?,
+            Some(p) => writeln!(
+                w,
+                "{} CT_{kind} CT_{p} \"{kind}\"",
+                ids::DEFINE_CONTAINER_TYPE
+            )?,
         }
     }
 
     // One state type on the leaf container type.
     let leaf_kind = h.kind(h.leaf_node(LeafId(0)));
-    writeln!(w, "{} ST_state CT_{leaf_kind} \"State\"", ids::DEFINE_STATE_TYPE)?;
-    writeln!(w, "{} V_idle ST_state \"{IDLE}\" \"0.5 0.5 0.5\"", ids::DEFINE_ENTITY_VALUE)?;
+    writeln!(
+        w,
+        "{} ST_state CT_{leaf_kind} \"State\"",
+        ids::DEFINE_STATE_TYPE
+    )?;
+    writeln!(
+        w,
+        "{} V_idle ST_state \"{IDLE}\" \"0.5 0.5 0.5\"",
+        ids::DEFINE_ENTITY_VALUE
+    )?;
     for (sid, name) in trace.states.iter() {
         writeln!(
             w,

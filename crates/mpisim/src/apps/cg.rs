@@ -231,7 +231,13 @@ mod tests {
         assert!(stats.intervals > 0);
         assert!(trace.check_invariants().is_ok());
         // All six engine states appear.
-        for s in ["MPI_Init", "Compute", "MPI_Send", "MPI_Wait", "MPI_Allreduce"] {
+        for s in [
+            "MPI_Init",
+            "Compute",
+            "MPI_Send",
+            "MPI_Wait",
+            "MPI_Allreduce",
+        ] {
             assert!(trace.states.get(s).is_some(), "missing state {s}");
         }
     }

@@ -128,9 +128,7 @@ pub fn build_programs(platform: &Platform, cfg: &LuConfig) -> Vec<Vec<Op>> {
         let mut ops = Vec::new();
         // 1. Long init (staggered by machine, noisy per rank).
         ops.push(Op::Init {
-            duration: cfg.init_base
-                + 0.01 * loc.machine as f64
-                + 0.6 * rng.random::<f64>(),
+            duration: cfg.init_base + 0.01 * loc.machine as f64 + 0.6 * rng.random::<f64>(),
         });
         // 2. Setup phase: heterogeneous computes + 2 allreduces.
         for _ in 0..2 {
@@ -142,23 +140,9 @@ pub fn build_programs(platform: &Platform, cfg: &LuConfig) -> Vec<Vec<Op>> {
         // 3. SSOR iterations.
         for it in 0..cfg.itmax {
             // blts: wavefront from the north-west corner.
-            sweep(
-                &mut ops,
-                cfg,
-                &mut rng,
-                speed,
-                [north, west],
-                [south, east],
-            );
+            sweep(&mut ops, cfg, &mut rng, speed, [north, west], [south, east]);
             // buts: wavefront back from the south-east corner.
-            sweep(
-                &mut ops,
-                cfg,
-                &mut rng,
-                speed,
-                [south, east],
-                [north, west],
-            );
+            sweep(&mut ops, cfg, &mut rng, speed, [south, east], [north, west]);
             if it % cfg.allreduce_every == 0 {
                 ops.push(Op::Allreduce { bytes: 40 });
             }

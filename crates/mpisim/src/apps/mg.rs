@@ -59,7 +59,9 @@ impl MgConfig {
     /// Levels actually exchanged on an `n`-rank run (stride must stay
     /// inside the ring).
     pub fn active_levels(&self, n_ranks: usize) -> usize {
-        (0..self.levels).filter(|&l| (1usize << l) < n_ranks).count()
+        (0..self.levels)
+            .filter(|&l| (1usize << l) < n_ranks)
+            .count()
     }
 
     /// Estimated total event count (2 per state interval) for the platform.
@@ -166,7 +168,13 @@ mod tests {
         let (trace, stats) = Engine::new(&p, &net, 1).run(build_programs(&p, &tiny()), &[]);
         assert!(stats.intervals > 0);
         assert!(trace.check_invariants().is_ok());
-        for s in ["MPI_Init", "Compute", "MPI_Send", "MPI_Wait", "MPI_Allreduce"] {
+        for s in [
+            "MPI_Init",
+            "Compute",
+            "MPI_Send",
+            "MPI_Wait",
+            "MPI_Allreduce",
+        ] {
             assert!(trace.states.get(s).is_some(), "missing state {s}");
         }
     }

@@ -333,9 +333,7 @@ impl<'a> Engine<'a> {
                             }
                         };
                         let key = (src, rank);
-                        if let Some(arrival) =
-                            channels.get_mut(&key).and_then(|q| q.pop_front())
-                        {
+                        if let Some(arrival) = channels.get_mut(&key).and_then(|q| q.pop_front()) {
                             let end = arrival.max(clock);
                             emit(rank, sid, clock, end);
                             intervals += 1;
@@ -404,7 +402,10 @@ impl<'a> Engine<'a> {
             "simulation deadlock: ranks {stuck:?} never completed"
         );
 
-        SimStats { intervals, makespan }
+        SimStats {
+            intervals,
+            makespan,
+        }
     }
 }
 
@@ -461,11 +462,7 @@ mod tests {
         programs[1] = vec![Op::Compute { duration: 5.0 }, Op::Recv { src: 0 }];
         let (trace, _) = Engine::new(&p, &net, 1).run(programs, &[]);
         let recv = trace.states.get("MPI_Recv").unwrap();
-        let iv = trace
-            .intervals
-            .iter()
-            .find(|iv| iv.state == recv)
-            .unwrap();
+        let iv = trace.intervals.iter().find(|iv| iv.state == recv).unwrap();
         // Message arrived long before the recv was posted: near-zero wait.
         assert!(iv.duration() < 1e-6, "duration {}", iv.duration());
     }
@@ -514,11 +511,7 @@ mod tests {
             .collect();
         let (trace, _) = Engine::new(&p, &net, 1).run(programs, &[]);
         let ar = trace.states.get("MPI_Allreduce").unwrap();
-        let ivs: Vec<_> = trace
-            .intervals
-            .iter()
-            .filter(|iv| iv.state == ar)
-            .collect();
+        let ivs: Vec<_> = trace.intervals.iter().filter(|iv| iv.state == ar).collect();
         assert_eq!(ivs.len(), 4);
         let end = ivs[0].end;
         assert!(ivs.iter().all(|iv| (iv.end - end).abs() < 1e-12));
@@ -536,7 +529,9 @@ mod tests {
         let programs = (0..4)
             .map(|r| {
                 vec![
-                    Op::Compute { duration: 1.0 + r as f64 * 0.5 },
+                    Op::Compute {
+                        duration: 1.0 + r as f64 * 0.5,
+                    },
                     Op::Barrier,
                     Op::Compute { duration: 0.1 },
                 ]
@@ -595,7 +590,10 @@ mod tests {
         assert_eq!(t1.intervals, t2.intervals);
         assert_eq!(s1.intervals, s2.intervals);
         let (t3, _) = Engine::new(&p, &net, 43).run(make(), &[]);
-        assert_ne!(t1.intervals, t3.intervals, "different seed, different jitter");
+        assert_ne!(
+            t1.intervals, t3.intervals,
+            "different seed, different jitter"
+        );
     }
 
     #[test]
@@ -639,8 +637,7 @@ mod tests {
         let p = tiny_platform();
         let net = quiet_network(&p);
         let programs = vec![vec![Op::Compute { duration: 1.0 }]; 4];
-        let (trace, _) =
-            Engine::new(&p, &net, 1).run(programs, &[("app", "test".to_string())]);
+        let (trace, _) = Engine::new(&p, &net, 1).run(programs, &[("app", "test".to_string())]);
         assert_eq!(trace.meta("app"), Some("test"));
     }
 }

@@ -333,11 +333,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot bind")]
     fn overcommitted_platform_panics() {
-        Platform::new(
-            "x",
-            vec![cl("c", 1, 4, Nic::GbE, 1.0)],
-            5,
-        );
+        Platform::new("x", vec![cl("c", 1, 4, Nic::GbE, 1.0)], 5);
     }
 
     #[test]

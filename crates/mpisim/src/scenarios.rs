@@ -70,11 +70,13 @@ pub fn scenario(case: CaseId, scale: f64) -> Scenario {
             )
         }
         CaseId::B => (
-            App::Cg(cg::CgConfig {
-                inner_iters: 95,
-                ..cg::CgConfig::default()
-            }
-            .scaled(scale)),
+            App::Cg(
+                cg::CgConfig {
+                    inner_iters: 95,
+                    ..cg::CgConfig::default()
+                }
+                .scaled(scale),
+            ),
             49_149_440,
             (1.8 * 1e9) as u64,
         ),
@@ -89,21 +91,25 @@ pub fn scenario(case: CaseId, scale: f64) -> Scenario {
                 machines: vec![40, 41, 42, 43],
             });
             (
-                App::Lu(lu::LuConfig {
-                    heterogeneous_cluster: Some(1), // graphite
-                    ..lu::LuConfig::default()
-                }
-                .scaled(scale)),
+                App::Lu(
+                    lu::LuConfig {
+                        heterogeneous_cluster: Some(1), // graphite
+                        ..lu::LuConfig::default()
+                    }
+                    .scaled(scale),
+                ),
                 218_457_456,
                 (8.3 * 1e9) as u64,
             )
         }
         CaseId::D => (
-            App::Lu(lu::LuConfig {
-                nz: 40, // class B: smaller problem per rank
-                ..lu::LuConfig::default()
-            }
-            .scaled(scale)),
+            App::Lu(
+                lu::LuConfig {
+                    nz: 40, // class B: smaller problem per rank
+                    ..lu::LuConfig::default()
+                }
+                .scaled(scale),
+            ),
             177_376_729,
             (6.7 * 1e9) as u64,
         ),
@@ -177,8 +183,7 @@ impl Scenario {
             programs,
             &mut |rank, sid, b, e| {
                 if io_error.is_none() {
-                    if let Err(err) =
-                        writer.write_interval(ocelotl_trace::LeafId(rank), sid, b, e)
+                    if let Err(err) = writer.write_interval(ocelotl_trace::LeafId(rank), sid, b, e)
                     {
                         io_error = Some(err);
                     }
@@ -265,7 +270,12 @@ mod tests {
         // Same multiset of intervals (emission order may differ only in
         // stable ways; compare sorted).
         let key = |iv: &ocelotl_trace::StateInterval| {
-            (iv.resource.0, iv.state.0, iv.begin.to_bits(), iv.end.to_bits())
+            (
+                iv.resource.0,
+                iv.state.0,
+                iv.begin.to_bits(),
+                iv.end.to_bits(),
+            )
         };
         let mut a: Vec<_> = back.intervals.iter().map(key).collect();
         let mut b: Vec<_> = trace.intervals.iter().map(key).collect();

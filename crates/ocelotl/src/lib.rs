@@ -22,6 +22,13 @@
 //! let input = AggregationInput::build(&model);
 //! let partition = aggregate_default(&input, 0.5).partition(&input);
 //! assert!(partition.validate(model.hierarchy(), 30).is_ok());
+//!
+//! // For big grids, pick the gain/loss backend by memory budget instead:
+//! // `MemoryMode::Auto` keeps the paper's dense O(|S||T|²) matrices while
+//! // they fit and switches to O(|S||T||X|) lazy evaluation beyond.
+//! let cube = CubeBackend::build(&model, MemoryMode::Auto);
+//! let same = aggregate_default(&cube, 0.5).partition(&cube);
+//! assert_eq!(partition, same);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,7 +44,8 @@ pub use ocelotl_viz as viz;
 pub mod prelude {
     pub use ocelotl_core::{
         aggregate, aggregate_default, product_aggregation, quality, significant_partitions,
-        AggregationInput, Area, Cut, CutTree, DpConfig, Partition,
+        AggregationInput, Area, CubeBackend, Cut, CutTree, DenseCube, DpConfig, LazyCube,
+        MemoryMode, Partition, QualityCube,
     };
     pub use ocelotl_mpisim::{CaseId, Platform, Scenario};
     pub use ocelotl_trace::{

@@ -58,7 +58,16 @@ impl MicroModel {
                     || vec![0.0f64; size],
                     |mut acc, chunk| {
                         for iv in chunk {
-                            accumulate(&mut acc, n_states, n_slices, &grid, iv.resource, iv.state, iv.begin, iv.end);
+                            accumulate(
+                                &mut acc,
+                                n_states,
+                                n_slices,
+                                &grid,
+                                iv.resource,
+                                iv.state,
+                                iv.begin,
+                                iv.end,
+                            );
                         }
                         acc
                     },
@@ -75,7 +84,16 @@ impl MicroModel {
         } else {
             let mut acc = vec![0.0f64; size];
             for iv in &trace.intervals {
-                accumulate(&mut acc, n_states, n_slices, &grid, iv.resource, iv.state, iv.begin, iv.end);
+                accumulate(
+                    &mut acc,
+                    n_states,
+                    n_slices,
+                    &grid,
+                    iv.resource,
+                    iv.state,
+                    iv.begin,
+                    iv.end,
+                );
             }
             acc
         };
@@ -254,8 +272,7 @@ impl MicroModel {
             for x in 0..n_states {
                 let series = self.series(LeafId(old_leaf as u32), StateId(x as u16));
                 let dst = (new_leaf * n_states + x) * n_slices;
-                durations[dst..dst + n_slices]
-                    .copy_from_slice(&series[first_slice..=last_slice]);
+                durations[dst..dst + n_slices].copy_from_slice(&series[first_slice..=last_slice]);
             }
         }
         debug_assert_eq!(hierarchy.n_leaves(), n_leaves);
@@ -567,8 +584,14 @@ mod tests {
             }
         }
         // Leaf names preserved in order.
-        assert_eq!(sub.hierarchy().name(sub.hierarchy().leaf_node(LeafId(0))), "a");
-        assert_eq!(sub.hierarchy().name(sub.hierarchy().leaf_node(LeafId(1))), "b");
+        assert_eq!(
+            sub.hierarchy().name(sub.hierarchy().leaf_node(LeafId(0))),
+            "a"
+        );
+        assert_eq!(
+            sub.hierarchy().name(sub.hierarchy().leaf_node(LeafId(1))),
+            "b"
+        );
     }
 
     #[test]
@@ -580,8 +603,7 @@ mod tests {
         assert_eq!(sub.n_leaves(), 1);
         for t in 0..20 {
             assert!(
-                (sub.rho(LeafId(0), StateId(0), t) - m.rho(LeafId(5), StateId(0), t)).abs()
-                    < 1e-12
+                (sub.rho(LeafId(0), StateId(0), t) - m.rho(LeafId(5), StateId(0), t)).abs() < 1e-12
             );
         }
     }
@@ -605,18 +627,16 @@ mod tests {
         let m = MicroModel::from_trace(&t, 5).unwrap();
         let grid = *m.grid();
         let states = StateRegistry::from_names(["load"]);
-        let other = MicroModel::from_dense(
-            m.hierarchy().clone(),
-            states,
-            grid,
-            vec![0.5; 2 * 5],
-        );
+        let other = MicroModel::from_dense(m.hierarchy().clone(), states, grid, vec![0.5; 2 * 5]);
         let stacked = m.stack(&other, "hw:");
         assert_eq!(stacked.n_states(), 3);
         assert_eq!(stacked.n_leaves(), 2);
         // Original layers preserved.
         let a = stacked.states().get("A").unwrap();
-        assert_eq!(stacked.duration(LeafId(0), a, 0), m.duration(LeafId(0), m.states().get("A").unwrap(), 0));
+        assert_eq!(
+            stacked.duration(LeafId(0), a, 0),
+            m.duration(LeafId(0), m.states().get("A").unwrap(), 0)
+        );
         // New layer reachable under its prefixed name.
         let load = stacked.states().get("hw:load").unwrap();
         assert_eq!(stacked.duration(LeafId(1), load, 3), 0.5);

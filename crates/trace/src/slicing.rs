@@ -19,7 +19,10 @@ impl TimeGrid {
     /// Create a grid; requires `end > start` and `n_slices ≥ 1`.
     pub fn new(start: Time, end: Time, n_slices: usize) -> Self {
         assert!(n_slices >= 1, "need at least one slice");
-        assert!(end > start, "grid must have positive extent (start={start}, end={end})");
+        assert!(
+            end > start,
+            "grid must have positive extent (start={start}, end={end})"
+        );
         Self {
             start,
             end,
@@ -92,7 +95,10 @@ impl TimeGrid {
         let (first, last) = if e <= b {
             (1, 0) // empty
         } else {
-            (self.slice_of(b), self.slice_of(e - 1e-300).max(self.slice_of(b)))
+            (
+                self.slice_of(b),
+                self.slice_of(e - 1e-300).max(self.slice_of(b)),
+            )
         };
         ProrateIter {
             grid: self,

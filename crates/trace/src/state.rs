@@ -54,9 +54,7 @@ impl StateRegistry {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
-        let id = StateId(
-            u16::try_from(self.names.len()).expect("more than 65535 distinct states"),
-        );
+        let id = StateId(u16::try_from(self.names.len()).expect("more than 65535 distinct states"));
         self.names.push(name.to_string());
         self.index.insert(name.to_string(), id);
         id

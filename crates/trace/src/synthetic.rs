@@ -66,7 +66,11 @@ pub fn fig3_model() -> MicroModel {
         set(s, 0, v);
         set(s, 1, v);
         // Slices 2–4: SA homogeneous (0.8); SB/SC heterogeneous.
-        let v = if s < 4 { 0.8 } else { 0.10 + 0.09 * (s - 4) as f64 };
+        let v = if s < 4 {
+            0.8
+        } else {
+            0.10 + 0.09 * (s - 4) as f64
+        };
         for t in 2..5 {
             set(s, t, v);
         }
@@ -178,12 +182,7 @@ pub fn block_model(
 
 /// Random micro model: balanced hierarchy, uniform random proportions.
 /// Deterministic for a given seed.
-pub fn random_model(
-    fanouts: &[usize],
-    n_slices: usize,
-    n_states: usize,
-    seed: u64,
-) -> MicroModel {
+pub fn random_model(fanouts: &[usize], n_slices: usize, n_states: usize, seed: u64) -> MicroModel {
     let hierarchy = Hierarchy::balanced(fanouts);
     let states =
         StateRegistry::from_names((0..n_states).map(|i| format!("st{i}")).collect::<Vec<_>>());
@@ -230,9 +229,7 @@ mod tests {
         let m = fig3_model();
         for s in 0..12 {
             for t in 0..20 {
-                let total: f64 = (0..2)
-                    .map(|x| m.rho(LeafId(s), StateId(x), t))
-                    .sum();
+                let total: f64 = (0..2).map(|x| m.rho(LeafId(s), StateId(x), t)).sum();
                 assert!((total - 1.0).abs() < 1e-9, "cell ({s},{t}) sums to {total}");
             }
         }

@@ -193,12 +193,7 @@ impl VariableTrace {
     /// Before a resource's first sample the signal is considered unrecorded
     /// (no mass — `Σ_x ρ_x < 1` there, which the measures handle); after the
     /// last sample the value holds until the grid end.
-    pub fn micro_model(
-        &self,
-        variable: VariableId,
-        grid: TimeGrid,
-        bins: &BinSpec,
-    ) -> MicroModel {
+    pub fn micro_model(&self, variable: VariableId, grid: TimeGrid, bins: &BinSpec) -> MicroModel {
         let var_name = self.variables.name(variable);
         let states = StateRegistry::from_names(
             (0..bins.n_bins()).map(|b| format!("{var_name}∈{}", bins.label(b))),
@@ -348,7 +343,11 @@ impl BinSpec {
             hi > lo || n_bins == 1,
             "degenerate value range needs a single bin"
         );
-        let w = if n_bins == 1 { 1.0 } else { (hi - lo) / n_bins as f64 };
+        let w = if n_bins == 1 {
+            1.0
+        } else {
+            (hi - lo) / n_bins as f64
+        };
         let edges = (0..=n_bins).map(|i| lo + w * i as f64).collect();
         Self { edges }
     }

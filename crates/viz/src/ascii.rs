@@ -6,7 +6,7 @@
 //! (cross) overlays on visual aggregates.
 
 use crate::visual_agg::Item;
-use ocelotl_core::AggregationInput;
+use ocelotl_core::QualityCube;
 use std::fmt::Write as _;
 
 /// Options for the ASCII renderer.
@@ -28,7 +28,7 @@ impl Default for AsciiOptions {
 }
 
 /// Render items to a multi-line string (plot + legend).
-pub fn render_ascii(input: &AggregationInput, items: &[Item], opts: &AsciiOptions) -> String {
+pub fn render_ascii<C: QualityCube>(input: &C, items: &[Item], opts: &AsciiOptions) -> String {
     let h = input.hierarchy();
     let n_leaves = h.n_leaves();
     let n_slices = input.n_slices();
@@ -149,7 +149,13 @@ mod tests {
 
     #[test]
     fn dimensions_match_options() {
-        let out = render(0.4, &AsciiOptions { width: 40, height: 12 });
+        let out = render(
+            0.4,
+            &AsciiOptions {
+                width: 40,
+                height: 12,
+            },
+        );
         let plot_lines: Vec<&str> = out
             .lines()
             .filter(|l| l.contains('|') && !l.contains('+'))
@@ -173,7 +179,13 @@ mod tests {
     fn no_idle_cells_for_full_occupancy_model() {
         // fig3's two states always sum to 1, so no '.' should remain inside
         // the plot (every cell has a confident or contested mode).
-        let out = render(0.4, &AsciiOptions { width: 20, height: 12 });
+        let out = render(
+            0.4,
+            &AsciiOptions {
+                width: 20,
+                height: 12,
+            },
+        );
         for line in out.lines().filter(|l| l.contains('|')) {
             let body = line.split('|').nth(1).unwrap_or("");
             assert!(!body.contains('.'), "idle cell in {line:?}");
@@ -200,7 +212,11 @@ mod tests {
         let mut sorted = letters.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), 4, "glyphs must be pairwise distinct: {letters:?}");
+        assert_eq!(
+            sorted.len(),
+            4,
+            "glyphs must be pairwise distinct: {letters:?}"
+        );
         assert_eq!(letters[0], b'C', "first state keeps its initial");
     }
 
@@ -236,8 +252,17 @@ mod tests {
 
     #[test]
     fn more_rows_than_leaves_is_clamped() {
-        let out = render(0.5, &AsciiOptions { width: 30, height: 100 });
-        let plot_lines = out.lines().filter(|l| l.contains('|') && !l.contains('+')).count();
+        let out = render(
+            0.5,
+            &AsciiOptions {
+                width: 30,
+                height: 100,
+            },
+        );
+        let plot_lines = out
+            .lines()
+            .filter(|l| l.contains('|') && !l.contains('+'))
+            .count();
         assert_eq!(plot_lines, 12, "rows clamp to |S|");
     }
 }

@@ -28,24 +28,105 @@ impl Color {
 /// The paper's Fig. 1 colors for the common MPI states, then a fallback
 /// palette for anything else.
 const SEMANTIC: &[(&str, Color)] = &[
-    ("MPI_Init", Color { r: 0xe6, g: 0xc8, b: 0x1e }),      // yellow
-    ("MPI_Send", Color { r: 0x2e, g: 0xa0, b: 0x2e }),      // green
-    ("MPI_Wait", Color { r: 0xd6, g: 0x2a, b: 0x2a }),      // red
-    ("MPI_Recv", Color { r: 0xe6, g: 0x7e, b: 0x22 }),      // orange
-    ("MPI_Allreduce", Color { r: 0x2a, g: 0x5c, b: 0xd6 }), // blue
-    ("Compute", Color { r: 0x9a, g: 0x9a, b: 0x9a }),       // gray
-    ("MPI_Barrier", Color { r: 0x8e, g: 0x44, b: 0xad }),   // purple
+    (
+        "MPI_Init",
+        Color {
+            r: 0xe6,
+            g: 0xc8,
+            b: 0x1e,
+        },
+    ), // yellow
+    (
+        "MPI_Send",
+        Color {
+            r: 0x2e,
+            g: 0xa0,
+            b: 0x2e,
+        },
+    ), // green
+    (
+        "MPI_Wait",
+        Color {
+            r: 0xd6,
+            g: 0x2a,
+            b: 0x2a,
+        },
+    ), // red
+    (
+        "MPI_Recv",
+        Color {
+            r: 0xe6,
+            g: 0x7e,
+            b: 0x22,
+        },
+    ), // orange
+    (
+        "MPI_Allreduce",
+        Color {
+            r: 0x2a,
+            g: 0x5c,
+            b: 0xd6,
+        },
+    ), // blue
+    (
+        "Compute",
+        Color {
+            r: 0x9a,
+            g: 0x9a,
+            b: 0x9a,
+        },
+    ), // gray
+    (
+        "MPI_Barrier",
+        Color {
+            r: 0x8e,
+            g: 0x44,
+            b: 0xad,
+        },
+    ), // purple
 ];
 
 const FALLBACK: &[Color] = &[
-    Color { r: 0x17, g: 0xbe, b: 0xcf },
-    Color { r: 0xbc, g: 0xbd, b: 0x22 },
-    Color { r: 0xe3, g: 0x77, b: 0xc2 },
-    Color { r: 0x8c, g: 0x56, b: 0x4b },
-    Color { r: 0x1f, g: 0x77, b: 0xb4 },
-    Color { r: 0xff, g: 0x7f, b: 0x0e },
-    Color { r: 0x2c, g: 0xa0, b: 0x2c },
-    Color { r: 0x98, g: 0xdf, b: 0x8a },
+    Color {
+        r: 0x17,
+        g: 0xbe,
+        b: 0xcf,
+    },
+    Color {
+        r: 0xbc,
+        g: 0xbd,
+        b: 0x22,
+    },
+    Color {
+        r: 0xe3,
+        g: 0x77,
+        b: 0xc2,
+    },
+    Color {
+        r: 0x8c,
+        g: 0x56,
+        b: 0x4b,
+    },
+    Color {
+        r: 0x1f,
+        g: 0x77,
+        b: 0xb4,
+    },
+    Color {
+        r: 0xff,
+        g: 0x7f,
+        b: 0x0e,
+    },
+    Color {
+        r: 0x2c,
+        g: 0xa0,
+        b: 0x2c,
+    },
+    Color {
+        r: 0x98,
+        g: 0xdf,
+        b: 0x8a,
+    },
 ];
 
 /// Stable mapping from states to colors.
@@ -231,11 +312,27 @@ mod tests {
     #[test]
     fn ycbcr_roundtrip_is_close() {
         for c in [
-            Color { r: 230, g: 200, b: 30 },
-            Color { r: 46, g: 160, b: 46 },
-            Color { r: 214, g: 42, b: 42 },
+            Color {
+                r: 230,
+                g: 200,
+                b: 30,
+            },
+            Color {
+                r: 46,
+                g: 160,
+                b: 46,
+            },
+            Color {
+                r: 214,
+                g: 42,
+                b: 42,
+            },
             Color { r: 0, g: 0, b: 0 },
-            Color { r: 255, g: 255, b: 255 },
+            Color {
+                r: 255,
+                g: 255,
+                b: 255,
+            },
         ] {
             let (y, cb, cr) = rgb_to_ycbcr(c);
             let back = ycbcr_to_rgb(y, cb, cr);
@@ -247,7 +344,11 @@ mod tests {
 
     #[test]
     fn full_confidence_keeps_the_base_color() {
-        let base = Color { r: 46, g: 160, b: 46 };
+        let base = Color {
+            r: 46,
+            g: 160,
+            b: 46,
+        };
         for enc in [ConfidenceEncoding::Alpha, ConfidenceEncoding::YCbCr] {
             let c = confidence_color(base, 1.0, enc);
             assert!((c.r as i16 - base.r as i16).abs() <= 1, "{enc:?}");
@@ -258,7 +359,11 @@ mod tests {
 
     #[test]
     fn zero_confidence_is_achromatic_in_ycbcr() {
-        let base = Color { r: 214, g: 42, b: 42 };
+        let base = Color {
+            r: 214,
+            g: 42,
+            b: 42,
+        };
         let c = confidence_color(base, 0.0, ConfidenceEncoding::YCbCr);
         // All channels equal (gray) within rounding.
         assert!((c.r as i16 - c.g as i16).abs() <= 2, "{c:?}");
@@ -267,9 +372,20 @@ mod tests {
 
     #[test]
     fn alpha_zero_confidence_is_white() {
-        let base = Color { r: 10, g: 20, b: 30 };
+        let base = Color {
+            r: 10,
+            g: 20,
+            b: 30,
+        };
         let c = confidence_color(base, 0.0, ConfidenceEncoding::Alpha);
-        assert_eq!(c, Color { r: 255, g: 255, b: 255 });
+        assert_eq!(
+            c,
+            Color {
+                r: 255,
+                g: 255,
+                b: 255
+            }
+        );
     }
 
     #[test]
@@ -278,9 +394,21 @@ mod tests {
         // for different hues (the paper's motivation for YCbCr).
         let conf = 0.5;
         for base in [
-            Color { r: 214, g: 42, b: 42 },
-            Color { r: 46, g: 160, b: 46 },
-            Color { r: 42, g: 92, b: 214 },
+            Color {
+                r: 214,
+                g: 42,
+                b: 42,
+            },
+            Color {
+                r: 46,
+                g: 160,
+                b: 46,
+            },
+            Color {
+                r: 42,
+                g: 92,
+                b: 214,
+            },
         ] {
             let (_, cb0, cr0) = rgb_to_ycbcr(base);
             let faded = confidence_color(base, conf, ConfidenceEncoding::YCbCr);
@@ -294,7 +422,11 @@ mod tests {
 
     #[test]
     fn hex_format() {
-        let c = Color { r: 255, g: 0, b: 16 };
+        let c = Color {
+            r: 255,
+            g: 0,
+            b: 16,
+        };
         assert_eq!(c.hex(), "#ff0010");
     }
 }

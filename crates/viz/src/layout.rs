@@ -103,9 +103,25 @@ mod tests {
         let h = Hierarchy::balanced(&[2, 2]);
         let l = Layout::new(100.0, 40.0, 4, 10);
         let full = l.rect_of(&h, &Area::new(h.root(), 0, 9));
-        assert_eq!(full, Rect { x0: 0.0, y0: 0.0, x1: 100.0, y1: 40.0 });
+        assert_eq!(
+            full,
+            Rect {
+                x0: 0.0,
+                y0: 0.0,
+                x1: 100.0,
+                y1: 40.0
+            }
+        );
         let half = l.rect_of(&h, &Area::new(h.top_level()[1], 5, 9));
-        assert_eq!(half, Rect { x0: 50.0, y0: 20.0, x1: 100.0, y1: 40.0 });
+        assert_eq!(
+            half,
+            Rect {
+                x0: 50.0,
+                y0: 20.0,
+                x1: 100.0,
+                y1: 40.0
+            }
+        );
         assert_eq!(half.width(), 50.0);
         assert_eq!(half.height(), 20.0);
     }

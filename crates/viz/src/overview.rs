@@ -4,7 +4,7 @@
 use crate::ascii::{render_ascii, AsciiOptions};
 use crate::svg::{render_svg, SvgOptions};
 use crate::visual_agg::{visually_aggregate, VisualAggregation};
-use ocelotl_core::{aggregate, AggregationInput, DpConfig, Partition};
+use ocelotl_core::{aggregate, DpConfig, Partition, QualityCube};
 
 /// Options of the end-to-end overview pipeline.
 #[derive(Debug, Clone)]
@@ -44,8 +44,8 @@ pub struct Overview {
     pub options: OverviewOptions,
 }
 
-/// Build the overview for cached aggregation inputs.
-pub fn overview(input: &AggregationInput, options: OverviewOptions) -> Overview {
+/// Build the overview for any quality cube.
+pub fn overview<C: QualityCube>(input: &C, options: OverviewOptions) -> Overview {
     let tree = aggregate(input, options.p, &DpConfig::default());
     let partition = tree.partition(input);
     let rows_per_leaf = options.height / input.hierarchy().n_leaves() as f64;
@@ -60,7 +60,7 @@ pub fn overview(input: &AggregationInput, options: OverviewOptions) -> Overview 
 
 impl Overview {
     /// Render as a standalone SVG document.
-    pub fn to_svg(&self, input: &AggregationInput) -> String {
+    pub fn to_svg<C: QualityCube>(&self, input: &C) -> String {
         render_svg(
             input,
             &self.visual.items,
@@ -74,7 +74,7 @@ impl Overview {
     }
 
     /// Render as terminal text.
-    pub fn to_ascii(&self, input: &AggregationInput, width: usize, height: usize) -> String {
+    pub fn to_ascii<C: QualityCube>(&self, input: &C, width: usize, height: usize) -> String {
         render_ascii(input, &self.visual.items, &AsciiOptions { width, height })
     }
 }

@@ -3,7 +3,7 @@
 //! per-aggregate summary table — the static counterpart of the Ocelotl UI.
 
 use crate::overview::{overview, OverviewOptions};
-use ocelotl_core::{quality, significant_partitions, AggregationInput, DpConfig, PEntry};
+use ocelotl_core::{quality, significant_partitions, DpConfig, PEntry, QualityCube};
 use std::fmt::Write as _;
 
 /// Options of the report generator.
@@ -53,7 +53,7 @@ pub struct LevelRow {
 }
 
 /// Generate the full report; returns the HTML document.
-pub fn html_report(input: &AggregationInput, opts: &ReportOptions) -> String {
+pub fn html_report<C: QualityCube>(input: &C, opts: &ReportOptions) -> String {
     let entries = significant_partitions(input, &DpConfig::default(), opts.p_resolution);
     let rows: Vec<LevelRow> = entries
         .iter()
@@ -227,12 +227,15 @@ fn quality_curve_svg(rows: &[LevelRow]) -> String {
 }
 
 fn esc(t: &str) -> String {
-    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    t.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ocelotl_core::AggregationInput;
     use ocelotl_trace::synthetic::fig3_model;
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::color::Palette;
 use crate::layout::Layout;
 use crate::visual_agg::{Item, VisualMark};
-use ocelotl_core::AggregationInput;
+use ocelotl_core::QualityCube;
 
 use std::fmt::Write as _;
 
@@ -40,7 +40,7 @@ const MARGIN_BOTTOM: f64 = 34.0;
 const LEGEND_HEIGHT: f64 = 26.0;
 
 /// Render items (from `visually_aggregate`) as a standalone SVG document.
-pub fn render_svg(input: &AggregationInput, items: &[Item], opts: &SvgOptions) -> String {
+pub fn render_svg<C: QualityCube>(input: &C, items: &[Item], opts: &SvgOptions) -> String {
     let h = input.hierarchy();
     let palette = Palette::for_states(input.states());
     let layout = Layout::new(opts.width, opts.height, h.n_leaves(), input.n_slices());
@@ -59,10 +59,7 @@ pub fn render_svg(input: &AggregationInput, items: &[Item], opts: &SvgOptions) -
         s,
         "<rect x=\"0\" y=\"0\" width=\"{total_w:.0}\" height=\"{total_h:.0}\" fill=\"white\"/>"
     );
-    let _ = writeln!(
-        s,
-        "<g transform=\"translate({MARGIN_LEFT},{MARGIN_TOP})\">"
-    );
+    let _ = writeln!(s, "<g transform=\"translate({MARGIN_LEFT},{MARGIN_TOP})\">");
 
     // Aggregates.
     for item in items {
@@ -179,7 +176,9 @@ pub fn render_svg(input: &AggregationInput, items: &[Item], opts: &SvgOptions) -
 }
 
 fn xml_escape(t: &str) -> String {
-    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    t.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

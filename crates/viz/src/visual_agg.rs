@@ -13,7 +13,7 @@
 //! their temporal boundaries.
 
 use crate::color::{mode, Mode};
-use ocelotl_core::{AggregationInput, Area, Partition};
+use ocelotl_core::{Area, Partition, QualityCube};
 use ocelotl_trace::{Hierarchy, NodeId};
 use std::collections::HashMap;
 
@@ -57,8 +57,8 @@ pub struct VisualAggregation {
 /// `min_rows` is the pixel threshold expressed in *leaf rows*: a node
 /// spanning fewer than `min_rows` leaves is too short to draw (for a canvas
 /// of height `H` px and threshold `θ` px, pass `θ / (H / |S|)`).
-pub fn visually_aggregate(
-    input: &AggregationInput,
+pub fn visually_aggregate<C: QualityCube>(
+    input: &C,
     partition: &Partition,
     min_rows: f64,
 ) -> VisualAggregation {
@@ -255,13 +255,37 @@ mod tests {
             8,
             &[
                 // cluster 0 (leaves 0,1): same phase change at t=4.
-                Block { leaves: 0..2, slices: 0..4, rho: vec![0.9, 0.1] },
-                Block { leaves: 0..2, slices: 4..8, rho: vec![0.1, 0.9] },
+                Block {
+                    leaves: 0..2,
+                    slices: 0..4,
+                    rho: vec![0.9, 0.1],
+                },
+                Block {
+                    leaves: 0..2,
+                    slices: 4..8,
+                    rho: vec![0.1, 0.9],
+                },
                 // cluster 1: leaf 2 changes at t=2, leaf 3 at t=6.
-                Block { leaves: 2..3, slices: 0..2, rho: vec![0.9, 0.1] },
-                Block { leaves: 2..3, slices: 2..8, rho: vec![0.2, 0.8] },
-                Block { leaves: 3..4, slices: 0..6, rho: vec![0.8, 0.2] },
-                Block { leaves: 3..4, slices: 6..8, rho: vec![0.1, 0.9] },
+                Block {
+                    leaves: 2..3,
+                    slices: 0..2,
+                    rho: vec![0.9, 0.1],
+                },
+                Block {
+                    leaves: 2..3,
+                    slices: 2..8,
+                    rho: vec![0.2, 0.8],
+                },
+                Block {
+                    leaves: 3..4,
+                    slices: 0..6,
+                    rho: vec![0.8, 0.2],
+                },
+                Block {
+                    leaves: 3..4,
+                    slices: 6..8,
+                    rho: vec![0.1, 0.9],
+                },
             ],
         );
         let input = AggregationInput::build(&m);

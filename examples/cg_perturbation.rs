@@ -99,7 +99,11 @@ fn main() {
         impacted.len()
     );
     for (leaf, inw, out) in impacted.iter().take(10) {
-        println!("  rank {leaf:>2}: MPI_Send+MPI_Wait {:.0} % in-window vs {:.0} % baseline", inw * 100.0, out * 100.0);
+        println!(
+            "  rank {leaf:>2}: MPI_Send+MPI_Wait {:.0} % in-window vs {:.0} % baseline",
+            inw * 100.0,
+            out * 100.0
+        );
     }
     if impacted.len() > 10 {
         println!("  … and {} more", impacted.len() - 10);

@@ -28,7 +28,10 @@ fn main() {
     println!("Fig. 3 artificial trace: |S| = 12 (3 clusters), |T| = 20, |X| = 2\n");
 
     // --- Fig 3.c vs 3.d: product of 1-D optima vs true 2-D optimum -------
-    println!("{:<6} {:>10} {:>10} {:>12} {:>8} {:>8}", "p", "pIC(2D)", "pIC(SxT)", "advantage", "2D areas", "SxT areas");
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "p", "pIC(2D)", "pIC(SxT)", "advantage", "2D areas", "SxT areas"
+    );
     for p in [0.1, 0.25, 0.5, 0.75, 0.9] {
         let tree = aggregate_default(&input, p);
         let part2d = tree.partition(&input);

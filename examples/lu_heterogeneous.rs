@@ -67,7 +67,11 @@ fn main() {
     let spans_root = part.areas().iter().any(|a| a.node == h.root());
     println!(
         "\n1. clusters separated spatially: {}",
-        if spans_root { "NO (root-level aggregate remains)" } else { "yes" }
+        if spans_root {
+            "NO (root-level aggregate remains)"
+        } else {
+            "yes"
+        }
     );
 
     // 2. Graphite is more fragmented (spatially heterogeneous) than
@@ -95,11 +99,7 @@ fn main() {
     let hits = part
         .areas()
         .iter()
-        .filter(|a| {
-            h.is_ancestor(griffon, a.node)
-                && a.first_slice > r0
-                && a.first_slice <= r1 + 1
-        })
+        .filter(|a| h.is_ancestor(griffon, a.node) && a.first_slice > r0 && a.first_slice <= r1 + 1)
         .count();
     println!(
         "3. griffon aggregates opening a boundary in the 34.5 s window (slices {r0}..={r1}): {hits}"

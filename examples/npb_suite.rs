@@ -19,17 +19,11 @@ fn main() {
     let kernels: Vec<(&str, Vec<Vec<Op>>)> = vec![
         (
             "CG (butterfly exchange + machine reductions)",
-            cg::build_programs(
-                &platform,
-                &cg::CgConfig::default().scaled(0.05),
-            ),
+            cg::build_programs(&platform, &cg::CgConfig::default().scaled(0.05)),
         ),
         (
             "LU (SSOR wavefront)",
-            lu::build_programs(
-                &platform,
-                &lu::LuConfig::default().scaled(0.05),
-            ),
+            lu::build_programs(&platform, &lu::LuConfig::default().scaled(0.05)),
         ),
         (
             "MG (V-cycle halo exchange)",

@@ -136,10 +136,7 @@ fn main() {
                 .find_path(path)
                 .unwrap_or_else(|| panic!("--zoom: no node at path {path:?}"));
             let sub = model.submodel(node, 0, model.n_slices() - 1);
-            println!(
-                "zoomed into {path:?}: |S| = {} resources",
-                sub.n_leaves()
-            );
+            println!("zoomed into {path:?}: |S| = {} resources", sub.n_leaves());
             sub
         }
     };
@@ -198,7 +195,10 @@ fn main() {
 
     if args.summary > 0 {
         println!("\nlargest aggregates:");
-        print!("{}", ocelotl::core::summary_text(&input, &ov.partition, args.summary));
+        print!(
+            "{}",
+            ocelotl::core::summary_text(&input, &ov.partition, args.summary)
+        );
     }
 
     if let Some(path) = &args.report {

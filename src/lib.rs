@@ -1,0 +1,9 @@
+//! Workspace-root crate.
+//!
+//! Exists so the repository-level `tests/` (cross-crate integration and
+//! property tests) and `examples/` have a package to hang off; the real
+//! library surface is the [`ocelotl`] facade, re-exported here verbatim.
+
+#![forbid(unsafe_code)]
+
+pub use ocelotl::*;

@@ -115,10 +115,7 @@ fn dp_equals_brute_force_on_exhaustive_instances() {
             )
             .optimal_pic(&input);
             let (bf, _) = brute_force_best(&input, p);
-            assert!(
-                (dp - bf).abs() < 1e-9,
-                "seed={seed} p={p}: dp={dp} bf={bf}"
-            );
+            assert!((dp - bf).abs() < 1e-9, "seed={seed} p={p}: dp={dp} bf={bf}");
         }
     }
 }

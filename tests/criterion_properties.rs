@@ -1,7 +1,7 @@
 //! Mathematical properties of the information criterion (Eq. 1–4) that the
 //! implementation must uphold, checked on random microscopic models.
 
-use ocelotl::core::{aggregate_default, Area, AggregationInput, Partition};
+use ocelotl::core::{aggregate_default, AggregationInput, Area, Partition};
 use ocelotl::prelude::*;
 use ocelotl::trace::synthetic::random_model;
 use ocelotl::trace::StateId;
@@ -82,7 +82,7 @@ proptest! {
         for node in h.node_ids() {
             let (i, j) = (0, t - 1);
             let rhos = input.rho_aggregate_all(node, i, j);
-            for state in 0..x {
+            for (state, &rho) in rhos.iter().enumerate().take(x) {
                 let mut manual = 0.0;
                 for s in h.leaf_range(node) {
                     let mut num = 0.0;
@@ -93,9 +93,8 @@ proptest! {
                 }
                 manual /= h.n_leaves_under(node) as f64;
                 prop_assert!(
-                    (rhos[state] - manual).abs() < 1e-9,
-                    "Eq. 1 mismatch at node {node:?} state {state}: {} vs {manual}",
-                    rhos[state]
+                    (rho - manual).abs() < 1e-9,
+                    "Eq. 1 mismatch at node {node:?} state {state}: {rho} vs {manual}"
                 );
             }
         }

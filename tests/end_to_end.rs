@@ -42,7 +42,10 @@ fn simulate_serialize_stream_aggregate_render() {
                 }
             }
         }
-        assert!(max_err < 1e-9, "{name}: streamed vs direct differ by {max_err}");
+        assert!(
+            max_err < 1e-9,
+            "{name}: streamed vs direct differ by {max_err}"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -52,7 +55,10 @@ fn simulate_serialize_stream_aggregate_render() {
     let part = aggregate_default(&input, 0.4).partition(&input);
     part.validate(model.hierarchy(), 30).unwrap();
     let q = quality(&input, &part);
-    assert!(q.complexity_reduction > 0.5, "overview must actually reduce: {q:?}");
+    assert!(
+        q.complexity_reduction > 0.5,
+        "overview must actually reduce: {q:?}"
+    );
     assert!(q.loss_ratio < 1.0);
 
     // 5. Render.
@@ -140,5 +146,5 @@ fn zoom_into_anomaly_region_and_reaggregate() {
     let input = AggregationInput::build(&sub);
     let part = aggregate_default(&input, 0.3).partition(&input);
     part.validate(sub.hierarchy(), sub.n_slices()).unwrap();
-    assert!(part.len() >= 1);
+    assert!(!part.is_empty());
 }

@@ -15,7 +15,9 @@ fn run_ep(n_machines: usize, cores: usize) -> Trace {
         blocks: 24,
         ..ep::EpConfig::default()
     };
-    Engine::new(&p, &net, 11).run(ep::build_programs(&p, &cfg), &[]).0
+    Engine::new(&p, &net, 11)
+        .run(ep::build_programs(&p, &cfg), &[])
+        .0
 }
 
 fn run_mg(n_machines: usize, cores: usize) -> Trace {
@@ -25,7 +27,9 @@ fn run_mg(n_machines: usize, cores: usize) -> Trace {
         cycles: 8,
         ..mg::MgConfig::default()
     };
-    Engine::new(&p, &net, 11).run(mg::build_programs(&p, &cfg), &[]).0
+    Engine::new(&p, &net, 11)
+        .run(mg::build_programs(&p, &cfg), &[])
+        .0
 }
 
 #[test]

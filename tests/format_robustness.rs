@@ -65,10 +65,7 @@ fn btf_with_huge_state_count_is_rejected() {
     write_binary(&t, &mut buf).unwrap();
     // The state-count u32 directly precedes the name "Run" (length-prefixed).
     let name = b"Run";
-    let pos = buf
-        .windows(name.len())
-        .position(|w| w == name)
-        .unwrap();
+    let pos = buf.windows(name.len()).position(|w| w == name).unwrap();
     // Layout: ... u32 n_states, u32 len("Run"), "Run" — counts at pos-8.
     buf[pos - 8..pos - 4].copy_from_slice(&(1u32 << 20).to_le_bytes());
     let err = read_binary(buf.as_slice()).unwrap_err();

@@ -9,8 +9,8 @@ use proptest::prelude::*;
 /// Strategy: a small random hierarchy (1–3 levels) plus random events.
 fn arb_trace() -> impl Strategy<Value = Trace> {
     (
-        1usize..4,                          // clusters
-        1usize..4,                          // machines per cluster
+        1usize..4, // clusters
+        1usize..4, // machines per cluster
         prop::collection::vec((0f64..100.0, 0f64..5.0, 0usize..4), 0..200),
         prop::collection::vec((0f64..100.0, 0usize..3), 0..20),
     )
@@ -25,7 +25,12 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
             let h = b.build().unwrap();
             let n = h.n_leaves();
             let mut tb = TraceBuilder::new(h);
-            let states = [tb.state("Compute"), tb.state("MPI_Send"), tb.state("MPI_Wait"), tb.state("MPI_Recv")];
+            let states = [
+                tb.state("Compute"),
+                tb.state("MPI_Send"),
+                tb.state("MPI_Wait"),
+                tb.state("MPI_Recv"),
+            ];
             tb.push_meta("generator", "proptest");
             for (i, (begin, dur, x)) in ivs.into_iter().enumerate() {
                 let leaf = LeafId((i % n) as u32);
@@ -39,7 +44,11 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                     1 => PointKind::MsgSend { peer },
                     _ => PointKind::MsgRecv { peer },
                 };
-                tb.push_point(PointEvent { resource, time: t, kind });
+                tb.push_point(PointEvent {
+                    resource,
+                    time: t,
+                    kind,
+                });
             }
             tb.build()
         })

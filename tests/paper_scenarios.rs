@@ -22,8 +22,8 @@ fn window_stress(
     let mut outn = 0usize;
     for leaf in h.leaf_range(machine_node) {
         for t in 0..model.n_slices() {
-            let v = model.rho(LeafId(leaf as u32), send, t)
-                + model.rho(LeafId(leaf as u32), wait, t);
+            let v =
+                model.rho(LeafId(leaf as u32), send, t) + model.rho(LeafId(leaf as u32), wait, t);
             if (s0..=s1).contains(&t) {
                 inw += v;
                 inn += 1;
@@ -119,11 +119,7 @@ fn case_a_init_phase_aggregates_cleanly() {
 
     let part = aggregate_default(&input, 0.4).partition(&input);
     // Slice 0..=2 lie inside MPI_Init (≈1.4 s of ≈8.7 s at 30 slices).
-    let init_areas: Vec<_> = part
-        .areas()
-        .iter()
-        .filter(|a| a.first_slice <= 2)
-        .collect();
+    let init_areas: Vec<_> = part.areas().iter().filter(|a| a.first_slice <= 2).collect();
     assert!(
         init_areas.len() <= 4,
         "init phase should be a handful of aggregates, got {}",

@@ -113,11 +113,14 @@ fn product_partition_is_valid_but_coarser_family() {
             .or_default()
             .insert((a.first_slice, a.last_slice));
     }
-    let distinct: HashSet<_> = per_node.values().map(|s| {
-        let mut v: Vec<_> = s.iter().copied().collect();
-        v.sort_unstable();
-        v
-    }).collect();
+    let distinct: HashSet<_> = per_node
+        .values()
+        .map(|s| {
+            let mut v: Vec<_> = s.iter().copied().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
     assert!(
         distinct.len() > 1,
         "the 2-D optimum should use different interval sets per node"

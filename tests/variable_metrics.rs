@@ -101,11 +101,7 @@ fn load_spike_opens_temporal_cuts_on_the_spiking_machine() {
         let machine = h.children(h.top_level()[0])[1];
         part.areas()
             .iter()
-            .filter(|a| {
-                h.is_ancestor(machine, a.node)
-                    && a.first_slice > 8
-                    && a.first_slice <= 12
-            })
+            .filter(|a| h.is_ancestor(machine, a.node) && a.first_slice > 8 && a.first_slice <= 12)
             .count()
     };
 
