@@ -1,12 +1,12 @@
 //! `ocelotl aggregate <trace>` — compute and summarize the optimal
-//! spatiotemporal partition.
+//! spatiotemporal partition, through the shared [`AnalysisSession`].
 
 use crate::args::Args;
-use crate::helpers::{build_cube, describe_cube, obtain_model, run_dp, Metric};
+use crate::helpers::{describe_cube, open_session, SESSION_OPTS};
 use crate::CliError;
 use ocelotl::core::{
-    compare_partitions, inspect_area, product_aggregation, quality, summary_text, MemoryMode,
-    Partition,
+    compare_partitions, inspect_area, product_aggregation, quality, summary_text, AnalysisSession,
+    Partition, QualityCube,
 };
 use std::io::Write;
 use std::path::Path;
@@ -24,6 +24,9 @@ OPTIONS:
     --memory M       gain/loss cube backend: dense | lazy | auto (default
                      auto: dense while the O(|S||T|^2) matrices fit in 1 GiB,
                      lazy beyond - O(|S||T||X|) memory, O(|X|) per query)
+    --cache DIR      persist session artifacts (.ocube/.opart) under DIR so
+                     the next invocation is warm (default: OCELOTL_CACHE_DIR)
+    --no-cache       disable artifact caching even if the env var is set
     --coarse         prefer the coarsest partition among pIC ties
     --list N         also print the N most populated aggregates
     --compare        also score the paper's SIII.D baselines (1-D optima,
@@ -40,59 +43,46 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&[
-        "help", "slices", "p", "metric", "memory", "coarse", "list", "compare", "diff-p", "tsv",
-    ])?;
+    let mut known = vec!["help", "p", "coarse", "list", "compare", "diff-p", "tsv"];
+    known.extend(SESSION_OPTS);
+    args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
-    let n_slices: usize = args.get_or("slices", 30)?;
     let p: f64 = args.get_or("p", 0.5)?;
-    let metric: Metric = args.get_or("metric", Metric::States)?;
-    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
+    let coarse = args.has("coarse");
 
-    let model = obtain_model(path, n_slices, metric)?;
-    let input = build_cube(&model, memory);
-    let tree = run_dp(&input, p, args.has("coarse"))?;
-    let partition = tree.partition(&input);
-    let q = quality(&input, &partition);
-
-    writeln!(
-        out,
-        "model:       {} resources x {} slices x {} states ({:?} metric)",
-        model.n_leaves(),
-        model.n_slices(),
-        model.n_states(),
-        metric
-    )?;
-    writeln!(out, "p:           {p}")?;
-    writeln!(out, "memory:      {}", describe_cube(&input))?;
-    writeln!(
-        out,
-        "aggregates:  {} (of {} microscopic cells)",
-        partition.len(),
-        q.n_cells
-    )?;
-    writeln!(out, "complexity:  -{:.2} %", 100.0 * q.complexity_reduction)?;
-    writeln!(
-        out,
-        "information: loss {:.6} bits (ratio {:.4}), gain {:.6} bits (ratio {:.4})",
-        q.loss, q.loss_ratio, q.gain, q.gain_ratio
-    )?;
-    writeln!(out, "pIC:         {:.6}", tree.optimal_pic(&input))?;
+    let mut session = open_session(&args, path)?;
+    let partition = session.partition_at(p, coarse)?;
+    // Everything below is answered from the session's cube — a warm run
+    // never touches the trace (except --compare, which needs the raw
+    // microscopic model for the 1-D baselines).
+    let diffed: Option<(f64, Partition)> = match args.get("diff-p")? {
+        Some(s) => {
+            let p2: f64 = s
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid --diff-p value {s:?}")))?;
+            Some((p2, session.partition_at(p2, coarse)?))
+        }
+        None => None,
+    };
+    let grid = session.grid()?;
+    let source = session.cube_source();
+    write_summary(&mut session, &partition, p, out, source)?;
 
     if let Some(n) = args.get("list")? {
         let n: usize = n
             .parse()
             .map_err(|_| CliError::Usage(format!("invalid --list value {n:?}")))?;
         writeln!(out, "\ntop {n} aggregates by cell count:")?;
-        out.write_all(summary_text(&input, &partition, n).as_bytes())?;
+        out.write_all(summary_text(session.cube()?, &partition, n).as_bytes())?;
     }
 
     if args.has("compare") {
         // §III.D: spatial-and-temporal is not spatiotemporal — score the
         // unidimensional optima and their product against Algorithm 1.
+        let (model, cube) = session.model_and_cube()?;
         let h = model.hierarchy();
         let t = model.n_slices();
-        let prod = product_aggregation(&model, p);
+        let prod = product_aggregation(model, p);
         let spatial_2d = Partition::product(&prod.spatial.nodes, &[(0, t - 1)]);
         let temporal_2d = Partition::product(&[h.root()], &prod.temporal.intervals);
         writeln!(out, "\nbaseline comparison at p = {p} (SIII.D):")?;
@@ -110,17 +100,14 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 "{:<28} {:>8} {:>14.6}",
                 name,
                 part.len(),
-                part.pic(&input, p)
+                part.pic(cube, p)
             )?;
         }
     }
 
-    if let Some(p2) = args.get("diff-p")? {
-        let p2: f64 = p2
-            .parse()
-            .map_err(|_| CliError::Usage(format!("invalid --diff-p value {p2:?}")))?;
-        let other = run_dp(&input, p2, args.has("coarse"))?.partition(&input);
-        let c = compare_partitions(model.hierarchy(), model.n_slices(), &partition, &other);
+    if let Some((p2, other)) = diffed {
+        let cube = session.cube()?;
+        let c = compare_partitions(cube.hierarchy(), cube.n_slices(), &partition, &other);
         writeln!(out, "\noverview change from p = {p} to p = {p2}:")?;
         writeln!(
             out,
@@ -142,13 +129,14 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
 
     if let Some(tsv) = args.get("tsv")? {
+        let cube = session.cube()?;
         let mut body = String::from(
             "node\tfirst_slice\tlast_slice\tt0\tt1\tresources\tmode\tconfidence\tloss\tgain\n",
         );
         for area in partition.areas() {
-            let r = inspect_area(&input, area);
-            let (t0, _) = model.grid().slice_bounds(area.first_slice);
-            let (_, t1) = model.grid().slice_bounds(area.last_slice);
+            let r = inspect_area(cube, area);
+            let (t0, _) = grid.slice_bounds(area.first_slice);
+            let (_, t1) = grid.slice_bounds(area.last_slice);
             body.push_str(&format!(
                 "{}\t{}\t{}\t{t0:.9}\t{t1:.9}\t{}\t{}\t{:.6}\t{:.9}\t{:.9}\n",
                 r.path,
@@ -167,10 +155,49 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The headline block shared with cold and warm paths: model shape, cube
+/// provenance, partition quality, total pIC (via the partition's own
+/// additive sum, identical on both paths).
+fn write_summary(
+    session: &mut AnalysisSession,
+    partition: &Partition,
+    p: f64,
+    out: &mut dyn Write,
+    source: Option<ocelotl::core::CubeSource>,
+) -> Result<(), CliError> {
+    let metric = session.config().metric;
+    let cube = session.cube()?;
+    let q = quality(cube, partition);
+    writeln!(
+        out,
+        "model:       {} resources x {} slices x {} states ({:?} metric)",
+        cube.hierarchy().n_leaves(),
+        cube.n_slices(),
+        cube.n_states(),
+        metric
+    )?;
+    writeln!(out, "p:           {p}")?;
+    writeln!(out, "memory:      {}", describe_cube(cube, source))?;
+    writeln!(
+        out,
+        "aggregates:  {} (of {} microscopic cells)",
+        partition.len(),
+        q.n_cells
+    )?;
+    writeln!(out, "complexity:  -{:.2} %", 100.0 * q.complexity_reduction)?;
+    writeln!(
+        out,
+        "information: loss {:.6} bits (ratio {:.4}), gain {:.6} bits (ratio {:.4})",
+        q.loss, q.loss_ratio, q.gain, q.gain_ratio
+    )?;
+    writeln!(out, "pIC:         {:.6}", partition.pic(cube, p))?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::helpers::fixture_trace;
+    use crate::helpers::{fixture_trace, Metric};
 
     fn run_ok(line: String) -> String {
         let tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
@@ -339,6 +366,32 @@ mod tests {
             .collect();
         let mut out = Vec::new();
         assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn warm_cache_output_is_identical_to_cold() {
+        let p = fixture_trace("agg-warm");
+        let cache = std::env::temp_dir().join(format!("ocelotl-agg-warm-{}", std::process::id()));
+        std::fs::remove_dir_all(&cache).ok();
+        let line = format!(
+            "{} --slices 10 --p 0.4 --list 5 --cache {}",
+            p.display(),
+            cache.display()
+        );
+        let cold = run_ok(line.clone());
+        let warm = run_ok(line);
+        // The provenance note differs; every analysis line must not.
+        assert!(cold.contains("cold build"), "{cold}");
+        assert!(warm.contains("warm .ocube"), "{warm}");
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("memory:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&cold), strip(&warm));
+        std::fs::remove_dir_all(&cache).ok();
         std::fs::remove_file(&p).ok();
     }
 }

@@ -1,11 +1,12 @@
 //! `ocelotl inspect <trace>` — detail one aggregate of the optimal
 //! partition (the paper's §VI interaction: retrieve the data behind a
-//! rectangle of the overview).
+//! rectangle of the overview). Served from the shared `AnalysisSession`,
+//! so a warm run answers without ever reading the trace.
 
 use crate::args::Args;
-use crate::helpers::{build_cube, obtain_model, run_dp, Metric};
+use crate::helpers::{open_session, SESSION_OPTS};
 use crate::CliError;
-use ocelotl::core::{area_at, inspect_area, MemoryMode};
+use ocelotl::core::{area_at, inspect_area, QualityCube as _};
 use ocelotl::trace::LeafId;
 use std::io::Write;
 use std::path::Path;
@@ -24,6 +25,8 @@ OPTIONS:
     --p F            trade-off parameter in [0, 1] (default 0.5)
     --metric M       states | density (default states)
     --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
+    --cache DIR      persist session artifacts so the next run is warm
+                     (default: OCELOTL_CACHE_DIR); --no-cache disables
     --coarse         prefer the coarsest partition among pIC ties
 ";
 
@@ -34,39 +37,42 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&[
-        "help", "leaf", "slice", "slices", "p", "metric", "memory", "coarse",
-    ])?;
+    let mut known = vec!["help", "leaf", "slice", "p", "coarse"];
+    known.extend(SESSION_OPTS);
+    args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
     let leaf: usize = args.require("leaf")?;
     let slice: usize = args.require("slice")?;
-    let n_slices: usize = args.get_or("slices", 30)?;
     let p: f64 = args.get_or("p", 0.5)?;
-    let metric: Metric = args.get_or("metric", Metric::States)?;
 
-    let model = obtain_model(path, n_slices, metric)?;
-    if leaf >= model.n_leaves() {
-        return Err(CliError::Invalid(format!(
-            "leaf {leaf} out of range (trace has {})",
-            model.n_leaves()
-        )));
+    let mut session = open_session(&args, path)?;
+    // Validate the cell against the cube's shape before paying for the
+    // DP: an out-of-range --leaf/--slice must fail fast.
+    {
+        let cube = session.cube()?;
+        if leaf >= cube.hierarchy().n_leaves() {
+            return Err(CliError::Invalid(format!(
+                "leaf {leaf} out of range (trace has {})",
+                cube.hierarchy().n_leaves()
+            )));
+        }
+        if slice >= cube.n_slices() {
+            return Err(CliError::Invalid(format!(
+                "slice {slice} out of range (model has {})",
+                cube.n_slices()
+            )));
+        }
     }
-    if slice >= n_slices {
-        return Err(CliError::Invalid(format!(
-            "slice {slice} out of range (model has {n_slices})"
-        )));
-    }
-    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
-    let input = build_cube(&model, memory);
-    let tree = run_dp(&input, p, args.has("coarse"))?;
-    let partition = tree.partition(&input);
-    let area = area_at(&partition, &input, LeafId(leaf as u32), slice)
+    let partition = session.partition_at(p, args.has("coarse"))?;
+    let grid = session.grid()?;
+    let cube = session.cube()?;
+    let area = area_at(&partition, cube, LeafId(leaf as u32), slice)
         .ok_or_else(|| CliError::Invalid("cell not covered (internal error)".into()))?;
-    let report = inspect_area(&input, &area);
+    let report = inspect_area(cube, &area);
 
     let (t0, t1) = (
-        model.grid().slice_bounds(area.first_slice).0,
-        model.grid().slice_bounds(area.last_slice).1,
+        grid.slice_bounds(area.first_slice).0,
+        grid.slice_bounds(area.last_slice).1,
     );
     writeln!(out, "aggregate covering (leaf {leaf}, slice {slice}):")?;
     writeln!(out, "  node:        {}", report.path)?;

@@ -11,3 +11,4 @@ pub mod pvalues;
 pub mod render;
 pub mod report;
 pub mod simulate;
+pub mod sweep;

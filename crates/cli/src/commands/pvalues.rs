@@ -1,10 +1,11 @@
 //! `ocelotl pvalues <trace>` — the significant trade-off levels (the stops
-//! of Ocelotl's aggregation-strength slider).
+//! of Ocelotl's aggregation-strength slider), served from the shared
+//! `AnalysisSession` (a warm `.opart` answers with zero DP runs).
 
 use crate::args::Args;
-use crate::helpers::{build_cube, describe_cube, obtain_model, Metric};
+use crate::helpers::{describe_cube, open_session, SESSION_OPTS};
 use crate::CliError;
-use ocelotl::core::{quality, significant_partitions, DpConfig, MemoryMode};
+use ocelotl::core::quality;
 use std::io::Write;
 use std::path::Path;
 
@@ -20,6 +21,8 @@ OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
     --metric M       states | density (default states)
     --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
+    --cache DIR      persist session artifacts so the next run is warm
+                     (default: OCELOTL_CACHE_DIR); --no-cache disables
     --resolution F   dichotomy resolution on p (default 1e-3)
 ";
 
@@ -30,23 +33,21 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help", "slices", "metric", "memory", "resolution"])?;
+    let mut known = vec!["help", "resolution"];
+    known.extend(SESSION_OPTS);
+    args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
-    let n_slices: usize = args.get_or("slices", 30)?;
-    let metric: Metric = args.get_or("metric", Metric::States)?;
     let resolution: f64 = args.get_or("resolution", 1e-3)?;
-    if !(resolution > 0.0 && resolution < 1.0) {
-        return Err(CliError::Usage(format!(
-            "--resolution must lie in (0, 1), got {resolution}"
-        )));
-    }
 
-    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
-    let model = obtain_model(path, n_slices, metric)?;
-    let input = build_cube(&model, memory);
-    let entries = significant_partitions(&input, &DpConfig::default(), resolution);
+    let mut session = open_session(&args, path)?;
+    let entries = session.significant(resolution)?;
+    // Force the cube (the quality columns need it) before reading its
+    // provenance — a fully warm table may not have touched it yet.
+    session.cube()?;
+    let source = session.cube_source();
+    let cube = session.cube()?;
 
-    writeln!(out, "memory: {}", describe_cube(&input))?;
+    writeln!(out, "memory: {}", describe_cube(cube, source))?;
     writeln!(
         out,
         "{} significant levels (resolution {resolution}):",
@@ -58,7 +59,7 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "p_low", "p_high", "areas", "loss_ratio", "reduction"
     )?;
     for e in &entries {
-        let q = quality(&input, &e.partition);
+        let q = quality(cube, &e.partition);
         writeln!(
             out,
             "{:>12.4} {:>12.4} {:>10} {:>12.4} {:>11.2}%",
@@ -112,6 +113,25 @@ mod tests {
             .collect();
         let mut out = Vec::new();
         assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn warm_run_lists_identical_levels() {
+        let p = fixture_trace("pvalues-warm");
+        let cache = std::env::temp_dir().join(format!("ocelotl-pv-warm-{}", std::process::id()));
+        std::fs::remove_dir_all(&cache).ok();
+        let line = format!("{} --slices 10 --cache {}", p.display(), cache.display());
+        let cold = run_ok(line.clone());
+        let warm = run_ok(line);
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("memory:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&cold), strip(&warm));
+        std::fs::remove_dir_all(&cache).ok();
         std::fs::remove_file(&p).ok();
     }
 }

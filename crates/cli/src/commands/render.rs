@@ -1,11 +1,12 @@
 //! `ocelotl render <trace>` — draw the aggregated overview (SVG/ASCII) or
-//! the microscopic Gantt chart.
+//! the microscopic Gantt chart. The overview renders from the shared
+//! `AnalysisSession`'s artifacts (a warm cached partition draws without
+//! re-running the optimizer); only `--gantt` reads raw events.
 
 use crate::args::Args;
-use crate::helpers::{build_cube, is_micro_cache, load_trace, obtain_model, run_dp, Metric};
+use crate::helpers::{is_micro_cache, load_trace, open_session, SESSION_OPTS};
 use crate::CliError;
-use ocelotl::core::MemoryMode;
-use ocelotl::viz::{clutter_metrics, overview, render_gantt_svg, OverviewOptions};
+use ocelotl::viz::{clutter_metrics, overview_with_partition, render_gantt_svg, OverviewOptions};
 use std::io::Write;
 use std::path::Path;
 
@@ -20,6 +21,8 @@ OPTIONS:
     --p F            trade-off parameter in [0, 1] (default 0.5)
     --metric M       states | density (default states)
     --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
+    --cache DIR      persist session artifacts so the next run is warm
+                     (default: OCELOTL_CACHE_DIR); --no-cache disables
     --coarse         prefer the coarsest partition among pIC ties
     --out FILE       write SVG here (default: overview.svg next to input)
     --ascii          print an ASCII overview to stdout instead of SVG
@@ -35,10 +38,11 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&[
-        "help", "slices", "p", "metric", "memory", "coarse", "out", "ascii", "width", "height",
-        "gantt",
-    ])?;
+    let mut known = vec![
+        "help", "p", "coarse", "out", "ascii", "width", "height", "gantt",
+    ];
+    known.extend(SESSION_OPTS);
+    args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
 
     if args.has("gantt") {
@@ -79,35 +83,34 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Ok(());
     }
 
-    let n_slices: usize = args.get_or("slices", 30)?;
     let p: f64 = args.get_or("p", 0.5)?;
-    let metric: Metric = args.get_or("metric", Metric::States)?;
-    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
-    let model = obtain_model(path, n_slices, metric)?;
-    let time_range = Some((model.grid().start(), model.grid().end()));
-    let input = build_cube(&model, memory);
-    // Validate p and tie-breaking through the shared path.
-    run_dp(&input, p, args.has("coarse"))?;
+    let mut session = open_session(&args, path)?;
+    let partition = session.partition_at(p, args.has("coarse"))?;
+    let grid = session.grid()?;
+    let time_range = Some((grid.start(), grid.end()));
+    let cube = session.cube()?;
 
     if args.has("ascii") {
         let width: usize = args.get_or("width", 96)?;
         let height: usize = args.get_or("height", 24)?;
-        let ov = overview(
-            &input,
+        let ov = overview_with_partition(
+            cube,
+            partition,
             OverviewOptions {
                 p,
                 time_range,
                 ..OverviewOptions::default()
             },
         );
-        out.write_all(ov.to_ascii(&input, width, height).as_bytes())?;
+        out.write_all(ov.to_ascii(cube, width, height).as_bytes())?;
         return Ok(());
     }
 
     let width: f64 = args.get_or("width", 960.0)?;
     let height: f64 = args.get_or("height", 480.0)?;
-    let ov = overview(
-        &input,
+    let ov = overview_with_partition(
+        cube,
+        partition,
         OverviewOptions {
             p,
             width,
@@ -116,7 +119,7 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             ..OverviewOptions::default()
         },
     );
-    let svg = ov.to_svg(&input);
+    let svg = ov.to_svg(cube);
     let svg_path = output_path(&args, path, "overview.svg")?;
     std::fs::write(&svg_path, svg)?;
     writeln!(out, "wrote {}", svg_path.display())?;
@@ -188,5 +191,28 @@ mod tests {
         assert!(text.contains(&expected.display().to_string()));
         std::fs::remove_file(&p).ok();
         std::fs::remove_file(&expected).ok();
+    }
+
+    #[test]
+    fn warm_svg_is_byte_identical_to_cold() {
+        let p = fixture_trace("render-warm");
+        let svg = p.with_extension("svg");
+        let cache =
+            std::env::temp_dir().join(format!("ocelotl-render-warm-{}", std::process::id()));
+        std::fs::remove_dir_all(&cache).ok();
+        let line = format!(
+            "{} --slices 10 --p 0.4 --out {} --cache {}",
+            p.display(),
+            svg.display(),
+            cache.display()
+        );
+        run_ok(line.clone());
+        let cold = std::fs::read_to_string(&svg).unwrap();
+        run_ok(line);
+        let warm = std::fs::read_to_string(&svg).unwrap();
+        assert_eq!(cold, warm, "cached partition must render identically");
+        std::fs::remove_dir_all(&cache).ok();
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&svg).ok();
     }
 }

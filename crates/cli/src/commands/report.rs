@@ -1,10 +1,11 @@
-//! `ocelotl report <trace>` — self-contained HTML analysis report.
+//! `ocelotl report <trace>` — self-contained HTML analysis report,
+//! generated from the shared `AnalysisSession`'s artifacts (a warm
+//! `.opart` renders the whole report with zero DP runs).
 
 use crate::args::Args;
-use crate::helpers::{build_cube, obtain_model, Metric};
+use crate::helpers::{open_session, SESSION_OPTS};
 use crate::CliError;
-use ocelotl::core::MemoryMode;
-use ocelotl::viz::{html_report, ReportOptions};
+use ocelotl::viz::{html_report_from_entries, ReportOptions};
 use std::io::Write;
 use std::path::Path;
 
@@ -18,6 +19,8 @@ OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
     --metric M       states | density (default states)
     --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
+    --cache DIR      persist session artifacts so the next run is warm
+                     (default: OCELOTL_CACHE_DIR); --no-cache disables
     --out FILE       output path (default: <input>.report.html)
     --levels N       overviews embedded in the report (default 4)
     --title S        report title (default: input file name)
@@ -30,12 +33,10 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&[
-        "help", "slices", "metric", "memory", "out", "levels", "title",
-    ])?;
+    let mut known = vec!["help", "out", "levels", "title"];
+    known.extend(SESSION_OPTS);
+    args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
-    let n_slices: usize = args.get_or("slices", 30)?;
-    let metric: Metric = args.get_or("metric", Metric::States)?;
     let levels: usize = args.get_or("levels", 4)?;
     let title = match args.get("title")? {
         Some(t) => t.to_string(),
@@ -45,17 +46,21 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .unwrap_or_else(|| "trace".into()),
     };
 
-    let memory: MemoryMode = args.get_or("memory", MemoryMode::Auto)?;
-    let model = obtain_model(path, n_slices, metric)?;
-    let time_range = Some((model.grid().start(), model.grid().end()));
-    let input = build_cube(&model, memory);
-    let html = html_report(
-        &input,
+    let mut session = open_session(&args, path)?;
+    let opts = ReportOptions {
+        title,
+        rendered_levels: levels,
+        ..ReportOptions::default()
+    };
+    let entries = session.significant(opts.p_resolution)?;
+    let grid = session.grid()?;
+    let cube = session.cube()?;
+    let html = html_report_from_entries(
+        cube,
+        &entries,
         &ReportOptions {
-            title,
-            rendered_levels: levels,
-            time_range,
-            ..ReportOptions::default()
+            time_range: Some((grid.start(), grid.end())),
+            ..opts
         },
     );
     let out_path = match args.get("out")? {
@@ -88,6 +93,33 @@ mod tests {
         run(&tokens, &mut out).unwrap();
         let content = std::fs::read_to_string(&html).unwrap();
         assert!(content.contains("<html") || content.contains("<!DOCTYPE"));
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&html).ok();
+    }
+
+    #[test]
+    fn warm_report_is_byte_identical_to_cold() {
+        let p = fixture_trace("report-warm");
+        let html = p.with_extension("html");
+        let cache =
+            std::env::temp_dir().join(format!("ocelotl-report-warm-{}", std::process::id()));
+        std::fs::remove_dir_all(&cache).ok();
+        let tokens: Vec<String> = format!(
+            "{} --slices 10 --out {} --levels 2 --cache {}",
+            p.display(),
+            html.display(),
+            cache.display()
+        )
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        let cold = std::fs::read_to_string(&html).unwrap();
+        run(&tokens, &mut out).unwrap();
+        let warm = std::fs::read_to_string(&html).unwrap();
+        assert_eq!(cold, warm, "cached levels must render identically");
+        std::fs::remove_dir_all(&cache).ok();
         std::fs::remove_file(&p).ok();
         std::fs::remove_file(&html).ok();
     }

@@ -1,33 +1,32 @@
 //! Shared plumbing for the subcommands: trace loading with `.paje`
-//! dispatch, metric selection, and model/input construction.
+//! dispatch, and the one `AnalysisSession` construction path every
+//! analysis command (`aggregate`, `pvalues`, `render`, `inspect`,
+//! `report`, `sweep`) goes through.
+//!
+//! ## Session & caching workflow
+//!
+//! All analysis commands share the option set `--slices`, `--metric`,
+//! `--memory`, `--cache DIR` and `--no-cache`, parsed here by
+//! [`open_session`]. When a cache directory is configured (the flag, or
+//! the `OCELOTL_CACHE_DIR` environment variable), the session persists its
+//! expensive intermediates (`.ocube` cube prefix sums, `.opart` partition
+//! tables) keyed by a hash of the trace bytes and the analysis parameters
+//! — so every command after the first is warm, and repeated queries run
+//! zero DP. See `ocelotl::core::session` for the full economy.
 
+use crate::args::Args;
 use crate::CliError;
-use ocelotl::core::{aggregate, CubeBackend, CutTree, DpConfig, MemoryMode, QualityCube};
-use ocelotl::trace::{event_density_auto, MicroModel, Trace};
+use ocelotl::core::{
+    AnalysisSession, CubeBackend, CubeSource, MemoryMode, ModelSource, QualityCube as _,
+    SessionConfig, SessionError,
+};
+use ocelotl::format::DiskStore;
+use ocelotl::trace::{MicroModel, Trace};
 use std::fs::File;
 use std::io::BufReader;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// Which microscopic metric to aggregate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Metric {
-    /// State-time proportions (the paper's model).
-    #[default]
-    States,
-    /// Peak-normalized event counts (the predecessor work's model).
-    Density,
-}
-
-impl std::str::FromStr for Metric {
-    type Err = String;
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "states" => Ok(Metric::States),
-            "density" => Ok(Metric::Density),
-            other => Err(format!("unknown metric {other:?} (states|density)")),
-        }
-    }
-}
+pub use ocelotl::core::Metric;
 
 /// True when the path names a Pajé trace (`.paje` / `.trace`).
 fn is_paje(path: &Path) -> bool {
@@ -69,11 +68,9 @@ pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), CliError> {
 
 /// Build the microscopic model for the chosen metric.
 pub fn build_model(trace: &Trace, n_slices: usize, metric: Metric) -> Result<MicroModel, CliError> {
-    let model = match metric {
-        Metric::States => MicroModel::from_trace(trace, n_slices),
-        Metric::Density => event_density_auto(trace, n_slices),
-    };
-    model.ok_or_else(|| CliError::Invalid("trace has no events to slice".into()))
+    metric
+        .build_model(trace, n_slices)
+        .ok_or_else(|| CliError::Invalid("trace has no events to slice".into()))
 }
 
 /// True when the path names a cached microscopic model (`.omm`).
@@ -98,36 +95,86 @@ pub fn obtain_model(path: &Path, n_slices: usize, metric: Metric) -> Result<Micr
     build_model(&trace, n_slices, metric)
 }
 
-/// Run Algorithm 1 with the CLI's knobs.
-pub fn run_dp<C: QualityCube>(input: &C, p: f64, coarse: bool) -> Result<CutTree, CliError> {
-    if !(0.0..=1.0).contains(&p) {
-        return Err(CliError::Usage(format!("--p must lie in [0, 1], got {p}")));
+/// The file-backed [`ModelSource`]: fingerprints the raw file bytes and
+/// produces the model on the cold path (`.omm` caches load directly).
+pub struct FileSource {
+    path: PathBuf,
+}
+
+impl FileSource {
+    /// A source reading from `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
     }
-    let config = if coarse {
-        DpConfig::coarse_ties()
-    } else {
-        DpConfig::default()
+}
+
+impl ModelSource for FileSource {
+    fn fingerprint(&self) -> Result<u64, SessionError> {
+        ocelotl::format::hash_file(&self.path)
+            .map_err(|e| SessionError::source(format!("cannot hash {}: {e}", self.path.display())))
+    }
+
+    fn model(&self, n_slices: usize, metric: Metric) -> Result<MicroModel, SessionError> {
+        obtain_model(&self.path, n_slices, metric).map_err(|e| SessionError::source(e.to_string()))
+    }
+}
+
+/// Option keys shared by every session-routed command; splice into each
+/// command's `expect_known` list.
+pub const SESSION_OPTS: [&str; 5] = ["slices", "metric", "memory", "cache", "no-cache"];
+
+/// Build the `AnalysisSession` every analysis command runs on, from the
+/// shared options (`--slices`, `--metric`, `--memory`, `--cache DIR`,
+/// `--no-cache`). Caching is enabled by `--cache DIR` or the
+/// `OCELOTL_CACHE_DIR` environment variable; `--no-cache` wins over both.
+pub fn open_session(args: &Args, path: &Path) -> Result<AnalysisSession, CliError> {
+    if !path.exists() {
+        return Err(CliError::Invalid(format!(
+            "no such file: {}",
+            path.display()
+        )));
+    }
+    let config = SessionConfig {
+        n_slices: args.get_or("slices", 30)?,
+        metric: args.get_or("metric", Metric::States)?,
+        memory: args.get_or("memory", MemoryMode::Auto)?,
     };
-    Ok(aggregate(input, p, &config))
+    let mut session = AnalysisSession::new(FileSource::new(path), config);
+    if let Some(dir) = cache_dir(args)? {
+        session = session.with_store(DiskStore::for_input(path, Some(&dir)));
+    }
+    Ok(session)
 }
 
-/// Build the gain/loss cube for the chosen `--memory` mode.
-///
-/// `auto` sizes the dense triangular matrices against the 1 GiB default
-/// ceiling and falls back to the lazy (prefix-sums-only) backend beyond it.
-pub fn build_cube(model: &MicroModel, mode: MemoryMode) -> CubeBackend {
-    CubeBackend::build(model, mode)
+/// Resolve the cache directory from `--cache` / `OCELOTL_CACHE_DIR` /
+/// `--no-cache`.
+fn cache_dir(args: &Args) -> Result<Option<PathBuf>, CliError> {
+    if args.has("no-cache") {
+        return Ok(None);
+    }
+    if let Some(dir) = args.get("cache")? {
+        return Ok(Some(PathBuf::from(dir)));
+    }
+    match std::env::var_os("OCELOTL_CACHE_DIR") {
+        Some(dir) if !dir.is_empty() => Ok(Some(PathBuf::from(dir))),
+        _ => Ok(None),
+    }
 }
 
-/// One-line description of the cube a command ended up using.
-pub fn describe_cube(cube: &CubeBackend) -> String {
+/// One-line description of the cube a command ended up using, including
+/// where it came from (cold build vs. warm `.ocube` artifact).
+pub fn describe_cube(cube: &CubeBackend, source: Option<CubeSource>) -> String {
     let mode = match cube.mode() {
         MemoryMode::Dense => "dense",
         MemoryMode::Lazy => "lazy",
         MemoryMode::Auto => unreachable!("a built cube has a fixed mode"),
     };
+    let provenance = match source {
+        Some(CubeSource::Warm) => ", warm .ocube",
+        _ => ", cold build",
+    };
     format!(
-        "{mode} ({:.1} MiB resident)",
+        "{mode} ({:.1} MiB resident{provenance})",
         cube.memory_bytes() as f64 / (1u64 << 20) as f64
     )
 }
@@ -183,6 +230,15 @@ mod tests {
     }
 
     #[test]
+    fn open_session_missing_file_is_invalid() {
+        let args = Args::parse(&[]).unwrap();
+        let Err(err) = open_session(&args, Path::new("/nonexistent/zzz.btf")) else {
+            panic!("missing file must fail");
+        };
+        assert!(matches!(err, CliError::Invalid(_)));
+    }
+
+    #[test]
     fn fixture_roundtrips_via_all_formats() {
         let src = fixture_trace("roundtrip");
         let t = load_trace(&src).unwrap();
@@ -208,27 +264,74 @@ mod tests {
     }
 
     #[test]
-    fn run_dp_rejects_bad_p() {
+    fn session_rejects_bad_p() {
         let src = fixture_trace("badp");
-        let t = load_trace(&src).unwrap();
-        let m = build_model(&t, 5, Metric::States).unwrap();
-        let input = build_cube(&m, MemoryMode::Auto);
-        assert!(run_dp(&input, 1.5, false).is_err());
-        assert!(run_dp(&input, 0.5, true).is_ok());
+        let args = Args::parse(&["--slices".into(), "5".into()]).unwrap();
+        let mut session = open_session(&args, &src).unwrap();
+        assert!(session.partition_at(1.5, false).is_err());
+        assert!(session.partition_at(0.5, true).is_ok());
         std::fs::remove_file(&src).ok();
     }
 
     #[test]
-    fn cube_modes_build_and_describe() {
+    fn session_cube_modes_build_and_describe() {
         let src = fixture_trace("cube-modes");
-        let t = load_trace(&src).unwrap();
-        let m = build_model(&t, 8, Metric::States).unwrap();
-        let dense = build_cube(&m, MemoryMode::Dense);
-        let lazy = build_cube(&m, MemoryMode::Lazy);
-        assert!(describe_cube(&dense).starts_with("dense"));
-        assert!(describe_cube(&lazy).starts_with("lazy"));
-        // Tiny model: auto must stay dense.
-        assert!(describe_cube(&build_cube(&m, MemoryMode::Auto)).starts_with("dense"));
+        for (mode, expect) in [("dense", "dense"), ("lazy", "lazy"), ("auto", "dense")] {
+            let args = Args::parse(&[
+                "--slices".into(),
+                "8".into(),
+                "--memory".into(),
+                mode.into(),
+            ])
+            .unwrap();
+            let mut session = open_session(&args, &src).unwrap();
+            let source = {
+                session.cube().unwrap();
+                session.cube_source()
+            };
+            let text = describe_cube(session.cube().unwrap(), source);
+            // Tiny model: auto must stay dense.
+            assert!(text.starts_with(expect), "{mode}: {text}");
+            assert!(text.contains("cold build"), "{text}");
+        }
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn cache_flag_round_trips_through_disk() {
+        let src = fixture_trace("cache-flag");
+        let cache = std::env::temp_dir().join(format!("ocelotl-cli-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&cache).ok();
+        let args = Args::parse(&[
+            "--slices".into(),
+            "10".into(),
+            "--cache".into(),
+            cache.display().to_string(),
+        ])
+        .unwrap();
+
+        let mut cold = open_session(&args, &src).unwrap();
+        let p_cold = cold.partition_at(0.4, false).unwrap();
+        cold.cube().unwrap();
+        assert_eq!(cold.cube_source(), Some(CubeSource::Cold));
+
+        let mut warm = open_session(&args, &src).unwrap();
+        let p_warm = warm.partition_at(0.4, false).unwrap();
+        assert_eq!(p_cold, p_warm);
+        assert_eq!(warm.dp_runs(), 0, "warm session must serve from .opart");
+
+        // --no-cache wins.
+        let args = Args::parse(&[
+            "--no-cache".into(),
+            "--cache".into(),
+            cache.display().to_string(),
+        ])
+        .unwrap();
+        let mut off = open_session(&args, &src).unwrap();
+        let _ = off.partition_at(0.4, false).unwrap();
+        assert!(off.dp_runs() > 0, "--no-cache must not read artifacts");
+
+        std::fs::remove_dir_all(&cache).ok();
         std::fs::remove_file(&src).ok();
     }
 }

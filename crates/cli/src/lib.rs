@@ -11,6 +11,7 @@
 //! ocelotl describe trace.btf --slices 30 --out trace.omm
 //! ocelotl aggregate trace.omm --p 0.5 --compare
 //! ocelotl pvalues trace.btf --slices 30
+//! ocelotl sweep trace.btf --slices 30 --steps 20
 //! ocelotl render trace.btf --p 0.5 --out overview.svg
 //! ocelotl render trace.btf --p 0.5 --ascii
 //! ocelotl inspect trace.btf --p 0.5 --leaf 3 --slice 12
@@ -20,6 +21,10 @@
 //!
 //! All subcommands are plain library functions writing to a caller-provided
 //! sink, so the whole surface is unit-testable without spawning processes.
+//! Every analysis command routes through one shared
+//! [`ocelotl::core::AnalysisSession`](ocelotl::core::AnalysisSession):
+//! with `--cache DIR` (or `OCELOTL_CACHE_DIR`) its artifacts persist, so
+//! every command after the first is warm.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,6 +74,15 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<ocelotl::core::SessionError> for CliError {
+    fn from(e: ocelotl::core::SessionError) -> Self {
+        match e {
+            ocelotl::core::SessionError::InvalidParam(m) => CliError::Usage(m),
+            ocelotl::core::SessionError::Source(m) => CliError::Invalid(m),
+        }
+    }
+}
+
 impl CliError {
     /// Conventional process exit code (2 for usage, 1 otherwise).
     pub fn exit_code(&self) -> i32 {
@@ -92,17 +106,47 @@ COMMANDS:
     describe   preprocess a trace into a cached microscopic model (.omm)
     aggregate  compute the optimal spatiotemporal partition
     pvalues    list the significant trade-off levels (the p slider stops)
+    sweep      replay the quality/p interaction loop from a warm session
     render     draw the aggregated overview (SVG or ASCII) or a Gantt chart
     inspect    detail one aggregate of the optimal partition
     convert    convert between .btf / .ptf / .paje trace formats
     report     write a self-contained HTML analysis report
     help       show this message (or `<command> --help`)
 
+GLOBAL OPTIONS:
+    --threads N      cap the executor at N threads (N = 1: sequential);
+                     the OCELOTL_THREADS environment variable is the
+                     default, for reproducible bench and CI runs
+
+Analysis commands share --cache DIR / --no-cache (default: the
+OCELOTL_CACHE_DIR environment variable): with a cache directory, the cube
+prefix sums (.ocube) and DP results (.opart) persist across invocations,
+so every command after the first is warm.
+
 Run `ocelotl <command> --help` for per-command options.
 ";
 
+/// Strip a global `--threads N` (anywhere in the argv) and return it.
+fn extract_threads(argv: &[String]) -> Result<(Vec<String>, Option<usize>), CliError> {
+    let Some(pos) = argv.iter().position(|a| a == "--threads") else {
+        return Ok((argv.to_vec(), None));
+    };
+    let n: usize = argv
+        .get(pos + 1)
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| CliError::Usage("--threads expects a thread count >= 1".into()))?;
+    let mut rest = argv.to_vec();
+    rest.drain(pos..=pos + 1);
+    Ok((rest, Some(n)))
+}
+
 /// Dispatch a full argument vector (excluding the program name).
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (argv, threads) = extract_threads(argv)?;
+    if let Some(n) = threads {
+        rayon::set_max_threads(n);
+    }
     let Some(command) = argv.first() else {
         return Err(CliError::Usage(
             "missing command (try `ocelotl help`)".into(),
@@ -119,6 +163,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "describe" => commands::describe::run(rest, out),
         "aggregate" => commands::aggregate::run(rest, out),
         "pvalues" => commands::pvalues::run(rest, out),
+        "sweep" => commands::sweep::run(rest, out),
         "render" => commands::render::run(rest, out),
         "inspect" => commands::inspect::run(rest, out),
         "convert" => commands::convert::run(rest, out),
@@ -167,5 +212,40 @@ mod tests {
         assert!(u.to_string().contains("usage"));
         assert!(i.to_string().contains("y"));
         assert_eq!(i.exit_code(), 1);
+    }
+
+    #[test]
+    fn threads_flag_is_global_and_stripped() {
+        let argv: Vec<String> = ["--threads", "2", "help"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, n) = extract_threads(&argv).unwrap();
+        assert_eq!(n, Some(2));
+        assert_eq!(rest, vec!["help".to_string()]);
+        // Also accepted after the subcommand, and applied to the executor.
+        let text = run_str("help --threads 3").unwrap();
+        assert!(text.contains("COMMANDS"));
+        assert_eq!(rayon::max_threads(), 3);
+
+        // Invalid counts are usage errors.
+        for bad in ["help --threads", "help --threads 0", "help --threads x"] {
+            assert!(matches!(run_str(bad), Err(CliError::Usage(_))), "{bad}");
+        }
+        // Restore a sane level for sibling tests in this process.
+        rayon::set_max_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                * 2,
+        );
+    }
+
+    #[test]
+    fn session_error_maps_to_cli_error() {
+        let e: CliError = ocelotl::core::SessionError::InvalidParam("p".into()).into();
+        assert!(matches!(e, CliError::Usage(_)));
+        let e: CliError = ocelotl::core::SessionError::source("boom").into();
+        assert!(matches!(e, CliError::Invalid(_)));
     }
 }

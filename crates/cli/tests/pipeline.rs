@@ -131,6 +131,56 @@ fn corrupted_cache_is_reported_not_panicked() {
     let w = Workdir::new("corrupt");
     let omm = w.path("bad.omm");
     std::fs::write(&omm, b"OMM1garbage-not-a-model").unwrap();
+    // The session wraps the format error into a reported (non-usage)
+    // failure; the underlying cause must survive in the message.
     let err = cli(&format!("aggregate {omm}")).unwrap_err();
-    assert!(matches!(err, CliError::Format(_)), "{err}");
+    assert!(
+        matches!(err, CliError::Invalid(_) | CliError::Format(_)),
+        "{err}"
+    );
+    assert!(err.to_string().contains("format error"), "{err}");
+}
+
+#[test]
+fn repeated_commands_share_one_warm_session_cache() {
+    let w = Workdir::new("warm-chain");
+    let trace = w.path("t.btf");
+    let cache = w.path("cache");
+    cli(&format!(
+        "simulate --app ep --machines 2 --cores 2 --out {trace}"
+    ))
+    .unwrap();
+    // aggregate (cold) → pvalues → sweep → render → inspect, one cache dir:
+    // after the first command every later one must report a warm cube.
+    let cold = cli(&format!("aggregate {trace} --slices 12 --cache {cache}")).unwrap();
+    assert!(cold.contains("cold build"), "{cold}");
+    let text = cli(&format!("pvalues {trace} --slices 12 --cache {cache}")).unwrap();
+    assert!(text.contains("warm .ocube"), "{text}");
+    let text = cli(&format!(
+        "sweep {trace} --slices 12 --steps 2 --cache {cache}"
+    ))
+    .unwrap();
+    assert!(text.contains("warm .ocube"), "{text}");
+    let svg = w.path("o.svg");
+    cli(&format!(
+        "render {trace} --slices 12 --out {svg} --cache {cache}"
+    ))
+    .unwrap();
+    let text = cli(&format!(
+        "inspect {trace} --slices 12 --leaf 0 --slice 0 --cache {cache}"
+    ))
+    .unwrap();
+    assert!(text.contains("aggregate covering"), "{text}");
+    // Exactly one .ocube/.opart pair lives in the cache.
+    let exts: Vec<String> = std::fs::read_dir(&cache)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| {
+            e.path()
+                .extension()
+                .map(|x| x.to_string_lossy().into_owned())
+        })
+        .collect();
+    assert_eq!(exts.iter().filter(|e| *e == "ocube").count(), 1, "{exts:?}");
+    assert_eq!(exts.iter().filter(|e| *e == "opart").count(), 1, "{exts:?}");
 }

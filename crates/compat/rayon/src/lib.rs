@@ -32,16 +32,104 @@ pub mod prelude {
 // Thread budget
 // ---------------------------------------------------------------------------
 
+static BUDGET: OnceLock<AtomicUsize> = OnceLock::new();
+/// Explicit concurrency override (0 = unset): total threads, so the token
+/// budget is `override − 1` (the caller's thread is always a worker).
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+/// Capacity the live budget was initialized/adjusted to (worker tokens).
+static CAPACITY: AtomicUsize = AtomicUsize::new(0);
+/// Tokens still to be reclaimed after a capacity shrink that found them
+/// checked out: released tokens pay this debt before refilling the pool,
+/// so `budget + outstanding − debt == capacity` holds at all times.
+static DEBT: AtomicUsize = AtomicUsize::new(0);
+
+/// Reduce [`DEBT`] by up to `amount`; returns how much was actually paid.
+fn pay_debt(amount: usize) -> usize {
+    let mut paid = 0;
+    let _ = DEBT.fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| {
+        paid = d.min(amount);
+        Some(d - paid)
+    });
+    paid
+}
+
+/// Worker-token budget for a configured thread count (pure; unit-tested).
+/// `configured` is the total concurrency (`--threads N` / `OCELOTL_THREADS`),
+/// so `N = 1` means fully sequential (zero extra workers); unset falls back
+/// to two tokens per core (spares keep nested fork–join levels busy).
+fn tokens_for(configured: Option<usize>, cores: usize) -> usize {
+    match configured {
+        Some(n) => n.max(1) - 1,
+        None => 2 * cores,
+    }
+}
+
+fn configured_threads() -> Option<usize> {
+    let explicit = CONFIGURED.load(Ordering::Acquire);
+    if explicit > 0 {
+        return Some(explicit);
+    }
+    std::env::var("OCELOTL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
 fn budget() -> &'static AtomicUsize {
-    static BUDGET: OnceLock<AtomicUsize> = OnceLock::new();
     BUDGET.get_or_init(|| {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        // A couple of spare tokens per core keeps nested fork–join levels
-        // busy without unbounded thread growth.
-        AtomicUsize::new(2 * cores)
+        let tokens = tokens_for(configured_threads(), cores);
+        CAPACITY.store(tokens, Ordering::Release);
+        AtomicUsize::new(tokens)
     })
+}
+
+/// Cap the executor at `n` total threads (`n = 1` disables parallelism).
+/// The `OCELOTL_THREADS` environment variable has the same effect; this
+/// function takes precedence. Call before issuing parallel work — an
+/// adjustment while parallel operations are in flight takes effect as
+/// their tokens are released.
+pub fn set_max_threads(n: usize) {
+    let n = n.max(1);
+    CONFIGURED.store(n, Ordering::Release);
+    if let Some(b) = BUDGET.get() {
+        // Adjust the live pool by the capacity delta so tokens currently
+        // checked out stay correctly accounted.
+        let new_cap = n - 1;
+        let old_cap = CAPACITY.swap(new_cap, Ordering::AcqRel);
+        if new_cap >= old_cap {
+            // Grow: cancel pending reclamation first, then top up the pool.
+            let grow = new_cap - old_cap;
+            let canceled = pay_debt(grow);
+            b.fetch_add(grow - canceled, Ordering::AcqRel);
+        } else {
+            // Shrink: drain what the pool has; the remainder becomes debt
+            // that released tokens pay off before refilling the pool.
+            let mut unpaid = old_cap - new_cap;
+            let _ = b.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                let take = cur.min(old_cap - new_cap);
+                unpaid = (old_cap - new_cap) - take;
+                Some(cur - take)
+            });
+            if unpaid > 0 {
+                DEBT.fetch_add(unpaid, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+/// The configured total concurrency: the explicit/env override if any,
+/// else the default sizing for this machine.
+pub fn max_threads() -> usize {
+    if BUDGET.get().is_some() {
+        return CAPACITY.load(Ordering::Acquire) + 1;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    tokens_for(configured_threads(), cores) + 1
 }
 
 /// Try to take up to `want` worker tokens; returns how many were granted.
@@ -62,7 +150,11 @@ fn acquire_workers(want: usize) -> usize {
 
 fn release_workers(n: usize) {
     if n > 0 {
-        budget().fetch_add(n, Ordering::AcqRel);
+        // Pay down any capacity-shrink debt before refilling the pool.
+        let paid = pay_debt(n);
+        if n > paid {
+            budget().fetch_add(n - paid, Ordering::AcqRel);
+        }
     }
 }
 
@@ -404,18 +496,20 @@ mod tests {
         // All tokens must be back in the pool once the panics unwound.
         // (Other tests run concurrently and borrow tokens transiently, so
         // poll briefly instead of reading one instant.)
-        let full = 2 * std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
+        let _ = budget();
         let mut seen = 0;
         for _ in 0..200 {
             seen = budget().load(Ordering::Acquire);
-            if seen == full {
+            if seen == super::CAPACITY.load(Ordering::Acquire) {
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
-        assert_eq!(seen, full, "worker tokens leaked across panics");
+        assert_eq!(
+            seen,
+            super::CAPACITY.load(Ordering::Acquire),
+            "worker tokens leaked across panics"
+        );
     }
 
     #[test]
@@ -426,6 +520,42 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn capacity_shrink_with_outstanding_tokens_never_leaks() {
+        // Check out tokens, shrink below what remains, release, restore:
+        // the pool must settle back to exactly the configured capacity
+        // (the shrink deficit is carried as debt, not dropped).
+        let _ = budget();
+        let original = super::CAPACITY.load(Ordering::Acquire);
+        let got = super::acquire_workers(2);
+        super::set_max_threads(1); // capacity -> 0 worker tokens
+        super::release_workers(got); // pays the debt first
+        super::set_max_threads(original + 1); // restore
+        let mut seen = 0;
+        for _ in 0..200 {
+            seen = budget().load(Ordering::Acquire);
+            if seen == super::CAPACITY.load(Ordering::Acquire) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(
+            seen,
+            super::CAPACITY.load(Ordering::Acquire),
+            "budget must settle to capacity after shrink/release/restore"
+        );
+    }
+
+    #[test]
+    fn token_sizing_is_pure_and_clamped() {
+        // Explicit N caps at N − 1 worker tokens; N = 0/1 go sequential.
+        assert_eq!(super::tokens_for(Some(1), 8), 0);
+        assert_eq!(super::tokens_for(Some(0), 8), 0);
+        assert_eq!(super::tokens_for(Some(4), 8), 3);
+        // Unset: two tokens per core.
+        assert_eq!(super::tokens_for(None, 8), 16);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use crate::measures::{xlog2x, AreaSums};
 use crate::tri::TriMatrix;
-use ocelotl_trace::{Hierarchy, LeafId, MicroModel, NodeId, StateId, StateRegistry};
+use ocelotl_trace::{Hierarchy, LeafId, MicroModel, NodeId, StateId, StateRegistry, TimeGrid};
 use rayon::prelude::*;
 
 /// Uniform query interface over the aggregation inputs.
@@ -126,8 +126,11 @@ impl<C: QualityCube + ?Sized> QualityCube for &C {
 pub struct CubeCore {
     hierarchy: Hierarchy,
     states: StateRegistry,
-    n_slices: usize,
-    slice_duration: f64,
+    /// The time grid of the microscopic model the core was built from.
+    /// Carrying the full grid (not just the slice duration) lets a core
+    /// deserialized from an `.ocube` artifact serve every time-axis query
+    /// (slice bounds, trace extent) without reloading the trace.
+    grid: TimeGrid,
     /// Per node: prefix sums of `Σ_s d_x(s,t)`, laid out `[state × (|T|+1)]`.
     prefix_duration: Vec<Vec<f64>>,
     /// Per node: prefix sums of `Σ_s ρ_x·log₂ρ_x`, same layout.
@@ -140,10 +143,11 @@ impl CubeCore {
     pub fn build(model: &MicroModel) -> Self {
         let hierarchy = model.hierarchy().clone();
         let states = model.states().clone();
+        let grid = *model.grid();
         let n_slices = model.n_slices();
         let n_states = model.n_states();
         let n_nodes = hierarchy.len();
-        let slice_duration = model.grid().slice_duration();
+        let slice_duration = grid.slice_duration();
         assert!(n_states >= 1, "need at least one state");
 
         let stride = n_slices + 1;
@@ -201,11 +205,50 @@ impl CubeCore {
         Self {
             hierarchy,
             states,
-            n_slices,
-            slice_duration,
+            grid,
             prefix_duration,
             prefix_info,
         }
+    }
+
+    /// Reassemble a core from its serialized parts (the `.ocube` reader's
+    /// entry point). Validates the shape invariants the builder guarantees:
+    /// one row pair per hierarchy node, each `|X| × (|T|+1)` long.
+    pub fn from_raw(
+        hierarchy: Hierarchy,
+        states: StateRegistry,
+        grid: TimeGrid,
+        prefix_duration: Vec<Vec<f64>>,
+        prefix_info: Vec<Vec<f64>>,
+    ) -> Result<Self, String> {
+        if states.is_empty() {
+            return Err("need at least one state".into());
+        }
+        let n_nodes = hierarchy.len();
+        if prefix_duration.len() != n_nodes || prefix_info.len() != n_nodes {
+            return Err(format!(
+                "prefix rows ({} duration, {} info) do not match {n_nodes} nodes",
+                prefix_duration.len(),
+                prefix_info.len()
+            ));
+        }
+        let row_len = states.len() * (grid.n_slices() + 1);
+        for (idx, (pd, pi)) in prefix_duration.iter().zip(&prefix_info).enumerate() {
+            if pd.len() != row_len || pi.len() != row_len {
+                return Err(format!(
+                    "node {idx}: row lengths ({}, {}) != |X|·(|T|+1) = {row_len}",
+                    pd.len(),
+                    pi.len()
+                ));
+            }
+        }
+        Ok(Self {
+            hierarchy,
+            states,
+            grid,
+            prefix_duration,
+            prefix_info,
+        })
     }
 
     /// The spatial hierarchy.
@@ -220,10 +263,16 @@ impl CubeCore {
         &self.states
     }
 
+    /// The time grid of the underlying microscopic model.
+    #[inline]
+    pub fn grid(&self) -> &TimeGrid {
+        &self.grid
+    }
+
     /// `|T|`.
     #[inline]
     pub fn n_slices(&self) -> usize {
-        self.n_slices
+        self.grid.n_slices()
     }
 
     /// `|X|`.
@@ -235,7 +284,32 @@ impl CubeCore {
     /// `d(t)`.
     #[inline]
     pub fn slice_duration(&self) -> f64 {
-        self.slice_duration
+        self.grid.slice_duration()
+    }
+
+    /// True while the Shannon-information prefix sums are still resident
+    /// (serialization requires them; the dense backend drops them).
+    #[inline]
+    pub fn has_info_sums(&self) -> bool {
+        !self.prefix_info.is_empty()
+    }
+
+    /// Raw duration prefix sums of one node, laid out `[state × (|T|+1)]`
+    /// (serialization hook for the `.ocube` writer).
+    #[inline]
+    pub fn prefix_duration_row(&self, node: NodeId) -> &[f64] {
+        &self.prefix_duration[node.index()]
+    }
+
+    /// Raw information prefix sums of one node, same layout. Empty once
+    /// [`CubeCore::has_info_sums`] is false.
+    #[inline]
+    pub fn prefix_info_row(&self, node: NodeId) -> &[f64] {
+        if self.prefix_info.is_empty() {
+            &[]
+        } else {
+            &self.prefix_info[node.index()]
+        }
     }
 
     /// Evaluate `(gain, loss)` of one cell in `O(|X|)` from the prefix
@@ -250,17 +324,18 @@ impl CubeCore {
         );
         let idx = node.index();
         let n_res = self.hierarchy.n_leaves_under(node);
-        let stride = self.n_slices + 1;
+        let stride = self.n_slices() + 1;
+        let slice_duration = self.slice_duration();
         let pd = &self.prefix_duration[idx];
         let pi = &self.prefix_info[idx];
-        let period = (j - i + 1) as f64 * self.slice_duration;
+        let period = (j - i + 1) as f64 * slice_duration;
         let mut g = 0.0;
         let mut l = 0.0;
         for x in 0..self.n_states() {
             let row = x * stride;
             let sums = AreaSums {
                 sum_duration: pd[row + j + 1] - pd[row + i],
-                sum_rho: (pd[row + j + 1] - pd[row + i]) / self.slice_duration,
+                sum_rho: (pd[row + j + 1] - pd[row + i]) / slice_duration,
                 sum_rho_log_rho: pi[row + j + 1] - pi[row + i],
             };
             g += sums.gain(n_res, period);
@@ -271,12 +346,12 @@ impl CubeCore {
 
     /// Aggregated proportion `ρ_x(S_k, T_(i,j))` per Eq. 1.
     pub fn rho_aggregate(&self, node: NodeId, x: StateId, i: usize, j: usize) -> f64 {
-        let stride = self.n_slices + 1;
+        let stride = self.n_slices() + 1;
         let pd = &self.prefix_duration[node.index()];
         let row = x.index() * stride;
         let sum_d = pd[row + j + 1] - pd[row + i];
         let n_res = self.hierarchy.n_leaves_under(node) as f64;
-        let period = (j - i + 1) as f64 * self.slice_duration;
+        let period = (j - i + 1) as f64 * self.slice_duration();
         sum_d / (n_res * period)
     }
 
@@ -358,6 +433,13 @@ impl DenseCube {
         let mut core = core;
         core.discard_info_sums();
         Self { core, gain, loss }
+    }
+
+    /// The shared prefix-sum substrate (info sums discarded; see
+    /// [`CubeCore::has_info_sums`]).
+    #[inline]
+    pub fn core(&self) -> &CubeCore {
+        &self.core
     }
 
     /// The spatial hierarchy.
@@ -593,6 +675,20 @@ impl QualityCube for LazyCube {
 /// exceed this many bytes, [`MemoryMode::Auto`] picks the lazy backend.
 pub const AUTO_DENSE_LIMIT_BYTES: usize = 1 << 30; // 1 GiB
 
+/// The `auto` sizing heuristic, as the single shared function: dense while
+/// the `O(|S|·|T|²)` triangular matrices fit under
+/// [`AUTO_DENSE_LIMIT_BYTES`], lazy beyond. Everything that needs the
+/// decision — [`MemoryMode::resolve`], [`CubeBackend::build`], the
+/// [`crate::session::AnalysisSession`] — routes through here, so the 1 GiB
+/// policy lives in exactly one place.
+pub fn choose_auto_backend(n_nodes: usize, n_slices: usize) -> MemoryMode {
+    if dense_matrix_bytes(n_nodes, n_slices) > AUTO_DENSE_LIMIT_BYTES {
+        MemoryMode::Lazy
+    } else {
+        MemoryMode::Dense
+    }
+}
+
 /// How to choose the cube backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MemoryMode {
@@ -607,17 +703,21 @@ pub enum MemoryMode {
 }
 
 impl MemoryMode {
-    /// Resolve the mode for a concrete problem size.
+    /// Resolve the mode for a concrete problem size (delegates to
+    /// [`choose_auto_backend`]).
     pub fn resolve(self, n_nodes: usize, n_slices: usize) -> MemoryMode {
         match self {
-            MemoryMode::Auto => {
-                if dense_matrix_bytes(n_nodes, n_slices) > AUTO_DENSE_LIMIT_BYTES {
-                    MemoryMode::Lazy
-                } else {
-                    MemoryMode::Dense
-                }
-            }
+            MemoryMode::Auto => choose_auto_backend(n_nodes, n_slices),
             fixed => fixed,
+        }
+    }
+
+    /// Stable tag used in artifact keys and CLI output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MemoryMode::Auto => "auto",
+            MemoryMode::Dense => "dense",
+            MemoryMode::Lazy => "lazy",
         }
     }
 }
@@ -649,10 +749,17 @@ impl CubeBackend {
     /// sizes the dense matrices first and falls back to lazy above
     /// [`AUTO_DENSE_LIMIT_BYTES`]).
     pub fn build(model: &MicroModel, mode: MemoryMode) -> Self {
-        let resolved = mode.resolve(model.hierarchy().len(), model.n_slices());
+        Self::from_core(CubeCore::build(model), mode)
+    }
+
+    /// Build from an existing core (the warm path: a core deserialized
+    /// from an `.ocube` artifact skips the model entirely). The same
+    /// [`choose_auto_backend`] heuristic applies for [`MemoryMode::Auto`].
+    pub fn from_core(core: CubeCore, mode: MemoryMode) -> Self {
+        let resolved = mode.resolve(core.hierarchy().len(), core.n_slices());
         match resolved {
-            MemoryMode::Dense => CubeBackend::Dense(DenseCube::build(model)),
-            MemoryMode::Lazy => CubeBackend::Lazy(LazyCube::build(model)),
+            MemoryMode::Dense => CubeBackend::Dense(DenseCube::from_core(core)),
+            MemoryMode::Lazy => CubeBackend::Lazy(LazyCube::from_core(core)),
             MemoryMode::Auto => unreachable!("resolve() returns a fixed mode"),
         }
     }
@@ -662,6 +769,15 @@ impl CubeBackend {
         match self {
             CubeBackend::Dense(_) => MemoryMode::Dense,
             CubeBackend::Lazy(_) => MemoryMode::Lazy,
+        }
+    }
+
+    /// The shared prefix-sum substrate (the dense backend's core has its
+    /// info sums discarded; see [`CubeCore::has_info_sums`]).
+    pub fn core(&self) -> &CubeCore {
+        match self {
+            CubeBackend::Dense(c) => c.core(),
+            CubeBackend::Lazy(c) => c.core(),
         }
     }
 }

@@ -39,6 +39,9 @@
 //! - [`pvalues`] — significant trade-off values (the Ocelotl slider);
 //! - [`quality`] — normalized fidelity reporting (criterion G5);
 //! - [`analysis`] — brute-force enumeration and strategy comparisons;
+//! - [`session`] — the memoized [`AnalysisSession`] pipeline with its
+//!   pluggable, content-addressed [`ArtifactStore`] (the §V.B
+//!   "preprocess once, interact instantly" economy as an object);
 //! - [`tri`] — upper-triangular interval matrices.
 
 #![forbid(unsafe_code)]
@@ -54,14 +57,15 @@ pub mod onedim;
 pub mod partition;
 pub mod pvalues;
 pub mod quality;
+pub mod session;
 pub mod tri;
 
 pub use analysis::{
     compare_partitions, mutual_information, total_mutual_information, PartitionComparison,
 };
 pub use cube::{
-    dense_matrix_bytes, CubeBackend, CubeCore, DenseCube, LazyCube, MemoryMode, QualityCube,
-    AUTO_DENSE_LIMIT_BYTES,
+    choose_auto_backend, dense_matrix_bytes, CubeBackend, CubeCore, DenseCube, LazyCube,
+    MemoryMode, QualityCube, AUTO_DENSE_LIMIT_BYTES,
 };
 pub use dp::{aggregate, aggregate_default, Cut, CutTree, DpConfig};
 pub use input::AggregationInput;
@@ -74,4 +78,8 @@ pub use onedim::{
 pub use partition::{Area, Partition};
 pub use pvalues::{significant_partitions, significant_ps, PEntry};
 pub use quality::{quality, QualityReport};
+pub use session::{
+    fnv1a, AnalysisSession, ArtifactStore, CubeSource, MemoryStore, Metric, ModelSource,
+    OwnedSource, PartitionTable, PointEntry, SessionConfig, SessionError, SignificantSet, FNV_SEED,
+};
 pub use tri::TriMatrix;

@@ -11,7 +11,7 @@ use crate::dp::{aggregate, DpConfig};
 use crate::partition::Partition;
 
 /// One stability interval of the trade-off parameter.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PEntry {
     /// Left end of the interval where `partition` is optimal.
     pub p_low: f64,

@@ -1,0 +1,725 @@
+//! `AnalysisSession` — the memoized analysis pipeline.
+//!
+//! The paper's core economy (§V.B) is *"a long preprocessing pass buys
+//! instantaneous interaction afterwards"*: trace reading and microscopic
+//! description dominate (50 minutes at Table II scale), while re-running
+//! Algorithm 1 at a new trade-off `p` on cached gain/loss inputs is
+//! instantaneous. This module makes that economy an explicit object. An
+//! [`AnalysisSession`] owns the staged pipeline
+//!
+//! ```text
+//! trace ──► MicroModel ──► CubeCore ──► CubeBackend ──► partition(p)
+//!            (slice)       (prefix      (dense/lazy)      (Algorithm 1)
+//!                           sums)                       ──► significant-p table
+//! ```
+//!
+//! with two levels of memoization:
+//!
+//! 1. **in memory** — each stage is computed at most once per session, and
+//!    every DP result (one per distinct `(p, tie-breaking)` query) is kept
+//!    in a [`PartitionTable`];
+//! 2. **on disk** — a pluggable [`ArtifactStore`] persists the two
+//!    expensive artifacts across processes: the cube's prefix sums
+//!    (`.ocube`) and the partition table (`.opart`). A session that finds
+//!    both artifacts never touches the trace at all.
+//!
+//! Artifacts are **content-addressed**: the session key is a 64-bit FNV-1a
+//! hash over the trace fingerprint (a hash of the raw trace bytes) and the
+//! pipeline parameters (slice count, metric, memory mode). Changing any of
+//! them changes the key, so stale artifacts can never be served — the disk
+//! store additionally garbage-collects artifacts left behind under old
+//! keys (see `ocelotl-format`'s `DiskStore`).
+//!
+//! Warm answers are **bit-identical** to cold ones: `.ocube` stores the
+//! prefix sums as exact IEEE-754 bit patterns and every backend evaluates
+//! cells through the same [`CubeCore::eval_cell`], while `.opart` stores
+//! partitions exactly; cached partitions are only served for *exactly* the
+//! `(p, tie-breaking)` query that produced them.
+
+use crate::cube::{CubeBackend, CubeCore, MemoryMode};
+use crate::dp::{aggregate, DpConfig};
+use crate::partition::Partition;
+use crate::pvalues::{significant_partitions, PEntry};
+use ocelotl_trace::{event_density_auto, MicroModel, TimeGrid, Trace};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Errors surfaced by the session pipeline.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The trace/model source could not be read or derived.
+    Source(String),
+    /// A query parameter is out of range.
+    InvalidParam(String),
+}
+
+impl SessionError {
+    /// Shorthand constructor for source failures.
+    pub fn source(msg: impl Into<String>) -> Self {
+        SessionError::Source(msg.into())
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Source(m) => write!(f, "{m}"),
+            SessionError::InvalidParam(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+// ---------------------------------------------------------------------------
+// Metric
+// ---------------------------------------------------------------------------
+
+/// Which microscopic metric the pipeline aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// State-time proportions (the paper's model).
+    #[default]
+    States,
+    /// Peak-normalized event counts (the predecessor work's model).
+    Density,
+}
+
+impl Metric {
+    /// Stable tag used in artifact keys.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Metric::States => "states",
+            Metric::Density => "density",
+        }
+    }
+
+    /// Build the microscopic model of a trace for this metric. `None` when
+    /// the trace has no events to slice.
+    pub fn build_model(self, trace: &Trace, n_slices: usize) -> Option<MicroModel> {
+        match self {
+            Metric::States => MicroModel::from_trace(trace, n_slices),
+            Metric::Density => event_density_auto(trace, n_slices),
+        }
+    }
+}
+
+impl std::str::FromStr for Metric {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "states" => Ok(Metric::States),
+            "density" => Ok(Metric::Density),
+            other => Err(format!("unknown metric {other:?} (states|density)")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------------
+
+/// FNV-1a offset basis (the seed of every artifact key).
+pub const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an FNV-1a running hash.
+pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The pipeline parameters that participate in the artifact key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// `|T|`: time slices of the microscopic model.
+    pub n_slices: usize,
+    /// Which microscopic metric to aggregate.
+    pub metric: Metric,
+    /// Requested gain/loss cube backend.
+    pub memory: MemoryMode,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            n_slices: 30,
+            metric: Metric::States,
+            memory: MemoryMode::Auto,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Artifact key: hash of (trace fingerprint, slicing params, metric,
+    /// backend). Any change to the inputs or parameters changes the key,
+    /// which is what makes stale cache hits impossible.
+    pub fn key(&self, trace_fingerprint: u64) -> u64 {
+        let mut h = FNV_SEED;
+        h = fnv1a(h, &trace_fingerprint.to_le_bytes());
+        h = fnv1a(h, &(self.n_slices as u64).to_le_bytes());
+        h = fnv1a(h, self.metric.tag().as_bytes());
+        h = fnv1a(h, self.memory.tag().as_bytes());
+        h
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model sources
+// ---------------------------------------------------------------------------
+
+/// Where the session gets its microscopic model from.
+///
+/// The session itself cannot read trace files (file formats live above this
+/// crate), so the first pipeline stage is pluggable: the CLI supplies a
+/// file-backed source, benchmarks and examples an in-memory one.
+pub trait ModelSource {
+    /// Stable fingerprint of the underlying trace bytes. Two sources with
+    /// the same fingerprint must describe the same trace.
+    fn fingerprint(&self) -> Result<u64, SessionError>;
+
+    /// Produce the microscopic model (the expensive cold-path stage).
+    /// Sources wrapping an already-sliced model may ignore the parameters.
+    fn model(&self, n_slices: usize, metric: Metric) -> Result<MicroModel, SessionError>;
+}
+
+/// A source wrapping an already-built model (benchmarks, examples, tests).
+/// The caller supplies the fingerprint — typically a hash of the trace
+/// bytes the model was derived from.
+pub struct OwnedSource {
+    model: MicroModel,
+    fingerprint: u64,
+}
+
+impl OwnedSource {
+    /// Wrap a model under the given content fingerprint.
+    pub fn new(model: MicroModel, fingerprint: u64) -> Self {
+        Self { model, fingerprint }
+    }
+}
+
+impl ModelSource for OwnedSource {
+    fn fingerprint(&self) -> Result<u64, SessionError> {
+        Ok(self.fingerprint)
+    }
+
+    fn model(&self, _n_slices: usize, _metric: Metric) -> Result<MicroModel, SessionError> {
+        Ok(self.model.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partition table
+// ---------------------------------------------------------------------------
+
+/// One memoized DP result: the optimal partition of an exact
+/// `(p, tie-breaking)` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointEntry {
+    /// The trade-off parameter the DP ran at.
+    pub p: f64,
+    /// Whether [`DpConfig::coarse_ties`] was used.
+    pub coarse: bool,
+    /// The optimal partition.
+    pub partition: Partition,
+}
+
+/// A complete significant-levels enumeration (see
+/// [`significant_partitions`]) at one dichotomy resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignificantSet {
+    /// The dichotomy resolution the set was computed at.
+    pub resolution: f64,
+    /// One entry per stability interval of `p`.
+    pub entries: Vec<PEntry>,
+}
+
+/// Every DP result the session knows about: exact point queries plus (at
+/// most one) significant-levels enumeration. This is what `.opart`
+/// artifacts serialize.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionTable {
+    /// The significant-levels enumeration, if one was computed.
+    pub significant: Option<SignificantSet>,
+    /// Memoized exact-point DP results.
+    pub points: Vec<PointEntry>,
+}
+
+impl PartitionTable {
+    /// Exact-match lookup: the stored partition of a `(p, coarse)` query.
+    /// Matching is on the *bit pattern* of `p` — a cached partition is only
+    /// served for exactly the query that produced it, which is what keeps
+    /// warm answers bit-identical to cold ones even at stability-interval
+    /// boundaries.
+    pub fn lookup(&self, p: f64, coarse: bool) -> Option<&Partition> {
+        self.points
+            .iter()
+            .find(|e| e.p.to_bits() == p.to_bits() && e.coarse == coarse)
+            .map(|e| &e.partition)
+    }
+
+    /// Record a DP result (no-op if the exact query is already present).
+    pub fn insert_point(&mut self, p: f64, coarse: bool, partition: Partition) {
+        if self.lookup(p, coarse).is_none() {
+            self.points.push(PointEntry {
+                p,
+                coarse,
+                partition,
+            });
+        }
+    }
+
+    /// The significant set, if one was computed at exactly `resolution`.
+    pub fn significant_at(&self, resolution: f64) -> Option<&[PEntry]> {
+        self.significant
+            .as_ref()
+            .filter(|s| s.resolution.to_bits() == resolution.to_bits())
+            .map(|s| s.entries.as_slice())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact stores
+// ---------------------------------------------------------------------------
+
+/// Persistence hook for the two on-disk artifacts. Implementations must be
+/// best-effort: a `store_*` returning `false` (e.g. a read-only cache
+/// directory) degrades the session to cold behavior, never to an error.
+pub trait ArtifactStore {
+    /// Load the cube prefix sums stored under `key`, if present and valid.
+    fn load_cube(&self, key: u64) -> Option<CubeCore>;
+    /// Persist the cube prefix sums under `key`.
+    fn store_cube(&self, key: u64, core: &CubeCore) -> bool;
+    /// Load the partition table stored under `key`, if present and valid.
+    fn load_partitions(&self, key: u64) -> Option<PartitionTable>;
+    /// Persist the partition table under `key`.
+    fn store_partitions(&self, key: u64, table: &PartitionTable) -> bool;
+}
+
+/// An in-process store (a keyed map). Useful for tests and for library
+/// callers that want cross-session memoization without touching disk.
+#[derive(Default)]
+pub struct MemoryStore {
+    cubes: Mutex<HashMap<u64, CubeCore>>,
+    tables: Mutex<HashMap<u64, PartitionTable>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ArtifactStore for MemoryStore {
+    fn load_cube(&self, key: u64) -> Option<CubeCore> {
+        self.cubes.lock().unwrap().get(&key).cloned()
+    }
+    fn store_cube(&self, key: u64, core: &CubeCore) -> bool {
+        self.cubes.lock().unwrap().insert(key, core.clone());
+        true
+    }
+    fn load_partitions(&self, key: u64) -> Option<PartitionTable> {
+        self.tables.lock().unwrap().get(&key).cloned()
+    }
+    fn store_partitions(&self, key: u64, table: &PartitionTable) -> bool {
+        self.tables.lock().unwrap().insert(key, table.clone());
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------------
+
+/// How the session obtained its quality cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CubeSource {
+    /// Built from the model (trace was read and sliced this session).
+    Cold,
+    /// Deserialized from an artifact store — the trace was never touched.
+    Warm,
+}
+
+/// The memoized pipeline: every stage computed at most once, expensive
+/// artifacts persisted through an optional [`ArtifactStore`]. See the
+/// module docs for the full economy.
+pub struct AnalysisSession {
+    config: SessionConfig,
+    source: Box<dyn ModelSource>,
+    store: Option<Box<dyn ArtifactStore>>,
+    key: Option<u64>,
+    model: Option<MicroModel>,
+    cube: Option<CubeBackend>,
+    cube_source: Option<CubeSource>,
+    table: Option<PartitionTable>,
+    dp_runs: usize,
+}
+
+impl AnalysisSession {
+    /// A session over `source` with the given pipeline parameters and no
+    /// persistence (in-memory memoization only).
+    pub fn new(source: impl ModelSource + 'static, config: SessionConfig) -> Self {
+        Self {
+            config,
+            source: Box::new(source),
+            store: None,
+            key: None,
+            model: None,
+            cube: None,
+            cube_source: None,
+            table: None,
+            dp_runs: 0,
+        }
+    }
+
+    /// Attach an artifact store (builder style).
+    pub fn with_store(mut self, store: impl ArtifactStore + 'static) -> Self {
+        self.store = Some(Box::new(store));
+        self
+    }
+
+    /// The pipeline parameters.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The content-addressed artifact key (computed once per session).
+    pub fn key(&mut self) -> Result<u64, SessionError> {
+        if let Some(k) = self.key {
+            return Ok(k);
+        }
+        let k = self.config.key(self.source.fingerprint()?);
+        self.key = Some(k);
+        Ok(k)
+    }
+
+    /// How the cube was obtained, once [`AnalysisSession::cube`] ran.
+    pub fn cube_source(&self) -> Option<CubeSource> {
+        self.cube_source
+    }
+
+    /// Number of DP (Algorithm 1 / dichotomy) invocations this session —
+    /// zero for a fully warm session answering cached queries.
+    pub fn dp_runs(&self) -> usize {
+        self.dp_runs
+    }
+
+    fn ensure_model(&mut self) -> Result<(), SessionError> {
+        if self.model.is_none() {
+            self.model = Some(
+                self.source
+                    .model(self.config.n_slices, self.config.metric)?,
+            );
+        }
+        Ok(())
+    }
+
+    /// The microscopic model. **Cold-path only**: forces a trace read even
+    /// when the cube is warm, so commands should prefer
+    /// [`AnalysisSession::cube`] / [`AnalysisSession::grid`] whenever the
+    /// query can be answered from the cube alone.
+    pub fn model(&mut self) -> Result<&MicroModel, SessionError> {
+        self.ensure_model()?;
+        Ok(self.model.as_ref().unwrap())
+    }
+
+    fn ensure_cube(&mut self) -> Result<(), SessionError> {
+        if self.cube.is_some() {
+            return Ok(());
+        }
+        let key = self.key()?;
+        if let Some(store) = &self.store {
+            if let Some(core) = store.load_cube(key) {
+                self.cube = Some(CubeBackend::from_core(core, self.config.memory));
+                self.cube_source = Some(CubeSource::Warm);
+                return Ok(());
+            }
+        }
+        self.ensure_model()?;
+        let core = CubeCore::build(self.model.as_ref().unwrap());
+        if let Some(store) = &self.store {
+            store.store_cube(key, &core);
+        }
+        self.cube = Some(CubeBackend::from_core(core, self.config.memory));
+        self.cube_source = Some(CubeSource::Cold);
+        Ok(())
+    }
+
+    /// The gain/loss quality cube (built or loaded on first use).
+    pub fn cube(&mut self) -> Result<&CubeBackend, SessionError> {
+        self.ensure_cube()?;
+        Ok(self.cube.as_ref().unwrap())
+    }
+
+    /// Both the model and the cube (for queries that genuinely need raw
+    /// microscopic data next to the cube, like the §III.D baselines).
+    pub fn model_and_cube(&mut self) -> Result<(&MicroModel, &CubeBackend), SessionError> {
+        self.ensure_cube()?;
+        self.ensure_model()?;
+        Ok((self.model.as_ref().unwrap(), self.cube.as_ref().unwrap()))
+    }
+
+    /// The time grid, answered from the cube (no trace read when warm).
+    pub fn grid(&mut self) -> Result<TimeGrid, SessionError> {
+        self.ensure_cube()?;
+        Ok(*self.cube.as_ref().unwrap().core().grid())
+    }
+
+    fn ensure_table(&mut self) -> Result<(), SessionError> {
+        if self.table.is_some() {
+            return Ok(());
+        }
+        let key = self.key()?;
+        let loaded = self
+            .store
+            .as_ref()
+            .and_then(|s| s.load_partitions(key))
+            .unwrap_or_default();
+        self.table = Some(loaded);
+        Ok(())
+    }
+
+    fn persist_table(&mut self) -> Result<(), SessionError> {
+        // Memoized key: re-fingerprinting here would re-hash the whole
+        // trace on every newly recorded DP result.
+        let key = self.key()?;
+        if let (Some(store), Some(table)) = (&self.store, &self.table) {
+            store.store_partitions(key, table);
+        }
+        Ok(())
+    }
+
+    fn dp_config(&self, coarse: bool) -> DpConfig {
+        if coarse {
+            DpConfig::coarse_ties()
+        } else {
+            DpConfig::default()
+        }
+    }
+
+    /// The optimal partition at trade-off `p` (Algorithm 1), memoized.
+    ///
+    /// A cached result (same `p` bit pattern, same tie-breaking) is served
+    /// without running the DP; otherwise the DP runs on the (possibly
+    /// warm) cube and the result is recorded in the table and persisted.
+    pub fn partition_at(&mut self, p: f64, coarse: bool) -> Result<Partition, SessionError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(SessionError::InvalidParam(format!(
+                "--p must lie in [0, 1], got {p}"
+            )));
+        }
+        self.ensure_table()?;
+        if let Some(part) = self.table.as_ref().unwrap().lookup(p, coarse) {
+            return Ok(part.clone());
+        }
+        self.ensure_cube()?;
+        let cube = self.cube.as_ref().unwrap();
+        let tree = aggregate(cube, p, &self.dp_config(coarse));
+        let partition = tree.partition(cube);
+        self.dp_runs += 1;
+        self.table
+            .as_mut()
+            .unwrap()
+            .insert_point(p, coarse, partition.clone());
+        self.persist_table()?;
+        Ok(partition)
+    }
+
+    /// All significant trade-off levels (the Ocelotl slider stops),
+    /// memoized at the given dichotomy resolution. A table loaded from a
+    /// `.opart` artifact answers this with **zero** DP runs.
+    pub fn significant(&mut self, resolution: f64) -> Result<Vec<PEntry>, SessionError> {
+        if !(resolution > 0.0 && resolution < 1.0) {
+            return Err(SessionError::InvalidParam(format!(
+                "--resolution must lie in (0, 1), got {resolution}"
+            )));
+        }
+        self.ensure_table()?;
+        if let Some(entries) = self.table.as_ref().unwrap().significant_at(resolution) {
+            return Ok(entries.to_vec());
+        }
+        self.ensure_cube()?;
+        let cube = self.cube.as_ref().unwrap();
+        let entries = significant_partitions(cube, &DpConfig::default(), resolution);
+        self.dp_runs += 1;
+        self.table.as_mut().unwrap().significant = Some(SignificantSet {
+            resolution,
+            entries: entries.clone(),
+        });
+        self.persist_table()?;
+        Ok(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::synthetic::{fig3_model, random_model};
+
+    fn session_over(model: MicroModel, fp: u64) -> AnalysisSession {
+        let n_slices = model.n_slices();
+        AnalysisSession::new(
+            OwnedSource::new(model, fp),
+            SessionConfig {
+                n_slices,
+                ..SessionConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn repeated_queries_run_one_dp() {
+        let mut s = session_over(fig3_model(), 1);
+        let a = s.partition_at(0.5, false).unwrap();
+        let b = s.partition_at(0.5, false).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.dp_runs(), 1, "second query must come from the memo");
+        // A different tie-breaking is a different query.
+        let _ = s.partition_at(0.5, true).unwrap();
+        assert_eq!(s.dp_runs(), 2);
+    }
+
+    #[test]
+    fn key_changes_with_every_parameter() {
+        let base = SessionConfig::default();
+        let k0 = base.key(7);
+        assert_ne!(k0, base.key(8), "fingerprint must change the key");
+        assert_ne!(
+            k0,
+            SessionConfig {
+                n_slices: 31,
+                ..base
+            }
+            .key(7)
+        );
+        assert_ne!(
+            k0,
+            SessionConfig {
+                metric: Metric::Density,
+                ..base
+            }
+            .key(7)
+        );
+        assert_ne!(
+            k0,
+            SessionConfig {
+                memory: MemoryMode::Lazy,
+                ..base
+            }
+            .key(7)
+        );
+        // And it is deterministic.
+        assert_eq!(k0, SessionConfig::default().key(7));
+    }
+
+    #[test]
+    fn memory_store_warms_a_second_session() {
+        use std::sync::Arc;
+        // Arc<MemoryStore> shared across sessions.
+        struct Shared(Arc<MemoryStore>);
+        impl ArtifactStore for Shared {
+            fn load_cube(&self, key: u64) -> Option<CubeCore> {
+                self.0.load_cube(key)
+            }
+            fn store_cube(&self, key: u64, core: &CubeCore) -> bool {
+                self.0.store_cube(key, core)
+            }
+            fn load_partitions(&self, key: u64) -> Option<PartitionTable> {
+                self.0.load_partitions(key)
+            }
+            fn store_partitions(&self, key: u64, table: &PartitionTable) -> bool {
+                self.0.store_partitions(key, table)
+            }
+        }
+
+        let store = Arc::new(MemoryStore::new());
+        let model = random_model(&[3, 2, 2], 11, 3, 99);
+
+        let mut cold = session_over(model.clone(), 42).with_store(Shared(store.clone()));
+        let cold_part = cold.partition_at(0.4, false).unwrap();
+        let cold_levels = cold.significant(1e-2).unwrap();
+        assert_eq!(cold.cube_source(), Some(CubeSource::Cold));
+        assert!(cold.dp_runs() >= 2);
+
+        let mut warm = session_over(model, 42).with_store(Shared(store));
+        let warm_part = warm.partition_at(0.4, false).unwrap();
+        let warm_levels = warm.significant(1e-2).unwrap();
+        // Cached queries never even built the cube; forcing it must hit
+        // the store, not the model.
+        assert_eq!(warm.cube_source(), None);
+        warm.cube().unwrap();
+        assert_eq!(warm.cube_source(), Some(CubeSource::Warm));
+        assert_eq!(warm.dp_runs(), 0, "fully warm session runs no DP");
+        assert_eq!(cold_part, warm_part);
+        assert_eq!(cold_levels.len(), warm_levels.len());
+        for (a, b) in cold_levels.iter().zip(&warm_levels) {
+            assert_eq!(a.partition, b.partition);
+            assert_eq!(a.p_low.to_bits(), b.p_low.to_bits());
+            assert_eq!(a.p_high.to_bits(), b.p_high.to_bits());
+        }
+    }
+
+    #[test]
+    fn different_fingerprint_misses_the_store() {
+        let store = MemoryStore::new();
+        let model = random_model(&[2, 2], 6, 2, 5);
+        let key_a = SessionConfig::default().key(1);
+        store.store_cube(key_a, &CubeCore::build(&model));
+        // A session over fingerprint 2 must not see fingerprint 1's cube.
+        let mut s = AnalysisSession::new(
+            OwnedSource::new(model, 2),
+            SessionConfig {
+                n_slices: 6,
+                ..SessionConfig::default()
+            },
+        )
+        .with_store(store);
+        s.cube().unwrap();
+        assert_eq!(s.cube_source(), Some(CubeSource::Cold));
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let mut s = session_over(fig3_model(), 3);
+        assert!(matches!(
+            s.partition_at(1.5, false),
+            Err(SessionError::InvalidParam(_))
+        ));
+        assert!(matches!(
+            s.significant(0.0),
+            Err(SessionError::InvalidParam(_))
+        ));
+    }
+
+    #[test]
+    fn metric_parses_and_tags() {
+        assert_eq!("states".parse::<Metric>().unwrap(), Metric::States);
+        assert_eq!("density".parse::<Metric>().unwrap(), Metric::Density);
+        assert!("x".parse::<Metric>().is_err());
+        assert_eq!(Metric::States.tag(), "states");
+        assert_eq!(Metric::Density.tag(), "density");
+    }
+
+    #[test]
+    fn table_lookup_is_exact() {
+        let mut t = PartitionTable::default();
+        let m = fig3_model();
+        let cube = CubeBackend::build(&m, MemoryMode::Dense);
+        let part = aggregate(&cube, 0.5, &DpConfig::default()).partition(&cube);
+        t.insert_point(0.5, false, part.clone());
+        assert_eq!(t.lookup(0.5, false), Some(&part));
+        assert_eq!(t.lookup(0.5, true), None, "tie-breaking must match");
+        assert_eq!(t.lookup(0.5 + 1e-12, false), None, "p match is exact");
+        // Re-inserting the same query is a no-op.
+        t.insert_point(0.5, false, part);
+        assert_eq!(t.points.len(), 1);
+    }
+}

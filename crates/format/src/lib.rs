@@ -9,9 +9,20 @@
 //!   scale (hundreds of millions of events);
 //! - **OMM** ([`micro_cache`]): the cached microscopic model, making the
 //!   paper's "preprocess once, interact instantly" economy durable across
-//!   analysis sessions.
+//!   analysis sessions;
+//! - **OCB** ([`cube_cache`]): the cached quality-cube prefix sums
+//!   (`.ocube`) — a warm session skips trace reading, slicing and
+//!   prefix-sum construction entirely;
+//! - **OPT** ([`part_cache`]): the cached partition table (`.opart`) —
+//!   memoized DP results and the significant-`p` enumeration, so repeated
+//!   queries run zero DP.
 //!
-//! Both support the paper's two-stage analysis pipeline:
+//! The [`store`] module ties the last two together into the
+//! content-addressed on-disk [`DiskStore`] (keys hash the trace bytes and
+//! the analysis parameters; stale keys are invalidated on store) that
+//! `ocelotl_core::AnalysisSession` plugs into.
+//!
+//! All formats support the paper's two-stage analysis pipeline:
 //! *trace reading* (parse the file) and *microscopic description* (reduce
 //! events to the `d_x(s,t)` model) — the streaming readers fuse the two
 //! stages so multi-GB traces never materialize an event list.
@@ -20,17 +31,23 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod cube_cache;
 pub mod error;
 pub mod io;
 pub mod micro_cache;
 pub mod paje;
+pub mod part_cache;
+pub mod store;
 pub mod text;
 
 pub use binary::{
     read_binary, stream_binary_micro, write_binary, BtfStreamWriter, INTERVAL_RECORD_BYTES,
 };
+pub use cube_cache::{load_cube, read_cube, save_cube, write_cube};
 pub use error::{FormatError, Result};
 pub use io::{read_micro, read_trace, write_trace, Format};
 pub use micro_cache::{load_micro, read_micro_cache, save_micro, write_micro};
 pub use paje::{read_paje, write_paje};
+pub use part_cache::{load_partitions, read_partitions, save_partitions, write_partitions};
+pub use store::{hash_file, hash_reader, hash_trace, DiskStore, KEEP_PER_KIND};
 pub use text::{read_text, stream_text_micro, write_text};

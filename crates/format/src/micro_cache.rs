@@ -39,13 +39,7 @@ pub fn write_micro<W: Write>(model: &MicroModel, mut w: W) -> Result<()> {
     head.put_f64_le(model.grid().end());
     head.put_u32_le(model.n_slices() as u32);
 
-    let h = model.hierarchy();
-    head.put_u32_le(h.len() as u32);
-    for id in h.node_ids() {
-        head.put_u32_le(h.parent(id).map(|p| p.0 + 1).unwrap_or(0));
-        put_str(&mut head, h.kind(id));
-        put_str(&mut head, h.name(id));
-    }
+    write_hierarchy(&mut head, model.hierarchy());
     head.put_u32_le(model.n_states() as u32);
     for (_, name) in model.states().iter() {
         put_str(&mut head, name);
@@ -83,6 +77,11 @@ pub fn read_micro_cache<R: Read>(mut r: R) -> Result<MicroModel> {
     if !(start.is_finite() && end.is_finite()) || end <= start || n_slices == 0 {
         return Err(FormatError::parse("invalid time grid", None));
     }
+    // Sanity ceiling so a corrupt header degrades to a parse error
+    // instead of a giant duration-array allocation.
+    if n_slices > 1 << 22 {
+        return Err(FormatError::parse("unreasonable slice count", None));
+    }
     let grid = TimeGrid::new(start, end, n_slices);
 
     let hierarchy = read_hierarchy(&mut r)?;
@@ -115,7 +114,19 @@ pub fn read_micro_cache<R: Read>(mut r: R) -> Result<MicroModel> {
     Ok(MicroModel::from_dense(hierarchy, states, grid, durations))
 }
 
-fn read_hierarchy<R: Read>(r: &mut R) -> Result<Hierarchy> {
+/// Append the shared hierarchy encoding (`u32 n_nodes` then per node
+/// `u32 parent+1, str kind, str name` in pre-order) — used by the OMM and
+/// OCB headers alike.
+pub(crate) fn write_hierarchy(buf: &mut Vec<u8>, h: &Hierarchy) {
+    buf.put_u32_le(h.len() as u32);
+    for id in h.node_ids() {
+        buf.put_u32_le(h.parent(id).map(|p| p.0 + 1).unwrap_or(0));
+        put_str(buf, h.kind(id));
+        put_str(buf, h.name(id));
+    }
+}
+
+pub(crate) fn read_hierarchy<R: Read>(r: &mut R) -> Result<Hierarchy> {
     let mut count = [0u8; 4];
     r.read_exact(&mut count)?;
     let n_nodes = u32::from_le_bytes(count);

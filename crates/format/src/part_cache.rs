@@ -1,0 +1,286 @@
+//! OPT — the cached partition-table format (`.opart`).
+//!
+//! The third durable artifact of the session pipeline: every DP result a
+//! session has computed, i.e. the `significant_partitions` enumeration
+//! (the Ocelotl slider stops, §V.B) plus the exact-point `(p, coarse)`
+//! queries individual commands ran. A warm session with a valid `.opart`
+//! answers repeated `aggregate`/`pvalues`/`sweep` queries with **zero** DP
+//! runs — the endpoint of the paper's "preprocess once, interact
+//! instantly" economy.
+//!
+//! Partitions are stored exactly (node ids and slice indices), and `p`
+//! values as raw IEEE-754 bit patterns, so cached answers are
+//! bit-identical to the cold runs that produced them.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "OPT1"
+//! u64     artifact key (the session's content-addressed hash)
+//! u8      has_significant
+//!         if 1: f64 resolution, u32 n_entries
+//!               { f64 p_low, f64 p_high, partition }*
+//! u32 n_points { f64 p, u8 coarse, partition }*
+//! partition := u32 n_areas { u32 node, u32 first_slice, u32 last_slice }*
+//! ```
+
+use crate::error::{FormatError, Result};
+use bytes::BufMut;
+use ocelotl_core::{Area, PEntry, Partition, PartitionTable, PointEntry, SignificantSet};
+use ocelotl_trace::NodeId;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"OPT1";
+
+/// Hard sanity ceiling on list lengths (areas, entries, points) so a
+/// corrupt header cannot trigger a giant allocation.
+const MAX_LEN: u32 = 1 << 28;
+
+fn put_partition(buf: &mut Vec<u8>, partition: &Partition) {
+    buf.put_u32_le(partition.len() as u32);
+    for a in partition.areas() {
+        buf.put_u32_le(a.node.0);
+        buf.put_u32_le(a.first_slice as u32);
+        buf.put_u32_le(a.last_slice as u32);
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_partition<R: Read>(r: &mut R) -> Result<Partition> {
+    let n = read_u32(r)?;
+    if n > MAX_LEN {
+        return Err(FormatError::parse("unreasonable area count", None));
+    }
+    let mut areas = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let node = read_u32(r)?;
+        let first = read_u32(r)? as usize;
+        let last = read_u32(r)? as usize;
+        if first > last {
+            return Err(FormatError::parse(
+                "area with first_slice > last_slice",
+                None,
+            ));
+        }
+        areas.push(Area::new(NodeId(node), first, last));
+    }
+    Ok(Partition::new(areas))
+}
+
+fn check_p(p: f64, what: &str) -> Result<f64> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FormatError::parse(format!("{what} out of [0, 1]"), None));
+    }
+    Ok(p)
+}
+
+/// Serialize a partition table under its artifact key.
+pub fn write_partitions<W: Write>(key: u64, table: &PartitionTable, mut w: W) -> Result<()> {
+    let mut buf = Vec::with_capacity(4096);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(key);
+    match &table.significant {
+        Some(set) => {
+            buf.put_u8(1);
+            buf.put_f64_le(set.resolution);
+            buf.put_u32_le(set.entries.len() as u32);
+            for e in &set.entries {
+                buf.put_f64_le(e.p_low);
+                buf.put_f64_le(e.p_high);
+                put_partition(&mut buf, &e.partition);
+            }
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u32_le(table.points.len() as u32);
+    for pt in &table.points {
+        buf.put_f64_le(pt.p);
+        buf.put_u8(pt.coarse as u8);
+        put_partition(&mut buf, &pt.partition);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialize a partition table; returns the stored artifact key
+/// alongside it.
+pub fn read_partitions<R: Read>(mut r: R) -> Result<(u64, PartitionTable)> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(FormatError::UnsupportedVersion(
+            String::from_utf8_lossy(&magic).into_owned(),
+        ));
+    }
+    let mut head = [0u8; 9];
+    r.read_exact(&mut head)?;
+    let key = u64::from_le_bytes(head[0..8].try_into().unwrap());
+    let has_significant = head[8];
+    let significant = match has_significant {
+        0 => None,
+        1 => {
+            let resolution = read_f64(&mut r)?;
+            if !(resolution > 0.0 && resolution < 1.0) {
+                return Err(FormatError::parse("invalid resolution", None));
+            }
+            let n = read_u32(&mut r)?;
+            if n > MAX_LEN {
+                return Err(FormatError::parse("unreasonable entry count", None));
+            }
+            let mut entries = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let p_low = check_p(read_f64(&mut r)?, "p_low")?;
+                let p_high = check_p(read_f64(&mut r)?, "p_high")?;
+                let partition = read_partition(&mut r)?;
+                entries.push(PEntry {
+                    p_low,
+                    p_high,
+                    partition,
+                });
+            }
+            Some(SignificantSet {
+                resolution,
+                entries,
+            })
+        }
+        other => {
+            return Err(FormatError::parse(
+                format!("invalid significant flag {other}"),
+                None,
+            ))
+        }
+    };
+    let n_points = read_u32(&mut r)?;
+    if n_points > MAX_LEN {
+        return Err(FormatError::parse("unreasonable point count", None));
+    }
+    let mut points = Vec::with_capacity(n_points as usize);
+    for _ in 0..n_points {
+        let p = check_p(read_f64(&mut r)?, "p")?;
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        if flag[0] > 1 {
+            return Err(FormatError::parse("invalid coarse flag", None));
+        }
+        let partition = read_partition(&mut r)?;
+        points.push(PointEntry {
+            p,
+            coarse: flag[0] == 1,
+            partition,
+        });
+    }
+    Ok((
+        key,
+        PartitionTable {
+            significant,
+            points,
+        },
+    ))
+}
+
+/// Write a partition table to an `.opart` file.
+pub fn save_partitions(key: u64, table: &PartitionTable, path: &Path) -> Result<()> {
+    let mut w = BufWriter::with_capacity(1 << 16, File::create(path)?);
+    write_partitions(key, table, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a partition table from an `.opart` file.
+pub fn load_partitions(path: &Path) -> Result<(u64, PartitionTable)> {
+    let r = BufReader::with_capacity(1 << 16, File::open(path)?);
+    read_partitions(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_core::{aggregate_default, significant_partitions, AggregationInput, DpConfig};
+    use ocelotl_trace::synthetic::{fig3_model, random_model};
+
+    fn sample_table() -> PartitionTable {
+        let m = random_model(&[3, 2, 2], 9, 3, 11);
+        let input = AggregationInput::build(&m);
+        let entries = significant_partitions(&input, &DpConfig::default(), 1e-2);
+        let mut table = PartitionTable {
+            significant: Some(SignificantSet {
+                resolution: 1e-2,
+                entries,
+            }),
+            points: Vec::new(),
+        };
+        for (p, coarse) in [(0.25, false), (0.25, true), (0.8, false)] {
+            table.insert_point(p, coarse, aggregate_default(&input, p).partition(&input));
+        }
+        table
+    }
+
+    fn roundtrip(key: u64, table: &PartitionTable) -> (u64, PartitionTable) {
+        let mut buf = Vec::new();
+        write_partitions(key, table, &mut buf).unwrap();
+        read_partitions(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let table = sample_table();
+        let (key, back) = roundtrip(0xabcd, &table);
+        assert_eq!(key, 0xabcd);
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn roundtrip_of_empty_and_points_only_tables() {
+        let empty = PartitionTable::default();
+        assert_eq!(roundtrip(1, &empty).1, empty);
+
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let mut points_only = PartitionTable::default();
+        points_only.insert_point(0.5, false, aggregate_default(&input, 0.5).partition(&input));
+        assert_eq!(roundtrip(2, &points_only).1, points_only);
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let table = sample_table();
+        let mut buf = Vec::new();
+        write_partitions(7, &table, &mut buf).unwrap();
+        for cut in 0..buf.len().min(256) {
+            assert!(read_partitions(&buf[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_bad_flags_rejected() {
+        assert!(read_partitions(&b"OCB1aaaaaaaa"[..]).is_err());
+        let mut buf = Vec::new();
+        write_partitions(7, &PartitionTable::default(), &mut buf).unwrap();
+        buf[12] = 9; // significant flag
+        assert!(read_partitions(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let table = sample_table();
+        let path = std::env::temp_dir().join(format!("opart-test-{}.opart", std::process::id()));
+        save_partitions(5, &table, &path).unwrap();
+        let (key, back) = load_partitions(&path).unwrap();
+        assert_eq!(key, 5);
+        assert_eq!(back, table);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,336 @@
+//! Content-addressed on-disk artifact store for analysis sessions.
+//!
+//! One [`DiskStore`] manages the cache directory of one input trace. The
+//! on-disk layout is flat and self-describing:
+//!
+//! ```text
+//! <dir>/<stem>-<key:016x>.ocube    cube prefix sums (see `cube_cache`)
+//! <dir>/<stem>-<key:016x>.opart    partition table   (see `part_cache`)
+//! ```
+//!
+//! where `stem` is the trace's file stem and `key` the session's
+//! content-addressed hash over (trace bytes, slicing params, metric,
+//! backend). Lookups are doubly guarded: the key is part of the file name
+//! *and* stored in the artifact header (so a renamed or copied file can
+//! never be served under the wrong key).
+//!
+//! **Stale-key invalidation** happens at two levels. Correctness is
+//! guaranteed by content-addressing alone: a changed trace or changed
+//! parameters produce a different key, so stale bytes can never be
+//! *served*. On top of that, storing an artifact prunes same-stem
+//! same-kind siblings down to the [`KEEP_PER_KIND`] most recently
+//! touched — old keys are garbage-collected instead of accumulating
+//! forever, while a handful of recent keys stay warm (two traces sharing
+//! a file stem in one shared cache dir, or one trace analyzed at
+//! alternating `--slices`, do not evict each other).
+//!
+//! Hashing is 64-bit FNV-1a (`ocelotl_core::fnv1a`), streamed, so
+//! fingerprinting a multi-GB trace costs one sequential read and no
+//! allocation.
+
+use crate::cube_cache::{load_cube, save_cube};
+use crate::error::Result;
+use crate::part_cache::{load_partitions, save_partitions};
+use ocelotl_core::{fnv1a, ArtifactStore, CubeCore, PartitionTable, FNV_SEED};
+use ocelotl_trace::Trace;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Stream a reader through FNV-1a; returns the 64-bit content hash.
+pub fn hash_reader<R: Read>(mut r: R) -> std::io::Result<u64> {
+    let mut hash = FNV_SEED;
+    let mut buf = [0u8; 1 << 16];
+    loop {
+        let n = r.read(&mut buf)?;
+        if n == 0 {
+            return Ok(hash);
+        }
+        hash = fnv1a(hash, &buf[..n]);
+    }
+}
+
+/// Content hash of a file (the trace fingerprint of file-backed sessions).
+pub fn hash_file(path: &Path) -> std::io::Result<u64> {
+    hash_reader(File::open(path)?)
+}
+
+/// A `Write` sink that hashes instead of storing.
+struct HashWriter {
+    hash: u64,
+}
+
+impl Write for HashWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.hash = fnv1a(self.hash, buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Content hash of an in-memory trace: the FNV-1a hash of its canonical
+/// BTF serialization, computed without materializing the bytes. Equals
+/// [`hash_file`] of the same trace written with `write_binary`.
+pub fn hash_trace(trace: &Trace) -> Result<u64> {
+    let mut w = HashWriter { hash: FNV_SEED };
+    crate::binary::write_binary(trace, &mut w)?;
+    Ok(w.hash)
+}
+
+/// The on-disk [`ArtifactStore`] (layout and invalidation in the module
+/// docs). All operations are best-effort: I/O failures degrade to cache
+/// misses / skipped writes, never to session errors.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    dir: PathBuf,
+    stem: String,
+}
+
+impl DiskStore {
+    /// A store rooted at `dir`, namespaced by `stem` (usually the trace's
+    /// file stem). The directory is created on first write.
+    pub fn new(dir: impl Into<PathBuf>, stem: impl Into<String>) -> Self {
+        let mut stem = stem.into();
+        // Keep the namespace filesystem-safe.
+        stem.retain(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if stem.is_empty() {
+            stem.push_str("trace");
+        }
+        Self {
+            dir: dir.into(),
+            stem,
+        }
+    }
+
+    /// A store for `input`, rooted at `dir` if given, else at an
+    /// `.ocelotl/` directory next to the input file.
+    pub fn for_input(input: &Path, dir: Option<&Path>) -> Self {
+        let dir = dir.map(Path::to_path_buf).unwrap_or_else(|| {
+            input
+                .parent()
+                .unwrap_or_else(|| Path::new("."))
+                .join(".ocelotl")
+        });
+        let stem = input
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".into());
+        Self::new(dir, stem)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, key: u64, ext: &str) -> PathBuf {
+        self.dir.join(format!("{}-{key:016x}.{ext}", self.stem))
+    }
+
+    /// Garbage-collect same-stem artifacts of the given kind beyond the
+    /// [`KEEP_PER_KIND`] most recently modified (the invalidation pass;
+    /// see module docs). The just-stored `key` is always kept.
+    fn prune_stale(&self, key: u64, ext: &str) {
+        let keep = self.path(key, ext);
+        let prefix = format!("{}-", self.stem);
+        let suffix = format!(".{ext}");
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut siblings: Vec<(std::time::SystemTime, PathBuf)> = entries
+            .flatten()
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with(&prefix) && name.ends_with(&suffix) && e.path() != keep
+            })
+            .map(|e| {
+                let mtime = e
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                (mtime, e.path())
+            })
+            .collect();
+        // Newest first; the current key occupies one slot.
+        siblings.sort_by_key(|(mtime, _)| std::cmp::Reverse(*mtime));
+        for (_, path) in siblings.into_iter().skip(KEEP_PER_KIND - 1) {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}
+
+/// How many artifacts of one kind a stem may keep (the current key plus
+/// recent siblings, newest-first).
+pub const KEEP_PER_KIND: usize = 4;
+
+impl ArtifactStore for DiskStore {
+    fn load_cube(&self, key: u64) -> Option<CubeCore> {
+        let (stored_key, core) = load_cube(&self.path(key, "ocube")).ok()?;
+        (stored_key == key).then_some(core)
+    }
+
+    fn store_cube(&self, key: u64, core: &CubeCore) -> bool {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let ok = save_cube(key, core, &self.path(key, "ocube")).is_ok();
+        if ok {
+            self.prune_stale(key, "ocube");
+        }
+        ok
+    }
+
+    fn load_partitions(&self, key: u64) -> Option<PartitionTable> {
+        let (stored_key, table) = load_partitions(&self.path(key, "opart")).ok()?;
+        (stored_key == key).then_some(table)
+    }
+
+    fn store_partitions(&self, key: u64, table: &PartitionTable) -> bool {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let ok = save_partitions(key, table, &self.path(key, "opart")).is_ok();
+        if ok {
+            self.prune_stale(key, "opart");
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_core::CubeCore;
+    use ocelotl_trace::synthetic::random_model;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("ocelotl-store-test-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn artifact_files(dir: &Path, ext: &str) -> Vec<PathBuf> {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut v: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(ext))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn store_roundtrips_and_misses_on_other_keys() {
+        let dir = scratch_dir("roundtrip");
+        let store = DiskStore::new(&dir, "t");
+        let core = CubeCore::build(&random_model(&[2, 3], 7, 2, 8));
+
+        assert!(store.load_cube(1).is_none(), "empty store misses");
+        assert!(store.store_cube(1, &core));
+        let back = store.load_cube(1).expect("hit");
+        assert_eq!(back.n_slices(), core.n_slices());
+        assert!(store.load_cube(2).is_none(), "other keys miss");
+
+        let table = PartitionTable::default();
+        assert!(store.store_partitions(1, &table));
+        assert_eq!(store.load_partitions(1), Some(table));
+        assert!(store.load_partitions(9).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recent_keys_coexist_and_old_keys_are_pruned() {
+        let dir = scratch_dir("invalidate");
+        let store = DiskStore::new(&dir, "t");
+        let core = CubeCore::build(&random_model(&[2, 2], 5, 2, 3));
+
+        // Two recent keys coexist (alternating parameters stay warm)…
+        store.store_cube(1, &core);
+        store.store_cube(2, &core);
+        assert!(store.load_cube(1).is_some(), "recent keys must stay warm");
+        assert!(store.load_cube(2).is_some());
+
+        // …but the population is bounded: storing more than KEEP_PER_KIND
+        // keys garbage-collects the oldest.
+        for key in 3..=10u64 {
+            store.store_cube(key, &core);
+            // Distinct mtimes even on coarse-granularity filesystems.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(
+            artifact_files(&dir, "ocube").len(),
+            KEEP_PER_KIND,
+            "population must be pruned to KEEP_PER_KIND"
+        );
+        assert!(store.load_cube(10).is_some(), "newest key always kept");
+        assert!(store.load_cube(1).is_none(), "oldest keys pruned");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn different_stems_do_not_invalidate_each_other() {
+        let dir = scratch_dir("stems");
+        let a = DiskStore::new(&dir, "alpha");
+        let b = DiskStore::new(&dir, "beta");
+        let core = CubeCore::build(&random_model(&[2], 4, 1, 1));
+        a.store_cube(1, &core);
+        b.store_cube(2, &core);
+        assert!(a.load_cube(1).is_some());
+        assert!(b.load_cube(2).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_key_guards_renamed_files() {
+        let dir = scratch_dir("renamed");
+        let store = DiskStore::new(&dir, "t");
+        let core = CubeCore::build(&random_model(&[2], 4, 1, 2));
+        store.store_cube(1, &core);
+        // Rename the key-1 artifact to pose as key 3.
+        std::fs::rename(store.path(1, "ocube"), store.path(3, "ocube")).unwrap();
+        assert!(
+            store.load_cube(3).is_none(),
+            "header key mismatch must be rejected"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hash_trace_matches_hash_file_of_btf() {
+        use ocelotl_trace::{Hierarchy, LeafId, TraceBuilder};
+        let mut b = TraceBuilder::new(Hierarchy::balanced(&[2]));
+        let s = b.state("Run");
+        b.push_state(LeafId(0), s, 0.0, 1.0);
+        b.push_state(LeafId(1), s, 0.0, 2.0);
+        let trace = b.build();
+
+        let path = std::env::temp_dir().join(format!("hash-test-{}.btf", std::process::id()));
+        crate::io::write_trace(&trace, &path).unwrap();
+        assert_eq!(hash_trace(&trace).unwrap(), hash_file(&path).unwrap());
+        // And the hash is content-sensitive.
+        let mut b2 = TraceBuilder::new(Hierarchy::balanced(&[2]));
+        let s2 = b2.state("Run");
+        b2.push_state(LeafId(0), s2, 0.0, 1.5);
+        assert_ne!(
+            hash_trace(&trace).unwrap(),
+            hash_trace(&b2.build()).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn for_input_derives_dir_and_stem() {
+        let s = DiskStore::for_input(Path::new("/data/traces/run42.btf"), None);
+        assert_eq!(s.dir(), Path::new("/data/traces/.ocelotl"));
+        assert_eq!(s.stem, "run42");
+        let s = DiskStore::for_input(Path::new("x.btf"), Some(Path::new("/tmp/c")));
+        assert_eq!(s.dir(), Path::new("/tmp/c"));
+    }
+}

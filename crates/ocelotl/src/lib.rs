@@ -44,8 +44,9 @@ pub use ocelotl_viz as viz;
 pub mod prelude {
     pub use ocelotl_core::{
         aggregate, aggregate_default, product_aggregation, quality, significant_partitions,
-        AggregationInput, Area, CubeBackend, Cut, CutTree, DenseCube, DpConfig, LazyCube,
-        MemoryMode, Partition, QualityCube,
+        AggregationInput, AnalysisSession, Area, ArtifactStore, CubeBackend, CubeSource, Cut,
+        CutTree, DenseCube, DpConfig, LazyCube, MemoryMode, Metric, ModelSource, OwnedSource,
+        Partition, QualityCube, SessionConfig, SessionError,
     };
     pub use ocelotl_mpisim::{CaseId, Platform, Scenario};
     pub use ocelotl_trace::{

@@ -29,7 +29,7 @@ pub use ascii::{render_ascii, AsciiOptions};
 pub use color::{confidence_color, mode, Color, ConfidenceEncoding, Mode, Palette};
 pub use gantt::{clutter_metrics, render_gantt_svg, ClutterReport};
 pub use layout::{Layout, Rect};
-pub use overview::{overview, Overview, OverviewOptions};
-pub use report::{html_report, ReportOptions};
+pub use overview::{overview, overview_with_partition, Overview, OverviewOptions};
+pub use report::{html_report, html_report_from_entries, LevelRow, ReportOptions};
 pub use svg::{render_svg, SvgOptions};
 pub use visual_agg::{visually_aggregate, Item, VisualAggregation, VisualMark};

@@ -44,10 +44,23 @@ pub struct Overview {
     pub options: OverviewOptions,
 }
 
-/// Build the overview for any quality cube.
+/// Build the overview for any quality cube (runs Algorithm 1 at
+/// `options.p` internally).
 pub fn overview<C: QualityCube>(input: &C, options: OverviewOptions) -> Overview {
     let tree = aggregate(input, options.p, &DpConfig::default());
     let partition = tree.partition(input);
+    overview_with_partition(input, partition, options)
+}
+
+/// Build the overview from an already-computed partition — the session
+/// path: a memoized or cached (`.opart`) DP result renders without
+/// re-running the optimizer. `options.p` is informational here; the
+/// partition is taken as-is.
+pub fn overview_with_partition<C: QualityCube>(
+    input: &C,
+    partition: Partition,
+    options: OverviewOptions,
+) -> Overview {
     let rows_per_leaf = options.height / input.hierarchy().n_leaves() as f64;
     let min_rows = options.min_pixel_height / rows_per_leaf;
     let visual = visually_aggregate(input, &partition, min_rows);

@@ -2,7 +2,7 @@
 //! significant aggregation levels, embedded overview renderings, and the
 //! per-aggregate summary table — the static counterpart of the Ocelotl UI.
 
-use crate::overview::{overview, OverviewOptions};
+use crate::overview::{overview_with_partition, OverviewOptions};
 use ocelotl_core::{quality, significant_partitions, DpConfig, PEntry, QualityCube};
 use std::fmt::Write as _;
 
@@ -52,9 +52,22 @@ pub struct LevelRow {
     pub complexity_reduction: f64,
 }
 
-/// Generate the full report; returns the HTML document.
+/// Generate the full report; returns the HTML document. Enumerates the
+/// significant levels itself — callers that already hold them (e.g. an
+/// `AnalysisSession` with a warm `.opart`) should use
+/// [`html_report_from_entries`].
 pub fn html_report<C: QualityCube>(input: &C, opts: &ReportOptions) -> String {
     let entries = significant_partitions(input, &DpConfig::default(), opts.p_resolution);
+    html_report_from_entries(input, &entries, opts)
+}
+
+/// Generate the report from precomputed significant levels — the session
+/// path: zero DP runs when the levels come from a cached `.opart` table.
+pub fn html_report_from_entries<C: QualityCube>(
+    input: &C,
+    entries: &[PEntry],
+    opts: &ReportOptions,
+) -> String {
     let rows: Vec<LevelRow> = entries
         .iter()
         .map(|e| {
@@ -111,12 +124,15 @@ pub fn html_report<C: QualityCube>(input: &C, opts: &ReportOptions) -> String {
     }
     html.push_str("</table>\n");
 
-    // Rendered overviews at a spread of levels.
+    // Rendered overviews at a spread of levels. Each level's partition is
+    // already in its entry (the optimum is constant across the stability
+    // interval), so no DP re-run is needed to draw it.
     html.push_str("<h2>Overviews</h2>\n");
-    for e in pick_levels(&entries, opts.rendered_levels) {
+    for e in pick_levels(entries, opts.rendered_levels) {
         let p = 0.5 * (e.p_low + e.p_high);
-        let ov = overview(
+        let ov = overview_with_partition(
             input,
+            e.partition.clone(),
             OverviewOptions {
                 p,
                 width: opts.width,

@@ -1,12 +1,19 @@
-//! Quickstart: build a small trace by hand, aggregate it, and print the
-//! overview at a few aggregation strengths.
+//! Quickstart: build a small trace by hand, analyze it through an
+//! `AnalysisSession`, and print the overview at a few aggregation
+//! strengths.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! With `OCELOTL_CACHE_DIR` set, the session persists its artifacts
+//! (`.ocube` prefix sums, `.opart` partition table) there, and a second
+//! run is warm: zero DP runs, byte-identical output. CI pins exactly that
+//! (cold run, warm run, `diff`).
 
+use ocelotl::format::{hash_trace, DiskStore};
 use ocelotl::prelude::*;
-use ocelotl::viz::{overview, OverviewOptions};
+use ocelotl::viz::{overview_with_partition, OverviewOptions};
 
 fn main() {
     // 1. A platform of 2 clusters × 4 machines.
@@ -42,34 +49,47 @@ fn main() {
         trace.time_range().unwrap()
     );
 
-    // 3. Microscopic model (the paper uses 30 time slices) + cached inputs.
+    // 3. The analysis session over the 30-slice microscopic model (the
+    //    paper's |T|). The trace's content hash keys the artifacts, so a
+    //    cache dir makes every later run warm — and bit-identical.
     let model = MicroModel::from_trace(&trace, 30).unwrap();
-    let input = AggregationInput::build(&model);
+    let fingerprint = hash_trace(&trace).expect("fingerprint");
+    let mut session = AnalysisSession::new(
+        OwnedSource::new(model, fingerprint),
+        SessionConfig {
+            n_slices: 30,
+            ..SessionConfig::default()
+        },
+    );
+    if let Some(dir) = std::env::var_os("OCELOTL_CACHE_DIR").filter(|d| !d.is_empty()) {
+        session = session.with_store(DiskStore::new(dir, "quickstart"));
+    }
 
     // 4. Aggregate at increasing strength and show the overview.
     for p in [0.1, 0.5, 0.9] {
-        let tree = aggregate_default(&input, p);
-        let partition = tree.partition(&input);
-        let q = quality(&input, &partition);
+        let partition = session.partition_at(p, false).unwrap();
+        let cube = session.cube().unwrap();
+        let q = quality(cube, &partition);
         println!(
             "\n=== p = {p}: {} aggregates (complexity −{:.1} %, loss ratio {:.3}) ===",
             partition.len(),
             100.0 * q.complexity_reduction,
             q.loss_ratio,
         );
-        let ov = overview(
-            &input,
+        let ov = overview_with_partition(
+            cube,
+            partition,
             OverviewOptions {
                 p,
                 time_range: trace.time_range(),
                 ..OverviewOptions::default()
             },
         );
-        print!("{}", ov.to_ascii(&input, 72, 8));
+        print!("{}", ov.to_ascii(cube, 72, 8));
     }
 
     // 5. The significant p values an analyst can slide through.
-    let entries = significant_partitions(&input, &DpConfig::default(), 1e-3);
+    let entries = session.significant(1e-3).unwrap();
     println!("\nsignificant aggregation levels:");
     for e in &entries {
         println!(
@@ -79,4 +99,10 @@ fn main() {
             e.partition.len()
         );
     }
+    // Provenance goes to stderr so cold and warm stdout diff clean.
+    eprintln!(
+        "session: cube {:?}, {} DP runs this process",
+        session.cube_source(),
+        session.dp_runs()
+    );
 }

@@ -1,0 +1,300 @@
+//! Artifact-store correctness: `.ocube`/`.opart` roundtrips at a
+//! non-trivial hierarchy, bit-identical partitions from warm vs. cold
+//! sessions, stale-key invalidation, and the §V.B economy itself (warm
+//! `aggregate` must be ≥ 5× faster than cold at the quickstart scenario's
+//! |T| = 256).
+
+use ocelotl::core::{
+    quality, AnalysisSession, ArtifactStore, CubeCore, CubeSource, MemoryStore, Metric,
+    OwnedSource, PartitionTable, SessionConfig, SignificantSet,
+};
+use ocelotl::format::{hash_trace, DiskStore};
+use ocelotl::prelude::*;
+use ocelotl::trace::synthetic::random_model;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ocelotl-session-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// The quickstart scenario: 2 clusters × 4 machines, cluster 1 stalling in
+/// MPI_Wait during [4 s, 6 s).
+fn quickstart_trace() -> Trace {
+    let mut b = HierarchyBuilder::new("site", "site");
+    for c in 0..2 {
+        let cluster = b.add_child(b.root(), &format!("cluster{c}"), "cluster");
+        for m in 0..4 {
+            b.add_child(cluster, &format!("m{c}{m}"), "machine");
+        }
+    }
+    let hierarchy = b.build().unwrap();
+    let mut tb = TraceBuilder::new(hierarchy);
+    let compute = tb.state("Compute");
+    let wait = tb.state("MPI_Wait");
+    for leaf in 0..8u32 {
+        let mut t = 0.0;
+        while t < 10.0 {
+            let stalled = leaf >= 4 && (4.0..6.0).contains(&t);
+            let state = if stalled { wait } else { compute };
+            let step = 0.05 + 0.01 * (leaf as f64 % 3.0);
+            tb.push_state(LeafId(leaf), state, t, (t + step).min(10.0));
+            t += step;
+        }
+    }
+    tb.build()
+}
+
+fn session_for(
+    model: MicroModel,
+    fingerprint: u64,
+    n_slices: usize,
+    store: DiskStore,
+) -> AnalysisSession {
+    AnalysisSession::new(
+        OwnedSource::new(model, fingerprint),
+        SessionConfig {
+            n_slices,
+            metric: Metric::States,
+            memory: MemoryMode::Auto,
+        },
+    )
+    .with_store(store)
+}
+
+#[test]
+fn ocube_roundtrip_at_nontrivial_hierarchy() {
+    // Three-level hierarchy, 12 leaves, 3 states: every prefix-sum row and
+    // every evaluated cell must come back bit-identical.
+    let model = random_model(&[3, 2, 2], 13, 3, 2718);
+    let core = CubeCore::build(&model);
+    let dir = scratch("ocube-roundtrip");
+    let path = dir.join("t.ocube");
+    std::fs::create_dir_all(&dir).unwrap();
+    ocelotl::format::save_cube(77, &core, &path).unwrap();
+    let (key, back) = ocelotl::format::load_cube(&path).unwrap();
+    assert_eq!(key, 77);
+    assert_eq!(back.grid(), core.grid());
+    assert_eq!(back.hierarchy().len(), core.hierarchy().len());
+    for node in core.hierarchy().node_ids() {
+        assert_eq!(
+            core.prefix_duration_row(node),
+            back.prefix_duration_row(node)
+        );
+        assert_eq!(core.prefix_info_row(node), back.prefix_info_row(node));
+        for i in 0..core.n_slices() {
+            for j in i..core.n_slices() {
+                let (g0, l0) = core.eval_cell(node, i, j);
+                let (g1, l1) = back.eval_cell(node, i, j);
+                assert_eq!(g0.to_bits(), g1.to_bits());
+                assert_eq!(l0.to_bits(), l1.to_bits());
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn opart_roundtrip_at_nontrivial_hierarchy() {
+    let model = random_model(&[3, 2, 2], 11, 3, 3141);
+    let cube = CubeBackend::build(&model, MemoryMode::Dense);
+    let entries = significant_partitions(&cube, &DpConfig::default(), 1e-2);
+    let mut table = PartitionTable {
+        significant: Some(SignificantSet {
+            resolution: 1e-2,
+            entries,
+        }),
+        points: Vec::new(),
+    };
+    for (p, coarse) in [(0.3, false), (0.3, true), (0.9, false)] {
+        table.insert_point(
+            p,
+            coarse,
+            aggregate(
+                &cube,
+                p,
+                &if coarse {
+                    DpConfig::coarse_ties()
+                } else {
+                    DpConfig::default()
+                },
+            )
+            .partition(&cube),
+        );
+    }
+    let dir = scratch("opart-roundtrip");
+    let path = dir.join("t.opart");
+    std::fs::create_dir_all(&dir).unwrap();
+    ocelotl::format::save_partitions(88, &table, &path).unwrap();
+    let (key, back) = ocelotl::format::load_partitions(&path).unwrap();
+    assert_eq!(key, 88);
+    assert_eq!(back, table);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_partitions_are_bit_identical_to_cold() {
+    let trace = quickstart_trace();
+    let fp = hash_trace(&trace).unwrap();
+    let model = MicroModel::from_trace(&trace, 30).unwrap();
+    let dir = scratch("warm-identical");
+
+    let mut cold = session_for(model.clone(), fp, 30, DiskStore::new(&dir, "q"));
+    let cold_parts: Vec<Partition> = [0.0, 0.3, 0.5, 0.9, 1.0]
+        .iter()
+        .map(|&p| cold.partition_at(p, false).unwrap())
+        .collect();
+    let cold_levels = cold.significant(1e-3).unwrap();
+    cold.cube().unwrap();
+    assert_eq!(cold.cube_source(), Some(CubeSource::Cold));
+    let cold_quality: Vec<(u64, u64)> = cold_parts
+        .iter()
+        .map(|part| {
+            let q = quality(cold.cube().unwrap(), part);
+            (q.loss.to_bits(), q.gain.to_bits())
+        })
+        .collect();
+
+    // A brand-new session over the same artifacts: identical everything,
+    // zero DP runs, trace never resliced.
+    let mut warm = session_for(model, fp, 30, DiskStore::new(&dir, "q"));
+    for (i, &p) in [0.0, 0.3, 0.5, 0.9, 1.0].iter().enumerate() {
+        let part = warm.partition_at(p, false).unwrap();
+        assert_eq!(part, cold_parts[i], "p = {p}");
+    }
+    let warm_levels = warm.significant(1e-3).unwrap();
+    assert_eq!(warm.dp_runs(), 0, "warm session must not run the DP");
+    warm.cube().unwrap();
+    assert_eq!(warm.cube_source(), Some(CubeSource::Warm));
+    assert_eq!(cold_levels.len(), warm_levels.len());
+    for (a, b) in cold_levels.iter().zip(&warm_levels) {
+        assert_eq!(a.p_low.to_bits(), b.p_low.to_bits());
+        assert_eq!(a.p_high.to_bits(), b.p_high.to_bits());
+        assert_eq!(a.partition, b.partition);
+    }
+    // Quality numbers recomputed from the warm cube match to the bit.
+    for (i, part) in cold_parts.iter().enumerate() {
+        let q = quality(warm.cube().unwrap(), part);
+        assert_eq!((q.loss.to_bits(), q.gain.to_bits()), cold_quality[i]);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn changing_trace_or_params_invalidates_artifacts() {
+    let trace = quickstart_trace();
+    let fp = hash_trace(&trace).unwrap();
+    let model = MicroModel::from_trace(&trace, 20).unwrap();
+    let dir = scratch("invalidation");
+
+    let mut first = session_for(model.clone(), fp, 20, DiskStore::new(&dir, "q"));
+    first.partition_at(0.5, false).unwrap();
+
+    // Same trace, same params → warm.
+    let mut same = session_for(model.clone(), fp, 20, DiskStore::new(&dir, "q"));
+    same.cube().unwrap();
+    assert_eq!(same.cube_source(), Some(CubeSource::Warm));
+
+    // A changed trace (different fingerprint) → different key → cold:
+    // stale bytes can never be *served* (content-addressing), even though
+    // recent sibling artifacts are allowed to coexist for warmth.
+    let mut changed = session_for(model.clone(), fp ^ 1, 20, DiskStore::new(&dir, "q"));
+    changed.partition_at(0.5, false).unwrap();
+    changed.cube().unwrap();
+    assert_eq!(changed.cube_source(), Some(CubeSource::Cold));
+
+    // Different slicing params → different key → cold.
+    let model36 = MicroModel::from_trace(&trace, 36).unwrap();
+    let mut resliced = session_for(model36, fp, 36, DiskStore::new(&dir, "q"));
+    resliced.cube().unwrap();
+    assert_eq!(resliced.cube_source(), Some(CubeSource::Cold));
+
+    // And the cache population is bounded: many distinct keys prune down
+    // to the store's keep window instead of accumulating forever.
+    for k in 0..8u64 {
+        let mut s = session_for(model.clone(), fp ^ (100 + k), 20, DiskStore::new(&dir, "q"));
+        s.cube().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let ocubes = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("ocube"))
+        .count();
+    assert_eq!(
+        ocubes,
+        ocelotl::format::KEEP_PER_KIND,
+        "stale keys must be garbage-collected down to the keep window"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_aggregate_is_at_least_5x_faster_at_t256() {
+    use std::time::Instant;
+    // The acceptance scenario: quickstart trace at |T| = 256. Cold pays
+    // model slicing + prefix sums + dense matrices + the O(|S||T|³) DP;
+    // warm replays the stored partition from `.opart` over a `.ocube`.
+    let trace = quickstart_trace();
+    let fp = hash_trace(&trace).unwrap();
+    let model = MicroModel::from_trace(&trace, 256).unwrap();
+    let dir = scratch("speedup");
+
+    let t0 = Instant::now();
+    let mut cold = session_for(model.clone(), fp, 256, DiskStore::new(&dir, "q"));
+    let cold_part = cold.partition_at(0.5, false).unwrap();
+    let cold_elapsed = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut warm = session_for(model, fp, 256, DiskStore::new(&dir, "q"));
+    let warm_part = warm.partition_at(0.5, false).unwrap();
+    let warm_elapsed = t1.elapsed();
+
+    assert_eq!(cold_part, warm_part, "warm must be bit-identical");
+    assert_eq!(warm.dp_runs(), 0);
+    assert!(
+        warm_elapsed * 5 <= cold_elapsed,
+        "warm aggregate must be >= 5x faster: cold {cold_elapsed:?}, warm {warm_elapsed:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn memory_store_gives_in_process_warmth() {
+    // The ArtifactStore abstraction is not disk-bound: a MemoryStore
+    // shared via Arc warms a second session in the same process.
+    use std::sync::Arc;
+    #[derive(Clone)]
+    struct Shared(Arc<MemoryStore>);
+    impl ArtifactStore for Shared {
+        fn load_cube(&self, key: u64) -> Option<CubeCore> {
+            self.0.load_cube(key)
+        }
+        fn store_cube(&self, key: u64, core: &CubeCore) -> bool {
+            self.0.store_cube(key, core)
+        }
+        fn load_partitions(&self, key: u64) -> Option<PartitionTable> {
+            self.0.load_partitions(key)
+        }
+        fn store_partitions(&self, key: u64, table: &PartitionTable) -> bool {
+            self.0.store_partitions(key, table)
+        }
+    }
+
+    let model = random_model(&[2, 3], 16, 2, 99);
+    let store = Shared(Arc::new(MemoryStore::new()));
+    let config = SessionConfig {
+        n_slices: 16,
+        metric: Metric::States,
+        memory: MemoryMode::Auto,
+    };
+    let mut a =
+        AnalysisSession::new(OwnedSource::new(model.clone(), 5), config).with_store(store.clone());
+    let pa = a.partition_at(0.4, false).unwrap();
+    let mut b = AnalysisSession::new(OwnedSource::new(model, 5), config).with_store(store);
+    let pb = b.partition_at(0.4, false).unwrap();
+    assert_eq!(pa, pb);
+    assert_eq!(b.dp_runs(), 0);
+}
