@@ -8,7 +8,7 @@
 //! interaction" economy made durable across sessions.
 
 use crate::args::Args;
-use crate::helpers::{build_model, load_trace, Metric};
+use crate::helpers::{obtain_report, Metric};
 use crate::CliError;
 use std::io::Write;
 use std::path::Path;
@@ -36,34 +36,35 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
     args.expect_known(&["help", "slices", "metric", "out"])?;
     let path = Path::new(args.positional(0, "trace file")?);
+    if crate::helpers::is_micro_cache(path) {
+        return Err(CliError::Usage(
+            "input is already a model cache (.omm); pass the trace file".into(),
+        ));
+    }
     let n_slices: usize = args.get_or("slices", 30)?;
     let metric: Metric = args.get_or("metric", Metric::States)?;
 
+    // The two Table II stages are fused: the streaming reader prorates
+    // events into the model as it parses, so peak memory is O(model) and
+    // the trace is read once (twice for range-less headers).
     let t0 = Instant::now();
-    let trace = load_trace(path)?;
-    let reading = t0.elapsed();
-
-    let t1 = Instant::now();
-    let model = build_model(&trace, n_slices, metric)?;
-    let describing = t1.elapsed();
+    let report = obtain_report(path, n_slices, metric)?;
+    let ingest = t0.elapsed();
+    let model = &report.model;
 
     let out_path = match args.get("out")? {
         Some(o) => std::path::PathBuf::from(o),
         None => path.with_extension("omm"),
     };
-    ocelotl::format::save_micro(&model, &out_path)?;
+    ocelotl::format::save_micro(model, &out_path)?;
     let size = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
 
     writeln!(
         out,
-        "trace reading:           {:>10.3} ms ({} events)",
-        reading.as_secs_f64() * 1e3,
-        trace.event_count()
-    )?;
-    writeln!(
-        out,
-        "microscopic description: {:>10.3} ms ({} x {} x {} cells)",
-        describing.as_secs_f64() * 1e3,
+        "trace reading + microscopic description ({}): {:>10.3} ms ({} events, {} x {} x {} cells)",
+        report.mode.tag(),
+        ingest.as_secs_f64() * 1e3,
+        report.events(),
         model.n_leaves(),
         model.n_slices(),
         model.n_states()

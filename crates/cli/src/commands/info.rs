@@ -1,16 +1,25 @@
 //! `ocelotl info <trace>` — summarize a trace file.
 
 use crate::args::Args;
-use crate::helpers::load_trace;
+use crate::helpers::{load_trace, obtain_report, Metric};
 use crate::CliError;
 use std::io::Write;
 use std::path::Path;
+use std::time::Instant;
 
 const HELP: &str = "\
-ocelotl info <trace>
+ocelotl info <trace> [--stats]
 
 Summarize a trace file: dimensions, states, time extent, metadata.
-Accepts .btf, .ptf (sniffed) and .paje/.trace files.
+Accepts .btf, .ptf, .paje/.trace (all sniffed) and .omm model caches.
+
+OPTIONS:
+    --stats          stream the trace straight into the microscopic model
+                     (never materializing events) and report ingestion
+                     telemetry: events/s, bytes read, peak model footprint
+                     and the chosen ingest mode (single-pass / two-pass)
+    --slices N       time slices for the --stats model (default 30)
+    --metric M       states | density for the --stats model (default states)
 ";
 
 /// Entry point.
@@ -20,8 +29,11 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help"])?;
+    args.expect_known(&["help", "stats", "slices", "metric"])?;
     let path = Path::new(args.positional(0, "trace file")?);
+    if args.has("stats") {
+        return run_stats(&args, path, out);
+    }
     let trace = load_trace(path)?;
     let h = &trace.hierarchy;
 
@@ -71,6 +83,79 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `--stats`: one streaming ingestion (no event materialization) plus its
+/// telemetry, so users can see the O(model) path working.
+fn run_stats(args: &Args, path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
+    if crate::helpers::is_micro_cache(path) {
+        return Err(CliError::Usage(
+            "--stats measures trace ingestion; a .omm model cache has no event stream".into(),
+        ));
+    }
+    let n_slices: usize = args.get_or("slices", 30)?;
+    let metric: Metric = args.get_or("metric", Metric::States)?;
+    let t0 = Instant::now();
+    let report = obtain_report(path, n_slices, metric)?;
+    let elapsed = t0.elapsed();
+    let m = &report.model;
+    let h = m.hierarchy();
+
+    writeln!(out, "file:        {}", path.display())?;
+    writeln!(
+        out,
+        "size:        {} bytes",
+        std::fs::metadata(path).map(|x| x.len()).unwrap_or(0)
+    )?;
+    writeln!(
+        out,
+        "events:      {} ({} intervals, {} points)",
+        report.events(),
+        report.intervals,
+        report.points
+    )?;
+    writeln!(
+        out,
+        "time range:  [{:.6}, {:.6}] s",
+        m.grid().start(),
+        m.grid().end()
+    )?;
+    writeln!(
+        out,
+        "resources:   {} leaves, {} hierarchy nodes, depth {}",
+        h.n_leaves(),
+        h.len(),
+        h.max_depth()
+    )?;
+    writeln!(
+        out,
+        "model:       {} x {} x {} cells ({} metric, {} slices)",
+        m.n_leaves(),
+        m.n_slices(),
+        m.n_states(),
+        metric.tag(),
+        m.n_slices()
+    )?;
+    writeln!(out, "ingestion (streaming, events never materialized):")?;
+    writeln!(out, "  mode:              {}", report.mode.tag())?;
+    writeln!(
+        out,
+        "  wall time:         {:.3} ms",
+        elapsed.as_secs_f64() * 1e3
+    )?;
+    writeln!(
+        out,
+        "  throughput:        {:.0} events/s",
+        report.events() as f64 / elapsed.as_secs_f64().max(1e-9)
+    )?;
+    writeln!(out, "  bytes read:        {}", report.bytes_read)?;
+    writeln!(
+        out,
+        "  peak model memory: {} bytes (O(model), not O(events))",
+        report.peak_bytes
+    )?;
+    writeln!(out, "  fingerprint:       {:016x}", report.fingerprint)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +183,31 @@ mod tests {
     fn help_flag() {
         let text = run_ok("--help");
         assert!(text.contains("ocelotl info"));
+        assert!(text.contains("--stats"));
+    }
+
+    #[test]
+    fn stats_reports_streaming_telemetry() {
+        let p = fixture_trace("info-stats");
+        let text = run_ok(&format!("{} --stats --slices 10", p.display()));
+        assert!(text.contains("mode:              single-pass"), "{text}");
+        assert!(text.contains("events/s"), "{text}");
+        assert!(text.contains("peak model memory"), "{text}");
+        assert!(text.contains("fingerprint"), "{text}");
+        assert!(text.contains("events:      80"), "{text}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn stats_on_paje_uses_two_passes() {
+        let p = fixture_trace("info-stats-paje");
+        let trace = crate::helpers::load_trace(&p).unwrap();
+        let paje = p.with_extension("paje");
+        crate::helpers::save_trace(&trace, &paje).unwrap();
+        let text = run_ok(&format!("{} --stats", paje.display()));
+        assert!(text.contains("mode:              two-pass"), "{text}");
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&paje).ok();
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Shared plumbing for the subcommands: trace loading with `.paje`
-//! dispatch, and the one `AnalysisSession` construction path every
-//! analysis command (`aggregate`, `pvalues`, `render`, `inspect`,
-//! `report`, `sweep`) goes through.
+//! Shared plumbing for the subcommands: the one streaming ingestion path
+//! ([`obtain_report`], O(model) memory for every format) and the one
+//! `AnalysisSession` construction path every analysis command
+//! (`aggregate`, `pvalues`, `render`, `inspect`, `report`, `sweep`) goes
+//! through.
 //!
 //! ## Session & caching workflow
 //!
@@ -22,22 +23,17 @@ use ocelotl::core::{
 };
 use ocelotl::format::DiskStore;
 use ocelotl::trace::{MicroModel, Trace};
-use std::fs::File;
-use std::io::BufReader;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 pub use ocelotl::core::Metric;
 
-/// True when the path names a Pajé trace (`.paje` / `.trace`).
-fn is_paje(path: &Path) -> bool {
-    matches!(
-        path.extension().and_then(|e| e.to_str()),
-        Some("paje") | Some("trace")
-    )
-}
-
-/// Load a trace, dispatching `.paje`/`.trace` files to the Pajé reader and
-/// everything else to the sniffing `.btf`/`.ptf` reader.
+/// Materialize a full trace into memory. This is the O(|events|) path —
+/// only the commands that genuinely need raw events use it (`convert`
+/// round-trips, `render --gantt`, `info`'s state listing); analysis
+/// pipelines stream through [`obtain_model`] / [`FileSource`] instead.
+/// All three formats (`.btf`, `.ptf`, `.paje`/`.trace`) are sniffed and
+/// dispatched by `ocelotl::format::read_trace`.
 pub fn load_trace(path: &Path) -> Result<Trace, CliError> {
     if !path.exists() {
         return Err(CliError::Invalid(format!(
@@ -45,23 +41,12 @@ pub fn load_trace(path: &Path) -> Result<Trace, CliError> {
             path.display()
         )));
     }
-    if is_paje(path) {
-        let r = BufReader::with_capacity(1 << 20, File::open(path)?);
-        return Ok(ocelotl::format::read_paje(r)?);
-    }
     Ok(ocelotl::format::read_trace(path)?)
 }
 
 /// Write a trace, dispatching on the output extension (`.paje`/`.trace` →
 /// Pajé, `.ptf` → text, anything else → binary).
 pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), CliError> {
-    if is_paje(path) {
-        let mut w = std::io::BufWriter::new(File::create(path)?);
-        ocelotl::format::write_paje(trace, &mut w)?;
-        use std::io::Write as _;
-        w.flush()?;
-        return Ok(());
-    }
     ocelotl::format::write_trace(trace, path)?;
     Ok(())
 }
@@ -80,42 +65,90 @@ pub fn is_micro_cache(path: &Path) -> bool {
 
 /// Obtain the microscopic model behind a path: `.omm` caches load directly
 /// (their grid/metric were fixed at `describe` time; `n_slices`/`metric`
-/// are ignored), anything else is read as a trace and sliced.
+/// are ignored), anything else **streams** from the trace file into the
+/// model without materializing events — peak memory is O(model), not
+/// O(|events|), so traces larger than RAM aggregate end to end.
 pub fn obtain_model(path: &Path, n_slices: usize, metric: Metric) -> Result<MicroModel, CliError> {
-    if is_micro_cache(path) {
-        if !path.exists() {
-            return Err(CliError::Invalid(format!(
-                "no such file: {}",
-                path.display()
-            )));
-        }
-        return Ok(ocelotl::format::load_micro(path)?);
-    }
-    let trace = load_trace(path)?;
-    build_model(&trace, n_slices, metric)
+    Ok(obtain_report(path, n_slices, metric)?.model)
 }
 
-/// The file-backed [`ModelSource`]: fingerprints the raw file bytes and
-/// produces the model on the cold path (`.omm` caches load directly).
+/// [`obtain_model`] plus the ingestion telemetry (fingerprint, bytes,
+/// mode) — the one streaming entry point every CLI command goes through.
+/// `.omm` caches synthesize a report carrying only what a cache load can
+/// know (the model, the file hash and its size; zero event counts) —
+/// that is enough for the session path, and the commands that *display*
+/// telemetry (`info --stats`, `describe`) reject `.omm` inputs.
+pub fn obtain_report(
+    path: &Path,
+    n_slices: usize,
+    metric: Metric,
+) -> Result<ocelotl::format::IngestReport, CliError> {
+    if !path.exists() {
+        return Err(CliError::Invalid(format!(
+            "no such file: {}",
+            path.display()
+        )));
+    }
+    if is_micro_cache(path) {
+        let model = ocelotl::format::load_micro(path)?;
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let fingerprint = ocelotl::format::hash_file(path)?;
+        return Ok(ocelotl::format::IngestReport {
+            model,
+            fingerprint,
+            bytes_read: bytes,
+            intervals: 0,
+            points: 0,
+            peak_bytes: 0,
+            mode: ocelotl::format::IngestMode::SinglePass,
+            format: ocelotl::format::Format::Binary,
+        });
+    }
+    Ok(ocelotl::format::read_model(
+        path,
+        n_slices,
+        metric.model_kind(),
+    )?)
+}
+
+/// The file-backed [`ModelSource`]: streams the model straight from the
+/// file and computes the content fingerprint in the same disk pass. A
+/// fingerprint obtained as a by-product of a model build is cached, so a
+/// store-less session costs exactly one read of the trace; only a
+/// warm-capable session (artifact store attached, which must key before
+/// deciding whether to read at all) pays a separate raw hash pass.
 pub struct FileSource {
     path: PathBuf,
+    fingerprint: Mutex<Option<u64>>,
 }
 
 impl FileSource {
     /// A source reading from `path`.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Self { path: path.into() }
+        Self {
+            path: path.into(),
+            fingerprint: Mutex::new(None),
+        }
     }
 }
 
 impl ModelSource for FileSource {
     fn fingerprint(&self) -> Result<u64, SessionError> {
-        ocelotl::format::hash_file(&self.path)
-            .map_err(|e| SessionError::source(format!("cannot hash {}: {e}", self.path.display())))
+        if let Some(fp) = *self.fingerprint.lock().unwrap() {
+            return Ok(fp);
+        }
+        let fp = ocelotl::format::hash_file(&self.path).map_err(|e| {
+            SessionError::source(format!("cannot hash {}: {e}", self.path.display()))
+        })?;
+        *self.fingerprint.lock().unwrap() = Some(fp);
+        Ok(fp)
     }
 
     fn model(&self, n_slices: usize, metric: Metric) -> Result<MicroModel, SessionError> {
-        obtain_model(&self.path, n_slices, metric).map_err(|e| SessionError::source(e.to_string()))
+        let report = obtain_report(&self.path, n_slices, metric)
+            .map_err(|e| SessionError::source(e.to_string()))?;
+        *self.fingerprint.lock().unwrap() = Some(report.fingerprint);
+        Ok(report.model)
     }
 }
 

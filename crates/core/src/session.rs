@@ -107,6 +107,17 @@ impl Metric {
             Metric::Density => event_density_auto(trace, n_slices),
         }
     }
+
+    /// The streaming-sink equivalent of this metric: feed a
+    /// [`ModelSink`](ocelotl_trace::ModelSink) of this kind and the result
+    /// is bit-identical to [`Metric::build_model`] over the materialized
+    /// trace (sequential path).
+    pub fn model_kind(self) -> ocelotl_trace::ModelKind {
+        match self {
+            Metric::States => ocelotl_trace::ModelKind::States,
+            Metric::Density => ocelotl_trace::ModelKind::Density,
+        }
+    }
 }
 
 impl std::str::FromStr for Metric {
@@ -435,8 +446,13 @@ impl AnalysisSession {
         if self.cube.is_some() {
             return Ok(());
         }
-        let key = self.key()?;
-        if let Some(store) = &self.store {
+        // The key hashes the trace bytes, so it is only computed when a
+        // store could actually serve or receive artifacts — a store-less
+        // session goes straight to the (single-pass) model build without
+        // a separate fingerprint read.
+        if self.store.is_some() {
+            let key = self.key()?;
+            let store = self.store.as_ref().unwrap();
             if let Some(core) = store.load_cube(key) {
                 self.cube = Some(CubeBackend::from_core(core, self.config.memory));
                 self.cube_source = Some(CubeSource::Warm);
@@ -445,8 +461,9 @@ impl AnalysisSession {
         }
         self.ensure_model()?;
         let core = CubeCore::build(self.model.as_ref().unwrap());
-        if let Some(store) = &self.store {
-            store.store_cube(key, &core);
+        if self.store.is_some() {
+            let key = self.key()?;
+            self.store.as_ref().unwrap().store_cube(key, &core);
         }
         self.cube = Some(CubeBackend::from_core(core, self.config.memory));
         self.cube_source = Some(CubeSource::Cold);
@@ -477,17 +494,25 @@ impl AnalysisSession {
         if self.table.is_some() {
             return Ok(());
         }
-        let key = self.key()?;
-        let loaded = self
-            .store
-            .as_ref()
-            .and_then(|s| s.load_partitions(key))
-            .unwrap_or_default();
+        let loaded = match &self.store {
+            Some(_) => {
+                let key = self.key()?;
+                self.store
+                    .as_ref()
+                    .unwrap()
+                    .load_partitions(key)
+                    .unwrap_or_default()
+            }
+            None => PartitionTable::default(),
+        };
         self.table = Some(loaded);
         Ok(())
     }
 
     fn persist_table(&mut self) -> Result<(), SessionError> {
+        if self.store.is_none() {
+            return Ok(());
+        }
         // Memoized key: re-fingerprinting here would re-hash the whole
         // trace on every newly recorded DP result.
         let key = self.key()?;
@@ -684,6 +709,41 @@ mod tests {
         .with_store(store);
         s.cube().unwrap();
         assert_eq!(s.cube_source(), Some(CubeSource::Cold));
+    }
+
+    #[test]
+    fn storeless_session_never_fingerprints() {
+        // Without an artifact store there is no key to compute, so the
+        // source must never be asked for its fingerprint — that is what
+        // makes the default CLI cold path a single disk pass.
+        struct NoFingerprint(MicroModel);
+        impl ModelSource for NoFingerprint {
+            fn fingerprint(&self) -> Result<u64, SessionError> {
+                panic!("store-less sessions must not fingerprint");
+            }
+            fn model(&self, _n: usize, _m: Metric) -> Result<MicroModel, SessionError> {
+                Ok(self.0.clone())
+            }
+        }
+        let model = fig3_model();
+        let n_slices = model.n_slices();
+        let mut s = AnalysisSession::new(
+            NoFingerprint(model),
+            SessionConfig {
+                n_slices,
+                ..SessionConfig::default()
+            },
+        );
+        let _ = s.partition_at(0.5, false).unwrap();
+        let _ = s.significant(1e-2).unwrap();
+        assert_eq!(s.cube_source(), Some(CubeSource::Cold));
+    }
+
+    #[test]
+    fn metric_model_kind_maps_both_ways() {
+        use ocelotl_trace::ModelKind;
+        assert_eq!(Metric::States.model_kind(), ModelKind::States);
+        assert_eq!(Metric::Density.model_kind(), ModelKind::Density);
     }
 
     #[test]

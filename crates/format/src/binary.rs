@@ -19,8 +19,8 @@
 use crate::error::{FormatError, Result};
 use bytes::BufMut;
 use ocelotl_trace::{
-    Hierarchy, HierarchyBuilder, LeafId, MicroBuilder, MicroModel, PointEvent, PointKind, StateId,
-    StateRegistry, TimeGrid, Trace, TraceBuilder,
+    EventSink, Hierarchy, HierarchyBuilder, LeafId, PointEvent, PointKind, StateId, StateRegistry,
+    StreamHeader, Trace, TraceSink,
 };
 use std::io::{BufRead, Read, Seek, SeekFrom, Write};
 
@@ -352,18 +352,30 @@ impl<W: Write + Seek> BtfStreamWriter<W> {
     }
 }
 
-/// Read a full BTF trace into memory.
-pub fn read_binary<R: BufRead>(mut r: R) -> Result<Trace> {
+/// Decode a BTF stream, driving `sink` through the [`EventSink`] protocol.
+/// The header always declares the time range, so single-pass streaming
+/// model construction needs no scan pass for this format.
+///
+/// Returns `Ok(true)` when the stream was fully decoded, `Ok(false)` when
+/// the sink declined the stream at `begin`. Records are validated before
+/// the sink sees them.
+pub fn decode_binary<R: BufRead, S: EventSink>(mut r: R, sink: &mut S) -> Result<bool> {
     let header = read_header(&mut r)?;
     let n_leaves = header.hierarchy.n_leaves();
     let n_states = header.states.len();
-    let mut b = TraceBuilder::new(header.hierarchy).with_states(header.states);
-    for (k, v) in &header.metadata {
-        b.push_meta(k, v);
+    let n_intervals = header.n_intervals;
+    let stream_header = StreamHeader {
+        hierarchy: header.hierarchy,
+        states: header.states,
+        metadata: header.metadata,
+        range: Some(header.range),
+    };
+    if !sink.begin(&stream_header) {
+        return Ok(false);
     }
 
     let mut rec = [0u8; INTERVAL_RECORD_BYTES];
-    for _ in 0..header.n_intervals {
+    for _ in 0..n_intervals {
         r.read_exact(&mut rec)?;
         let (res, st, begin, end) = decode_interval(&rec);
         if res as usize >= n_leaves
@@ -374,7 +386,7 @@ pub fn read_binary<R: BufRead>(mut r: R) -> Result<Trace> {
         {
             return Err(FormatError::parse("invalid interval record", None));
         }
-        b.push_state(LeafId(res), StateId(st), begin, end);
+        sink.interval(LeafId(res), StateId(st), begin, end);
     }
 
     let mut n_pts = [0u8; 8];
@@ -396,53 +408,29 @@ pub fn read_binary<R: BufRead>(mut r: R) -> Result<Trace> {
         if res as usize >= n_leaves || !time.is_finite() {
             return Err(FormatError::parse("invalid point record", None));
         }
-        b.push_point(PointEvent {
+        sink.point(&PointEvent {
             resource: LeafId(res),
             time,
             kind,
         });
     }
-    Ok(b.build())
+    sink.end();
+    Ok(true)
 }
 
-/// Stream a BTF trace directly into a microscopic model (single pass, no
-/// event materialization).
-pub fn stream_binary_micro<R: BufRead>(mut r: R, n_slices: usize) -> Result<MicroModel> {
-    let header = read_header(&mut r)?;
-    let (lo, hi) = header.range;
-    if hi <= lo {
-        return Err(FormatError::parse(
-            "binary trace has an empty time range",
-            None,
-        ));
-    }
-    let n_leaves = header.hierarchy.n_leaves();
-    let n_states = header.states.len();
-    let grid = TimeGrid::new(lo, hi, n_slices);
-    let mut mb = MicroBuilder::new(header.hierarchy, header.states, grid);
-
-    let mut rec = [0u8; INTERVAL_RECORD_BYTES];
-    for _ in 0..header.n_intervals {
-        r.read_exact(&mut rec)?;
-        let (res, st, begin, end) = decode_interval(&rec);
-        if res as usize >= n_leaves
-            || st as usize >= n_states
-            || !begin.is_finite()
-            || !end.is_finite()
-            || end < begin
-        {
-            return Err(FormatError::parse("invalid interval record", None));
-        }
-        mb.add(LeafId(res), StateId(st), begin, end);
-    }
-    // Point events (if any) are irrelevant to the micro model; stop here.
-    Ok(mb.finish())
+/// Read a full BTF trace into memory (the materializing path — analysis
+/// pipelines should stream through [`decode_binary`] instead).
+pub fn read_binary<R: BufRead>(r: R) -> Result<Trace> {
+    let mut sink = TraceSink::new();
+    decode_binary(r, &mut sink)?;
+    sink.into_trace()
+        .ok_or_else(|| FormatError::parse("trace has no hierarchy", None))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ocelotl_trace::{Hierarchy, MicroModel};
+    use ocelotl_trace::{Hierarchy, MicroModel, TraceBuilder};
 
     fn sample_trace() -> Trace {
         let mut b = HierarchyBuilder::new("site", "site");
@@ -580,21 +568,36 @@ mod tests {
     }
 
     #[test]
-    fn streaming_micro_matches_batch() {
+    fn streaming_micro_matches_batch_bitwise() {
+        use ocelotl_trace::{ModelKind, ModelSink};
         let t = sample_trace();
         let mut buf = Vec::new();
         write_binary(&t, &mut buf).unwrap();
-        let streamed = stream_binary_micro(buf.as_slice(), 5).unwrap();
+        let mut sink = ModelSink::new(ModelKind::States, 5);
+        assert!(decode_binary(buf.as_slice(), &mut sink).unwrap());
+        let streamed = sink.finish().unwrap();
         let batch = MicroModel::from_trace(&t, 5).unwrap();
         for s in 0..2u32 {
             for x in 0..2u16 {
                 for ti in 0..5 {
                     let a = streamed.duration(LeafId(s), StateId(x), ti);
                     let b = batch.duration(LeafId(s), StateId(x), ti);
-                    assert!((a - b).abs() < 1e-12);
+                    assert_eq!(a.to_bits(), b.to_bits());
                 }
             }
         }
+    }
+
+    #[test]
+    fn empty_declared_range_declines_streaming() {
+        use ocelotl_trace::{ModelKind, ModelSink, ModelSinkError};
+        // An empty trace's header declares range (0, 0): nothing to slice.
+        let t = TraceBuilder::new(Hierarchy::flat(2, "p")).build();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let mut sink = ModelSink::new(ModelKind::States, 4);
+        assert!(!decode_binary(buf.as_slice(), &mut sink).unwrap());
+        assert_eq!(sink.finish().unwrap_err(), ModelSinkError::EmptyRange);
     }
 
     #[test]

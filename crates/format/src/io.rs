@@ -1,11 +1,30 @@
 //! File-level convenience API with buffered I/O and format autodetection.
+//!
+//! Three encodings are routed here — PTF text, BTF binary and Pajé — and
+//! two consumption styles:
+//!
+//! - [`read_trace`] materializes a full [`Trace`] (O(|events|) memory;
+//!   kept for conversion / round-trip use cases);
+//! - [`read_model`] streams the file straight into a metric-aware
+//!   [`MicroModel`] with O(model) memory, computing the FNV-1a content
+//!   fingerprint *in the same disk pass*. When the header declares no time
+//!   range (Pajé always, PTF without `%range`) it falls back to a bounded
+//!   two-pass scan: pass 1 collects the observed extent, registries and
+//!   the fingerprint; pass 2 folds the events into the model.
+//!
+//! Format detection sniffs the leading bytes and falls back to the file
+//! extension (a Pajé file may start with comment lines, which defeats
+//! sniffing); content wins over a contradicting extension. All errors are
+//! annotated with the offending path.
 
 use crate::binary;
 use crate::error::{FormatError, Result};
+use crate::paje;
+use crate::store::HashingReader;
 use crate::text;
-use ocelotl_trace::{MicroModel, Trace};
+use ocelotl_trace::{EventSink, MicroModel, ModelKind, ModelSink, ScanSink, Trace, TraceSink};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// On-disk trace encodings.
@@ -15,14 +34,18 @@ pub enum Format {
     Text,
     /// `.btf` — compact little-endian binary.
     Binary,
+    /// `.paje` / `.trace` — the Pajé subset of the paper's tool family.
+    Paje,
 }
 
 impl Format {
-    /// Choose a format from a file extension (`.ptf` / `.btf`).
+    /// Choose a format from a file extension (`.ptf` / `.btf` /
+    /// `.paje` / `.trace`).
     pub fn from_path(path: &Path) -> Option<Format> {
         match path.extension().and_then(|e| e.to_str()) {
             Some("ptf") => Some(Format::Text),
             Some("btf") => Some(Format::Binary),
+            Some("paje") | Some("trace") => Some(Format::Paje),
             _ => None,
         }
     }
@@ -33,8 +56,19 @@ impl Format {
             Some(Format::Text)
         } else if head.starts_with(b"BTF1") {
             Some(Format::Binary)
+        } else if head.starts_with(b"%EventDef") {
+            Some(Format::Paje)
         } else {
             None
+        }
+    }
+
+    /// Human-readable name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Text => "PTF text",
+            Format::Binary => "BTF binary",
+            Format::Paje => "Pajé",
         }
     }
 }
@@ -47,47 +81,229 @@ pub fn write_trace(trace: &Trace, path: &Path) -> Result<()> {
     match fmt {
         Format::Text => text::write_text(trace, &mut w)?,
         Format::Binary => binary::write_binary(trace, &mut w)?,
+        Format::Paje => paje::write_paje(trace, &mut w)?,
     }
     w.flush()?;
     Ok(())
 }
 
-fn open_detected(path: &Path) -> Result<(Format, BufReader<File>)> {
+/// Sniff the format of `path`: content first, extension as the fallback.
+/// Returns the chosen format plus what the extension suggested (for
+/// contradiction diagnostics).
+fn detect(path: &Path) -> Result<(Format, Option<Format>)> {
     let mut f = File::open(path)?;
-    let mut head = [0u8; 4];
-    let n = f.read(&mut head)?;
-    let fmt = Format::sniff(&head[..n])
-        .or_else(|| Format::from_path(path))
-        .ok_or_else(|| FormatError::parse("unrecognized trace format", None))?;
-    // Reopen from the start through a buffered reader.
-    drop(f);
-    Ok((fmt, BufReader::with_capacity(1 << 20, File::open(path)?)))
+    let mut head = [0u8; 16];
+    let mut n = 0;
+    while n < head.len() {
+        let got = f.read(&mut head[n..])?;
+        if got == 0 {
+            break;
+        }
+        n += got;
+    }
+    let ext = Format::from_path(path);
+    match Format::sniff(&head[..n]).or(ext) {
+        Some(fmt) => Ok((fmt, ext)),
+        None => Err(FormatError::parse(
+            format!("unrecognized trace format: {}", path.display()),
+            None,
+        )),
+    }
 }
 
-/// Read a whole trace from `path` (format sniffed from content).
+/// Attach the offending path (and, when content and extension disagree,
+/// the contradiction) to a reader error.
+fn annotate(e: FormatError, path: &Path, chosen: Format, ext: Option<Format>) -> FormatError {
+    let contradiction = match ext {
+        Some(x) if x != chosen => format!(
+            " (content sniffed as {}, contradicting the {} extension)",
+            chosen.name(),
+            path.extension()
+                .and_then(|e| e.to_str())
+                .map(|e| format!(".{e}"))
+                .unwrap_or_default(),
+        ),
+        _ => String::new(),
+    };
+    match e {
+        // Truncated files surface as UnexpectedEof: keep the variant and
+        // kind, but the message must still name the file.
+        FormatError::Io(io) => FormatError::Io(std::io::Error::new(
+            io.kind(),
+            format!("{}: {io}{contradiction}", path.display()),
+        )),
+        FormatError::Parse { message, position } => FormatError::Parse {
+            message: format!("{}: {message}{contradiction}", path.display()),
+            position,
+        },
+        FormatError::UnsupportedVersion(v) => FormatError::Parse {
+            message: format!(
+                "{}: unsupported format version {v:?}{contradiction}",
+                path.display()
+            ),
+            position: None,
+        },
+    }
+}
+
+/// Drive `sink` with the decoder for `fmt`.
+pub fn decode<R: BufRead, S: EventSink>(fmt: Format, r: R, sink: &mut S) -> Result<bool> {
+    match fmt {
+        Format::Text => text::decode_text(r, sink),
+        Format::Binary => binary::decode_binary(r, sink),
+        Format::Paje => paje::decode_paje(r, sink),
+    }
+}
+
+fn buffered(path: &Path) -> Result<BufReader<File>> {
+    Ok(BufReader::with_capacity(1 << 20, File::open(path)?))
+}
+
+fn buffered_hashing(path: &Path) -> Result<BufReader<HashingReader<File>>> {
+    Ok(BufReader::with_capacity(
+        1 << 20,
+        HashingReader::new(File::open(path)?),
+    ))
+}
+
+/// Read a whole trace from `path` (format sniffed from content, extension
+/// fallback; all three formats dispatch here).
 pub fn read_trace(path: &Path) -> Result<Trace> {
-    let (fmt, r) = open_detected(path)?;
-    match fmt {
-        Format::Text => text::read_text(r),
-        Format::Binary => binary::read_binary(r),
+    let (fmt, ext) = detect(path)?;
+    let mut sink = TraceSink::new();
+    decode(fmt, buffered(path)?, &mut sink).map_err(|e| annotate(e, path, fmt, ext))?;
+    sink.into_trace()
+        .ok_or_else(|| FormatError::parse(format!("{}: empty trace stream", path.display()), None))
+}
+
+/// How [`read_model`] ingested the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// The header declared the time range: one fused read computed the
+    /// model and the fingerprint together.
+    SinglePass,
+    /// No declared range: a scan pass (extent + registries + fingerprint)
+    /// preceded the fold pass.
+    TwoPass,
+}
+
+impl IngestMode {
+    /// Stable tag for logs and stats output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            IngestMode::SinglePass => "single-pass",
+            IngestMode::TwoPass => "two-pass",
+        }
     }
 }
 
-/// Stream a trace file straight into a microscopic model with `n_slices`
-/// periods — the paper's "trace reading + microscopic description" pipeline
-/// without materializing events.
-pub fn read_micro(path: &Path, n_slices: usize) -> Result<MicroModel> {
-    let (fmt, r) = open_detected(path)?;
-    match fmt {
-        Format::Text => text::stream_text_micro(r, n_slices),
-        Format::Binary => binary::stream_binary_micro(r, n_slices),
+/// Everything one streaming ingestion produced: the model plus the
+/// telemetry `ocelotl info --stats` and the session layer consume.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// The microscopic model.
+    pub model: MicroModel,
+    /// FNV-1a hash of the file bytes (equals `hash_file`), computed in
+    /// the same pass that built the model.
+    pub fingerprint: u64,
+    /// Total bytes read from disk (both passes for [`IngestMode::TwoPass`]).
+    pub bytes_read: u64,
+    /// Interval records decoded.
+    pub intervals: u64,
+    /// Point records decoded.
+    pub points: u64,
+    /// Peak resident footprint of the streaming accumulator, in bytes —
+    /// O(model), independent of the event count.
+    pub peak_bytes: u64,
+    /// Which ingestion strategy ran.
+    pub mode: IngestMode,
+    /// The detected trace format.
+    pub format: Format,
+}
+
+impl IngestReport {
+    /// Event count in the Table II convention (2 per interval + 1 per
+    /// point).
+    pub fn events(&self) -> u64 {
+        self.intervals * 2 + self.points
     }
+}
+
+/// Stream a trace file straight into a metric-aware microscopic model
+/// with `n_slices` periods — the paper's "trace reading + microscopic
+/// description" pipeline fused into one pass, without materializing
+/// events. See the module docs for the two-pass fallback.
+pub fn read_model(path: &Path, n_slices: usize, kind: ModelKind) -> Result<IngestReport> {
+    let (fmt, ext) = detect(path)?;
+    let wrap = |e: FormatError| annotate(e, path, fmt, ext);
+
+    // Optimistic single pass: decode and fingerprint together.
+    let mut r = buffered_hashing(path)?;
+    let mut sink = ModelSink::new(kind, n_slices);
+    let complete = decode(fmt, &mut r, &mut sink).map_err(wrap)?;
+    if complete {
+        let (fingerprint, bytes_read) = r.into_inner().finish()?;
+        return assemble(sink, fingerprint, bytes_read, IngestMode::SinglePass, fmt).map_err(wrap);
+    }
+    if !sink.needs_range() {
+        // Declined for a terminal reason (e.g. a declared-but-empty range).
+        let e = sink.finish().expect_err("declined sinks cannot finish");
+        return Err(wrap(FormatError::parse(e.to_string(), None)));
+    }
+
+    // Bounded two-pass scan: the header declared no time range.
+    // Pass 1 — observed extent, counts, fingerprint.
+    let mut r = buffered_hashing(path)?;
+    let mut scan = ScanSink::new();
+    decode(fmt, &mut r, &mut scan).map_err(wrap)?;
+    let (fingerprint, scan_bytes) = r.into_inner().finish()?;
+    let Some(range) = scan.observed_range() else {
+        return Err(wrap(FormatError::parse(
+            "trace has no events to slice",
+            None,
+        )));
+    };
+    // Pass 2 — fold the events into the model over the scanned extent.
+    let mut sink = ModelSink::with_range(kind, n_slices, range);
+    decode(fmt, buffered(path)?, &mut sink).map_err(wrap)?;
+    assemble(sink, fingerprint, 2 * scan_bytes, IngestMode::TwoPass, fmt).map_err(wrap)
+}
+
+fn assemble(
+    sink: ModelSink,
+    fingerprint: u64,
+    bytes_read: u64,
+    mode: IngestMode,
+    format: Format,
+) -> Result<IngestReport> {
+    let peak_bytes = sink.peak_bytes();
+    let (intervals, points) = sink.counts();
+    let model = sink
+        .finish()
+        .map_err(|e| FormatError::parse(e.to_string(), None))?;
+    Ok(IngestReport {
+        model,
+        fingerprint,
+        bytes_read,
+        intervals,
+        points,
+        peak_bytes,
+        mode,
+        format,
+    })
+}
+
+/// Stream a trace file straight into a state-metric microscopic model
+/// with `n_slices` periods (shorthand for [`read_model`]).
+pub fn read_micro(path: &Path, n_slices: usize) -> Result<MicroModel> {
+    Ok(read_model(path, n_slices, ModelKind::States)?.model)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ocelotl_trace::{Hierarchy, LeafId, TraceBuilder};
+    use crate::store::hash_file;
+    use ocelotl_trace::{Hierarchy, LeafId, StateId, TraceBuilder};
 
     fn tmpdir() -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("ocelotl-io-{}", std::process::id()));
@@ -104,17 +320,75 @@ mod tests {
     }
 
     #[test]
-    fn file_roundtrip_both_formats() {
+    fn file_roundtrip_all_formats() {
         let t = sample();
-        for name in ["t.ptf", "t.btf"] {
+        for name in ["t.ptf", "t.btf", "t.paje"] {
             let p = tmpdir().join(name);
             write_trace(&t, &p).unwrap();
             let t2 = read_trace(&p).unwrap();
-            assert_eq!(t2.intervals, t.intervals, "{name}");
+            assert_eq!(t2.intervals.len(), t.intervals.len(), "{name}");
             let m = read_micro(&p, 3).unwrap();
             assert_eq!(m.n_slices(), 3);
             std::fs::remove_file(&p).ok();
         }
+    }
+
+    #[test]
+    fn streaming_model_matches_materialized_bitwise() {
+        let t = sample();
+        for name in ["eq.ptf", "eq.btf", "eq.paje"] {
+            let p = tmpdir().join(name);
+            write_trace(&t, &p).unwrap();
+            let report = read_model(&p, 4, ModelKind::States).unwrap();
+            let back = read_trace(&p).unwrap();
+            let batch = MicroModel::from_trace(&back, 4).unwrap();
+            assert_eq!(report.model.grid(), batch.grid(), "{name}");
+            for l in 0..2u32 {
+                for x in 0..report.model.n_states() as u16 {
+                    for s in 0..4 {
+                        assert_eq!(
+                            report.model.duration(LeafId(l), StateId(x), s).to_bits(),
+                            batch.duration(LeafId(l), StateId(x), s).to_bits(),
+                            "{name} cell ({l},{x},{s})"
+                        );
+                    }
+                }
+            }
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn fingerprint_matches_hash_file_in_both_modes() {
+        let t = sample();
+        for (name, mode) in [
+            ("fp.btf", IngestMode::SinglePass),
+            ("fp.ptf", IngestMode::SinglePass),
+            ("fp.paje", IngestMode::TwoPass), // Pajé never declares a range
+        ] {
+            let p = tmpdir().join(name);
+            write_trace(&t, &p).unwrap();
+            let report = read_model(&p, 5, ModelKind::States).unwrap();
+            assert_eq!(report.mode, mode, "{name}");
+            assert_eq!(report.fingerprint, hash_file(&p).unwrap(), "{name}");
+            assert!(report.bytes_read >= std::fs::metadata(&p).unwrap().len());
+            assert_eq!(report.intervals, 2, "{name}");
+            assert!(report.peak_bytes > 0);
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn ptf_without_range_takes_two_passes() {
+        let src = "%PTF 1\n%node 0 - root r\n%node 1 0 m a\n%state 0 s\nS 0 0 1.0 5.0\n";
+        let p = tmpdir().join("norange.ptf");
+        std::fs::write(&p, src).unwrap();
+        let report = read_model(&p, 4, ModelKind::States).unwrap();
+        assert_eq!(report.mode, IngestMode::TwoPass);
+        assert_eq!(report.model.grid().start(), 1.0);
+        assert_eq!(report.model.grid().end(), 5.0);
+        assert_eq!(report.fingerprint, hash_file(&p).unwrap());
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]
@@ -133,20 +407,79 @@ mod tests {
     }
 
     #[test]
-    fn unknown_format_rejected() {
+    fn unknown_format_error_names_the_path() {
         let p = tmpdir().join("garbage.bin");
         std::fs::write(&p, b"not a trace").unwrap();
-        assert!(read_trace(&p).is_err());
+        let err = read_trace(&p).unwrap_err();
+        assert!(err.to_string().contains("garbage.bin"), "{err}");
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn contradicting_extension_error_names_path_and_formats() {
+        // Garbage behind a recognized extension: sniffing fails, the
+        // extension fallback reader fails — the error must name the path.
+        let p = tmpdir().join("broken.btf");
+        std::fs::write(&p, b"\x00\x01\x02\x03 definitely not BTF").unwrap();
+        let err = read_trace(&p).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("broken.btf"), "{msg}");
+
+        // PTF content mislabeled .paje parses by content; errors inside it
+        // must surface the contradiction.
+        let p = tmpdir().join("mislabeled.paje");
+        std::fs::write(&p, "%PTF 1\n%node 0 - root r\nGARBAGE\n").unwrap();
+        let err = read_trace(&p).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("mislabeled.paje"), "{msg}");
+        assert!(msg.contains("contradicting"), "{msg}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_trace_has_nothing_to_slice() {
+        let t = TraceBuilder::new(Hierarchy::flat(2, "p")).build();
+        for name in ["empty.btf", "empty.ptf"] {
+            let p = tmpdir().join(name);
+            write_trace(&t, &p).unwrap();
+            assert_eq!(read_trace(&p).unwrap().intervals.len(), 0, "{name}");
+            assert!(read_model(&p, 4, ModelKind::States).is_err(), "{name}");
+            std::fs::remove_file(&p).ok();
+        }
     }
 
     #[test]
     fn format_helpers() {
         assert_eq!(Format::from_path(Path::new("x.ptf")), Some(Format::Text));
         assert_eq!(Format::from_path(Path::new("x.btf")), Some(Format::Binary));
+        assert_eq!(Format::from_path(Path::new("x.paje")), Some(Format::Paje));
+        assert_eq!(Format::from_path(Path::new("x.trace")), Some(Format::Paje));
         assert_eq!(Format::from_path(Path::new("x.csv")), None);
         assert_eq!(Format::sniff(b"%PTF 1"), Some(Format::Text));
         assert_eq!(Format::sniff(b"BTF1"), Some(Format::Binary));
+        assert_eq!(Format::sniff(b"%EventDef PajeState"), Some(Format::Paje));
         assert_eq!(Format::sniff(b"??"), None);
+    }
+
+    #[test]
+    fn density_metric_streams_too() {
+        let t = sample();
+        let p = tmpdir().join("density.btf");
+        write_trace(&t, &p).unwrap();
+        let report = read_model(&p, 4, ModelKind::Density).unwrap();
+        let back = read_trace(&p).unwrap();
+        let batch = ocelotl_trace::event_density_auto(&back, 4).unwrap();
+        assert_eq!(report.model.n_states(), batch.n_states());
+        for l in 0..2u32 {
+            for x in 0..batch.n_states() as u16 {
+                for s in 0..4 {
+                    assert_eq!(
+                        report.model.duration(LeafId(l), StateId(x), s).to_bits(),
+                        batch.duration(LeafId(l), StateId(x), s).to_bits()
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&p).ok();
     }
 }

@@ -41,13 +41,15 @@ pub mod store;
 pub mod text;
 
 pub use binary::{
-    read_binary, stream_binary_micro, write_binary, BtfStreamWriter, INTERVAL_RECORD_BYTES,
+    decode_binary, read_binary, write_binary, BtfStreamWriter, INTERVAL_RECORD_BYTES,
 };
 pub use cube_cache::{load_cube, read_cube, save_cube, write_cube};
 pub use error::{FormatError, Result};
-pub use io::{read_micro, read_trace, write_trace, Format};
+pub use io::{
+    decode, read_micro, read_model, read_trace, write_trace, Format, IngestMode, IngestReport,
+};
 pub use micro_cache::{load_micro, read_micro_cache, save_micro, write_micro};
-pub use paje::{read_paje, write_paje};
+pub use paje::{decode_paje, read_paje, write_paje};
 pub use part_cache::{load_partitions, read_partitions, save_partitions, write_partitions};
-pub use store::{hash_file, hash_reader, hash_trace, DiskStore, KEEP_PER_KIND};
-pub use text::{read_text, stream_text_micro, write_text};
+pub use store::{hash_file, hash_reader, hash_trace, DiskStore, HashingReader, KEEP_PER_KIND};
+pub use text::{decode_text, read_text, write_text};

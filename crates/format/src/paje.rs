@@ -12,11 +12,20 @@
 //! explicit idle value closes intervals that are followed by a gap, so the
 //! round-trip through the set-state model reproduces our interval model
 //! exactly for traces without overlapping states per resource.
+//!
+//! **Streaming restrictions** (since this reader is a push decoder that
+//! holds one pending state per container instead of materializing
+//! per-container timelines): container/value definitions must precede the
+//! first `PajeSetState`, set-states must be time-ordered per container
+//! (tracers log in time order; out-of-order records are a clean parse
+//! error, not a sort-and-recover), and set-state values must be declared.
+//! The subset [`write_paje`] emits always satisfies all three.
 
 use crate::error::{FormatError, Result};
-#[cfg(test)]
-use ocelotl_trace::Hierarchy;
-use ocelotl_trace::{HierarchyBuilder, LeafId, StateId, Trace, TraceBuilder};
+use ocelotl_trace::{
+    EventSink, Hierarchy, HierarchyBuilder, LeafId, NodeId, StateId, StateRegistry, StreamHeader,
+    Trace, TraceSink,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
@@ -205,21 +214,42 @@ fn write_header<W: Write>(w: &mut W) -> Result<()> {
     Ok(())
 }
 
-/// Read the Pajé subset written by [`write_paje`] back into a [`Trace`].
+/// Frozen per-stream state once declarations are complete.
+struct PajeFrozen {
+    hierarchy: Hierarchy,
+    alias_to_node: HashMap<String, NodeId>,
+    /// Value alias → state id; `None` marks the idle pseudo-value.
+    value_states: HashMap<String, Option<StateId>>,
+    /// Last set-state per leaf awaiting its closing record.
+    pending: Vec<Option<(f64, Option<StateId>)>>,
+}
+
+/// Decode a Pajé stream, driving `sink` through the
+/// [`EventSink`](ocelotl_trace::EventSink) protocol.
 ///
-/// Unknown event kinds (defined in the header but not in our subset) are
-/// skipped. The idle pseudo-state is dropped; consecutive `PajeSetState`
-/// records delimit intervals.
-pub fn read_paje<R: BufRead>(r: R) -> Result<Trace> {
+/// Containers and entity values must be declared before the first
+/// `PajeSetState` record (the subset [`write_paje`] emits), and each
+/// container's set-states must arrive in non-decreasing time order —
+/// that is what lets the decoder hold only one pending state per
+/// container instead of materializing per-container timelines. The idle
+/// pseudo-value closes intervals and is never surfaced; unknown event
+/// kinds declared in the header are skipped. Pajé headers carry no time
+/// range, so [`ModelSink`](ocelotl_trace::ModelSink) consumers always go
+/// through the two-pass scan.
+///
+/// Returns `Ok(true)` when fully decoded, `Ok(false)` when the sink
+/// declined the stream at `begin`.
+pub fn decode_paje<R: BufRead, S: EventSink>(r: R, sink: &mut S) -> Result<bool> {
     let mut set_state_id: Option<u32> = None;
     let mut create_container_id: Option<u32> = None;
     let mut define_value_id: Option<u32> = None;
     let mut known: HashMap<u32, String> = HashMap::new();
 
     let mut builder: Option<HierarchyBuilder> = None;
-    let mut alias_to_node: HashMap<String, ocelotl_trace::NodeId> = HashMap::new();
-    let mut value_names: HashMap<String, String> = HashMap::new();
-    let mut timelines: HashMap<String, Vec<(f64, String)>> = HashMap::new();
+    let mut alias_to_node: HashMap<String, NodeId> = HashMap::new();
+    // Declared entity values in declaration order (alias, name).
+    let mut values: Vec<(String, String)> = Vec::new();
+    let mut frozen: Option<PajeFrozen> = None;
 
     let mut in_def: Option<(u32, String)> = None;
     for (line_no, line) in r.lines().enumerate() {
@@ -264,6 +294,9 @@ pub fn read_paje<R: BufRead>(r: R) -> Result<Trace> {
             .parse()
             .map_err(|_| err("bad record id"))?;
         if Some(id) == create_container_id {
+            if frozen.is_some() {
+                return Err(err("container definitions must precede state records"));
+            }
             // Time Alias Type Container "Name"
             let _time = it.next().ok_or_else(|| err("missing time"))?;
             let alias = it.next().ok_or_else(|| err("missing alias"))?.to_string();
@@ -293,13 +326,16 @@ pub fn read_paje<R: BufRead>(r: R) -> Result<Trace> {
                 alias_to_node.insert(alias, node);
             }
         } else if Some(id) == define_value_id {
+            if frozen.is_some() {
+                return Err(err("value definitions must precede state records"));
+            }
             // Alias Type "Name" "Color"
             let alias = it.next().ok_or_else(|| err("missing value alias"))?;
             let name = l
                 .split('"')
                 .nth(1)
                 .ok_or_else(|| err("missing quoted value name"))?;
-            value_names.insert(alias.to_string(), name.to_string());
+            values.push((alias.to_string(), name.to_string()));
         } else if Some(id) == set_state_id {
             // Time Type Container Value
             let time: f64 = it
@@ -313,10 +349,71 @@ pub fn read_paje<R: BufRead>(r: R) -> Result<Trace> {
             let _stype = it.next().ok_or_else(|| err("missing state type"))?;
             let container = it.next().ok_or_else(|| err("missing container"))?;
             let value = it.next().ok_or_else(|| err("missing value"))?;
-            timelines
-                .entry(container.to_string())
-                .or_default()
-                .push((time, value.to_string()));
+
+            // First state record: freeze the declarations.
+            if frozen.is_none() {
+                let hierarchy = builder
+                    .take()
+                    .ok_or_else(|| err("no containers in Pajé trace"))?
+                    .build()
+                    .map_err(|e| err(&format!("invalid hierarchy: {e}")))?;
+                let mut states = StateRegistry::new();
+                let mut value_states = HashMap::new();
+                for (alias, name) in &values {
+                    let sid = if name == IDLE {
+                        None
+                    } else {
+                        if states.len() >= (1 << 16) && states.get(name).is_none() {
+                            return Err(err("state count exceeds the u16 id space"));
+                        }
+                        Some(states.intern(name))
+                    };
+                    value_states.insert(alias.clone(), sid);
+                }
+                let header = StreamHeader {
+                    hierarchy: hierarchy.clone(),
+                    states,
+                    metadata: Vec::new(),
+                    range: None, // Pajé headers never declare an extent
+                };
+                if !sink.begin(&header) {
+                    return Ok(false);
+                }
+                let n_leaves = hierarchy.n_leaves();
+                frozen = Some(PajeFrozen {
+                    hierarchy,
+                    alias_to_node: std::mem::take(&mut alias_to_node),
+                    value_states,
+                    pending: vec![None; n_leaves],
+                });
+            }
+            let fz = frozen.as_mut().expect("frozen above");
+            let node = *fz
+                .alias_to_node
+                .get(container)
+                .ok_or_else(|| err("state on unknown container"))?;
+            let leaf = fz
+                .hierarchy
+                .leaf_of(node)
+                .ok_or_else(|| err("state on non-leaf container"))?;
+            let sid = *fz
+                .value_states
+                .get(value)
+                .ok_or_else(|| err("set-state references undefined value"))?;
+            let slot = &mut fz.pending[leaf.index()];
+            if let Some((t0, prev)) = *slot {
+                if time < t0 {
+                    return Err(err("set-state records must be time-ordered per container"));
+                }
+                // A duplicate timestamp replaces the pending state (the
+                // later record wins); a gap-closing idle emits nothing.
+                if let Some(prev) = prev {
+                    if time > t0 {
+                        sink.interval(leaf, prev, t0, time);
+                    }
+                }
+            }
+            *slot = Some((time, sid));
         } else if known.contains_key(&id) {
             // Known but unsupported kind: skip.
         } else {
@@ -324,49 +421,47 @@ pub fn read_paje<R: BufRead>(r: R) -> Result<Trace> {
         }
     }
 
-    let hierarchy = builder
-        .ok_or_else(|| FormatError::parse("no containers in Pajé trace", None))?
-        .build()
-        .map_err(|e| FormatError::parse(format!("invalid hierarchy: {e}"), None))?;
-
-    // Convert the per-container set-state timelines into intervals.
-    let mut tb = TraceBuilder::new(hierarchy);
-    let mut distinct_states = std::collections::HashSet::new();
-    let mut sorted: Vec<(String, Vec<(f64, String)>)> = timelines.into_iter().collect();
-    sorted.sort_by(|a, b| a.0.cmp(&b.0));
-    for (alias, mut tl) in sorted {
-        let node = *alias_to_node
-            .get(&alias)
-            .ok_or_else(|| FormatError::parse("state on unknown container", None))?;
-        let leaf = tb
-            .hierarchy()
-            .leaf_of(node)
-            .ok_or_else(|| FormatError::parse("state on non-leaf container", None))?;
-        tl.sort_by(|a, b| a.0.total_cmp(&b.0));
-        for w in tl.windows(2) {
-            let (t0, ref v0) = w[0];
-            let (t1, _) = w[1];
-            let name = match value_names.get(v0) {
-                Some(n) => n.clone(),
-                None => v0.clone(),
-            };
-            if name == IDLE || t1 <= t0 {
-                continue;
+    if frozen.is_none() {
+        // No state records at all: freeze at EOF so the sink still sees
+        // the declarations (an eventless but structurally valid trace).
+        let hierarchy = builder
+            .ok_or_else(|| FormatError::parse("no containers in Pajé trace", None))?
+            .build()
+            .map_err(|e| FormatError::parse(format!("invalid hierarchy: {e}"), None))?;
+        let mut states = StateRegistry::new();
+        for (_, name) in &values {
+            if name != IDLE {
+                states.intern(name);
             }
-            distinct_states.insert(name.clone());
-            if distinct_states.len() > 1 << 16 {
-                return Err(FormatError::parse(
-                    "state count exceeds the u16 id space",
-                    None,
-                ));
-            }
-            let state = tb.state(&name);
-            tb.push_state(leaf, state, t0, t1);
         }
-        // The final set-state has no successor: by convention it is the
-        // trailing idle marker the writer emits, so nothing is lost.
+        let header = StreamHeader {
+            hierarchy,
+            states,
+            metadata: Vec::new(),
+            range: None,
+        };
+        if !sink.begin(&header) {
+            return Ok(false);
+        }
     }
-    Ok(tb.build())
+    // Trailing pendings carry no successor: by convention they are the
+    // trailing idle markers the writer emits, so nothing is lost.
+    sink.end();
+    Ok(true)
+}
+
+/// Read the Pajé subset written by [`write_paje`] back into a [`Trace`]
+/// (the materializing path over [`decode_paje`]).
+///
+/// Unknown event kinds (defined in the header but not in our subset) are
+/// skipped. The idle pseudo-state is dropped; consecutive `PajeSetState`
+/// records delimit intervals. State ids follow entity-value declaration
+/// order.
+pub fn read_paje<R: BufRead>(r: R) -> Result<Trace> {
+    let mut sink = TraceSink::new();
+    decode_paje(r, &mut sink)?;
+    sink.into_trace()
+        .ok_or_else(|| FormatError::parse("no containers in Pajé trace", None))
 }
 
 /// Self-describing hierarchy used by tests.

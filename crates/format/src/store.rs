@@ -55,6 +55,56 @@ pub fn hash_file(path: &Path) -> std::io::Result<u64> {
     hash_reader(File::open(path)?)
 }
 
+/// A reader that folds every byte it yields into an FNV-1a hash — the
+/// "tee" of single-pass ingestion: wrap the trace reader in one of these
+/// and the content fingerprint falls out of the same disk pass that feeds
+/// the decoder. [`HashingReader::finish`] drains any bytes the decoder
+/// left unread (e.g. trailing garbage after a BTF point section) so the
+/// result always equals [`hash_file`] of the same source.
+pub struct HashingReader<R> {
+    inner: R,
+    hash: u64,
+    bytes: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    /// Wrap `inner`, starting from the FNV offset basis.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            hash: FNV_SEED,
+            bytes: 0,
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Drain the remaining bytes and return the full-content hash.
+    pub fn finish(mut self) -> std::io::Result<(u64, u64)> {
+        let mut buf = [0u8; 1 << 16];
+        loop {
+            let n = self.inner.read(&mut buf)?;
+            if n == 0 {
+                return Ok((self.hash, self.bytes));
+            }
+            self.hash = fnv1a(self.hash, &buf[..n]);
+            self.bytes += n as u64;
+        }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
 /// A `Write` sink that hashes instead of storing.
 struct HashWriter {
     hash: u64,

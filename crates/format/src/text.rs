@@ -20,8 +20,8 @@
 
 use crate::error::{FormatError, Result};
 use ocelotl_trace::{
-    Hierarchy, HierarchyBuilder, LeafId, MicroBuilder, MicroModel, NodeId, PointEvent, PointKind,
-    StateId, StateRegistry, TimeGrid, Trace, TraceBuilder,
+    EventSink, Hierarchy, HierarchyBuilder, LeafId, NodeId, PointEvent, PointKind, StateId,
+    StateRegistry, StreamHeader, Trace, TraceSink,
 };
 use std::io::{BufRead, Write};
 
@@ -74,11 +74,7 @@ fn write_hierarchy<W: Write>(h: &Hierarchy, w: &mut W) -> Result<()> {
     Ok(())
 }
 
-/// Incremental PTF parser driving arbitrary event sinks.
-///
-/// [`read_text`] materializes a full [`Trace`]; [`stream_text_micro`] feeds
-/// events straight into a [`MicroBuilder`] without storing them — this is
-/// the paper's two-stage pipeline (trace reading → microscopic description).
+/// Incremental PTF header parser backing [`decode_text`].
 struct TextParser {
     hierarchy_builder: Option<HierarchyBuilder>,
     node_map: Vec<NodeId>,
@@ -281,76 +277,26 @@ fn check_magic<R: BufRead>(r: &mut R) -> Result<()> {
     Ok(())
 }
 
-/// Read a full PTF trace into memory.
-pub fn read_text<R: BufRead>(mut r: R) -> Result<Trace> {
-    check_magic(&mut r)?;
-    let mut p = TextParser::new();
-    p.line_no = 1;
-
-    let mut intervals = Vec::new();
-    let mut points = Vec::new();
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if r.read_line(&mut line)? == 0 {
-            break;
-        }
-        p.line_no += 1;
-        let l = line.trim_end();
-        if l.is_empty() {
-            continue;
-        }
-        if p.header_line(l)? {
-            continue;
-        }
-        if let Some(rest) = l.strip_prefix("S ") {
-            intervals.push(p.parse_state_interval(rest)?);
-        } else if let Some(rest) = l.strip_prefix("P ") {
-            points.push(p.parse_point(rest)?);
-        } else {
-            return Err(p.err(format!("unknown record {l:?}")));
-        }
-    }
-
-    let hierarchy = p.finish_hierarchy()?;
-    let n_leaves = hierarchy.n_leaves();
-    let mut b = TraceBuilder::new(hierarchy).with_states(p.states);
-    for (k, v) in p.metadata {
-        b.push_meta(&k, &v);
-    }
-    for (resource, state, begin, end) in intervals {
-        if resource.index() >= n_leaves {
-            return Err(FormatError::parse(
-                format!("resource {} out of range", resource.0),
-                None,
-            ));
-        }
-        b.push_state(resource, state, begin, end);
-    }
-    for ev in points {
-        if ev.resource.index() >= n_leaves {
-            return Err(FormatError::parse(
-                format!("resource {} out of range", ev.resource.0),
-                None,
-            ));
-        }
-        b.push_point(ev);
-    }
-    Ok(b.build())
-}
-
-/// Stream a PTF trace directly into a microscopic model with `n_slices`
-/// regular periods, without materializing the event list.
+/// Decode a PTF stream, driving `sink` through the [`EventSink`] protocol.
 ///
-/// Requires the `%range` header (written by [`write_text`]); the returned
-/// model covers exactly that range.
-pub fn stream_text_micro<R: BufRead>(mut r: R, n_slices: usize) -> Result<MicroModel> {
+/// Declarations (`%range`, `%meta`, `%node`, `%state`) must precede the
+/// first event record — the writer emits them that way, and the freeze
+/// point is what lets consumers allocate before the (unbounded) event
+/// section streams through. Unknown `%` directives are tolerated anywhere
+/// for forward compatibility. Records are validated (resources and states
+/// in range, finite times, non-negative intervals) before the sink sees
+/// them.
+///
+/// Returns `Ok(true)` when the stream was fully decoded, `Ok(false)` when
+/// the sink declined the stream at `begin` (a clean early exit after the
+/// header — see [`ModelSink`](ocelotl_trace::ModelSink)'s two-pass
+/// protocol).
+pub fn decode_text<R: BufRead, S: EventSink>(mut r: R, sink: &mut S) -> Result<bool> {
     check_magic(&mut r)?;
     let mut p = TextParser::new();
     p.line_no = 1;
 
-    // Phase 1: headers (until the first event record).
-    let mut mb: Option<MicroBuilder> = None;
+    let mut n_leaves: Option<usize> = None;
     let mut line = String::new();
     loop {
         line.clear();
@@ -362,47 +308,86 @@ pub fn stream_text_micro<R: BufRead>(mut r: R, n_slices: usize) -> Result<MicroM
         if l.is_empty() {
             continue;
         }
-        if p.header_line(l)? {
-            continue;
+        match n_leaves {
+            None => {
+                // Declaration phase.
+                if p.header_line(l)? {
+                    continue;
+                }
+                // First event record: freeze the header and hand it over.
+                let hierarchy = p.finish_hierarchy()?;
+                let leaves = hierarchy.n_leaves();
+                let header = StreamHeader {
+                    hierarchy,
+                    states: std::mem::take(&mut p.states),
+                    metadata: std::mem::take(&mut p.metadata),
+                    range: p.range,
+                };
+                if !sink.begin(&header) {
+                    return Ok(false);
+                }
+                n_leaves = Some(leaves);
+            }
+            Some(_) => {
+                if l.starts_with('%') {
+                    if ["%range ", "%meta ", "%node ", "%state "]
+                        .iter()
+                        .any(|d| l.starts_with(d))
+                    {
+                        return Err(p.err("declarations must precede event records"));
+                    }
+                    continue; // unknown directive: tolerated
+                }
+            }
         }
-        // First event record: freeze the header state.
-        if mb.is_none() {
-            let (lo, hi) = p
-                .range
-                .ok_or_else(|| FormatError::parse("missing %range header for streaming", None))?;
-            let hierarchy = p.finish_hierarchy()?;
-            let grid = TimeGrid::new(lo, hi, n_slices);
-            mb = Some(MicroBuilder::new(hierarchy, p.states.clone(), grid));
-        }
-        let mb = mb.as_mut().unwrap();
+        let leaves = n_leaves.expect("frozen above");
         if let Some(rest) = l.strip_prefix("S ") {
             let (resource, state, begin, end) = p.parse_state_interval(rest)?;
-            mb.add(resource, state, begin, end);
-        } else if l.starts_with("P ") {
-            // Point events do not contribute to the micro model.
+            if resource.index() >= leaves {
+                return Err(p.err(format!("resource {} out of range", resource.0)));
+            }
+            sink.interval(resource, state, begin, end);
+        } else if let Some(rest) = l.strip_prefix("P ") {
+            let ev = p.parse_point(rest)?;
+            if ev.resource.index() >= leaves {
+                return Err(p.err(format!("resource {} out of range", ev.resource.0)));
+            }
+            sink.point(&ev);
         } else {
             return Err(p.err(format!("unknown record {l:?}")));
         }
     }
 
-    match mb {
-        Some(mb) => Ok(mb.finish()),
-        None => {
-            // No events at all: build an empty model if we can.
-            let (lo, hi) = p
-                .range
-                .ok_or_else(|| FormatError::parse("missing %range header for streaming", None))?;
-            let hierarchy = p.finish_hierarchy()?;
-            let grid = TimeGrid::new(lo, hi, n_slices);
-            Ok(MicroBuilder::new(hierarchy, p.states, grid).finish())
+    if n_leaves.is_none() {
+        // Eventless stream: freeze at EOF so the sink still sees the header.
+        let hierarchy = p.finish_hierarchy()?;
+        let header = StreamHeader {
+            hierarchy,
+            states: p.states,
+            metadata: p.metadata,
+            range: p.range,
+        };
+        if !sink.begin(&header) {
+            return Ok(false);
         }
     }
+    sink.end();
+    Ok(true)
+}
+
+/// Read a full PTF trace into memory (the materializing path — analysis
+/// pipelines should stream through [`decode_text`] instead).
+pub fn read_text<R: BufRead>(r: R) -> Result<Trace> {
+    let mut sink = TraceSink::new();
+    decode_text(r, &mut sink)?;
+    sink.into_trace()
+        .ok_or_else(|| FormatError::parse("trace has no hierarchy", None))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ocelotl_trace::Hierarchy;
+    use ocelotl_trace::{Hierarchy, MicroModel, ModelKind, ModelSink, TraceBuilder};
 
     fn sample_trace() -> Trace {
         let mut b = HierarchyBuilder::new("site", "site");
@@ -504,11 +489,13 @@ mod tests {
     }
 
     #[test]
-    fn streaming_micro_matches_batch() {
+    fn streaming_micro_matches_batch_bitwise() {
         let t = sample_trace();
         let mut buf = Vec::new();
         write_text(&t, &mut buf).unwrap();
-        let streamed = stream_text_micro(buf.as_slice(), 6).unwrap();
+        let mut sink = ModelSink::new(ModelKind::States, 6);
+        assert!(decode_text(buf.as_slice(), &mut sink).unwrap());
+        let streamed = sink.finish().unwrap();
         let batch = MicroModel::from_trace(&t, 6).unwrap();
         assert_eq!(streamed.n_slices(), 6);
         for s in 0..3u32 {
@@ -516,16 +503,28 @@ mod tests {
                 for t in 0..6 {
                     let a = streamed.duration(LeafId(s), StateId(x), t);
                     let b = batch.duration(LeafId(s), StateId(x), t);
-                    assert!((a - b).abs() < 1e-12, "cell ({s},{x},{t}): {a} vs {b}");
+                    assert_eq!(a.to_bits(), b.to_bits(), "cell ({s},{x},{t}): {a} vs {b}");
                 }
             }
         }
     }
 
     #[test]
-    fn streaming_requires_range_header() {
+    fn streaming_without_range_stops_cleanly_at_the_header() {
         let src = "%PTF 1\n%node 0 - root r\n%state 0 s\nS 0 0 0.0 1.0\n";
-        assert!(stream_text_micro(src.as_bytes(), 4).is_err());
+        let mut sink = ModelSink::new(ModelKind::States, 4);
+        assert!(!decode_text(src.as_bytes(), &mut sink).unwrap());
+        assert!(sink.needs_range(), "missing %range must request two-pass");
+    }
+
+    #[test]
+    fn declarations_after_events_are_rejected() {
+        let src = "%PTF 1\n%node 0 - root r\n%state 0 s\nS 0 0 0.0 1.0\n%state 1 late\n";
+        let err = read_text(src.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("precede"), "{err}");
+        // Unknown directives stay tolerated after events.
+        let src = "%PTF 1\n%node 0 - root r\n%state 0 s\nS 0 0 0.0 1.0\n%flavor x\n";
+        assert!(read_text(src.as_bytes()).is_ok());
     }
 
     #[test]

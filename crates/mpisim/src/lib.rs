@@ -26,4 +26,4 @@ pub mod scenarios;
 pub use engine::{Engine, Op, SimStats, States};
 pub use network::{Network, Perturbation};
 pub use platform::{case_platform, CaseId, ClusterSpec, Location, Nic, Platform};
-pub use scenarios::{scenario, App, Scenario};
+pub use scenarios::{scenario, scenario_with_events, App, Scenario};

@@ -125,6 +125,17 @@ pub fn scenario(case: CaseId, scale: f64) -> Scenario {
     }
 }
 
+/// Build a Table II scenario scaled so its trace holds approximately
+/// `target_events` events — the large-scale presets the ingestion
+/// benchmarks use (10⁵–10⁷ events, far beyond the default 1/100 laptop
+/// scale). Iteration counts scale linearly with events while the
+/// wall-clock span stays fixed, so the trace *shape* is preserved.
+pub fn scenario_with_events(case: CaseId, target_events: u64) -> Scenario {
+    let full = scenario(case, 1.0).estimated_events().max(1) as f64;
+    let scale = (target_events as f64 / full).clamp(1e-4, 1.0);
+    scenario(case, scale)
+}
+
 impl Scenario {
     /// Estimated event count of this scenario at its scale.
     pub fn estimated_events(&self) -> usize {
@@ -283,6 +294,22 @@ mod tests {
         b.sort_unstable();
         assert_eq!(a, b);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scenario_with_events_hits_the_target_order() {
+        for target in [100_000u64, 1_000_000] {
+            let s = scenario_with_events(CaseId::A, target);
+            let est = s.estimated_events() as f64;
+            let ratio = est / target as f64;
+            assert!(
+                (0.3..=3.0).contains(&ratio),
+                "target {target}: estimated {est} (ratio {ratio:.2})"
+            );
+        }
+        // Targets beyond paper scale clamp to scale 1.0.
+        let s = scenario_with_events(CaseId::A, u64::MAX);
+        assert!((s.scale - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! Aggregation Technique for Performance Analysis of Large-scale Execution
 //! Traces"* (Dosimont et al.). Re-exports the substrate crates:
 //!
-//! - [`trace`] — the trace microscopic model (hierarchy, states, slices);
+//! - [`trace`] — the trace microscopic model (hierarchy, states, slices)
+//!   and the push-based [`trace::sink`] ingestion layer;
 //! - [`core`] — the aggregation algorithms (Algorithm 1 and the baselines);
-//! - [`format`] — PTF/BTF trace files with streaming readers;
+//! - [`format`] — PTF/BTF/Pajé trace files: streaming decoders that drive
+//!   any [`trace::sink::EventSink`], with `read_model` building the
+//!   microscopic model in O(model) memory straight from disk;
 //! - [`mpisim`] — the MPI platform simulator regenerating the paper's traces;
 //! - [`viz`] — the overview renderers (SVG/ASCII, visual aggregation, Gantt).
 //!
@@ -50,7 +53,7 @@ pub mod prelude {
     };
     pub use ocelotl_mpisim::{CaseId, Platform, Scenario};
     pub use ocelotl_trace::{
-        Hierarchy, HierarchyBuilder, LeafId, MicroModel, NodeId, StateId, StateRegistry, TimeGrid,
-        Trace, TraceBuilder,
+        EventSink, Hierarchy, HierarchyBuilder, LeafId, MicroModel, ModelKind, ModelSink, NodeId,
+        StateId, StateRegistry, TimeGrid, Trace, TraceBuilder,
     };
 }

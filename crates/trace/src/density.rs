@@ -32,10 +32,11 @@ use crate::state::StateId;
 use crate::trace::Trace;
 use crate::{PointKind, Time};
 
-/// Pseudo-state names for point events.
-const SEND_NAME: &str = "evt:send";
-const RECV_NAME: &str = "evt:recv";
-const MARKER_NAME: &str = "evt:marker";
+/// Pseudo-state names for point events (shared with the streaming
+/// [`ModelSink`](crate::sink::ModelSink), which must intern identically).
+pub(crate) const SEND_NAME: &str = "evt:send";
+pub(crate) const RECV_NAME: &str = "evt:recv";
+pub(crate) const MARKER_NAME: &str = "evt:marker";
 
 /// Build the raw event-count model of a trace over an explicit grid.
 ///

@@ -24,6 +24,7 @@ pub mod density;
 pub mod event;
 pub mod hierarchy;
 pub mod micro;
+pub mod sink;
 pub mod slicing;
 pub mod state;
 pub mod synthetic;
@@ -35,9 +36,13 @@ pub use density::{event_counts, event_density, event_density_auto};
 pub use event::{PointEvent, PointKind, StateInterval, Time};
 pub use hierarchy::{Hierarchy, HierarchyBuilder, LeafId, NodeId};
 pub use micro::{MicroBuilder, MicroModel};
+pub use sink::{
+    EventSink, ModelKind, ModelSink, ModelSinkError, ScanSink, StreamHeader, TeeSink, TraceSink,
+};
 pub use slicing::TimeGrid;
 pub use state::{StateId, StateRegistry};
 pub use trace::{Trace, TraceBuilder};
 pub use variable::{
-    BinSpec, VarSample, VariableId, VariableRegistry, VariableTrace, VariableTraceBuilder,
+    BinSpec, VarSample, VariableBinner, VariableId, VariableRegistry, VariableTrace,
+    VariableTraceBuilder,
 };

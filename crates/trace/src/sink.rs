@@ -1,0 +1,873 @@
+//! Push-based streaming ingestion: the [`EventSink`] trait and its sinks.
+//!
+//! The paper's pipeline starts with *trace reading* and *microscopic
+//! description* — the two rows that dominate Table II. This module turns
+//! that front half into a push architecture: a format decoder parses a
+//! byte stream and **drives** a sink through three phases
+//!
+//! ```text
+//!            declarations              events                end
+//! decoder ──► begin(&StreamHeader) ──► interval()/point()* ──► end()
+//! ```
+//!
+//! so the *reader* (one per format, in `ocelotl-format`) and the *consumer*
+//! are decoupled. Consumers provided here:
+//!
+//! - [`TraceSink`] — full materialization into a [`Trace`] (the classic
+//!   path, kept for conversion/round-trip use cases);
+//! - [`ModelSink`] — direct metric-aware [`MicroModel`] construction
+//!   (states **or** event density) with O(model) memory: events fold into
+//!   the `d_x(s,t)` array through a bounded record buffer that is flushed
+//!   with a chunked parallel fold over disjoint resource ranges;
+//! - [`ScanSink`] — O(1) pass collecting the observed time range and event
+//!   counts (the first pass of two-pass ingestion, and `info --stats`);
+//! - [`TeeSink`] — drive two sinks from one decode pass.
+//!
+//! ## Determinism
+//!
+//! [`ModelSink`] partitions work by *resource*, so every cell of the model
+//! receives its contributions in file order regardless of worker count —
+//! the result is bit-identical to a sequential fold over the same stream,
+//! and therefore bit-identical to materializing a [`Trace`] first and
+//! calling [`MicroModel::from_trace`] on it (sequential path).
+//!
+//! ## Flow control
+//!
+//! [`EventSink::begin`] returns `bool`: `false` tells the decoder to stop
+//! after the declarations (a clean early exit, not an error). [`ModelSink`]
+//! uses this when the header declares no time range — the caller then runs
+//! a bounded two-pass scan ([`ScanSink`] first, then [`ModelSink`] with
+//! [`ModelSink::with_range`]).
+
+use crate::density::{MARKER_NAME, RECV_NAME, SEND_NAME};
+use crate::event::{PointEvent, PointKind, Time};
+use crate::hierarchy::{Hierarchy, LeafId};
+use crate::micro::MicroModel;
+use crate::slicing::TimeGrid;
+use crate::state::{StateId, StateRegistry};
+use crate::trace::{Trace, TraceBuilder};
+use rayon::prelude::*;
+use std::fmt;
+
+/// Everything a decoder knows before the first event record.
+#[derive(Debug, Clone)]
+pub struct StreamHeader {
+    /// The resource hierarchy (finalized: no declarations may follow).
+    pub hierarchy: Hierarchy,
+    /// The declared states.
+    pub states: StateRegistry,
+    /// Free-form metadata pairs.
+    pub metadata: Vec<(String, String)>,
+    /// The declared trace time range, if the format carries one
+    /// (BTF header, PTF `%range`; Pajé has none).
+    pub range: Option<(Time, Time)>,
+}
+
+/// A consumer of one decoded event stream. See the module docs for the
+/// calling protocol; decoders validate records (resource/state in range,
+/// finite times, `end ≥ begin`) *before* invoking the sink, so sink
+/// implementations are infallible.
+pub trait EventSink {
+    /// Declarations are complete. Return `false` to stop the decode after
+    /// the header (clean early exit — not an error).
+    fn begin(&mut self, header: &StreamHeader) -> bool;
+
+    /// One state interval `[begin, end)` on `resource`.
+    fn interval(&mut self, resource: LeafId, state: StateId, begin: Time, end: Time);
+
+    /// One point event (ignored by default: point events do not enter the
+    /// state-time microscopic model).
+    fn point(&mut self, ev: &PointEvent) {
+        let _ = ev;
+    }
+
+    /// The stream ended cleanly.
+    fn end(&mut self) {}
+}
+
+// ---------------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------------
+
+/// Full materialization: collects the stream into a [`Trace`]. This is the
+/// memory-heavy O(|events|) path — analysis commands should prefer
+/// [`ModelSink`]; the trace sink survives for conversion and round-trip
+/// use cases that genuinely need every event.
+#[derive(Default)]
+pub struct TraceSink {
+    builder: Option<TraceBuilder>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The materialized trace; `None` if the decoder never reached
+    /// [`EventSink::begin`] (e.g. an empty stream).
+    pub fn into_trace(self) -> Option<Trace> {
+        self.builder.map(TraceBuilder::build)
+    }
+}
+
+impl EventSink for TraceSink {
+    fn begin(&mut self, header: &StreamHeader) -> bool {
+        let mut b = TraceBuilder::new(header.hierarchy.clone()).with_states(header.states.clone());
+        for (k, v) in &header.metadata {
+            b.push_meta(k, v);
+        }
+        self.builder = Some(b);
+        true
+    }
+
+    fn interval(&mut self, resource: LeafId, state: StateId, begin: Time, end: Time) {
+        self.builder
+            .as_mut()
+            .expect("begin before events")
+            .push_state(resource, state, begin, end);
+    }
+
+    fn point(&mut self, ev: &PointEvent) {
+        self.builder
+            .as_mut()
+            .expect("begin before events")
+            .push_point(*ev);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScanSink
+// ---------------------------------------------------------------------------
+
+/// O(1)-memory scan: observed time extent plus record counts. The extent
+/// uses exactly [`TraceBuilder`]'s semantics (intervals extend it by
+/// `[begin, end]`, points by their timestamp), so a grid built from it is
+/// bit-identical to the one [`MicroModel::from_trace`] would derive.
+#[derive(Debug, Default)]
+pub struct ScanSink {
+    /// The captured header (cloned), once `begin` ran.
+    pub header: Option<StreamHeader>,
+    /// Number of interval records seen.
+    pub intervals: u64,
+    /// Number of point records seen.
+    pub points: u64,
+    t_min: f64,
+    t_max: f64,
+}
+
+impl ScanSink {
+    /// An empty scan.
+    pub fn new() -> Self {
+        Self {
+            header: None,
+            intervals: 0,
+            points: 0,
+            t_min: f64::INFINITY,
+            t_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Observed `[min, max]` extent; `None` when the stream had no events.
+    pub fn observed_range(&self) -> Option<(Time, Time)> {
+        (self.intervals + self.points > 0).then_some((self.t_min, self.t_max))
+    }
+
+    /// Event count in the paper's Table II convention (2 per interval:
+    /// enter + leave, plus 1 per point event).
+    pub fn event_count(&self) -> u64 {
+        self.intervals * 2 + self.points
+    }
+}
+
+impl EventSink for ScanSink {
+    fn begin(&mut self, header: &StreamHeader) -> bool {
+        self.header = Some(header.clone());
+        true
+    }
+
+    fn interval(&mut self, _resource: LeafId, _state: StateId, begin: Time, end: Time) {
+        self.intervals += 1;
+        self.t_min = self.t_min.min(begin);
+        self.t_max = self.t_max.max(end);
+    }
+
+    fn point(&mut self, ev: &PointEvent) {
+        self.points += 1;
+        self.t_min = self.t_min.min(ev.time);
+        self.t_max = self.t_max.max(ev.time);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ModelSink
+// ---------------------------------------------------------------------------
+
+/// Which microscopic metric a [`ModelSink`] accumulates. This generalizes
+/// [`MicroBuilder`](crate::MicroBuilder) (states only) to every metric the
+/// event stream can feed; the third family — variable traces — streams
+/// through [`VariableBinner`](crate::variable::VariableBinner), since
+/// samples are not part of the state-event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// State-time proportions `d_x(s,t)` (the paper's model).
+    States,
+    /// Peak-normalized event counts (the predecessor work's model),
+    /// matching [`event_density`](crate::density::event_density) bit for
+    /// bit: interval enter/leave events plus per-kind point pseudo-states.
+    Density,
+}
+
+/// Why a [`ModelSink`] refused the stream at `begin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSinkError {
+    /// The header declared no time range and none was injected — run a
+    /// scan pass first and retry with [`ModelSink::with_range`].
+    MissingRange,
+    /// The time range has no extent (`hi ≤ lo`): nothing to slice.
+    EmptyRange,
+    /// The decoder never reached `begin` (empty stream).
+    NoHeader,
+}
+
+impl fmt::Display for ModelSinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelSinkError::MissingRange => {
+                write!(f, "header declares no time range (two-pass scan required)")
+            }
+            ModelSinkError::EmptyRange => write!(f, "trace has an empty time range"),
+            ModelSinkError::NoHeader => write!(f, "stream ended before any declarations"),
+        }
+    }
+}
+
+impl std::error::Error for ModelSinkError {}
+
+/// One buffered interval record awaiting the parallel flush.
+#[derive(Clone, Copy)]
+struct Rec {
+    resource: u32,
+    state: u16,
+    begin: f64,
+    end: f64,
+}
+
+/// Records buffered between flushes: bounds streaming memory to
+/// O(model + chunk) while amortizing the parallel dispatch (16 Ki records
+/// ≈ 384 KiB — small enough that the model dominates the footprint at any
+/// real trace size, large enough that flushes stay rare).
+const FLUSH_CHUNK: usize = 1 << 14;
+
+struct Accum {
+    hierarchy: Hierarchy,
+    states: StateRegistry,
+    grid: TimeGrid,
+    /// `[leaf][state][slice]`, slice fastest — the `MicroModel` layout.
+    durations: Vec<f64>,
+    pending: Vec<Rec>,
+    /// Per-kind point-event counts (`[leaf][slice]`), allocated lazily;
+    /// density metric only. Order: send, recv, marker — the intern order
+    /// of `event_counts`.
+    pseudo: [Option<Vec<f64>>; 3],
+    /// Kinds that occurred anywhere in the stream, even outside the grid:
+    /// `event_counts` interns a pseudo-state for every kind *present in
+    /// the trace* (the column stays all-zero when no event lands in a
+    /// slice), and bit-identity requires matching that exactly.
+    pseudo_seen: [bool; 3],
+}
+
+/// Streaming, metric-aware microscopic-model builder: the sink analysis
+/// paths use. Memory is O(|S|·|X|·|T|) plus one bounded record buffer —
+/// independent of the event count — and the flush is a chunked parallel
+/// fold over disjoint resource ranges (bit-identical to sequential; see
+/// the module docs).
+pub struct ModelSink {
+    kind: ModelKind,
+    n_slices: usize,
+    range_override: Option<(Time, Time)>,
+    acc: Option<Accum>,
+    refusal: Option<ModelSinkError>,
+    intervals: u64,
+    points: u64,
+}
+
+impl ModelSink {
+    /// A sink slicing the declared time range into `n_slices` periods.
+    pub fn new(kind: ModelKind, n_slices: usize) -> Self {
+        assert!(n_slices >= 1, "need at least one slice");
+        Self {
+            kind,
+            n_slices,
+            range_override: None,
+            acc: None,
+            refusal: None,
+            intervals: 0,
+            points: 0,
+        }
+    }
+
+    /// A sink with an injected time range (the second pass of two-pass
+    /// ingestion, or an explicit zoom window): the header's declared range
+    /// is ignored.
+    pub fn with_range(kind: ModelKind, n_slices: usize, range: (Time, Time)) -> Self {
+        Self {
+            range_override: Some(range),
+            ..Self::new(kind, n_slices)
+        }
+    }
+
+    /// `true` when `begin` refused the stream because no time range was
+    /// available (the caller should run the two-pass scan).
+    pub fn needs_range(&self) -> bool {
+        self.refusal == Some(ModelSinkError::MissingRange)
+    }
+
+    /// Interval / point records consumed.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.intervals, self.points)
+    }
+
+    /// Resident footprint of the accumulator in bytes (model array, pseudo
+    /// layers, record buffer) — the "peak ingest memory" that replaces the
+    /// O(|events|) trace materialization.
+    pub fn peak_bytes(&self) -> u64 {
+        let f = std::mem::size_of::<f64>() as u64;
+        let r = std::mem::size_of::<Rec>() as u64;
+        match &self.acc {
+            None => 0,
+            Some(acc) => {
+                let pseudo: u64 = acc
+                    .pseudo
+                    .iter()
+                    .flatten()
+                    .map(|v| v.len() as u64 * f)
+                    .sum();
+                acc.durations.len() as u64 * f + pseudo + acc.pending.capacity() as u64 * r
+            }
+        }
+    }
+
+    /// Finalize: flush the buffer and assemble the model. For the density
+    /// metric this merges the point pseudo-states and applies the peak
+    /// normalization, reproducing `event_density` exactly.
+    pub fn finish(mut self) -> Result<MicroModel, ModelSinkError> {
+        if let Some(reason) = self.refusal {
+            return Err(reason);
+        }
+        let Some(mut acc) = self.acc.take() else {
+            return Err(ModelSinkError::NoHeader);
+        };
+        flush(&mut acc, self.kind);
+        match self.kind {
+            ModelKind::States => Ok(MicroModel::from_dense(
+                acc.hierarchy,
+                acc.states,
+                acc.grid,
+                acc.durations,
+            )),
+            ModelKind::Density => Ok(finish_density(acc)),
+        }
+    }
+}
+
+impl EventSink for ModelSink {
+    fn begin(&mut self, header: &StreamHeader) -> bool {
+        let range = self.range_override.or(header.range);
+        let Some((lo, hi)) = range else {
+            self.refusal = Some(ModelSinkError::MissingRange);
+            return false;
+        };
+        let valid = lo.is_finite() && hi.is_finite() && hi > lo;
+        if !valid {
+            self.refusal = Some(ModelSinkError::EmptyRange);
+            return false;
+        }
+        let grid = TimeGrid::new(lo, hi, self.n_slices);
+        let size = header.hierarchy.n_leaves() * header.states.len() * self.n_slices;
+        self.acc = Some(Accum {
+            hierarchy: header.hierarchy.clone(),
+            states: header.states.clone(),
+            grid,
+            durations: vec![0.0; size],
+            pending: Vec::with_capacity(FLUSH_CHUNK),
+            pseudo: [None, None, None],
+            pseudo_seen: [false; 3],
+        });
+        true
+    }
+
+    fn interval(&mut self, resource: LeafId, state: StateId, begin: Time, end: Time) {
+        let Some(acc) = self.acc.as_mut() else {
+            return;
+        };
+        self.intervals += 1;
+        acc.pending.push(Rec {
+            resource: resource.0,
+            state: state.0,
+            begin,
+            end,
+        });
+        if acc.pending.len() >= FLUSH_CHUNK {
+            flush(acc, self.kind);
+        }
+    }
+
+    fn point(&mut self, ev: &PointEvent) {
+        let Some(acc) = self.acc.as_mut() else {
+            return;
+        };
+        self.points += 1;
+        if self.kind != ModelKind::Density {
+            return;
+        }
+        let grid = acc.grid;
+        let slot = match ev.kind {
+            PointKind::MsgSend { .. } => 0,
+            PointKind::MsgRecv { .. } => 1,
+            PointKind::Marker => 2,
+        };
+        acc.pseudo_seen[slot] = true;
+        if ev.time < grid.start() || ev.time > grid.end() {
+            return;
+        }
+        let n_slices = grid.n_slices();
+        let counts =
+            acc.pseudo[slot].get_or_insert_with(|| vec![0.0; acc.hierarchy.n_leaves() * n_slices]);
+        counts[ev.resource.index() * n_slices + grid.slice_of(ev.time)] += 1.0;
+    }
+}
+
+/// Apply the buffered records: a chunked parallel fold over disjoint
+/// contiguous resource ranges. Each worker owns one slab of the durations
+/// array and scans the whole buffer for its leaves, so every cell receives
+/// its contributions in stream order — the result is bit-identical to a
+/// sequential fold for any worker count.
+fn flush(acc: &mut Accum, kind: ModelKind) {
+    if acc.pending.is_empty() {
+        return;
+    }
+    let n_leaves = acc.hierarchy.n_leaves();
+    let n_states = acc.states.len();
+    let n_slices = acc.grid.n_slices();
+    let row = n_states * n_slices;
+    if row == 0 || n_leaves == 0 {
+        // No (leaf, state) cells can exist; decoders validate records
+        // against the header, so nothing could have been buffered.
+        acc.pending.clear();
+        return;
+    }
+    let workers = rayon::max_threads().clamp(1, n_leaves);
+    let leaves_per = n_leaves.div_ceil(workers);
+    let grid = acc.grid;
+    let pending = &acc.pending;
+    let slabs: Vec<(usize, &mut [f64])> = acc
+        .durations
+        .chunks_mut(leaves_per * row)
+        .enumerate()
+        .map(|(i, slab)| (i * leaves_per, slab))
+        .collect();
+    slabs.into_par_iter().for_each(|(first_leaf, slab)| {
+        let leaf_end = first_leaf + slab.len() / row;
+        for rec in pending {
+            let leaf = rec.resource as usize;
+            if leaf < first_leaf || leaf >= leaf_end {
+                continue;
+            }
+            let base = ((leaf - first_leaf) * n_states + rec.state as usize) * n_slices;
+            match kind {
+                ModelKind::States => {
+                    for (slice, overlap) in grid.prorate(rec.begin, rec.end) {
+                        slab[base + slice] += overlap;
+                    }
+                }
+                ModelKind::Density => {
+                    // An interval contributes its enter and leave events
+                    // independently (either may fall outside the grid).
+                    for ts in [rec.begin, rec.end] {
+                        if ts >= grid.start() && ts <= grid.end() {
+                            slab[base + grid.slice_of(ts)] += 1.0;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    acc.pending.clear();
+}
+
+/// Merge the pseudo-state layers and apply the peak normalization —
+/// the streaming equivalent of `event_counts` + `event_density`.
+fn finish_density(mut acc: Accum) -> MicroModel {
+    let n_leaves = acc.hierarchy.n_leaves();
+    let n_slices = acc.grid.n_slices();
+    // Intern pseudo-states for the kinds that occurred, in the same order
+    // `event_counts` uses (send, recv, marker), then widen the array.
+    let names = [SEND_NAME, RECV_NAME, MARKER_NAME];
+    let mut columns: Vec<(StateId, Vec<f64>)> = Vec::new();
+    for (slot, name) in names.into_iter().enumerate() {
+        if acc.pseudo_seen[slot] {
+            // An all-zero layer when every event of this kind fell outside
+            // the grid — exactly what `event_counts` produces.
+            let v = acc.pseudo[slot]
+                .take()
+                .unwrap_or_else(|| vec![0.0; n_leaves * n_slices]);
+            columns.push((acc.states.intern(name), v));
+        }
+    }
+    let n_old = acc.durations.len() / (n_leaves * n_slices).max(1);
+    let n_states = acc.states.len();
+    let mut counts = vec![0.0f64; n_leaves * n_states * n_slices];
+    for leaf in 0..n_leaves {
+        let src = leaf * n_old * n_slices;
+        let dst = leaf * n_states * n_slices;
+        counts[dst..dst + n_old * n_slices]
+            .copy_from_slice(&acc.durations[src..src + n_old * n_slices]);
+        for (sid, layer) in &columns {
+            let dst = (leaf * n_states + sid.index()) * n_slices;
+            for (t, &c) in layer[leaf * n_slices..(leaf + 1) * n_slices]
+                .iter()
+                .enumerate()
+            {
+                // `+=`: a declared state may share a pseudo-state's name,
+                // in which case `event_counts` merges them too.
+                counts[dst + t] += c;
+            }
+        }
+    }
+    // Peak normalization, exactly as `event_density`.
+    let mut peak = 0.0f64;
+    for &c in &counts {
+        peak = peak.max(c);
+    }
+    if peak > 0.0 {
+        let scale = acc.grid.slice_duration() / peak;
+        for c in &mut counts {
+            *c *= scale;
+        }
+    }
+    MicroModel::from_dense(acc.hierarchy, acc.states, acc.grid, counts)
+}
+
+// ---------------------------------------------------------------------------
+// TeeSink
+// ---------------------------------------------------------------------------
+
+/// Drive two sinks from one decode pass (e.g. build the model *and*
+/// count events, or materialize a trace while aggregating). Each side's
+/// `begin` decision is honored independently; the decode continues while
+/// at least one side wants the events.
+pub struct TeeSink<A, B> {
+    a: A,
+    b: B,
+    on_a: bool,
+    on_b: bool,
+}
+
+impl<A: EventSink, B: EventSink> TeeSink<A, B> {
+    /// Tee into `a` and `b`.
+    pub fn new(a: A, b: B) -> Self {
+        Self {
+            a,
+            b,
+            on_a: false,
+            on_b: false,
+        }
+    }
+
+    /// The two sinks back.
+    pub fn into_inner(self) -> (A, B) {
+        (self.a, self.b)
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
+    fn begin(&mut self, header: &StreamHeader) -> bool {
+        self.on_a = self.a.begin(header);
+        self.on_b = self.b.begin(header);
+        self.on_a || self.on_b
+    }
+
+    fn interval(&mut self, resource: LeafId, state: StateId, begin: Time, end: Time) {
+        if self.on_a {
+            self.a.interval(resource, state, begin, end);
+        }
+        if self.on_b {
+            self.b.interval(resource, state, begin, end);
+        }
+    }
+
+    fn point(&mut self, ev: &PointEvent) {
+        if self.on_a {
+            self.a.point(ev);
+        }
+        if self.on_b {
+            self.b.point(ev);
+        }
+    }
+
+    fn end(&mut self) {
+        if self.on_a {
+            self.a.end();
+        }
+        if self.on_b {
+            self.b.end();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::event_density;
+    use crate::event::PointKind;
+
+    fn header(n_leaves: usize, state_names: &[&str], range: Option<(f64, f64)>) -> StreamHeader {
+        StreamHeader {
+            hierarchy: Hierarchy::flat(n_leaves, "p"),
+            states: StateRegistry::from_names(state_names.iter().copied()),
+            metadata: vec![("app".into(), "sink test".into())],
+            range,
+        }
+    }
+
+    /// Replay a trace's events through a sink, as a decoder would.
+    fn replay<S: EventSink>(trace: &Trace, range: Option<(f64, f64)>, sink: &mut S) -> bool {
+        let h = StreamHeader {
+            hierarchy: trace.hierarchy.clone(),
+            states: trace.states.clone(),
+            metadata: trace.metadata.clone(),
+            range,
+        };
+        if !sink.begin(&h) {
+            return false;
+        }
+        for iv in &trace.intervals {
+            sink.interval(iv.resource, iv.state, iv.begin, iv.end);
+        }
+        for p in &trace.points {
+            sink.point(p);
+        }
+        sink.end();
+        true
+    }
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new(Hierarchy::flat(3, "p"));
+        let run = b.state("Run");
+        let wait = b.state("Wait");
+        b.push_state(LeafId(0), run, 0.0, 4.0);
+        b.push_state(LeafId(0), wait, 4.0, 7.0);
+        b.push_state(LeafId(1), run, 1.0, 9.5);
+        b.push_state(LeafId(2), wait, 0.5, 3.25);
+        b.push_point(PointEvent {
+            resource: LeafId(1),
+            time: 2.5,
+            kind: PointKind::MsgSend { peer: LeafId(2) },
+        });
+        b.push_point(PointEvent {
+            resource: LeafId(2),
+            time: 2.75,
+            kind: PointKind::MsgRecv { peer: LeafId(1) },
+        });
+        b.push_meta("app", "sink test");
+        b.build()
+    }
+
+    fn assert_models_bit_identical(a: &MicroModel, b: &MicroModel) {
+        assert_eq!(a.n_leaves(), b.n_leaves());
+        assert_eq!(a.n_states(), b.n_states());
+        assert_eq!(a.n_slices(), b.n_slices());
+        assert_eq!(a.grid(), b.grid());
+        for l in 0..a.n_leaves() {
+            for x in 0..a.n_states() {
+                for t in 0..a.n_slices() {
+                    let (da, db) = (
+                        a.duration(LeafId(l as u32), StateId(x as u16), t),
+                        b.duration(LeafId(l as u32), StateId(x as u16), t),
+                    );
+                    assert_eq!(
+                        da.to_bits(),
+                        db.to_bits(),
+                        "cell ({l},{x},{t}): {da} vs {db}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_sink_materializes_everything() {
+        let t = sample_trace();
+        let mut sink = TraceSink::new();
+        assert!(replay(&t, t.time_range(), &mut sink));
+        let back = sink.into_trace().unwrap();
+        assert_eq!(back.intervals, t.intervals);
+        assert_eq!(back.points, t.points);
+        assert_eq!(back.meta("app"), Some("sink test"));
+        assert_eq!(back.time_range(), t.time_range());
+    }
+
+    #[test]
+    fn model_sink_states_matches_from_trace_bitwise() {
+        let t = sample_trace();
+        let mut sink = ModelSink::new(ModelKind::States, 7);
+        assert!(replay(&t, t.time_range(), &mut sink));
+        let streamed = sink.finish().unwrap();
+        let batch = MicroModel::from_trace(&t, 7).unwrap();
+        assert_models_bit_identical(&streamed, &batch);
+    }
+
+    #[test]
+    fn model_sink_density_matches_event_density_bitwise() {
+        let t = sample_trace();
+        let (lo, hi) = t.time_range().unwrap();
+        let grid = TimeGrid::new(lo, hi, 9);
+        let mut sink = ModelSink::new(ModelKind::Density, 9);
+        assert!(replay(&t, Some((lo, hi)), &mut sink));
+        let streamed = sink.finish().unwrap();
+        let batch = event_density(&t, grid);
+        assert_eq!(
+            streamed.states().get("evt:send"),
+            batch.states().get("evt:send")
+        );
+        assert_models_bit_identical(&streamed, &batch);
+    }
+
+    #[test]
+    fn density_interns_pseudo_states_for_out_of_grid_points() {
+        // `event_counts` interns a pseudo-state for every kind present in
+        // the trace even when all its events fall outside the grid (the
+        // column is all-zero); the sink must match that bit for bit.
+        let mut b = TraceBuilder::new(Hierarchy::flat(2, "p"));
+        let s = b.state("S");
+        b.push_state(LeafId(0), s, 0.0, 4.0);
+        b.push_point(PointEvent {
+            resource: LeafId(1),
+            time: 20.0, // outside the [0, 4] window below
+            kind: PointKind::MsgSend { peer: LeafId(0) },
+        });
+        let t = b.build();
+        let grid = TimeGrid::new(0.0, 4.0, 4);
+        let mut sink = ModelSink::with_range(ModelKind::Density, 4, (0.0, 4.0));
+        assert!(replay(&t, None, &mut sink));
+        let streamed = sink.finish().unwrap();
+        let batch = crate::density::event_density(&t, grid);
+        assert!(streamed.states().get("evt:send").is_some());
+        assert_models_bit_identical(&streamed, &batch);
+    }
+
+    #[test]
+    fn model_sink_is_bit_stable_across_thread_counts() {
+        // Enough records to cross the flush boundary at least twice.
+        let mut b = TraceBuilder::new(Hierarchy::flat(5, "p"));
+        let s = b.state("S");
+        let n = 3 * FLUSH_CHUNK / 2;
+        for i in 0..n {
+            let t0 = i as f64 * 1e-3;
+            b.push_state(LeafId((i % 5) as u32), s, t0, t0 + 0.37e-3);
+        }
+        let t = b.build();
+
+        let run = |threads: usize| {
+            rayon::set_max_threads(threads);
+            let mut sink = ModelSink::new(ModelKind::States, 16);
+            assert!(replay(&t, t.time_range(), &mut sink));
+            sink.finish().unwrap()
+        };
+        let seq = run(1);
+        let par = run(8);
+        rayon::set_max_threads(8);
+        assert_models_bit_identical(&seq, &par);
+        // And both match the sequential batch builder.
+        let batch = {
+            let grid = *seq.grid();
+            let mut mb = crate::MicroBuilder::new(t.hierarchy.clone(), t.states.clone(), grid);
+            for iv in &t.intervals {
+                mb.add(iv.resource, iv.state, iv.begin, iv.end);
+            }
+            mb.finish()
+        };
+        assert_models_bit_identical(&seq, &batch);
+    }
+
+    #[test]
+    fn model_sink_without_range_asks_for_two_pass() {
+        let mut sink = ModelSink::new(ModelKind::States, 4);
+        assert!(!sink.begin(&header(2, &["S"], None)));
+        assert!(sink.needs_range());
+        assert_eq!(sink.finish().unwrap_err(), ModelSinkError::MissingRange);
+    }
+
+    #[test]
+    fn model_sink_rejects_empty_range() {
+        let mut sink = ModelSink::new(ModelKind::States, 4);
+        assert!(!sink.begin(&header(2, &["S"], Some((3.0, 3.0)))));
+        assert!(!sink.needs_range());
+        assert_eq!(sink.finish().unwrap_err(), ModelSinkError::EmptyRange);
+    }
+
+    #[test]
+    fn model_sink_range_override_wins() {
+        let t = sample_trace();
+        let mut sink = ModelSink::with_range(ModelKind::States, 5, (0.0, 10.0));
+        assert!(replay(&t, None, &mut sink));
+        let m = sink.finish().unwrap();
+        assert_eq!(m.grid().start(), 0.0);
+        assert_eq!(m.grid().end(), 10.0);
+    }
+
+    #[test]
+    fn model_sink_reports_counts_and_footprint() {
+        let t = sample_trace();
+        let mut sink = ModelSink::new(ModelKind::States, 5);
+        assert!(replay(&t, t.time_range(), &mut sink));
+        assert_eq!(sink.counts(), (4, 2));
+        // 3 leaves × 2 states × 5 slices × 8 bytes plus the record buffer.
+        assert!(sink.peak_bytes() >= 3 * 2 * 5 * 8);
+        let m = sink.finish().unwrap();
+        assert_eq!(m.n_slices(), 5);
+    }
+
+    #[test]
+    fn scan_sink_tracks_range_and_counts() {
+        let t = sample_trace();
+        let mut scan = ScanSink::new();
+        assert!(replay(&t, None, &mut scan));
+        assert_eq!(scan.observed_range(), t.time_range());
+        assert_eq!(scan.intervals, 4);
+        assert_eq!(scan.points, 2);
+        assert_eq!(scan.event_count() as usize, t.event_count());
+        assert!(scan.header.is_some());
+    }
+
+    #[test]
+    fn scan_sink_empty_stream_has_no_range() {
+        let t = TraceBuilder::new(Hierarchy::flat(1, "p")).build();
+        let mut scan = ScanSink::new();
+        assert!(replay(&t, None, &mut scan));
+        assert_eq!(scan.observed_range(), None);
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_sides() {
+        let t = sample_trace();
+        let mut tee = TeeSink::new(ScanSink::new(), ModelSink::new(ModelKind::States, 6));
+        assert!(replay(&t, t.time_range(), &mut tee));
+        let (scan, model) = tee.into_inner();
+        assert_eq!(scan.intervals, 4);
+        let m = model.finish().unwrap();
+        assert_models_bit_identical(&m, &MicroModel::from_trace(&t, 6).unwrap());
+    }
+
+    #[test]
+    fn tee_sink_continues_when_one_side_stops() {
+        let t = sample_trace();
+        // The model side has no range and stops; the scan side continues.
+        let mut tee = TeeSink::new(ModelSink::new(ModelKind::States, 6), ScanSink::new());
+        assert!(replay(&t, None, &mut tee));
+        let (model, scan) = tee.into_inner();
+        assert!(model.needs_range());
+        assert_eq!(scan.observed_range(), t.time_range());
+    }
+}

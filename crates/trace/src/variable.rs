@@ -195,23 +195,14 @@ impl VariableTrace {
     /// last sample the value holds until the grid end.
     pub fn micro_model(&self, variable: VariableId, grid: TimeGrid, bins: &BinSpec) -> MicroModel {
         let var_name = self.variables.name(variable);
-        let states = StateRegistry::from_names(
-            (0..bins.n_bins()).map(|b| format!("{var_name}∈{}", bins.label(b))),
-        );
-        let mut builder = MicroBuilder::new(self.hierarchy.clone(), states, grid);
+        let mut binner = VariableBinner::new(self.hierarchy.clone(), var_name, grid, bins.clone());
         for leaf in 0..self.hierarchy.n_leaves() {
             let leaf = LeafId(leaf as u32);
-            let series = self.series(leaf, variable);
-            for (k, s) in series.iter().enumerate() {
-                let hold_until = series.get(k + 1).map_or(grid.end(), |next| next.time);
-                if hold_until <= s.time {
-                    continue; // duplicate timestamp: later sample wins
-                }
-                let bin = bins.bin_of(s.value);
-                builder.add(leaf, crate::StateId(bin as u16), s.time, hold_until);
+            for s in self.series(leaf, variable) {
+                binner.push(leaf, s.time, s.value);
             }
         }
-        builder.finish()
+        binner.finish()
     }
 
     /// Convenience: slice the observed time range into `n_slices` periods
@@ -321,6 +312,77 @@ impl VariableTraceBuilder {
             time_min: self.time_min,
             time_max: self.time_max,
         }
+    }
+}
+
+/// Streaming sample-and-hold binner: the variable-metric member of the
+/// metric-builder family ([`MicroBuilder`](crate::MicroBuilder) for
+/// states, [`ModelSink`](crate::sink::ModelSink) for states/density over
+/// an event stream). Samples are pushed one at a time — per resource in
+/// non-decreasing time order — and held until the next sample on the same
+/// resource (or the grid end at [`VariableBinner::finish`]), without ever
+/// storing the sample list. Memory is O(model + |S|).
+pub struct VariableBinner {
+    builder: MicroBuilder,
+    bins: BinSpec,
+    grid_end: Time,
+    /// Last sample per resource still awaiting its hold-until bound.
+    pending: Vec<Option<(Time, f64)>>,
+}
+
+impl VariableBinner {
+    /// A binner for one variable over `grid`, binning values with `bins`.
+    /// Bin `i` becomes the pseudo-state `"<var_name>∈<bin label>"`.
+    pub fn new(hierarchy: Hierarchy, var_name: &str, grid: TimeGrid, bins: BinSpec) -> Self {
+        let states = StateRegistry::from_names(
+            (0..bins.n_bins()).map(|b| format!("{var_name}∈{}", bins.label(b))),
+        );
+        let n_leaves = hierarchy.n_leaves();
+        Self {
+            builder: MicroBuilder::new(hierarchy, states, grid),
+            bins,
+            grid_end: grid.end(),
+            pending: vec![None; n_leaves],
+        }
+    }
+
+    /// Record that `resource` took `value` at `time`. Samples on one
+    /// resource must arrive in non-decreasing time order; a duplicate
+    /// timestamp replaces the previous sample (the later sample wins).
+    pub fn push(&mut self, resource: LeafId, time: Time, value: f64) {
+        assert!(time.is_finite() && value.is_finite(), "non-finite sample");
+        let slot = &mut self.pending[resource.index()];
+        if let Some((t0, v0)) = *slot {
+            assert!(
+                time >= t0,
+                "samples must arrive in time order per resource ({time} after {t0})"
+            );
+            if time > t0 {
+                let bin = self.bins.bin_of(v0);
+                self.builder
+                    .add(resource, crate::StateId(bin as u16), t0, time);
+            }
+        }
+        *slot = Some((time, value));
+    }
+
+    /// Close every resource's trailing sample at the grid end and return
+    /// the accumulated model.
+    pub fn finish(mut self) -> MicroModel {
+        for (leaf, slot) in self.pending.iter().enumerate() {
+            if let Some((t0, v0)) = *slot {
+                if self.grid_end > t0 {
+                    let bin = self.bins.bin_of(v0);
+                    self.builder.add(
+                        LeafId(leaf as u32),
+                        crate::StateId(bin as u16),
+                        t0,
+                        self.grid_end,
+                    );
+                }
+            }
+        }
+        self.builder.finish()
     }
 }
 

@@ -106,7 +106,8 @@ proptest! {
 
 #[test]
 fn micro_from_either_format_agrees() {
-    use ocelotl::format::{stream_binary_micro, stream_text_micro};
+    use ocelotl::format::{decode_binary, decode_text};
+    use ocelotl::trace::{ModelKind, ModelSink};
     // Deterministic mid-size trace.
     let h = Hierarchy::balanced(&[2, 3]);
     let mut tb = TraceBuilder::new(h);
@@ -123,14 +124,18 @@ fn micro_from_either_format_agrees() {
     let mut bbuf = Vec::new();
     write_text(&trace, &mut tbuf).unwrap();
     write_binary(&trace, &mut bbuf).unwrap();
-    let mt = stream_text_micro(tbuf.as_slice(), 20).unwrap();
-    let mb = stream_binary_micro(bbuf.as_slice(), 20).unwrap();
+    let mut ts = ModelSink::new(ModelKind::States, 20);
+    let mut bs = ModelSink::new(ModelKind::States, 20);
+    assert!(decode_text(tbuf.as_slice(), &mut ts).unwrap());
+    assert!(decode_binary(bbuf.as_slice(), &mut bs).unwrap());
+    let mt = ts.finish().unwrap();
+    let mb = bs.finish().unwrap();
     for leaf in 0..6u32 {
         for x in 0..2u16 {
             for t in 0..20 {
                 let a = mt.duration(LeafId(leaf), StateId(x), t);
                 let b = mb.duration(LeafId(leaf), StateId(x), t);
-                assert!((a - b).abs() < 1e-12);
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

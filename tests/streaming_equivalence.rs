@@ -1,0 +1,192 @@
+//! Streaming vs materialized ingestion equivalence.
+//!
+//! The contract of the push-based pipeline: for every format (BTF, PTF,
+//! Pajé) and every metric (states, event density), streaming a trace file
+//! straight into the `MicroModel` (`read_model`, O(model) memory) is
+//! **bit-identical** to materializing the `Trace` first (`read_trace`,
+//! O(events) memory) and slicing it — grids, state registries and every
+//! `d_x(s,t)` cell. Since partitions and pIC are pure functions of the
+//! model, bit-identical models imply identical analyses.
+
+use ocelotl::format::{hash_file, read_model, read_trace, write_trace};
+use ocelotl::prelude::*;
+use ocelotl::trace::{event_density_auto, ModelKind, PointEvent, PointKind};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(ext: &str) -> std::path::PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ocelotl-stream-eq-{}-{n}.{ext}",
+        std::process::id()
+    ))
+}
+
+/// Build a random trace whose per-resource intervals are sequential and
+/// non-overlapping (the subset every format, including Pajé's set-state
+/// model, round-trips exactly).
+fn build_trace(
+    shape: (usize, usize),
+    n_states: usize,
+    events: &[(u32, usize, f64, f64)],
+    points: &[(u32, f64, u8)],
+) -> Trace {
+    let h = Hierarchy::balanced(&[shape.0, shape.1]);
+    let n_leaves = h.n_leaves();
+    let mut b = TraceBuilder::new(h);
+    let states: Vec<StateId> = (0..n_states)
+        .map(|i| b.state(&format!("state-{i}")))
+        .collect();
+    // Anchor: guarantees a positive time extent in every case.
+    b.push_state(LeafId(0), states[0], 0.0, 1.0);
+    let mut cursor = vec![1.0f64; n_leaves];
+    for &(leaf_sel, state_sel, gap, dur) in events {
+        let leaf = leaf_sel as usize % n_leaves;
+        let begin = cursor[leaf] + gap;
+        let end = begin + dur;
+        cursor[leaf] = end;
+        b.push_state(
+            LeafId(leaf as u32),
+            states[state_sel % n_states],
+            begin,
+            end,
+        );
+    }
+    for &(leaf_sel, time, kind) in points {
+        let resource = LeafId(leaf_sel % n_leaves as u32);
+        let kind = match kind % 3 {
+            0 => PointKind::Marker,
+            1 => PointKind::MsgSend { peer: LeafId(0) },
+            _ => PointKind::MsgRecv { peer: LeafId(0) },
+        };
+        b.push_point(PointEvent {
+            resource,
+            time,
+            kind,
+        });
+    }
+    b.build()
+}
+
+fn assert_bit_identical(streamed: &MicroModel, batch: &MicroModel, what: &str) {
+    assert_eq!(streamed.n_leaves(), batch.n_leaves(), "{what}: |S|");
+    assert_eq!(streamed.n_states(), batch.n_states(), "{what}: |X|");
+    assert_eq!(streamed.n_slices(), batch.n_slices(), "{what}: |T|");
+    assert_eq!(
+        streamed.grid().start().to_bits(),
+        batch.grid().start().to_bits(),
+        "{what}: grid start"
+    );
+    assert_eq!(
+        streamed.grid().end().to_bits(),
+        batch.grid().end().to_bits(),
+        "{what}: grid end"
+    );
+    let names =
+        |m: &MicroModel| -> Vec<String> { m.states().iter().map(|(_, n)| n.to_string()).collect() };
+    assert_eq!(names(streamed), names(batch), "{what}: state names/order");
+    for l in 0..streamed.n_leaves() {
+        for x in 0..streamed.n_states() {
+            for t in 0..streamed.n_slices() {
+                let a = streamed.duration(LeafId(l as u32), StateId(x as u16), t);
+                let b = batch.duration(LeafId(l as u32), StateId(x as u16), t);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{what}: cell ({l},{x},{t}): {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+/// The full check for one written file: both metrics plus the zoom path.
+fn check_file(path: &std::path::Path, n_slices: usize, what: &str) {
+    let materialized = read_trace(path).expect("materialized read");
+
+    // States metric.
+    let report = read_model(path, n_slices, ModelKind::States).expect("streaming states");
+    let batch = MicroModel::from_trace(&materialized, n_slices).expect("batch states");
+    assert_bit_identical(&report.model, &batch, &format!("{what}/states"));
+    assert_eq!(
+        report.fingerprint,
+        hash_file(path).unwrap(),
+        "{what}: fused fingerprint must equal hash_file"
+    );
+
+    // Density metric.
+    let streamed = read_model(path, n_slices, ModelKind::Density)
+        .expect("streaming density")
+        .model;
+    let batch_d = event_density_auto(&materialized, n_slices).expect("batch density");
+    assert_bit_identical(&streamed, &batch_d, &format!("{what}/density"));
+
+    // Zoom / sub-grid path: drill into the first top-level subtree over a
+    // middle slice window — submodels of bit-identical models must stay
+    // bit-identical.
+    let h = batch.hierarchy();
+    let node = h.top_level().first().copied().unwrap_or(h.root());
+    let (lo, hi) = (n_slices / 4, (n_slices / 2).max(n_slices / 4));
+    let sub_s = report.model.submodel(node, lo, hi);
+    let sub_b = batch.submodel(node, lo, hi);
+    assert_bit_identical(&sub_s, &sub_b, &format!("{what}/zoom"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random traces × three formats × two metrics × the zoom path:
+    /// streaming must be bit-identical to materializing, and the fused
+    /// fingerprint must equal the standalone file hash.
+    #[test]
+    fn streaming_equals_materialized(
+        shape in (1usize..4, 1usize..4),
+        n_states in 1usize..4,
+        events in proptest::collection::vec(
+            (0u32..16, 0usize..8, 0.01f64..1.5, 0.01f64..2.0), 1..32),
+        points in proptest::collection::vec(
+            (0u32..16, 0.0f64..8.0, 0u8..6), 0..5),
+        n_slices in 2usize..16,
+    ) {
+        let trace = build_trace(shape, n_states, &events, &points);
+        for ext in ["btf", "ptf", "paje"] {
+            let path = scratch(ext);
+            write_trace(&trace, &path).unwrap();
+            check_file(&path, n_slices, ext);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_for_paper_shaped_workload() {
+    // A deterministic mpisim trace (case A at tiny scale) through every
+    // format: the shape real analyses see, with MPI state names and
+    // thousands of intervals.
+    let (trace, _) = ocelotl::mpisim::scenario(CaseId::A, 0.004).run(7);
+    for ext in ["btf", "ptf"] {
+        let path = scratch(ext);
+        write_trace(&trace, &path).unwrap();
+        check_file(&path, 30, ext);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn ptf_without_range_header_is_still_bit_identical() {
+    // Strip the %range line: the streaming path must fall back to the
+    // bounded two-pass scan and still match the materialized build bit
+    // for bit (the scanned extent replays TraceBuilder's semantics).
+    let trace = build_trace((2, 2), 2, &[(0, 0, 0.5, 1.0), (3, 1, 0.2, 2.0)], &[]);
+    let path = scratch("ptf");
+    write_trace(&trace, &path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let stripped: Vec<&str> = text.lines().filter(|l| !l.starts_with("%range")).collect();
+    std::fs::write(&path, stripped.join("\n")).unwrap();
+    check_file(&path, 8, "ptf-no-range");
+    let report = read_model(&path, 8, ModelKind::States).unwrap();
+    assert_eq!(report.mode, ocelotl::format::IngestMode::TwoPass);
+    std::fs::remove_file(&path).ok();
+}
