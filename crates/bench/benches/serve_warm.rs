@@ -1,0 +1,144 @@
+//! Warm-vs-cold `ocelotl serve`: the server-mode economy measured end to
+//! end over the wire.
+//!
+//! One TCP server is spawned in-process; a client sends the same
+//! `aggregate` wire request twice. The first (cold) answer pays the trace
+//! read, the slicing, the cube build and the DP; the second (warm) answer
+//! is served from the pooled session's memo — the socket round-trip and
+//! reply serialization are all that remains. A `significant` request then
+//! shows the warm table answering with zero DP runs.
+//!
+//! Emits one `BENCH {...}` line per measurement plus `BENCH_serve.json`
+//! (path override: `BENCH_SERVE_JSON`). Acceptance bar: warm ≥ 5× faster
+//! than cold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocelotl::core::query::AnalysisRequest;
+use ocelotl::core::SessionConfig;
+use ocelotl::mpisim::{scenario_with_events, CaseId};
+use ocelotl_bench::scratch;
+use ocelotl_cli::commands::query::roundtrip;
+use ocelotl_cli::commands::serve::{spawn_tcp, ServeOptions};
+use std::time::Instant;
+
+fn slices() -> usize {
+    std::env::var("OCELOTL_SERVE_SLICES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+fn target_events() -> u64 {
+    std::env::var("OCELOTL_SERVE_EVENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000)
+}
+
+fn bench_serve(_c: &mut Criterion) {
+    let target = target_events();
+    let n_slices = slices();
+    let path = scratch("serve_warm.btf");
+    scenario_with_events(CaseId::A, target)
+        .run_to_file(&path, 42)
+        .expect("streamed generation");
+    let trace = path.display().to_string();
+    let config = SessionConfig {
+        n_slices: slices(),
+        ..SessionConfig::default()
+    };
+
+    let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let addr = server.addr.to_string();
+
+    let aggregate = ocelotl::format::encode_wire_request(
+        &trace,
+        &config,
+        &AnalysisRequest::Aggregate {
+            p: 0.5,
+            coarse: false,
+            compare: false,
+            diff_p: None,
+        },
+    );
+    let significant = ocelotl::format::encode_wire_request(
+        &trace,
+        &config,
+        &AnalysisRequest::Significant { resolution: 1e-2 },
+    );
+
+    // Cold: first query ever against this (trace, config) key.
+    let t0 = Instant::now();
+    let cold_reply = roundtrip(&addr, &aggregate).expect("cold aggregate");
+    let cold = t0.elapsed();
+    assert!(cold_reply.contains("\"reply\""), "{cold_reply}");
+
+    // Warm: same request, pooled session. Median of several round-trips.
+    let mut warm_samples = Vec::new();
+    let mut warm_reply = String::new();
+    for _ in 0..9 {
+        let t = Instant::now();
+        warm_reply = roundtrip(&addr, &aggregate).expect("warm aggregate");
+        warm_samples.push(t.elapsed());
+    }
+    warm_samples.sort();
+    let warm = warm_samples[warm_samples.len() / 2];
+    assert_eq!(cold_reply, warm_reply, "warm answer must repeat cold bytes");
+
+    // Significant levels: cold dichotomy, then warm table.
+    let t0 = Instant::now();
+    let _ = roundtrip(&addr, &significant).expect("cold significant");
+    let sig_cold = t0.elapsed();
+    let t0 = Instant::now();
+    let _ = roundtrip(&addr, &significant).expect("warm significant");
+    let sig_warm = t0.elapsed();
+
+    server.stop();
+
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    let sig_speedup = sig_cold.as_secs_f64() / sig_warm.as_secs_f64().max(1e-9);
+    println!(
+        "serve warm-vs-cold at {target} events, |T| = {n_slices}: \
+         aggregate cold {:.1} ms, warm {:.3} ms ({speedup:.0}x); \
+         significant cold {:.1} ms, warm {:.3} ms ({sig_speedup:.0}x)",
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+        sig_cold.as_secs_f64() * 1e3,
+        sig_warm.as_secs_f64() * 1e3,
+    );
+    assert!(
+        speedup >= 5.0,
+        "a warm server query must be ≥5x faster than cold (got {speedup:.1}x)"
+    );
+
+    let entries = [
+        format!(
+            "{{\"bench\":\"serve_warm\",\"request\":\"aggregate\",\"target_events\":{target},\
+             \"slices\":{n_slices},\"cold_ms\":{:.3},\"warm_ms\":{:.4},\"speedup\":{:.1}}}",
+            cold.as_secs_f64() * 1e3,
+            warm.as_secs_f64() * 1e3,
+            speedup
+        ),
+        format!(
+            "{{\"bench\":\"serve_warm\",\"request\":\"significant\",\"target_events\":{target},\
+             \"slices\":{n_slices},\"cold_ms\":{:.3},\"warm_ms\":{:.4},\"speedup\":{:.1}}}",
+            sig_cold.as_secs_f64() * 1e3,
+            sig_warm.as_secs_f64() * 1e3,
+            sig_speedup
+        ),
+    ];
+    for e in &entries {
+        println!("BENCH {e}");
+    }
+    let json_path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
+    if let Err(e) = std::fs::write(&json_path, json) {
+        eprintln!("could not write {json_path}: {e}");
+    } else {
+        println!("wrote {json_path}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -39,6 +39,7 @@ fn session(model: &MicroModel, fp: u64, slices: usize, dir: &std::path::Path) ->
             n_slices: slices,
             metric: Metric::States,
             memory: MemoryMode::Auto,
+            ..SessionConfig::default()
         },
     )
     .with_store(DiskStore::new(dir, "case_a"))

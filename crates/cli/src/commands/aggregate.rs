@@ -1,13 +1,17 @@
 //! `ocelotl aggregate <trace>` — compute and summarize the optimal
-//! spatiotemporal partition, through the shared [`AnalysisSession`].
+//! spatiotemporal partition.
+//!
+//! A thin client of the query protocol: builds one
+//! [`AnalysisRequest::Aggregate`], executes it on the shared
+//! [`QueryEngine`](ocelotl::core::QueryEngine), and prints the reply
+//! through the one shared formatter (`proto::write_aggregate`) — the same
+//! bytes a warm cached run or an `ocelotl serve` answer produces.
 
 use crate::args::Args;
-use crate::helpers::{describe_cube, open_session, SESSION_OPTS};
+use crate::helpers::{open_engine, SESSION_OPTS};
+use crate::proto::{aggregate_request, write_aggregate};
 use crate::CliError;
-use ocelotl::core::{
-    compare_partitions, inspect_area, product_aggregation, quality, summary_text, AnalysisSession,
-    Partition, QualityCube,
-};
+use ocelotl::core::query::AnalysisReply;
 use std::io::Write;
 use std::path::Path;
 
@@ -27,6 +31,8 @@ OPTIONS:
     --cache DIR      persist session artifacts (.ocube/.opart) under DIR so
                      the next invocation is warm (default: OCELOTL_CACHE_DIR)
     --no-cache       disable artifact caching even if the env var is set
+    --cache-keep N   artifacts kept per trace and kind before GC
+                     (default 4; OCELOTL_CACHE_KEEP)
     --coarse         prefer the coarsest partition among pIC ties
     --list N         also print the N most populated aggregates
     --compare        also score the paper's SIII.D baselines (1-D optima,
@@ -34,6 +40,7 @@ OPTIONS:
     --diff-p F       quantify how the overview changes between p and F
                      (variation of information, NMI, Rand index)
     --tsv FILE       dump the partition as tab-separated rows
+    --json           print the reply as protocol JSON instead of text
 ";
 
 /// Entry point.
@@ -47,101 +54,52 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     known.extend(SESSION_OPTS);
     args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
-    let p: f64 = args.get_or("p", 0.5)?;
-    let coarse = args.has("coarse");
+    let request = aggregate_request(&args)?;
 
-    let mut session = open_session(&args, path)?;
-    let partition = session.partition_at(p, coarse)?;
-    // Everything below is answered from the session's cube — a warm run
-    // never touches the trace (except --compare, which needs the raw
-    // microscopic model for the 1-D baselines).
-    let diffed: Option<(f64, Partition)> = match args.get("diff-p")? {
-        Some(s) => {
-            let p2: f64 = s
-                .parse()
-                .map_err(|_| CliError::Usage(format!("invalid --diff-p value {s:?}")))?;
-            Some((p2, session.partition_at(p2, coarse)?))
-        }
-        None => None,
+    let mut engine = open_engine(&args, path)?;
+    let reply = engine.execute(&request)?;
+    let AnalysisReply::Aggregate(agg) = &reply else {
+        unreachable!("aggregate request yields an aggregate reply");
     };
-    let grid = session.grid()?;
-    let source = session.cube_source();
-    write_summary(&mut session, &partition, p, out, source)?;
 
-    if let Some(n) = args.get("list")? {
-        let n: usize = n
+    if args.has("json") {
+        // A requested TSV dump is written regardless of the output format
+        // (like describe's .omm): --json changes what is printed — one
+        // pure protocol line — not what side artifacts are produced.
+        write_tsv(&args, agg, None)?;
+        writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reply)))?;
+        return Ok(());
+    }
+
+    let list: usize = match args.get("list")? {
+        Some(n) => n
             .parse()
-            .map_err(|_| CliError::Usage(format!("invalid --list value {n:?}")))?;
-        writeln!(out, "\ntop {n} aggregates by cell count:")?;
-        out.write_all(summary_text(session.cube()?, &partition, n).as_bytes())?;
-    }
+            .map_err(|_| CliError::Usage(format!("invalid --list value {n:?}")))?,
+        None => 0,
+    };
+    write_aggregate(agg, out, list)?;
+    write_tsv(&args, agg, Some(out))?;
+    Ok(())
+}
 
-    if args.has("compare") {
-        // §III.D: spatial-and-temporal is not spatiotemporal — score the
-        // unidimensional optima and their product against Algorithm 1.
-        let (model, cube) = session.model_and_cube()?;
-        let h = model.hierarchy();
-        let t = model.n_slices();
-        let prod = product_aggregation(model, p);
-        let spatial_2d = Partition::product(&prod.spatial.nodes, &[(0, t - 1)]);
-        let temporal_2d = Partition::product(&[h.root()], &prod.temporal.intervals);
-        writeln!(out, "\nbaseline comparison at p = {p} (SIII.D):")?;
-        writeln!(out, "{:<28} {:>8} {:>14}", "partition", "areas", "pIC")?;
-        for (name, part) in [
-            ("spatiotemporal (Algorithm 1)", &partition),
-            ("product P(S) x P(T)", &prod.partition),
-            ("spatial-only x full time", &spatial_2d),
-            ("temporal-only x full space", &temporal_2d),
-            ("microscopic", &Partition::microscopic(h, t)),
-            ("full aggregation", &Partition::full(h, t)),
-        ] {
-            writeln!(
-                out,
-                "{:<28} {:>8} {:>14.6}",
-                name,
-                part.len(),
-                part.pic(cube, p)
-            )?;
-        }
-    }
-
-    if let Some((p2, other)) = diffed {
-        let cube = session.cube()?;
-        let c = compare_partitions(cube.hierarchy(), cube.n_slices(), &partition, &other);
-        writeln!(out, "\noverview change from p = {p} to p = {p2}:")?;
-        writeln!(
-            out,
-            "  areas:                    {} -> {}",
-            partition.len(),
-            other.len()
-        )?;
-        writeln!(
-            out,
-            "  variation of information: {:.4} bits",
-            c.variation_of_information
-        )?;
-        writeln!(
-            out,
-            "  normalized mutual info:   {:.4}",
-            c.normalized_mutual_information
-        )?;
-        writeln!(out, "  Rand index:               {:.4}", c.rand_index)?;
-    }
-
+/// Write the `--tsv` dump, if requested, confirming on `out` when given.
+fn write_tsv(
+    args: &Args,
+    agg: &ocelotl::core::query::AggregateReply,
+    out: Option<&mut dyn Write>,
+) -> Result<(), CliError> {
     if let Some(tsv) = args.get("tsv")? {
-        let cube = session.cube()?;
         let mut body = String::from(
             "node\tfirst_slice\tlast_slice\tt0\tt1\tresources\tmode\tconfidence\tloss\tgain\n",
         );
-        for area in partition.areas() {
-            let r = inspect_area(cube, area);
-            let (t0, _) = grid.slice_bounds(area.first_slice);
-            let (_, t1) = grid.slice_bounds(area.last_slice);
+        for r in &agg.areas {
             body.push_str(&format!(
-                "{}\t{}\t{}\t{t0:.9}\t{t1:.9}\t{}\t{}\t{:.6}\t{:.9}\t{:.9}\n",
+                "{}\t{}\t{}\t{:.9}\t{:.9}\t{}\t{}\t{:.6}\t{:.9}\t{:.9}\n",
                 r.path,
-                area.first_slice,
-                area.last_slice,
+                r.first_slice,
+                r.last_slice,
+                r.t0,
+                r.t1,
                 r.n_resources,
                 r.mode.as_deref().unwrap_or("-"),
                 r.confidence,
@@ -150,47 +108,10 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             ));
         }
         std::fs::write(tsv, body)?;
-        writeln!(out, "\nwrote {tsv} ({} rows)", partition.len())?;
+        if let Some(out) = out {
+            writeln!(out, "\nwrote {tsv} ({} rows)", agg.summary.n_areas)?;
+        }
     }
-    Ok(())
-}
-
-/// The headline block shared with cold and warm paths: model shape, cube
-/// provenance, partition quality, total pIC (via the partition's own
-/// additive sum, identical on both paths).
-fn write_summary(
-    session: &mut AnalysisSession,
-    partition: &Partition,
-    p: f64,
-    out: &mut dyn Write,
-    source: Option<ocelotl::core::CubeSource>,
-) -> Result<(), CliError> {
-    let metric = session.config().metric;
-    let cube = session.cube()?;
-    let q = quality(cube, partition);
-    writeln!(
-        out,
-        "model:       {} resources x {} slices x {} states ({:?} metric)",
-        cube.hierarchy().n_leaves(),
-        cube.n_slices(),
-        cube.n_states(),
-        metric
-    )?;
-    writeln!(out, "p:           {p}")?;
-    writeln!(out, "memory:      {}", describe_cube(cube, source))?;
-    writeln!(
-        out,
-        "aggregates:  {} (of {} microscopic cells)",
-        partition.len(),
-        q.n_cells
-    )?;
-    writeln!(out, "complexity:  -{:.2} %", 100.0 * q.complexity_reduction)?;
-    writeln!(
-        out,
-        "information: loss {:.6} bits (ratio {:.4}), gain {:.6} bits (ratio {:.4})",
-        q.loss, q.loss_ratio, q.gain, q.gain_ratio
-    )?;
-    writeln!(out, "pIC:         {:.6}", partition.pic(cube, p))?;
     Ok(())
 }
 
@@ -227,7 +148,7 @@ mod tests {
     fn density_metric_accepted() {
         let p = fixture_trace("agg-density");
         let text = run_ok(format!("{} --slices 10 --metric density", p.display()));
-        assert!(text.contains("Density metric"));
+        assert!(text.contains("density metric"));
         std::fs::remove_file(&p).ok();
     }
 
@@ -370,7 +291,7 @@ mod tests {
     }
 
     #[test]
-    fn warm_cache_output_is_identical_to_cold() {
+    fn warm_cache_output_is_byte_identical_to_cold() {
         let p = fixture_trace("agg-warm");
         let cache = std::env::temp_dir().join(format!("ocelotl-agg-warm-{}", std::process::id()));
         std::fs::remove_dir_all(&cache).ok();
@@ -379,19 +300,43 @@ mod tests {
             p.display(),
             cache.display()
         );
+        // The one-formatter design means no provenance lines and no drift:
+        // the warm run's bytes equal the cold run's bytes exactly.
         let cold = run_ok(line.clone());
         let warm = run_ok(line);
-        // The provenance note differs; every analysis line must not.
-        assert!(cold.contains("cold build"), "{cold}");
-        assert!(warm.contains("warm .ocube"), "{warm}");
-        let strip = |s: &str| {
-            s.lines()
-                .filter(|l| !l.starts_with("memory:"))
-                .collect::<Vec<_>>()
-                .join("\n")
-        };
-        assert_eq!(strip(&cold), strip(&warm));
+        assert_eq!(cold, warm);
         std::fs::remove_dir_all(&cache).ok();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn output_bytes_are_pinned() {
+        // Regression pin for the one aggregate formatter: any drift in
+        // these bytes would desynchronize cold/warm/server output.
+        let p = fixture_trace("agg-pinned");
+        let text = run_ok(format!("{} --slices 10 --p 0.4 --list 2", p.display()));
+        let expected = "model:       4 resources x 10 slices x 2 states (states metric)\n\
+             p:           0.4\n\
+             memory:      dense (0.0 MiB resident)\n\
+             aggregates:  10 (of 40 microscopic cells)\n\
+             complexity:  -75.00 %\n\
+             information: loss 0.000000 bits (ratio 0.0000), gain 0.000000 bits (ratio -0.0000)\n\
+             pIC:         0.000000\n\
+             \n\
+             top 2 aggregates by cell count:\n\
+             node                            res  slices           mode   conf      loss      gain\n\
+             n0.0                              2    0..9            Run   100%     0.000     0.000\n\
+             n0.1/n2.0                         1    0..9            Run   100%     0.000     0.000\n";
+        assert_eq!(text, expected, "aggregate formatting regression");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn json_output_is_a_protocol_reply() {
+        let p = fixture_trace("agg-json");
+        let text = run_ok(format!("{} --slices 10 --p 0.4 --json", p.display()));
+        let reply = ocelotl::format::decode_reply(text.trim()).unwrap().unwrap();
+        assert_eq!(reply.kind(), "aggregate");
         std::fs::remove_file(&p).ok();
     }
 }

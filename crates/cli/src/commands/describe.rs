@@ -6,13 +6,17 @@
 //! invocations accept the `.omm` directly and skip straight to the
 //! aggregation stage — the paper's "50 min preprocess, then instantaneous
 //! interaction" economy made durable across sessions.
+//!
+//! The printed summary is a `Describe` protocol reply; writing the `.omm`
+//! itself is host-side work the command does through the engine's session.
 
 use crate::args::Args;
-use crate::helpers::{obtain_report, Metric};
+use crate::helpers::{is_micro_cache, open_engine};
+use crate::proto::write_describe;
 use crate::CliError;
+use ocelotl::core::query::{AnalysisReply, AnalysisRequest};
 use std::io::Write;
 use std::path::Path;
-use std::time::Instant;
 
 const HELP: &str = "\
 ocelotl describe <trace> [options]
@@ -25,6 +29,8 @@ OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
     --metric M       states | density (default states)
     --out FILE       output path (default: <input>.omm)
+    --json           print the Describe reply as protocol JSON (the same
+                     bytes `ocelotl serve` answers for this request)
 ";
 
 /// Entry point.
@@ -34,41 +40,32 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help", "slices", "metric", "out"])?;
+    args.expect_known(&["help", "slices", "metric", "out", "json"])?;
     let path = Path::new(args.positional(0, "trace file")?);
-    if crate::helpers::is_micro_cache(path) {
+    if is_micro_cache(path) {
         return Err(CliError::Usage(
             "input is already a model cache (.omm); pass the trace file".into(),
         ));
     }
-    let n_slices: usize = args.get_or("slices", 30)?;
-    let metric: Metric = args.get_or("metric", Metric::States)?;
 
-    // The two Table II stages are fused: the streaming reader prorates
-    // events into the model as it parses, so peak memory is O(model) and
-    // the trace is read once (twice for range-less headers).
-    let t0 = Instant::now();
-    let report = obtain_report(path, n_slices, metric)?;
-    let ingest = t0.elapsed();
-    let model = &report.model;
+    let mut engine = open_engine(&args, path)?;
+    let reply = engine.execute(&AnalysisRequest::Describe)?;
 
     let out_path = match args.get("out")? {
         Some(o) => std::path::PathBuf::from(o),
         None => path.with_extension("omm"),
     };
-    ocelotl::format::save_micro(model, &out_path)?;
+    ocelotl::format::save_micro(engine.session_mut().model()?, &out_path)?;
     let size = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
 
-    writeln!(
-        out,
-        "trace reading + microscopic description ({}): {:>10.3} ms ({} events, {} x {} x {} cells)",
-        report.mode.tag(),
-        ingest.as_secs_f64() * 1e3,
-        report.events(),
-        model.n_leaves(),
-        model.n_slices(),
-        model.n_states()
-    )?;
+    if args.has("json") {
+        writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reply)))?;
+        return Ok(());
+    }
+    let AnalysisReply::Describe(d) = &reply else {
+        unreachable!("describe request yields a describe reply");
+    };
+    write_describe(d, out)?;
     writeln!(out, "wrote {} ({size} bytes)", out_path.display())?;
     Ok(())
 }
@@ -76,7 +73,7 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::helpers::{fixture_trace, obtain_model};
+    use crate::helpers::{fixture_trace, obtain_model, Metric};
 
     #[test]
     fn describe_then_reload_matches_direct_build() {
@@ -89,7 +86,8 @@ mod tests {
         let mut out = Vec::new();
         run(&tokens, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("trace reading"));
+        assert!(text.contains("model:"), "{text}");
+        assert!(text.contains("wrote"), "{text}");
 
         // Reload through the generic path and compare against a direct build.
         let cached = obtain_model(&omm, 99, Metric::States).unwrap();
@@ -98,6 +96,25 @@ mod tests {
         assert_eq!(cached.n_slices(), direct.n_slices());
         assert_eq!(cached.n_leaves(), direct.n_leaves());
         assert!((cached.grand_total() - direct.grand_total()).abs() < 1e-9);
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&omm).ok();
+    }
+
+    #[test]
+    fn json_reply_round_trips_and_still_writes_omm() {
+        let p = fixture_trace("describe-json");
+        let omm = p.with_extension("omm");
+        let tokens: Vec<String> =
+            format!("{} --slices 10 --out {} --json", p.display(), omm.display())
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let mut out = Vec::new();
+        run(&tokens, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let reply = ocelotl::format::decode_reply(text.trim()).unwrap().unwrap();
+        assert_eq!(reply.kind(), "describe");
+        assert!(omm.exists(), ".omm written in --json mode too");
         std::fs::remove_file(&p).ok();
         std::fs::remove_file(&omm).ok();
     }

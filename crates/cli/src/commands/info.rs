@@ -1,8 +1,13 @@
-//! `ocelotl info <trace>` — summarize a trace file.
+//! `ocelotl info <trace>` — summarize a trace file. `--stats` is a thin
+//! client of the query protocol (`Stats` request): the deterministic
+//! telemetry comes from the reply, the throughput lines from a local
+//! clock.
 
 use crate::args::Args;
-use crate::helpers::{load_trace, obtain_report, Metric};
+use crate::helpers::{load_trace, open_engine};
+use crate::proto::write_stats;
 use crate::CliError;
+use ocelotl::core::query::{AnalysisReply, AnalysisRequest};
 use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
@@ -20,6 +25,8 @@ OPTIONS:
                      and the chosen ingest mode (single-pass / two-pass)
     --slices N       time slices for the --stats model (default 30)
     --metric M       states | density for the --stats model (default states)
+    --json           with --stats: print the Stats reply as protocol JSON
+                     (the same bytes `ocelotl serve` answers)
 ";
 
 /// Entry point.
@@ -29,10 +36,15 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help", "stats", "slices", "metric"])?;
+    args.expect_known(&["help", "stats", "slices", "metric", "json"])?;
     let path = Path::new(args.positional(0, "trace file")?);
     if args.has("stats") {
         return run_stats(&args, path, out);
+    }
+    if args.has("json") {
+        return Err(CliError::Usage(
+            "--json is a --stats option (the listing has no protocol reply)".into(),
+        ));
     }
     let trace = load_trace(path)?;
     let h = &trace.hierarchy;
@@ -83,21 +95,27 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `--stats`: one streaming ingestion (no event materialization) plus its
-/// telemetry, so users can see the O(model) path working.
+/// `--stats`: one `Stats` query (a streaming ingestion with no event
+/// materialization) plus its telemetry, so users can see the O(model)
+/// path working.
 fn run_stats(args: &Args, path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
     if crate::helpers::is_micro_cache(path) {
         return Err(CliError::Usage(
             "--stats measures trace ingestion; a .omm model cache has no event stream".into(),
         ));
     }
-    let n_slices: usize = args.get_or("slices", 30)?;
-    let metric: Metric = args.get_or("metric", Metric::States)?;
+    let mut engine = open_engine(args, path)?;
     let t0 = Instant::now();
-    let report = obtain_report(path, n_slices, metric)?;
+    let reply = engine.execute(&AnalysisRequest::Stats)?;
     let elapsed = t0.elapsed();
-    let m = &report.model;
-    let h = m.hierarchy();
+
+    if args.has("json") {
+        writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reply)))?;
+        return Ok(());
+    }
+    let AnalysisReply::Stats(stats) = &reply else {
+        unreachable!("stats request yields a stats reply");
+    };
 
     writeln!(out, "file:        {}", path.display())?;
     writeln!(
@@ -105,37 +123,8 @@ fn run_stats(args: &Args, path: &Path, out: &mut dyn Write) -> Result<(), CliErr
         "size:        {} bytes",
         std::fs::metadata(path).map(|x| x.len()).unwrap_or(0)
     )?;
-    writeln!(
-        out,
-        "events:      {} ({} intervals, {} points)",
-        report.events(),
-        report.intervals,
-        report.points
-    )?;
-    writeln!(
-        out,
-        "time range:  [{:.6}, {:.6}] s",
-        m.grid().start(),
-        m.grid().end()
-    )?;
-    writeln!(
-        out,
-        "resources:   {} leaves, {} hierarchy nodes, depth {}",
-        h.n_leaves(),
-        h.len(),
-        h.max_depth()
-    )?;
-    writeln!(
-        out,
-        "model:       {} x {} x {} cells ({} metric, {} slices)",
-        m.n_leaves(),
-        m.n_slices(),
-        m.n_states(),
-        metric.tag(),
-        m.n_slices()
-    )?;
-    writeln!(out, "ingestion (streaming, events never materialized):")?;
-    writeln!(out, "  mode:              {}", report.mode.tag())?;
+    write_stats(stats, out)?;
+    writeln!(out, "local measurement (this process, this run):")?;
     writeln!(
         out,
         "  wall time:         {:.3} ms",
@@ -144,15 +133,8 @@ fn run_stats(args: &Args, path: &Path, out: &mut dyn Write) -> Result<(), CliErr
     writeln!(
         out,
         "  throughput:        {:.0} events/s",
-        report.events() as f64 / elapsed.as_secs_f64().max(1e-9)
+        stats.events as f64 / elapsed.as_secs_f64().max(1e-9)
     )?;
-    writeln!(out, "  bytes read:        {}", report.bytes_read)?;
-    writeln!(
-        out,
-        "  peak model memory: {} bytes (O(model), not O(events))",
-        report.peak_bytes
-    )?;
-    writeln!(out, "  fingerprint:       {:016x}", report.fingerprint)?;
     Ok(())
 }
 
@@ -195,6 +177,19 @@ mod tests {
         assert!(text.contains("peak model memory"), "{text}");
         assert!(text.contains("fingerprint"), "{text}");
         assert!(text.contains("events:      80"), "{text}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn stats_json_is_a_protocol_reply() {
+        let p = fixture_trace("info-stats-json");
+        let text = run_ok(&format!("{} --stats --slices 10 --json", p.display()));
+        let reply = ocelotl::format::decode_reply(text.trim()).unwrap().unwrap();
+        let ocelotl::core::AnalysisReply::Stats(s) = reply else {
+            panic!("expected stats reply");
+        };
+        assert_eq!(s.events, 80);
+        assert_eq!(s.mode, "single-pass");
         std::fs::remove_file(&p).ok();
     }
 

@@ -1,13 +1,12 @@
 //! `ocelotl inspect <trace>` — detail one aggregate of the optimal
 //! partition (the paper's §VI interaction: retrieve the data behind a
-//! rectangle of the overview). Served from the shared `AnalysisSession`,
-//! so a warm run answers without ever reading the trace.
+//! rectangle of the overview). A thin client of the query protocol: one
+//! `Inspect` request, one printed reply.
 
 use crate::args::Args;
-use crate::helpers::{open_session, SESSION_OPTS};
+use crate::helpers::{open_engine, SESSION_OPTS};
+use crate::proto::{print_reply, request_from_args};
 use crate::CliError;
-use ocelotl::core::{area_at, inspect_area, QualityCube as _};
-use ocelotl::trace::LeafId;
 use std::io::Write;
 use std::path::Path;
 
@@ -27,7 +26,9 @@ OPTIONS:
     --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
     --cache DIR      persist session artifacts so the next run is warm
                      (default: OCELOTL_CACHE_DIR); --no-cache disables
+    --cache-keep N   artifacts kept per trace and kind before GC (default 4)
     --coarse         prefer the coarsest partition among pIC ties
+    --json           print the reply as protocol JSON instead of text
 ";
 
 /// Entry point.
@@ -41,71 +42,18 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     known.extend(SESSION_OPTS);
     args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
-    let leaf: usize = args.require("leaf")?;
-    let slice: usize = args.require("slice")?;
-    let p: f64 = args.get_or("p", 0.5)?;
+    let request = request_from_args("inspect", &args)?;
 
-    let mut session = open_session(&args, path)?;
-    // Validate the cell against the cube's shape before paying for the
-    // DP: an out-of-range --leaf/--slice must fail fast.
-    {
-        let cube = session.cube()?;
-        if leaf >= cube.hierarchy().n_leaves() {
-            return Err(CliError::Invalid(format!(
-                "leaf {leaf} out of range (trace has {})",
-                cube.hierarchy().n_leaves()
-            )));
-        }
-        if slice >= cube.n_slices() {
-            return Err(CliError::Invalid(format!(
-                "slice {slice} out of range (model has {})",
-                cube.n_slices()
-            )));
-        }
+    let mut engine = open_engine(&args, path)?;
+    // Out-of-range cells are InvalidRequest like any bad parameter (exit
+    // 2) — the same code the `ocelotl query` client produces for the
+    // identical protocol error.
+    let reply = engine.execute(&request)?;
+    if args.has("json") {
+        writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reply)))?;
+        return Ok(());
     }
-    let partition = session.partition_at(p, args.has("coarse"))?;
-    let grid = session.grid()?;
-    let cube = session.cube()?;
-    let area = area_at(&partition, cube, LeafId(leaf as u32), slice)
-        .ok_or_else(|| CliError::Invalid("cell not covered (internal error)".into()))?;
-    let report = inspect_area(cube, &area);
-
-    let (t0, t1) = (
-        grid.slice_bounds(area.first_slice).0,
-        grid.slice_bounds(area.last_slice).1,
-    );
-    writeln!(out, "aggregate covering (leaf {leaf}, slice {slice}):")?;
-    writeln!(out, "  node:        {}", report.path)?;
-    writeln!(
-        out,
-        "  interval:    slices [{}, {}] = [{t0:.4}, {t1:.4}] s",
-        area.first_slice, area.last_slice
-    )?;
-    writeln!(
-        out,
-        "  size:        {} resources x {} slices",
-        report.n_resources, report.n_slices
-    )?;
-    match &report.mode {
-        Some(m) => writeln!(
-            out,
-            "  mode:        {m} (confidence {:.3})",
-            report.confidence
-        )?,
-        None => writeln!(out, "  mode:        (idle)")?,
-    }
-    writeln!(
-        out,
-        "  measures:    loss {:.6} bits, gain {:.6} bits",
-        report.loss, report.gain
-    )?;
-    writeln!(out, "  state proportions (Eq. 1):")?;
-    for (name, rho) in &report.proportions {
-        if *rho > 0.0 {
-            writeln!(out, "    {rho:>8.4}  {name}")?;
-        }
-    }
-    Ok(())
+    print_reply(&reply, out)
 }
 
 #[cfg(test)]
@@ -141,7 +89,9 @@ mod tests {
             .map(String::from)
             .collect();
         let mut out = Vec::new();
-        assert!(matches!(run(&tokens, &mut out), Err(CliError::Invalid(_))));
+        // Usage error (exit 2), identical to the remote `ocelotl query`
+        // exit semantics for the same protocol error.
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
         std::fs::remove_file(&p).ok();
     }
 

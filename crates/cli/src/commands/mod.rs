@@ -1,6 +1,8 @@
 //! One module per subcommand. Every command is
 //! `run(tokens, &mut dyn Write) -> Result<(), CliError>` so the whole CLI
-//! surface is testable in-process.
+//! surface is testable in-process. Analysis commands are thin clients of
+//! the query protocol (`ocelotl::core::query`); `serve` hosts it, `query`
+//! speaks it over a socket.
 
 pub mod aggregate;
 pub mod convert;
@@ -8,7 +10,9 @@ pub mod describe;
 pub mod info;
 pub mod inspect;
 pub mod pvalues;
+pub mod query;
 pub mod render;
 pub mod report;
+pub mod serve;
 pub mod simulate;
 pub mod sweep;

@@ -1,11 +1,12 @@
 //! `ocelotl pvalues <trace>` — the significant trade-off levels (the stops
-//! of Ocelotl's aggregation-strength slider), served from the shared
-//! `AnalysisSession` (a warm `.opart` answers with zero DP runs).
+//! of Ocelotl's aggregation-strength slider). A thin client of the query
+//! protocol: one `Significant` request (or `PValues` with `--bare`), one
+//! printed reply; a warm `.opart` answers with zero DP runs.
 
 use crate::args::Args;
-use crate::helpers::{describe_cube, open_session, SESSION_OPTS};
+use crate::helpers::{open_engine, SESSION_OPTS};
+use crate::proto::{print_reply, request_from_args};
 use crate::CliError;
-use ocelotl::core::quality;
 use std::io::Write;
 use std::path::Path;
 
@@ -23,7 +24,10 @@ OPTIONS:
     --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
     --cache DIR      persist session artifacts so the next run is warm
                      (default: OCELOTL_CACHE_DIR); --no-cache disables
+    --cache-keep N   artifacts kept per trace and kind before GC (default 4)
     --resolution F   dichotomy resolution on p (default 1e-3)
+    --bare           print only the significant p boundary values
+    --json           print the reply as protocol JSON instead of text
 ";
 
 /// Entry point.
@@ -33,44 +37,24 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    let mut known = vec!["help", "resolution"];
+    let mut known = vec!["help", "resolution", "bare"];
     known.extend(SESSION_OPTS);
     args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
-    let resolution: f64 = args.get_or("resolution", 1e-3)?;
+    let kind = if args.has("bare") {
+        "pvalues"
+    } else {
+        "significant"
+    };
+    let request = request_from_args(kind, &args)?;
 
-    let mut session = open_session(&args, path)?;
-    let entries = session.significant(resolution)?;
-    // Force the cube (the quality columns need it) before reading its
-    // provenance — a fully warm table may not have touched it yet.
-    session.cube()?;
-    let source = session.cube_source();
-    let cube = session.cube()?;
-
-    writeln!(out, "memory: {}", describe_cube(cube, source))?;
-    writeln!(
-        out,
-        "{} significant levels (resolution {resolution}):",
-        entries.len()
-    )?;
-    writeln!(
-        out,
-        "{:>12} {:>12} {:>10} {:>12} {:>12}",
-        "p_low", "p_high", "areas", "loss_ratio", "reduction"
-    )?;
-    for e in &entries {
-        let q = quality(cube, &e.partition);
-        writeln!(
-            out,
-            "{:>12.4} {:>12.4} {:>10} {:>12.4} {:>11.2}%",
-            e.p_low,
-            e.p_high,
-            e.partition.len(),
-            q.loss_ratio,
-            100.0 * q.complexity_reduction
-        )?;
+    let mut engine = open_engine(&args, path)?;
+    let reply = engine.execute(&request)?;
+    if args.has("json") {
+        writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reply)))?;
+        return Ok(());
     }
-    Ok(())
+    print_reply(&reply, out)
 }
 
 #[cfg(test)]
@@ -105,6 +89,21 @@ mod tests {
     }
 
     #[test]
+    fn bare_lists_boundary_values() {
+        let p = fixture_trace("pvalues-bare");
+        let text = run_ok(format!("{} --slices 10 --bare", p.display()));
+        assert!(text.contains("significant p values"), "{text}");
+        let values: Vec<f64> = text
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.trim().parse().ok())
+            .collect();
+        assert!(!values.is_empty());
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "ascending");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
     fn bad_resolution_rejected() {
         let p = fixture_trace("pvalues-res");
         let tokens: Vec<String> = format!("{} --resolution 0", p.display())
@@ -117,20 +116,14 @@ mod tests {
     }
 
     #[test]
-    fn warm_run_lists_identical_levels() {
+    fn warm_run_is_byte_identical() {
         let p = fixture_trace("pvalues-warm");
         let cache = std::env::temp_dir().join(format!("ocelotl-pv-warm-{}", std::process::id()));
         std::fs::remove_dir_all(&cache).ok();
         let line = format!("{} --slices 10 --cache {}", p.display(), cache.display());
         let cold = run_ok(line.clone());
         let warm = run_ok(line);
-        let strip = |s: &str| {
-            s.lines()
-                .filter(|l| !l.starts_with("memory:"))
-                .collect::<Vec<_>>()
-                .join("\n")
-        };
-        assert_eq!(strip(&cold), strip(&warm));
+        assert_eq!(cold, warm);
         std::fs::remove_dir_all(&cache).ok();
         std::fs::remove_file(&p).ok();
     }

@@ -1,12 +1,19 @@
 //! `ocelotl render <trace>` — draw the aggregated overview (SVG/ASCII) or
-//! the microscopic Gantt chart. The overview renders from the shared
-//! `AnalysisSession`'s artifacts (a warm cached partition draws without
-//! re-running the optimizer); only `--gantt` reads raw events.
+//! the microscopic Gantt chart. The overview is a thin client of the
+//! query protocol: one `RenderOverview` request returns a complete
+//! drawable scene, which the viz crate renders without any cube access —
+//! the same reply a remote `ocelotl serve` answer carries. Only `--gantt`
+//! reads raw events.
 
 use crate::args::Args;
-use crate::helpers::{is_micro_cache, load_trace, open_session, SESSION_OPTS};
+use crate::helpers::{is_micro_cache, load_trace, open_engine, SESSION_OPTS};
+use crate::proto::request_from_args;
 use crate::CliError;
-use ocelotl::viz::{clutter_metrics, overview_with_partition, render_gantt_svg, OverviewOptions};
+use ocelotl::core::query::{AnalysisReply, AnalysisRequest};
+use ocelotl::viz::{
+    clutter_metrics, render_gantt_svg, render_reply_ascii, render_reply_svg, AsciiOptions,
+    SvgOptions,
+};
 use std::io::Write;
 use std::path::Path;
 
@@ -23,13 +30,18 @@ OPTIONS:
     --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
     --cache DIR      persist session artifacts so the next run is warm
                      (default: OCELOTL_CACHE_DIR); --no-cache disables
+    --cache-keep N   artifacts kept per trace and kind before GC (default 4)
     --coarse         prefer the coarsest partition among pIC ties
     --out FILE       write SVG here (default: overview.svg next to input)
     --ascii          print an ASCII overview to stdout instead of SVG
     --width N        canvas width (pixels, or columns with --ascii)
     --height N       canvas height (pixels, or rows with --ascii)
     --gantt          render the microscopic Gantt chart + clutter metrics
+    --json           print the overview reply as protocol JSON
 ";
+
+/// The default minimum drawable aggregate height, in pixels.
+const MIN_PIXEL_HEIGHT: f64 = 2.0;
 
 /// Entry point.
 pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -49,6 +61,13 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         if is_micro_cache(path) {
             return Err(CliError::Usage(
                 "--gantt needs the raw trace (a .omm cache has no events)".into(),
+            ));
+        }
+        if args.has("json") {
+            return Err(CliError::Usage(
+                "--gantt draws from raw events and has no protocol reply; \
+                 --json applies to the overview path only"
+                    .into(),
             ));
         }
         let trace = load_trace(path)?;
@@ -83,43 +102,59 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Ok(());
     }
 
-    let p: f64 = args.get_or("p", 0.5)?;
-    let mut session = open_session(&args, path)?;
-    let partition = session.partition_at(p, args.has("coarse"))?;
-    let grid = session.grid()?;
-    let time_range = Some((grid.start(), grid.end()));
-    let cube = session.cube()?;
+    // One protocol request carries everything the renderers need. The
+    // visual-aggregation threshold depends on the canvas geometry, so it
+    // is resolved here (client-side) and shipped with the request.
+    let ascii = args.has("ascii");
+    let (width, height): (f64, f64) = if ascii {
+        (args.get_or("width", 96.0)?, args.get_or("height", 24.0)?)
+    } else {
+        (args.get_or("width", 960.0)?, args.get_or("height", 480.0)?)
+    };
+    let mut engine = open_engine(&args, path)?;
+    // min_rows needs |S|; a Describe answers it from the (possibly warm)
+    // cube without reading the trace.
+    let n_leaves = match engine.execute(&AnalysisRequest::Describe)? {
+        AnalysisReply::Describe(d) => d.shape.n_leaves,
+        _ => unreachable!(),
+    };
+    let pixel_height = if ascii { 480.0 } else { height };
+    let min_rows = MIN_PIXEL_HEIGHT / (pixel_height / n_leaves as f64);
+    let mut request = request_from_args("render-overview", &args)?;
+    if let AnalysisRequest::RenderOverview {
+        min_rows: ref mut m,
+        ..
+    } = request
+    {
+        *m = min_rows;
+    }
+    let reply = engine.execute(&request)?;
+    if args.has("json") {
+        writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reply)))?;
+        return Ok(());
+    }
+    let AnalysisReply::Overview(ov) = &reply else {
+        unreachable!("render-overview yields an overview reply");
+    };
 
-    if args.has("ascii") {
-        let width: usize = args.get_or("width", 96)?;
-        let height: usize = args.get_or("height", 24)?;
-        let ov = overview_with_partition(
-            cube,
-            partition,
-            OverviewOptions {
-                p,
-                time_range,
-                ..OverviewOptions::default()
-            },
-        );
-        out.write_all(ov.to_ascii(cube, width, height).as_bytes())?;
+    if ascii {
+        let opts = AsciiOptions {
+            width: width as usize,
+            height: height as usize,
+        };
+        out.write_all(render_reply_ascii(ov, &opts).as_bytes())?;
         return Ok(());
     }
 
-    let width: f64 = args.get_or("width", 960.0)?;
-    let height: f64 = args.get_or("height", 480.0)?;
-    let ov = overview_with_partition(
-        cube,
-        partition,
-        OverviewOptions {
-            p,
+    let svg = render_reply_svg(
+        ov,
+        &SvgOptions {
             width,
             height,
-            time_range,
-            ..OverviewOptions::default()
+            time_range: Some((ov.t_start, ov.t_end)),
+            ..SvgOptions::default()
         },
     );
-    let svg = ov.to_svg(cube);
     let svg_path = output_path(&args, path, "overview.svg")?;
     std::fs::write(&svg_path, svg)?;
     writeln!(out, "wrote {}", svg_path.display())?;
@@ -214,5 +249,18 @@ mod tests {
         std::fs::remove_dir_all(&cache).ok();
         std::fs::remove_file(&p).ok();
         std::fs::remove_file(&svg).ok();
+    }
+
+    #[test]
+    fn json_output_carries_the_scene() {
+        let p = fixture_trace("render-json");
+        let text = run_ok(format!("{} --slices 10 --p 0.4 --json", p.display()));
+        let reply = ocelotl::format::decode_reply(text.trim()).unwrap().unwrap();
+        let ocelotl::core::AnalysisReply::Overview(ov) = reply else {
+            panic!("expected overview reply");
+        };
+        assert_eq!(ov.n_leaves, 4);
+        assert_eq!(ov.n_slices, 10);
+        std::fs::remove_file(&p).ok();
     }
 }

@@ -1,0 +1,464 @@
+//! `ocelotl serve` — a long-lived analysis server speaking the query
+//! protocol over line-delimited JSON.
+//!
+//! The server holds one warm [`QueryEngine`] per `(trace, session
+//! parameters)` pair in an LRU-bounded pool: the first query against a
+//! trace pays the read/slice/cube cost, every later query — from any
+//! connection — is answered from memory (and from `.ocube`/`.opart`
+//! artifacts when a cache directory is configured). Because replies are
+//! deterministic and the printers/serializers are shared with the direct
+//! CLI path, a server answer is byte-identical to a local run.
+//!
+//! Wire format (one request, one reply, per line — see
+//! `ocelotl-format::json`):
+//!
+//! ```text
+//! → {"v":1,"trace":"/data/run.btf","config":{"slices":30,"metric":"states","memory":"auto"},"request":{"kind":"aggregate",...}}
+//! ← {"v":1,"reply":{...}}            (or {"v":1,"error":{...}})
+//! ```
+
+use crate::args::Args;
+use crate::helpers::{build_session, cache_dir, session_config};
+use crate::CliError;
+use ocelotl::core::query::{QueryEngine, QueryError};
+use ocelotl::core::SessionConfig;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+const HELP: &str = "\
+ocelotl serve (--listen ADDR | --socket PATH) [options]
+
+Run a long-lived analysis server answering query-protocol requests over
+line-delimited JSON. Sessions stay warm across requests and connections,
+so every query after a trace's first is instantaneous.
+
+OPTIONS:
+    --listen ADDR    TCP address to bind, e.g. 127.0.0.1:7733
+    --socket PATH    Unix domain socket to bind instead of TCP
+    --sessions N     warm sessions kept (LRU-evicted beyond, default 8)
+    --cache DIR      persist session artifacts (.ocube/.opart) under DIR
+                     (default: OCELOTL_CACHE_DIR); --no-cache disables
+    --cache-keep N   artifacts kept per trace and kind before GC
+                     (default 4; OCELOTL_CACHE_KEEP)
+
+Query it with `ocelotl query ADDR TRACE KIND [options]`.
+";
+
+/// Server policy (everything except the per-request session parameters,
+/// which each wire request carries).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Warm sessions kept before LRU eviction.
+    pub max_sessions: usize,
+    /// Artifact cache directory, if any.
+    pub cache: Option<PathBuf>,
+    /// Artifact GC retention per trace and kind.
+    pub cache_keep: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            max_sessions: 8,
+            cache: None,
+            cache_keep: ocelotl::core::DEFAULT_CACHE_KEEP,
+        }
+    }
+}
+
+/// One warm engine keyed by trace identity and session parameters.
+struct PoolEntry {
+    key: (PathBuf, usize, &'static str, &'static str),
+    /// `(mtime, len)` of the trace when the session was admitted: a
+    /// cheap per-request staleness probe. An overwritten trace must not
+    /// keep being served from the old in-memory model — that would break
+    /// the CLI == server byte-parity guarantee.
+    stamp: FileStamp,
+    engine: QueryEngine,
+    last_used: u64,
+}
+
+/// Modification time and size of a file (best-effort; `None` components
+/// compare equal only to themselves, so an unreadable stat degrades to
+/// "rebuild on next request" never to "serve stale").
+type FileStamp = (Option<std::time::SystemTime>, Option<u64>);
+
+fn file_stamp(path: &Path) -> FileStamp {
+    match std::fs::metadata(path) {
+        Ok(m) => (m.modified().ok(), Some(m.len())),
+        Err(_) => (None, None),
+    }
+}
+
+/// The LRU-bounded session pool. Engines execute under the pool lock —
+/// queries are serialized, which keeps every session's memoization
+/// single-writer (the DP itself still uses the parallel executor).
+struct Pool {
+    entries: Vec<PoolEntry>,
+    clock: u64,
+}
+
+/// Shared state of one running server.
+pub struct ServerState {
+    pool: Mutex<Pool>,
+    opts: ServeOptions,
+}
+
+impl ServerState {
+    /// Fresh state under the given policy.
+    pub fn new(opts: ServeOptions) -> Self {
+        Self {
+            pool: Mutex::new(Pool {
+                entries: Vec::new(),
+                clock: 0,
+            }),
+            opts,
+        }
+    }
+
+    /// Execute one wire-request line, producing exactly one reply line
+    /// (errors included — this function never fails).
+    pub fn handle_line(&self, line: &str) -> String {
+        let result = self.try_handle(line);
+        ocelotl::format::encode_reply(&result)
+    }
+
+    fn try_handle(&self, line: &str) -> Result<ocelotl::core::query::AnalysisReply, QueryError> {
+        let (trace, mut config, request) = ocelotl::format::decode_wire_request(line)?;
+        let path = PathBuf::from(&trace);
+        if !path.exists() {
+            return Err(QueryError::Source(format!("no such file: {trace}")));
+        }
+        // Canonical identity: the same trace reached through different
+        // spellings shares one warm session.
+        let canonical = std::fs::canonicalize(&path).unwrap_or(path);
+        config.cache_keep = self.opts.cache_keep;
+        let key = (
+            canonical,
+            config.n_slices,
+            config.metric.tag(),
+            config.memory.tag(),
+        );
+
+        let stamp = file_stamp(&key.0);
+        let mut pool = self.pool.lock().unwrap();
+        pool.clock += 1;
+        let now = pool.clock;
+        // A pooled session whose trace file changed on disk (stamp
+        // mismatch, or unreadable stat) is dropped and rebuilt cold.
+        if let Some(i) = pool.entries.iter().position(|e| e.key == key) {
+            if pool.entries[i].stamp != stamp || stamp == (None, None) {
+                pool.entries.swap_remove(i);
+            }
+        }
+        let idx = match pool.entries.iter().position(|e| e.key == key) {
+            Some(i) => i,
+            None => {
+                // Admit a fresh engine, evicting the least recently used
+                // entry beyond the cap.
+                if pool.entries.len() >= self.opts.max_sessions.max(1) {
+                    let lru = pool
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    pool.entries.swap_remove(lru);
+                }
+                let session = self.open(&key.0, config);
+                pool.entries.push(PoolEntry {
+                    key,
+                    stamp,
+                    engine: QueryEngine::new(session),
+                    last_used: now,
+                });
+                pool.entries.len() - 1
+            }
+        };
+        pool.entries[idx].last_used = now;
+        pool.entries[idx].engine.execute(&request)
+    }
+
+    fn open(&self, path: &Path, config: SessionConfig) -> ocelotl::core::AnalysisSession {
+        build_session(path, config, self.opts.cache.as_deref())
+    }
+
+    /// Number of warm sessions currently pooled.
+    pub fn pooled_sessions(&self) -> usize {
+        self.pool.lock().unwrap().entries.len()
+    }
+}
+
+/// A running TCP server (background accept thread), for tests, benches
+/// and the `serve` command itself.
+pub struct ServerHandle {
+    /// The bound address (useful with `--listen 127.0.0.1:0`).
+    pub addr: std::net::SocketAddr,
+    /// Shared state (pool introspection for tests).
+    pub state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signal the accept loop to exit and wait for it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0`) and serve in a background thread.
+pub fn spawn_tcp(addr: &str, opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let state = Arc::new(ServerState::new(opts));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (state2, stop2) = (state.clone(), stop.clone());
+    let join = std::thread::spawn(move || accept_loop(listener, state2, stop2));
+    Ok(ServerHandle {
+        addr: local,
+        state,
+        stop,
+        join: Some(join),
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = state.clone();
+        std::thread::spawn(move || {
+            let _ = serve_connection(&state, stream);
+        });
+    }
+}
+
+/// Serve one TCP connection: one reply line per request line, until EOF.
+fn serve_connection(state: &ServerState, stream: TcpStream) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    serve_lines(state, reader, &mut writer)
+}
+
+/// The transport-agnostic request loop (TCP, Unix sockets and tests all
+/// funnel through here).
+pub fn serve_lines(
+    state: &ServerState,
+    reader: impl BufRead,
+    writer: &mut dyn Write,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(state.handle_line(&line).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn serve_options(args: &Args) -> Result<ServeOptions, CliError> {
+    let config = session_config(args)?;
+    Ok(ServeOptions {
+        max_sessions: args.get_or("sessions", 8usize)?.max(1),
+        cache: cache_dir(args)?,
+        cache_keep: config.cache_keep,
+    })
+}
+
+/// Entry point.
+pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(tokens)?;
+    if args.has("help") {
+        out.write_all(HELP.as_bytes())?;
+        return Ok(());
+    }
+    args.expect_known(&[
+        "help",
+        "listen",
+        "socket",
+        "sessions",
+        "cache",
+        "no-cache",
+        "cache-keep",
+    ])?;
+    let opts = serve_options(&args)?;
+
+    if let Some(path) = args.get("socket")? {
+        return serve_unix(path, opts, out);
+    }
+    let addr = args
+        .get("listen")?
+        .ok_or_else(|| CliError::Usage("serve needs --listen ADDR or --socket PATH".into()))?;
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| CliError::Invalid(format!("cannot bind {addr}: {e}")))?;
+    let local = listener.local_addr()?;
+    writeln!(
+        out,
+        "listening on {local} (query protocol v1, line-delimited JSON)"
+    )?;
+    out.flush()?;
+    let state = Arc::new(ServerState::new(opts));
+    accept_loop(listener, state, Arc::new(AtomicBool::new(false)));
+    Ok(())
+}
+
+/// Serve on a Unix domain socket (Unix only).
+#[cfg(unix)]
+fn serve_unix(path: &str, opts: ServeOptions, out: &mut dyn Write) -> Result<(), CliError> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)
+        .map_err(|e| CliError::Invalid(format!("cannot bind {path}: {e}")))?;
+    writeln!(
+        out,
+        "listening on {path} (query protocol v1, line-delimited JSON)"
+    )?;
+    out.flush()?;
+    let state = Arc::new(ServerState::new(opts));
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let state = state.clone();
+        std::thread::spawn(move || {
+            let Ok(mut writer) = stream.try_clone() else {
+                return;
+            };
+            let _ = serve_lines(&state, BufReader::new(stream), &mut writer);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_unix(_path: &str, _opts: ServeOptions, _out: &mut dyn Write) -> Result<(), CliError> {
+    Err(CliError::Usage(
+        "--socket needs Unix domain sockets; use --listen ADDR".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::helpers::fixture_trace;
+    use ocelotl::core::query::AnalysisRequest;
+    use ocelotl::core::SessionConfig;
+
+    fn wire(trace: &std::path::Path, slices: usize, req: &AnalysisRequest) -> String {
+        ocelotl::format::encode_wire_request(
+            &trace.display().to_string(),
+            &SessionConfig {
+                n_slices: slices,
+                ..SessionConfig::default()
+            },
+            req,
+        )
+    }
+
+    #[test]
+    fn handle_line_answers_and_pools() {
+        let p = fixture_trace("serve-pool");
+        let state = ServerState::new(ServeOptions::default());
+        let req = AnalysisRequest::Aggregate {
+            p: 0.4,
+            coarse: false,
+            compare: false,
+            diff_p: None,
+        };
+        let first = state.handle_line(&wire(&p, 10, &req));
+        let second = state.handle_line(&wire(&p, 10, &req));
+        assert_eq!(first, second, "warm answer must be byte-identical");
+        assert!(first.contains("\"reply\""), "{first}");
+        assert_eq!(state.pooled_sessions(), 1, "same key shares one session");
+        // Different slicing = different session.
+        state.handle_line(&wire(&p, 12, &req));
+        assert_eq!(state.pooled_sessions(), 2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn pool_is_lru_bounded() {
+        let p = fixture_trace("serve-lru");
+        let state = ServerState::new(ServeOptions {
+            max_sessions: 2,
+            ..ServeOptions::default()
+        });
+        let req = AnalysisRequest::Describe;
+        for slices in [5, 6, 7, 8] {
+            state.handle_line(&wire(&p, slices, &req));
+        }
+        assert_eq!(state.pooled_sessions(), 2, "evicted down to the cap");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn overwritten_trace_is_not_served_stale() {
+        let p = fixture_trace("serve-stale");
+        let state = ServerState::new(ServeOptions::default());
+        let req = AnalysisRequest::Describe;
+        let before = state.handle_line(&wire(&p, 10, &req));
+        assert!(before.contains("\"n_leaves\":4"), "{before}");
+
+        // Overwrite the trace with a different (larger) hierarchy; the
+        // pooled session must be dropped, not answer from the old model.
+        use ocelotl::prelude::*;
+        let mut b = TraceBuilder::new(Hierarchy::balanced(&[2, 2, 2]));
+        let run = b.state("Run");
+        for leaf in 0..8u32 {
+            b.push_state(LeafId(leaf), run, 0.0, 4.0);
+        }
+        ocelotl::format::write_trace(&b.build(), &p).unwrap();
+
+        let after = state.handle_line(&wire(&p, 10, &req));
+        assert!(after.contains("\"n_leaves\":8"), "stale reply: {after}");
+        assert_eq!(state.pooled_sessions(), 1, "old session replaced");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bad_lines_produce_error_replies_not_crashes() {
+        let state = ServerState::new(ServeOptions::default());
+        for line in ["", "not json", "{\"v\":1}", "{\"v\":7,\"trace\":\"x\"}"] {
+            let reply = state.handle_line(line);
+            assert!(reply.contains("\"error\""), "{line:?} -> {reply}");
+        }
+        // Missing trace file is a source error.
+        let req = AnalysisRequest::Describe;
+        let reply = state.handle_line(&wire(std::path::Path::new("/no/such.btf"), 10, &req));
+        assert!(reply.contains("\"source\""), "{reply}");
+    }
+
+    #[test]
+    fn serve_lines_speaks_the_wire_protocol() {
+        let p = fixture_trace("serve-lines");
+        let state = ServerState::new(ServeOptions::default());
+        let input = format!(
+            "{}\n\n{}\n",
+            wire(&p, 10, &AnalysisRequest::Describe),
+            wire(&p, 10, &AnalysisRequest::PValues { resolution: 1e-2 }),
+        );
+        let mut out = Vec::new();
+        serve_lines(&state, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "blank lines are skipped: {text}");
+        for line in lines {
+            assert!(ocelotl::format::decode_reply(line).unwrap().is_ok());
+        }
+        std::fs::remove_file(&p).ok();
+    }
+}

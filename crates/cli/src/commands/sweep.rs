@@ -1,16 +1,20 @@
-//! `ocelotl sweep <trace>` — replay the paper's §V.B interaction loop
-//! from a warm session: enumerate the significant quality/p levels, then
-//! re-run the DP across a p grid and time each re-aggregation.
+//! `ocelotl sweep <trace>` — replay the paper's §V.B interaction loop:
+//! one `Sweep` request enumerating the significant quality/p levels and
+//! re-running the DP across a p grid.
 //!
 //! This is where "instantaneous interaction" lives: with a warm `.ocube`
 //! the only work per grid point is the DP itself (no trace read, no
-//! slicing, no prefix sums), and with a warm `.opart` the significant
-//! levels arrive with zero DP runs.
+//! slicing, no prefix sums), and with a warm `.opart` the whole reply
+//! arrives with zero DP runs. The printed tables come from the
+//! deterministic reply; the wall-clock and DP-run lines are the command's
+//! own measurement of this process (they are *not* part of the reply, so
+//! every other byte is identical across cold, warm and server paths).
 
 use crate::args::Args;
-use crate::helpers::{describe_cube, open_session, SESSION_OPTS};
+use crate::helpers::{open_engine, SESSION_OPTS};
+use crate::proto::{request_from_args, write_sweep};
 use crate::CliError;
-use ocelotl::core::quality;
+use ocelotl::core::query::AnalysisReply;
 use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
@@ -20,7 +24,7 @@ ocelotl sweep <trace|model.omm> [options]
 
 Replay the SV.B quality/p curves: enumerate the significant aggregation
 levels (with per-level quality), then optionally re-aggregate across an
-even p grid, timing each DP re-run — the paper's interaction latency.
+even p grid — the paper's interaction loop as one protocol request.
 
 OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
@@ -28,9 +32,11 @@ OPTIONS:
     --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
     --cache DIR      persist session artifacts so the next run is warm
                      (default: OCELOTL_CACHE_DIR); --no-cache disables
+    --cache-keep N   artifacts kept per trace and kind before GC (default 4)
     --resolution F   dichotomy resolution on p (default 1e-3)
-    --steps N        also re-aggregate at N+1 evenly spaced p values and
-                     report per-DP latency (default 0: skip)
+    --steps N        also re-aggregate at N+1 evenly spaced p values
+                     (default 0: skip)
+    --json           print the reply as protocol JSON instead of text
 ";
 
 /// Entry point.
@@ -44,83 +50,33 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     known.extend(SESSION_OPTS);
     args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
-    let resolution: f64 = args.get_or("resolution", 1e-3)?;
-    let steps: usize = args.get_or("steps", 0)?;
+    let request = request_from_args("sweep", &args)?;
 
-    let mut session = open_session(&args, path)?;
-
+    let mut engine = open_engine(&args, path)?;
     let t0 = Instant::now();
-    let entries = session.significant(resolution)?;
-    let levels_elapsed = t0.elapsed();
-    let dp_for_levels = session.dp_runs();
-    // Force the cube (the quality columns need it) before reading its
-    // provenance — a fully warm table may not have touched it yet.
-    session.cube()?;
-    let source = session.cube_source();
+    let reply = engine.execute(&request)?;
+    let elapsed = t0.elapsed();
+    let dp_runs = engine.session_mut().dp_runs();
 
-    {
-        let cube = session.cube()?;
-        writeln!(out, "memory: {}", describe_cube(cube, source))?;
-        writeln!(
-            out,
-            "levels: {} significant (resolution {resolution}) in {:.1} ms ({})",
-            entries.len(),
-            levels_elapsed.as_secs_f64() * 1e3,
-            if dp_for_levels == 0 {
-                "warm .opart, zero DP runs".to_string()
-            } else {
-                "cold, dichotomy ran".to_string()
-            }
-        )?;
-        writeln!(
-            out,
-            "{:>12} {:>12} {:>10} {:>12} {:>12} {:>12}",
-            "p_low", "p_high", "areas", "loss_ratio", "gain_ratio", "reduction"
-        )?;
-        for e in &entries {
-            let q = quality(cube, &e.partition);
-            writeln!(
-                out,
-                "{:>12.4} {:>12.4} {:>10} {:>12.4} {:>12.4} {:>11.2}%",
-                e.p_low,
-                e.p_high,
-                e.partition.len(),
-                q.loss_ratio,
-                q.gain_ratio,
-                100.0 * q.complexity_reduction
-            )?;
-        }
+    if args.has("json") {
+        writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reply)))?;
+        return Ok(());
     }
-
-    if steps > 0 {
-        // The interaction loop proper: DP-only re-runs on the warm cube.
-        let before = session.dp_runs();
-        let mut total = std::time::Duration::ZERO;
-        let mut slowest = std::time::Duration::ZERO;
-        for k in 0..=steps {
-            let p = k as f64 / steps as f64;
-            let t = Instant::now();
-            let _ = session.partition_at(p, false)?;
-            let d = t.elapsed();
-            total += d;
-            slowest = slowest.max(d);
+    let AnalysisReply::Sweep(sweep) = &reply else {
+        unreachable!("sweep request yields a sweep reply");
+    };
+    write_sweep(sweep, out)?;
+    writeln!(
+        out,
+        "\ntiming: {} queries in {:.1} ms ({})",
+        sweep.levels.len() + sweep.points.len(),
+        elapsed.as_secs_f64() * 1e3,
+        if dp_runs == 0 {
+            "warm .opart, zero DP runs".to_string()
+        } else {
+            format!("{dp_runs} DP runs")
         }
-        let ran = session.dp_runs() - before;
-        writeln!(
-            out,
-            "\nsweep:  {} re-aggregations over p in [0, 1] ({} DP runs, {} cached)",
-            steps + 1,
-            ran,
-            steps + 1 - ran
-        )?;
-        writeln!(
-            out,
-            "        total {:.1} ms, mean {:.2} ms, worst {:.2} ms",
-            total.as_secs_f64() * 1e3,
-            total.as_secs_f64() * 1e3 / (steps + 1) as f64,
-            slowest.as_secs_f64() * 1e3
-        )?;
-    }
+    )?;
     Ok(())
 }
 
@@ -141,13 +97,13 @@ mod tests {
         let p = fixture_trace("sweep");
         let text = run_ok(format!("{} --slices 10 --steps 4", p.display()));
         assert!(text.contains("significant"), "{text}");
-        assert!(text.contains("re-aggregations"), "{text}");
-        assert!(text.contains("5 DP runs"), "cold sweep runs every point");
+        assert!(text.contains("sweep grid (5 points)"), "{text}");
+        assert!(text.contains("DP runs"), "{text}");
         std::fs::remove_file(&p).ok();
     }
 
     #[test]
-    fn warm_sweep_serves_levels_and_points_from_cache() {
+    fn warm_sweep_serves_everything_from_cache() {
         let p = fixture_trace("sweep-warm");
         let cache = std::env::temp_dir().join(format!("ocelotl-sweep-warm-{}", std::process::id()));
         std::fs::remove_dir_all(&cache).ok();
@@ -157,18 +113,16 @@ mod tests {
             cache.display()
         );
         let cold = run_ok(line.clone());
-        assert!(cold.contains("cold, dichotomy ran"), "{cold}");
         let warm = run_ok(line);
         assert!(warm.contains("warm .opart, zero DP runs"), "{warm}");
-        assert!(warm.contains("0 DP runs, 5 cached"), "{warm}");
-        // The quality table itself must be identical.
-        let table = |s: &str| {
+        // Everything except the local timing line is byte-identical.
+        let strip = |s: &str| {
             s.lines()
-                .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+                .filter(|l| !l.starts_with("timing:"))
                 .collect::<Vec<_>>()
                 .join("\n")
         };
-        assert_eq!(table(&cold), table(&warm));
+        assert_eq!(strip(&cold), strip(&warm));
         std::fs::remove_dir_all(&cache).ok();
         std::fs::remove_file(&p).ok();
     }

@@ -18,8 +18,7 @@
 use crate::args::Args;
 use crate::CliError;
 use ocelotl::core::{
-    AnalysisSession, CubeBackend, CubeSource, MemoryMode, ModelSource, QualityCube as _,
-    SessionConfig, SessionError,
+    AnalysisSession, IngestStats, ModelSource, QueryEngine, SessionConfig, SessionError,
 };
 use ocelotl::format::DiskStore;
 use ocelotl::trace::{MicroModel, Trace};
@@ -145,21 +144,80 @@ impl ModelSource for FileSource {
     }
 
     fn model(&self, n_slices: usize, metric: Metric) -> Result<MicroModel, SessionError> {
+        Ok(self.model_with_stats(n_slices, metric)?.0)
+    }
+
+    fn model_with_stats(
+        &self,
+        n_slices: usize,
+        metric: Metric,
+    ) -> Result<(MicroModel, Option<IngestStats>), SessionError> {
         let report = obtain_report(&self.path, n_slices, metric)
             .map_err(|e| SessionError::source(e.to_string()))?;
         *self.fingerprint.lock().unwrap() = Some(report.fingerprint);
-        Ok(report.model)
+        let format = match report.format {
+            ocelotl::format::Format::Text => "ptf",
+            ocelotl::format::Format::Binary => "btf",
+            ocelotl::format::Format::Paje => "paje",
+        };
+        let stats = IngestStats {
+            fingerprint: report.fingerprint,
+            bytes_read: report.bytes_read,
+            intervals: report.intervals,
+            points: report.points,
+            peak_bytes: report.peak_bytes,
+            mode: report.mode.tag().to_string(),
+            format: format.to_string(),
+        };
+        Ok((report.model, Some(stats)))
     }
 }
 
 /// Option keys shared by every session-routed command; splice into each
 /// command's `expect_known` list.
-pub const SESSION_OPTS: [&str; 5] = ["slices", "metric", "memory", "cache", "no-cache"];
+pub const SESSION_OPTS: [&str; 7] = [
+    "slices",
+    "metric",
+    "memory",
+    "cache",
+    "no-cache",
+    "cache-keep",
+    "json",
+];
+
+/// Parse the shared session options into a [`SessionConfig`]
+/// (`--slices`, `--metric`, `--memory`, `--cache-keep` /
+/// `OCELOTL_CACHE_KEEP`).
+pub fn session_config(args: &Args) -> Result<SessionConfig, CliError> {
+    let mut config = SessionConfig {
+        n_slices: args.get_or("slices", 30)?,
+        metric: args.get_or("metric", Metric::States)?,
+        memory: args.get_or("memory", ocelotl::core::MemoryMode::Auto)?,
+        ..SessionConfig::default()
+    };
+    config.cache_keep = match args.get("cache-keep")? {
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| CliError::Usage("--cache-keep expects a count >= 1".into()))?,
+        None => match std::env::var("OCELOTL_CACHE_KEEP") {
+            Ok(v) if !v.is_empty() => {
+                v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    CliError::Invalid(format!("invalid OCELOTL_CACHE_KEEP value {v:?}"))
+                })?
+            }
+            _ => config.cache_keep,
+        },
+    };
+    Ok(config)
+}
 
 /// Build the `AnalysisSession` every analysis command runs on, from the
 /// shared options (`--slices`, `--metric`, `--memory`, `--cache DIR`,
-/// `--no-cache`). Caching is enabled by `--cache DIR` or the
-/// `OCELOTL_CACHE_DIR` environment variable; `--no-cache` wins over both.
+/// `--no-cache`, `--cache-keep N`). Caching is enabled by `--cache DIR`
+/// or the `OCELOTL_CACHE_DIR` environment variable; `--no-cache` wins
+/// over both.
 pub fn open_session(args: &Args, path: &Path) -> Result<AnalysisSession, CliError> {
     if !path.exists() {
         return Err(CliError::Invalid(format!(
@@ -167,21 +225,30 @@ pub fn open_session(args: &Args, path: &Path) -> Result<AnalysisSession, CliErro
             path.display()
         )));
     }
-    let config = SessionConfig {
-        n_slices: args.get_or("slices", 30)?,
-        metric: args.get_or("metric", Metric::States)?,
-        memory: args.get_or("memory", MemoryMode::Auto)?,
-    };
+    let config = session_config(args)?;
+    Ok(build_session(path, config, cache_dir(args)?.as_deref()))
+}
+
+/// Assemble a session over `path` with an optional artifact cache — the
+/// one construction path the CLI and the server share.
+pub fn build_session(path: &Path, config: SessionConfig, cache: Option<&Path>) -> AnalysisSession {
     let mut session = AnalysisSession::new(FileSource::new(path), config);
-    if let Some(dir) = cache_dir(args)? {
-        session = session.with_store(DiskStore::for_input(path, Some(&dir)));
+    if let Some(dir) = cache {
+        session =
+            session.with_store(DiskStore::for_input(path, Some(dir)).with_keep(config.cache_keep));
     }
-    Ok(session)
+    session
+}
+
+/// [`open_session`] wrapped as a [`QueryEngine`] — what every analysis
+/// command talks to.
+pub fn open_engine(args: &Args, path: &Path) -> Result<QueryEngine, CliError> {
+    Ok(QueryEngine::new(open_session(args, path)?))
 }
 
 /// Resolve the cache directory from `--cache` / `OCELOTL_CACHE_DIR` /
 /// `--no-cache`.
-fn cache_dir(args: &Args) -> Result<Option<PathBuf>, CliError> {
+pub fn cache_dir(args: &Args) -> Result<Option<PathBuf>, CliError> {
     if args.has("no-cache") {
         return Ok(None);
     }
@@ -192,24 +259,6 @@ fn cache_dir(args: &Args) -> Result<Option<PathBuf>, CliError> {
         Some(dir) if !dir.is_empty() => Ok(Some(PathBuf::from(dir))),
         _ => Ok(None),
     }
-}
-
-/// One-line description of the cube a command ended up using, including
-/// where it came from (cold build vs. warm `.ocube` artifact).
-pub fn describe_cube(cube: &CubeBackend, source: Option<CubeSource>) -> String {
-    let mode = match cube.mode() {
-        MemoryMode::Dense => "dense",
-        MemoryMode::Lazy => "lazy",
-        MemoryMode::Auto => unreachable!("a built cube has a fixed mode"),
-    };
-    let provenance = match source {
-        Some(CubeSource::Warm) => ", warm .ocube",
-        _ => ", cold build",
-    };
-    format!(
-        "{mode} ({:.1} MiB resident{provenance})",
-        cube.memory_bytes() as f64 / (1u64 << 20) as f64
-    )
 }
 
 /// A small deterministic test trace written to a temp file; returns the
@@ -307,7 +356,8 @@ mod tests {
     }
 
     #[test]
-    fn session_cube_modes_build_and_describe() {
+    fn engine_reports_requested_cube_mode() {
+        use ocelotl::core::query::{AnalysisReply, AnalysisRequest};
         let src = fixture_trace("cube-modes");
         for (mode, expect) in [("dense", "dense"), ("lazy", "lazy"), ("auto", "dense")] {
             let args = Args::parse(&[
@@ -317,17 +367,28 @@ mod tests {
                 mode.into(),
             ])
             .unwrap();
-            let mut session = open_session(&args, &src).unwrap();
-            let source = {
-                session.cube().unwrap();
-                session.cube_source()
+            let mut engine = open_engine(&args, &src).unwrap();
+            let AnalysisReply::Describe(d) = engine.execute(&AnalysisRequest::Describe).unwrap()
+            else {
+                panic!()
             };
-            let text = describe_cube(session.cube().unwrap(), source);
             // Tiny model: auto must stay dense.
-            assert!(text.starts_with(expect), "{mode}: {text}");
-            assert!(text.contains("cold build"), "{text}");
+            assert_eq!(d.backend, expect, "{mode}");
         }
         std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn cache_keep_flag_and_env_resolve() {
+        let args = Args::parse(&["--cache-keep".into(), "2".into()]).unwrap();
+        assert_eq!(session_config(&args).unwrap().cache_keep, 2);
+        let args = Args::parse(&["--cache-keep".into(), "0".into()]).unwrap();
+        assert!(matches!(session_config(&args), Err(CliError::Usage(_))));
+        let args = Args::parse(&[]).unwrap();
+        assert_eq!(
+            session_config(&args).unwrap().cache_keep,
+            ocelotl::core::DEFAULT_CACHE_KEEP
+        );
     }
 
     #[test]
@@ -346,7 +407,7 @@ mod tests {
         let mut cold = open_session(&args, &src).unwrap();
         let p_cold = cold.partition_at(0.4, false).unwrap();
         cold.cube().unwrap();
-        assert_eq!(cold.cube_source(), Some(CubeSource::Cold));
+        assert_eq!(cold.cube_source(), Some(ocelotl::core::CubeSource::Cold));
 
         let mut warm = open_session(&args, &src).unwrap();
         let p_warm = warm.partition_at(0.4, false).unwrap();

@@ -32,6 +32,7 @@
 pub mod args;
 pub mod commands;
 pub mod helpers;
+pub mod proto;
 
 use std::fmt;
 use std::io::Write;
@@ -111,6 +112,8 @@ COMMANDS:
     inspect    detail one aggregate of the optimal partition
     convert    convert between .btf / .ptf / .paje trace formats
     report     write a self-contained HTML analysis report
+    serve      run a long-lived analysis server (query protocol over JSON)
+    query      send one request to a running server and print the reply
     help       show this message (or `<command> --help`)
 
 GLOBAL OPTIONS:
@@ -168,6 +171,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "inspect" => commands::inspect::run(rest, out),
         "convert" => commands::convert::run(rest, out),
         "report" => commands::report::run(rest, out),
+        "serve" => commands::serve::run(rest, out),
+        "query" => commands::query::run(rest, out),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?} (try `ocelotl help`)"
         ))),

@@ -1,0 +1,420 @@
+//! The CLI's side of the query protocol: build [`AnalysisRequest`]s from
+//! parsed arguments and print [`AnalysisReply`]s.
+//!
+//! Every analysis command is `request builder → engine/server → printer`.
+//! There is exactly **one** printer per reply kind, shared by the direct
+//! commands and the `ocelotl query` client, so the cold CLI path, a warm
+//! cached run and a server answer can never format differently. Printers
+//! consume only reply fields (never sessions, cubes or clocks) — the
+//! replies are deterministic, therefore so is every printed byte.
+
+use crate::args::Args;
+use crate::CliError;
+use ocelotl::core::query::{
+    AggregateReply, AnalysisReply, AnalysisRequest, DescribeReply, InspectReply, LevelReply,
+    PValuesReply, SignificantReply, StatsReply, SweepReply,
+};
+use ocelotl::viz::{render_reply_ascii, AsciiOptions};
+use std::io::Write;
+
+/// Map protocol errors onto CLI exit semantics: bad parameters are usage
+/// errors (exit 2), everything else is an invalid invocation (exit 1).
+impl From<ocelotl::core::QueryError> for CliError {
+    fn from(e: ocelotl::core::QueryError) -> Self {
+        match e {
+            ocelotl::core::QueryError::InvalidRequest(m) => CliError::Usage(m),
+            other => CliError::Invalid(other.to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request builders
+// ---------------------------------------------------------------------------
+
+/// Build an `Aggregate` request from the shared option set
+/// (`--p`, `--coarse`, `--compare`, `--diff-p`).
+pub fn aggregate_request(args: &Args) -> Result<AnalysisRequest, CliError> {
+    let diff_p = match args.get("diff-p")? {
+        Some(s) => Some(
+            s.parse()
+                .map_err(|_| CliError::Usage(format!("invalid --diff-p value {s:?}")))?,
+        ),
+        None => None,
+    };
+    Ok(AnalysisRequest::Aggregate {
+        p: args.get_or("p", 0.5)?,
+        coarse: args.has("coarse"),
+        compare: args.has("compare"),
+        diff_p,
+    })
+}
+
+/// Build any request kind from its tag and the option set — what
+/// `ocelotl query <addr> <trace> <kind>` uses. The per-kind options are
+/// exactly the ones the corresponding direct command accepts.
+pub fn request_from_args(kind: &str, args: &Args) -> Result<AnalysisRequest, CliError> {
+    match kind {
+        "describe" => Ok(AnalysisRequest::Describe),
+        "aggregate" => aggregate_request(args),
+        "significant" => Ok(AnalysisRequest::Significant {
+            resolution: args.get_or("resolution", 1e-3)?,
+        }),
+        "sweep" => Ok(AnalysisRequest::Sweep {
+            resolution: args.get_or("resolution", 1e-3)?,
+            steps: args.get_or("steps", 0)?,
+        }),
+        "pvalues" => Ok(AnalysisRequest::PValues {
+            resolution: args.get_or("resolution", 1e-3)?,
+        }),
+        "inspect" => Ok(AnalysisRequest::Inspect {
+            leaf: args.require("leaf")?,
+            slice: args.require("slice")?,
+            p: args.get_or("p", 0.5)?,
+            coarse: args.has("coarse"),
+        }),
+        "render-overview" => Ok(AnalysisRequest::RenderOverview {
+            p: args.get_or("p", 0.5)?,
+            coarse: args.has("coarse"),
+            min_rows: args.get_or("min-rows", 0.0)?,
+            level_resolution: match args.get("level-resolution")? {
+                Some(s) => Some(s.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid --level-resolution value {s:?}"))
+                })?),
+                None => None,
+            },
+        }),
+        "stats" => Ok(AnalysisRequest::Stats),
+        other => Err(CliError::Usage(format!(
+            "unknown request kind {other:?} (one of: {})",
+            AnalysisRequest::KINDS.join(", ")
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Printers
+// ---------------------------------------------------------------------------
+
+/// Human-readable rendering of any reply (the `ocelotl query` default).
+/// Overview replies render as ASCII; every other kind has a dedicated
+/// fixed-width printer.
+pub fn print_reply(reply: &AnalysisReply, out: &mut dyn Write) -> Result<(), CliError> {
+    match reply {
+        AnalysisReply::Describe(d) => write_describe(d, out),
+        AnalysisReply::Aggregate(a) => write_aggregate(a, out, 0),
+        AnalysisReply::Significant(s) => write_significant(s, out),
+        AnalysisReply::Sweep(s) => write_sweep(s, out),
+        AnalysisReply::PValues(p) => write_pvalues(p, out),
+        AnalysisReply::Inspect(i) => write_inspect(i, out),
+        AnalysisReply::Overview(o) => {
+            out.write_all(render_reply_ascii(o, &AsciiOptions::default()).as_bytes())?;
+            Ok(())
+        }
+        AnalysisReply::Stats(s) => write_stats(s, out),
+    }
+}
+
+/// `describe` output: model shape, hierarchy, states.
+pub fn write_describe(d: &DescribeReply, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "model:       {} resources x {} slices x {} states ({} metric)",
+        d.shape.n_leaves, d.shape.n_slices, d.shape.n_states, d.shape.metric
+    )?;
+    writeln!(
+        out,
+        "time range:  [{:.6}, {:.6}] s",
+        d.shape.t_start, d.shape.t_end
+    )?;
+    writeln!(
+        out,
+        "hierarchy:   {} nodes, depth {}",
+        d.hierarchy_nodes, d.hierarchy_depth
+    )?;
+    writeln!(out, "memory:      {} (resolved backend)", d.backend)?;
+    writeln!(out, "states:      {}", d.states.len())?;
+    for name in &d.states {
+        writeln!(out, "  {name}")?;
+    }
+    Ok(())
+}
+
+/// **The** `aggregate` formatter — the only function that turns an
+/// [`AggregateReply`] into human-readable text. Cold, warm and server
+/// paths all print through here, pinning their bytes together. `list > 0`
+/// appends the top-`list` aggregates by cell count.
+pub fn write_aggregate(
+    a: &AggregateReply,
+    out: &mut dyn Write,
+    list: usize,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "model:       {} resources x {} slices x {} states ({} metric)",
+        a.shape.n_leaves, a.shape.n_slices, a.shape.n_states, a.shape.metric
+    )?;
+    writeln!(out, "p:           {}", a.p)?;
+    writeln!(
+        out,
+        "memory:      {} ({:.1} MiB resident)",
+        a.backend,
+        a.backend_bytes as f64 / (1u64 << 20) as f64
+    )?;
+    writeln!(
+        out,
+        "aggregates:  {} (of {} microscopic cells)",
+        a.summary.n_areas, a.summary.n_cells
+    )?;
+    writeln!(
+        out,
+        "complexity:  -{:.2} %",
+        100.0 * a.summary.complexity_reduction
+    )?;
+    writeln!(
+        out,
+        "information: loss {:.6} bits (ratio {:.4}), gain {:.6} bits (ratio {:.4})",
+        a.summary.loss, a.summary.loss_ratio, a.summary.gain, a.summary.gain_ratio
+    )?;
+    writeln!(out, "pIC:         {:.6}", a.summary.pic)?;
+
+    if list > 0 {
+        writeln!(out, "\ntop {list} aggregates by cell count:")?;
+        // The table format lives in one place (core::inspect); stable
+        // sort keeps canonical partition order among equal cell counts,
+        // matching the historical in-process summary.
+        out.write_all(ocelotl::core::area_table_header().as_bytes())?;
+        let mut rows: Vec<_> = a.areas.iter().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.n_cells()));
+        for r in rows.into_iter().take(list) {
+            out.write_all(
+                ocelotl::core::area_table_row(
+                    &r.path,
+                    r.n_resources,
+                    r.first_slice,
+                    r.last_slice,
+                    r.mode.as_deref(),
+                    r.confidence,
+                    r.loss,
+                    r.gain,
+                )
+                .as_bytes(),
+            )?;
+        }
+    }
+
+    if !a.baselines.is_empty() {
+        writeln!(out, "\nbaseline comparison at p = {} (SIII.D):", a.p)?;
+        writeln!(out, "{:<28} {:>8} {:>14}", "partition", "areas", "pIC")?;
+        for b in &a.baselines {
+            writeln!(out, "{:<28} {:>8} {:>14.6}", b.name, b.n_areas, b.pic)?;
+        }
+    }
+
+    if let Some(d) = &a.diff {
+        writeln!(
+            out,
+            "\noverview change from p = {} to p = {}:",
+            a.p, d.p_other
+        )?;
+        writeln!(
+            out,
+            "  areas:                    {} -> {}",
+            a.summary.n_areas, d.n_areas_other
+        )?;
+        writeln!(
+            out,
+            "  variation of information: {:.4} bits",
+            d.variation_of_information
+        )?;
+        writeln!(
+            out,
+            "  normalized mutual info:   {:.4}",
+            d.normalized_mutual_information
+        )?;
+        writeln!(out, "  Rand index:               {:.4}", d.rand_index)?;
+    }
+    Ok(())
+}
+
+fn write_level_table(
+    levels: &[LevelReply],
+    resolution: f64,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{} significant levels (resolution {resolution}):",
+        levels.len()
+    )?;
+    writeln!(
+        out,
+        "{:>12} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "p_low", "p_high", "areas", "loss_ratio", "gain_ratio", "reduction"
+    )?;
+    for l in levels {
+        writeln!(
+            out,
+            "{:>12.4} {:>12.4} {:>10} {:>12.4} {:>12.4} {:>11.2}%",
+            l.p_low,
+            l.p_high,
+            l.n_areas,
+            l.loss_ratio,
+            l.gain_ratio,
+            100.0 * l.complexity_reduction
+        )?;
+    }
+    Ok(())
+}
+
+/// `pvalues` output: the level table.
+pub fn write_significant(s: &SignificantReply, out: &mut dyn Write) -> Result<(), CliError> {
+    write_level_table(&s.levels, s.resolution, out)
+}
+
+/// `sweep` output: the level table plus the grid summary (wall-clock
+/// timings are the command's own decoration, not part of the reply).
+pub fn write_sweep(s: &SweepReply, out: &mut dyn Write) -> Result<(), CliError> {
+    write_level_table(&s.levels, s.resolution, out)?;
+    if !s.points.is_empty() {
+        writeln!(out, "\nsweep grid ({} points):", s.points.len())?;
+        writeln!(out, "{:>8} {:>10} {:>14}", "p", "areas", "pIC")?;
+        for pt in &s.points {
+            writeln!(out, "{:>8.3} {:>10} {:>14.6}", pt.p, pt.n_areas, pt.pic)?;
+        }
+    }
+    Ok(())
+}
+
+/// Bare significant-boundary listing.
+pub fn write_pvalues(p: &PValuesReply, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{} significant p values (resolution {}):",
+        p.ps.len(),
+        p.resolution
+    )?;
+    for v in &p.ps {
+        writeln!(out, "{v:.6}")?;
+    }
+    Ok(())
+}
+
+/// `inspect` output: one aggregate in full.
+pub fn write_inspect(i: &InspectReply, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "aggregate covering (leaf {}, slice {}):",
+        i.leaf, i.slice
+    )?;
+    writeln!(out, "  node:        {}", i.area.path)?;
+    writeln!(
+        out,
+        "  interval:    slices [{}, {}] = [{:.4}, {:.4}] s",
+        i.area.first_slice, i.area.last_slice, i.area.t0, i.area.t1
+    )?;
+    writeln!(
+        out,
+        "  size:        {} resources x {} slices",
+        i.area.n_resources, i.n_slices_spanned
+    )?;
+    match &i.area.mode {
+        Some(m) => writeln!(
+            out,
+            "  mode:        {m} (confidence {:.3})",
+            i.area.confidence
+        )?,
+        None => writeln!(out, "  mode:        (idle)")?,
+    }
+    writeln!(
+        out,
+        "  measures:    loss {:.6} bits, gain {:.6} bits",
+        i.area.loss, i.area.gain
+    )?;
+    writeln!(out, "  state proportions (Eq. 1):")?;
+    for (name, rho) in &i.proportions {
+        if *rho > 0.0 {
+            writeln!(out, "    {rho:>8.4}  {name}")?;
+        }
+    }
+    Ok(())
+}
+
+/// `info --stats` output: the deterministic ingestion telemetry (the
+/// command adds wall-clock lines it measures itself).
+pub fn write_stats(s: &StatsReply, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "events:      {} ({} intervals, {} points)",
+        s.events, s.intervals, s.points
+    )?;
+    writeln!(
+        out,
+        "time range:  [{:.6}, {:.6}] s",
+        s.shape.t_start, s.shape.t_end
+    )?;
+    writeln!(
+        out,
+        "resources:   {} leaves, {} hierarchy nodes, depth {}",
+        s.shape.n_leaves, s.hierarchy_nodes, s.hierarchy_depth
+    )?;
+    writeln!(
+        out,
+        "model:       {} x {} x {} cells ({} metric, {} slices)",
+        s.shape.n_leaves, s.shape.n_slices, s.shape.n_states, s.shape.metric, s.shape.n_slices
+    )?;
+    writeln!(out, "ingestion (streaming, events never materialized):")?;
+    writeln!(out, "  mode:              {}", s.mode)?;
+    writeln!(out, "  format:            {}", s.format)?;
+    writeln!(out, "  bytes read:        {}", s.bytes_read)?;
+    writeln!(
+        out,
+        "  peak model memory: {} bytes (O(model), not O(events))",
+        s.peak_bytes
+    )?;
+    writeln!(out, "  fingerprint:       {}", s.fingerprint)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_kind_is_usage_error() {
+        let args = Args::parse(&[]).unwrap();
+        assert!(matches!(
+            request_from_args("frobnicate", &args),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn kinds_build_with_defaults() {
+        let args = Args::parse(&[]).unwrap();
+        for kind in [
+            "describe",
+            "aggregate",
+            "significant",
+            "sweep",
+            "pvalues",
+            "stats",
+        ] {
+            let req = request_from_args(kind, &args).unwrap();
+            assert_eq!(req.kind(), kind);
+        }
+        // inspect requires --leaf/--slice.
+        assert!(matches!(
+            request_from_args("inspect", &args),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn query_error_maps_to_cli_error() {
+        let e: CliError = ocelotl::core::QueryError::InvalidRequest("p".into()).into();
+        assert!(matches!(e, CliError::Usage(_)));
+        let e: CliError = ocelotl::core::QueryError::Protocol("x".into()).into();
+        assert!(matches!(e, CliError::Invalid(_)));
+    }
+}

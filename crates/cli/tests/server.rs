@@ -1,0 +1,173 @@
+//! `ocelotl serve` integration: a live TCP server answering every request
+//! kind, byte-identical to the direct in-process `QueryEngine` path, and
+//! the CLI's `--json` output byte-identical to the server's (the
+//! one-protocol guarantee).
+
+use ocelotl::core::query::{AnalysisRequest, QueryEngine};
+use ocelotl::core::SessionConfig;
+use ocelotl_cli::commands::query::roundtrip;
+use ocelotl_cli::commands::serve::{spawn_tcp, ServeOptions, ServerState};
+use ocelotl_cli::helpers::build_session;
+use ocelotl_cli::run;
+use std::path::PathBuf;
+
+/// A small deterministic trace on disk (same shape as the CLI fixture).
+fn fixture(tag: &str) -> PathBuf {
+    use ocelotl::prelude::*;
+    let mut b = TraceBuilder::new(Hierarchy::balanced(&[2, 2]));
+    let run = b.state("Run");
+    let wait = b.state("MPI_Wait");
+    for leaf in 0..4u32 {
+        for k in 0..10 {
+            let t = k as f64;
+            let state = if leaf == 3 && (4..7).contains(&k) {
+                wait
+            } else {
+                run
+            };
+            b.push_state(LeafId(leaf), state, t, t + 1.0);
+        }
+    }
+    let trace = b.build();
+    let path = std::env::temp_dir().join(format!(
+        "ocelotl-server-test-{}-{tag}.btf",
+        std::process::id()
+    ));
+    ocelotl::format::write_trace(&trace, &path).unwrap();
+    path
+}
+
+fn all_requests() -> Vec<AnalysisRequest> {
+    vec![
+        AnalysisRequest::Describe,
+        AnalysisRequest::Aggregate {
+            p: 0.4,
+            coarse: false,
+            compare: true,
+            diff_p: Some(0.8),
+        },
+        AnalysisRequest::Significant { resolution: 1e-2 },
+        AnalysisRequest::Sweep {
+            resolution: 1e-2,
+            steps: 4,
+        },
+        AnalysisRequest::PValues { resolution: 1e-2 },
+        AnalysisRequest::Inspect {
+            leaf: 3,
+            slice: 5,
+            p: 0.4,
+            coarse: false,
+        },
+        AnalysisRequest::RenderOverview {
+            p: 0.4,
+            coarse: false,
+            min_rows: 1.0,
+            level_resolution: None,
+        },
+        AnalysisRequest::Stats,
+    ]
+}
+
+fn cli(line: &str) -> String {
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let mut out = Vec::new();
+    run(&argv, &mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn server_answers_every_kind_byte_identical_to_direct_engine() {
+    let trace = fixture("all-kinds");
+    let config = SessionConfig {
+        n_slices: 10,
+        ..SessionConfig::default()
+    };
+    let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.addr.to_string();
+
+    let mut direct = QueryEngine::new(build_session(&trace, config, None));
+    for request in all_requests() {
+        let wire =
+            ocelotl::format::encode_wire_request(&trace.display().to_string(), &config, &request);
+        let served = roundtrip(&addr, &wire).unwrap();
+        let expected = ocelotl::format::encode_reply(&direct.execute(&request));
+        assert_eq!(served, expected, "kind {}", request.kind());
+        // And the served line decodes to a successful reply of that kind.
+        let reply = ocelotl::format::decode_reply(&served).unwrap().unwrap();
+        let want = match request.kind() {
+            "render-overview" => "overview",
+            k => k,
+        };
+        assert_eq!(reply.kind(), want);
+    }
+
+    // All eight kinds hit one warm session.
+    assert_eq!(server.state.pooled_sessions(), 1);
+    server.stop();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn cli_json_equals_server_json() {
+    let trace = fixture("json-parity");
+    let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.addr.to_string();
+    let t = trace.display().to_string();
+
+    // info --stats --json == query … stats --json
+    let local = cli(&format!("info {t} --stats --slices 10 --json"));
+    let remote = cli(&format!("query {addr} {t} stats --slices 10 --json"));
+    assert_eq!(local, remote, "stats JSON must be byte-identical");
+
+    // describe --json == query … describe --json
+    let omm = trace.with_extension("omm");
+    let local = cli(&format!(
+        "describe {t} --slices 10 --out {} --json",
+        omm.display()
+    ));
+    let remote = cli(&format!("query {addr} {t} describe --slices 10 --json"));
+    assert_eq!(local, remote, "describe JSON must be byte-identical");
+
+    // And the human-readable form agrees too: a direct aggregate prints
+    // the same bytes as the remote one.
+    let local = cli(&format!("aggregate {t} --slices 10 --p 0.4"));
+    let remote = cli(&format!("query {addr} {t} aggregate --slices 10 --p 0.4"));
+    assert_eq!(local, remote, "aggregate text must be byte-identical");
+
+    server.stop();
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&omm).ok();
+}
+
+#[test]
+fn second_query_is_served_warm() {
+    let trace = fixture("warm");
+    let state = ServerState::new(ServeOptions::default());
+    let config = SessionConfig {
+        n_slices: 64,
+        ..SessionConfig::default()
+    };
+    let wire = ocelotl::format::encode_wire_request(
+        &trace.display().to_string(),
+        &config,
+        &AnalysisRequest::Aggregate {
+            p: 0.4,
+            coarse: false,
+            compare: false,
+            diff_p: None,
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let cold = state.handle_line(&wire);
+    let cold_t = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let warm = state.handle_line(&wire);
+    let warm_t = t1.elapsed();
+    assert_eq!(cold, warm);
+    // Generous bound here (the bench pins ≥5×): warm must not be slower.
+    assert!(
+        warm_t <= cold_t,
+        "warm {warm_t:?} should not exceed cold {cold_t:?}"
+    );
+    std::fs::remove_file(&trace).ok();
+}

@@ -10,7 +10,7 @@
 //!
 //! # Dense vs. lazy: the memory trade-off
 //!
-//! [`AggregationInput`] (= [`DenseCube`](crate::DenseCube)) materializes
+//! [`AggregationInput`] (= [`DenseCube`]) materializes
 //! two `O(|T|²)` triangular matrices per hierarchy node — the paper's
 //! §III.E data structure. That costs `O(|S|·|T|²)` resident floats but
 //! makes every `gain`/`loss` query a single array read, so re-running the

@@ -96,35 +96,71 @@ pub fn summarize<C: QualityCube>(input: &C, partition: &Partition, n: usize) -> 
 /// Render a partition summary as fixed-width text (for terminal UIs and
 /// the `trace_explorer` example).
 pub fn summary_text<C: QualityCube>(input: &C, partition: &Partition, n: usize) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<28} {:>6} {:>7} {:>14} {:>6} {:>9} {:>9}",
-        "node", "res", "slices", "mode", "conf", "loss", "gain"
-    );
+    let mut out = area_table_header();
     for r in summarize(input, partition, n) {
-        let _ = writeln!(
-            out,
-            "{:<28} {:>6} {:>7} {:>14} {:>5.0}% {:>9.3} {:>9.3}",
-            truncate(&r.path, 28),
+        out.push_str(&area_table_row(
+            &r.path,
             r.n_resources,
-            format!("{}..{}", r.area.first_slice, r.area.last_slice),
-            r.mode.as_deref().unwrap_or("idle"),
-            r.confidence * 100.0,
+            r.area.first_slice,
+            r.area.last_slice,
+            r.mode.as_deref(),
+            r.confidence,
             r.loss,
             r.gain,
-        );
+        ));
     }
     out
 }
 
+/// Fixed-width header line of the aggregate summary table — the **one**
+/// definition of this format, shared by [`summary_text`] and the CLI's
+/// reply printer so in-process and protocol output cannot drift.
+pub fn area_table_header() -> String {
+    format!(
+        "{:<28} {:>6} {:>7} {:>14} {:>6} {:>9} {:>9}\n",
+        "node", "res", "slices", "mode", "conf", "loss", "gain"
+    )
+}
+
+/// One fixed-width row of the aggregate summary table (newline included).
+#[allow(clippy::too_many_arguments)]
+pub fn area_table_row(
+    path: &str,
+    n_resources: usize,
+    first_slice: usize,
+    last_slice: usize,
+    mode: Option<&str>,
+    confidence: f64,
+    loss: f64,
+    gain: f64,
+) -> String {
+    format!(
+        "{:<28} {:>6} {:>7} {:>14} {:>5.0}% {:>9.3} {:>9.3}\n",
+        truncate(path, 28),
+        n_resources,
+        format!("{first_slice}..{last_slice}"),
+        mode.unwrap_or("idle"),
+        confidence * 100.0,
+        loss,
+        gain,
+    )
+}
+
+/// Keep the last `n - 1` *characters* (never slicing mid-UTF-8; paths
+/// from Pajé traces may carry non-ASCII container names).
 fn truncate(s: &str, n: usize) -> String {
-    if s.len() <= n {
-        s.to_string()
-    } else {
-        format!("…{}", &s[s.len() - (n - 1)..])
+    if s.chars().count() <= n {
+        return s.to_string();
     }
+    let tail: String = s
+        .chars()
+        .rev()
+        .take(n - 1)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    format!("…{tail}")
 }
 
 #[cfg(test)]

@@ -37,11 +37,17 @@
 //! - [`partition`] — areas, partitions, validation;
 //! - [`onedim`] — the unidimensional baselines and their product (§III.D);
 //! - [`pvalues`] — significant trade-off values (the Ocelotl slider);
-//! - [`quality`] — normalized fidelity reporting (criterion G5);
+//! - [`quality`](mod@quality) — normalized fidelity reporting (criterion G5);
 //! - [`analysis`] — brute-force enumeration and strategy comparisons;
 //! - [`session`] — the memoized [`AnalysisSession`] pipeline with its
 //!   pluggable, content-addressed [`ArtifactStore`] (the §V.B
 //!   "preprocess once, interact instantly" economy as an object);
+//! - [`query`] — the typed request/reply protocol
+//!   ([`AnalysisRequest`]/[`AnalysisReply`]) and the [`QueryEngine`]
+//!   executing it against a session — the stable public surface every
+//!   client (CLI, `ocelotl serve`, library) talks to;
+//! - [`visual`] — the §IV visual-aggregation pass (run engine-side so
+//!   overview replies are fully drawable);
 //! - [`tri`] — upper-triangular interval matrices.
 
 #![forbid(unsafe_code)]
@@ -57,8 +63,10 @@ pub mod onedim;
 pub mod partition;
 pub mod pvalues;
 pub mod quality;
+pub mod query;
 pub mod session;
 pub mod tri;
+pub mod visual;
 
 pub use analysis::{
     compare_partitions, mutual_information, total_mutual_information, PartitionComparison,
@@ -69,7 +77,9 @@ pub use cube::{
 };
 pub use dp::{aggregate, aggregate_default, Cut, CutTree, DpConfig};
 pub use input::AggregationInput;
-pub use inspect::{area_at, inspect_area, summarize, summary_text, AreaReport};
+pub use inspect::{
+    area_at, area_table_header, area_table_row, inspect_area, summarize, summary_text, AreaReport,
+};
 pub use measures::{pic, xlog2x, AreaSums};
 pub use onedim::{
     collapse_space, collapse_time, product_aggregation, spatial_partition, temporal_partition,
@@ -78,8 +88,11 @@ pub use onedim::{
 pub use partition::{Area, Partition};
 pub use pvalues::{significant_partitions, significant_ps, PEntry};
 pub use quality::{quality, QualityReport};
+pub use query::{AnalysisReply, AnalysisRequest, QueryEngine, QueryError, PROTOCOL_VERSION};
 pub use session::{
-    fnv1a, AnalysisSession, ArtifactStore, CubeSource, MemoryStore, Metric, ModelSource,
-    OwnedSource, PartitionTable, PointEntry, SessionConfig, SessionError, SignificantSet, FNV_SEED,
+    fnv1a, AnalysisSession, ArtifactStore, CubeSource, IngestStats, MemoryStore, Metric,
+    ModelSource, OwnedSource, PartitionTable, PointEntry, SessionConfig, SessionError,
+    SignificantSet, DEFAULT_CACHE_KEEP, FNV_SEED,
 };
 pub use tri::TriMatrix;
+pub use visual::{mode, visually_aggregate, Item, Mode, VisualAggregation, VisualMark};

@@ -137,7 +137,7 @@ pub struct TemporalPartition {
 }
 
 /// Optimal order-consistent partition of the spatially-aggregated trace, by
-/// the classic `O(|T|²)` interval dynamic program (Jackson et al. [20]).
+/// the classic `O(|T|²)` interval dynamic program (Jackson et al. \[20\]).
 ///
 /// `input` must be built on a 1-leaf model (see [`collapse_space`]).
 pub fn temporal_partition<C: QualityCube>(input: &C, p: f64) -> TemporalPartition {

@@ -147,6 +147,12 @@ pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Default artifact-store retention: how many recent keys of one kind a
+/// stem keeps before garbage collection (see `ocelotl-format`'s
+/// `DiskStore`). Overridable per session via [`SessionConfig::cache_keep`]
+/// or the `OCELOTL_CACHE_KEEP` environment variable (wired by the CLI).
+pub const DEFAULT_CACHE_KEEP: usize = 4;
+
 /// The pipeline parameters that participate in the artifact key.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionConfig {
@@ -156,6 +162,10 @@ pub struct SessionConfig {
     pub metric: Metric,
     /// Requested gain/loss cube backend.
     pub memory: MemoryMode,
+    /// Artifact-store GC retention (keys kept per stem and kind). This is
+    /// operational policy, not content: it does **not** participate in
+    /// [`SessionConfig::key`], so changing it never invalidates artifacts.
+    pub cache_keep: usize,
 }
 
 impl Default for SessionConfig {
@@ -164,6 +174,7 @@ impl Default for SessionConfig {
             n_slices: 30,
             metric: Metric::States,
             memory: MemoryMode::Auto,
+            cache_keep: DEFAULT_CACHE_KEEP,
         }
     }
 }
@@ -171,7 +182,9 @@ impl Default for SessionConfig {
 impl SessionConfig {
     /// Artifact key: hash of (trace fingerprint, slicing params, metric,
     /// backend). Any change to the inputs or parameters changes the key,
-    /// which is what makes stale cache hits impossible.
+    /// which is what makes stale cache hits impossible. Retention
+    /// (`cache_keep`) is deliberately excluded — it changes how many old
+    /// keys survive, never which bytes a key resolves to.
     pub fn key(&self, trace_fingerprint: u64) -> u64 {
         let mut h = FNV_SEED;
         h = fnv1a(h, &trace_fingerprint.to_le_bytes());
@@ -186,12 +199,47 @@ impl SessionConfig {
 // Model sources
 // ---------------------------------------------------------------------------
 
+/// Deterministic ingestion telemetry a [`ModelSource`] may report next to
+/// the model it built — what the `Stats` query and `info --stats` surface.
+/// Wall-clock timings are deliberately absent: every field is a pure
+/// function of the trace bytes and the slicing parameters, so replies
+/// carrying these stats are byte-identical across cold, warm and server
+/// paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Content hash of the trace bytes (equals `hash_file`).
+    pub fingerprint: u64,
+    /// Total bytes read from disk (both passes for two-pass ingestion).
+    pub bytes_read: u64,
+    /// Interval records decoded.
+    pub intervals: u64,
+    /// Point records decoded.
+    pub points: u64,
+    /// Peak resident footprint of the streaming accumulator, in bytes.
+    pub peak_bytes: u64,
+    /// Ingestion strategy tag (`single-pass` / `two-pass`).
+    pub mode: String,
+    /// Detected trace format tag (`btf` / `ptf` / `paje`).
+    pub format: String,
+}
+
+impl IngestStats {
+    /// Event count in the Table II convention (2 per interval + 1 per
+    /// point).
+    pub fn events(&self) -> u64 {
+        self.intervals * 2 + self.points
+    }
+}
+
 /// Where the session gets its microscopic model from.
 ///
 /// The session itself cannot read trace files (file formats live above this
 /// crate), so the first pipeline stage is pluggable: the CLI supplies a
 /// file-backed source, benchmarks and examples an in-memory one.
-pub trait ModelSource {
+///
+/// Sources must be [`Send`] so a long-lived server can host sessions
+/// behind a lock and answer queries from any connection thread.
+pub trait ModelSource: Send {
     /// Stable fingerprint of the underlying trace bytes. Two sources with
     /// the same fingerprint must describe the same trace.
     fn fingerprint(&self) -> Result<u64, SessionError>;
@@ -199,6 +247,17 @@ pub trait ModelSource {
     /// Produce the microscopic model (the expensive cold-path stage).
     /// Sources wrapping an already-sliced model may ignore the parameters.
     fn model(&self, n_slices: usize, metric: Metric) -> Result<MicroModel, SessionError>;
+
+    /// Produce the model plus ingestion telemetry, when the source can
+    /// report it (file-backed sources fuse both into one disk pass). The
+    /// default wraps [`ModelSource::model`] with no stats.
+    fn model_with_stats(
+        &self,
+        n_slices: usize,
+        metric: Metric,
+    ) -> Result<(MicroModel, Option<IngestStats>), SessionError> {
+        Ok((self.model(n_slices, metric)?, None))
+    }
 }
 
 /// A source wrapping an already-built model (benchmarks, examples, tests).
@@ -303,7 +362,9 @@ impl PartitionTable {
 /// Persistence hook for the two on-disk artifacts. Implementations must be
 /// best-effort: a `store_*` returning `false` (e.g. a read-only cache
 /// directory) degrades the session to cold behavior, never to an error.
-pub trait ArtifactStore {
+/// [`Send`] for the same reason as [`ModelSource`]: server-hosted sessions
+/// cross thread boundaries.
+pub trait ArtifactStore: Send {
     /// Load the cube prefix sums stored under `key`, if present and valid.
     fn load_cube(&self, key: u64) -> Option<CubeCore>;
     /// Persist the cube prefix sums under `key`.
@@ -368,6 +429,7 @@ pub struct AnalysisSession {
     store: Option<Box<dyn ArtifactStore>>,
     key: Option<u64>,
     model: Option<MicroModel>,
+    ingest: Option<IngestStats>,
     cube: Option<CubeBackend>,
     cube_source: Option<CubeSource>,
     table: Option<PartitionTable>,
@@ -384,6 +446,7 @@ impl AnalysisSession {
             store: None,
             key: None,
             model: None,
+            ingest: None,
             cube: None,
             cube_source: None,
             table: None,
@@ -425,12 +488,21 @@ impl AnalysisSession {
 
     fn ensure_model(&mut self) -> Result<(), SessionError> {
         if self.model.is_none() {
-            self.model = Some(
-                self.source
-                    .model(self.config.n_slices, self.config.metric)?,
-            );
+            let (model, stats) = self
+                .source
+                .model_with_stats(self.config.n_slices, self.config.metric)?;
+            self.model = Some(model);
+            self.ingest = stats;
         }
         Ok(())
+    }
+
+    /// Ingestion telemetry, when the source reports it. **Cold-path only**
+    /// like [`AnalysisSession::model`]: forces the model build (and thus a
+    /// trace read) the first time; memoized afterwards.
+    pub fn ingest_stats(&mut self) -> Result<Option<&IngestStats>, SessionError> {
+        self.ensure_model()?;
+        Ok(self.ingest.as_ref())
     }
 
     /// The microscopic model. **Cold-path only**: forces a trace read even
@@ -474,6 +546,33 @@ impl AnalysisSession {
     pub fn cube(&mut self) -> Result<&CubeBackend, SessionError> {
         self.ensure_cube()?;
         Ok(self.cube.as_ref().unwrap())
+    }
+
+    /// The cube, only if a previous call already materialized it — never
+    /// triggers a build or a store lookup.
+    pub fn cube_if_built(&self) -> Option<&CubeBackend> {
+        self.cube.as_ref()
+    }
+
+    /// The model, only if a previous call already built it.
+    pub fn model_if_built(&self) -> Option<&MicroModel> {
+        self.model.as_ref()
+    }
+
+    /// Load the cube from the artifact store if (and only if) a warm
+    /// `.ocube` exists — never builds from the model. `None` on a store
+    /// miss or a store-less session. Lets dimension-only queries
+    /// (`Describe`, `Stats`) answer warm without a trace read and cold
+    /// without paying for a cube they do not need.
+    pub fn try_warm_cube(&mut self) -> Result<Option<&CubeBackend>, SessionError> {
+        if self.cube.is_none() && self.store.is_some() {
+            let key = self.key()?;
+            if let Some(core) = self.store.as_ref().unwrap().load_cube(key) {
+                self.cube = Some(CubeBackend::from_core(core, self.config.memory));
+                self.cube_source = Some(CubeSource::Warm);
+            }
+        }
+        Ok(self.cube.as_ref())
     }
 
     /// Both the model and the cube (for queries that genuinely need raw

@@ -1,0 +1,439 @@
+//! Visual aggregation (§IV, Fig. 3.f) and mode selection.
+//!
+//! When the number of resources exceeds the pixel budget, small data
+//! aggregates cannot be drawn individually (criterion G1). The paper's
+//! rule: *"if an aggregate has a visual height inferior to a threshold, its
+//! parent is drawn instead"*, with a distinguishing mark (G4):
+//! a **diagonal** when the underlying resources share the same temporal
+//! data partitioning, a **cross** otherwise.
+//!
+//! This lives in `ocelotl-core` (not the rendering crate) because the pass
+//! is *data* work — it consumes the quality cube and a partition and emits
+//! backend-agnostic drawable items. The [`query`](crate::query) engine runs
+//! it server-side so a [`RenderOverview`](crate::query::AnalysisRequest)
+//! reply is complete: any client (SVG, ASCII, a browser) can draw it
+//! without access to the cube. `ocelotl-viz` re-exports everything here
+//! under its historical names.
+//!
+//! Implementation: every area whose node is too short promotes the nearest
+//! tall-enough ancestor into a *collapse set*; all areas under a collapsed
+//! node are absorbed and re-emitted as visual aggregates over the union of
+//! their temporal boundaries.
+
+use crate::cube::QualityCube;
+use crate::partition::{Area, Partition};
+use ocelotl_trace::{Hierarchy, NodeId, StateId};
+use std::collections::HashMap;
+
+/// The mode state of an aggregate and its display transparency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mode {
+    /// `argmax_x ρ_x`, `None` when every proportion is zero (idle area).
+    pub state: Option<StateId>,
+    /// `α = ρ_max / Σ_x ρ_x`; 0 for idle areas.
+    pub alpha: f64,
+    /// The winning proportion itself.
+    pub rho_max: f64,
+}
+
+/// Compute the mode of a set of per-state aggregated proportions (Eq. 1
+/// output), per §IV.
+pub fn mode(rhos: &[f64]) -> Mode {
+    let mut best: Option<(usize, f64)> = None;
+    let mut total = 0.0;
+    for (x, &r) in rhos.iter().enumerate() {
+        total += r;
+        if r > best.map_or(0.0, |(_, b)| b) {
+            best = Some((x, r));
+        }
+    }
+    match best {
+        Some((x, r)) if total > 0.0 => Mode {
+            state: Some(StateId(x as u16)),
+            alpha: r / total,
+            rho_max: r,
+        },
+        _ => Mode {
+            state: None,
+            alpha: 0.0,
+            rho_max: 0.0,
+        },
+    }
+}
+
+/// Mark distinguishing visual aggregates from data aggregates (G4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisualMark {
+    /// Underlying resources share the same temporal partitioning.
+    Diagonal,
+    /// Underlying resources have differing temporal partitionings.
+    Cross,
+}
+
+impl VisualMark {
+    /// Stable protocol tag (`diagonal` / `cross`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            VisualMark::Diagonal => "diagonal",
+            VisualMark::Cross => "cross",
+        }
+    }
+
+    /// Inverse of [`VisualMark::tag`].
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "diagonal" => Some(VisualMark::Diagonal),
+            "cross" => Some(VisualMark::Cross),
+            _ => None,
+        }
+    }
+}
+
+/// One drawable item of the overview.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The hierarchy node whose rows this item spans.
+    pub node: NodeId,
+    /// First slice (inclusive).
+    pub first_slice: usize,
+    /// Last slice (inclusive).
+    pub last_slice: usize,
+    /// Mode state + transparency for rendering.
+    pub mode: Mode,
+    /// `None` for a data aggregate, `Some(mark)` for a visual aggregate.
+    pub mark: Option<VisualMark>,
+}
+
+/// Result of the visual aggregation pass.
+#[derive(Debug, Clone)]
+pub struct VisualAggregation {
+    /// Drawable items (data + visual aggregates).
+    pub items: Vec<Item>,
+    /// Number of data aggregates kept as-is.
+    pub n_data: usize,
+    /// Number of visual aggregates produced.
+    pub n_visual: usize,
+}
+
+/// Apply visual aggregation to a partition.
+///
+/// `min_rows` is the pixel threshold expressed in *leaf rows*: a node
+/// spanning fewer than `min_rows` leaves is too short to draw (for a canvas
+/// of height `H` px and threshold `θ` px, pass `θ / (H / |S|)`).
+pub fn visually_aggregate<C: QualityCube>(
+    input: &C,
+    partition: &Partition,
+    min_rows: f64,
+) -> VisualAggregation {
+    let h = input.hierarchy();
+
+    // 1. Collapse set: nearest tall-enough ancestor of every short node.
+    let mut collapse: Vec<NodeId> = Vec::new();
+    for a in partition.areas() {
+        if (h.n_leaves_under(a.node) as f64) < min_rows {
+            let mut p = a.node;
+            while (h.n_leaves_under(p) as f64) < min_rows {
+                match h.parent(p) {
+                    Some(q) => p = q,
+                    None => break,
+                }
+            }
+            collapse.push(p);
+        }
+    }
+    collapse.sort_unstable();
+    collapse.dedup();
+    // Keep only the highest nodes (drop descendants of other collapsed nodes).
+    let collapse: Vec<NodeId> = collapse
+        .iter()
+        .copied()
+        .filter(|&c| {
+            !collapse
+                .iter()
+                .any(|&other| other != c && h.is_ancestor(other, c))
+        })
+        .collect();
+
+    // 2. Partition areas into data items and per-collapse buckets.
+    let mut items = Vec::new();
+    let mut buckets: HashMap<NodeId, Vec<Area>> = HashMap::new();
+    let mut n_data = 0;
+    'areas: for a in partition.areas() {
+        for &c in &collapse {
+            if h.is_ancestor(c, a.node) {
+                buckets.entry(c).or_default().push(*a);
+                continue 'areas;
+            }
+        }
+        items.push(Item {
+            node: a.node,
+            first_slice: a.first_slice,
+            last_slice: a.last_slice,
+            mode: mode(&input.rho_aggregate_all(a.node, a.first_slice, a.last_slice)),
+            mark: None,
+        });
+        n_data += 1;
+    }
+
+    // 3. Emit visual aggregates per collapsed node, segmented by the union
+    // of the absorbed areas' temporal boundaries.
+    let mut n_visual = 0;
+    let mut bucket_nodes: Vec<NodeId> = buckets.keys().copied().collect();
+    bucket_nodes.sort_unstable();
+    for c in bucket_nodes {
+        let areas = &buckets[&c];
+        let mut bounds: Vec<usize> = areas
+            .iter()
+            .flat_map(|a| [a.first_slice, a.last_slice + 1])
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        // Per-leaf boundary signature decides diagonal vs cross.
+        let same_partitioning = uniform_temporal_partitioning(h, areas);
+
+        for w in bounds.windows(2) {
+            let (i, j) = (w[0], w[1] - 1);
+            // A segment may fall into a hole of the bucket's coverage when
+            // an *ancestor* area (spanning all of `c`'s rows) covers the
+            // middle of the timeline — skip those, they are already drawn.
+            let covered = areas
+                .iter()
+                .any(|a| a.first_slice <= i && j <= a.last_slice);
+            if !covered {
+                continue;
+            }
+            items.push(Item {
+                node: c,
+                first_slice: i,
+                last_slice: j,
+                mode: mode(&input.rho_aggregate_all(c, i, j)),
+                mark: Some(if same_partitioning {
+                    VisualMark::Diagonal
+                } else {
+                    VisualMark::Cross
+                }),
+            });
+            n_visual += 1;
+        }
+    }
+
+    VisualAggregation {
+        items,
+        n_data,
+        n_visual,
+    }
+}
+
+/// True if every leaf under the absorbed areas sees the same sequence of
+/// temporal boundaries (the paper's "same temporal data partitioning").
+fn uniform_temporal_partitioning(h: &Hierarchy, areas: &[Area]) -> bool {
+    let mut per_leaf: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+    for a in areas {
+        for leaf in h.leaf_range(a.node) {
+            per_leaf
+                .entry(leaf)
+                .or_default()
+                .push((a.first_slice, a.last_slice));
+        }
+    }
+    let mut signatures: Vec<Vec<(usize, usize)>> = per_leaf.into_values().collect();
+    for s in &mut signatures {
+        s.sort_unstable();
+    }
+    signatures.windows(2).all(|w| w[0] == w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::AggregationInput;
+    use crate::{aggregate_default, Partition};
+    use ocelotl_trace::synthetic::{block_model, fig3_model, Block};
+    use ocelotl_trace::{Hierarchy, StateRegistry};
+
+    #[test]
+    fn mode_picks_argmax() {
+        let m = mode(&[0.1, 0.6, 0.3]);
+        assert_eq!(m.state, Some(StateId(1)));
+        assert!((m.alpha - 0.6).abs() < 1e-12);
+        assert!((m.rho_max - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_alpha_bounds() {
+        // Uniform proportions → α = 1/|X| (the paper's lower bound).
+        let m = mode(&[0.25, 0.25, 0.25, 0.25]);
+        assert!((m.alpha - 0.25).abs() < 1e-12);
+        // Single active state → α = 1.
+        let m = mode(&[0.0, 0.7, 0.0]);
+        assert!((m.alpha - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_area_has_no_mode() {
+        let m = mode(&[0.0, 0.0]);
+        assert_eq!(m.state, None);
+        assert_eq!(m.alpha, 0.0);
+    }
+
+    #[test]
+    fn mark_tags_round_trip() {
+        for m in [VisualMark::Diagonal, VisualMark::Cross] {
+            assert_eq!(VisualMark::from_tag(m.tag()), Some(m));
+        }
+        assert_eq!(VisualMark::from_tag("zigzag"), None);
+    }
+
+    #[test]
+    fn no_aggregation_when_threshold_is_low() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, 0.3).partition(&input);
+        let va = visually_aggregate(&input, &part, 1.0);
+        assert_eq!(va.n_visual, 0);
+        assert_eq!(va.n_data, part.len());
+        assert_eq!(va.items.len(), part.len());
+    }
+
+    #[test]
+    fn small_areas_get_absorbed() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        // p = 0 keeps many per-leaf areas (height 1 < threshold 2).
+        let part = aggregate_default(&input, 0.0).partition(&input);
+        let va = visually_aggregate(&input, &part, 2.0);
+        assert!(va.n_visual > 0, "leaf-level areas must be visually merged");
+        assert!(va.n_data + va.n_visual == va.items.len());
+        // Every item is now at least 2 leaves tall... unless it is the
+        // marked visual aggregate itself (which is, by construction).
+        for item in &va.items {
+            if item.mark.is_none() {
+                assert!(m.hierarchy().n_leaves_under(item.node) >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn items_still_tile_the_grid() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        for &p in &[0.0, 0.3, 0.6] {
+            for &thr in &[1.0, 2.0, 4.0, 12.0] {
+                let part = aggregate_default(&input, p).partition(&input);
+                let va = visually_aggregate(&input, &part, thr);
+                // Items must cover each (leaf, slice) cell exactly once.
+                let mut cover = vec![0u8; 12 * 20];
+                for item in &va.items {
+                    for leaf in m.hierarchy().leaf_range(item.node) {
+                        for t in item.first_slice..=item.last_slice {
+                            cover[leaf * 20 + t] += 1;
+                        }
+                    }
+                }
+                assert!(
+                    cover.iter().all(|&c| c == 1),
+                    "p={p} thr={thr}: coverage {:?}",
+                    cover.iter().filter(|&&c| c != 1).count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_for_uniform_children_cross_otherwise() {
+        // Cluster 0: both leaves share the same temporal cut (uniform);
+        // cluster 1: leaves cut at different places.
+        let h = Hierarchy::balanced(&[2, 2]);
+        let states = StateRegistry::from_names(["a", "b"]);
+        let m = block_model(
+            h,
+            states,
+            8,
+            &[
+                // cluster 0 (leaves 0,1): same phase change at t=4.
+                Block {
+                    leaves: 0..2,
+                    slices: 0..4,
+                    rho: vec![0.9, 0.1],
+                },
+                Block {
+                    leaves: 0..2,
+                    slices: 4..8,
+                    rho: vec![0.1, 0.9],
+                },
+                // cluster 1: leaf 2 changes at t=2, leaf 3 at t=6.
+                Block {
+                    leaves: 2..3,
+                    slices: 0..2,
+                    rho: vec![0.9, 0.1],
+                },
+                Block {
+                    leaves: 2..3,
+                    slices: 2..8,
+                    rho: vec![0.2, 0.8],
+                },
+                Block {
+                    leaves: 3..4,
+                    slices: 0..6,
+                    rho: vec![0.8, 0.2],
+                },
+                Block {
+                    leaves: 3..4,
+                    slices: 6..8,
+                    rho: vec![0.1, 0.9],
+                },
+            ],
+        );
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, 0.05).partition(&input);
+        // Threshold of 2 rows: leaf-level areas collapse to their clusters.
+        let va = visually_aggregate(&input, &part, 2.0);
+        let h = m.hierarchy();
+        let c0 = h.top_level()[0];
+        let c1 = h.top_level()[1];
+        let marks_of = |node| {
+            va.items
+                .iter()
+                .filter(|i| i.node == node)
+                .filter_map(|i| i.mark)
+                .collect::<Vec<_>>()
+        };
+        let m0 = marks_of(c0);
+        let m1 = marks_of(c1);
+        // Cluster 0's leaves were likely aggregated at cluster level already
+        // (uniform), so it may have no marks; if it has, they are diagonal.
+        assert!(m0.iter().all(|&m| m == VisualMark::Diagonal), "{m0:?}");
+        // Cluster 1 must be marked cross (differing partitionings).
+        assert!(!m1.is_empty());
+        assert!(m1.iter().all(|&m| m == VisualMark::Cross), "{m1:?}");
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, 0.15).partition(&input);
+        let va = visually_aggregate(&input, &part, 3.0);
+        assert_eq!(va.items.len(), va.n_data + va.n_visual);
+        // Visual aggregation never increases the item count beyond the
+        // refined union of boundaries, and data items are a subset of areas.
+        assert!(va.n_data <= part.len());
+    }
+
+    #[test]
+    fn full_collapse_to_root() {
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let part = Partition::microscopic(m.hierarchy(), 20);
+        // Threshold taller than the whole tree: everything collapses to root.
+        let va = visually_aggregate(&input, &part, 100.0);
+        assert_eq!(va.n_data, 0);
+        assert!(va.items.iter().all(|i| i.node == m.hierarchy().root()));
+        // Microscopic partition has identical boundaries on every leaf.
+        assert!(va
+            .items
+            .iter()
+            .all(|i| i.mark == Some(VisualMark::Diagonal)));
+    }
+}

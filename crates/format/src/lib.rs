@@ -34,6 +34,7 @@ pub mod binary;
 pub mod cube_cache;
 pub mod error;
 pub mod io;
+pub mod json;
 pub mod micro_cache;
 pub mod paje;
 pub mod part_cache;
@@ -47,6 +48,10 @@ pub use cube_cache::{load_cube, read_cube, save_cube, write_cube};
 pub use error::{FormatError, Result};
 pub use io::{
     decode, read_micro, read_model, read_trace, write_trace, Format, IngestMode, IngestReport,
+};
+pub use json::{
+    decode_reply, decode_request, decode_wire_request, encode_reply, encode_request,
+    encode_wire_request, Json,
 };
 pub use micro_cache::{load_micro, read_micro_cache, save_micro, write_micro};
 pub use paje::{decode_paje, read_paje, write_paje};

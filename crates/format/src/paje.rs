@@ -225,7 +225,7 @@ struct PajeFrozen {
 }
 
 /// Decode a Pajé stream, driving `sink` through the
-/// [`EventSink`](ocelotl_trace::EventSink) protocol.
+/// [`EventSink`] protocol.
 ///
 /// Containers and entity values must be declared before the first
 /// `PajeSetState` record (the subset [`write_paje`] emits), and each

@@ -136,11 +136,13 @@ pub fn hash_trace(trace: &Trace) -> Result<u64> {
 pub struct DiskStore {
     dir: PathBuf,
     stem: String,
+    keep: usize,
 }
 
 impl DiskStore {
     /// A store rooted at `dir`, namespaced by `stem` (usually the trace's
-    /// file stem). The directory is created on first write.
+    /// file stem). The directory is created on first write. Retention
+    /// defaults to [`KEEP_PER_KIND`]; see [`DiskStore::with_keep`].
     pub fn new(dir: impl Into<PathBuf>, stem: impl Into<String>) -> Self {
         let mut stem = stem.into();
         // Keep the namespace filesystem-safe.
@@ -151,7 +153,22 @@ impl DiskStore {
         Self {
             dir: dir.into(),
             stem,
+            keep: KEEP_PER_KIND,
         }
+    }
+
+    /// Set the GC retention: how many artifacts of one kind this stem may
+    /// keep (the just-stored key plus the most recent siblings). Clamped
+    /// to at least 1 — the current key is never collected. The CLI wires
+    /// `SessionConfig::cache_keep` / `OCELOTL_CACHE_KEEP` here.
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// The configured GC retention.
+    pub fn keep(&self) -> usize {
+        self.keep
     }
 
     /// A store for `input`, rooted at `dir` if given, else at an
@@ -180,8 +197,8 @@ impl DiskStore {
     }
 
     /// Garbage-collect same-stem artifacts of the given kind beyond the
-    /// [`KEEP_PER_KIND`] most recently modified (the invalidation pass;
-    /// see module docs). The just-stored `key` is always kept.
+    /// `self.keep` most recently modified (the invalidation pass; see
+    /// module docs). The just-stored `key` is always kept.
     fn prune_stale(&self, key: u64, ext: &str) {
         let keep = self.path(key, ext);
         let prefix = format!("{}-", self.stem);
@@ -206,15 +223,17 @@ impl DiskStore {
             .collect();
         // Newest first; the current key occupies one slot.
         siblings.sort_by_key(|(mtime, _)| std::cmp::Reverse(*mtime));
-        for (_, path) in siblings.into_iter().skip(KEEP_PER_KIND - 1) {
+        for (_, path) in siblings.into_iter().skip(self.keep - 1) {
             std::fs::remove_file(path).ok();
         }
     }
 }
 
-/// How many artifacts of one kind a stem may keep (the current key plus
-/// recent siblings, newest-first).
-pub const KEEP_PER_KIND: usize = 4;
+/// Default retention: how many artifacts of one kind a stem may keep (the
+/// current key plus recent siblings, newest-first). Equals
+/// `ocelotl_core::DEFAULT_CACHE_KEEP`; override per store with
+/// [`DiskStore::with_keep`].
+pub const KEEP_PER_KIND: usize = ocelotl_core::DEFAULT_CACHE_KEEP;
 
 impl ArtifactStore for DiskStore {
     fn load_cube(&self, key: u64) -> Option<CubeCore> {
@@ -321,6 +340,36 @@ mod tests {
         );
         assert!(store.load_cube(10).is_some(), "newest key always kept");
         assert!(store.load_cube(1).is_none(), "oldest keys pruned");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn configured_keep_bounds_the_population() {
+        let dir = scratch_dir("keep");
+        let store = DiskStore::new(&dir, "t").with_keep(2);
+        assert_eq!(store.keep(), 2);
+        let core = CubeCore::build(&random_model(&[2, 2], 5, 2, 3));
+        for key in 1..=5u64 {
+            store.store_cube(key, &core);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(
+            artifact_files(&dir, "ocube").len(),
+            2,
+            "population must be pruned to the configured keep"
+        );
+        assert!(store.load_cube(5).is_some(), "newest key kept");
+        assert!(store.load_cube(4).is_some(), "second-newest key kept");
+        assert!(store.load_cube(3).is_none(), "older keys evicted");
+
+        // keep is clamped to 1: the just-stored key always survives.
+        let tight = DiskStore::new(&dir, "u").with_keep(0);
+        assert_eq!(tight.keep(), 1);
+        tight.store_cube(1, &core);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        tight.store_cube(2, &core);
+        assert!(tight.load_cube(2).is_some());
+        assert!(tight.load_cube(1).is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -7,11 +7,57 @@
 //! - [`trace`] — the trace microscopic model (hierarchy, states, slices)
 //!   and the push-based [`trace::sink`] ingestion layer;
 //! - [`core`] — the aggregation algorithms (Algorithm 1 and the baselines);
-//! - [`format`] — PTF/BTF/Pajé trace files: streaming decoders that drive
+//! - [`format`](mod@format) — PTF/BTF/Pajé trace files: streaming decoders that drive
 //!   any [`trace::sink::EventSink`], with `read_model` building the
 //!   microscopic model in O(model) memory straight from disk;
 //! - [`mpisim`] — the MPI platform simulator regenerating the paper's traces;
-//! - [`viz`] — the overview renderers (SVG/ASCII, visual aggregation, Gantt).
+//! - [`viz`] — the overview renderers (SVG/ASCII, visual aggregation, Gantt),
+//!   including reply renderers that draw straight from protocol answers.
+//!
+//! ## The query API — the stable public surface
+//!
+//! Every analysis this toolkit can run is expressible as one
+//! [`query::AnalysisRequest`] executed by a [`query::QueryEngine`]; the
+//! typed [`query::AnalysisReply`] is fully self-contained (printable,
+//! renderable and serializable without any further data access). The CLI's
+//! analysis commands, the `ocelotl serve` server and the `ocelotl query`
+//! client are all thin clients of this one protocol, and
+//! [`format::encode_reply`]/[`format::decode_reply`] give it a stable
+//! line-delimited JSON wire form.
+//!
+//! ```
+//! use ocelotl::prelude::*;
+//! use ocelotl::query::{AnalysisReply, AnalysisRequest, QueryEngine};
+//!
+//! // Simulate a small run and wrap it in a session + engine.
+//! let scenario = ocelotl::mpisim::scenario(CaseId::A, 0.004);
+//! let (trace, _stats) = scenario.run(42);
+//! let model = MicroModel::from_trace(&trace, 30).unwrap();
+//! let fingerprint = ocelotl::format::hash_trace(&trace).unwrap();
+//! let session = AnalysisSession::new(
+//!     OwnedSource::new(model, fingerprint),
+//!     SessionConfig { n_slices: 30, ..SessionConfig::default() },
+//! );
+//! let mut engine = QueryEngine::new(session);
+//!
+//! // Ask for the optimal partition at p = 0.5 …
+//! let reply = engine
+//!     .execute(&AnalysisRequest::Aggregate {
+//!         p: 0.5,
+//!         coarse: false,
+//!         compare: false,
+//!         diff_p: None,
+//!     })
+//!     .unwrap();
+//! let AnalysisReply::Aggregate(agg) = &reply else { unreachable!() };
+//! assert!(agg.summary.n_areas < agg.summary.n_cells);
+//!
+//! // … and the reply round-trips through the wire codec byte-exactly.
+//! let line = ocelotl::format::encode_reply(&Ok(reply.clone()));
+//! assert_eq!(ocelotl::format::decode_reply(&line).unwrap().unwrap(), reply);
+//! ```
+//!
+//! The classic in-process surface remains available for library callers:
 //!
 //! ```
 //! use ocelotl::prelude::*;
@@ -43,13 +89,19 @@ pub use ocelotl_mpisim as mpisim;
 pub use ocelotl_trace as trace;
 pub use ocelotl_viz as viz;
 
+/// The typed request/reply protocol (re-exported from
+/// [`core::query`]): the stable surface every client — CLI, server,
+/// library — talks to.
+pub use ocelotl_core::query;
+
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use ocelotl_core::query::{AnalysisReply, AnalysisRequest, QueryEngine, QueryError};
     pub use ocelotl_core::{
         aggregate, aggregate_default, product_aggregation, quality, significant_partitions,
         AggregationInput, AnalysisSession, Area, ArtifactStore, CubeBackend, CubeSource, Cut,
-        CutTree, DenseCube, DpConfig, LazyCube, MemoryMode, Metric, ModelSource, OwnedSource,
-        Partition, QualityCube, SessionConfig, SessionError,
+        CutTree, DenseCube, DpConfig, IngestStats, LazyCube, MemoryMode, Metric, ModelSource,
+        OwnedSource, Partition, QualityCube, SessionConfig, SessionError,
     };
     pub use ocelotl_mpisim::{CaseId, Platform, Scenario};
     pub use ocelotl_trace::{

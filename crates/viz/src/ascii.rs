@@ -4,10 +4,14 @@
 //! (uppercase initial when the mode is confident, lowercase when contested,
 //! `·` when idle); `▚`-style marks are replaced by `/` (diagonal) and `x`
 //! (cross) overlays on visual aggregates.
+//!
+//! The drawing itself lives in [`crate::reply`] (it reads an
+//! [`OverviewReply`](ocelotl_core::query::OverviewReply) scene); this
+//! module keeps the cube-based entry point and the glyph assignment.
 
+use crate::reply::{overview_scene, render_reply_ascii};
 use crate::visual_agg::Item;
 use ocelotl_core::QualityCube;
-use std::fmt::Write as _;
 
 /// Options for the ASCII renderer.
 #[derive(Debug, Clone)]
@@ -27,74 +31,11 @@ impl Default for AsciiOptions {
     }
 }
 
-/// Render items to a multi-line string (plot + legend).
+/// Render items to a multi-line string (plot + legend) — the legacy
+/// cube-based path, delegating to the reply renderer so in-process and
+/// protocol clients draw identically.
 pub fn render_ascii<C: QualityCube>(input: &C, items: &[Item], opts: &AsciiOptions) -> String {
-    let h = input.hierarchy();
-    let n_leaves = h.n_leaves();
-    let n_slices = input.n_slices();
-    let rows = opts.height.min(n_leaves).max(1);
-    let cols = opts.width.max(n_slices.min(opts.width));
-
-    // Paint each cell with the item covering its (leaf, slice).
-    let letters = assign_state_chars(input.states());
-    let mut grid = vec![b'.'; rows * cols];
-    for item in items {
-        let leaves = h.leaf_range(item.node);
-        let y0 = leaves.start * rows / n_leaves;
-        let y1 = ((leaves.end * rows).div_ceil(n_leaves)).min(rows);
-        let x0 = item.first_slice * cols / n_slices;
-        let x1 = ((item.last_slice + 1) * cols).div_ceil(n_slices).min(cols);
-        let ch = match item.mode.state {
-            Some(st) => {
-                let initial = letters[st.index()];
-                if item.mode.alpha >= 0.5 {
-                    initial.to_ascii_uppercase()
-                } else {
-                    initial.to_ascii_lowercase()
-                }
-            }
-            None => b'.',
-        };
-        for y in y0..y1 {
-            for x in x0..x1 {
-                grid[y * cols + x] = ch;
-            }
-        }
-        // Mark overlay in the middle of the block.
-        if let Some(mark) = item.mark {
-            let (my, mx) = ((y0 + y1) / 2, (x0 + x1) / 2);
-            if my < rows && mx < cols {
-                grid[my * cols + mx] = match mark {
-                    crate::visual_agg::VisualMark::Diagonal => b'/',
-                    crate::visual_agg::VisualMark::Cross => b'x',
-                };
-            }
-        }
-    }
-
-    let mut out = String::with_capacity(rows * (cols + 12) + 256);
-    // Cluster row labels (first row of each cluster band).
-    let mut row_label = vec![String::new(); rows];
-    for &c in h.top_level() {
-        let y = h.leaf_range(c).start * rows / n_leaves;
-        if y < rows && row_label[y].is_empty() {
-            row_label[y] = h.name(c).chars().take(8).collect();
-        }
-    }
-    for y in 0..rows {
-        let _ = write!(out, "{:>8} |", row_label[y]);
-        out.push_str(std::str::from_utf8(&grid[y * cols..(y + 1) * cols]).unwrap());
-        out.push_str("|\n");
-    }
-    // Legend.
-    let _ = write!(out, "{:>8} +", "");
-    out.push_str(&"-".repeat(cols));
-    out.push_str("+\n  legend:");
-    for (id, name) in input.states().iter() {
-        let _ = write!(out, " {}={}", letters[id.index()] as char, name);
-    }
-    out.push_str(" .=idle (lowercase = contested mode, /=uniform visual agg, x=mixed)\n");
-    out
+    render_reply_ascii(&overview_scene(input, items, 0.0, (0.0, 0.0)), opts)
 }
 
 /// Distinguishing character for a state name: MPI states use the letter
@@ -110,10 +51,10 @@ fn state_char(name: &str) -> u8 {
 /// pseudo-states like `cpu∈[0.00,0.25)` all start with the same letter) by
 /// scanning the name for an unused alphanumeric, then falling back to any
 /// free letter/digit.
-fn assign_state_chars(states: &ocelotl_trace::StateRegistry) -> Vec<u8> {
+pub(crate) fn assign_state_chars<'a>(names: impl IntoIterator<Item = &'a str>) -> Vec<u8> {
     let mut used = [false; 128];
-    let mut out = vec![b'?'; states.len()];
-    for (id, name) in states.iter() {
+    let mut out = Vec::new();
+    for name in names {
         let stripped = name.strip_prefix("MPI_").unwrap_or(name);
         let from_name = stripped
             .bytes()
@@ -127,7 +68,7 @@ fn assign_state_chars(states: &ocelotl_trace::StateRegistry) -> Vec<u8> {
         if ch != b'#' {
             used[ch as usize] = true;
         }
-        out[id.index()] = ch;
+        out.push(ch);
     }
     out
 }
@@ -201,14 +142,13 @@ mod tests {
 
     #[test]
     fn colliding_first_letters_get_distinct_glyphs() {
-        use ocelotl_trace::StateRegistry;
-        let r = StateRegistry::from_names([
+        let names = [
             "cpu∈[0.00,0.25)",
             "cpu∈[0.25,0.50)",
             "cpu∈[0.50,0.75)",
             "cpu∈[0.75,1.00]",
-        ]);
-        let letters = assign_state_chars(&r);
+        ];
+        let letters = assign_state_chars(names);
         let mut sorted = letters.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -222,9 +162,7 @@ mod tests {
 
     #[test]
     fn glyph_assignment_prefers_name_characters() {
-        use ocelotl_trace::StateRegistry;
-        let r = StateRegistry::from_names(["MPI_Send", "MPI_Ssend", "Sleep"]);
-        let letters = assign_state_chars(&r);
+        let letters = assign_state_chars(["MPI_Send", "MPI_Ssend", "Sleep"]);
         assert_eq!(letters[0], b'S');
         // "Ssend" scans S (taken) then the second s — still 'S'-family fails,
         // so it lands on the next unused alphanumeric in the name: 'E'.
@@ -234,11 +172,10 @@ mod tests {
 
     #[test]
     fn glyph_assignment_exhaustion_falls_back() {
-        use ocelotl_trace::StateRegistry;
         // 40 distinct names drawing on only two letters force the fallback
         // through the whole A–Z / 0–9 pool and into the shared '#' glyph.
-        let r = StateRegistry::from_names((1..=40).map(|i| format!("s{}", "x".repeat(i))));
-        let letters = assign_state_chars(&r);
+        let names: Vec<String> = (1..=40).map(|i| format!("s{}", "x".repeat(i))).collect();
+        let letters = assign_state_chars(names.iter().map(String::as_str));
         assert_eq!(letters[0], b'S');
         assert_eq!(letters[1], b'X');
         assert!(letters.contains(&b'#'), "overflow states share the # glyph");

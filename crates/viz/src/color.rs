@@ -139,9 +139,17 @@ impl Palette {
     /// Assign semantic colors by state name, falling back to a cycling
     /// palette for unknown names.
     pub fn for_states(states: &StateRegistry) -> Self {
-        let mut colors = Vec::with_capacity(states.len());
+        Self::for_names(states.iter().map(|(_, name)| name))
+    }
+
+    /// Same assignment from bare names (the reply-rendering path, where no
+    /// registry exists — only [`OverviewReply::states`] name order).
+    ///
+    /// [`OverviewReply::states`]: ocelotl_core::query::OverviewReply
+    pub fn for_names<'a>(names: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut colors = Vec::new();
         let mut next_fallback = 0usize;
-        for (_, name) in states.iter() {
+        for name in names {
             if let Some((_, c)) = SEMANTIC.iter().find(|(n, _)| *n == name) {
                 colors.push(*c);
             } else {
@@ -157,43 +165,18 @@ impl Palette {
     pub fn color(&self, state: StateId) -> Color {
         self.colors[state.index()]
     }
-}
 
-/// The mode state of an aggregate and its display transparency.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Mode {
-    /// `argmax_x ρ_x`, `None` when every proportion is zero (idle area).
-    pub state: Option<StateId>,
-    /// `α = ρ_max / Σ_x ρ_x`; 0 for idle areas.
-    pub alpha: f64,
-    /// The winning proportion itself.
-    pub rho_max: f64,
-}
-
-/// Compute the mode of a set of per-state aggregated proportions (Eq. 1
-/// output), per §IV.
-pub fn mode(rhos: &[f64]) -> Mode {
-    let mut best: Option<(usize, f64)> = None;
-    let mut total = 0.0;
-    for (x, &r) in rhos.iter().enumerate() {
-        total += r;
-        if r > best.map_or(0.0, |(_, b)| b) {
-            best = Some((x, r));
-        }
-    }
-    match best {
-        Some((x, r)) if total > 0.0 => Mode {
-            state: Some(StateId(x as u16)),
-            alpha: r / total,
-            rho_max: r,
-        },
-        _ => Mode {
-            state: None,
-            alpha: 0.0,
-            rho_max: 0.0,
-        },
+    /// Color of a state by registry index.
+    #[inline]
+    pub fn color_at(&self, index: usize) -> Color {
+        self.colors[index]
     }
 }
+
+// The mode computation (argmax ρ + α confidence) moved to
+// `ocelotl-core::visual` together with the visual-aggregation pass; the
+// historical names keep working from here.
+pub use ocelotl_core::visual::{mode, Mode};
 
 /// How mode confidence is encoded into the final pixel color.
 ///

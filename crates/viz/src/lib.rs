@@ -7,9 +7,13 @@
 //! - rectangle layout of hierarchy-and-order-consistent partitions
 //!   ([`layout`]);
 //! - **visual aggregation** with diagonal/cross marks when the pixel budget
-//!   is exceeded ([`visual_agg`], criterion G1/G4);
+//!   is exceeded ([`visual_agg`], criterion G1/G4 — the pass itself lives
+//!   in `ocelotl-core::visual` so the query engine can run it);
 //! - SVG ([`svg`]) and terminal ([`ascii`]) renderers, composed end-to-end
-//!   by [`overview`];
+//!   by [`overview`]; both draw through the **reply renderers**
+//!   ([`reply`]), which consume a self-contained
+//!   `ocelotl_core::query::OverviewReply` — the same scene a remote
+//!   `ocelotl serve` answer carries;
 //! - the microscopic Gantt chart and its clutter metrics ([`gantt`]) that
 //!   reproduce the paper's Fig. 2 argument.
 
@@ -21,6 +25,7 @@ pub mod color;
 pub mod gantt;
 pub mod layout;
 pub mod overview;
+pub mod reply;
 pub mod report;
 pub mod svg;
 pub mod visual_agg;
@@ -30,6 +35,10 @@ pub use color::{confidence_color, mode, Color, ConfidenceEncoding, Mode, Palette
 pub use gantt::{clutter_metrics, render_gantt_svg, ClutterReport};
 pub use layout::{Layout, Rect};
 pub use overview::{overview, overview_with_partition, Overview, OverviewOptions};
-pub use report::{html_report, html_report_from_entries, LevelRow, ReportOptions};
+pub use reply::{overview_scene, render_reply_ascii, render_reply_svg};
+pub use report::{
+    html_report, html_report_from_entries, html_report_from_replies, pick_level_indices, LevelRow,
+    ReportOptions,
+};
 pub use svg::{render_svg, SvgOptions};
 pub use visual_agg::{visually_aggregate, Item, VisualAggregation, VisualMark};

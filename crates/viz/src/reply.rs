@@ -1,0 +1,371 @@
+//! Rendering straight from protocol replies.
+//!
+//! An [`OverviewReply`] is a complete drawable scene — leaf spans, state
+//! names, cluster bands and visual-aggregation marks all resolved by the
+//! query engine — so these renderers need no cube, no hierarchy and no
+//! trace. The legacy cube-based entry points (`render_svg`,
+//! `render_ascii`) delegate here through [`overview_scene`], which is what
+//! guarantees the direct CLI path, a warm cached run and `ocelotl serve`
+//! can never draw the same reply differently.
+
+use crate::ascii::assign_state_chars;
+use crate::color::Palette;
+use crate::layout::Layout;
+use crate::{AsciiOptions, SvgOptions};
+use ocelotl_core::query::OverviewReply;
+use ocelotl_core::visual::{Item, VisualAggregation, VisualMark};
+use ocelotl_core::QualityCube;
+use std::fmt::Write as _;
+
+const MARGIN_LEFT: f64 = 90.0;
+const MARGIN_TOP: f64 = 16.0;
+const MARGIN_BOTTOM: f64 = 34.0;
+const LEGEND_HEIGHT: f64 = 26.0;
+
+/// Build the drawable scene from an in-process cube and visual-aggregation
+/// items — the adapter the legacy renderers use to reach the one shared
+/// drawing path. `time_range` is carried into the reply for clients that
+/// label the x axis.
+///
+/// The underlying data-partition size is not recoverable from drawable
+/// items (visual aggregates absorb an unknown number of areas), so this
+/// adapter sets `n_areas` to the data-item count; the renderers never
+/// read it. Engine-built replies
+/// ([`OverviewReply::from_partition`](ocelotl_core::query::OverviewReply::from_partition))
+/// carry the true partition size — use those when `n_areas` matters
+/// (e.g. report headings).
+pub fn overview_scene<C: QualityCube>(
+    input: &C,
+    items: &[Item],
+    p: f64,
+    time_range: (f64, f64),
+) -> OverviewReply {
+    let n_data = items.iter().filter(|i| i.mark.is_none()).count();
+    let va = VisualAggregation {
+        items: items.to_vec(),
+        n_data,
+        n_visual: items.len() - n_data,
+    };
+    OverviewReply::from_visual(input, n_data, &va, p, time_range)
+}
+
+/// Render an overview reply as a standalone SVG document. Axis labels come
+/// from `opts.time_range` (pass `Some((reply.t_start, reply.t_end))` to
+/// label with the reply's own extent).
+pub fn render_reply_svg(reply: &OverviewReply, opts: &SvgOptions) -> String {
+    let palette = Palette::for_names(reply.states.iter().map(String::as_str));
+    // Defensive against malformed wire data: a reply is untrusted input
+    // once it crossed a socket, so degenerate dimensions clamp and
+    // out-of-range state indices render as idle instead of panicking.
+    let layout = Layout::new(
+        opts.width,
+        opts.height,
+        reply.n_leaves.max(1),
+        reply.n_slices.max(1),
+    );
+
+    let legend_h = if opts.legend { LEGEND_HEIGHT } else { 0.0 };
+    let total_w = opts.width + MARGIN_LEFT + 10.0;
+    let total_h = opts.height + MARGIN_TOP + MARGIN_BOTTOM + legend_h;
+
+    let mut s = String::with_capacity(reply.items.len() * 128 + 2048);
+    let _ = writeln!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w:.0}\" height=\"{total_h:.0}\" \
+         viewBox=\"0 0 {total_w:.0} {total_h:.0}\" font-family=\"sans-serif\" font-size=\"11\">"
+    );
+    let _ = writeln!(
+        s,
+        "<rect x=\"0\" y=\"0\" width=\"{total_w:.0}\" height=\"{total_h:.0}\" fill=\"white\"/>"
+    );
+    let _ = writeln!(s, "<g transform=\"translate({MARGIN_LEFT},{MARGIN_TOP})\">");
+
+    // Aggregates.
+    for item in &reply.items {
+        let r = layout.rect_of_cells(
+            item.leaf_start,
+            item.leaf_end,
+            item.first_slice,
+            item.last_slice + 1,
+        );
+        let state = item.state.filter(|&st| st < reply.states.len());
+        let (fill, opacity) = match state {
+            Some(st) => (palette.color_at(st).hex(), item.alpha),
+            None => ("#ffffff".to_string(), 1.0),
+        };
+        let stroke = if opts.borders {
+            " stroke=\"#00000033\" stroke-width=\"0.5\""
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{}\" fill-opacity=\"{:.3}\"{}>\
+             <title>{} [{}..{}] mode={} α={:.2}</title></rect>",
+            r.x0,
+            r.y0,
+            r.width(),
+            r.height(),
+            fill,
+            opacity,
+            stroke,
+            xml_escape(&item.path),
+            item.first_slice,
+            item.last_slice,
+            state
+                .map(|st| reply.states[st].clone())
+                .unwrap_or_else(|| "idle".into()),
+            item.alpha,
+        );
+        // Visual-aggregation marks (G4).
+        match item.mark {
+            Some(VisualMark::Diagonal) => {
+                let _ = writeln!(
+                    s,
+                    "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" stroke=\"#000000aa\" stroke-width=\"0.8\"/>",
+                    r.x0, r.y1, r.x1, r.y0
+                );
+            }
+            Some(VisualMark::Cross) => {
+                let _ = writeln!(
+                    s,
+                    "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" stroke=\"#000000aa\" stroke-width=\"0.8\"/>\
+                     <line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" stroke=\"#000000aa\" stroke-width=\"0.8\"/>",
+                    r.x0, r.y1, r.x1, r.y0, r.x0, r.y0, r.x1, r.y1
+                );
+            }
+            None => {}
+        }
+    }
+
+    // Cluster separators + labels on the y axis.
+    for cluster in &reply.clusters {
+        let y0 = cluster.leaf_start as f64 * layout.row_height();
+        let y1 = cluster.leaf_end as f64 * layout.row_height();
+        let _ = writeln!(
+            s,
+            "<line x1=\"0\" y1=\"{y0:.2}\" x2=\"{:.2}\" y2=\"{y0:.2}\" stroke=\"#000\" stroke-width=\"0.6\"/>",
+            opts.width
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"-8\" y=\"{:.2}\" text-anchor=\"end\" dominant-baseline=\"middle\">{}</text>",
+            0.5 * (y0 + y1),
+            xml_escape(&cluster.name)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "<rect x=\"0\" y=\"0\" width=\"{:.2}\" height=\"{:.2}\" fill=\"none\" stroke=\"#000\" stroke-width=\"1\"/>",
+        opts.width, opts.height
+    );
+
+    // X axis: time labels.
+    if let Some((lo, hi)) = opts.time_range {
+        for k in 0..=4 {
+            let f = k as f64 / 4.0;
+            let x = f * opts.width;
+            let t = lo + f * (hi - lo);
+            let _ = writeln!(
+                s,
+                "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{t:.1}s</text>",
+                opts.height + 16.0
+            );
+        }
+    }
+
+    // Legend.
+    if opts.legend {
+        let mut x = 0.0;
+        let y = opts.height + MARGIN_BOTTOM - 6.0;
+        for (id, name) in reply.states.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "<rect x=\"{x:.1}\" y=\"{:.1}\" width=\"12\" height=\"12\" fill=\"{}\"/>\
+                 <text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+                y,
+                palette.color_at(id).hex(),
+                x + 16.0,
+                y + 10.0,
+                xml_escape(name)
+            );
+            x += 16.0 + 8.0 * name.len() as f64 + 18.0;
+        }
+    }
+
+    s.push_str("</g>\n</svg>\n");
+    s
+}
+
+/// Render an overview reply as terminal text (plot + legend).
+pub fn render_reply_ascii(reply: &OverviewReply, opts: &AsciiOptions) -> String {
+    // Defensive against malformed wire data (see `render_reply_svg`).
+    let n_leaves = reply.n_leaves.max(1);
+    let n_slices = reply.n_slices.max(1);
+    let rows = opts.height.min(n_leaves).max(1);
+    let cols = opts.width.max(n_slices.min(opts.width));
+
+    // Paint each cell with the item covering its (leaf, slice).
+    let letters = assign_state_chars(reply.states.iter().map(String::as_str));
+    let mut grid = vec![b'.'; rows * cols];
+    for item in &reply.items {
+        let y0 = item.leaf_start * rows / n_leaves;
+        let y1 = ((item.leaf_end * rows).div_ceil(n_leaves)).min(rows);
+        let x0 = item.first_slice * cols / n_slices;
+        let x1 = ((item.last_slice + 1) * cols).div_ceil(n_slices).min(cols);
+        let ch = match item.state.filter(|&st| st < letters.len()) {
+            Some(st) => {
+                let initial = letters[st];
+                if item.alpha >= 0.5 {
+                    initial.to_ascii_uppercase()
+                } else {
+                    initial.to_ascii_lowercase()
+                }
+            }
+            None => b'.',
+        };
+        for y in y0..y1 {
+            for x in x0..x1 {
+                grid[y * cols + x] = ch;
+            }
+        }
+        // Mark overlay in the middle of the block.
+        if let Some(mark) = item.mark {
+            let (my, mx) = ((y0 + y1) / 2, (x0 + x1) / 2);
+            if my < rows && mx < cols {
+                grid[my * cols + mx] = match mark {
+                    VisualMark::Diagonal => b'/',
+                    VisualMark::Cross => b'x',
+                };
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 12) + 256);
+    // Cluster row labels (first row of each cluster band).
+    let mut row_label = vec![String::new(); rows];
+    for c in &reply.clusters {
+        let y = c.leaf_start * rows / n_leaves;
+        if y < rows && row_label[y].is_empty() {
+            row_label[y] = c.name.chars().take(8).collect();
+        }
+    }
+    for y in 0..rows {
+        let _ = write!(out, "{:>8} |", row_label[y]);
+        out.push_str(std::str::from_utf8(&grid[y * cols..(y + 1) * cols]).unwrap());
+        out.push_str("|\n");
+    }
+    // Legend.
+    let _ = write!(out, "{:>8} +", "");
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n  legend:");
+    for (id, name) in reply.states.iter().enumerate() {
+        let _ = write!(out, " {}={}", letters[id] as char, name);
+    }
+    out.push_str(" .=idle (lowercase = contested mode, /=uniform visual agg, x=mixed)\n");
+    out
+}
+
+pub(crate) fn xml_escape(t: &str) -> String {
+    t.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_core::query::{AnalysisReply, AnalysisRequest, QueryEngine};
+    use ocelotl_core::{AnalysisSession, OwnedSource, SessionConfig};
+    use ocelotl_trace::synthetic::fig3_model;
+
+    fn overview_via_engine(p: f64, min_rows: f64) -> OverviewReply {
+        let model = fig3_model();
+        let n_slices = model.n_slices();
+        let mut engine = QueryEngine::new(AnalysisSession::new(
+            OwnedSource::new(model, 1),
+            SessionConfig {
+                n_slices,
+                ..SessionConfig::default()
+            },
+        ));
+        match engine
+            .execute(&AnalysisRequest::RenderOverview {
+                p,
+                coarse: false,
+                min_rows,
+                level_resolution: None,
+            })
+            .unwrap()
+        {
+            AnalysisReply::Overview(o) => o,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_svg_is_wellformed_and_complete() {
+        let reply = overview_via_engine(0.4, 1.0);
+        let svg = render_reply_svg(
+            &reply,
+            &SvgOptions {
+                time_range: Some((reply.t_start, reply.t_end)),
+                ..SvgOptions::default()
+            },
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // items + background + frame + one legend swatch per state.
+        assert_eq!(
+            svg.matches("<rect").count(),
+            reply.items.len() + 2 + reply.states.len()
+        );
+        for c in &reply.clusters {
+            assert!(svg.contains(&c.name), "missing cluster label {}", c.name);
+        }
+        assert!(svg.contains("0.0s") && svg.contains("20.0s"), "time labels");
+    }
+
+    #[test]
+    fn reply_ascii_matches_geometry() {
+        let reply = overview_via_engine(0.4, 1.0);
+        let out = render_reply_ascii(
+            &reply,
+            &AsciiOptions {
+                width: 40,
+                height: 12,
+            },
+        );
+        let plot_lines: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains('|') && !l.contains('+'))
+            .collect();
+        assert_eq!(plot_lines.len(), 12);
+        for l in &plot_lines {
+            assert_eq!(l.split('|').nth(1).unwrap().len(), 40);
+        }
+        assert!(out.contains("legend:"));
+    }
+
+    #[test]
+    fn legacy_and_reply_paths_emit_identical_bytes() {
+        // The legacy cube-based renderer and the reply renderer must be the
+        // same code path end to end.
+        use ocelotl_core::{aggregate_default, AggregationInput};
+        let m = fig3_model();
+        let input = AggregationInput::build(&m);
+        let part = aggregate_default(&input, 0.4).partition(&input);
+        let va = ocelotl_core::visually_aggregate(&input, &part, 1.0);
+        let opts = SvgOptions {
+            time_range: Some((0.0, 20.0)),
+            ..SvgOptions::default()
+        };
+        let legacy = crate::svg::render_svg(&input, &va.items, &opts);
+        let scene = overview_scene(&input, &va.items, 0.4, (0.0, 20.0));
+        assert_eq!(legacy, render_reply_svg(&scene, &opts));
+
+        let aopts = AsciiOptions::default();
+        let legacy_ascii = crate::ascii::render_ascii(&input, &va.items, &aopts);
+        assert_eq!(legacy_ascii, render_reply_ascii(&scene, &aopts));
+    }
+}

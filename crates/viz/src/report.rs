@@ -3,6 +3,9 @@
 //! per-aggregate summary table — the static counterpart of the Ocelotl UI.
 
 use crate::overview::{overview_with_partition, OverviewOptions};
+use crate::reply::render_reply_svg;
+use crate::svg::SvgOptions;
+use ocelotl_core::query::{DescribeReply, OverviewReply, SignificantReply};
 use ocelotl_core::{quality, significant_partitions, DpConfig, PEntry, QualityCube};
 use std::fmt::Write as _;
 
@@ -82,6 +85,97 @@ pub fn html_report_from_entries<C: QualityCube>(
         })
         .collect();
 
+    // Rendered overviews at a spread of levels. Each level's partition is
+    // already in its entry (the optimum is constant across the stability
+    // interval), so no DP re-run is needed to draw it.
+    let sections: Vec<(f64, usize, usize, String)> = pick_levels(entries, opts.rendered_levels)
+        .into_iter()
+        .map(|e| {
+            let p = 0.5 * (e.p_low + e.p_high);
+            let ov = overview_with_partition(
+                input,
+                e.partition.clone(),
+                OverviewOptions {
+                    p,
+                    width: opts.width,
+                    height: opts.height,
+                    time_range: opts.time_range,
+                    ..OverviewOptions::default()
+                },
+            );
+            (p, ov.partition.len(), ov.visual.n_visual, ov.to_svg(input))
+        })
+        .collect();
+
+    report_body(
+        (
+            input.hierarchy().n_leaves(),
+            input.n_slices(),
+            input.n_states(),
+        ),
+        &rows,
+        &sections,
+        opts,
+    )
+}
+
+/// Generate the report purely from protocol replies — the thin-client
+/// path: a `Describe`, one `Significant` and one `RenderOverview` per
+/// displayed level are all it takes, no cube access anywhere. The CLI's
+/// `report` command and any remote client share this body with
+/// [`html_report_from_entries`], so the two paths cannot drift.
+pub fn html_report_from_replies(
+    describe: &DescribeReply,
+    significant: &SignificantReply,
+    overviews: &[OverviewReply],
+    opts: &ReportOptions,
+) -> String {
+    let rows: Vec<LevelRow> = significant
+        .levels
+        .iter()
+        .map(|l| LevelRow {
+            p_low: l.p_low,
+            p_high: l.p_high,
+            n_areas: l.n_areas,
+            loss_ratio: l.loss_ratio,
+            complexity_reduction: l.complexity_reduction,
+        })
+        .collect();
+    let sections: Vec<(f64, usize, usize, String)> = overviews
+        .iter()
+        .map(|ov| {
+            let svg = render_reply_svg(
+                ov,
+                &SvgOptions {
+                    width: opts.width,
+                    height: opts.height,
+                    time_range: opts.time_range,
+                    ..SvgOptions::default()
+                },
+            );
+            (ov.p, ov.n_areas, ov.n_visual, svg)
+        })
+        .collect();
+    report_body(
+        (
+            describe.shape.n_leaves,
+            describe.shape.n_slices,
+            describe.shape.n_states,
+        ),
+        &rows,
+        &sections,
+        opts,
+    )
+}
+
+/// The shared HTML body: header, quality curve, level table, overview
+/// sections.
+fn report_body(
+    (n_leaves, n_slices, n_states): (usize, usize, usize),
+    rows: &[LevelRow],
+    sections: &[(f64, usize, usize, String)],
+    opts: &ReportOptions,
+) -> String {
     let mut html = String::with_capacity(1 << 16);
     let _ = write!(
         html,
@@ -95,23 +189,20 @@ pub fn html_report_from_entries<C: QualityCube>(
     );
     let _ = writeln!(
         html,
-        "<p>|S| = {} resources · |T| = {} slices · |X| = {} states · {} significant aggregation levels</p>",
-        input.hierarchy().n_leaves(),
-        input.n_slices(),
-        input.n_states(),
-        entries.len()
+        "<p>|S| = {n_leaves} resources · |T| = {n_slices} slices · |X| = {n_states} states · {} significant aggregation levels</p>",
+        rows.len()
     );
 
     // Quality curve: loss ratio and complexity reduction vs p.
     html.push_str("<h2>Quality trade-off (criterion G5)</h2>\n");
-    html.push_str(&quality_curve_svg(&rows));
+    html.push_str(&quality_curve_svg(rows));
 
     // Level table.
     html.push_str(
         "<h2>Significant levels</h2>\n<table><tr><th>p range</th><th>aggregates</th>\
          <th>loss ratio</th><th>complexity reduction</th></tr>\n",
     );
-    for r in &rows {
+    for r in rows {
         let _ = writeln!(
             html,
             "<tr><td>[{:.3}, {:.3}]</td><td>{}</td><td>{:.3}</td><td>{:.1} %</td></tr>",
@@ -124,30 +215,11 @@ pub fn html_report_from_entries<C: QualityCube>(
     }
     html.push_str("</table>\n");
 
-    // Rendered overviews at a spread of levels. Each level's partition is
-    // already in its entry (the optimum is constant across the stability
-    // interval), so no DP re-run is needed to draw it.
     html.push_str("<h2>Overviews</h2>\n");
-    for e in pick_levels(entries, opts.rendered_levels) {
-        let p = 0.5 * (e.p_low + e.p_high);
-        let ov = overview_with_partition(
-            input,
-            e.partition.clone(),
-            OverviewOptions {
-                p,
-                width: opts.width,
-                height: opts.height,
-                time_range: opts.time_range,
-                ..OverviewOptions::default()
-            },
-        );
+    for (p, n_areas, n_visual, svg) in sections {
         let _ = writeln!(
             html,
-            "<h3>p ≈ {:.3} — {} aggregates ({} visual)</h3>\n{}",
-            p,
-            ov.partition.len(),
-            ov.visual.n_visual,
-            ov.to_svg(input)
+            "<h3>p ≈ {p:.3} — {n_areas} aggregates ({n_visual} visual)</h3>\n{svg}"
         );
     }
 
@@ -157,14 +229,25 @@ pub fn html_report_from_entries<C: QualityCube>(
 
 /// Pick `n` levels spread across the list (always includes first/last).
 fn pick_levels(entries: &[PEntry], n: usize) -> Vec<&PEntry> {
-    if entries.is_empty() || n == 0 {
+    pick_level_indices(entries.len(), n)
+        .into_iter()
+        .map(|i| &entries[i])
+        .collect()
+}
+
+/// Which of `n_levels` significant levels to display when only `n` fit,
+/// spread across the slider range (always includes first/last). Exposed so
+/// protocol clients pick the same representative levels the in-process
+/// report does.
+pub fn pick_level_indices(n_levels: usize, n: usize) -> Vec<usize> {
+    if n_levels == 0 || n == 0 {
         return Vec::new();
     }
-    if entries.len() <= n {
-        return entries.iter().collect();
+    if n_levels <= n {
+        return (0..n_levels).collect();
     }
     (0..n)
-        .map(|k| &entries[k * (entries.len() - 1) / (n - 1).max(1)])
+        .map(|k| k * (n_levels - 1) / (n - 1).max(1))
         .collect()
 }
 

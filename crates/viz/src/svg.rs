@@ -1,11 +1,12 @@
 //! SVG rendering of the aggregated overview (the paper's Fig. 1/3/4 style).
+//!
+//! The drawing itself lives in [`crate::reply`] (it reads an
+//! [`OverviewReply`](ocelotl_core::query::OverviewReply) scene); this
+//! module keeps the cube-based entry point and its options.
 
-use crate::color::Palette;
-use crate::layout::Layout;
-use crate::visual_agg::{Item, VisualMark};
+use crate::reply::{overview_scene, render_reply_svg};
+use crate::visual_agg::Item;
 use ocelotl_core::QualityCube;
-
-use std::fmt::Write as _;
 
 /// Rendering options.
 #[derive(Debug, Clone)]
@@ -34,151 +35,12 @@ impl Default for SvgOptions {
     }
 }
 
-const MARGIN_LEFT: f64 = 90.0;
-const MARGIN_TOP: f64 = 16.0;
-const MARGIN_BOTTOM: f64 = 34.0;
-const LEGEND_HEIGHT: f64 = 26.0;
-
-/// Render items (from `visually_aggregate`) as a standalone SVG document.
+/// Render items (from `visually_aggregate`) as a standalone SVG document —
+/// the legacy cube-based path, delegating to the reply renderer so
+/// in-process and protocol clients draw identically.
 pub fn render_svg<C: QualityCube>(input: &C, items: &[Item], opts: &SvgOptions) -> String {
-    let h = input.hierarchy();
-    let palette = Palette::for_states(input.states());
-    let layout = Layout::new(opts.width, opts.height, h.n_leaves(), input.n_slices());
-
-    let legend_h = if opts.legend { LEGEND_HEIGHT } else { 0.0 };
-    let total_w = opts.width + MARGIN_LEFT + 10.0;
-    let total_h = opts.height + MARGIN_TOP + MARGIN_BOTTOM + legend_h;
-
-    let mut s = String::with_capacity(items.len() * 128 + 2048);
-    let _ = writeln!(
-        s,
-        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w:.0}\" height=\"{total_h:.0}\" \
-         viewBox=\"0 0 {total_w:.0} {total_h:.0}\" font-family=\"sans-serif\" font-size=\"11\">"
-    );
-    let _ = writeln!(
-        s,
-        "<rect x=\"0\" y=\"0\" width=\"{total_w:.0}\" height=\"{total_h:.0}\" fill=\"white\"/>"
-    );
-    let _ = writeln!(s, "<g transform=\"translate({MARGIN_LEFT},{MARGIN_TOP})\">");
-
-    // Aggregates.
-    for item in items {
-        let area = ocelotl_core::Area::new(item.node, item.first_slice, item.last_slice);
-        let r = layout.rect_of(h, &area);
-        let (fill, opacity) = match item.mode.state {
-            Some(st) => (palette.color(st).hex(), item.mode.alpha),
-            None => ("#ffffff".to_string(), 1.0),
-        };
-        let stroke = if opts.borders {
-            " stroke=\"#00000033\" stroke-width=\"0.5\""
-        } else {
-            ""
-        };
-        let _ = writeln!(
-            s,
-            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{}\" fill-opacity=\"{:.3}\"{}>\
-             <title>{} [{}..{}] mode={} α={:.2}</title></rect>",
-            r.x0,
-            r.y0,
-            r.width(),
-            r.height(),
-            fill,
-            opacity,
-            stroke,
-            xml_escape(&h.path(item.node)),
-            item.first_slice,
-            item.last_slice,
-            item.mode
-                .state
-                .map(|st| input.states().name(st).to_string())
-                .unwrap_or_else(|| "idle".into()),
-            item.mode.alpha,
-        );
-        // Visual-aggregation marks (G4).
-        match item.mark {
-            Some(VisualMark::Diagonal) => {
-                let _ = writeln!(
-                    s,
-                    "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" stroke=\"#000000aa\" stroke-width=\"0.8\"/>",
-                    r.x0, r.y1, r.x1, r.y0
-                );
-            }
-            Some(VisualMark::Cross) => {
-                let _ = writeln!(
-                    s,
-                    "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" stroke=\"#000000aa\" stroke-width=\"0.8\"/>\
-                     <line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" stroke=\"#000000aa\" stroke-width=\"0.8\"/>",
-                    r.x0, r.y1, r.x1, r.y0, r.x0, r.y0, r.x1, r.y1
-                );
-            }
-            None => {}
-        }
-    }
-
-    // Cluster separators + labels on the y axis.
-    for &cluster in h.top_level() {
-        let range = h.leaf_range(cluster);
-        let y0 = range.start as f64 * layout.row_height();
-        let y1 = range.end as f64 * layout.row_height();
-        let _ = writeln!(
-            s,
-            "<line x1=\"0\" y1=\"{y0:.2}\" x2=\"{:.2}\" y2=\"{y0:.2}\" stroke=\"#000\" stroke-width=\"0.6\"/>",
-            opts.width
-        );
-        let _ = writeln!(
-            s,
-            "<text x=\"-8\" y=\"{:.2}\" text-anchor=\"end\" dominant-baseline=\"middle\">{}</text>",
-            0.5 * (y0 + y1),
-            xml_escape(h.name(cluster))
-        );
-    }
-    let _ = writeln!(
-        s,
-        "<rect x=\"0\" y=\"0\" width=\"{:.2}\" height=\"{:.2}\" fill=\"none\" stroke=\"#000\" stroke-width=\"1\"/>",
-        opts.width, opts.height
-    );
-
-    // X axis: time labels.
-    if let Some((lo, hi)) = opts.time_range {
-        for k in 0..=4 {
-            let f = k as f64 / 4.0;
-            let x = f * opts.width;
-            let t = lo + f * (hi - lo);
-            let _ = writeln!(
-                s,
-                "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{t:.1}s</text>",
-                opts.height + 16.0
-            );
-        }
-    }
-
-    // Legend.
-    if opts.legend {
-        let mut x = 0.0;
-        let y = opts.height + MARGIN_BOTTOM - 6.0;
-        for (id, name) in input.states().iter() {
-            let _ = writeln!(
-                s,
-                "<rect x=\"{x:.1}\" y=\"{:.1}\" width=\"12\" height=\"12\" fill=\"{}\"/>\
-                 <text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
-                y,
-                palette.color(id).hex(),
-                x + 16.0,
-                y + 10.0,
-                xml_escape(name)
-            );
-            x += 16.0 + 8.0 * name.len() as f64 + 18.0;
-        }
-    }
-
-    s.push_str("</g>\n</svg>\n");
-    s
-}
-
-fn xml_escape(t: &str) -> String {
-    t.replace('&', "&amp;")
-        .replace('<', "&lt;")
-        .replace('>', "&gt;")
+    let scene = overview_scene(input, items, 0.0, opts.time_range.unwrap_or((0.0, 0.0)));
+    render_reply_svg(&scene, opts)
 }
 
 #[cfg(test)]

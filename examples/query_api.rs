@@ -1,0 +1,115 @@
+//! The public query API in one tour: build an `AnalysisSession`, wrap it
+//! in a `QueryEngine`, and drive the whole analysis surface through typed
+//! `AnalysisRequest`/`AnalysisReply` values — the same protocol the CLI's
+//! analysis commands and `ocelotl serve` speak. The JSON lines printed at
+//! the end are byte-identical to what a server would answer.
+//!
+//! Run with: `cargo run --release --example query_api`
+
+use ocelotl::prelude::*;
+use ocelotl::query::{AnalysisReply, AnalysisRequest, QueryEngine};
+
+fn main() {
+    // A small Table II case-A run, sliced into the paper's 30 periods.
+    let scenario = ocelotl::mpisim::scenario(CaseId::A, 0.004);
+    let (trace, _stats) = scenario.run(42);
+    let model = MicroModel::from_trace(&trace, 30).expect("non-empty trace");
+    let fingerprint = ocelotl::format::hash_trace(&trace).expect("fingerprint");
+
+    let session = AnalysisSession::new(
+        OwnedSource::new(model, fingerprint),
+        SessionConfig {
+            n_slices: 30,
+            ..SessionConfig::default()
+        },
+    );
+    let mut engine = QueryEngine::new(session);
+
+    // 1. Shape of the analyzed model.
+    let AnalysisReply::Describe(d) = engine.execute(&AnalysisRequest::Describe).unwrap() else {
+        unreachable!()
+    };
+    println!(
+        "model: {} resources x {} slices x {} states ({} backend)",
+        d.shape.n_leaves, d.shape.n_slices, d.shape.n_states, d.backend
+    );
+
+    // 2. The optimal partition at p = 0.5, with the §III.D baselines.
+    let AnalysisReply::Aggregate(agg) = engine
+        .execute(&AnalysisRequest::Aggregate {
+            p: 0.5,
+            coarse: false,
+            compare: true,
+            diff_p: None,
+        })
+        .unwrap()
+    else {
+        unreachable!()
+    };
+    println!(
+        "p = 0.5: {} aggregates (of {} cells), pIC = {:.4}",
+        agg.summary.n_areas, agg.summary.n_cells, agg.summary.pic
+    );
+    for b in &agg.baselines {
+        println!(
+            "  {:<28} {:>6} areas  pIC {:>10.4}",
+            b.name, b.n_areas, b.pic
+        );
+    }
+
+    // 3. The significant trade-off levels (the slider stops).
+    let AnalysisReply::Significant(sig) = engine
+        .execute(&AnalysisRequest::Significant { resolution: 1e-2 })
+        .unwrap()
+    else {
+        unreachable!()
+    };
+    println!("{} significant levels:", sig.levels.len());
+    for l in &sig.levels {
+        println!(
+            "  p in [{:.3}, {:.3}] -> {} areas ({:.0} % reduction)",
+            l.p_low,
+            l.p_high,
+            l.n_areas,
+            100.0 * l.complexity_reduction
+        );
+    }
+
+    // 4. A drawable overview reply, rendered without any cube access —
+    //    exactly what a remote client does with a server answer.
+    let AnalysisReply::Overview(ov) = engine
+        .execute(&AnalysisRequest::RenderOverview {
+            p: 0.5,
+            coarse: false,
+            min_rows: 2.0 / (480.0 / d.shape.n_leaves as f64),
+            level_resolution: None,
+        })
+        .unwrap()
+    else {
+        unreachable!()
+    };
+    println!(
+        "overview: {} drawable items ({} data + {} visual)",
+        ov.items.len(),
+        ov.n_data,
+        ov.n_visual
+    );
+    let ascii = ocelotl::viz::render_reply_ascii(
+        &ov,
+        &ocelotl::viz::AsciiOptions {
+            width: 72,
+            height: 12,
+        },
+    );
+    print!("{ascii}");
+
+    // 5. Every reply has one canonical wire form (line-delimited JSON) —
+    //    decode(encode(x)) == x, and equal replies give equal bytes.
+    let reply = AnalysisReply::Significant(sig);
+    let line = ocelotl::format::encode_reply(&Ok(reply.clone()));
+    assert_eq!(
+        ocelotl::format::decode_reply(&line).unwrap().unwrap(),
+        reply
+    );
+    println!("\nwire form of the significant-levels reply:\n{line}");
+}

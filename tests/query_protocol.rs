@@ -1,0 +1,234 @@
+//! The query protocol end to end: property-based round-trips of requests
+//! and replies through the JSON codec, malformed-request error paths, and
+//! engine/codec agreement over real analyses — all through the public
+//! `ocelotl` facade.
+
+use ocelotl::format::{decode_reply, decode_request, encode_reply, encode_request};
+use ocelotl::prelude::*;
+use ocelotl::query::{
+    AnalysisReply, AnalysisRequest, AreaRow, ClusterReply, InspectReply, OverviewItem,
+    OverviewReply, QueryError,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Any request kind with randomized parameters (not necessarily *valid*
+/// analysis parameters — the codec must carry them either way).
+fn arb_request() -> impl Strategy<Value = AnalysisRequest> {
+    (
+        0usize..8,
+        (-1f64..2.0, -1f64..2.0, 0f64..8.0),
+        0usize..2,
+        0usize..40,
+        (0usize..64, 0usize..64),
+        0usize..4,
+    )
+        .prop_map(
+            |(kind, (p, res, min_rows), coarse, steps, (leaf, slice), flags)| {
+                let coarse = coarse == 1;
+                match kind {
+                    0 => AnalysisRequest::Describe,
+                    1 => AnalysisRequest::Aggregate {
+                        p,
+                        coarse,
+                        compare: flags % 2 == 1,
+                        diff_p: if flags >= 2 { Some(res) } else { None },
+                    },
+                    2 => AnalysisRequest::Significant { resolution: res },
+                    3 => AnalysisRequest::Sweep {
+                        resolution: res,
+                        steps,
+                    },
+                    4 => AnalysisRequest::PValues { resolution: res },
+                    5 => AnalysisRequest::Inspect {
+                        leaf,
+                        slice,
+                        p,
+                        coarse,
+                    },
+                    6 => AnalysisRequest::RenderOverview {
+                        p,
+                        coarse,
+                        min_rows,
+                        level_resolution: if flags >= 2 { Some(res) } else { None },
+                    },
+                    _ => AnalysisRequest::Stats,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip_through_json(req in arb_request()) {
+        let line = encode_request(&req);
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(decode_request(&line).unwrap(), req);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reply round-trips over real engine answers
+// ---------------------------------------------------------------------------
+
+fn engine_over_random_model(seed: u64) -> QueryEngine {
+    use ocelotl::trace::synthetic::random_model;
+    let model = random_model(&[3, 2, 2], 11, 3, seed);
+    let n_slices = model.n_slices();
+    QueryEngine::new(AnalysisSession::new(
+        OwnedSource::new(model, seed),
+        SessionConfig {
+            n_slices,
+            ..SessionConfig::default()
+        },
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn live_replies_round_trip_byte_exactly(seed in 1u64..500, p in 0f64..1.0) {
+        let mut engine = engine_over_random_model(seed);
+        let requests = [
+            AnalysisRequest::Describe,
+            AnalysisRequest::Aggregate { p, coarse: false, compare: true, diff_p: Some(1.0 - p) },
+            AnalysisRequest::Significant { resolution: 5e-2 },
+            AnalysisRequest::Sweep { resolution: 5e-2, steps: 3 },
+            AnalysisRequest::PValues { resolution: 5e-2 },
+            AnalysisRequest::Inspect { leaf: 0, slice: 0, p, coarse: false },
+            AnalysisRequest::RenderOverview {
+                p,
+                coarse: false,
+                min_rows: 2.0,
+                level_resolution: None,
+            },
+        ];
+        for req in &requests {
+            let reply = engine.execute(req).unwrap();
+            let line = encode_reply(&Ok(reply.clone()));
+            prop_assert!(!line.contains('\n'), "one line per reply");
+            let back = decode_reply(&line).unwrap().unwrap();
+            prop_assert_eq!(&back, &reply, "decode(encode(x)) == x for {}", req.kind());
+            // Encoding is deterministic: equal replies, equal bytes.
+            prop_assert_eq!(&encode_reply(&Ok(back)), &line);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-value replies (unicode names, empty collections, extreme floats)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn edge_value_replies_survive_the_codec() {
+    let area = AreaRow {
+        path: "site/cpu∈[0.00,0.25)/\"quoted\"\\back\nnewline".into(),
+        first_slice: 0,
+        last_slice: usize::MAX >> 16,
+        t0: -0.0,
+        t1: 1e300,
+        n_resources: 1,
+        mode: None,
+        confidence: f64::MIN_POSITIVE,
+        gain: -1e-308,
+        loss: 0.1 + 0.2,
+    };
+    let reply = AnalysisReply::Inspect(InspectReply {
+        leaf: 0,
+        slice: 0,
+        p: 0.30000000000000004,
+        coarse: true,
+        area,
+        n_slices_spanned: 3,
+        proportions: vec![("é😀".into(), 0.25), ("tab\there".into(), 1e-17)],
+    });
+    let line = encode_reply(&Ok(reply.clone()));
+    assert_eq!(decode_reply(&line).unwrap().unwrap(), reply);
+
+    // An overview with no items/clusters and an idle state still carries.
+    let reply = AnalysisReply::Overview(OverviewReply {
+        p: 0.5,
+        n_areas: 0,
+        n_data: 0,
+        n_visual: 0,
+        n_leaves: 1,
+        n_slices: 1,
+        t_start: 0.0,
+        t_end: 0.0,
+        states: vec![],
+        clusters: vec![ClusterReply {
+            name: String::new(),
+            leaf_start: 0,
+            leaf_end: 1,
+        }],
+        items: vec![OverviewItem {
+            path: "r".into(),
+            leaf_start: 0,
+            leaf_end: 1,
+            first_slice: 0,
+            last_slice: 0,
+            state: None,
+            alpha: 0.0,
+            mark: None,
+        }],
+    });
+    let line = encode_reply(&Ok(reply.clone()));
+    assert_eq!(decode_reply(&line).unwrap().unwrap(), reply);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed requests and error replies
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_requests_are_protocol_errors() {
+    for line in [
+        "",
+        "garbage",
+        "{\"v\":1}",
+        "{\"v\":2,\"request\":{\"kind\":\"stats\"}}",
+        "{\"v\":1,\"request\":{\"kind\":\"teleport\"}}",
+        "{\"v\":1,\"request\":{\"kind\":\"sweep\",\"resolution\":0.1}}",
+        "{\"v\":1,\"request\":{\"kind\":\"aggregate\",\"p\":\"x\",\"coarse\":false,\"compare\":false,\"diff_p\":null}}",
+    ] {
+        assert!(
+            matches!(decode_request(line), Err(QueryError::Protocol(_))),
+            "{line:?}"
+        );
+    }
+}
+
+#[test]
+fn every_error_kind_round_trips() {
+    for err in [
+        QueryError::InvalidRequest("p out of range".into()),
+        QueryError::Source("no such file".into()),
+        QueryError::Unsupported("no telemetry".into()),
+        QueryError::Protocol("bad envelope".into()),
+    ] {
+        let line = encode_reply(&Err(err.clone()));
+        assert_eq!(decode_reply(&line).unwrap(), Err(err));
+    }
+}
+
+#[test]
+fn engine_rejections_serialize_like_any_reply() {
+    let mut engine = engine_over_random_model(7);
+    let err = engine
+        .execute(&AnalysisRequest::Aggregate {
+            p: 2.0,
+            coarse: false,
+            compare: false,
+            diff_p: None,
+        })
+        .unwrap_err();
+    let line = encode_reply(&Err(err));
+    let back = decode_reply(&line).unwrap();
+    assert!(matches!(back, Err(QueryError::InvalidRequest(_))), "{line}");
+}

@@ -58,6 +58,7 @@ fn session_for(
             n_slices,
             metric: Metric::States,
             memory: MemoryMode::Auto,
+            ..SessionConfig::default()
         },
     )
     .with_store(store)
@@ -289,6 +290,7 @@ fn memory_store_gives_in_process_warmth() {
         n_slices: 16,
         metric: Metric::States,
         memory: MemoryMode::Auto,
+        ..SessionConfig::default()
     };
     let mut a =
         AnalysisSession::new(OwnedSource::new(model.clone(), 5), config).with_store(store.clone());
