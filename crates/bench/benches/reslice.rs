@@ -1,0 +1,162 @@
+//! Incremental re-slicing vs cold re-ingestion: the wall-clock economy of
+//! the `HiResModel` resident intermediate.
+//!
+//! For each target event count (default 10⁶; set
+//! `OCELOTL_RESLICE_EVENTS=100000,1000000,10000000` to change) the bench
+//!
+//! 1. generates a Table II case-A trace with the streamed writer;
+//! 2. pays the **cold** pipeline once: `read_hi_res` (one disk pass into
+//!    the super-resolution array) + `derive(30)`;
+//! 3. re-slices to 60 **from the resident model** (pure in-memory
+//!    rebinning — what a warm `--slices` change costs);
+//! 4. re-ingests at 60 from disk (what the same change cost before this
+//!    pipeline existed) and checks the two 60-slice models are
+//!    bit-identical.
+//!
+//! The acceptance bar: at ≥10⁶ events the warm re-slice is ≥10× faster
+//! than the cold re-ingest. Results go to stdout (`BENCH {...}` lines)
+//! and to `BENCH_reslice.json` (path override: `BENCH_RESLICE_JSON`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocelotl::core::{HiResModel, Metric};
+use ocelotl::format::read_hi_res;
+use ocelotl::mpisim::{scenario_with_events, CaseId};
+use ocelotl::prelude::*;
+use ocelotl::trace::ModelKind;
+use ocelotl_bench::scratch;
+use std::time::Instant;
+
+const BASE_SLICES: usize = 30;
+const RESLICE_TO: usize = 60;
+
+fn sizes() -> Vec<u64> {
+    match std::env::var("OCELOTL_RESLICE_EVENTS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![1_000_000],
+    }
+}
+
+fn assert_bit_identical(a: &MicroModel, b: &MicroModel) {
+    assert_eq!(a.n_slices(), b.n_slices());
+    assert_eq!(a.n_leaves(), b.n_leaves());
+    assert_eq!(a.n_states(), b.n_states());
+    for l in 0..a.n_leaves() {
+        for x in 0..a.n_states() {
+            let (l, x) = (LeafId(l as u32), StateId(x as u16));
+            for t in 0..a.n_slices() {
+                assert_eq!(
+                    a.duration(l, x, t).to_bits(),
+                    b.duration(l, x, t).to_bits(),
+                    "reslice must be bit-identical to re-ingest"
+                );
+            }
+        }
+    }
+}
+
+struct Point {
+    target: u64,
+    events: u64,
+    hi_slices: usize,
+    cold_ms: f64,
+    reslice_ms: f64,
+    reingest_ms: f64,
+    resident_bytes: u64,
+}
+
+fn bench_reslice(_c: &mut Criterion) {
+    let mut points = Vec::new();
+    println!(
+        "{:>12} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "target", "events", "hi slices", "cold", "reslice", "re-ingest", "speedup"
+    );
+    for target in sizes() {
+        let sc = scenario_with_events(CaseId::A, target);
+        let path = scratch(&format!("reslice_{target}.btf"));
+        sc.run_to_file(&path, 42).expect("streamed generation");
+
+        // Cold pipeline: one disk pass into the hi-res array + derive.
+        let t0 = Instant::now();
+        let report = read_hi_res(&path, BASE_SLICES, ModelKind::States).expect("hi-res ingest");
+        let hi = HiResModel::new(Metric::States, report.model);
+        let _m30 = hi.derive(BASE_SLICES).expect("derive base");
+        let cold = t0.elapsed();
+        let events = report.intervals * 2 + report.points;
+
+        // Warm --slices change: pure in-memory rebinning.
+        let t1 = Instant::now();
+        let m60 = hi.derive(RESLICE_TO).expect("warm reslice");
+        let reslice = t1.elapsed();
+
+        // The pre-hi-res cost of the same change: another full disk pass.
+        let t2 = Instant::now();
+        let again = read_hi_res(&path, RESLICE_TO, ModelKind::States).expect("re-ingest");
+        let m60_fresh = HiResModel::new(Metric::States, again.model)
+            .derive(RESLICE_TO)
+            .expect("derive fresh");
+        let reingest = t2.elapsed();
+
+        assert_bit_identical(&m60, &m60_fresh);
+
+        let speedup = reingest.as_secs_f64() / reslice.as_secs_f64().max(1e-9);
+        println!(
+            "{:>12} {:>12} {:>10} {:>9.1} ms {:>9.2} ms {:>9.1} ms {:>9.1}x",
+            target,
+            events,
+            hi.n_slices(),
+            cold.as_secs_f64() * 1e3,
+            reslice.as_secs_f64() * 1e3,
+            reingest.as_secs_f64() * 1e3,
+            speedup,
+        );
+        if events >= 1_000_000 {
+            assert!(
+                speedup >= 10.0,
+                "re-slice must be >=10x faster than re-ingest at >=1e6 events (got {speedup:.1}x)"
+            );
+        }
+        points.push(Point {
+            target,
+            events,
+            hi_slices: hi.n_slices(),
+            cold_ms: cold.as_secs_f64() * 1e3,
+            reslice_ms: reslice.as_secs_f64() * 1e3,
+            reingest_ms: reingest.as_secs_f64() * 1e3,
+            resident_bytes: hi.memory_bytes(),
+        });
+        std::fs::remove_file(&path).ok();
+    }
+
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"bench\":\"reslice\",\"target_events\":{},\"events\":{},\
+                 \"hi_slices\":{},\"cold_ingest_ms\":{:.3},\"reslice_ms\":{:.3},\
+                 \"reingest_ms\":{:.3},\"speedup\":{:.2},\"resident_bytes\":{}}}",
+                p.target,
+                p.events,
+                p.hi_slices,
+                p.cold_ms,
+                p.reslice_ms,
+                p.reingest_ms,
+                p.reingest_ms / p.reslice_ms.max(1e-6),
+                p.resident_bytes,
+            )
+        })
+        .collect();
+    for e in &entries {
+        println!("BENCH {e}");
+    }
+    let json_path =
+        std::env::var("BENCH_RESLICE_JSON").unwrap_or_else(|_| "BENCH_reslice.json".into());
+    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
+    if let Err(e) = std::fs::write(&json_path, json) {
+        eprintln!("could not write {json_path}: {e}");
+    } else {
+        println!("wrote {json_path}");
+    }
+}
+
+criterion_group!(benches, bench_reslice);
+criterion_main!(benches);

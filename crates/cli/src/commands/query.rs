@@ -18,7 +18,7 @@ reply. <addr> is host:port (TCP) or unix:/path/to.sock; <trace> is the
 trace path as visible to the *server*; <kind> is one of:
 
     describe | aggregate | significant | sweep | pvalues | inspect |
-    render-overview | stats
+    render-overview | stats | reslice
 
 OPTIONS (per kind, matching the direct commands):
     --slices N --metric M --memory M          session parameters
@@ -27,6 +27,7 @@ OPTIONS (per kind, matching the direct commands):
     --steps N                                 sweep
     --leaf N --slice K --p F                  inspect
     --p F --min-rows F                        render-overview
+    --to N [--t0 F --t1 F]                    reslice (new |T|, opt. window)
     --json                                    print the raw reply line
 ";
 
@@ -92,6 +93,9 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "leaf",
         "slice",
         "min-rows",
+        "to",
+        "t0",
+        "t1",
     ];
     known.extend(SESSION_OPTS);
     args.expect_known(&known)?;

@@ -70,8 +70,11 @@ impl Default for ServeOptions {
 }
 
 /// One warm engine keyed by trace identity and session parameters.
+/// `n_slices` is deliberately **not** part of the key: a `--slices`
+/// change re-slices the pooled session's resident hi-res model in memory
+/// instead of admitting (and cold-ingesting) a separate session.
 struct PoolEntry {
-    key: (PathBuf, usize, &'static str, &'static str),
+    key: (PathBuf, &'static str, &'static str),
     /// `(mtime, len)` of the trace when the session was admitted: a
     /// cheap per-request staleness probe. An overwritten trace must not
     /// keep being served from the old in-memory model — that would break
@@ -136,12 +139,7 @@ impl ServerState {
         // spellings shares one warm session.
         let canonical = std::fs::canonicalize(&path).unwrap_or(path);
         config.cache_keep = self.opts.cache_keep;
-        let key = (
-            canonical,
-            config.n_slices,
-            config.metric.tag(),
-            config.memory.tag(),
-        );
+        let key = (canonical, config.metric.tag(), config.memory.tag());
 
         let stamp = file_stamp(&key.0);
         let mut pool = self.pool.lock().unwrap();
@@ -180,6 +178,15 @@ impl ServerState {
             }
         };
         pool.entries[idx].last_used = now;
+        // Pin the pooled session to this request's resolution (full grid):
+        // a `--slices` change re-slices from the resident hi-res model /
+        // warm artifacts instead of re-ingesting, and any zoom window a
+        // previous `Reslice` request left behind is reset so wire requests
+        // stay self-contained.
+        pool.entries[idx]
+            .engine
+            .session_mut()
+            .reslice(config.n_slices, None)?;
         pool.entries[idx].engine.execute(&request)
     }
 
@@ -356,7 +363,7 @@ mod tests {
     use super::*;
     use crate::helpers::fixture_trace;
     use ocelotl::core::query::AnalysisRequest;
-    use ocelotl::core::SessionConfig;
+    use ocelotl::core::{MemoryMode, SessionConfig};
 
     fn wire(trace: &std::path::Path, slices: usize, req: &AnalysisRequest) -> String {
         ocelotl::format::encode_wire_request(
@@ -384,9 +391,17 @@ mod tests {
         assert_eq!(first, second, "warm answer must be byte-identical");
         assert!(first.contains("\"reply\""), "{first}");
         assert_eq!(state.pooled_sessions(), 1, "same key shares one session");
-        // Different slicing = different session.
-        state.handle_line(&wire(&p, 12, &req));
-        assert_eq!(state.pooled_sessions(), 2);
+        // Different slicing re-slices the SAME warm session in memory —
+        // no second session, no re-ingest.
+        let resliced = state.handle_line(&wire(&p, 20, &req));
+        assert!(resliced.contains("\"n_slices\":20"), "{resliced}");
+        assert_eq!(
+            state.pooled_sessions(),
+            1,
+            "a --slices change must reuse the pooled session"
+        );
+        // …and switching back serves the parked pipeline byte-identically.
+        assert_eq!(state.handle_line(&wire(&p, 10, &req)), first);
         std::fs::remove_file(&p).ok();
     }
 
@@ -398,8 +413,22 @@ mod tests {
             ..ServeOptions::default()
         });
         let req = AnalysisRequest::Describe;
-        for slices in [5, 6, 7, 8] {
-            state.handle_line(&wire(&p, slices, &req));
+        // Slicing no longer keys the pool; metric × memory combinations do.
+        for (metric, memory) in [
+            (ocelotl::core::Metric::States, MemoryMode::Dense),
+            (ocelotl::core::Metric::States, MemoryMode::Lazy),
+            (ocelotl::core::Metric::Density, MemoryMode::Dense),
+            (ocelotl::core::Metric::Density, MemoryMode::Lazy),
+        ] {
+            let config = SessionConfig {
+                n_slices: 10,
+                metric,
+                memory,
+                ..SessionConfig::default()
+            };
+            let line =
+                ocelotl::format::encode_wire_request(&p.display().to_string(), &config, &req);
+            state.handle_line(&line);
         }
         assert_eq!(state.pooled_sessions(), 2, "evicted down to the cap");
         std::fs::remove_file(&p).ok();

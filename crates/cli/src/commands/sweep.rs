@@ -28,6 +28,10 @@ even p grid — the paper's interaction loop as one protocol request.
 
 OPTIONS:
     --slices N       time slices of the microscopic model (default 30)
+    --slices-range L comma-separated slice counts (e.g. 30,60,120): run the
+                     sweep at each resolution over ONE session — after the
+                     first ingest every re-slice is served from the resident
+                     hi-res model (or warm artifacts), zero extra disk passes
     --metric M       states | density (default states)
     --memory M       gain/loss cube backend: dense | lazy | auto (default auto)
     --cache DIR      persist session artifacts so the next run is warm
@@ -46,30 +50,77 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    let mut known = vec!["help", "resolution", "steps"];
+    let mut known = vec!["help", "resolution", "steps", "slices-range"];
     known.extend(SESSION_OPTS);
     args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
     let request = request_from_args("sweep", &args)?;
 
+    // `--slices-range A,B,…`: the §V.B refinement loop at varying
+    // resolution — one session, re-sliced in memory between sweeps.
+    let slice_counts: Vec<usize> = match args.get("slices-range")? {
+        Some(list) => {
+            let parsed: Result<Vec<usize>, _> =
+                list.split(',').map(|t| t.trim().parse::<usize>()).collect();
+            let counts = parsed
+                .map_err(|_| CliError::Usage(format!("invalid --slices-range value {list:?}")))?;
+            if counts.is_empty() || counts.contains(&0) {
+                return Err(CliError::Usage(
+                    "--slices-range expects comma-separated counts >= 1".into(),
+                ));
+            }
+            counts
+        }
+        None => Vec::new(),
+    };
+
     let mut engine = open_engine(&args, path)?;
     let t0 = Instant::now();
-    let reply = engine.execute(&request)?;
+    let mut replies = Vec::new();
+    if slice_counts.is_empty() {
+        replies.push((None, engine.execute(&request)?));
+    } else {
+        for &n in &slice_counts {
+            let reslice = engine.execute(&ocelotl::core::query::AnalysisRequest::Reslice {
+                n_slices: n,
+                range: None,
+            })?;
+            replies.push((Some((n, reslice)), engine.execute(&request)?));
+        }
+    }
     let elapsed = t0.elapsed();
     let dp_runs = engine.session_mut().dp_runs();
 
     if args.has("json") {
-        writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reply)))?;
+        // Each resolution emits its reslice reply line (identifying the
+        // slicing) followed by the sweep reply line, so the JSON stream
+        // carries everything the text headers do.
+        for (reslice, reply) in replies {
+            if let Some((_, reslice)) = reslice {
+                writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reslice)))?;
+            }
+            writeln!(out, "{}", ocelotl::format::encode_reply(&Ok(reply)))?;
+        }
         return Ok(());
     }
-    let AnalysisReply::Sweep(sweep) = &reply else {
-        unreachable!("sweep request yields a sweep reply");
-    };
-    write_sweep(sweep, out)?;
+    let mut queries = 0;
+    for (i, (n, reply)) in replies.iter().enumerate() {
+        let AnalysisReply::Sweep(sweep) = reply else {
+            unreachable!("sweep request yields a sweep reply");
+        };
+        if let Some((n, _)) = n {
+            if i > 0 {
+                writeln!(out)?;
+            }
+            writeln!(out, "== {n} slices ==")?;
+        }
+        write_sweep(sweep, out)?;
+        queries += sweep.levels.len() + sweep.points.len();
+    }
     writeln!(
         out,
         "\ntiming: {} queries in {:.1} ms ({})",
-        sweep.levels.len() + sweep.points.len(),
+        queries,
         elapsed.as_secs_f64() * 1e3,
         if dp_runs == 0 {
             "warm .opart, zero DP runs".to_string()
@@ -124,6 +175,49 @@ mod tests {
         };
         assert_eq!(strip(&cold), strip(&warm));
         std::fs::remove_dir_all(&cache).ok();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn slices_range_sweeps_multiple_resolutions_in_one_session() {
+        let p = fixture_trace("sweep-range");
+        let text = run_ok(format!("{} --slices-range 10,20 --steps 2", p.display()));
+        assert!(text.contains("== 10 slices =="), "{text}");
+        assert!(text.contains("== 20 slices =="), "{text}");
+        assert!(text.contains("timing:"), "{text}");
+
+        // The JSON stream identifies each resolution: one reslice reply
+        // line precedes each sweep reply line.
+        let json = run_ok(format!(
+            "{} --slices-range 10,20 --steps 2 --json",
+            p.display()
+        ));
+        let kinds: Vec<String> = json
+            .lines()
+            .map(|l| {
+                ocelotl::format::decode_reply(l)
+                    .unwrap()
+                    .unwrap()
+                    .kind()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(kinds, ["reslice", "sweep", "reslice", "sweep"], "{json}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bad_slices_range_rejected() {
+        let p = fixture_trace("sweep-badrange");
+        for bad in ["x", "10,0", ""] {
+            let tokens: Vec<String> =
+                vec![p.display().to_string(), "--slices-range".into(), bad.into()];
+            let mut out = Vec::new();
+            assert!(
+                matches!(run(&tokens, &mut out), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
         std::fs::remove_file(&p).ok();
     }
 

@@ -18,7 +18,7 @@
 use crate::args::Args;
 use crate::CliError;
 use ocelotl::core::{
-    AnalysisSession, IngestStats, ModelSource, QueryEngine, SessionConfig, SessionError,
+    AnalysisSession, HiResModel, IngestStats, ModelSource, QueryEngine, SessionConfig, SessionError,
 };
 use ocelotl::format::DiskStore;
 use ocelotl::trace::{MicroModel, Trace};
@@ -131,6 +131,25 @@ impl FileSource {
     }
 }
 
+/// Turn an [`ocelotl::format::IngestReport`] into the session layer's
+/// telemetry struct.
+fn report_stats(report: &ocelotl::format::IngestReport) -> IngestStats {
+    let format = match report.format {
+        ocelotl::format::Format::Text => "ptf",
+        ocelotl::format::Format::Binary => "btf",
+        ocelotl::format::Format::Paje => "paje",
+    };
+    IngestStats {
+        fingerprint: report.fingerprint,
+        bytes_read: report.bytes_read,
+        intervals: report.intervals,
+        points: report.points,
+        peak_bytes: report.peak_bytes,
+        mode: report.mode.tag().to_string(),
+        format: format.to_string(),
+    }
+}
+
 impl ModelSource for FileSource {
     fn fingerprint(&self) -> Result<u64, SessionError> {
         if let Some(fp) = *self.fingerprint.lock().unwrap() {
@@ -155,21 +174,25 @@ impl ModelSource for FileSource {
         let report = obtain_report(&self.path, n_slices, metric)
             .map_err(|e| SessionError::source(e.to_string()))?;
         *self.fingerprint.lock().unwrap() = Some(report.fingerprint);
-        let format = match report.format {
-            ocelotl::format::Format::Text => "ptf",
-            ocelotl::format::Format::Binary => "btf",
-            ocelotl::format::Format::Paje => "paje",
-        };
-        let stats = IngestStats {
-            fingerprint: report.fingerprint,
-            bytes_read: report.bytes_read,
-            intervals: report.intervals,
-            points: report.points,
-            peak_bytes: report.peak_bytes,
-            mode: report.mode.tag().to_string(),
-            format: format.to_string(),
-        };
+        let stats = report_stats(&report);
         Ok((report.model, Some(stats)))
+    }
+
+    fn hi_res_with_stats(
+        &self,
+        n_slices: usize,
+        metric: Metric,
+    ) -> Result<Option<(HiResModel, Option<IngestStats>)>, SessionError> {
+        if is_micro_cache(&self.path) {
+            // An `.omm` model cache has a fixed grid: no hi-res intermediate
+            // to build — the session falls back to the direct load.
+            return Ok(None);
+        }
+        let report = ocelotl::format::read_hi_res(&self.path, n_slices, metric.model_kind())
+            .map_err(|e| SessionError::source(e.to_string()))?;
+        *self.fingerprint.lock().unwrap() = Some(report.fingerprint);
+        let stats = report_stats(&report);
+        Ok(Some((HiResModel::new(metric, report.model), Some(stats))))
     }
 }
 

@@ -12,7 +12,7 @@ use crate::args::Args;
 use crate::CliError;
 use ocelotl::core::query::{
     AggregateReply, AnalysisReply, AnalysisRequest, DescribeReply, InspectReply, LevelReply,
-    PValuesReply, SignificantReply, StatsReply, SweepReply,
+    PValuesReply, ResliceReply, SignificantReply, StatsReply, SweepReply,
 };
 use ocelotl::viz::{render_reply_ascii, AsciiOptions};
 use std::io::Write;
@@ -85,6 +85,27 @@ pub fn request_from_args(kind: &str, args: &Args) -> Result<AnalysisRequest, Cli
             },
         }),
         "stats" => Ok(AnalysisRequest::Stats),
+        "reslice" => {
+            let range = match (args.get("t0")?, args.get("t1")?) {
+                (None, None) => None,
+                (Some(t0), Some(t1)) => {
+                    let parse = |s: &str, what: &str| {
+                        s.parse::<f64>()
+                            .map_err(|_| CliError::Usage(format!("invalid {what} value {s:?}")))
+                    };
+                    Some((parse(t0, "--t0")?, parse(t1, "--t1")?))
+                }
+                _ => {
+                    return Err(CliError::Usage(
+                        "a re-slice window needs both --t0 and --t1".into(),
+                    ))
+                }
+            };
+            Ok(AnalysisRequest::Reslice {
+                n_slices: args.require("to")?,
+                range,
+            })
+        }
         other => Err(CliError::Usage(format!(
             "unknown request kind {other:?} (one of: {})",
             AnalysisRequest::KINDS.join(", ")
@@ -112,7 +133,34 @@ pub fn print_reply(reply: &AnalysisReply, out: &mut dyn Write) -> Result<(), Cli
             Ok(())
         }
         AnalysisReply::Stats(s) => write_stats(s, out),
+        AnalysisReply::Reslice(r) => write_reslice(r, out),
     }
+}
+
+/// `reslice` output: the new active resolution and model shape.
+pub fn write_reslice(r: &ResliceReply, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "resliced:    {} slices (hi-res grid: {} slices)",
+        r.n_slices, r.hi_slices
+    )?;
+    if let Some((t0, t1)) = r.window {
+        writeln!(
+            out,
+            "window:      [{t0:.6}, {t1:.6}] s (snapped to the hi-res grid)"
+        )?;
+    }
+    writeln!(
+        out,
+        "model:       {} resources x {} slices x {} states ({} metric)",
+        r.shape.n_leaves, r.shape.n_slices, r.shape.n_states, r.shape.metric
+    )?;
+    writeln!(
+        out,
+        "time range:  [{:.6}, {:.6}] s",
+        r.shape.t_start, r.shape.t_end
+    )?;
+    Ok(())
 }
 
 /// `describe` output: model shape, hierarchy, states.
@@ -403,9 +451,47 @@ mod tests {
             let req = request_from_args(kind, &args).unwrap();
             assert_eq!(req.kind(), kind);
         }
-        // inspect requires --leaf/--slice.
+        // inspect requires --leaf/--slice; reslice requires --to.
         assert!(matches!(
             request_from_args("inspect", &args),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            request_from_args("reslice", &args),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn reslice_request_parses_target_and_window() {
+        let args = Args::parse(&["--to".into(), "60".into()]).unwrap();
+        assert_eq!(
+            request_from_args("reslice", &args).unwrap(),
+            AnalysisRequest::Reslice {
+                n_slices: 60,
+                range: None
+            }
+        );
+        let args = Args::parse(&[
+            "--to".into(),
+            "24".into(),
+            "--t0".into(),
+            "1.5".into(),
+            "--t1".into(),
+            "3.0".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            request_from_args("reslice", &args).unwrap(),
+            AnalysisRequest::Reslice {
+                n_slices: 24,
+                range: Some((1.5, 3.0))
+            }
+        );
+        // A half-specified window is a usage error.
+        let args = Args::parse(&["--to".into(), "24".into(), "--t0".into(), "1.0".into()]).unwrap();
+        assert!(matches!(
+            request_from_args("reslice", &args),
             Err(CliError::Usage(_))
         ));
     }

@@ -65,6 +65,10 @@ fn all_requests() -> Vec<AnalysisRequest> {
             level_resolution: None,
         },
         AnalysisRequest::Stats,
+        AnalysisRequest::Reslice {
+            n_slices: 10,
+            range: None,
+        },
     ]
 }
 
@@ -101,7 +105,7 @@ fn server_answers_every_kind_byte_identical_to_direct_engine() {
         assert_eq!(reply.kind(), want);
     }
 
-    // All eight kinds hit one warm session.
+    // All nine kinds hit one warm session.
     assert_eq!(server.state.pooled_sessions(), 1);
     server.stop();
     std::fs::remove_file(&trace).ok();
@@ -137,6 +141,84 @@ fn cli_json_equals_server_json() {
     server.stop();
     std::fs::remove_file(&trace).ok();
     std::fs::remove_file(&omm).ok();
+}
+
+#[test]
+fn remote_reslice_is_byte_identical_to_direct_engine() {
+    let trace = fixture("reslice");
+    let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.addr.to_string();
+    let t = trace.display().to_string();
+
+    // A direct engine mirrors the server's per-request pinning: reslice
+    // to each wire config's resolution before executing.
+    let base = SessionConfig {
+        n_slices: 10,
+        ..SessionConfig::default()
+    };
+    let mut direct = QueryEngine::new(build_session(&trace, base, None));
+    let agg = AnalysisRequest::Aggregate {
+        p: 0.4,
+        coarse: false,
+        compare: false,
+        diff_p: None,
+    };
+    // Warm the session at 10 slices, then re-slice it remotely to 20 and
+    // back — every reply must be byte-identical to the direct path, and
+    // the pool must keep serving ONE session throughout.
+    for slices in [10usize, 20, 10, 20] {
+        let config = SessionConfig {
+            n_slices: slices,
+            ..SessionConfig::default()
+        };
+        for request in [
+            AnalysisRequest::Reslice {
+                n_slices: slices,
+                range: None,
+            },
+            agg.clone(),
+        ] {
+            let wire = ocelotl::format::encode_wire_request(&t, &config, &request);
+            let served = roundtrip(&addr, &wire).unwrap();
+            direct.session_mut().reslice(config.n_slices, None).unwrap();
+            let expected = ocelotl::format::encode_reply(&direct.execute(&request));
+            assert_eq!(served, expected, "slices {slices}, kind {}", request.kind());
+        }
+    }
+    assert_eq!(
+        server.state.pooled_sessions(),
+        1,
+        "every resolution shares one warm session"
+    );
+    // The direct session ingested exactly once across all resolutions.
+    assert_eq!(direct.session_mut().source_reads(), 1);
+
+    // A windowed remote reslice answers the snapped window.
+    let config = SessionConfig {
+        n_slices: 16,
+        ..SessionConfig::default()
+    };
+    // [2.5, 5.0] of the [0, 10] fixture is a dyadic window: it snaps to
+    // hi-res edges and its span divides into 16 bins.
+    let request = AnalysisRequest::Reslice {
+        n_slices: 16,
+        range: Some((2.5, 5.0)),
+    };
+    let wire = ocelotl::format::encode_wire_request(&t, &config, &request);
+    let served = roundtrip(&addr, &wire).unwrap();
+    direct.session_mut().reslice(16, None).unwrap();
+    let expected = ocelotl::format::encode_reply(&direct.execute(&request));
+    assert_eq!(served, expected, "windowed reslice");
+    let ocelotl::core::AnalysisReply::Reslice(r) =
+        ocelotl::format::decode_reply(&served).unwrap().unwrap()
+    else {
+        panic!("expected a reslice reply");
+    };
+    assert_eq!(r.n_slices, 16);
+    assert!(r.window.is_some(), "window snapped and echoed");
+
+    server.stop();
+    std::fs::remove_file(&trace).ok();
 }
 
 #[test]

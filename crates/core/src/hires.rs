@@ -1,0 +1,281 @@
+//! The super-resolution resident model behind incremental re-slicing.
+//!
+//! The paper's microscopic model fixes `|T|` before aggregation, so a
+//! `--slices` change (the §V.B interactive refinement loop at varying
+//! resolution) would re-stream the whole trace from disk. [`HiResModel`]
+//! removes that disk pass: on first ingest the pipeline slices the trace
+//! into a **super-resolution** grid of
+//! [`hi_res_slices`]`(n_slices, n_leaves, n_states)` periods (a
+//! power-of-two multiple of the requested resolution, at least
+//! `max(4096, 4·n_slices)`, memory-bounded by
+//! [`HI_RES_CELL_BUDGET`]) and keeps the raw array resident. Any
+//! coarser [`MicroModel`] — including zoomed sub-ranges whose edges align
+//! with the hi-res grid — is then derived by **pure in-memory rebinning**.
+//!
+//! ## Bit-exactness
+//!
+//! Re-slicing is provably bit-identical to a fresh ingest because both
+//! are the *same computation*: the pipeline always folds events into the
+//! hi-res grid and always derives the requested model with
+//! [`HiResModel::derive`] (one fixed left-to-right summation order per
+//! cell). [`HiResModel::serves`] gates warm answers to exactly the
+//! resolutions whose fresh ingest lands on the same hi-res grid
+//! (`n' | H` **and** `hi_res_slices(n') == H`), so a served re-slice and
+//! a cold re-ingest can never diverge — not even in the last ulp. Other
+//! resolutions (non-divisor grids, or divisors outside the dyadic family)
+//! fall back to a fresh ingest at their own hi-res grid.
+//!
+//! For the density metric the resident array stores the **unnormalized**
+//! per-cell event counts (whole numbers, so rebinned sums are exact);
+//! the peak normalization of `event_density` is applied once per derived
+//! model, at the target resolution — again the same arithmetic a fresh
+//! ingest performs.
+
+use crate::session::Metric;
+use ocelotl_trace::{LeafId, MicroModel, StateId, TimeGrid};
+
+pub use ocelotl_trace::{hi_res_slices, HI_RES_CELL_BUDGET, HI_RES_FACTOR, HI_RES_MIN_SLICES};
+
+/// One resident super-resolution model: the raw (unnormalized) microscopic
+/// array at [`hi_res_slices`] periods, from which coarser models are
+/// derived without touching the trace. See the module docs.
+#[derive(Debug, Clone)]
+pub struct HiResModel {
+    metric: Metric,
+    raw: MicroModel,
+}
+
+impl HiResModel {
+    /// Wrap a raw hi-res array (durations for [`Metric::States`],
+    /// unnormalized counts for [`Metric::Density`]) produced by a hi-res
+    /// ingest (`ModelSink::hi_res` + `finish_raw`).
+    pub fn new(metric: Metric, raw: MicroModel) -> Self {
+        Self { metric, raw }
+    }
+
+    /// The metric the raw array carries.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The raw super-resolution array (unnormalized for density).
+    pub fn raw(&self) -> &MicroModel {
+        &self.raw
+    }
+
+    /// `H`: the super-resolution slice count.
+    pub fn n_slices(&self) -> usize {
+        self.raw.n_slices()
+    }
+
+    /// Resident footprint of the raw array in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.raw.n_leaves() * self.raw.n_states() * self.raw.n_slices()) as u64
+            * std::mem::size_of::<f64>() as u64
+    }
+
+    /// `true` when a model at `n_slices` can be served from this resident
+    /// array **bit-identically to a fresh ingest**: `n_slices` divides `H`
+    /// and a fresh ingest at `n_slices` would land on the same hi-res
+    /// grid. (Divisors outside that set — e.g. `5` from a `7680`-slice
+    /// grid whose fresh ingest would use `5120` — are declined so warm
+    /// answers can never diverge from cold ones.)
+    ///
+    /// The check recomputes [`hi_res_slices`] from the raw array's own
+    /// dimensions. For density models whose pseudo-states widened the
+    /// state count *and* whose size hits the cell budget, this can be
+    /// stricter than the grid the ingest actually chose — the session
+    /// then falls back to the per-resolution direct build on both the
+    /// warm and the cold path, so the mismatch costs a re-read, never
+    /// correctness.
+    pub fn serves(&self, n_slices: usize) -> bool {
+        n_slices >= 1
+            && self.raw.n_slices().is_multiple_of(n_slices)
+            && hi_res_slices(n_slices, self.raw.n_leaves(), self.raw.n_states())
+                == self.raw.n_slices()
+    }
+
+    /// Derive the full-range model at `n_slices` by rebinning; `None`
+    /// when [`HiResModel::serves`] declines the resolution.
+    pub fn derive(&self, n_slices: usize) -> Option<MicroModel> {
+        self.serves(n_slices)
+            .then(|| self.rebin(0, self.raw.n_slices(), n_slices))
+    }
+
+    /// Derive a zoomed model over the hi-res slice window
+    /// `[first, first + count)` rebinned to `n_slices`; `None` when the
+    /// window is empty, out of range, or not divisible into `n_slices`
+    /// equal bins.
+    pub fn derive_window(&self, first: usize, count: usize, n_slices: usize) -> Option<MicroModel> {
+        (n_slices >= 1
+            && count >= n_slices
+            && count.is_multiple_of(n_slices)
+            && first + count <= self.raw.n_slices())
+        .then(|| self.rebin(first, count, n_slices))
+    }
+
+    /// Snap a time window to the hi-res grid: the nearest slice edges
+    /// enclosing a non-empty window, as `(first, count)` hi-res slice
+    /// indices. `None` when the window collapses or lies outside the
+    /// grid.
+    pub fn snap_window(&self, t0: f64, t1: f64) -> Option<(usize, usize)> {
+        if !(t0.is_finite() && t1.is_finite() && t1 > t0) {
+            return None;
+        }
+        let grid = self.raw.grid();
+        let h = self.raw.n_slices();
+        let w = grid.slice_duration();
+        let snap = |t: f64| -> usize {
+            let idx = ((t - grid.start()) / w).round();
+            idx.clamp(0.0, h as f64) as usize
+        };
+        let (a, b) = (snap(t0), snap(t1));
+        (b > a).then_some((a, b - a))
+    }
+
+    /// The one rebinning kernel: coarse cell `t` is the left-to-right sum
+    /// of its `count / n_slices` hi-res cells. Density models are peak-
+    /// normalized at the target resolution afterwards (exactly
+    /// `event_density`'s arithmetic over the rebinned counts).
+    fn rebin(&self, first: usize, count: usize, n_slices: usize) -> MicroModel {
+        let f = count / n_slices;
+        let hi_grid = self.raw.grid();
+        let (w0, _) = hi_grid.slice_bounds(first);
+        let (_, w1) = hi_grid.slice_bounds(first + count - 1);
+        let grid = TimeGrid::new(w0, w1, n_slices);
+
+        let n_leaves = self.raw.n_leaves();
+        let n_states = self.raw.n_states();
+        let mut data = vec![0.0f64; n_leaves * n_states * n_slices];
+        for leaf in 0..n_leaves {
+            for x in 0..n_states {
+                let series = self.raw.series(LeafId(leaf as u32), StateId(x as u16));
+                let dst = (leaf * n_states + x) * n_slices;
+                for t in 0..n_slices {
+                    let mut sum = 0.0f64;
+                    let base = first + t * f;
+                    for cell in &series[base..base + f] {
+                        sum += cell;
+                    }
+                    data[dst + t] = sum;
+                }
+            }
+        }
+        if self.metric == Metric::Density {
+            ocelotl_trace::peak_normalize(&mut data, grid.slice_duration());
+        }
+        MicroModel::from_dense(
+            self.raw.hierarchy().clone(),
+            self.raw.states().clone(),
+            grid,
+            data,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::{Hierarchy, StateRegistry};
+
+    fn hi_model(n_leaves: usize, h: usize) -> HiResModel {
+        let hierarchy = Hierarchy::flat(n_leaves, "p");
+        let states = StateRegistry::from_names(["A", "B"]);
+        let grid = TimeGrid::new(0.0, 16.0, h);
+        let mut data = vec![0.0f64; n_leaves * 2 * h];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = (i % 97) as f64 * 0.125;
+        }
+        HiResModel::new(
+            Metric::States,
+            MicroModel::from_dense(hierarchy, states, grid, data),
+        )
+    }
+
+    #[test]
+    fn serves_exactly_the_dyadic_family() {
+        // H = 7680 = 30·2⁸ over a small hierarchy.
+        let hi = hi_model(2, 7680);
+        for n in [15, 30, 60, 120, 240, 480, 960, 1920] {
+            assert!(hi.serves(n), "{n} should be servable");
+        }
+        // Divisors outside the dyadic family resolve to other grids —
+        // including near-H requests (a fresh ingest at 3840 refines to
+        // 4·3840 = 15360, not 7680).
+        for n in [5, 10, 6, 64, 50, 7, 0, 3840, 7680] {
+            assert!(!hi.serves(n), "{n} must be declined");
+        }
+    }
+
+    #[test]
+    fn rebinning_conserves_mass_and_grid() {
+        let hi = hi_model(3, 7680);
+        let m = hi.derive(30).unwrap();
+        assert_eq!(m.n_slices(), 30);
+        assert_eq!(m.grid().start(), 0.0);
+        assert_eq!(m.grid().end(), 16.0);
+        assert!((m.grand_total() - hi.raw().grand_total()).abs() < 1e-6);
+        // Each coarse cell is the ordered sum of its 256 hi-res cells.
+        let series = hi.raw().series(LeafId(1), StateId(1));
+        let expected: f64 = series[256..512].iter().sum();
+        assert_eq!(
+            m.duration(LeafId(1), StateId(1), 1).to_bits(),
+            expected.to_bits()
+        );
+    }
+
+    #[test]
+    fn window_derivation_aligns_with_the_hi_grid() {
+        let hi = hi_model(2, 7680);
+        // A quarter of the grid, rebinned to 24 slices (1920 / 24 = 80).
+        let m = hi.derive_window(1920, 1920, 24).unwrap();
+        assert_eq!(m.n_slices(), 24);
+        assert_eq!(m.grid().start(), 4.0);
+        assert_eq!(m.grid().end(), 8.0);
+        // Misaligned windows are declined.
+        assert!(hi.derive_window(0, 1000, 24).is_none(), "1000 % 24 != 0");
+        assert!(hi.derive_window(7000, 1920, 24).is_none(), "out of range");
+        assert!(hi.derive_window(0, 0, 1).is_none(), "empty window");
+    }
+
+    #[test]
+    fn snap_window_rounds_to_nearest_edges() {
+        let hi = hi_model(2, 1024); // w = 16/1024 = 1/64
+        let (first, count) = hi.snap_window(4.0, 8.0).unwrap();
+        assert_eq!((first, count), (256, 256));
+        // Slightly-off endpoints snap to the same edges.
+        let eps = 1.0 / 512.0;
+        assert_eq!(hi.snap_window(4.0 + eps, 8.0 - eps), Some((256, 256)));
+        assert_eq!(hi.snap_window(5.0, 5.0), None, "empty window");
+        assert_eq!(hi.snap_window(f64::NAN, 8.0), None);
+        // Windows beyond the grid clamp to it.
+        assert_eq!(hi.snap_window(-5.0, 100.0), Some((0, 1024)));
+    }
+
+    #[test]
+    fn density_derivation_normalizes_at_the_target_resolution() {
+        let hierarchy = Hierarchy::flat(2, "p");
+        let states = StateRegistry::from_names(["evt:send"]);
+        let grid = TimeGrid::new(0.0, 8.0, 4096);
+        let mut counts = vec![0.0f64; 2 * 4096];
+        counts[0] = 3.0; // leaf 0, hi slice 0
+        counts[1] = 2.0; // leaf 0, hi slice 1 — same coarse bin as slice 0
+        counts[4096 + 2048] = 4.0; // leaf 1, second half
+        let hi = HiResModel::new(
+            Metric::Density,
+            MicroModel::from_dense(hierarchy, states, grid, counts),
+        );
+        let m = hi.derive(2).unwrap();
+        // Rebinned counts: leaf 0 = [5, 0], leaf 1 = [0, 4]; peak 5;
+        // slice duration 4.0 → scale 0.8.
+        assert_eq!(m.duration(LeafId(0), StateId(0), 0), 4.0);
+        assert_eq!(m.duration(LeafId(0), StateId(0), 1), 0.0);
+        assert_eq!(m.duration(LeafId(1), StateId(0), 1), 3.2);
+    }
+
+    #[test]
+    fn memory_bytes_counts_the_raw_array() {
+        let hi = hi_model(2, 1024);
+        assert_eq!(hi.memory_bytes(), 2 * 2 * 1024 * 8);
+    }
+}

@@ -42,6 +42,9 @@
 //! - [`session`] — the memoized [`AnalysisSession`] pipeline with its
 //!   pluggable, content-addressed [`ArtifactStore`] (the §V.B
 //!   "preprocess once, interact instantly" economy as an object);
+//! - [`hires`] — the [`HiResModel`] super-resolution resident
+//!   intermediate: any `--slices` change or aligned zoom is served by
+//!   pure in-memory rebinning, bit-identical to a fresh ingest;
 //! - [`query`] — the typed request/reply protocol
 //!   ([`AnalysisRequest`]/[`AnalysisReply`]) and the [`QueryEngine`]
 //!   executing it against a session — the stable public surface every
@@ -56,6 +59,7 @@
 pub mod analysis;
 pub mod cube;
 pub mod dp;
+pub mod hires;
 pub mod input;
 pub mod inspect;
 pub mod measures;
@@ -76,6 +80,7 @@ pub use cube::{
     MemoryMode, QualityCube, AUTO_DENSE_LIMIT_BYTES,
 };
 pub use dp::{aggregate, aggregate_default, Cut, CutTree, DpConfig};
+pub use hires::{hi_res_slices, HiResModel, HI_RES_FACTOR, HI_RES_MIN_SLICES};
 pub use input::AggregationInput;
 pub use inspect::{
     area_at, area_table_header, area_table_row, inspect_area, summarize, summary_text, AreaReport,
@@ -91,8 +96,8 @@ pub use quality::{quality, QualityReport};
 pub use query::{AnalysisReply, AnalysisRequest, QueryEngine, QueryError, PROTOCOL_VERSION};
 pub use session::{
     fnv1a, AnalysisSession, ArtifactStore, CubeSource, IngestStats, MemoryStore, Metric,
-    ModelSource, OwnedSource, PartitionTable, PointEntry, SessionConfig, SessionError,
-    SignificantSet, DEFAULT_CACHE_KEEP, FNV_SEED,
+    ModelSource, OwnedSource, PartitionTable, PointEntry, ResliceWindow, SessionConfig,
+    SessionError, SignificantSet, DEFAULT_CACHE_KEEP, FNV_SEED,
 };
 pub use tri::TriMatrix;
 pub use visual::{mode, visually_aggregate, Item, Mode, VisualAggregation, VisualMark};

@@ -141,6 +141,27 @@ pub enum AnalysisRequest {
     /// Ingestion telemetry of the trace (events, bytes, peak footprint,
     /// ingest mode, fingerprint) plus the model shape.
     Stats,
+    /// Switch the session's slicing resolution — optionally zooming into
+    /// a time window snapped to the hi-res grid — and report the new
+    /// model shape. Served from the resident super-resolution model with
+    /// **zero trace disk reads** whenever the target resolution lies in
+    /// the hi-res grid's dyadic family (or a warm artifact covers it).
+    ///
+    /// In-process, subsequent requests on the engine answer at the new
+    /// resolution/window. Over `ocelotl serve`, wire requests are
+    /// self-contained: every request pins the pooled session to its own
+    /// config's (full-grid) resolution first, so a remote `--slices`
+    /// change takes effect through the config while a zoom window
+    /// applies to the carrying `Reslice` request only (its reply
+    /// describes the zoomed model).
+    Reslice {
+        /// The new `|T|`.
+        n_slices: usize,
+        /// Optional zoom window `[t0, t1]` (snapped to hi-res slice
+        /// edges; the snapped span must divide into `n_slices` equal
+        /// bins).
+        range: Option<(f64, f64)>,
+    },
 }
 
 impl AnalysisRequest {
@@ -155,11 +176,12 @@ impl AnalysisRequest {
             AnalysisRequest::Inspect { .. } => "inspect",
             AnalysisRequest::RenderOverview { .. } => "render-overview",
             AnalysisRequest::Stats => "stats",
+            AnalysisRequest::Reslice { .. } => "reslice",
         }
     }
 
     /// All request kind tags, in protocol order.
-    pub const KINDS: [&'static str; 8] = [
+    pub const KINDS: [&'static str; 9] = [
         "describe",
         "aggregate",
         "significant",
@@ -168,6 +190,7 @@ impl AnalysisRequest {
         "inspect",
         "render-overview",
         "stats",
+        "reslice",
     ];
 }
 
@@ -263,6 +286,8 @@ pub enum AnalysisReply {
     Overview(OverviewReply),
     /// Answer to [`AnalysisRequest::Stats`].
     Stats(StatsReply),
+    /// Answer to [`AnalysisRequest::Reslice`].
+    Reslice(ResliceReply),
 }
 
 impl AnalysisReply {
@@ -278,6 +303,7 @@ impl AnalysisReply {
             AnalysisReply::Inspect(_) => "inspect",
             AnalysisReply::Overview(_) => "overview",
             AnalysisReply::Stats(_) => "stats",
+            AnalysisReply::Reslice(_) => "reslice",
         }
     }
 }
@@ -657,6 +683,28 @@ pub struct StatsReply {
     pub fingerprint: String,
 }
 
+/// Answer to [`AnalysisRequest::Reslice`]: the session's new active
+/// resolution. Every field is deterministic — `hi_slices` is the
+/// *resolved* super-resolution grid for this configuration (the sizing
+/// formula applied to the reply's model shape), a tag like `Describe`'s
+/// backend, not a measurement of what happens to be resident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResliceReply {
+    /// The new active `|T|`.
+    pub n_slices: usize,
+    /// The hi-res grid this configuration resolves to:
+    /// [`crate::hires::hi_res_slices`] over the reply's shape. For the
+    /// density metric the shape's state count includes merged
+    /// pseudo-states, so in the (narrow) regime where the cell-budget
+    /// clamp binds this can name a finer bound than the ingest grid —
+    /// it is a deterministic sizing indicator, not the resident `H`.
+    pub hi_slices: usize,
+    /// The snapped zoom window, when one was requested.
+    pub window: Option<(f64, f64)>,
+    /// Shape of the newly active model.
+    pub shape: ModelShape,
+}
+
 // ---------------------------------------------------------------------------
 // The engine
 // ---------------------------------------------------------------------------
@@ -757,6 +805,20 @@ impl QueryEngine {
                 )))
             }
             AnalysisRequest::Stats => self.stats().map(AnalysisReply::Stats),
+            AnalysisRequest::Reslice { n_slices, range } => {
+                self.session.reslice(*n_slices, *range)?;
+                let shape = self.shape()?;
+                Ok(AnalysisReply::Reslice(ResliceReply {
+                    n_slices: *n_slices,
+                    hi_slices: crate::hires::hi_res_slices(
+                        *n_slices,
+                        shape.n_leaves,
+                        shape.n_states,
+                    ),
+                    window: self.session.window(),
+                    shape,
+                }))
+            }
         }
     }
 
@@ -1113,6 +1175,10 @@ mod tests {
                 min_rows: 0.0,
                 level_resolution: None,
             },
+            AnalysisRequest::Reslice {
+                n_slices: 20,
+                range: None,
+            },
         ];
         for req in &requests {
             let reply = e.execute(req).unwrap();
@@ -1321,7 +1387,15 @@ mod tests {
             .kind(),
             "render-overview"
         );
-        assert_eq!(AnalysisRequest::KINDS.len(), 8);
+        assert_eq!(AnalysisRequest::KINDS.len(), 9);
+        assert_eq!(
+            AnalysisRequest::Reslice {
+                n_slices: 60,
+                range: None
+            }
+            .kind(),
+            "reslice"
+        );
         let e = QueryError::InvalidRequest("x".into());
         assert_eq!(e.kind(), "invalid-request");
         assert_eq!(

@@ -38,6 +38,7 @@
 
 use crate::cube::{CubeBackend, CubeCore, MemoryMode};
 use crate::dp::{aggregate, DpConfig};
+use crate::hires::HiResModel;
 use crate::partition::Partition;
 use crate::pvalues::{significant_partitions, PEntry};
 use ocelotl_trace::{event_density_auto, MicroModel, TimeGrid, Trace};
@@ -258,6 +259,24 @@ pub trait ModelSource: Send {
     ) -> Result<(MicroModel, Option<IngestStats>), SessionError> {
         Ok((self.model(n_slices, metric)?, None))
     }
+
+    /// Build the **super-resolution** intermediate for a requested
+    /// resolution (see [`HiResModel`]): the trace sliced into
+    /// `hi_res_slices(n_slices, |S|)` periods, from which the session
+    /// derives this and any later compatible resolution by pure in-memory
+    /// rebinning — no further trace reads.
+    ///
+    /// `Ok(None)` (the default) declares the source incapable of hi-res
+    /// ingestion (e.g. it wraps an already-sliced model); the session then
+    /// falls back to [`ModelSource::model_with_stats`] per resolution.
+    fn hi_res_with_stats(
+        &self,
+        n_slices: usize,
+        metric: Metric,
+    ) -> Result<Option<(HiResModel, Option<IngestStats>)>, SessionError> {
+        let _ = (n_slices, metric);
+        Ok(None)
+    }
 }
 
 /// A source wrapping an already-built model (benchmarks, examples, tests).
@@ -373,6 +392,18 @@ pub trait ArtifactStore: Send {
     fn load_partitions(&self, key: u64) -> Option<PartitionTable>;
     /// Persist the partition table under `key`.
     fn store_partitions(&self, key: u64, table: &PartitionTable) -> bool;
+    /// Load the hi-res intermediate stored under `key` (the `.omicro`
+    /// artifact: a warm session re-slices from the store without the
+    /// trace). Default: always a miss, so existing stores keep compiling.
+    fn load_hi_res(&self, key: u64) -> Option<HiResModel> {
+        let _ = key;
+        None
+    }
+    /// Persist the hi-res intermediate under `key`. Default: declined.
+    fn store_hi_res(&self, key: u64, hi: &HiResModel) -> bool {
+        let _ = (key, hi);
+        false
+    }
 }
 
 /// An in-process store (a keyed map). Useful for tests and for library
@@ -381,6 +412,7 @@ pub trait ArtifactStore: Send {
 pub struct MemoryStore {
     cubes: Mutex<HashMap<u64, CubeCore>>,
     tables: Mutex<HashMap<u64, PartitionTable>>,
+    hi_res: Mutex<HashMap<u64, HiResModel>>,
 }
 
 impl MemoryStore {
@@ -405,6 +437,13 @@ impl ArtifactStore for MemoryStore {
         self.tables.lock().unwrap().insert(key, table.clone());
         true
     }
+    fn load_hi_res(&self, key: u64) -> Option<HiResModel> {
+        self.hi_res.lock().unwrap().get(&key).cloned()
+    }
+    fn store_hi_res(&self, key: u64, hi: &HiResModel) -> bool {
+        self.hi_res.lock().unwrap().insert(key, hi.clone());
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -420,19 +459,71 @@ pub enum CubeSource {
     Warm,
 }
 
+/// One zoomed re-slice window, pinned to the hi-res grid it was snapped
+/// against: `[first, first + count)` hi-res slices covering the snapped
+/// time range `[t0, t1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResliceWindow {
+    /// First hi-res slice (inclusive).
+    pub first: usize,
+    /// Number of hi-res slices covered.
+    pub count: usize,
+    /// Snapped window start (a hi-res slice edge).
+    pub t0: f64,
+    /// Snapped window end (a hi-res slice edge).
+    pub t1: f64,
+}
+
+/// One derived pipeline: everything downstream of the hi-res intermediate
+/// for a single `(n_slices, window)` resolution. A session keeps the
+/// active one plus a few recently used ones parked, so alternating
+/// `--slices` queries never recompute.
+#[derive(Default)]
+struct Derived {
+    key: Option<u64>,
+    model: Option<MicroModel>,
+    cube: Option<CubeBackend>,
+    cube_source: Option<CubeSource>,
+    table: Option<PartitionTable>,
+}
+
+/// Recently used derived pipelines kept parked besides the active one
+/// (models, cubes and tables under older `--slices` values; artifacts
+/// also persist in the store when one is attached).
+const PARKED_KEEP: usize = 3;
+
+/// Identity of one derived pipeline: `(n_slices, window)` where the
+/// window is its hi-res slice span.
+type DerivedKey = (usize, Option<(usize, usize)>);
+
 /// The memoized pipeline: every stage computed at most once, expensive
 /// artifacts persisted through an optional [`ArtifactStore`]. See the
 /// module docs for the full economy.
+///
+/// ## Incremental re-slicing
+///
+/// The first trace read slices into the [`HiResModel`] super-resolution
+/// intermediate, which stays resident; the model at the session's
+/// `n_slices` is derived from it by pure rebinning. A later
+/// [`AnalysisSession::reslice`] to any resolution the resident grid
+/// [`serves`](HiResModel::serves) — or any resolution with a warm
+/// `.omicro`/`.ocube` artifact — therefore performs **zero trace disk
+/// reads**, and is bit-identical to a fresh ingest at that resolution
+/// (see the `hires` module docs for why).
 pub struct AnalysisSession {
     config: SessionConfig,
     source: Box<dyn ModelSource>,
     store: Option<Box<dyn ArtifactStore>>,
-    key: Option<u64>,
-    model: Option<MicroModel>,
+    fingerprint: Option<u64>,
+    hi_res: Option<HiResModel>,
     ingest: Option<IngestStats>,
-    cube: Option<CubeBackend>,
-    cube_source: Option<CubeSource>,
-    table: Option<PartitionTable>,
+    window: Option<ResliceWindow>,
+    active: Derived,
+    parked: Vec<(DerivedKey, Derived)>,
+    source_reads: usize,
+    /// An ingestion-telemetry probe already ran (successfully or not):
+    /// sources that report no stats are not asked again and again.
+    stats_probed: bool,
     dp_runs: usize,
 }
 
@@ -444,12 +535,14 @@ impl AnalysisSession {
             config,
             source: Box::new(source),
             store: None,
-            key: None,
-            model: None,
+            fingerprint: None,
+            hi_res: None,
             ingest: None,
-            cube: None,
-            cube_source: None,
-            table: None,
+            window: None,
+            active: Derived::default(),
+            parked: Vec::new(),
+            source_reads: 0,
+            stats_probed: false,
             dp_runs: 0,
         }
     }
@@ -460,24 +553,48 @@ impl AnalysisSession {
         self
     }
 
-    /// The pipeline parameters.
+    /// The pipeline parameters (the `n_slices` field tracks the *active*
+    /// resolution across [`AnalysisSession::reslice`] calls).
     pub fn config(&self) -> &SessionConfig {
         &self.config
     }
 
-    /// The content-addressed artifact key (computed once per session).
+    /// The content-addressed artifact key of the active resolution
+    /// (fingerprint computed once per session).
     pub fn key(&mut self) -> Result<u64, SessionError> {
-        if let Some(k) = self.key {
+        if let Some(k) = self.active.key {
             return Ok(k);
         }
-        let k = self.config.key(self.source.fingerprint()?);
-        self.key = Some(k);
+        let fp = self.fingerprint()?;
+        let k = self.config.key(fp);
+        self.active.key = Some(k);
         Ok(k)
+    }
+
+    fn fingerprint(&mut self) -> Result<u64, SessionError> {
+        if let Some(fp) = self.fingerprint {
+            return Ok(fp);
+        }
+        let fp = self.source.fingerprint()?;
+        self.fingerprint = Some(fp);
+        Ok(fp)
+    }
+
+    /// Key of the `.omicro` hi-res artifact: hashes the trace fingerprint
+    /// and the metric, **not** `n_slices` — one hi-res intermediate serves
+    /// every resolution in its dyadic family, so all of them must find it.
+    fn hi_key(&mut self) -> Result<u64, SessionError> {
+        let fp = self.fingerprint()?;
+        let mut h = FNV_SEED;
+        h = fnv1a(h, &fp.to_le_bytes());
+        h = fnv1a(h, b"omicro");
+        h = fnv1a(h, self.config.metric.tag().as_bytes());
+        Ok(h)
     }
 
     /// How the cube was obtained, once [`AnalysisSession::cube`] ran.
     pub fn cube_source(&self) -> Option<CubeSource> {
-        self.cube_source
+        self.active.cube_source
     }
 
     /// Number of DP (Algorithm 1 / dichotomy) invocations this session —
@@ -486,77 +603,299 @@ impl AnalysisSession {
         self.dp_runs
     }
 
-    fn ensure_model(&mut self) -> Result<(), SessionError> {
-        if self.model.is_none() {
-            let (model, stats) = self
-                .source
-                .model_with_stats(self.config.n_slices, self.config.metric)?;
-            self.model = Some(model);
-            self.ingest = stats;
+    /// Number of times the session asked its [`ModelSource`] to read the
+    /// underlying trace (hi-res or direct). Stays at its pre-`reslice`
+    /// value across any `--slices` change the resident hi-res model or a
+    /// warm artifact can serve — the property the re-slice test suite
+    /// pins.
+    pub fn source_reads(&self) -> usize {
+        self.source_reads
+    }
+
+    /// The resident hi-res intermediate's slice count, when one was
+    /// materialized this session.
+    pub fn hi_res_slices(&self) -> Option<usize> {
+        self.hi_res.as_ref().map(|h| h.n_slices())
+    }
+
+    /// The active zoom window (snapped to the hi-res grid), if any.
+    pub fn window(&self) -> Option<(f64, f64)> {
+        self.window.map(|w| (w.t0, w.t1))
+    }
+
+    /// Whether the artifact store applies to the active derived pipeline:
+    /// zoomed windows are in-memory only (their grids are not addressed
+    /// by the `(trace, n_slices)` key space).
+    fn store_active(&self) -> bool {
+        self.store.is_some() && self.window.is_none()
+    }
+
+    /// Make a hi-res intermediate able to serve `n` resident, touching the
+    /// trace only as a last resort: resident → warm `.omicro` → ingest.
+    /// Leaves `hi_res` untouched when the source is not hi-res-capable.
+    fn ensure_hi_res(&mut self, n: usize) -> Result<(), SessionError> {
+        if self.hi_res.as_ref().is_some_and(|h| h.serves(n)) {
+            return Ok(());
+        }
+        if self.store.is_some() {
+            let key = self.hi_key()?;
+            if let Some(h) = self.store.as_ref().unwrap().load_hi_res(key) {
+                if h.metric() == self.config.metric && h.serves(n) {
+                    self.hi_res = Some(h);
+                    return Ok(());
+                }
+            }
+        }
+        if let Some((h, stats)) = self.source.hi_res_with_stats(n, self.config.metric)? {
+            self.source_reads += 1;
+            self.stats_probed = true;
+            if stats.is_some() {
+                self.ingest = stats;
+            }
+            // Install (and persist) the fresh intermediate only when it
+            // actually serves `n`: in the narrow regime where it cannot
+            // (cell-budget clamp + density pseudo-states, see
+            // `HiResModel::serves`), keeping a previously serving
+            // resident is strictly better than displacing it with a grid
+            // that serves nothing.
+            if h.serves(n) {
+                if self.store.is_some() {
+                    let key = self.hi_key()?;
+                    self.store.as_ref().unwrap().store_hi_res(key, &h);
+                }
+                self.hi_res = Some(h);
+            } else if self.hi_res.is_none() {
+                self.hi_res = Some(h);
+            }
         }
         Ok(())
     }
 
-    /// Ingestion telemetry, when the source reports it. **Cold-path only**
-    /// like [`AnalysisSession::model`]: forces the model build (and thus a
-    /// trace read) the first time; memoized afterwards.
+    fn ensure_model(&mut self) -> Result<(), SessionError> {
+        if self.active.model.is_some() {
+            return Ok(());
+        }
+        let n = self.config.n_slices;
+        self.ensure_hi_res(n)?;
+        if let Some(h) = &self.hi_res {
+            let derived = match self.window {
+                None => h.derive(n),
+                Some(w) => h.derive_window(w.first, w.count, n),
+            };
+            if let Some(model) = derived {
+                self.active.model = Some(model);
+                return Ok(());
+            }
+            if self.window.is_some() {
+                return Err(SessionError::InvalidParam(
+                    "re-slice window no longer aligns with the resident hi-res grid".into(),
+                ));
+            }
+        } else if self.window.is_some() {
+            return Err(SessionError::InvalidParam(
+                "this model source cannot re-slice into a time window".into(),
+            ));
+        }
+        // Sources without a hi-res intermediate (already-sliced models,
+        // `.omm` caches): the classic per-resolution direct build.
+        let (model, stats) = self.source.model_with_stats(n, self.config.metric)?;
+        self.source_reads += 1;
+        self.stats_probed = true;
+        if stats.is_some() {
+            self.ingest = stats;
+        }
+        self.active.model = Some(model);
+        Ok(())
+    }
+
+    /// Ingestion telemetry, when the source reports it. Forces a trace
+    /// read the first time (every field is a pure function of the trace
+    /// bytes and the slicing parameters, so warm and cold sessions report
+    /// identical stats); memoized afterwards — including the "this source
+    /// reports no telemetry" answer, so a stats-less source is never
+    /// re-read.
     pub fn ingest_stats(&mut self) -> Result<Option<&IngestStats>, SessionError> {
         self.ensure_model()?;
+        if self.ingest.is_none() && !self.stats_probed {
+            // A fully warm session derived its model without a trace read;
+            // the Stats query's whole point is measuring ingestion, so run
+            // the (deterministic) hi-res ingest now.
+            self.stats_probed = true;
+            if let Some((h, stats)) = self
+                .source
+                .hi_res_with_stats(self.config.n_slices, self.config.metric)?
+            {
+                self.source_reads += 1;
+                self.ingest = stats;
+                if self.hi_res.is_none() {
+                    self.hi_res = Some(h);
+                }
+            }
+        }
         Ok(self.ingest.as_ref())
     }
 
-    /// The microscopic model. **Cold-path only**: forces a trace read even
-    /// when the cube is warm, so commands should prefer
-    /// [`AnalysisSession::cube`] / [`AnalysisSession::grid`] whenever the
-    /// query can be answered from the cube alone.
+    /// The microscopic model at the active resolution. **Cold-path only**
+    /// when no hi-res intermediate or `.omicro` artifact can serve it:
+    /// commands should prefer [`AnalysisSession::cube`] /
+    /// [`AnalysisSession::grid`] whenever the query can be answered from
+    /// the cube alone.
     pub fn model(&mut self) -> Result<&MicroModel, SessionError> {
         self.ensure_model()?;
-        Ok(self.model.as_ref().unwrap())
+        Ok(self.active.model.as_ref().unwrap())
+    }
+
+    /// Switch the session to a new slicing resolution, optionally zooming
+    /// into a time window (snapped to the hi-res grid).
+    ///
+    /// The old resolution's derived model and partition-table memos are
+    /// parked, not discarded: switching back re-serves cached partitions
+    /// with zero DP runs and zero reads (the cube — the memory-heavy
+    /// stage — is released on park and rebuilt from the parked model or
+    /// a warm `.ocube` on demand). The
+    /// new resolution's model is derived from the resident [`HiResModel`]
+    /// with **zero trace reads** whenever the hi-res grid
+    /// [`serves`](HiResModel::serves) it (or a warm `.omicro`/`.ocube`
+    /// artifact covers it); otherwise the next query re-ingests at the
+    /// new resolution's own hi-res grid.
+    ///
+    /// Windowed re-slices are eagerly materialized (pinning them to the
+    /// hi-res grid they were snapped against), bypass the artifact store,
+    /// and are not parked — revisiting a window re-snaps it against the
+    /// *current* hi-res grid, so a replaced grid can never serve a stale
+    /// time range.
+    pub fn reslice(
+        &mut self,
+        n_slices: usize,
+        window: Option<(f64, f64)>,
+    ) -> Result<(), SessionError> {
+        if n_slices < 1 {
+            return Err(SessionError::InvalidParam(
+                "--slices must be at least 1".into(),
+            ));
+        }
+        let win = match window {
+            None => None,
+            Some((t0, t1)) => {
+                if !(t0.is_finite() && t1.is_finite() && t1 > t0) {
+                    return Err(SessionError::InvalidParam(format!(
+                        "re-slice window must be a finite, non-empty range (got [{t0}, {t1}])"
+                    )));
+                }
+                self.ensure_hi_res(n_slices)?;
+                let hi = self.hi_res.as_ref().ok_or_else(|| {
+                    SessionError::InvalidParam(
+                        "this model source cannot re-slice into a time window".into(),
+                    )
+                })?;
+                let (first, count) = hi.snap_window(t0, t1).ok_or_else(|| {
+                    SessionError::InvalidParam(format!(
+                        "window [{t0}, {t1}] lies outside the trace or collapses on the hi-res grid"
+                    ))
+                })?;
+                if count % n_slices != 0 {
+                    return Err(SessionError::InvalidParam(format!(
+                        "window spans {count} hi-res slices, not divisible into {n_slices} \
+                         equal bins (pick a divisor of {count})"
+                    )));
+                }
+                let grid = hi.raw().grid();
+                let (w0, _) = grid.slice_bounds(first);
+                let (_, w1) = grid.slice_bounds(first + count - 1);
+                Some(ResliceWindow {
+                    first,
+                    count,
+                    t0: w0,
+                    t1: w1,
+                })
+            }
+        };
+        let win_key = win.map(|w| (w.first, w.count));
+        let active_key = (
+            self.config.n_slices,
+            self.window.map(|w| (w.first, w.count)),
+        );
+        let new_key = (n_slices, win_key);
+        if new_key != active_key {
+            let target = self
+                .parked
+                .iter()
+                .position(|(k, _)| *k == new_key)
+                .map(|i| self.parked.remove(i).1)
+                .unwrap_or_default();
+            let mut old = std::mem::replace(&mut self.active, target);
+            // Only full-grid pipelines are parked for reuse. A windowed
+            // pipeline's identity includes the hi-res grid it was snapped
+            // against, and a later re-slice may have replaced that grid —
+            // restoring it could silently serve a different time range, so
+            // windowed pipelines are re-derived (cheap, in-memory) instead.
+            if self.window.is_none() {
+                // The cube is the memory-heavy stage (a dense backend can
+                // be O(|S||T|²), up to a GiB): parked pipelines keep the
+                // model and the partition-table memos (so cached queries
+                // stay zero-DP) but release the cube — it rebuilds
+                // deterministically from the parked model, or reloads
+                // from a warm `.ocube`, on revisit.
+                old.cube = None;
+                old.cube_source = None;
+                self.parked.push((active_key, old));
+                if self.parked.len() > PARKED_KEEP {
+                    self.parked.remove(0);
+                }
+            }
+            self.config.n_slices = n_slices;
+            self.window = win;
+        }
+        if self.window.is_some() {
+            // Pin the windowed model to the grid it was snapped against.
+            self.ensure_model()?;
+        }
+        Ok(())
     }
 
     fn ensure_cube(&mut self) -> Result<(), SessionError> {
-        if self.cube.is_some() {
+        if self.active.cube.is_some() {
             return Ok(());
         }
         // The key hashes the trace bytes, so it is only computed when a
         // store could actually serve or receive artifacts — a store-less
         // session goes straight to the (single-pass) model build without
         // a separate fingerprint read.
-        if self.store.is_some() {
+        if self.store_active() {
             let key = self.key()?;
             let store = self.store.as_ref().unwrap();
             if let Some(core) = store.load_cube(key) {
-                self.cube = Some(CubeBackend::from_core(core, self.config.memory));
-                self.cube_source = Some(CubeSource::Warm);
+                self.active.cube = Some(CubeBackend::from_core(core, self.config.memory));
+                self.active.cube_source = Some(CubeSource::Warm);
                 return Ok(());
             }
         }
         self.ensure_model()?;
-        let core = CubeCore::build(self.model.as_ref().unwrap());
-        if self.store.is_some() {
+        let core = CubeCore::build(self.active.model.as_ref().unwrap());
+        if self.store_active() {
             let key = self.key()?;
             self.store.as_ref().unwrap().store_cube(key, &core);
         }
-        self.cube = Some(CubeBackend::from_core(core, self.config.memory));
-        self.cube_source = Some(CubeSource::Cold);
+        self.active.cube = Some(CubeBackend::from_core(core, self.config.memory));
+        self.active.cube_source = Some(CubeSource::Cold);
         Ok(())
     }
 
     /// The gain/loss quality cube (built or loaded on first use).
     pub fn cube(&mut self) -> Result<&CubeBackend, SessionError> {
         self.ensure_cube()?;
-        Ok(self.cube.as_ref().unwrap())
+        Ok(self.active.cube.as_ref().unwrap())
     }
 
     /// The cube, only if a previous call already materialized it — never
     /// triggers a build or a store lookup.
     pub fn cube_if_built(&self) -> Option<&CubeBackend> {
-        self.cube.as_ref()
+        self.active.cube.as_ref()
     }
 
     /// The model, only if a previous call already built it.
     pub fn model_if_built(&self) -> Option<&MicroModel> {
-        self.model.as_ref()
+        self.active.model.as_ref()
     }
 
     /// Load the cube from the artifact store if (and only if) a warm
@@ -565,14 +904,14 @@ impl AnalysisSession {
     /// (`Describe`, `Stats`) answer warm without a trace read and cold
     /// without paying for a cube they do not need.
     pub fn try_warm_cube(&mut self) -> Result<Option<&CubeBackend>, SessionError> {
-        if self.cube.is_none() && self.store.is_some() {
+        if self.active.cube.is_none() && self.store_active() {
             let key = self.key()?;
             if let Some(core) = self.store.as_ref().unwrap().load_cube(key) {
-                self.cube = Some(CubeBackend::from_core(core, self.config.memory));
-                self.cube_source = Some(CubeSource::Warm);
+                self.active.cube = Some(CubeBackend::from_core(core, self.config.memory));
+                self.active.cube_source = Some(CubeSource::Warm);
             }
         }
-        Ok(self.cube.as_ref())
+        Ok(self.active.cube.as_ref())
     }
 
     /// Both the model and the cube (for queries that genuinely need raw
@@ -580,42 +919,44 @@ impl AnalysisSession {
     pub fn model_and_cube(&mut self) -> Result<(&MicroModel, &CubeBackend), SessionError> {
         self.ensure_cube()?;
         self.ensure_model()?;
-        Ok((self.model.as_ref().unwrap(), self.cube.as_ref().unwrap()))
+        Ok((
+            self.active.model.as_ref().unwrap(),
+            self.active.cube.as_ref().unwrap(),
+        ))
     }
 
     /// The time grid, answered from the cube (no trace read when warm).
     pub fn grid(&mut self) -> Result<TimeGrid, SessionError> {
         self.ensure_cube()?;
-        Ok(*self.cube.as_ref().unwrap().core().grid())
+        Ok(*self.active.cube.as_ref().unwrap().core().grid())
     }
 
     fn ensure_table(&mut self) -> Result<(), SessionError> {
-        if self.table.is_some() {
+        if self.active.table.is_some() {
             return Ok(());
         }
-        let loaded = match &self.store {
-            Some(_) => {
-                let key = self.key()?;
-                self.store
-                    .as_ref()
-                    .unwrap()
-                    .load_partitions(key)
-                    .unwrap_or_default()
-            }
-            None => PartitionTable::default(),
+        let loaded = if self.store_active() {
+            let key = self.key()?;
+            self.store
+                .as_ref()
+                .unwrap()
+                .load_partitions(key)
+                .unwrap_or_default()
+        } else {
+            PartitionTable::default()
         };
-        self.table = Some(loaded);
+        self.active.table = Some(loaded);
         Ok(())
     }
 
     fn persist_table(&mut self) -> Result<(), SessionError> {
-        if self.store.is_none() {
+        if !self.store_active() {
             return Ok(());
         }
         // Memoized key: re-fingerprinting here would re-hash the whole
         // trace on every newly recorded DP result.
         let key = self.key()?;
-        if let (Some(store), Some(table)) = (&self.store, &self.table) {
+        if let (Some(store), Some(table)) = (&self.store, &self.active.table) {
             store.store_partitions(key, table);
         }
         Ok(())
@@ -641,15 +982,16 @@ impl AnalysisSession {
             )));
         }
         self.ensure_table()?;
-        if let Some(part) = self.table.as_ref().unwrap().lookup(p, coarse) {
+        if let Some(part) = self.active.table.as_ref().unwrap().lookup(p, coarse) {
             return Ok(part.clone());
         }
         self.ensure_cube()?;
-        let cube = self.cube.as_ref().unwrap();
+        let cube = self.active.cube.as_ref().unwrap();
         let tree = aggregate(cube, p, &self.dp_config(coarse));
         let partition = tree.partition(cube);
         self.dp_runs += 1;
-        self.table
+        self.active
+            .table
             .as_mut()
             .unwrap()
             .insert_point(p, coarse, partition.clone());
@@ -667,14 +1009,20 @@ impl AnalysisSession {
             )));
         }
         self.ensure_table()?;
-        if let Some(entries) = self.table.as_ref().unwrap().significant_at(resolution) {
+        if let Some(entries) = self
+            .active
+            .table
+            .as_ref()
+            .unwrap()
+            .significant_at(resolution)
+        {
             return Ok(entries.to_vec());
         }
         self.ensure_cube()?;
-        let cube = self.cube.as_ref().unwrap();
+        let cube = self.active.cube.as_ref().unwrap();
         let entries = significant_partitions(cube, &DpConfig::default(), resolution);
         self.dp_runs += 1;
-        self.table.as_mut().unwrap().significant = Some(SignificantSet {
+        self.active.table.as_mut().unwrap().significant = Some(SignificantSet {
             resolution,
             entries: entries.clone(),
         });

@@ -1,0 +1,156 @@
+//! OMI — the cached hi-res intermediate (`.omicro`).
+//!
+//! The `.omicro` artifact persists an `ocelotl_core::HiResModel` — the
+//! super-resolution raw array behind incremental re-slicing — so a *warm*
+//! session serves any compatible `--slices` change from the store without
+//! ever touching the trace file. Like `.ocube`/`.opart`, the artifact is
+//! doubly guarded: the content-addressed key lives in the file name *and*
+//! in the header.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   "OMI1"
+//! u64     artifact key
+//! u8      metric tag (0 = states, 1 = density)
+//! …       OMM payload (`micro_cache::write_micro` of the raw array)
+//! ```
+//!
+//! The payload reuses the OMM encoding, which stores every `f64` as its
+//! exact IEEE-754 bit pattern — a reloaded hi-res model rebins to byte-
+//! identical derived models, which is what keeps warm re-slices
+//! bit-identical to cold re-ingests across processes.
+
+use crate::error::{FormatError, Result};
+use crate::micro_cache::{read_micro_cache, write_micro};
+use bytes::BufMut;
+use ocelotl_core::{HiResModel, Metric};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"OMI1";
+
+fn metric_tag(metric: Metric) -> u8 {
+    match metric {
+        Metric::States => 0,
+        Metric::Density => 1,
+    }
+}
+
+fn metric_from_tag(tag: u8) -> Result<Metric> {
+    match tag {
+        0 => Ok(Metric::States),
+        1 => Ok(Metric::Density),
+        other => Err(FormatError::parse(
+            format!("unknown hi-res metric tag {other}"),
+            None,
+        )),
+    }
+}
+
+/// Serialize a hi-res intermediate under its artifact key.
+pub fn write_hi_res<W: Write>(key: u64, hi: &HiResModel, mut w: W) -> Result<()> {
+    let mut head = Vec::with_capacity(16);
+    head.put_slice(MAGIC);
+    head.put_u64_le(key);
+    head.put_u8(metric_tag(hi.metric()));
+    w.write_all(&head)?;
+    write_micro(hi.raw(), w)
+}
+
+/// Deserialize a hi-res intermediate, returning the stored key alongside.
+pub fn read_hi_res_cache<R: Read>(mut r: R) -> Result<(u64, HiResModel)> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(FormatError::UnsupportedVersion(
+            String::from_utf8_lossy(&magic).into_owned(),
+        ));
+    }
+    let mut fixed = [0u8; 9];
+    r.read_exact(&mut fixed)?;
+    let key = u64::from_le_bytes(fixed[0..8].try_into().unwrap());
+    let metric = metric_from_tag(fixed[8])?;
+    let raw = read_micro_cache(r)?;
+    Ok((key, HiResModel::new(metric, raw)))
+}
+
+/// Write a hi-res intermediate to an `.omicro` file.
+pub fn save_hi_res(key: u64, hi: &HiResModel, path: &Path) -> Result<()> {
+    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
+    write_hi_res(key, hi, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a hi-res intermediate from an `.omicro` file.
+pub fn load_hi_res(path: &Path) -> Result<(u64, HiResModel)> {
+    let r = BufReader::with_capacity(1 << 20, File::open(path)?);
+    read_hi_res_cache(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocelotl_trace::synthetic::random_model;
+    use ocelotl_trace::{LeafId, StateId};
+
+    fn sample(metric: Metric) -> HiResModel {
+        HiResModel::new(metric, random_model(&[2, 2], 64, 3, 11))
+    }
+
+    fn assert_hi_equal(a: &HiResModel, b: &HiResModel) {
+        assert_eq!(a.metric(), b.metric());
+        assert_eq!(a.n_slices(), b.n_slices());
+        assert_eq!(a.raw().n_leaves(), b.raw().n_leaves());
+        for l in 0..a.raw().n_leaves() {
+            for x in 0..a.raw().n_states() {
+                let (l, x) = (LeafId(l as u32), StateId(x as u16));
+                for t in 0..a.n_slices() {
+                    assert_eq!(
+                        a.raw().duration(l, x, t).to_bits(),
+                        b.raw().duration(l, x, t).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_key_metric_and_bits() {
+        for metric in [Metric::States, Metric::Density] {
+            let hi = sample(metric);
+            let mut buf = Vec::new();
+            write_hi_res(0xdead_beef, &hi, &mut buf).unwrap();
+            let (key, back) = read_hi_res_cache(buf.as_slice()).unwrap();
+            assert_eq!(key, 0xdead_beef);
+            assert_hi_equal(&hi, &back);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let hi = sample(Metric::States);
+        let path = std::env::temp_dir().join(format!("omi-test-{}.omicro", std::process::id()));
+        save_hi_res(7, &hi, &path).unwrap();
+        let (key, back) = load_hi_res(&path).unwrap();
+        assert_eq!(key, 7);
+        assert_hi_equal(&hi, &back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_and_truncations_rejected() {
+        assert!(read_hi_res_cache(&b"OMM1xxxxxxxxx"[..]).is_err());
+        let hi = sample(Metric::States);
+        let mut buf = Vec::new();
+        write_hi_res(1, &hi, &mut buf).unwrap();
+        for cut in [0, 3, 8, 12, buf.len() / 2, buf.len() - 1] {
+            assert!(read_hi_res_cache(&buf[..cut]).is_err(), "prefix {cut}");
+        }
+        // An unknown metric tag is a parse error, not a panic.
+        buf[12] = 9;
+        assert!(read_hi_res_cache(buf.as_slice()).is_err());
+    }
+}

@@ -234,16 +234,48 @@ impl IngestReport {
 /// description" pipeline fused into one pass, without materializing
 /// events. See the module docs for the two-pass fallback.
 pub fn read_model(path: &Path, n_slices: usize, kind: ModelKind) -> Result<IngestReport> {
+    read_model_impl(path, n_slices, kind, false)
+}
+
+/// Stream a trace file into the **super-resolution raw intermediate**
+/// behind incremental re-slicing: the grid refines to
+/// `hi_res_slices(n_slices, |S|)` periods and the density metric stays
+/// unnormalized, so `ocelotl_core::HiResModel` can derive this and any
+/// compatible resolution by exact rebinning — no further disk passes.
+/// Telemetry (fingerprint, bytes, counts, mode) is reported exactly like
+/// [`read_model`]; `model` carries the raw hi-res array.
+pub fn read_hi_res(path: &Path, n_slices: usize, kind: ModelKind) -> Result<IngestReport> {
+    read_model_impl(path, n_slices, kind, true)
+}
+
+fn read_model_impl(
+    path: &Path,
+    n_slices: usize,
+    kind: ModelKind,
+    hi_res: bool,
+) -> Result<IngestReport> {
     let (fmt, ext) = detect(path)?;
     let wrap = |e: FormatError| annotate(e, path, fmt, ext);
 
     // Optimistic single pass: decode and fingerprint together.
     let mut r = buffered_hashing(path)?;
-    let mut sink = ModelSink::new(kind, n_slices);
+    let mut sink = if hi_res {
+        ModelSink::hi_res(kind, n_slices)
+    } else {
+        ModelSink::new(kind, n_slices)
+    };
     let complete = decode(fmt, &mut r, &mut sink).map_err(wrap)?;
     if complete {
         let (fingerprint, bytes_read) = r.into_inner().finish()?;
-        return assemble(sink, fingerprint, bytes_read, IngestMode::SinglePass, fmt).map_err(wrap);
+        return assemble(
+            sink,
+            fingerprint,
+            bytes_read,
+            IngestMode::SinglePass,
+            fmt,
+            hi_res,
+        )
+        .map_err(wrap);
     }
     if !sink.needs_range() {
         // Declined for a terminal reason (e.g. a declared-but-empty range).
@@ -264,9 +296,21 @@ pub fn read_model(path: &Path, n_slices: usize, kind: ModelKind) -> Result<Inges
         )));
     };
     // Pass 2 — fold the events into the model over the scanned extent.
-    let mut sink = ModelSink::with_range(kind, n_slices, range);
+    let mut sink = if hi_res {
+        ModelSink::hi_res_with_range(kind, n_slices, range)
+    } else {
+        ModelSink::with_range(kind, n_slices, range)
+    };
     decode(fmt, buffered(path)?, &mut sink).map_err(wrap)?;
-    assemble(sink, fingerprint, 2 * scan_bytes, IngestMode::TwoPass, fmt).map_err(wrap)
+    assemble(
+        sink,
+        fingerprint,
+        2 * scan_bytes,
+        IngestMode::TwoPass,
+        fmt,
+        hi_res,
+    )
+    .map_err(wrap)
 }
 
 fn assemble(
@@ -275,12 +319,16 @@ fn assemble(
     bytes_read: u64,
     mode: IngestMode,
     format: Format,
+    raw: bool,
 ) -> Result<IngestReport> {
     let peak_bytes = sink.peak_bytes();
     let (intervals, points) = sink.counts();
-    let model = sink
-        .finish()
-        .map_err(|e| FormatError::parse(e.to_string(), None))?;
+    let finished = if raw {
+        sink.finish_raw()
+    } else {
+        sink.finish()
+    };
+    let model = finished.map_err(|e| FormatError::parse(e.to_string(), None))?;
     Ok(IngestReport {
         model,
         fingerprint,
@@ -459,6 +507,30 @@ mod tests {
         assert_eq!(Format::sniff(b"BTF1"), Some(Format::Binary));
         assert_eq!(Format::sniff(b"%EventDef PajeState"), Some(Format::Paje));
         assert_eq!(Format::sniff(b"??"), None);
+    }
+
+    #[test]
+    fn read_hi_res_refines_and_keeps_the_fingerprint() {
+        let t = sample();
+        for name in ["hi.btf", "hi.ptf", "hi.paje"] {
+            let p = tmpdir().join(name);
+            write_trace(&t, &p).unwrap();
+            let report = read_hi_res(&p, 3, ModelKind::States).unwrap();
+            assert_eq!(
+                report.model.n_slices(),
+                ocelotl_trace::hi_res_slices(3, 2, 1),
+                "{name}"
+            );
+            assert_eq!(report.fingerprint, hash_file(&p).unwrap(), "{name}");
+            assert_eq!(report.intervals, 2, "{name}");
+            // Mass is conserved by the refinement.
+            let direct = read_model(&p, 3, ModelKind::States).unwrap().model;
+            assert!(
+                (report.model.grand_total() - direct.grand_total()).abs() < 1e-9,
+                "{name}"
+            );
+            std::fs::remove_file(&p).ok();
+        }
     }
 
     #[test]

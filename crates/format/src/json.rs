@@ -25,8 +25,8 @@
 use ocelotl_core::query::{
     AggregateReply, AnalysisReply, AnalysisRequest, AreaRow, BaselineRow, ClusterReply,
     DescribeReply, DiffReply, InspectReply, LevelReply, ModelShape, OverviewItem, OverviewReply,
-    PValuesReply, PartitionSummary, QueryError, SignificantReply, StatsReply, SweepPoint,
-    SweepReply, PROTOCOL_VERSION,
+    PValuesReply, PartitionSummary, QueryError, ResliceReply, SignificantReply, StatsReply,
+    SweepPoint, SweepReply, PROTOCOL_VERSION,
 };
 use ocelotl_core::{MemoryMode, Metric, SessionConfig, VisualMark};
 
@@ -520,6 +520,29 @@ fn request_to_json(req: &AnalysisRequest) -> Json {
             ),
         ]),
         AnalysisRequest::Stats => obj(vec![("kind", strv("stats"))]),
+        AnalysisRequest::Reslice { n_slices, range } => obj(vec![
+            ("kind", strv("reslice")),
+            ("slices", int(*n_slices)),
+            ("range", range_to_json(*range)),
+        ]),
+    }
+}
+
+fn range_to_json(range: Option<(f64, f64)>) -> Json {
+    match range {
+        Some((t0, t1)) => Json::Arr(vec![num(t0), num(t1)]),
+        None => Json::Null,
+    }
+}
+
+fn range_from_json(j: &Json, key: &str) -> Result<Option<(f64, f64)>, QueryError> {
+    match field(j, key)? {
+        Json::Null => Ok(None),
+        Json::Arr(pair) if pair.len() == 2 => Ok(Some((
+            num_value(&pair[0], &format!("{key:?} start"))?,
+            num_value(&pair[1], &format!("{key:?} end"))?,
+        ))),
+        _ => Err(bad(format!("field {key:?} must be [t0, t1] or null"))),
     }
 }
 
@@ -561,6 +584,10 @@ fn request_from_json(j: &Json) -> Result<AnalysisRequest, QueryError> {
             },
         }),
         "stats" => Ok(AnalysisRequest::Stats),
+        "reslice" => Ok(AnalysisRequest::Reslice {
+            n_slices: as_usize(j, "slices")?,
+            range: range_from_json(j, "range")?,
+        }),
         other => Err(bad(format!("unknown request kind {other:?}"))),
     }
 }
@@ -832,6 +859,13 @@ fn reply_to_json(reply: &AnalysisReply) -> Json {
             ("format", strv(&s.format)),
             ("fingerprint", strv(&s.fingerprint)),
         ]),
+        AnalysisReply::Reslice(r) => obj(vec![
+            ("kind", strv("reslice")),
+            ("n_slices", int(r.n_slices)),
+            ("hi_slices", int(r.hi_slices)),
+            ("window", range_to_json(r.window)),
+            ("shape", shape_to_json(&r.shape)),
+        ]),
     }
 }
 
@@ -1008,6 +1042,12 @@ fn reply_from_json(j: &Json) -> Result<AnalysisReply, QueryError> {
             mode: as_str(j, "mode")?.to_string(),
             format: as_str(j, "format")?.to_string(),
             fingerprint: as_str(j, "fingerprint")?.to_string(),
+        })),
+        "reslice" => Ok(AnalysisReply::Reslice(ResliceReply {
+            n_slices: as_usize(j, "n_slices")?,
+            hi_slices: as_usize(j, "hi_slices")?,
+            window: range_from_json(j, "window")?,
+            shape: shape_from_json(field(j, "shape")?)?,
         })),
         other => Err(bad(format!("unknown reply kind {other:?}"))),
     }
@@ -1219,6 +1259,14 @@ mod tests {
                 level_resolution: Some(0.01),
             },
             AnalysisRequest::Stats,
+            AnalysisRequest::Reslice {
+                n_slices: 60,
+                range: None,
+            },
+            AnalysisRequest::Reslice {
+                n_slices: 24,
+                range: Some((1.5, 7.25)),
+            },
         ];
         for req in &reqs {
             let line = encode_request(req);

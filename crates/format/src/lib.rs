@@ -10,6 +10,9 @@
 //! - **OMM** ([`micro_cache`]): the cached microscopic model, making the
 //!   paper's "preprocess once, interact instantly" economy durable across
 //!   analysis sessions;
+//! - **OMI** ([`hires_cache`]): the cached hi-res intermediate
+//!   (`.omicro`) — a warm session re-slices to any compatible `--slices`
+//!   value from the store, never touching the trace;
 //! - **OCB** ([`cube_cache`]): the cached quality-cube prefix sums
 //!   (`.ocube`) — a warm session skips trace reading, slicing and
 //!   prefix-sum construction entirely;
@@ -33,6 +36,7 @@
 pub mod binary;
 pub mod cube_cache;
 pub mod error;
+pub mod hires_cache;
 pub mod io;
 pub mod json;
 pub mod micro_cache;
@@ -46,8 +50,10 @@ pub use binary::{
 };
 pub use cube_cache::{load_cube, read_cube, save_cube, write_cube};
 pub use error::{FormatError, Result};
+pub use hires_cache::{load_hi_res, read_hi_res_cache, save_hi_res, write_hi_res};
 pub use io::{
-    decode, read_micro, read_model, read_trace, write_trace, Format, IngestMode, IngestReport,
+    decode, read_hi_res, read_micro, read_model, read_trace, write_trace, Format, IngestMode,
+    IngestReport,
 };
 pub use json::{
     decode_reply, decode_request, decode_wire_request, encode_reply, encode_request,

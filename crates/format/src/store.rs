@@ -30,8 +30,9 @@
 
 use crate::cube_cache::{load_cube, save_cube};
 use crate::error::Result;
+use crate::hires_cache::{load_hi_res, save_hi_res};
 use crate::part_cache::{load_partitions, save_partitions};
-use ocelotl_core::{fnv1a, ArtifactStore, CubeCore, PartitionTable, FNV_SEED};
+use ocelotl_core::{fnv1a, ArtifactStore, CubeCore, HiResModel, PartitionTable, FNV_SEED};
 use ocelotl_trace::Trace;
 use std::fs::File;
 use std::io::{Read, Write};
@@ -264,6 +265,22 @@ impl ArtifactStore for DiskStore {
         let ok = save_partitions(key, table, &self.path(key, "opart")).is_ok();
         if ok {
             self.prune_stale(key, "opart");
+        }
+        ok
+    }
+
+    fn load_hi_res(&self, key: u64) -> Option<HiResModel> {
+        let (stored_key, hi) = load_hi_res(&self.path(key, "omicro")).ok()?;
+        (stored_key == key).then_some(hi)
+    }
+
+    fn store_hi_res(&self, key: u64, hi: &HiResModel) -> bool {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let ok = save_hi_res(key, hi, &self.path(key, "omicro")).is_ok();
+        if ok {
+            self.prune_stale(key, "omicro");
         }
         ok
     }

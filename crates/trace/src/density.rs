@@ -87,6 +87,26 @@ pub fn event_counts(trace: &Trace, grid: TimeGrid) -> MicroModel {
     MicroModel::from_dense(trace.hierarchy.clone(), states, grid, counts)
 }
 
+/// Scale a flat `[leaf][state][slice]` count array so the busiest cell
+/// reads `ρ = 1`: multiply every cell by `slice_duration / max(data)`
+/// (a no-op for an all-zero array). This is **the** peak-normalization
+/// kernel: `ModelSink`'s density finish and the hi-res rebinning in
+/// `ocelotl-core` both call it, so the bit-identity between warm
+/// re-slices and fresh ingests is structural — there is only one copy of
+/// the arithmetic to drift.
+pub fn peak_normalize(data: &mut [f64], slice_duration: f64) {
+    let mut peak = 0.0f64;
+    for &c in data.iter() {
+        peak = peak.max(c);
+    }
+    if peak > 0.0 {
+        let scale = slice_duration / peak;
+        for c in data.iter_mut() {
+            *c *= scale;
+        }
+    }
+}
+
 /// Build the peak-normalized event-density model of a trace: raw counts
 /// scaled so the busiest `(s, t, x)` cell has `ρ = 1`. This keeps the
 /// proportions inside the `[0, 1]` domain of the paper's measures while
@@ -94,32 +114,21 @@ pub fn event_counts(trace: &Trace, grid: TimeGrid) -> MicroModel {
 /// all-zero model.
 pub fn event_density(trace: &Trace, grid: TimeGrid) -> MicroModel {
     let raw = event_counts(trace, grid);
-    let mut peak = 0.0f64;
-    for leaf in 0..raw.n_leaves() {
-        for x in 0..raw.n_states() {
-            for &c in raw.series(LeafId(leaf as u32), StateId(x as u16)) {
-                peak = peak.max(c);
-            }
-        }
-    }
-    if peak == 0.0 {
-        return raw;
-    }
-    let scale = grid.slice_duration() / peak;
     let hierarchy = raw.hierarchy().clone();
     let states = raw.states().clone();
     let n_states = raw.n_states();
     let n_slices = raw.n_slices();
+    // Flatten into the model's own [leaf][state][slice] layout, then run
+    // the one shared normalization kernel over it.
     let mut scaled = vec![0.0f64; raw.n_leaves() * n_states * n_slices];
     for leaf in 0..raw.n_leaves() {
         for x in 0..n_states {
             let src = raw.series(LeafId(leaf as u32), StateId(x as u16));
             let base = (leaf * n_states + x) * n_slices;
-            for (t, &c) in src.iter().enumerate() {
-                scaled[base + t] = c * scale;
-            }
+            scaled[base..base + n_slices].copy_from_slice(src);
         }
     }
+    peak_normalize(&mut scaled, grid.slice_duration());
     MicroModel::from_dense(hierarchy, states, grid, scaled)
 }
 

@@ -32,14 +32,14 @@ pub mod synthetic;
 pub mod trace;
 pub mod variable;
 
-pub use density::{event_counts, event_density, event_density_auto};
+pub use density::{event_counts, event_density, event_density_auto, peak_normalize};
 pub use event::{PointEvent, PointKind, StateInterval, Time};
 pub use hierarchy::{Hierarchy, HierarchyBuilder, LeafId, NodeId};
 pub use micro::{MicroBuilder, MicroModel};
 pub use sink::{
     EventSink, ModelKind, ModelSink, ModelSinkError, ScanSink, StreamHeader, TeeSink, TraceSink,
 };
-pub use slicing::TimeGrid;
+pub use slicing::{hi_res_slices, TimeGrid, HI_RES_CELL_BUDGET, HI_RES_FACTOR, HI_RES_MIN_SLICES};
 pub use state::{StateId, StateRegistry};
 pub use trace::{Trace, TraceBuilder};
 pub use variable::{

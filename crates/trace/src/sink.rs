@@ -285,6 +285,9 @@ struct Accum {
 pub struct ModelSink {
     kind: ModelKind,
     n_slices: usize,
+    /// Refine the grid to [`hi_res_slices`] of the requested resolution
+    /// (decided at `begin`, once the header reveals the leaf count).
+    hi_res: bool,
     range_override: Option<(Time, Time)>,
     acc: Option<Accum>,
     refusal: Option<ModelSinkError>,
@@ -299,6 +302,7 @@ impl ModelSink {
         Self {
             kind,
             n_slices,
+            hi_res: false,
             range_override: None,
             acc: None,
             refusal: None,
@@ -312,6 +316,29 @@ impl ModelSink {
     /// is ignored.
     pub fn with_range(kind: ModelKind, n_slices: usize, range: (Time, Time)) -> Self {
         Self {
+            range_override: Some(range),
+            ..Self::new(kind, n_slices)
+        }
+    }
+
+    /// A sink building the **super-resolution** intermediate for a
+    /// requested resolution of `n_slices`: the grid is refined to
+    /// [`hi_res_slices`]`(n_slices, n_leaves)` periods once the header is
+    /// known, and the caller finishes with [`ModelSink::finish_raw`] (the
+    /// density metric stays unnormalized so any coarser model can be
+    /// derived later by exact rebinning).
+    pub fn hi_res(kind: ModelKind, n_slices: usize) -> Self {
+        Self {
+            hi_res: true,
+            ..Self::new(kind, n_slices)
+        }
+    }
+
+    /// [`ModelSink::hi_res`] with an injected time range (two-pass
+    /// ingestion of range-less formats).
+    pub fn hi_res_with_range(kind: ModelKind, n_slices: usize, range: (Time, Time)) -> Self {
+        Self {
+            hi_res: true,
             range_override: Some(range),
             ..Self::new(kind, n_slices)
         }
@@ -351,7 +378,21 @@ impl ModelSink {
     /// Finalize: flush the buffer and assemble the model. For the density
     /// metric this merges the point pseudo-states and applies the peak
     /// normalization, reproducing `event_density` exactly.
-    pub fn finish(mut self) -> Result<MicroModel, ModelSinkError> {
+    pub fn finish(self) -> Result<MicroModel, ModelSinkError> {
+        self.finish_inner(true)
+    }
+
+    /// Finalize **without** the density peak normalization: the raw
+    /// per-cell event counts (pseudo-states merged) for the hi-res
+    /// intermediate, from which any coarser density model is derived by
+    /// rebinning + normalizing at the target resolution. For the states
+    /// metric this equals [`ModelSink::finish`] (durations carry no
+    /// normalization).
+    pub fn finish_raw(self) -> Result<MicroModel, ModelSinkError> {
+        self.finish_inner(false)
+    }
+
+    fn finish_inner(mut self, normalize: bool) -> Result<MicroModel, ModelSinkError> {
         if let Some(reason) = self.refusal {
             return Err(reason);
         }
@@ -366,7 +407,7 @@ impl ModelSink {
                 acc.grid,
                 acc.durations,
             )),
-            ModelKind::Density => Ok(finish_density(acc)),
+            ModelKind::Density => Ok(finish_density(acc, normalize)),
         }
     }
 }
@@ -383,8 +424,17 @@ impl EventSink for ModelSink {
             self.refusal = Some(ModelSinkError::EmptyRange);
             return false;
         }
-        let grid = TimeGrid::new(lo, hi, self.n_slices);
-        let size = header.hierarchy.n_leaves() * header.states.len() * self.n_slices;
+        let n_slices = if self.hi_res {
+            crate::slicing::hi_res_slices(
+                self.n_slices,
+                header.hierarchy.n_leaves(),
+                header.states.len(),
+            )
+        } else {
+            self.n_slices
+        };
+        let grid = TimeGrid::new(lo, hi, n_slices);
+        let size = header.hierarchy.n_leaves() * header.states.len() * n_slices;
         self.acc = Some(Accum {
             hierarchy: header.hierarchy.clone(),
             states: header.states.clone(),
@@ -496,9 +546,11 @@ fn flush(acc: &mut Accum, kind: ModelKind) {
     acc.pending.clear();
 }
 
-/// Merge the pseudo-state layers and apply the peak normalization —
-/// the streaming equivalent of `event_counts` + `event_density`.
-fn finish_density(mut acc: Accum) -> MicroModel {
+/// Merge the pseudo-state layers and (when `normalize`) apply the peak
+/// normalization — the streaming equivalent of `event_counts` +
+/// `event_density`. `normalize: false` leaves the raw counts in place
+/// for the hi-res intermediate.
+fn finish_density(mut acc: Accum, normalize: bool) -> MicroModel {
     let n_leaves = acc.hierarchy.n_leaves();
     let n_slices = acc.grid.n_slices();
     // Intern pseudo-states for the kinds that occurred, in the same order
@@ -535,16 +587,9 @@ fn finish_density(mut acc: Accum) -> MicroModel {
             }
         }
     }
-    // Peak normalization, exactly as `event_density`.
-    let mut peak = 0.0f64;
-    for &c in &counts {
-        peak = peak.max(c);
-    }
-    if peak > 0.0 {
-        let scale = acc.grid.slice_duration() / peak;
-        for c in &mut counts {
-            *c *= scale;
-        }
+    // Peak normalization, exactly as `event_density` (one shared kernel).
+    if normalize {
+        crate::density::peak_normalize(&mut counts, acc.grid.slice_duration());
     }
     MicroModel::from_dense(acc.hierarchy, acc.states, acc.grid, counts)
 }
@@ -827,6 +872,43 @@ mod tests {
         assert!(sink.peak_bytes() >= 3 * 2 * 5 * 8);
         let m = sink.finish().unwrap();
         assert_eq!(m.n_slices(), 5);
+    }
+
+    #[test]
+    fn hi_res_sink_refines_the_grid_and_skips_normalization() {
+        let t = sample_trace();
+        let (lo, hi) = t.time_range().unwrap();
+
+        // States: the grid refines to hi_res_slices(n, |S|) periods.
+        let mut sink = ModelSink::hi_res(ModelKind::States, 7);
+        assert!(replay(&t, Some((lo, hi)), &mut sink));
+        let raw = sink.finish_raw().unwrap();
+        assert_eq!(
+            raw.n_slices(),
+            crate::slicing::hi_res_slices(7, 3, 2),
+            "hi-res grid"
+        );
+        assert_eq!(raw.grid().start(), lo);
+        assert_eq!(raw.grid().end(), hi);
+        // Total mass is conserved by refinement (same prorated intervals).
+        let expected: f64 = t.intervals.iter().map(|iv| iv.duration()).sum();
+        assert!((raw.grand_total() - expected).abs() < 1e-9);
+
+        // Density raw: whole event counts, no peak normalization.
+        let mut sink = ModelSink::hi_res(ModelKind::Density, 7);
+        assert!(replay(&t, Some((lo, hi)), &mut sink));
+        let raw = sink.finish_raw().unwrap();
+        assert!(raw.states().get("evt:send").is_some());
+        let total: f64 = (0..raw.n_leaves())
+            .flat_map(|l| (0..raw.n_states()).map(move |x| (l, x)))
+            .map(|(l, x)| {
+                raw.series(LeafId(l as u32), StateId(x as u16))
+                    .iter()
+                    .sum::<f64>()
+            })
+            .sum();
+        // 4 intervals × 2 boundary events + 2 point events = 10 counts.
+        assert_eq!(total, 10.0, "raw density cells are unscaled counts");
     }
 
     #[test]

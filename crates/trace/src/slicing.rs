@@ -7,6 +7,46 @@
 
 use crate::event::Time;
 
+/// Minimum super-resolution slice count of a hi-res microscopic model
+/// (see [`hi_res_slices`]).
+pub const HI_RES_MIN_SLICES: usize = 4096;
+
+/// Minimum refinement factor of the hi-res grid over the requested
+/// resolution (see [`hi_res_slices`]).
+pub const HI_RES_FACTOR: usize = 4;
+
+/// Memory budget of the hi-res array, counted in `f64` cells
+/// (`|S| · |X| · H ≤ budget`, i.e. the raw array stays ≤ 256 MiB). Wide
+/// hierarchies or state-rich traces clamp the refinement instead of
+/// blowing the footprint.
+pub const HI_RES_CELL_BUDGET: usize = 1 << 25;
+
+/// The super-resolution slice count the ingest pipeline uses for a
+/// requested resolution of `n_slices` over `n_leaves` resources with
+/// `n_states` metric layers: the smallest `n_slices · 2^k` that reaches
+/// `max(`[`HI_RES_MIN_SLICES`]`, `[`HI_RES_FACTOR`]` · n_slices)`,
+/// clamped so `n_leaves · n_states · H` stays within
+/// [`HI_RES_CELL_BUDGET`] (never below `n_slices` itself — the floor
+/// degrades the hi-res model to the requested grid, keeping huge
+/// problems memory-safe).
+///
+/// This is a pure function of its arguments: a fresh ingest at any
+/// resolution in the same dyadic family (`n`, `2n`, `4n`, …, and the
+/// divisors `n/2ᵏ` that resolve to the same `H`) lands on the **same**
+/// hi-res grid, which is what makes warm re-slices bit-identical to cold
+/// re-ingests.
+pub fn hi_res_slices(n_slices: usize, n_leaves: usize, n_states: usize) -> usize {
+    let n = n_slices.max(1);
+    let target = HI_RES_MIN_SLICES.max(HI_RES_FACTOR * n);
+    let per_slice = (n_leaves * n_states.max(1)).max(1);
+    let cap = (HI_RES_CELL_BUDGET / per_slice).max(n);
+    let mut h = n;
+    while h < target && h * 2 <= cap {
+        h *= 2;
+    }
+    h
+}
+
 /// A regular grid of `n_slices` time periods covering `[start, end)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeGrid {
@@ -208,5 +248,39 @@ mod tests {
     #[should_panic(expected = "positive extent")]
     fn zero_extent_grid_panics() {
         TimeGrid::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn hi_res_slices_is_a_dyadic_multiple_above_the_floor() {
+        // Small problems: the familiar 30-slice default lands on 7680,
+        // and the whole dyadic family {15, 30, 60, …} resolves there too.
+        assert_eq!(hi_res_slices(30, 8, 4), 7680);
+        assert_eq!(hi_res_slices(60, 8, 4), 7680);
+        assert_eq!(hi_res_slices(15, 8, 4), 7680);
+        assert_eq!(hi_res_slices(120, 8, 4), 7680);
+        // A different base lands elsewhere (50·2⁷ = 6400).
+        assert_eq!(hi_res_slices(50, 8, 4), 6400);
+        // Above 1024 slices the 4× factor dominates the 4096 floor.
+        assert_eq!(hi_res_slices(1500, 8, 4), 6000);
+        // The result is always a power-of-two multiple of the request.
+        for n in [1usize, 7, 30, 333, 2000] {
+            let h = hi_res_slices(n, 4, 3);
+            assert_eq!(h % n, 0, "{n}");
+            assert!((h / n).is_power_of_two(), "{n} -> {h}");
+        }
+    }
+
+    #[test]
+    fn hi_res_slices_respects_the_cell_budget() {
+        // A problem so wide that the budget floors the refinement.
+        assert_eq!(hi_res_slices(30, HI_RES_CELL_BUDGET, 1), 30);
+        // State-rich traces clamp too: 2000 leaves × 50 states leaves
+        // room for ≤ 335 slices per (leaf, state) row.
+        let h = hi_res_slices(30, 2000, 50);
+        assert!(h * 2000 * 50 <= HI_RES_CELL_BUDGET, "{h}");
+        assert!((30..7680).contains(&h) && h.is_multiple_of(30));
+        // Partial budgets stop the doubling midway but never below n.
+        let h = hi_res_slices(30, HI_RES_CELL_BUDGET / 100, 1);
+        assert!((30..7680).contains(&h) && h.is_multiple_of(30));
     }
 }

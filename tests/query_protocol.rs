@@ -19,7 +19,7 @@ use proptest::prelude::*;
 /// analysis parameters — the codec must carry them either way).
 fn arb_request() -> impl Strategy<Value = AnalysisRequest> {
     (
-        0usize..8,
+        0usize..9,
         (-1f64..2.0, -1f64..2.0, 0f64..8.0),
         0usize..2,
         0usize..40,
@@ -54,6 +54,14 @@ fn arb_request() -> impl Strategy<Value = AnalysisRequest> {
                         coarse,
                         min_rows,
                         level_resolution: if flags >= 2 { Some(res) } else { None },
+                    },
+                    7 => AnalysisRequest::Reslice {
+                        n_slices: steps + 1,
+                        range: if flags >= 2 {
+                            Some((p, p + min_rows))
+                        } else {
+                            None
+                        },
                     },
                     _ => AnalysisRequest::Stats,
                 }
@@ -108,6 +116,7 @@ proptest! {
                 min_rows: 2.0,
                 level_resolution: None,
             },
+            AnalysisRequest::Reslice { n_slices: 11, range: None },
         ];
         for req in &requests {
             let reply = engine.execute(req).unwrap();
@@ -196,6 +205,10 @@ fn malformed_requests_are_protocol_errors() {
         "{\"v\":1,\"request\":{\"kind\":\"teleport\"}}",
         "{\"v\":1,\"request\":{\"kind\":\"sweep\",\"resolution\":0.1}}",
         "{\"v\":1,\"request\":{\"kind\":\"aggregate\",\"p\":\"x\",\"coarse\":false,\"compare\":false,\"diff_p\":null}}",
+        "{\"v\":1,\"request\":{\"kind\":\"reslice\"}}",
+        "{\"v\":1,\"request\":{\"kind\":\"reslice\",\"slices\":30,\"range\":[1]}}",
+        "{\"v\":1,\"request\":{\"kind\":\"reslice\",\"slices\":30,\"range\":\"x\"}}",
+        "{\"v\":1,\"request\":{\"kind\":\"reslice\",\"slices\":-3,\"range\":null}}",
     ] {
         assert!(
             matches!(decode_request(line), Err(QueryError::Protocol(_))),

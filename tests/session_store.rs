@@ -5,13 +5,13 @@
 //! |T| = 256).
 
 use ocelotl::core::{
-    quality, AnalysisSession, ArtifactStore, CubeCore, CubeSource, MemoryStore, Metric,
+    quality, AnalysisSession, ArtifactStore, CubeCore, CubeSource, HiResModel, MemoryStore, Metric,
     OwnedSource, PartitionTable, SessionConfig, SignificantSet,
 };
 use ocelotl::format::{hash_trace, DiskStore};
 use ocelotl::prelude::*;
 use ocelotl::trace::synthetic::random_model;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn scratch(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("ocelotl-session-{}-{tag}", std::process::id()));
@@ -229,6 +229,218 @@ fn changing_trace_or_params_invalidates_artifacts() {
         "stale keys must be garbage-collected down to the keep window"
     );
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A file-backed, hi-res-capable source (the facade-level twin of the
+/// CLI's `FileSource`) so the `.omicro` store paths are exercised end to
+/// end from a real trace file.
+struct FileBacked(PathBuf);
+
+impl ModelSource for FileBacked {
+    fn fingerprint(&self) -> Result<u64, SessionError> {
+        ocelotl::format::hash_file(&self.0).map_err(|e| SessionError::source(format!("{e}")))
+    }
+    fn model(&self, n_slices: usize, metric: Metric) -> Result<MicroModel, SessionError> {
+        Ok(
+            ocelotl::format::read_model(&self.0, n_slices, metric.model_kind())
+                .map_err(|e| SessionError::source(e.to_string()))?
+                .model,
+        )
+    }
+    fn hi_res_with_stats(
+        &self,
+        n_slices: usize,
+        metric: Metric,
+    ) -> Result<Option<(HiResModel, Option<IngestStats>)>, SessionError> {
+        let report = ocelotl::format::read_hi_res(&self.0, n_slices, metric.model_kind())
+            .map_err(|e| SessionError::source(e.to_string()))?;
+        Ok(Some((HiResModel::new(metric, report.model), None)))
+    }
+}
+
+fn file_session(path: &Path, n_slices: usize, store: Option<DiskStore>) -> AnalysisSession {
+    let s = AnalysisSession::new(
+        FileBacked(path.to_path_buf()),
+        SessionConfig {
+            n_slices,
+            ..SessionConfig::default()
+        },
+    );
+    match store {
+        Some(store) => s.with_store(store),
+        None => s,
+    }
+}
+
+fn write_quickstart(dir: &Path, name: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join(name);
+    ocelotl::format::write_trace(&quickstart_trace(), &path).unwrap();
+    path
+}
+
+#[test]
+fn omicro_roundtrips_through_the_disk_store() {
+    let dir = scratch("omicro-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = DiskStore::new(&dir, "t");
+    let hi = HiResModel::new(Metric::States, random_model(&[3, 2], 128, 3, 77));
+
+    assert!(store.load_hi_res(9).is_none(), "empty store misses");
+    assert!(store.store_hi_res(9, &hi));
+    let back = store.load_hi_res(9).expect("hit");
+    assert_eq!(back.metric(), Metric::States);
+    assert_eq!(back.n_slices(), 128);
+    for l in 0..hi.raw().n_leaves() {
+        for x in 0..hi.raw().n_states() {
+            let (l, x) = (LeafId(l as u32), StateId(x as u16));
+            for t in 0..128 {
+                assert_eq!(
+                    back.raw().duration(l, x, t).to_bits(),
+                    hi.raw().duration(l, x, t).to_bits()
+                );
+            }
+        }
+    }
+    assert!(store.load_hi_res(10).is_none(), "other keys miss");
+
+    // A renamed artifact must be rejected by the header key guard.
+    let from = dir.join(format!("t-{:016x}.omicro", 9u64));
+    let to = dir.join(format!("t-{:016x}.omicro", 10u64));
+    std::fs::rename(&from, &to).unwrap();
+    assert!(store.load_hi_res(10).is_none(), "header key mismatch");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn omicro_warms_a_slices_change_across_sessions() {
+    let dir = scratch("omicro-warm");
+    let trace_path = write_quickstart(&dir, "q.btf");
+
+    // Session A ingests at 30 and persists the hi-res intermediate.
+    let mut a = file_session(&trace_path, 30, Some(DiskStore::new(&dir, "q")));
+    let a30 = a.partition_at(0.5, false).unwrap();
+    assert_eq!(a.source_reads(), 1);
+
+    // A brand-new session at 60 over the same store re-slices from the
+    // `.omicro` artifact — ZERO trace reads — and is bit-identical to a
+    // fresh, store-less ingest at 60.
+    let mut b = file_session(&trace_path, 60, Some(DiskStore::new(&dir, "q")));
+    let b60 = b.partition_at(0.5, false).unwrap();
+    assert_eq!(
+        b.source_reads(),
+        0,
+        "a --slices change on a warm store must not touch the trace"
+    );
+    let mut fresh = file_session(&trace_path, 60, None);
+    assert_eq!(b60, fresh.partition_at(0.5, false).unwrap());
+
+    // And back at 30 the answers match session A exactly.
+    b.reslice(30, None).unwrap();
+    assert_eq!(b.partition_at(0.5, false).unwrap(), a30);
+    assert_eq!(b.source_reads(), 0, "30 is served warm too (.opart/.ocube)");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn omicro_stale_keys_and_foreign_families_invalidate() {
+    let dir = scratch("omicro-stale");
+    let trace_path = write_quickstart(&dir, "q.btf");
+
+    let mut a = file_session(&trace_path, 30, Some(DiskStore::new(&dir, "q")));
+    let _ = a.model().unwrap();
+    assert_eq!(a.source_reads(), 1);
+
+    // Changed trace bytes → changed fingerprint → changed `.omicro` key:
+    // the stale intermediate can never be served.
+    let mut tb = TraceBuilder::new(Hierarchy::balanced(&[2, 4]));
+    let s = tb.state("Other");
+    for leaf in 0..8u32 {
+        tb.push_state(LeafId(leaf), s, 0.0, 4.0);
+    }
+    ocelotl::format::write_trace(&tb.build(), &trace_path).unwrap();
+    let mut changed = file_session(&trace_path, 30, Some(DiskStore::new(&dir, "q")));
+    let n_leaves = changed.model().unwrap().n_leaves();
+    assert_eq!(changed.source_reads(), 1, "stale key misses, re-ingests");
+    assert_eq!(n_leaves, 8, "the NEW trace is served");
+
+    // A hi-res-resolution change (a slicing family the stored grid cannot
+    // serve) also re-ingests — and overwrites the artifact, so its own
+    // family is warm afterwards.
+    let mut foreign = file_session(&trace_path, 50, Some(DiskStore::new(&dir, "q")));
+    let _ = foreign.model().unwrap();
+    assert_eq!(foreign.source_reads(), 1, "50 is outside the stored family");
+    let mut warm50 = file_session(&trace_path, 50, Some(DiskStore::new(&dir, "q")));
+    let _ = warm50.model().unwrap();
+    assert_eq!(warm50.source_reads(), 0, "the 50-family is now stored");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn omicro_gc_respects_cache_keep() {
+    let dir = scratch("omicro-gc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = DiskStore::new(&dir, "t").with_keep(2);
+    let hi = HiResModel::new(Metric::States, random_model(&[2], 64, 2, 5));
+    for key in 1..=5u64 {
+        assert!(store.store_hi_res(key, &hi));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let omicros = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("omicro"))
+        .count();
+    assert_eq!(omicros, 2, "pruned to --cache-keep");
+    assert!(store.load_hi_res(5).is_some(), "newest kept");
+    assert!(store.load_hi_res(1).is_none(), "oldest collected");
+
+    // Kinds do not prune each other: storing cubes leaves omicros alone.
+    let core = CubeCore::build(&random_model(&[2], 8, 2, 6));
+    for key in 10..=15u64 {
+        store.store_cube(key, &core);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(store.load_hi_res(5).is_some(), ".ocube GC spares .omicro");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The warm-vs-cold guarantee, parameterized over a `--slices` change —
+/// the memo-bug class the hi-res pipeline targets: a session that warmed
+/// at one resolution must stay bit-identical to cold at *every* later
+/// resolution, whether served from the resident model, from artifacts,
+/// or by re-ingest.
+#[test]
+fn warm_vs_cold_bit_identity_survives_slices_changes() {
+    let dir = scratch("warm-across-slices");
+    let trace_path = write_quickstart(&dir, "q.btf");
+
+    // Cold reference runs, one fresh store-less session per resolution.
+    let mut reference = Vec::new();
+    for n in [30usize, 60, 15] {
+        let mut cold = file_session(&trace_path, n, None);
+        reference.push((n, cold.partition_at(0.4, false).unwrap()));
+    }
+
+    // One warm session re-sliced across the same resolutions.
+    let mut warm = file_session(&trace_path, 30, Some(DiskStore::new(&dir, "q")));
+    for (n, cold_part) in &reference {
+        warm.reslice(*n, None).unwrap();
+        let part = warm.partition_at(0.4, false).unwrap();
+        assert_eq!(&part, cold_part, "--slices {n}: warm must equal cold");
+    }
+    assert_eq!(warm.source_reads(), 1, "one ingest serves all resolutions");
+
+    // And a second process (new session, same store) answers all three
+    // with zero DP runs and zero trace reads.
+    let mut replay = file_session(&trace_path, 30, Some(DiskStore::new(&dir, "q")));
+    for (n, cold_part) in &reference {
+        replay.reslice(*n, None).unwrap();
+        assert_eq!(&replay.partition_at(0.4, false).unwrap(), cold_part);
+    }
+    assert_eq!(replay.dp_runs(), 0, "fully warm replay runs no DP");
+    assert_eq!(replay.source_reads(), 0, "fully warm replay reads no trace");
     std::fs::remove_dir_all(&dir).ok();
 }
 
