@@ -49,7 +49,7 @@ fn bench_serve(_c: &mut Criterion) {
     };
 
     let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).expect("bind");
-    let addr = server.addr.to_string();
+    let addr = server.address();
 
     let aggregate = ocelotl::format::encode_wire_request(
         &trace,

@@ -55,6 +55,9 @@ pub fn roundtrip(addr: &str, line: &str) -> Result<String, CliError> {
     } else {
         let mut stream = std::net::TcpStream::connect(addr)
             .map_err(|e| CliError::Invalid(format!("cannot connect to {addr}: {e}")))?;
+        // One small request, one small reply: without TCP_NODELAY, Nagle
+        // plus delayed ACKs costs tens of ms per round-trip.
+        let _ = stream.set_nodelay(true);
         stream.write_all(line.as_bytes())?;
         stream.write_all(b"\n")?;
         let mut reader = BufReader::new(stream);
@@ -64,6 +67,59 @@ pub fn roundtrip(addr: &str, line: &str) -> Result<String, CliError> {
         return Err(CliError::Invalid("server closed without replying".into()));
     }
     Ok(reply.trim_end().to_string())
+}
+
+/// Send many request lines over ONE pipelined connection and read the
+/// matching replies — the server guarantees the i-th reply answers the
+/// i-th request (see `serve::serve_lines`). Exposed for tests/benches.
+pub fn roundtrip_many(addr: &str, lines: &[String]) -> Result<Vec<String>, CliError> {
+    fn pipelined<S: std::io::Read + Write>(
+        mut stream: S,
+        reader: S,
+        lines: &[String],
+    ) -> Result<Vec<String>, CliError> {
+        // Requests are small; write them all up front (the server reads
+        // ahead, bounded by its pipeline depth), then drain the replies.
+        for line in lines {
+            stream.write_all(line.as_bytes())?;
+            stream.write_all(b"\n")?;
+        }
+        stream.flush()?;
+        let mut reader = BufReader::new(reader);
+        let mut replies = Vec::with_capacity(lines.len());
+        for _ in lines {
+            let mut reply = String::new();
+            reader.read_line(&mut reply)?;
+            if reply.trim().is_empty() {
+                return Err(CliError::Invalid("server closed without replying".into()));
+            }
+            replies.push(reply.trim_end().to_string());
+        }
+        Ok(replies)
+    }
+    if let Some(path) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        {
+            use std::os::unix::net::UnixStream;
+            let stream = UnixStream::connect(path)
+                .map_err(|e| CliError::Invalid(format!("cannot connect to {path}: {e}")))?;
+            let reader = stream.try_clone()?;
+            pipelined(stream, reader, lines)
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Err(CliError::Usage(
+                "unix: addresses need Unix domain sockets; use host:port".into(),
+            ))
+        }
+    } else {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| CliError::Invalid(format!("cannot connect to {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream.try_clone()?;
+        pipelined(stream, reader, lines)
+    }
 }
 
 /// Build the wire line for one invocation (exposed for tests/benches).
@@ -125,7 +181,7 @@ mod tests {
     fn query_round_trips_against_a_live_server() {
         let p = fixture_trace("query-live");
         let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
-        let addr = server.addr.to_string();
+        let addr = server.address();
 
         let tokens: Vec<String> = format!("{addr} {} aggregate --slices 10 --p 0.4", p.display())
             .split_whitespace()

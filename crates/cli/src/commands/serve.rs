@@ -9,6 +9,34 @@
 //! deterministic and the printers/serializers are shared with the direct
 //! CLI path, a server answer is byte-identical to a local run.
 //!
+//! ## Concurrency model
+//!
+//! Three mechanisms keep N clients from serializing on one lock:
+//!
+//! * **Read-mostly warm sessions.** Pooled engines live in
+//!   `Arc<RwLock<_>>` slots; the pool mutex is held only for
+//!   lookup/admission, never during execution. A warm request takes the
+//!   slot's *read* lock and answers through the engine's `&self` path
+//!   ([`QueryEngine::execute_shared`]), so any number of clients query
+//!   one warm session in parallel — even point DPs at new `p` values,
+//!   which append to the session's lock-guarded memo table. Only
+//!   requests that must mutate the pipeline (a `--slices` change, a
+//!   `Reslice`, a cold stage) take the write lock.
+//! * **Bounded builds with admission control.** Cold session builds
+//!   (ingest + cube + table) run outside every pool lock under a build
+//!   budget of `--workers` permits. Concurrent requests for the *same*
+//!   cold trace coalesce onto one in-flight build; requests for other
+//!   cold traces beyond the budget are refused with a typed `busy` error
+//!   instead of queueing unboundedly — warm reads are never affected.
+//! * **Connection pipelining.** [`serve_lines`] reads ahead (up to
+//!   [`PIPELINE_DEPTH`] requests), executes independent requests
+//!   concurrently, and emits replies strictly in request order, so the
+//!   wire contract (i-th reply answers i-th request) is preserved.
+//!
+//! Eviction is drain-based: dropping a pool entry only drops the pool's
+//! `Arc` handle — connections still executing on the evicted session
+//! finish normally, and the memory is freed when the last reader lets go.
+//!
 //! Wire format (one request, one reply, per line — see
 //! `ocelotl-format::json`):
 //!
@@ -22,23 +50,28 @@ use crate::helpers::{build_session, cache_dir, session_config};
 use crate::CliError;
 use ocelotl::core::query::{QueryEngine, QueryError};
 use ocelotl::core::SessionConfig;
+use std::collections::{BTreeMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 const HELP: &str = "\
 ocelotl serve (--listen ADDR | --socket PATH) [options]
 
 Run a long-lived analysis server answering query-protocol requests over
 line-delimited JSON. Sessions stay warm across requests and connections,
-so every query after a trace's first is instantaneous.
+so every query after a trace's first is instantaneous; warm sessions are
+read-shared, so concurrent clients never queue behind each other.
 
 OPTIONS:
     --listen ADDR    TCP address to bind, e.g. 127.0.0.1:7733
     --socket PATH    Unix domain socket to bind instead of TCP
     --sessions N     warm sessions kept (LRU-evicted beyond, default 8)
+    --workers N      cold session builds allowed in flight (default
+                     min(cores, sessions)); beyond the budget requests
+                     get a typed `busy' error instead of queueing
     --cache DIR      persist session artifacts (.ocube/.opart) under DIR
                      (default: OCELOTL_CACHE_DIR); --no-cache disables
     --cache-keep N   artifacts kept per trace and kind before GC
@@ -47,12 +80,24 @@ OPTIONS:
 Query it with `ocelotl query ADDR TRACE KIND [options]`.
 ";
 
+/// Default cold-build budget: one worker per core, capped by the pool
+/// size (more concurrent cold builds than pooled sessions is pure churn).
+pub fn default_workers(max_sessions: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(max_sessions)
+        .max(1)
+}
+
 /// Server policy (everything except the per-request session parameters,
 /// which each wire request carries).
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Warm sessions kept before LRU eviction.
     pub max_sessions: usize,
+    /// Cold session builds allowed in flight before `busy` refusals.
+    pub workers: usize,
     /// Artifact cache directory, if any.
     pub cache: Option<PathBuf>,
     /// Artifact GC retention per trace and kind.
@@ -63,24 +108,35 @@ impl Default for ServeOptions {
     fn default() -> Self {
         Self {
             max_sessions: 8,
+            workers: default_workers(8),
             cache: None,
             cache_keep: ocelotl::core::DEFAULT_CACHE_KEEP,
         }
     }
 }
 
-/// One warm engine keyed by trace identity and session parameters.
-/// `n_slices` is deliberately **not** part of the key: a `--slices`
-/// change re-slices the pooled session's resident hi-res model in memory
-/// instead of admitting (and cold-ingesting) a separate session.
+/// Pool identity of one warm engine: trace identity and session
+/// parameters. `n_slices` is deliberately **not** part of the key: a
+/// `--slices` change re-slices the pooled session's resident hi-res model
+/// in memory instead of admitting (and cold-ingesting) a separate
+/// session.
+type PoolKey = (PathBuf, &'static str, &'static str);
+
+/// One pooled warm engine behind its own lock. The pool hands out `Arc`s
+/// of this — execution happens entirely outside the pool mutex, and an
+/// evicted slot survives (drains) until its last in-flight user is done.
+struct SessionSlot {
+    engine: RwLock<QueryEngine>,
+}
+
 struct PoolEntry {
-    key: (PathBuf, &'static str, &'static str),
+    key: PoolKey,
     /// `(mtime, len)` of the trace when the session was admitted: a
     /// cheap per-request staleness probe. An overwritten trace must not
     /// keep being served from the old in-memory model — that would break
     /// the CLI == server byte-parity guarantee.
     stamp: FileStamp,
-    engine: QueryEngine,
+    slot: Arc<SessionSlot>,
     last_used: u64,
 }
 
@@ -96,9 +152,9 @@ fn file_stamp(path: &Path) -> FileStamp {
     }
 }
 
-/// The LRU-bounded session pool. Engines execute under the pool lock —
-/// queries are serialized, which keeps every session's memoization
-/// single-writer (the DP itself still uses the parallel executor).
+/// The LRU-bounded session pool. The mutex guards only the entry list
+/// (lookup, admission, eviction bookkeeping) — queries execute on the
+/// `Arc`'d slots after the lock is released.
 struct Pool {
     entries: Vec<PoolEntry>,
     clock: u64,
@@ -107,7 +163,28 @@ struct Pool {
 /// Shared state of one running server.
 pub struct ServerState {
     pool: Mutex<Pool>,
+    /// Keys with a cold build in flight (the admission budget). Guarded
+    /// separately from the pool so warm lookups never wait on builders.
+    builds: Mutex<HashSet<PoolKey>>,
+    /// Signaled whenever a build finishes (coalesced waiters re-check).
+    builds_done: Condvar,
+    builds_started: AtomicUsize,
+    busy_rejections: AtomicUsize,
     opts: ServeOptions,
+}
+
+/// Releases a key's build permit on every exit path (success or error)
+/// and wakes coalesced waiters.
+struct BuildPermit<'a> {
+    state: &'a ServerState,
+    key: PoolKey,
+}
+
+impl Drop for BuildPermit<'_> {
+    fn drop(&mut self) {
+        self.state.builds.lock().unwrap().remove(&self.key);
+        self.state.builds_done.notify_all();
+    }
 }
 
 impl ServerState {
@@ -118,6 +195,10 @@ impl ServerState {
                 entries: Vec::new(),
                 clock: 0,
             }),
+            builds: Mutex::new(HashSet::new()),
+            builds_done: Condvar::new(),
+            builds_started: AtomicUsize::new(0),
+            busy_rejections: AtomicUsize::new(0),
             opts,
         }
     }
@@ -140,54 +221,112 @@ impl ServerState {
         let canonical = std::fs::canonicalize(&path).unwrap_or(path);
         config.cache_keep = self.opts.cache_keep;
         let key = (canonical, config.metric.tag(), config.memory.tag());
-
         let stamp = file_stamp(&key.0);
+        let slot = self.admit(&key, stamp, config)?;
+
+        // Fast path: the pooled session already sits at this request's
+        // (full-grid) resolution — answer under the slot's *read* lock,
+        // concurrently with every other warm reader.
+        {
+            let engine = slot.engine.read().unwrap();
+            let session = engine.session();
+            if session.config().n_slices == config.n_slices && session.window().is_none() {
+                if let Some(result) = engine.execute_shared(&request) {
+                    return result;
+                }
+            }
+        }
+
+        // Write path: pin the pooled session to this request's resolution
+        // (a `--slices` change re-slices from the resident hi-res model /
+        // warm artifacts instead of re-ingesting, and any zoom window a
+        // previous `Reslice` request left behind is reset so wire
+        // requests stay self-contained), then execute exclusively.
+        let mut engine = slot.engine.write().unwrap();
+        engine.session_mut().reslice(config.n_slices, None)?;
+        engine.execute(&request)
+    }
+
+    /// Find the warm slot for `key`, or cold-build one under the
+    /// admission budget. Requests racing on the same cold key coalesce
+    /// onto the one in-flight build; distinct cold keys beyond the
+    /// `--workers` budget are refused with [`QueryError::Busy`].
+    fn admit(
+        &self,
+        key: &PoolKey,
+        stamp: FileStamp,
+        config: SessionConfig,
+    ) -> Result<Arc<SessionSlot>, QueryError> {
+        loop {
+            {
+                let mut pool = self.pool.lock().unwrap();
+                pool.clock += 1;
+                let now = pool.clock;
+                if let Some(i) = pool.entries.iter().position(|e| e.key == *key) {
+                    if pool.entries[i].stamp == stamp && stamp != (None, None) {
+                        pool.entries[i].last_used = now;
+                        return Ok(pool.entries[i].slot.clone());
+                    }
+                    // A pooled session whose trace file changed on disk
+                    // (stamp mismatch, or unreadable stat) is replaced;
+                    // in-flight readers drain on their own Arc.
+                    pool.entries.swap_remove(i);
+                }
+            }
+            let mut builds = self.builds.lock().unwrap();
+            if builds.contains(key) {
+                // Same key already building: wait for it and re-check the
+                // pool instead of racing a duplicate ingest.
+                drop(self.builds_done.wait(builds).unwrap());
+                continue;
+            }
+            if builds.len() >= self.opts.workers.max(1) {
+                self.busy_rejections.fetch_add(1, Ordering::SeqCst);
+                return Err(QueryError::Busy(format!(
+                    "cold-build budget exhausted ({} of {} workers busy); retry shortly",
+                    builds.len(),
+                    self.opts.workers.max(1)
+                )));
+            }
+            builds.insert(key.clone());
+            break;
+        }
+        // Build outside every lock. The permit is released (and waiters
+        // woken) on success *and* on error, via Drop.
+        let _permit = BuildPermit {
+            state: self,
+            key: key.clone(),
+        };
+        self.builds_started.fetch_add(1, Ordering::SeqCst);
+        let mut engine = QueryEngine::new(self.open(&key.0, config));
+        // The expensive part — ingest, cube, table — happens here, under
+        // the build permit, so the published slot is warm for readers.
+        engine.warm_up()?;
+        let slot = Arc::new(SessionSlot {
+            engine: RwLock::new(engine),
+        });
         let mut pool = self.pool.lock().unwrap();
         pool.clock += 1;
         let now = pool.clock;
-        // A pooled session whose trace file changed on disk (stamp
-        // mismatch, or unreadable stat) is dropped and rebuilt cold.
-        if let Some(i) = pool.entries.iter().position(|e| e.key == key) {
-            if pool.entries[i].stamp != stamp || stamp == (None, None) {
-                pool.entries.swap_remove(i);
-            }
+        while pool.entries.len() >= self.opts.max_sessions.max(1) {
+            // Evict the least recently used entry beyond the cap; its
+            // slot drains via the Arc if anyone is mid-query on it.
+            let lru = pool
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .unwrap();
+            pool.entries.swap_remove(lru);
         }
-        let idx = match pool.entries.iter().position(|e| e.key == key) {
-            Some(i) => i,
-            None => {
-                // Admit a fresh engine, evicting the least recently used
-                // entry beyond the cap.
-                if pool.entries.len() >= self.opts.max_sessions.max(1) {
-                    let lru = pool
-                        .entries
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, e)| e.last_used)
-                        .map(|(i, _)| i)
-                        .unwrap();
-                    pool.entries.swap_remove(lru);
-                }
-                let session = self.open(&key.0, config);
-                pool.entries.push(PoolEntry {
-                    key,
-                    stamp,
-                    engine: QueryEngine::new(session),
-                    last_used: now,
-                });
-                pool.entries.len() - 1
-            }
-        };
-        pool.entries[idx].last_used = now;
-        // Pin the pooled session to this request's resolution (full grid):
-        // a `--slices` change re-slices from the resident hi-res model /
-        // warm artifacts instead of re-ingesting, and any zoom window a
-        // previous `Reslice` request left behind is reset so wire requests
-        // stay self-contained.
-        pool.entries[idx]
-            .engine
-            .session_mut()
-            .reslice(config.n_slices, None)?;
-        pool.entries[idx].engine.execute(&request)
+        pool.entries.push(PoolEntry {
+            key: key.clone(),
+            stamp,
+            slot: slot.clone(),
+            last_used: now,
+        });
+        Ok(slot)
     }
 
     fn open(&self, path: &Path, config: SessionConfig) -> ocelotl::core::AnalysisSession {
@@ -198,13 +337,37 @@ impl ServerState {
     pub fn pooled_sessions(&self) -> usize {
         self.pool.lock().unwrap().entries.len()
     }
+
+    /// Cold session builds started since the server came up (coalesced
+    /// requests share one build, so racing M identical cold requests
+    /// bumps this once).
+    pub fn builds_started(&self) -> usize {
+        self.builds_started.load(Ordering::SeqCst)
+    }
+
+    /// Cold builds currently in flight.
+    pub fn builds_in_flight(&self) -> usize {
+        self.builds.lock().unwrap().len()
+    }
+
+    /// Requests refused with `busy` because the build budget was
+    /// exhausted.
+    pub fn busy_rejections(&self) -> usize {
+        self.busy_rejections.load(Ordering::SeqCst)
+    }
 }
 
-/// A running TCP server (background accept thread), for tests, benches
-/// and the `serve` command itself.
+/// Where a running server listens.
+enum Endpoint {
+    Tcp(std::net::SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// A running server (background accept thread), for tests, benches and
+/// the `serve` command itself.
 pub struct ServerHandle {
-    /// The bound address (useful with `--listen 127.0.0.1:0`).
-    pub addr: std::net::SocketAddr,
+    endpoint: Endpoint,
     /// Shared state (pool introspection for tests).
     pub state: Arc<ServerState>,
     stop: Arc<AtomicBool>,
@@ -212,11 +375,31 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Signal the accept loop to exit and wait for it.
+    /// The client-facing address: `host:port` for TCP, `unix:PATH` for a
+    /// Unix socket — exactly what `ocelotl query` accepts.
+    pub fn address(&self) -> String {
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => addr.to_string(),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => format!("unix:{}", path.display()),
+        }
+    }
+
+    /// Signal the accept loop to exit and wait for it. Connects over the
+    /// handle's own transport (TCP or the Unix socket path) to unblock
+    /// the blocking accept call, so `--socket` servers shut down as
+    /// cleanly as TCP ones.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept call.
-        let _ = TcpStream::connect(self.addr);
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => {
+                let _ = TcpStream::connect(addr);
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let _ = std::os::unix::net::UnixStream::connect(path);
+            }
+        }
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -232,7 +415,27 @@ pub fn spawn_tcp(addr: &str, opts: ServeOptions) -> std::io::Result<ServerHandle
     let (state2, stop2) = (state.clone(), stop.clone());
     let join = std::thread::spawn(move || accept_loop(listener, state2, stop2));
     Ok(ServerHandle {
-        addr: local,
+        endpoint: Endpoint::Tcp(local),
+        state,
+        stop,
+        join: Some(join),
+    })
+}
+
+/// Bind a Unix domain socket and serve in a background thread.
+#[cfg(unix)]
+pub fn spawn_unix(path: impl Into<PathBuf>, opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    use std::os::unix::net::UnixListener;
+    let path = path.into();
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path)?;
+    let state = Arc::new(ServerState::new(opts));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (state2, stop2) = (state.clone(), stop.clone());
+    let join = std::thread::spawn(move || accept_loop_unix(listener, state2, stop2));
+    Ok(ServerHandle {
+        endpoint: Endpoint::Unix(path),
         state,
         stop,
         join: Some(join),
@@ -245,43 +448,149 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>, stop: Arc<AtomicB
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Replies are single small writes; Nagle + delayed ACK would add
+        // tens of ms of artificial latency to every one of them.
+        let _ = stream.set_nodelay(true);
         let state = state.clone();
         std::thread::spawn(move || {
-            let _ = serve_connection(&state, stream);
+            let Ok(mut writer) = stream.try_clone() else {
+                return;
+            };
+            let _ = serve_lines(&state, BufReader::new(stream), &mut writer);
         });
     }
 }
 
-/// Serve one TCP connection: one reply line per request line, until EOF.
-fn serve_connection(state: &ServerState, stream: TcpStream) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    serve_lines(state, reader, &mut writer)
+#[cfg(unix)]
+fn accept_loop_unix(
+    listener: std::os::unix::net::UnixListener,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = state.clone();
+        std::thread::spawn(move || {
+            let Ok(mut writer) = stream.try_clone() else {
+                return;
+            };
+            let _ = serve_lines(&state, BufReader::new(stream), &mut writer);
+        });
+    }
+}
+
+/// Per-connection read-ahead window: how many requests may execute
+/// concurrently before the reader stops pulling new lines.
+pub const PIPELINE_DEPTH: usize = 8;
+
+/// Reply sequencer: workers complete out of order, the wire emits in
+/// request order (the protocol's i-th reply answers the i-th request).
+struct OrderedWriter<'a> {
+    next: usize,
+    pending: BTreeMap<usize, String>,
+    out: &'a mut (dyn Write + Send),
+    err: Option<std::io::Error>,
+}
+
+impl OrderedWriter<'_> {
+    fn complete(&mut self, seq: usize, reply: String) {
+        self.pending.insert(seq, reply);
+        while let Some(line) = self.pending.remove(&self.next) {
+            if self.err.is_none() {
+                let r = self
+                    .out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| self.out.write_all(b"\n"))
+                    .and_then(|()| self.out.flush());
+                if let Err(e) = r {
+                    self.err = Some(e);
+                }
+            }
+            self.next += 1;
+        }
+    }
 }
 
 /// The transport-agnostic request loop (TCP, Unix sockets and tests all
-/// funnel through here).
+/// funnel through here), pipelined: up to [`PIPELINE_DEPTH`] request
+/// lines execute concurrently, replies are written strictly in request
+/// order. Blank lines are skipped, as before.
+///
+/// Request *effects* are not ordered within the window: two pipelined
+/// requests may execute in either order (each wire request is
+/// self-contained — it carries its own trace and config — so this is
+/// observable only through server-side session state such as which
+/// request pays a cold build).
 pub fn serve_lines(
     state: &ServerState,
     reader: impl BufRead,
-    writer: &mut dyn Write,
+    writer: &mut (dyn Write + Send),
 ) -> std::io::Result<()> {
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let ordered = Mutex::new(OrderedWriter {
+        next: 0,
+        pending: BTreeMap::new(),
+        out: writer,
+        err: None,
+    });
+    let in_flight = Mutex::new(0usize);
+    let drained = Condvar::new();
+    let mut read_err = None;
+    std::thread::scope(|scope| {
+        let (ordered, in_flight, drained) = (&ordered, &in_flight, &drained);
+        let mut seq = 0usize;
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    read_err = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Backpressure: bound the read-ahead window.
+            {
+                let mut n = in_flight.lock().unwrap();
+                while *n >= PIPELINE_DEPTH {
+                    n = drained.wait(n).unwrap();
+                }
+                *n += 1;
+            }
+            if ordered.lock().unwrap().err.is_some() {
+                break; // the connection is gone; stop reading
+            }
+            let my_seq = seq;
+            seq += 1;
+            scope.spawn(move || {
+                let reply = state.handle_line(&line);
+                ordered.lock().unwrap().complete(my_seq, reply);
+                *in_flight.lock().unwrap() -= 1;
+                drained.notify_all();
+            });
         }
-        writer.write_all(state.handle_line(&line).as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        // Scope exit joins every in-flight worker, flushing all replies.
+    });
+    if let Some(e) = ordered.into_inner().unwrap().err {
+        return Err(e);
+    }
+    if let Some(e) = read_err {
+        return Err(e);
     }
     Ok(())
 }
 
 fn serve_options(args: &Args) -> Result<ServeOptions, CliError> {
     let config = session_config(args)?;
+    let max_sessions = args.get_or("sessions", 8usize)?.max(1);
     Ok(ServeOptions {
-        max_sessions: args.get_or("sessions", 8usize)?.max(1),
+        max_sessions,
+        workers: args
+            .get_or("workers", default_workers(max_sessions))?
+            .max(1),
         cache: cache_dir(args)?,
         cache_keep: config.cache_keep,
     })
@@ -299,6 +608,7 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "listen",
         "socket",
         "sessions",
+        "workers",
         "cache",
         "no-cache",
         "cache-keep",
@@ -338,16 +648,7 @@ fn serve_unix(path: &str, opts: ServeOptions, out: &mut dyn Write) -> Result<(),
     )?;
     out.flush()?;
     let state = Arc::new(ServerState::new(opts));
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let state = state.clone();
-        std::thread::spawn(move || {
-            let Ok(mut writer) = stream.try_clone() else {
-                return;
-            };
-            let _ = serve_lines(&state, BufReader::new(stream), &mut writer);
-        });
-    }
+    accept_loop_unix(listener, state, Arc::new(AtomicBool::new(false)));
     Ok(())
 }
 
@@ -402,6 +703,7 @@ mod tests {
         );
         // …and switching back serves the parked pipeline byte-identically.
         assert_eq!(state.handle_line(&wire(&p, 10, &req)), first);
+        assert_eq!(state.builds_started(), 1, "one cold build for all of it");
         std::fs::remove_file(&p).ok();
     }
 
@@ -432,6 +734,125 @@ mod tests {
         }
         assert_eq!(state.pooled_sessions(), 2, "evicted down to the cap");
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn evicted_session_drains_instead_of_dying_under_a_reader() {
+        let p = fixture_trace("serve-drain");
+        let state = ServerState::new(ServeOptions {
+            max_sessions: 1,
+            ..ServeOptions::default()
+        });
+        let req = AnalysisRequest::Aggregate {
+            p: 0.4,
+            coarse: false,
+            compare: false,
+            diff_p: None,
+        };
+        let config = SessionConfig {
+            n_slices: 10,
+            ..SessionConfig::default()
+        };
+        let line = ocelotl::format::encode_wire_request(&p.display().to_string(), &config, &req);
+        let before = state.handle_line(&line);
+
+        // Hold the slot the way an in-flight request would…
+        let key = (
+            std::fs::canonicalize(&p).unwrap(),
+            config.metric.tag(),
+            config.memory.tag(),
+        );
+        let slot = state.admit(&key, file_stamp(&key.0), config).unwrap();
+        let guard = slot.engine.read().unwrap();
+
+        // …then force an eviction (capacity 1, different memory mode).
+        let other = SessionConfig {
+            n_slices: 10,
+            memory: MemoryMode::Lazy,
+            ..SessionConfig::default()
+        };
+        state.handle_line(&ocelotl::format::encode_wire_request(
+            &p.display().to_string(),
+            &other,
+            &req,
+        ));
+        assert_eq!(state.pooled_sessions(), 1, "old entry evicted");
+
+        // The evicted slot still answers for its holder — and
+        // byte-identically.
+        let reply = guard
+            .execute_shared(&AnalysisRequest::Aggregate {
+                p: 0.4,
+                coarse: false,
+                compare: false,
+                diff_p: None,
+            })
+            .expect("warm slot answers on the read path")
+            .unwrap();
+        let drained = ocelotl::format::encode_reply(&Ok(reply));
+        assert_eq!(drained, before);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn racing_identical_cold_requests_coalesce_into_one_build() {
+        let p = fixture_trace("serve-coalesce");
+        let state = ServerState::new(ServeOptions::default());
+        let req = AnalysisRequest::Aggregate {
+            p: 0.4,
+            coarse: false,
+            compare: false,
+            diff_p: None,
+        };
+        let line = wire(&p, 12, &req);
+        let replies: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| state.handle_line(&line)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &replies {
+            assert_eq!(r, &replies[0], "coalesced replies are byte-identical");
+            assert!(r.contains("\"reply\""), "{r}");
+        }
+        assert_eq!(state.builds_started(), 1, "M racing requests, one ingest");
+        assert_eq!(state.pooled_sessions(), 1);
+        assert_eq!(state.busy_rejections(), 0, "same-key races never go busy");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn over_budget_cold_requests_get_busy() {
+        let p1 = fixture_trace("serve-busy-1");
+        let p2 = fixture_trace("serve-busy-2");
+        let state = ServerState::new(ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        });
+        // Occupy the single build permit directly (deterministic: no
+        // timing dependence on how long a real build takes).
+        let key1 = (
+            std::fs::canonicalize(&p1).unwrap(),
+            ocelotl::core::Metric::States.tag(),
+            MemoryMode::Auto.tag(),
+        );
+        state.builds.lock().unwrap().insert(key1.clone());
+        assert_eq!(state.builds_in_flight(), 1);
+
+        // A *different* cold key beyond the budget is refused, typed.
+        let reply = state.handle_line(&wire(&p2, 10, &AnalysisRequest::Describe));
+        assert!(reply.contains("\"error\""), "{reply}");
+        assert!(reply.contains("\"busy\""), "{reply}");
+        assert_eq!(state.busy_rejections(), 1);
+        assert_eq!(state.pooled_sessions(), 0, "busy requests build nothing");
+
+        // Releasing the permit lets the same request through.
+        state.builds.lock().unwrap().remove(&key1);
+        state.builds_done.notify_all();
+        let reply = state.handle_line(&wire(&p2, 10, &AnalysisRequest::Describe));
+        assert!(reply.contains("\"reply\""), "{reply}");
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
     }
 
     #[test]
@@ -487,6 +908,39 @@ mod tests {
         assert_eq!(lines.len(), 2, "blank lines are skipped: {text}");
         for line in lines {
             assert!(ocelotl::format::decode_reply(line).unwrap().is_ok());
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn pipelined_replies_come_back_in_request_order() {
+        let p = fixture_trace("serve-pipeline");
+        let state = ServerState::new(ServeOptions::default());
+        // More requests than PIPELINE_DEPTH, with distinguishable
+        // replies: p cycles through distinct values.
+        let ps = [0.1, 0.3, 0.5, 0.7, 0.9];
+        let mut input = String::new();
+        for k in 0..20 {
+            let req = AnalysisRequest::Aggregate {
+                p: ps[k % ps.len()],
+                coarse: false,
+                compare: false,
+                diff_p: None,
+            };
+            input.push_str(&wire(&p, 10, &req));
+            input.push('\n');
+        }
+        let mut out = Vec::new();
+        serve_lines(&state, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 20);
+        for (k, line) in lines.iter().enumerate() {
+            let expect = format!("\"p\":{}", ps[k % ps.len()]);
+            assert!(
+                line.contains(&expect),
+                "reply {k} out of order: wanted {expect} in {line}"
+            );
         }
         std::fs::remove_file(&p).ok();
     }

@@ -23,7 +23,7 @@ use ocelotl::core::{
 use ocelotl::format::DiskStore;
 use ocelotl::trace::{MicroModel, Trace};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 
 pub use ocelotl::core::Metric;
 
@@ -118,7 +118,9 @@ pub fn obtain_report(
 /// deciding whether to read at all) pays a separate raw hash pass.
 pub struct FileSource {
     path: PathBuf,
-    fingerprint: Mutex<Option<u64>>,
+    /// Lock-free once the value is set: concurrent readers on a server's
+    /// shared read path never contend on a held (or poisoned) lock.
+    fingerprint: OnceLock<u64>,
 }
 
 impl FileSource {
@@ -126,7 +128,7 @@ impl FileSource {
     pub fn new(path: impl Into<PathBuf>) -> Self {
         Self {
             path: path.into(),
-            fingerprint: Mutex::new(None),
+            fingerprint: OnceLock::new(),
         }
     }
 }
@@ -152,14 +154,13 @@ fn report_stats(report: &ocelotl::format::IngestReport) -> IngestStats {
 
 impl ModelSource for FileSource {
     fn fingerprint(&self) -> Result<u64, SessionError> {
-        if let Some(fp) = *self.fingerprint.lock().unwrap() {
-            return Ok(fp);
+        if let Some(fp) = self.fingerprint.get() {
+            return Ok(*fp);
         }
         let fp = ocelotl::format::hash_file(&self.path).map_err(|e| {
             SessionError::source(format!("cannot hash {}: {e}", self.path.display()))
         })?;
-        *self.fingerprint.lock().unwrap() = Some(fp);
-        Ok(fp)
+        Ok(*self.fingerprint.get_or_init(|| fp))
     }
 
     fn model(&self, n_slices: usize, metric: Metric) -> Result<MicroModel, SessionError> {
@@ -173,7 +174,7 @@ impl ModelSource for FileSource {
     ) -> Result<(MicroModel, Option<IngestStats>), SessionError> {
         let report = obtain_report(&self.path, n_slices, metric)
             .map_err(|e| SessionError::source(e.to_string()))?;
-        *self.fingerprint.lock().unwrap() = Some(report.fingerprint);
+        let _ = self.fingerprint.set(report.fingerprint);
         let stats = report_stats(&report);
         Ok((report.model, Some(stats)))
     }
@@ -190,7 +191,7 @@ impl ModelSource for FileSource {
         }
         let report = ocelotl::format::read_hi_res(&self.path, n_slices, metric.model_kind())
             .map_err(|e| SessionError::source(e.to_string()))?;
-        *self.fingerprint.lock().unwrap() = Some(report.fingerprint);
+        let _ = self.fingerprint.set(report.fingerprint);
         let stats = report_stats(&report);
         Ok(Some((HiResModel::new(metric, report.model), Some(stats))))
     }

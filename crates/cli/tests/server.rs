@@ -87,7 +87,7 @@ fn server_answers_every_kind_byte_identical_to_direct_engine() {
         ..SessionConfig::default()
     };
     let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
-    let addr = server.addr.to_string();
+    let addr = server.address();
 
     let mut direct = QueryEngine::new(build_session(&trace, config, None));
     for request in all_requests() {
@@ -115,7 +115,7 @@ fn server_answers_every_kind_byte_identical_to_direct_engine() {
 fn cli_json_equals_server_json() {
     let trace = fixture("json-parity");
     let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
-    let addr = server.addr.to_string();
+    let addr = server.address();
     let t = trace.display().to_string();
 
     // info --stats --json == query … stats --json
@@ -147,7 +147,7 @@ fn cli_json_equals_server_json() {
 fn remote_reslice_is_byte_identical_to_direct_engine() {
     let trace = fixture("reslice");
     let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
-    let addr = server.addr.to_string();
+    let addr = server.address();
     let t = trace.display().to_string();
 
     // A direct engine mirrors the server's per-request pinning: reslice
@@ -219,6 +219,223 @@ fn remote_reslice_is_byte_identical_to_direct_engine() {
 
     server.stop();
     std::fs::remove_file(&trace).ok();
+}
+
+/// A larger deterministic trace: `reps` passes over the leaves (event
+/// count scales with it), for tests that need a build long enough to
+/// overlap with.
+fn fixture_sized(tag: &str, reps: usize) -> PathBuf {
+    use ocelotl::prelude::*;
+    let mut b = TraceBuilder::new(Hierarchy::balanced(&[4, 4]));
+    let run = b.state("Run");
+    let wait = b.state("MPI_Wait");
+    for leaf in 0..16u32 {
+        for k in 0..reps {
+            let t = k as f64;
+            let state = if (leaf + k as u32).is_multiple_of(5) {
+                wait
+            } else {
+                run
+            };
+            b.push_state(LeafId(leaf), state, t, t + 1.0);
+        }
+    }
+    let path = std::env::temp_dir().join(format!(
+        "ocelotl-server-test-{}-{tag}.btf",
+        std::process::id()
+    ));
+    ocelotl::format::write_trace(&b.build(), &path).unwrap();
+    path
+}
+
+#[test]
+fn n_threads_hammering_one_warm_session_get_identical_bytes() {
+    let trace = fixture("hammer");
+    let config = SessionConfig {
+        n_slices: 10,
+        ..SessionConfig::default()
+    };
+    let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.address();
+    let t = trace.display().to_string();
+
+    // Expected bytes per request, from one warm pass.
+    let requests: Vec<_> = all_requests()
+        .into_iter()
+        .filter(|r| !matches!(r, AnalysisRequest::Reslice { .. }))
+        .collect();
+    let wires: Vec<String> = requests
+        .iter()
+        .map(|r| ocelotl::format::encode_wire_request(&t, &config, r))
+        .collect();
+    let expected: Vec<String> = wires.iter().map(|w| roundtrip(&addr, w).unwrap()).collect();
+    assert_eq!(server.state.builds_started(), 1);
+
+    // 8 client threads × 5 passes over every kind, all on the one warm
+    // session: every reply byte-identical, and the whole thing finishes
+    // (no deadlock between the read path and the memo write locks).
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let (addr, wires, expected, requests) = (&addr, &wires, &expected, &requests);
+            scope.spawn(move || {
+                for pass in 0..5 {
+                    for (i, wire) in wires.iter().enumerate() {
+                        let got = roundtrip(addr, wire).unwrap();
+                        assert_eq!(
+                            got,
+                            expected[i],
+                            "worker {worker} pass {pass} kind {}",
+                            requests[i].kind()
+                        );
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(server.state.pooled_sessions(), 1, "still one session");
+    assert_eq!(server.state.builds_started(), 1, "never rebuilt");
+    server.stop();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn cold_ingest_does_not_block_warm_reads() {
+    let warm_trace = fixture("interleave-warm");
+    let cold_trace = fixture_sized("interleave-cold", 4000);
+    let config = SessionConfig {
+        n_slices: 10,
+        ..SessionConfig::default()
+    };
+    let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.address();
+
+    let warm_wire = ocelotl::format::encode_wire_request(
+        &warm_trace.display().to_string(),
+        &config,
+        &AnalysisRequest::Aggregate {
+            p: 0.4,
+            coarse: false,
+            compare: false,
+            diff_p: None,
+        },
+    );
+    let cold_wire = ocelotl::format::encode_wire_request(
+        &cold_trace.display().to_string(),
+        &config,
+        &AnalysisRequest::Describe,
+    );
+    let baseline = roundtrip(&addr, &warm_wire).unwrap();
+
+    // Kick off the cold ingest on its own connection, and keep reading
+    // the warm session from this one while it runs.
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let overlapped = std::thread::scope(|scope| {
+        let (addr, cold_wire, done) = (&addr, &cold_wire, &done);
+        scope.spawn(move || {
+            let reply = roundtrip(addr, cold_wire).unwrap();
+            assert!(reply.contains("\"reply\""), "{reply}");
+            done.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        let mut overlapped = 0usize;
+        while !done.load(std::sync::atomic::Ordering::SeqCst) {
+            let got = roundtrip(addr, &warm_wire).unwrap();
+            assert_eq!(got, baseline, "warm bytes unaffected by the cold build");
+            if !done.load(std::sync::atomic::Ordering::SeqCst) {
+                overlapped += 1;
+            }
+        }
+        overlapped
+    });
+    // Warm reads completed *while* the cold build was in flight — they
+    // never queued behind it. (The cold ingest above takes hundreds of
+    // warm-read round-trips worth of time.)
+    assert!(
+        overlapped >= 1,
+        "expected warm reads to complete during the cold build"
+    );
+    assert_eq!(server.state.pooled_sessions(), 2);
+    server.stop();
+    std::fs::remove_file(&warm_trace).ok();
+    std::fs::remove_file(&cold_trace).ok();
+}
+
+#[test]
+fn pipelined_connection_preserves_reply_order() {
+    let trace = fixture("pipeline-tcp");
+    let config = SessionConfig {
+        n_slices: 10,
+        ..SessionConfig::default()
+    };
+    let server = spawn_tcp("127.0.0.1:0", ServeOptions::default()).unwrap();
+    let addr = server.address();
+    let t = trace.display().to_string();
+
+    let ps = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let wires: Vec<String> = (0..20)
+        .map(|k| {
+            ocelotl::format::encode_wire_request(
+                &t,
+                &config,
+                &AnalysisRequest::Aggregate {
+                    p: ps[k % ps.len()],
+                    coarse: false,
+                    compare: false,
+                    diff_p: None,
+                },
+            )
+        })
+        .collect();
+    let replies = ocelotl_cli::commands::query::roundtrip_many(&addr, &wires).unwrap();
+    assert_eq!(replies.len(), wires.len());
+    // One-at-a-time replies define the expected bytes; the pipelined
+    // stream must deliver the same bytes in the same positions.
+    for (k, reply) in replies.iter().enumerate() {
+        let expected = roundtrip(&addr, &wires[k]).unwrap();
+        assert_eq!(reply, &expected, "pipelined reply {k}");
+    }
+    server.stop();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_server_serves_and_stops_cleanly() {
+    use ocelotl_cli::commands::serve::spawn_unix;
+    let trace = fixture("unix-stop");
+    let sock = std::env::temp_dir().join(format!("ocelotl-test-{}.sock", std::process::id()));
+    let server = spawn_unix(&sock, ServeOptions::default()).unwrap();
+    let addr = server.address();
+    assert!(addr.starts_with("unix:"), "{addr}");
+
+    let config = SessionConfig {
+        n_slices: 10,
+        ..SessionConfig::default()
+    };
+    let wire = ocelotl::format::encode_wire_request(
+        &trace.display().to_string(),
+        &config,
+        &AnalysisRequest::Describe,
+    );
+    let reply = roundtrip(&addr, &wire).unwrap();
+    assert!(reply.contains("\"reply\""), "{reply}");
+
+    // The satellite fix under test: stop() must unblock the *Unix*
+    // accept loop (it used to poke a TCP address and hang forever).
+    server.stop();
+    std::fs::remove_file(&sock).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn busy_error_round_trips_on_the_wire() {
+    use ocelotl::core::query::QueryError;
+    let line = ocelotl::format::encode_reply(&Err(QueryError::Busy(
+        "cold-build budget exhausted (1 of 1 workers busy); retry shortly".into(),
+    )));
+    assert!(line.contains("\"busy\""), "{line}");
+    let back = ocelotl::format::decode_reply(&line).unwrap().unwrap_err();
+    assert!(matches!(back, QueryError::Busy(_)), "{back:?}");
+    assert_eq!(back.kind(), "busy");
 }
 
 #[test]

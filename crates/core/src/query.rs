@@ -211,6 +211,11 @@ pub enum QueryError {
     /// The request could not be decoded (malformed envelope, unknown
     /// kind, protocol version mismatch) — produced by codecs and servers.
     Protocol(String),
+    /// The server's admission budget is exhausted (every build worker is
+    /// busy cold-building other sessions); the request was not queued and
+    /// can simply be retried. Produced by servers, never by an in-process
+    /// engine.
+    Busy(String),
 }
 
 impl QueryError {
@@ -221,6 +226,7 @@ impl QueryError {
             QueryError::Source(_) => "source",
             QueryError::Unsupported(_) => "unsupported",
             QueryError::Protocol(_) => "protocol",
+            QueryError::Busy(_) => "busy",
         }
     }
 
@@ -230,7 +236,8 @@ impl QueryError {
             QueryError::InvalidRequest(m)
             | QueryError::Source(m)
             | QueryError::Unsupported(m)
-            | QueryError::Protocol(m) => m,
+            | QueryError::Protocol(m)
+            | QueryError::Busy(m) => m,
         }
     }
 
@@ -241,6 +248,7 @@ impl QueryError {
             "invalid-request" => QueryError::InvalidRequest(message),
             "source" => QueryError::Source(message),
             "unsupported" => QueryError::Unsupported(message),
+            "busy" => QueryError::Busy(message),
             _ => QueryError::Protocol(message),
         }
     }
@@ -709,12 +717,70 @@ pub struct ResliceReply {
 // The engine
 // ---------------------------------------------------------------------------
 
+/// Why the `&self` read path could not produce a reply.
+enum Miss {
+    /// A pipeline stage the request needs is not materialized yet; only
+    /// the `&mut` path (which can build it) can answer.
+    NotPrepared,
+    /// The request failed for real — re-running it on the write path
+    /// would fail identically, so the error is final.
+    Failed(QueryError),
+}
+
+impl Miss {
+    /// The error an already-prepared engine reports: after
+    /// [`QueryEngine::prepare`], `NotPrepared` is an internal invariant
+    /// violation, not a user condition.
+    fn into_error(self) -> QueryError {
+        match self {
+            Miss::Failed(e) => e,
+            Miss::NotPrepared => {
+                QueryError::Source("internal: request not answerable after preparation".into())
+            }
+        }
+    }
+}
+
+impl From<QueryError> for Miss {
+    fn from(e: QueryError) -> Self {
+        Miss::Failed(e)
+    }
+}
+
+impl From<SessionError> for Miss {
+    fn from(e: SessionError) -> Self {
+        Miss::Failed(e.into())
+    }
+}
+
+/// Result of one `&self` reply builder.
+type Shared<T> = Result<T, Miss>;
+
+/// `None` → the needed stage is not resident (fall back to `&mut`).
+fn ready<T>(v: Option<T>) -> Shared<T> {
+    v.ok_or(Miss::NotPrepared)
+}
+
 /// Executes any [`AnalysisRequest`] against an [`AnalysisSession`].
 ///
 /// The engine owns the session, so all of the session's memoization
 /// carries across requests: the first query pays the trace read and cube
 /// build, every later query is served from memory (or from `.ocube` /
 /// `.opart` artifacts when the session has a store).
+///
+/// ## Read/write split
+///
+/// Execution is two-phase. [`QueryEngine::prepare`] (`&mut self`)
+/// materializes whatever stages a request needs — model, cube, partition
+/// table; [`QueryEngine::execute_shared`] (`&self`) then builds the reply
+/// from the resident pipeline, running any still-missing DP through the
+/// session's lock-guarded memo table. [`QueryEngine::execute`] chains the
+/// two, so a single-threaded caller sees the classic one-call interface —
+/// and because *every* path funnels through the same `&self` builders,
+/// replies are byte-identical whether they were served exclusively or
+/// concurrently. A server keeps warm engines behind an `RwLock`, answers
+/// from the read side via `execute_shared`, and only takes the write lock
+/// when `execute_shared` declines (returns `None`).
 pub struct QueryEngine {
     session: AnalysisSession,
 }
@@ -723,6 +789,12 @@ impl QueryEngine {
     /// Wrap a session.
     pub fn new(session: AnalysisSession) -> Self {
         Self { session }
+    }
+
+    /// The underlying session, read-only (pool introspection, warm
+    /// checks).
+    pub fn session(&self) -> &AnalysisSession {
+        &self.session
     }
 
     /// The underlying session (escape hatch for host-side work the
@@ -736,31 +808,145 @@ impl QueryEngine {
         self.session
     }
 
+    /// Materialize every pipeline stage `request` needs so that
+    /// [`QueryEngine::execute_shared`] can answer it. Cheap when already
+    /// prepared (all stages are memoized). Validates request parameters
+    /// up front — the same checks, producing the same messages, as the
+    /// execution paths themselves.
+    pub fn prepare(&mut self, request: &AnalysisRequest) -> Result<(), QueryError> {
+        use crate::session::{validate_p, validate_resolution};
+        match request {
+            AnalysisRequest::Describe => self.ensure_dims(),
+            AnalysisRequest::Stats => {
+                self.session.ingest_stats()?;
+                self.ensure_dims()
+            }
+            AnalysisRequest::Aggregate {
+                p,
+                coarse: _,
+                compare,
+                diff_p,
+            } => {
+                validate_p(*p)?;
+                if let Some(p2) = diff_p {
+                    validate_p(*p2)?;
+                }
+                self.session.prepare()?;
+                if *compare {
+                    // §III.D baselines score against the raw model.
+                    self.session.model_and_cube()?;
+                }
+                Ok(())
+            }
+            AnalysisRequest::Significant { resolution }
+            | AnalysisRequest::Sweep { resolution, .. } => {
+                validate_resolution(*resolution)?;
+                self.session.prepare()?;
+                Ok(())
+            }
+            AnalysisRequest::PValues { resolution } => {
+                // Boundary values alone never need the cube when the
+                // table is warm at this resolution.
+                self.session.prepare_points(*resolution)?;
+                Ok(())
+            }
+            AnalysisRequest::Inspect { p, .. } => {
+                validate_p(*p)?;
+                self.session.prepare()?;
+                Ok(())
+            }
+            AnalysisRequest::RenderOverview {
+                p,
+                level_resolution,
+                ..
+            } => {
+                validate_p(*p)?;
+                if let Some(res) = level_resolution {
+                    validate_resolution(*res)?;
+                }
+                self.session.prepare()?;
+                Ok(())
+            }
+            // Reslice mutates the session by definition; it has no shared
+            // path to prepare for.
+            AnalysisRequest::Reslice { .. } => Ok(()),
+        }
+    }
+
+    /// Warm the session end to end (table + cube, ingesting the trace if
+    /// nothing is cached) — what a server runs once under its build
+    /// budget before publishing the engine to concurrent readers.
+    pub fn warm_up(&mut self) -> Result<(), QueryError> {
+        self.session.prepare()?;
+        Ok(())
+    }
+
     /// Execute one request; the reply variant always matches the request
     /// kind.
     pub fn execute(&mut self, request: &AnalysisRequest) -> Result<AnalysisReply, QueryError> {
+        if let AnalysisRequest::Reslice { n_slices, range } = request {
+            self.session.reslice(*n_slices, *range)?;
+            let shape = self.shape()?;
+            return Ok(AnalysisReply::Reslice(ResliceReply {
+                n_slices: *n_slices,
+                hi_slices: crate::hires::hi_res_slices(*n_slices, shape.n_leaves, shape.n_states),
+                window: self.session.window(),
+                shape,
+            }));
+        }
+        self.prepare(request)?;
+        self.shared_reply(request).map_err(Miss::into_error)
+    }
+
+    /// The `&self` execution path: answer `request` from the resident
+    /// pipeline, or return `None` when a stage it needs is not
+    /// materialized (the caller must fall back to
+    /// [`QueryEngine::execute`], which can build it). `Some(Err(_))` is a
+    /// *final* answer — re-running on the write path would fail the same
+    /// way.
+    ///
+    /// Point DPs over the resident cube run fine on this path (they only
+    /// append to the session's lock-guarded memo table), so concurrent
+    /// readers exploring new `p` values never serialize on a session-wide
+    /// lock.
+    pub fn execute_shared(
+        &self,
+        request: &AnalysisRequest,
+    ) -> Option<Result<AnalysisReply, QueryError>> {
+        match self.shared_reply(request) {
+            Ok(reply) => Some(Ok(reply)),
+            Err(Miss::Failed(e)) => Some(Err(e)),
+            Err(Miss::NotPrepared) => None,
+        }
+    }
+
+    /// One reply builder per request kind, all `&self`: the single
+    /// implementation both [`QueryEngine::execute`] and
+    /// [`QueryEngine::execute_shared`] funnel through — byte parity
+    /// between the exclusive and the concurrent path holds by
+    /// construction.
+    fn shared_reply(&self, request: &AnalysisRequest) -> Shared<AnalysisReply> {
         match request {
-            AnalysisRequest::Describe => self.describe().map(AnalysisReply::Describe),
+            AnalysisRequest::Describe => self.describe_shared().map(AnalysisReply::Describe),
             AnalysisRequest::Aggregate {
                 p,
                 coarse,
                 compare,
                 diff_p,
             } => self
-                .aggregate(*p, *coarse, *compare, *diff_p)
+                .aggregate_shared(*p, *coarse, *compare, *diff_p)
                 .map(AnalysisReply::Aggregate),
             AnalysisRequest::Significant { resolution } => {
-                let levels = self.levels(*resolution)?;
                 Ok(AnalysisReply::Significant(SignificantReply {
                     resolution: *resolution,
-                    levels,
+                    levels: self.levels_shared(*resolution)?,
                 }))
             }
-            AnalysisRequest::Sweep { resolution, steps } => {
-                self.sweep(*resolution, *steps).map(AnalysisReply::Sweep)
-            }
+            AnalysisRequest::Sweep { resolution, steps } => self
+                .sweep_shared(*resolution, *steps)
+                .map(AnalysisReply::Sweep),
             AnalysisRequest::PValues { resolution } => {
-                let entries = self.session.significant(*resolution)?;
+                let entries = ready(self.session.significant_shared(*resolution)?)?;
                 Ok(AnalysisReply::PValues(PValuesReply {
                     resolution: *resolution,
                     ps: significant_ps(&entries),
@@ -772,7 +958,7 @@ impl QueryEngine {
                 p,
                 coarse,
             } => self
-                .inspect(*leaf, *slice, *p, *coarse)
+                .inspect_shared(*leaf, *slice, *p, *coarse)
                 .map(AnalysisReply::Inspect),
             AnalysisRequest::RenderOverview {
                 p,
@@ -786,16 +972,16 @@ impl QueryEngine {
                     // compute the same significant set, so the answer is
                     // deterministic either way).
                     Some(res) => {
-                        let entries = self.session.significant(*res)?;
+                        let entries = ready(self.session.significant_shared(*res)?)?;
                         match entries.iter().find(|e| e.p_low <= *p && *p <= e.p_high) {
                             Some(e) => e.partition.clone(),
-                            None => self.session.partition_at(*p, *coarse)?,
+                            None => self.partition_shared(*p, *coarse)?,
                         }
                     }
-                    None => self.session.partition_at(*p, *coarse)?,
+                    None => self.partition_shared(*p, *coarse)?,
                 };
-                let grid = self.session.grid()?;
-                let cube = self.session.cube()?;
+                let grid = ready(self.session.grid_if_built())?;
+                let cube = ready(self.session.cube_if_built())?;
                 Ok(AnalysisReply::Overview(OverviewReply::from_partition(
                     cube,
                     &partition,
@@ -804,21 +990,9 @@ impl QueryEngine {
                     (grid.start(), grid.end()),
                 )))
             }
-            AnalysisRequest::Stats => self.stats().map(AnalysisReply::Stats),
-            AnalysisRequest::Reslice { n_slices, range } => {
-                self.session.reslice(*n_slices, *range)?;
-                let shape = self.shape()?;
-                Ok(AnalysisReply::Reslice(ResliceReply {
-                    n_slices: *n_slices,
-                    hi_slices: crate::hires::hi_res_slices(
-                        *n_slices,
-                        shape.n_leaves,
-                        shape.n_states,
-                    ),
-                    window: self.session.window(),
-                    shape,
-                }))
-            }
+            AnalysisRequest::Stats => self.stats_shared().map(AnalysisReply::Stats),
+            // Reslicing mutates the session: never answerable from `&self`.
+            AnalysisRequest::Reslice { .. } => Err(Miss::NotPrepared),
         }
     }
 
@@ -839,6 +1013,14 @@ impl QueryEngine {
 
     fn shape(&mut self) -> Result<ModelShape, QueryError> {
         self.ensure_dims()?;
+        self.shape_shared().map_err(Miss::into_error)
+    }
+
+    fn partition_shared(&self, p: f64, coarse: bool) -> Shared<Partition> {
+        ready(self.session.partition_shared(p, coarse)?)
+    }
+
+    fn shape_shared(&self) -> Shared<ModelShape> {
         let metric = self.session.config().metric.tag().to_string();
         if let Some(cube) = self.session.cube_if_built() {
             let grid = cube.core().grid();
@@ -851,7 +1033,7 @@ impl QueryEngine {
                 t_end: grid.end(),
             })
         } else {
-            let m = self.session.model_if_built().expect("ensure_dims");
+            let m = ready(self.session.model_if_built())?;
             Ok(ModelShape {
                 n_leaves: m.n_leaves(),
                 n_slices: m.n_slices(),
@@ -863,14 +1045,13 @@ impl QueryEngine {
         }
     }
 
-    /// Hierarchy summary + state names from whatever dimension source
-    /// [`QueryEngine::ensure_dims`] materialized.
-    fn hierarchy_info(&mut self) -> Result<(usize, u64, Vec<String>), QueryError> {
-        self.ensure_dims()?;
+    /// Hierarchy summary + state names from whatever dimension source is
+    /// resident (cube preferred, model otherwise).
+    fn hierarchy_info_shared(&self) -> Shared<(usize, u64, Vec<String>)> {
         let (h, states) = if let Some(cube) = self.session.cube_if_built() {
             (cube.hierarchy(), cube.states())
         } else {
-            let m = self.session.model_if_built().expect("ensure_dims");
+            let m = ready(self.session.model_if_built())?;
             (m.hierarchy(), m.states())
         };
         Ok((
@@ -889,9 +1070,9 @@ impl QueryEngine {
         (tag.to_string(), cube.memory_bytes() as u64)
     }
 
-    fn describe(&mut self) -> Result<DescribeReply, QueryError> {
-        let shape = self.shape()?;
-        let (hierarchy_nodes, hierarchy_depth, states) = self.hierarchy_info()?;
+    fn describe_shared(&self) -> Shared<DescribeReply> {
+        let shape = self.shape_shared()?;
+        let (hierarchy_nodes, hierarchy_depth, states) = self.hierarchy_info_shared()?;
         // The backend is *resolved*, not built: Describe must stay
         // O(model) (it is the `describe` preprocessing command's reply),
         // and the tag must not depend on what earlier queries happened to
@@ -934,25 +1115,26 @@ impl QueryEngine {
         }
     }
 
-    fn aggregate(
-        &mut self,
+    fn aggregate_shared(
+        &self,
         p: f64,
         coarse: bool,
         compare: bool,
         diff_p: Option<f64>,
-    ) -> Result<AggregateReply, QueryError> {
-        let partition = self.session.partition_at(p, coarse)?;
+    ) -> Shared<AggregateReply> {
+        let partition = self.partition_shared(p, coarse)?;
         let diffed = match diff_p {
-            Some(p2) => Some((p2, self.session.partition_at(p2, coarse)?)),
+            Some(p2) => Some((p2, self.partition_shared(p2, coarse)?)),
             None => None,
         };
-        let shape = self.shape()?;
-        let grid = self.session.grid()?;
+        let shape = self.shape_shared()?;
+        let grid = ready(self.session.grid_if_built())?;
 
         // §III.D: spatial-and-temporal is not spatiotemporal — score the
         // unidimensional optima and their product against Algorithm 1.
         let baselines = if compare {
-            let (model, cube) = self.session.model_and_cube()?;
+            let model = ready(self.session.model_if_built())?;
+            let cube = ready(self.session.cube_if_built())?;
             let h = model.hierarchy();
             let t = model.n_slices();
             let prod = product_aggregation(model, p);
@@ -977,7 +1159,7 @@ impl QueryEngine {
             Vec::new()
         };
 
-        let cube = self.session.cube()?;
+        let cube = ready(self.session.cube_if_built())?;
         let q = quality(cube, &partition);
         let (backend, backend_bytes) = Self::backend_info(cube);
         let diff = diffed.map(|(p2, other)| {
@@ -1017,9 +1199,9 @@ impl QueryEngine {
         })
     }
 
-    fn levels(&mut self, resolution: f64) -> Result<Vec<LevelReply>, QueryError> {
-        let entries: Vec<PEntry> = self.session.significant(resolution)?;
-        let cube = self.session.cube()?;
+    fn levels_shared(&self, resolution: f64) -> Shared<Vec<LevelReply>> {
+        let entries: Vec<PEntry> = ready(self.session.significant_shared(resolution)?)?;
+        let cube = ready(self.session.cube_if_built())?;
         Ok(entries
             .iter()
             .map(|e| {
@@ -1036,14 +1218,14 @@ impl QueryEngine {
             .collect())
     }
 
-    fn sweep(&mut self, resolution: f64, steps: usize) -> Result<SweepReply, QueryError> {
-        let levels = self.levels(resolution)?;
+    fn sweep_shared(&self, resolution: f64, steps: usize) -> Shared<SweepReply> {
+        let levels = self.levels_shared(resolution)?;
         let mut points = Vec::new();
         if steps > 0 {
             for k in 0..=steps {
                 let p = k as f64 / steps as f64;
-                let partition = self.session.partition_at(p, false)?;
-                let cube = self.session.cube()?;
+                let partition = self.partition_shared(p, false)?;
+                let cube = ready(self.session.cube_if_built())?;
                 points.push(SweepPoint {
                     p,
                     n_areas: partition.len(),
@@ -1058,35 +1240,34 @@ impl QueryEngine {
         })
     }
 
-    fn inspect(
-        &mut self,
+    fn inspect_shared(
+        &self,
         leaf: usize,
         slice: usize,
         p: f64,
         coarse: bool,
-    ) -> Result<InspectReply, QueryError> {
+    ) -> Shared<InspectReply> {
         // Validate the cell against the cube's shape before paying for the
         // DP: an out-of-range leaf/slice must fail fast.
-        {
-            let cube = self.session.cube()?;
-            if leaf >= cube.hierarchy().n_leaves() {
-                return Err(QueryError::InvalidRequest(format!(
-                    "leaf {leaf} out of range (trace has {})",
-                    cube.hierarchy().n_leaves()
-                )));
-            }
-            if slice >= cube.n_slices() {
-                return Err(QueryError::InvalidRequest(format!(
-                    "slice {slice} out of range (model has {})",
-                    cube.n_slices()
-                )));
-            }
+        let cube = ready(self.session.cube_if_built())?;
+        if leaf >= cube.hierarchy().n_leaves() {
+            return Err(Miss::Failed(QueryError::InvalidRequest(format!(
+                "leaf {leaf} out of range (trace has {})",
+                cube.hierarchy().n_leaves()
+            ))));
         }
-        let partition = self.session.partition_at(p, coarse)?;
-        let grid = self.session.grid()?;
-        let cube = self.session.cube()?;
+        if slice >= cube.n_slices() {
+            return Err(Miss::Failed(QueryError::InvalidRequest(format!(
+                "slice {slice} out of range (model has {})",
+                cube.n_slices()
+            ))));
+        }
+        let partition = self.partition_shared(p, coarse)?;
+        let grid = ready(self.session.grid_if_built())?;
         let area = area_at(&partition, cube, LeafId(leaf as u32), slice).ok_or_else(|| {
-            QueryError::Source("cell not covered by the partition (internal error)".into())
+            Miss::Failed(QueryError::Source(
+                "cell not covered by the partition (internal error)".into(),
+            ))
         })?;
         let report = inspect_area(cube, &area);
         Ok(InspectReply {
@@ -1100,17 +1281,23 @@ impl QueryEngine {
         })
     }
 
-    fn stats(&mut self) -> Result<StatsReply, QueryError> {
-        let Some(stats) = self.session.ingest_stats()?.cloned() else {
-            return Err(QueryError::Unsupported(
-                "this model source reports no ingestion telemetry".into(),
-            ));
+    fn stats_shared(&self) -> Shared<StatsReply> {
+        // `None`: no telemetry probe ran yet — only the `&mut` path
+        // (ingest_stats) may force the trace read.
+        let stats = match self.session.ingest_stats_cached() {
+            None => return Err(Miss::NotPrepared),
+            Some(None) => {
+                return Err(Miss::Failed(QueryError::Unsupported(
+                    "this model source reports no ingestion telemetry".into(),
+                )))
+            }
+            Some(Some(s)) => s.clone(),
         };
-        // ingest_stats materialized the model; shape/hierarchy read it
+        // The probe materialized the model; shape/hierarchy read it
         // directly — a Stats query never builds the quality cube (its
         // whole point is measuring the O(model) ingestion path).
-        let shape = self.shape()?;
-        let (hierarchy_nodes, hierarchy_depth, _) = self.hierarchy_info()?;
+        let shape = self.shape_shared()?;
+        let (hierarchy_nodes, hierarchy_depth, _) = self.hierarchy_info_shared()?;
         Ok(StatsReply {
             shape,
             hierarchy_nodes,

@@ -44,7 +44,8 @@ use crate::pvalues::{significant_partitions, PEntry};
 use ocelotl_trace::{event_density_auto, MicroModel, TimeGrid, Trace};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -76,6 +77,28 @@ impl fmt::Display for SessionError {
 }
 
 impl std::error::Error for SessionError {}
+
+/// Shared parameter check for the trade-off `p` — one message for every
+/// path (session, engine preparation, server) so error replies stay
+/// byte-identical wherever the check fires.
+pub(crate) fn validate_p(p: f64) -> Result<(), SessionError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(SessionError::InvalidParam(format!(
+            "--p must lie in [0, 1], got {p}"
+        )));
+    }
+    Ok(())
+}
+
+/// Shared parameter check for the dichotomy resolution.
+pub(crate) fn validate_resolution(resolution: f64) -> Result<(), SessionError> {
+    if !(resolution > 0.0 && resolution < 1.0) {
+        return Err(SessionError::InvalidParam(format!(
+            "--resolution must lie in (0, 1), got {resolution}"
+        )));
+    }
+    Ok(())
+}
 
 // ---------------------------------------------------------------------------
 // Metric
@@ -238,9 +261,11 @@ impl IngestStats {
 /// crate), so the first pipeline stage is pluggable: the CLI supplies a
 /// file-backed source, benchmarks and examples an in-memory one.
 ///
-/// Sources must be [`Send`] so a long-lived server can host sessions
-/// behind a lock and answer queries from any connection thread.
-pub trait ModelSource: Send {
+/// Sources must be [`Send`] + [`Sync`] so a long-lived server can host
+/// sessions behind shared references and answer queries from any
+/// connection thread concurrently (the `&self` read path of
+/// [`AnalysisSession`]).
+pub trait ModelSource: Send + Sync {
     /// Stable fingerprint of the underlying trace bytes. Two sources with
     /// the same fingerprint must describe the same trace.
     fn fingerprint(&self) -> Result<u64, SessionError>;
@@ -381,9 +406,9 @@ impl PartitionTable {
 /// Persistence hook for the two on-disk artifacts. Implementations must be
 /// best-effort: a `store_*` returning `false` (e.g. a read-only cache
 /// directory) degrades the session to cold behavior, never to an error.
-/// [`Send`] for the same reason as [`ModelSource`]: server-hosted sessions
-/// cross thread boundaries.
-pub trait ArtifactStore: Send {
+/// [`Send`] + [`Sync`] for the same reason as [`ModelSource`]:
+/// server-hosted sessions are queried concurrently from many threads.
+pub trait ArtifactStore: Send + Sync {
     /// Load the cube prefix sums stored under `key`, if present and valid.
     fn load_cube(&self, key: u64) -> Option<CubeCore>;
     /// Persist the cube prefix sums under `key`.
@@ -478,13 +503,18 @@ pub struct ResliceWindow {
 /// for a single `(n_slices, window)` resolution. A session keeps the
 /// active one plus a few recently used ones parked, so alternating
 /// `--slices` queries never recompute.
+///
+/// The key and the partition table use interior mutability: they are the
+/// only stages that grow *after* the pipeline is materialized (new DP
+/// results memoize into the table), so the `&self` read path can record
+/// them while the model and cube stay plainly immutable.
 #[derive(Default)]
 struct Derived {
-    key: Option<u64>,
+    key: OnceLock<u64>,
     model: Option<MicroModel>,
     cube: Option<CubeBackend>,
     cube_source: Option<CubeSource>,
-    table: Option<PartitionTable>,
+    table: RwLock<Option<PartitionTable>>,
 }
 
 /// Recently used derived pipelines kept parked besides the active one
@@ -514,7 +544,7 @@ pub struct AnalysisSession {
     config: SessionConfig,
     source: Box<dyn ModelSource>,
     store: Option<Box<dyn ArtifactStore>>,
-    fingerprint: Option<u64>,
+    fingerprint: OnceLock<u64>,
     hi_res: Option<HiResModel>,
     ingest: Option<IngestStats>,
     window: Option<ResliceWindow>,
@@ -524,7 +554,7 @@ pub struct AnalysisSession {
     /// An ingestion-telemetry probe already ran (successfully or not):
     /// sources that report no stats are not asked again and again.
     stats_probed: bool,
-    dp_runs: usize,
+    dp_runs: AtomicUsize,
 }
 
 impl AnalysisSession {
@@ -535,7 +565,7 @@ impl AnalysisSession {
             config,
             source: Box::new(source),
             store: None,
-            fingerprint: None,
+            fingerprint: OnceLock::new(),
             hi_res: None,
             ingest: None,
             window: None,
@@ -543,7 +573,7 @@ impl AnalysisSession {
             parked: Vec::new(),
             source_reads: 0,
             stats_probed: false,
-            dp_runs: 0,
+            dp_runs: AtomicUsize::new(0),
         }
     }
 
@@ -560,30 +590,27 @@ impl AnalysisSession {
     }
 
     /// The content-addressed artifact key of the active resolution
-    /// (fingerprint computed once per session).
-    pub fn key(&mut self) -> Result<u64, SessionError> {
-        if let Some(k) = self.active.key {
-            return Ok(k);
+    /// (fingerprint computed once per session, shared across threads).
+    pub fn key(&self) -> Result<u64, SessionError> {
+        if let Some(k) = self.active.key.get() {
+            return Ok(*k);
         }
         let fp = self.fingerprint()?;
-        let k = self.config.key(fp);
-        self.active.key = Some(k);
-        Ok(k)
+        Ok(*self.active.key.get_or_init(|| self.config.key(fp)))
     }
 
-    fn fingerprint(&mut self) -> Result<u64, SessionError> {
-        if let Some(fp) = self.fingerprint {
-            return Ok(fp);
+    fn fingerprint(&self) -> Result<u64, SessionError> {
+        if let Some(fp) = self.fingerprint.get() {
+            return Ok(*fp);
         }
         let fp = self.source.fingerprint()?;
-        self.fingerprint = Some(fp);
-        Ok(fp)
+        Ok(*self.fingerprint.get_or_init(|| fp))
     }
 
     /// Key of the `.omicro` hi-res artifact: hashes the trace fingerprint
     /// and the metric, **not** `n_slices` — one hi-res intermediate serves
     /// every resolution in its dyadic family, so all of them must find it.
-    fn hi_key(&mut self) -> Result<u64, SessionError> {
+    fn hi_key(&self) -> Result<u64, SessionError> {
         let fp = self.fingerprint()?;
         let mut h = FNV_SEED;
         h = fnv1a(h, &fp.to_le_bytes());
@@ -600,7 +627,7 @@ impl AnalysisSession {
     /// Number of DP (Algorithm 1 / dichotomy) invocations this session —
     /// zero for a fully warm session answering cached queries.
     pub fn dp_runs(&self) -> usize {
-        self.dp_runs
+        self.dp_runs.load(Ordering::Relaxed)
     }
 
     /// Number of times the session asked its [`ModelSource`] to read the
@@ -637,9 +664,9 @@ impl AnalysisSession {
         if self.hi_res.as_ref().is_some_and(|h| h.serves(n)) {
             return Ok(());
         }
-        if self.store.is_some() {
+        if let Some(store) = self.store.as_ref() {
             let key = self.hi_key()?;
-            if let Some(h) = self.store.as_ref().unwrap().load_hi_res(key) {
+            if let Some(h) = store.load_hi_res(key) {
                 if h.metric() == self.config.metric && h.serves(n) {
                     self.hi_res = Some(h);
                     return Ok(());
@@ -659,9 +686,9 @@ impl AnalysisSession {
             // resident is strictly better than displacing it with a grid
             // that serves nothing.
             if h.serves(n) {
-                if self.store.is_some() {
+                if let Some(store) = self.store.as_ref() {
                     let key = self.hi_key()?;
-                    self.store.as_ref().unwrap().store_hi_res(key, &h);
+                    store.store_hi_res(key, &h);
                 }
                 self.hi_res = Some(h);
             } else if self.hi_res.is_none() {
@@ -932,7 +959,7 @@ impl AnalysisSession {
     }
 
     fn ensure_table(&mut self) -> Result<(), SessionError> {
-        if self.active.table.is_some() {
+        if self.active.table.get_mut().unwrap().is_some() {
             return Ok(());
         }
         let loaded = if self.store_active() {
@@ -945,19 +972,22 @@ impl AnalysisSession {
         } else {
             PartitionTable::default()
         };
-        self.active.table = Some(loaded);
+        *self.active.table.get_mut().unwrap() = Some(loaded);
         Ok(())
     }
 
-    fn persist_table(&mut self) -> Result<(), SessionError> {
+    fn persist_table(&self) -> Result<(), SessionError> {
         if !self.store_active() {
             return Ok(());
         }
         // Memoized key: re-fingerprinting here would re-hash the whole
         // trace on every newly recorded DP result.
         let key = self.key()?;
-        if let (Some(store), Some(table)) = (&self.store, &self.active.table) {
-            store.store_partitions(key, table);
+        if let Some(store) = &self.store {
+            let guard = self.active.table.read().unwrap();
+            if let Some(table) = guard.as_ref() {
+                store.store_partitions(key, table);
+            }
         }
         Ok(())
     }
@@ -970,48 +1000,134 @@ impl AnalysisSession {
         }
     }
 
+    /// Materialize everything the `&self` read path needs — the partition
+    /// table and the cube — so subsequent [`AnalysisSession::partition_shared`] /
+    /// [`AnalysisSession::significant_shared`] calls can answer any point
+    /// query from a shared reference. This is what a server runs once,
+    /// under its build budget, before publishing the session to readers.
+    pub fn prepare(&mut self) -> Result<(), SessionError> {
+        self.ensure_table()?;
+        self.ensure_cube()?;
+        Ok(())
+    }
+
+    /// Like [`AnalysisSession::prepare`], but for queries that only need
+    /// the significant-`p` boundary values: a table warm at `resolution`
+    /// (e.g. from a `.opart` artifact) skips the cube build entirely.
+    pub fn prepare_points(&mut self, resolution: f64) -> Result<(), SessionError> {
+        validate_resolution(resolution)?;
+        self.ensure_table()?;
+        let warm = self
+            .active
+            .table
+            .get_mut()
+            .unwrap()
+            .as_ref()
+            .unwrap()
+            .significant_at(resolution)
+            .is_some();
+        if !warm {
+            self.ensure_cube()?;
+        }
+        Ok(())
+    }
+
+    /// The time grid, if a previous call already materialized the cube.
+    pub fn grid_if_built(&self) -> Option<TimeGrid> {
+        self.active.cube.as_ref().map(|c| *c.core().grid())
+    }
+
+    /// Ingestion telemetry **without** forcing a trace read: `None` when
+    /// no probe ran yet (the caller must fall back to
+    /// [`AnalysisSession::ingest_stats`]), `Some(None)` when a probe ran
+    /// and the source reports no telemetry, `Some(Some(_))` when stats are
+    /// resident.
+    pub fn ingest_stats_cached(&self) -> Option<Option<&IngestStats>> {
+        match (&self.ingest, self.stats_probed) {
+            (Some(s), _) => Some(Some(s)),
+            (None, true) => Some(None),
+            (None, false) => None,
+        }
+    }
+
     /// The optimal partition at trade-off `p` (Algorithm 1), memoized.
     ///
     /// A cached result (same `p` bit pattern, same tie-breaking) is served
     /// without running the DP; otherwise the DP runs on the (possibly
     /// warm) cube and the result is recorded in the table and persisted.
     pub fn partition_at(&mut self, p: f64, coarse: bool) -> Result<Partition, SessionError> {
-        if !(0.0..=1.0).contains(&p) {
-            return Err(SessionError::InvalidParam(format!(
-                "--p must lie in [0, 1], got {p}"
-            )));
-        }
+        validate_p(p)?;
         self.ensure_table()?;
-        if let Some(part) = self.active.table.as_ref().unwrap().lookup(p, coarse) {
+        if let Some(part) = self
+            .active
+            .table
+            .get_mut()
+            .unwrap()
+            .as_ref()
+            .unwrap()
+            .lookup(p, coarse)
+        {
             return Ok(part.clone());
         }
         self.ensure_cube()?;
-        let cube = self.active.cube.as_ref().unwrap();
+        self.partition_shared(p, coarse)?
+            .ok_or_else(|| SessionError::source("internal: prepared pipeline missed a point query"))
+    }
+
+    /// The `&self` twin of [`AnalysisSession::partition_at`], for sessions
+    /// already [`prepared`](AnalysisSession::prepare): serves the memo or
+    /// runs the DP on the resident cube, recording the result through the
+    /// table lock. Returns `Ok(None)` when the table or cube is not
+    /// materialized yet — the caller must fall back to the `&mut` path.
+    ///
+    /// Concurrent callers racing on the same fresh `(p, tie-breaking)`
+    /// query may each run the (deterministic) DP; the table keeps exactly
+    /// one copy of the identical result.
+    pub fn partition_shared(
+        &self,
+        p: f64,
+        coarse: bool,
+    ) -> Result<Option<Partition>, SessionError> {
+        validate_p(p)?;
+        {
+            let guard = self.active.table.read().unwrap();
+            match guard.as_ref() {
+                None => return Ok(None),
+                Some(table) => {
+                    if let Some(part) = table.lookup(p, coarse) {
+                        return Ok(Some(part.clone()));
+                    }
+                }
+            }
+        }
+        let Some(cube) = self.active.cube.as_ref() else {
+            return Ok(None);
+        };
         let tree = aggregate(cube, p, &self.dp_config(coarse));
         let partition = tree.partition(cube);
-        self.dp_runs += 1;
+        self.dp_runs.fetch_add(1, Ordering::Relaxed);
         self.active
             .table
+            .write()
+            .unwrap()
             .as_mut()
             .unwrap()
             .insert_point(p, coarse, partition.clone());
         self.persist_table()?;
-        Ok(partition)
+        Ok(Some(partition))
     }
 
     /// All significant trade-off levels (the Ocelotl slider stops),
     /// memoized at the given dichotomy resolution. A table loaded from a
     /// `.opart` artifact answers this with **zero** DP runs.
     pub fn significant(&mut self, resolution: f64) -> Result<Vec<PEntry>, SessionError> {
-        if !(resolution > 0.0 && resolution < 1.0) {
-            return Err(SessionError::InvalidParam(format!(
-                "--resolution must lie in (0, 1), got {resolution}"
-            )));
-        }
+        validate_resolution(resolution)?;
         self.ensure_table()?;
         if let Some(entries) = self
             .active
             .table
+            .get_mut()
+            .unwrap()
             .as_ref()
             .unwrap()
             .significant_at(resolution)
@@ -1019,15 +1135,42 @@ impl AnalysisSession {
             return Ok(entries.to_vec());
         }
         self.ensure_cube()?;
-        let cube = self.active.cube.as_ref().unwrap();
+        self.significant_shared(resolution)?
+            .ok_or_else(|| SessionError::source("internal: prepared pipeline missed a level query"))
+    }
+
+    /// The `&self` twin of [`AnalysisSession::significant`] (see
+    /// [`AnalysisSession::partition_shared`] for the contract).
+    pub fn significant_shared(&self, resolution: f64) -> Result<Option<Vec<PEntry>>, SessionError> {
+        validate_resolution(resolution)?;
+        {
+            let guard = self.active.table.read().unwrap();
+            match guard.as_ref() {
+                None => return Ok(None),
+                Some(table) => {
+                    if let Some(entries) = table.significant_at(resolution) {
+                        return Ok(Some(entries.to_vec()));
+                    }
+                }
+            }
+        }
+        let Some(cube) = self.active.cube.as_ref() else {
+            return Ok(None);
+        };
         let entries = significant_partitions(cube, &DpConfig::default(), resolution);
-        self.dp_runs += 1;
-        self.active.table.as_mut().unwrap().significant = Some(SignificantSet {
+        self.dp_runs.fetch_add(1, Ordering::Relaxed);
+        self.active
+            .table
+            .write()
+            .unwrap()
+            .as_mut()
+            .unwrap()
+            .significant = Some(SignificantSet {
             resolution,
             entries: entries.clone(),
         });
         self.persist_table()?;
-        Ok(entries)
+        Ok(Some(entries))
     }
 }
 
@@ -1213,6 +1356,60 @@ mod tests {
         assert!("x".parse::<Metric>().is_err());
         assert_eq!(Metric::States.tag(), "states");
         assert_eq!(Metric::Density.tag(), "density");
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisSession>();
+    }
+
+    #[test]
+    fn shared_read_path_matches_exclusive_path() {
+        let mut s = session_over(fig3_model(), 9);
+        let exclusive = s.partition_at(0.5, false).unwrap();
+        let levels = s.significant(1e-2).unwrap();
+        s.prepare().unwrap();
+        std::thread::scope(|scope| {
+            let s = &s;
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        // Memoized point + levels, plus a fresh point every
+                        // thread races on.
+                        let memo = s.partition_shared(0.5, false).unwrap().unwrap();
+                        let lvls = s.significant_shared(1e-2).unwrap().unwrap();
+                        let fresh = s.partition_shared(0.25, false).unwrap().unwrap();
+                        (memo, lvls, fresh)
+                    })
+                })
+                .collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for (memo, lvls, fresh) in &results {
+                assert_eq!(*memo, exclusive);
+                assert_eq!(lvls.len(), levels.len());
+                assert_eq!(*fresh, results[0].2, "racing DPs agree");
+            }
+        });
+        // The racing threads memoized p=0.25: the exclusive path now
+        // serves it without another DP.
+        let before = s.dp_runs();
+        let via_mut = s.partition_at(0.25, false).unwrap();
+        assert_eq!(s.dp_runs(), before, "shared results serve the &mut path");
+        assert_eq!(
+            Some(&via_mut),
+            s.partition_shared(0.25, false).unwrap().as_ref()
+        );
+    }
+
+    #[test]
+    fn unprepared_session_declines_shared_queries() {
+        let s = session_over(fig3_model(), 10);
+        assert!(s.partition_shared(0.5, false).unwrap().is_none());
+        assert!(s.significant_shared(1e-2).unwrap().is_none());
+        // Invalid parameters still fail fast, prepared or not.
+        assert!(s.partition_shared(1.5, false).is_err());
+        assert!(s.significant_shared(0.0).is_err());
     }
 
     #[test]
