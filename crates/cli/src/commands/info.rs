@@ -135,6 +135,24 @@ fn run_stats(args: &Args, path: &Path, out: &mut dyn Write) -> Result<(), CliErr
         "  throughput:        {:.0} events/s",
         stats.events as f64 / elapsed.as_secs_f64().max(1e-9)
     )?;
+    // Shard timing is a process-local clock reading: it lives here, next
+    // to wall time, never in the (deterministic) protocol reply above.
+    if let Some(t) = ocelotl::format::take_last_ingest_timing() {
+        if t.shard_nanos.len() > 1 {
+            let slowest = t.shard_nanos.iter().copied().max().unwrap_or(0);
+            writeln!(
+                out,
+                "  shard decode:      {} workers' worth, slowest {:.3} ms",
+                t.shard_nanos.len(),
+                slowest as f64 / 1e6
+            )?;
+            writeln!(
+                out,
+                "  merge time:        {:.3} ms",
+                t.merge_nanos as f64 / 1e6
+            )?;
+        }
+    }
     Ok(())
 }
 

@@ -46,7 +46,7 @@
 //! ```
 
 use crate::args::Args;
-use crate::helpers::{build_session, cache_dir, session_config};
+use crate::helpers::{build_session_with_workers, cache_dir, session_config};
 use crate::CliError;
 use ocelotl::core::query::{QueryEngine, QueryError};
 use ocelotl::core::SessionConfig;
@@ -146,6 +146,25 @@ struct PoolEntry {
 type FileStamp = (Option<std::time::SystemTime>, Option<u64>);
 
 fn file_stamp(path: &Path) -> FileStamp {
+    if path.is_dir() {
+        // A directory trace: fold the newest mtime and the total size of
+        // its trace files, so adding, removing or touching any member
+        // invalidates the pooled session.
+        let Ok(files) = ocelotl::format::trace_files(path) else {
+            return (None, None);
+        };
+        let mut newest: Option<std::time::SystemTime> = None;
+        let mut total = 0u64;
+        for f in files {
+            if let Ok(m) = std::fs::metadata(&f) {
+                if let Ok(t) = m.modified() {
+                    newest = Some(newest.map_or(t, |n| n.max(t)));
+                }
+                total += m.len();
+            }
+        }
+        return (newest, Some(total));
+    }
     match std::fs::metadata(path) {
         Ok(m) => (m.modified().ok(), Some(m.len())),
         Err(_) => (None, None),
@@ -330,7 +349,13 @@ impl ServerState {
     }
 
     fn open(&self, path: &Path, config: SessionConfig) -> ocelotl::core::AnalysisSession {
-        build_session(path, config, self.opts.cache.as_deref())
+        // Divide the global thread budget across the build permits: with
+        // W concurrent cold builds allowed, each ingest gets its share of
+        // the executor instead of `--workers` builds each spawning a full
+        // complement of shard threads. The cap redistributes work only —
+        // shard plans are content-derived, so output bits never change.
+        let shard_workers = (rayon::max_threads() / self.opts.workers.max(1)).max(1);
+        build_session_with_workers(path, config, self.opts.cache.as_deref(), shard_workers)
     }
 
     /// Number of warm sessions currently pooled.

@@ -82,6 +82,18 @@ pub fn obtain_report(
     n_slices: usize,
     metric: Metric,
 ) -> Result<ocelotl::format::IngestReport, CliError> {
+    obtain_report_with(path, n_slices, metric, 0)
+}
+
+/// [`obtain_report`] with an explicit shard-worker cap (0 = the
+/// process-wide `--threads` budget) — what a server uses to keep one cold
+/// build from monopolizing the executor.
+pub fn obtain_report_with(
+    path: &Path,
+    n_slices: usize,
+    metric: Metric,
+    workers: usize,
+) -> Result<ocelotl::format::IngestReport, CliError> {
     if !path.exists() {
         return Err(CliError::Invalid(format!(
             "no such file: {}",
@@ -101,13 +113,31 @@ pub fn obtain_report(
             peak_bytes: 0,
             mode: ocelotl::format::IngestMode::SinglePass,
             format: ocelotl::format::Format::Binary,
+            gzip: false,
+            shards: vec![bytes],
         });
     }
-    Ok(ocelotl::format::read_model(
+    Ok(ocelotl::format::read_model_with(
         path,
         n_slices,
         metric.model_kind(),
+        &ingest_options(workers),
     )?)
+}
+
+/// Sharding options for a CLI ingest: content-derived auto plan, worker
+/// pool capped at `workers` (0 = the process-wide `--threads` budget).
+/// The worker cap redistributes work only — the shard plan, and therefore
+/// every output bit, is a pure function of the trace content.
+fn ingest_options(workers: usize) -> ocelotl::format::IngestOptions {
+    ocelotl::format::IngestOptions {
+        shards: ocelotl::format::ShardMode::Auto,
+        max_workers: if workers > 0 {
+            workers
+        } else {
+            rayon::max_threads()
+        },
+    }
 }
 
 /// The file-backed [`ModelSource`]: streams the model straight from the
@@ -121,6 +151,9 @@ pub struct FileSource {
     /// Lock-free once the value is set: concurrent readers on a server's
     /// shared read path never contend on a held (or poisoned) lock.
     fingerprint: OnceLock<u64>,
+    /// Shard-worker cap for ingests through this source (0 = the
+    /// process-wide `--threads` budget). Never affects output bits.
+    workers: usize,
 }
 
 impl FileSource {
@@ -129,7 +162,16 @@ impl FileSource {
         Self {
             path: path.into(),
             fingerprint: OnceLock::new(),
+            workers: 0,
         }
+    }
+
+    /// Cap the shard-worker pool of ingests through this source — a
+    /// server building several sessions concurrently divides its thread
+    /// budget this way so one cold build cannot monopolize the executor.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 }
 
@@ -148,7 +190,13 @@ fn report_stats(report: &ocelotl::format::IngestReport) -> IngestStats {
         points: report.points,
         peak_bytes: report.peak_bytes,
         mode: report.mode.tag().to_string(),
-        format: format.to_string(),
+        format: if report.gzip {
+            format!("{format}+gzip")
+        } else {
+            format.to_string()
+        },
+        gzip: report.gzip,
+        shards: report.shards.clone(),
     }
 }
 
@@ -157,7 +205,7 @@ impl ModelSource for FileSource {
         if let Some(fp) = self.fingerprint.get() {
             return Ok(*fp);
         }
-        let fp = ocelotl::format::hash_file(&self.path).map_err(|e| {
+        let fp = ocelotl::format::hash_trace_input(&self.path).map_err(|e| {
             SessionError::source(format!("cannot hash {}: {e}", self.path.display()))
         })?;
         Ok(*self.fingerprint.get_or_init(|| fp))
@@ -172,7 +220,7 @@ impl ModelSource for FileSource {
         n_slices: usize,
         metric: Metric,
     ) -> Result<(MicroModel, Option<IngestStats>), SessionError> {
-        let report = obtain_report(&self.path, n_slices, metric)
+        let report = obtain_report_with(&self.path, n_slices, metric, self.workers)
             .map_err(|e| SessionError::source(e.to_string()))?;
         let _ = self.fingerprint.set(report.fingerprint);
         let stats = report_stats(&report);
@@ -189,8 +237,13 @@ impl ModelSource for FileSource {
             // to build — the session falls back to the direct load.
             return Ok(None);
         }
-        let report = ocelotl::format::read_hi_res(&self.path, n_slices, metric.model_kind())
-            .map_err(|e| SessionError::source(e.to_string()))?;
+        let report = ocelotl::format::read_hi_res_with(
+            &self.path,
+            n_slices,
+            metric.model_kind(),
+            &ingest_options(self.workers),
+        )
+        .map_err(|e| SessionError::source(e.to_string()))?;
         let _ = self.fingerprint.set(report.fingerprint);
         let stats = report_stats(&report);
         Ok(Some((HiResModel::new(metric, report.model), Some(stats))))
@@ -256,7 +309,20 @@ pub fn open_session(args: &Args, path: &Path) -> Result<AnalysisSession, CliErro
 /// Assemble a session over `path` with an optional artifact cache — the
 /// one construction path the CLI and the server share.
 pub fn build_session(path: &Path, config: SessionConfig, cache: Option<&Path>) -> AnalysisSession {
-    let mut session = AnalysisSession::new(FileSource::new(path), config);
+    build_session_with_workers(path, config, cache, 0)
+}
+
+/// [`build_session`] with a shard-worker cap for the ingest (0 = the
+/// process-wide `--threads` budget). A server divides its thread budget
+/// across concurrent cold builds this way; the cap never changes output
+/// bits.
+pub fn build_session_with_workers(
+    path: &Path,
+    config: SessionConfig,
+    cache: Option<&Path>,
+    workers: usize,
+) -> AnalysisSession {
+    let mut session = AnalysisSession::new(FileSource::new(path).with_workers(workers), config);
     if let Some(dir) = cache {
         session =
             session.with_store(DiskStore::for_input(path, Some(dir)).with_keep(config.cache_keep));

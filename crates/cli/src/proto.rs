@@ -414,6 +414,12 @@ pub fn write_stats(s: &StatsReply, out: &mut dyn Write) -> Result<(), CliError> 
     writeln!(out, "ingestion (streaming, events never materialized):")?;
     writeln!(out, "  mode:              {}", s.mode)?;
     writeln!(out, "  format:            {}", s.format)?;
+    writeln!(out, "  shards:            {}", s.shard_count)?;
+    if s.shard_count > 1 {
+        for (i, b) in s.shard_bytes.iter().enumerate() {
+            writeln!(out, "    shard {i}:         {b} bytes")?;
+        }
+    }
     writeln!(out, "  bytes read:        {}", s.bytes_read)?;
     writeln!(
         out,

@@ -133,6 +133,53 @@ impl HiResModel {
         (b > a).then_some((a, b - a))
     }
 
+    /// Merge two hi-res models of the **same stream shape**: identical
+    /// metric, grid, hierarchy dimensions and state registry (same names,
+    /// same order). Every cell of the result is `self + other` — one fixed
+    /// summation order, so folding per-shard models left-to-right in shard
+    /// order is the same computation at any worker count (the argument that
+    /// made re-slicing exact). Both sides must carry **raw** (unnormalized)
+    /// arrays; peak normalization happens once, when a model is derived
+    /// from the merged result.
+    pub fn merge(&self, other: &HiResModel) -> Result<HiResModel, String> {
+        if self.metric != other.metric {
+            return Err("cannot merge hi-res models of different metrics".into());
+        }
+        if self.raw.grid() != other.raw.grid() {
+            return Err("cannot merge hi-res models over different grids".into());
+        }
+        if self.raw.n_leaves() != other.raw.n_leaves() {
+            return Err("cannot merge hi-res models over different hierarchies".into());
+        }
+        let (a, b) = (self.raw.states(), other.raw.states());
+        if a.len() != b.len() || a.iter().zip(b.iter()).any(|((_, x), (_, y))| x != y) {
+            return Err("cannot merge hi-res models with different state registries".into());
+        }
+        let n_leaves = self.raw.n_leaves();
+        let n_states = self.raw.n_states();
+        let h = self.raw.n_slices();
+        let mut data = vec![0.0f64; n_leaves * n_states * h];
+        for leaf in 0..n_leaves {
+            for x in 0..n_states {
+                let sa = self.raw.series(LeafId(leaf as u32), StateId(x as u16));
+                let sb = other.raw.series(LeafId(leaf as u32), StateId(x as u16));
+                let dst = (leaf * n_states + x) * h;
+                for t in 0..h {
+                    data[dst + t] = sa[t] + sb[t];
+                }
+            }
+        }
+        Ok(HiResModel::new(
+            self.metric,
+            MicroModel::from_dense(
+                self.raw.hierarchy().clone(),
+                self.raw.states().clone(),
+                *self.raw.grid(),
+                data,
+            ),
+        ))
+    }
+
     /// The one rebinning kernel: coarse cell `t` is the left-to-right sum
     /// of its `count / n_slices` hi-res cells. Density models are peak-
     /// normalized at the target resolution afterwards (exactly
@@ -277,5 +324,51 @@ mod tests {
     fn memory_bytes_counts_the_raw_array() {
         let hi = hi_model(2, 1024);
         assert_eq!(hi.memory_bytes(), 2 * 2 * 1024 * 8);
+    }
+
+    #[test]
+    fn merge_sums_every_cell_in_fixed_order() {
+        let a = hi_model(2, 1024);
+        let b = hi_model(2, 1024);
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.metric(), a.metric());
+        assert_eq!(m.n_slices(), 1024);
+        for leaf in 0..2u32 {
+            for x in 0..2u16 {
+                let sa = a.raw().series(LeafId(leaf), StateId(x));
+                let sb = b.raw().series(LeafId(leaf), StateId(x));
+                let sm = m.raw().series(LeafId(leaf), StateId(x));
+                for t in 0..1024 {
+                    assert_eq!(sm[t].to_bits(), (sa[t] + sb[t]).to_bits());
+                }
+            }
+        }
+        // Folding three shards left-to-right equals pairwise chaining.
+        let c = hi_model(2, 1024);
+        let fold = a.merge(&b).unwrap().merge(&c).unwrap();
+        let chain = m.merge(&c).unwrap();
+        assert_eq!(
+            fold.raw().series(LeafId(1), StateId(1)),
+            chain.raw().series(LeafId(1), StateId(1))
+        );
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatches() {
+        let a = hi_model(2, 1024);
+        assert!(a.merge(&hi_model(3, 1024)).is_err(), "leaf count");
+        assert!(a.merge(&hi_model(2, 512)).is_err(), "grid");
+        let diff_metric = HiResModel::new(Metric::Density, hi_model(2, 1024).raw().clone());
+        assert!(a.merge(&diff_metric).is_err(), "metric");
+        let renamed = HiResModel::new(
+            Metric::States,
+            MicroModel::from_dense(
+                Hierarchy::flat(2, "p"),
+                StateRegistry::from_names(["A", "C"]),
+                TimeGrid::new(0.0, 16.0, 1024),
+                vec![0.0; 2 * 2 * 1024],
+            ),
+        );
+        assert!(a.merge(&renamed).is_err(), "state names");
     }
 }

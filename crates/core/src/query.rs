@@ -685,10 +685,15 @@ pub struct StatsReply {
     pub peak_bytes: u64,
     /// Ingestion strategy tag (`single-pass` / `two-pass`).
     pub mode: String,
-    /// Trace format tag.
+    /// Trace format tag (`+gzip` suffix for compressed inputs).
     pub format: String,
     /// Content fingerprint of the trace bytes, as 16 hex digits.
     pub fingerprint: String,
+    /// Shard count of the ingest (1 for sequential).
+    pub shard_count: u64,
+    /// Input bytes per shard, in shard order — content-derived, never a
+    /// function of the worker count.
+    pub shard_bytes: Vec<u64>,
 }
 
 /// Answer to [`AnalysisRequest::Reslice`]: the session's new active
@@ -1310,6 +1315,8 @@ impl QueryEngine {
             mode: stats.mode,
             format: stats.format,
             fingerprint: format!("{:016x}", stats.fingerprint),
+            shard_count: stats.shards.len() as u64,
+            shard_bytes: stats.shards,
         })
     }
 }
@@ -1505,6 +1512,8 @@ mod tests {
                         peak_bytes: 512,
                         mode: "single-pass".into(),
                         format: "btf".into(),
+                        gzip: false,
+                        shards: vec![60, 40],
                     }),
                 ))
             }
@@ -1524,6 +1533,8 @@ mod tests {
         assert_eq!(s.events, 83);
         assert_eq!(s.fingerprint, "000000000000abcd");
         assert_eq!(s.shape.n_leaves, 12);
+        assert_eq!(s.shard_count, 2);
+        assert_eq!(s.shard_bytes, vec![60, 40]);
     }
 
     #[test]

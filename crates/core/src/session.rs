@@ -243,8 +243,16 @@ pub struct IngestStats {
     pub peak_bytes: u64,
     /// Ingestion strategy tag (`single-pass` / `two-pass`).
     pub mode: String,
-    /// Detected trace format tag (`btf` / `ptf` / `paje`).
+    /// Detected trace format tag (`btf` / `ptf` / `paje`, with a
+    /// `+gzip` suffix for compressed inputs).
     pub format: String,
+    /// Whether the input was gzip-compressed.
+    pub gzip: bool,
+    /// Input bytes per shard, in shard order (one entry per byte-range
+    /// shard of a single file, or per file of a directory trace).
+    /// Content-derived: the shard plan never depends on the worker
+    /// count, so this stays deterministic.
+    pub shards: Vec<u64>,
 }
 
 impl IngestStats {

@@ -216,6 +216,142 @@ fn decode_interval(rec: &[u8]) -> (u32, u16, f64, f64) {
     )
 }
 
+/// Size of one point record in bytes.
+pub(crate) const POINT_RECORD_BYTES: usize = 4 + 8 + 1 + 4;
+
+/// Read and validate one interval record — the single validation path for
+/// both the sequential decoder and shard-range decoding.
+#[inline]
+fn read_interval_record<R: Read>(
+    r: &mut R,
+    n_leaves: usize,
+    n_states: usize,
+) -> Result<(LeafId, StateId, f64, f64)> {
+    let mut rec = [0u8; INTERVAL_RECORD_BYTES];
+    r.read_exact(&mut rec)?;
+    let (res, st, begin, end) = decode_interval(&rec);
+    if res as usize >= n_leaves
+        || st as usize >= n_states
+        || !begin.is_finite()
+        || !end.is_finite()
+        || end < begin
+    {
+        return Err(FormatError::parse("invalid interval record", None));
+    }
+    Ok((LeafId(res), StateId(st), begin, end))
+}
+
+/// Read and validate one point record.
+#[inline]
+fn read_point_record<R: Read>(r: &mut R, n_leaves: usize) -> Result<PointEvent> {
+    let mut prec = [0u8; POINT_RECORD_BYTES];
+    r.read_exact(&mut prec)?;
+    let res = u32::from_le_bytes(prec[0..4].try_into().unwrap());
+    let time = f64::from_le_bytes(prec[4..12].try_into().unwrap());
+    let kind = prec[12];
+    let peer = u32::from_le_bytes(prec[13..17].try_into().unwrap());
+    let kind = match kind {
+        0 => PointKind::Marker,
+        1 => PointKind::MsgSend { peer: LeafId(peer) },
+        2 => PointKind::MsgRecv { peer: LeafId(peer) },
+        k => return Err(FormatError::parse(format!("bad point kind {k}"), None)),
+    };
+    if res as usize >= n_leaves || !time.is_finite() {
+        return Err(FormatError::parse("invalid point record", None));
+    }
+    Ok(PointEvent {
+        resource: LeafId(res),
+        time,
+        kind,
+    })
+}
+
+/// Counts bytes the caller actually requests from the inner reader (place
+/// it *above* any `BufReader` so read-ahead is not counted).
+struct CountingReader<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
+/// Parsed BTF layout for shard planning: the frozen [`StreamHeader`] plus
+/// byte offsets of the fixed-record regions, so workers can seek straight
+/// to disjoint record ranges.
+pub(crate) struct BinaryPlan {
+    pub(crate) header: StreamHeader,
+    pub(crate) n_intervals: u64,
+    pub(crate) n_points: u64,
+    /// Offset of the first interval record (= exact header size).
+    pub(crate) intervals_start: u64,
+    /// Offset of the first point record (past the u64 point count).
+    pub(crate) points_start: u64,
+}
+
+/// Parse the BTF header and locate both record regions. The reader is left
+/// positioned at the first point record.
+pub(crate) fn plan_binary<R: BufRead + Seek>(mut r: R) -> Result<BinaryPlan> {
+    let mut cr = CountingReader {
+        inner: &mut r,
+        count: 0,
+    };
+    let header = read_header(&mut cr)?;
+    let intervals_start = cr.count;
+    let intervals_end = intervals_start + header.n_intervals * INTERVAL_RECORD_BYTES as u64;
+    r.seek(SeekFrom::Start(intervals_end))?;
+    let mut n_pts = [0u8; 8];
+    r.read_exact(&mut n_pts)?;
+    Ok(BinaryPlan {
+        n_intervals: header.n_intervals,
+        n_points: u64::from_le_bytes(n_pts),
+        intervals_start,
+        points_start: intervals_end + 8,
+        header: StreamHeader {
+            hierarchy: header.hierarchy,
+            states: header.states,
+            metadata: header.metadata,
+            range: Some(header.range),
+        },
+    })
+}
+
+/// Decode `count` interval records from the reader's current position,
+/// with the same validation as [`decode_binary`].
+pub(crate) fn decode_interval_range<R: Read, S: EventSink>(
+    r: &mut R,
+    count: u64,
+    n_leaves: usize,
+    n_states: usize,
+    sink: &mut S,
+) -> Result<()> {
+    for _ in 0..count {
+        let (res, st, begin, end) = read_interval_record(r, n_leaves, n_states)?;
+        sink.interval(res, st, begin, end);
+    }
+    Ok(())
+}
+
+/// Decode `count` point records from the reader's current position, with
+/// the same validation as [`decode_binary`].
+pub(crate) fn decode_point_range<R: Read, S: EventSink>(
+    r: &mut R,
+    count: u64,
+    n_leaves: usize,
+    sink: &mut S,
+) -> Result<()> {
+    for _ in 0..count {
+        let ev = read_point_record(r, n_leaves)?;
+        sink.point(&ev);
+    }
+    Ok(())
+}
+
 /// Incremental BTF writer for traces too large to hold in memory
 /// (the `--full` Table II scale: hundreds of millions of events).
 ///
@@ -374,46 +510,12 @@ pub fn decode_binary<R: BufRead, S: EventSink>(mut r: R, sink: &mut S) -> Result
         return Ok(false);
     }
 
-    let mut rec = [0u8; INTERVAL_RECORD_BYTES];
-    for _ in 0..n_intervals {
-        r.read_exact(&mut rec)?;
-        let (res, st, begin, end) = decode_interval(&rec);
-        if res as usize >= n_leaves
-            || st as usize >= n_states
-            || !begin.is_finite()
-            || !end.is_finite()
-            || end < begin
-        {
-            return Err(FormatError::parse("invalid interval record", None));
-        }
-        sink.interval(LeafId(res), StateId(st), begin, end);
-    }
+    decode_interval_range(&mut r, n_intervals, n_leaves, n_states, sink)?;
 
     let mut n_pts = [0u8; 8];
     r.read_exact(&mut n_pts)?;
     let n_pts = u64::from_le_bytes(n_pts);
-    let mut prec = [0u8; 17];
-    for _ in 0..n_pts {
-        r.read_exact(&mut prec)?;
-        let res = u32::from_le_bytes(prec[0..4].try_into().unwrap());
-        let time = f64::from_le_bytes(prec[4..12].try_into().unwrap());
-        let kind = prec[12];
-        let peer = u32::from_le_bytes(prec[13..17].try_into().unwrap());
-        let kind = match kind {
-            0 => PointKind::Marker,
-            1 => PointKind::MsgSend { peer: LeafId(peer) },
-            2 => PointKind::MsgRecv { peer: LeafId(peer) },
-            k => return Err(FormatError::parse(format!("bad point kind {k}"), None)),
-        };
-        if res as usize >= n_leaves || !time.is_finite() {
-            return Err(FormatError::parse("invalid point record", None));
-        }
-        sink.point(&PointEvent {
-            resource: LeafId(res),
-            time,
-            kind,
-        });
-    }
+    decode_point_range(&mut r, n_pts, n_leaves, sink)?;
     sink.end();
     Ok(true)
 }

@@ -1,0 +1,639 @@
+//! Gzip framing: magic sniffing, a decompressing reader, and a minimal
+//! writer — so `.ptf.gz` / `.btf.gz` / `.paje.gz` inputs work through
+//! every command without adding a dependency.
+//!
+//! The workspace builds offline (no `flate2`), so the DEFLATE decoder
+//! (RFC 1951: stored, fixed-Huffman and dynamic-Huffman blocks) and the
+//! gzip container parsing (RFC 1952, including `FEXTRA`/`FNAME`/
+//! `FCOMMENT`/`FHCRC` fields, CRC-32 and length verification, and
+//! concatenated members) are implemented here. Decoding is bit-serial —
+//! simple over fast — which is fine because compressed inputs take the
+//! single-shard ingest path anyway (no random access into a DEFLATE
+//! stream; see the shard planner in [`crate::io`]).
+//!
+//! Fingerprints of compressed inputs hash the **on-disk bytes** (the
+//! compressed stream), matching [`crate::store::hash_file`], so the
+//! artifact key of a `.gz` trace is a pure function of the file — not of
+//! the decompressor.
+//!
+//! The writer side ([`write_gzip_stored`]) emits stored (uncompressed)
+//! DEFLATE blocks only: enough to produce valid `.gz` fixtures for tests
+//! and tooling without an encoder.
+
+use std::io::{self, BufRead, Read, Write};
+use std::sync::OnceLock;
+
+/// The gzip magic plus the DEFLATE compression-method byte.
+pub const MAGIC: [u8; 3] = [0x1f, 0x8b, 0x08];
+
+/// True when `head` starts a gzip member (deflate-compressed).
+pub fn is_gzip(head: &[u8]) -> bool {
+    head.len() >= 3 && head[..3] == MAGIC
+}
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+fn crc_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (n, e) in t.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xedb8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 (IEEE, as gzip uses) of `data` continued from `crc`.
+/// Start from 0 for a fresh checksum.
+pub fn crc32(crc: u32, data: &[u8]) -> u32 {
+    let t = crc_table();
+    let mut c = crc ^ 0xffff_ffff;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+// ---------------------------------------------------------------------------
+// Bit-serial DEFLATE decoder
+// ---------------------------------------------------------------------------
+
+struct BitReader<R> {
+    inner: R,
+    bit_buf: u32,
+    bit_count: u32,
+}
+
+impl<R: BufRead> BitReader<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            bit_buf: 0,
+            bit_count: 0,
+        }
+    }
+
+    fn read_bits(&mut self, n: u32) -> io::Result<u32> {
+        while self.bit_count < n {
+            let mut byte = [0u8];
+            self.inner.read_exact(&mut byte).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    corrupt("gzip stream truncated mid-block")
+                } else {
+                    e
+                }
+            })?;
+            self.bit_buf |= (byte[0] as u32) << self.bit_count;
+            self.bit_count += 8;
+        }
+        let out = self.bit_buf & ((1u32 << n) - 1);
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(out)
+    }
+
+    /// Drop buffered bits up to the next byte boundary (stored blocks,
+    /// end of the DEFLATE stream).
+    fn align_byte(&mut self) {
+        let drop = self.bit_count % 8;
+        self.bit_buf >>= drop;
+        self.bit_count -= drop;
+    }
+
+    /// Read whole bytes (after `align_byte`): drains the bit buffer first.
+    fn read_bytes(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        debug_assert_eq!(self.bit_count % 8, 0);
+        let mut i = 0;
+        while i < buf.len() && self.bit_count >= 8 {
+            buf[i] = (self.bit_buf & 0xff) as u8;
+            self.bit_buf >>= 8;
+            self.bit_count -= 8;
+            i += 1;
+        }
+        self.inner.read_exact(&mut buf[i..])
+    }
+}
+
+/// A canonical Huffman table: `counts[len]` codes of each length plus the
+/// symbols in code order (the classic zlib "puff" representation — decode
+/// walks the lengths bit by bit).
+struct Huffman {
+    counts: [u16; 16],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Build from per-symbol code lengths (0 = unused symbol).
+    fn new(lengths: &[u8]) -> io::Result<Self> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            counts[l as usize] += 1;
+        }
+        counts[0] = 0;
+        // Over-subscription check (incomplete codes are tolerated: they
+        // appear in legal streams with a single distance code).
+        let mut left = 1i32;
+        for &c in &counts[1..] {
+            left = (left << 1) - c as i32;
+            if left < 0 {
+                return Err(corrupt("over-subscribed huffman code"));
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l != 0).count()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                symbols[offsets[l as usize] as usize] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+        Ok(Self { counts, symbols })
+    }
+
+    fn decode<R: BufRead>(&self, br: &mut BitReader<R>) -> io::Result<u16> {
+        let mut code = 0usize;
+        let mut first = 0usize;
+        let mut index = 0usize;
+        for len in 1..=15usize {
+            code |= br.read_bits(1)? as usize;
+            let count = self.counts[len] as usize;
+            if code < first + count {
+                return Ok(self.symbols[index + code - first]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(corrupt("invalid huffman code"))
+    }
+}
+
+fn fixed_tables() -> io::Result<(Huffman, Huffman)> {
+    let mut lit = [0u8; 288];
+    lit[..144].fill(8);
+    lit[144..256].fill(9);
+    lit[256..280].fill(7);
+    lit[280..].fill(8);
+    let dist = [5u8; 30];
+    Ok((Huffman::new(&lit)?, Huffman::new(&dist)?))
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Order in which the code-length code's lengths are stored (RFC 1951).
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+const WINDOW: usize = 32 * 1024;
+
+/// A decompressing reader over one gzip file: implements [`Read`] yielding
+/// the decompressed bytes, verifying each member's CRC-32 and length
+/// footer, and accepting concatenated members (`cat a.gz b.gz`).
+pub struct GzipReader<R: BufRead> {
+    br: BitReader<R>,
+    /// Sliding window of the last 32 KiB of output (ring buffer).
+    window: Vec<u8>,
+    wpos: usize,
+    /// Decoded bytes not yet taken by `read`.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Running CRC / size (mod 2³²) of the current member.
+    crc: u32,
+    isize_mod: u32,
+    /// Total bytes produced by the current member (back-reference bound).
+    member_out: u64,
+    state: State,
+}
+
+enum State {
+    /// Expecting a gzip member header (start of file or after a footer).
+    Header,
+    /// Between DEFLATE blocks of the current member.
+    Blocks,
+    /// All members consumed.
+    Done,
+}
+
+impl<R: BufRead> GzipReader<R> {
+    /// Wrap `inner`, which must position at the first byte of a gzip file.
+    /// Header parsing is deferred to the first read, so construction never
+    /// touches the stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            br: BitReader::new(inner),
+            window: vec![0u8; WINDOW],
+            wpos: 0,
+            out: Vec::with_capacity(64 * 1024),
+            out_pos: 0,
+            crc: 0,
+            isize_mod: 0,
+            member_out: 0,
+            state: State::Header,
+        }
+    }
+
+    /// Unwrap, returning the inner reader. Bytes the decompressor has not
+    /// consumed (e.g. trailing non-gzip data) remain unread.
+    pub fn into_inner(self) -> R {
+        self.br.inner
+    }
+
+    fn push(&mut self, byte: u8) {
+        self.window[self.wpos] = byte;
+        self.wpos = (self.wpos + 1) % WINDOW;
+        self.out.push(byte);
+        self.member_out += 1;
+    }
+
+    fn read_member_header(&mut self) -> io::Result<()> {
+        let mut fixed = [0u8; 10];
+        self.br.read_bytes(&mut fixed)?;
+        if !is_gzip(&fixed) {
+            return Err(corrupt("not a gzip stream (bad magic or method)"));
+        }
+        let flg = fixed[3];
+        if flg & 0xe0 != 0 {
+            return Err(corrupt("reserved gzip FLG bits set"));
+        }
+        if flg & 0x04 != 0 {
+            // FEXTRA: little-endian length then payload.
+            let mut len = [0u8; 2];
+            self.br.read_bytes(&mut len)?;
+            let mut skip = vec![0u8; u16::from_le_bytes(len) as usize];
+            self.br.read_bytes(&mut skip)?;
+        }
+        for flag in [0x08u8, 0x10] {
+            // FNAME / FCOMMENT: zero-terminated strings.
+            if flg & flag != 0 {
+                loop {
+                    let mut b = [0u8];
+                    self.br.read_bytes(&mut b)?;
+                    if b[0] == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        if flg & 0x02 != 0 {
+            let mut hcrc = [0u8; 2];
+            self.br.read_bytes(&mut hcrc)?;
+        }
+        self.crc = 0;
+        self.isize_mod = 0;
+        self.member_out = 0;
+        self.state = State::Blocks;
+        Ok(())
+    }
+
+    fn read_member_footer(&mut self) -> io::Result<()> {
+        self.br.align_byte();
+        let mut footer = [0u8; 8];
+        self.br.read_bytes(&mut footer)?;
+        let want_crc = u32::from_le_bytes(footer[..4].try_into().unwrap());
+        let want_len = u32::from_le_bytes(footer[4..].try_into().unwrap());
+        if want_crc != self.crc {
+            return Err(corrupt("gzip CRC mismatch (corrupted stream)"));
+        }
+        if want_len != self.isize_mod {
+            return Err(corrupt("gzip length mismatch (corrupted stream)"));
+        }
+        // Another member, or EOF?
+        self.state = if self.br.inner.fill_buf()?.is_empty() {
+            State::Done
+        } else {
+            State::Header
+        };
+        Ok(())
+    }
+
+    /// Decode one DEFLATE block into `out`. Returns after each block so
+    /// `read` can drain incrementally.
+    fn decode_block(&mut self) -> io::Result<()> {
+        let start = self.out.len();
+        let bfinal = self.br.read_bits(1)? == 1;
+        match self.br.read_bits(2)? {
+            0 => {
+                // Stored: byte-aligned LEN/NLEN then raw bytes.
+                self.br.align_byte();
+                let mut lens = [0u8; 4];
+                self.br.read_bytes(&mut lens)?;
+                let len = u16::from_le_bytes(lens[..2].try_into().unwrap());
+                let nlen = u16::from_le_bytes(lens[2..].try_into().unwrap());
+                if len != !nlen {
+                    return Err(corrupt("stored block length check failed"));
+                }
+                let mut data = vec![0u8; len as usize];
+                self.br.read_bytes(&mut data)?;
+                for b in data {
+                    self.push(b);
+                }
+            }
+            1 => {
+                let (lit, dist) = fixed_tables()?;
+                self.decode_huffman_block(&lit, &dist)?;
+            }
+            2 => {
+                let (lit, dist) = self.read_dynamic_tables()?;
+                self.decode_huffman_block(&lit, &dist)?;
+            }
+            _ => return Err(corrupt("reserved DEFLATE block type")),
+        }
+        let produced = &self.out[start..];
+        self.crc = crc32(self.crc, produced);
+        self.isize_mod = self.isize_mod.wrapping_add(produced.len() as u32);
+        if bfinal {
+            self.read_member_footer()?;
+        }
+        Ok(())
+    }
+
+    fn read_dynamic_tables(&mut self) -> io::Result<(Huffman, Huffman)> {
+        let hlit = self.br.read_bits(5)? as usize + 257;
+        let hdist = self.br.read_bits(5)? as usize + 1;
+        let hclen = self.br.read_bits(4)? as usize + 4;
+        if hlit > 286 || hdist > 30 {
+            return Err(corrupt("dynamic block declares too many codes"));
+        }
+        let mut clc_lengths = [0u8; 19];
+        for &pos in CLC_ORDER.iter().take(hclen) {
+            clc_lengths[pos] = self.br.read_bits(3)? as u8;
+        }
+        let clc = Huffman::new(&clc_lengths)?;
+        let mut lengths = vec![0u8; hlit + hdist];
+        let mut i = 0;
+        while i < lengths.len() {
+            let sym = clc.decode(&mut self.br)?;
+            match sym {
+                0..=15 => {
+                    lengths[i] = sym as u8;
+                    i += 1;
+                }
+                16 => {
+                    if i == 0 {
+                        return Err(corrupt("length repeat with no previous length"));
+                    }
+                    let prev = lengths[i - 1];
+                    let n = 3 + self.br.read_bits(2)? as usize;
+                    for _ in 0..n {
+                        if i >= lengths.len() {
+                            return Err(corrupt("length repeat overflows the table"));
+                        }
+                        lengths[i] = prev;
+                        i += 1;
+                    }
+                }
+                17 | 18 => {
+                    let n = if sym == 17 {
+                        3 + self.br.read_bits(3)? as usize
+                    } else {
+                        11 + self.br.read_bits(7)? as usize
+                    };
+                    if i + n > lengths.len() {
+                        return Err(corrupt("zero-run overflows the table"));
+                    }
+                    i += n; // already zero
+                }
+                _ => return Err(corrupt("invalid code-length symbol")),
+            }
+        }
+        if lengths[256] == 0 {
+            return Err(corrupt("dynamic block lacks an end-of-block code"));
+        }
+        let lit = Huffman::new(&lengths[..hlit])?;
+        let dist = Huffman::new(&lengths[hlit..])?;
+        Ok((lit, dist))
+    }
+
+    fn decode_huffman_block(&mut self, lit: &Huffman, dist: &Huffman) -> io::Result<()> {
+        loop {
+            let sym = lit.decode(&mut self.br)?;
+            match sym {
+                0..=255 => self.push(sym as u8),
+                256 => return Ok(()),
+                257..=285 => {
+                    let idx = (sym - 257) as usize;
+                    let len = LENGTH_BASE[idx] as usize
+                        + self.br.read_bits(LENGTH_EXTRA[idx] as u32)? as usize;
+                    let dsym = dist.decode(&mut self.br)? as usize;
+                    if dsym >= 30 {
+                        return Err(corrupt("invalid distance symbol"));
+                    }
+                    let d = DIST_BASE[dsym] as usize
+                        + self.br.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                    if d > WINDOW || (d as u64) > self.member_out {
+                        return Err(corrupt("back-reference before start of output"));
+                    }
+                    for _ in 0..len {
+                        let b = self.window[(self.wpos + WINDOW - d) % WINDOW];
+                        self.push(b);
+                    }
+                }
+                _ => return Err(corrupt("invalid literal/length symbol")),
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Read for GzipReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.out_pos < self.out.len() {
+                let n = (self.out.len() - self.out_pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.out[self.out_pos..self.out_pos + n]);
+                self.out_pos += n;
+                if self.out_pos == self.out.len() {
+                    self.out.clear();
+                    self.out_pos = 0;
+                }
+                return Ok(n);
+            }
+            match self.state {
+                State::Done => return Ok(0),
+                State::Header => self.read_member_header()?,
+                State::Blocks => self.decode_block()?,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer (stored blocks only)
+// ---------------------------------------------------------------------------
+
+/// Write `data` as a valid single-member gzip file using stored
+/// (uncompressed) DEFLATE blocks: deterministic output (`MTIME = 0`,
+/// `OS = 255`), correct CRC-32/ISIZE footer, no encoder needed. Useful for
+/// producing `.gz` fixtures and for tooling that needs the framing but not
+/// the compression.
+pub fn write_gzip_stored<W: Write>(w: &mut W, data: &[u8]) -> io::Result<()> {
+    w.write_all(&[0x1f, 0x8b, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xff])?;
+    let mut chunks = data.chunks(0xffff).peekable();
+    if data.is_empty() {
+        // An empty stream still needs one final (empty) stored block.
+        w.write_all(&[0x01, 0x00, 0x00, 0xff, 0xff])?;
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal: u8 = if chunks.peek().is_none() { 1 } else { 0 };
+        w.write_all(&[bfinal])?;
+        let len = chunk.len() as u16;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&(!len).to_le_bytes())?;
+        w.write_all(chunk)?;
+    }
+    w.write_all(&crc32(0, data).to_le_bytes())?;
+    w.write_all(&(data.len() as u32).to_le_bytes())?;
+    Ok(())
+}
+
+/// Gzip-compress `data` into a byte vector (stored blocks; see
+/// [`write_gzip_stored`]).
+pub fn gzip_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 32);
+    write_gzip_stored(&mut out, data).expect("vec write cannot fail");
+    out
+}
+
+/// Decompress a full gzip byte slice to a vector (convenience for tests
+/// and sniffing).
+pub fn gunzip(data: &[u8]) -> io::Result<Vec<u8>> {
+    let mut r = GzipReader::new(data);
+    let mut out = Vec::new();
+    r.read_to_end(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_roundtrip_including_empty_and_multi_block() {
+        for data in [
+            Vec::new(),
+            b"hello gzip".to_vec(),
+            vec![0xabu8; 200_000], // > one stored block
+        ] {
+            let gz = gzip_stored(&data);
+            assert!(is_gzip(&gz));
+            assert_eq!(gunzip(&gz).unwrap(), data, "len {}", data.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_members_decode_as_one_stream() {
+        let mut gz = gzip_stored(b"first,");
+        gz.extend_from_slice(&gzip_stored(b"second"));
+        assert_eq!(gunzip(&gz).unwrap(), b"first,second");
+    }
+
+    #[test]
+    fn corrupted_crc_is_rejected() {
+        let mut gz = gzip_stored(b"check me");
+        let n = gz.len();
+        gz[n - 6] ^= 0xff; // flip a CRC byte
+        let err = gunzip(&gz).unwrap_err();
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let gz = gzip_stored(b"check me");
+        assert!(gunzip(&gz[..gz.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn non_gzip_input_is_rejected() {
+        assert!(gunzip(b"BTF1 not gzip at all....").is_err());
+        assert!(!is_gzip(b"BTF1"));
+    }
+
+    /// `zlib.compressobj(9, zlib.DEFLATED, 31, 9, zlib.Z_FIXED)` over
+    /// `b"fixed huffman block test: abcabcabcabc"` (MTIME zeroed) —
+    /// exercises the fixed Huffman tables and back-references against an
+    /// external reference encoder.
+    #[test]
+    fn fixed_huffman_vector_decodes() {
+        let payload: &[u8] = b"fixed huffman block test: abcabcabcabc";
+        let gz: &[u8] = &[
+            0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x03, 0x4b, 0xcb, 0xac, 0x48,
+            0x4d, 0x51, 0xc8, 0x28, 0x4d, 0x4b, 0xcb, 0x4d, 0xcc, 0x53, 0x48, 0xca, 0xc9, 0x4f,
+            0xce, 0x56, 0x28, 0x49, 0x2d, 0x2e, 0xb1, 0x52, 0x48, 0x4c, 0x4a, 0x86, 0x23, 0x00,
+            0x0b, 0x80, 0x7f, 0x82, 0x26, 0x00, 0x00, 0x00,
+        ];
+        assert_eq!(gunzip(gz).unwrap(), payload);
+    }
+
+    /// `gzip.compress(payload, 9, mtime=0)` over a skewed-alphabet payload
+    /// (1200 bytes: three copies of a 400-byte pseudo-random chunk) that
+    /// zlib encodes as a **dynamic** Huffman block — exercises the
+    /// code-length code, repeat/zero-run symbols, and back-references
+    /// against an external reference encoder. The member's own CRC-32 and
+    /// ISIZE footer verify the decompressed bytes; the structural asserts
+    /// pin the payload's shape.
+    #[test]
+    fn dynamic_huffman_vector_decodes() {
+        let gz: &[u8] = &[
+            0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x03, 0xed, 0x51, 0xc1, 0x95,
+            0xc5, 0x40, 0x08, 0xba, 0x5b, 0x05, 0xad, 0x89, 0xda, 0x7f, 0x0b, 0x1f, 0x74, 0xf6,
+            0xb8, 0x1d, 0x24, 0x79, 0x93, 0x49, 0x70, 0x00, 0x89, 0xcc, 0xce, 0xcc, 0xd2, 0xca,
+            0x19, 0x3f, 0xfc, 0x66, 0x28, 0xa9, 0x57, 0xfe, 0xd5, 0x62, 0x08, 0x14, 0x17, 0x0f,
+            0x82, 0x3e, 0x48, 0xa1, 0xfa, 0x64, 0x05, 0x8c, 0x6a, 0x81, 0x5d, 0x09, 0x11, 0x62,
+            0xa9, 0xdd, 0xda, 0xd1, 0xcc, 0xe1, 0xd4, 0x6a, 0xae, 0x94, 0x28, 0xa2, 0x5b, 0x0c,
+            0xad, 0x2b, 0x63, 0x4b, 0x38, 0xb7, 0xf3, 0xeb, 0x64, 0x95, 0xc8, 0x81, 0x08, 0xa3,
+            0xb4, 0xbc, 0x2b, 0x54, 0x41, 0x3b, 0xaf, 0xc9, 0xa8, 0x6d, 0x27, 0x0b, 0x55, 0x4f,
+            0x5a, 0xcb, 0xa8, 0x54, 0xe5, 0x9a, 0x8d, 0x67, 0x8b, 0x45, 0xf3, 0x05, 0xa4, 0x6f,
+            0xe7, 0x2b, 0xcc, 0x59, 0xe7, 0xf5, 0x1c, 0x1b, 0x70, 0x11, 0x65, 0x24, 0x2c, 0x08,
+            0x51, 0xfa, 0x12, 0xbb, 0x54, 0x0b, 0xa5, 0xa3, 0xe5, 0xb4, 0x44, 0x14, 0x44, 0x18,
+            0x90, 0xcd, 0x0b, 0xe0, 0xcd, 0x99, 0xd5, 0x83, 0x8d, 0xf6, 0x4f, 0x6d, 0xc7, 0x26,
+            0x72, 0xde, 0xa1, 0x3b, 0x48, 0x38, 0x10, 0xcf, 0x5f, 0x4e, 0x62, 0x7c, 0xf3, 0xf8,
+            0xe6, 0xf1, 0xcd, 0xe3, 0xbf, 0x79, 0xfc, 0x00, 0x4f, 0x13, 0x01, 0x61, 0xb0, 0x04,
+            0x00, 0x00,
+        ];
+        // Dynamic block: BTYPE bits of the first DEFLATE byte are 0b10.
+        assert_eq!((gz[10] >> 1) & 3, 2);
+        let out = gunzip(gz).unwrap();
+        assert_eq!(out.len(), 1200);
+        assert_eq!(out[..400], out[400..800]);
+        assert_eq!(out[..400], out[800..]);
+        assert!(out.iter().all(|b| b"abcde \n".contains(b)));
+    }
+
+    #[test]
+    fn crc32_reference_values() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(0, b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(0, b""), 0);
+    }
+}

@@ -1,7 +1,9 @@
-//! File-level convenience API with buffered I/O and format autodetection.
+//! File-level convenience API with buffered I/O, format autodetection,
+//! sharded parallel ingestion and multi-file (directory) traces.
 //!
-//! Three encodings are routed here — PTF text, BTF binary and Pajé — and
-//! two consumption styles:
+//! Three encodings are routed here — PTF text, BTF binary and Pajé — plus
+//! gzip-compressed variants of each (`.ptf.gz`, `.btf.gz`, …), and two
+//! consumption styles:
 //!
 //! - [`read_trace`] materializes a full [`Trace`] (O(|events|) memory;
 //!   kept for conversion / round-trip use cases);
@@ -12,20 +14,54 @@
 //!   two-pass scan: pass 1 collects the observed extent, registries and
 //!   the fingerprint; pass 2 folds the events into the model.
 //!
-//! Format detection sniffs the leading bytes and falls back to the file
-//! extension (a Pajé file may start with comment lines, which defeats
-//! sniffing); content wins over a contradicting extension. All errors are
-//! annotated with the offending path.
+//! # Sharded ingestion
+//!
+//! Large seekable traces are split into byte-range **shards** decoded on a
+//! worker pool and merged as [`PartialModel`]s. The shard plan is a pure
+//! function of the trace content (size and format — never of the worker
+//! count), and the merge folds partials left-to-right in shard order, so
+//! the result is bit-identical at any `--threads` setting: the plan + merge
+//! *is* the canonical computation. BTF splits by record index; PTF splits
+//! its event section at newline-aligned byte offsets; Pajé and gzip streams
+//! cannot be byte-split and always take the sequential path. The content
+//! fingerprint is chunk-combined (`store` module docs), so the hash stage
+//! runs as per-chunk tasks on the same worker pool as the shard decodes
+//! and combines to the exact `hash_file` key — the artifact key does not
+//! depend on the plan or the worker count.
+//!
+//! # Multi-file traces
+//!
+//! A directory of per-rank trace files is one logical trace: each file is
+//! a natural shard, mounted under a synthetic super-root in sorted file
+//! order (leaf ids number files first-to-last), states united by name, and
+//! the fingerprint combines per-file content hashes in the same order.
+//! Every union cell has exactly one contributing file, so the mounted
+//! merge is exact for both metrics.
+//!
+//! Format detection sniffs the leading bytes (decompressing gzip heads)
+//! and falls back to the file extension (a Pajé file may start with
+//! comment lines, which defeats sniffing); content wins over a
+//! contradicting extension. All errors are annotated with the offending
+//! path.
 
 use crate::binary;
 use crate::error::{FormatError, Result};
+use crate::gzip::{is_gzip, GzipReader};
 use crate::paje;
-use crate::store::HashingReader;
+use crate::store::{
+    combine_chunk_hashes, hash_file, hash_file_chunk, hash_reader, HashingReader, HASH_CHUNK_BYTES,
+};
 use crate::text;
-use ocelotl_trace::{EventSink, MicroModel, ModelKind, ModelSink, ScanSink, Trace, TraceSink};
+use ocelotl_trace::{
+    hi_res_slices, EventSink, Hierarchy, HierarchyBuilder, MicroModel, ModelKind, ModelSink,
+    NodeId, PartialModel, ScanSink, StreamHeader, Trace, TraceSink,
+};
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// On-disk trace encodings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,12 +76,16 @@ pub enum Format {
 
 impl Format {
     /// Choose a format from a file extension (`.ptf` / `.btf` /
-    /// `.paje` / `.trace`).
+    /// `.paje` / `.trace`, each optionally with a trailing `.gz`).
     pub fn from_path(path: &Path) -> Option<Format> {
-        match path.extension().and_then(|e| e.to_str()) {
-            Some("ptf") => Some(Format::Text),
-            Some("btf") => Some(Format::Binary),
-            Some("paje") | Some("trace") => Some(Format::Paje),
+        let ext = path.extension().and_then(|e| e.to_str())?;
+        if ext.eq_ignore_ascii_case("gz") {
+            return Self::from_path(Path::new(path.file_stem()?));
+        }
+        match ext {
+            "ptf" => Some(Format::Text),
+            "btf" => Some(Format::Binary),
+            "paje" | "trace" => Some(Format::Paje),
             _ => None,
         }
     }
@@ -87,10 +127,19 @@ pub fn write_trace(trace: &Trace, path: &Path) -> Result<()> {
     Ok(())
 }
 
-/// Sniff the format of `path`: content first, extension as the fallback.
-/// Returns the chosen format plus what the extension suggested (for
-/// contradiction diagnostics).
-fn detect(path: &Path) -> Result<(Format, Option<Format>)> {
+/// What `detect` learned about an input file.
+#[derive(Debug, Clone, Copy)]
+struct Detected {
+    fmt: Format,
+    ext: Option<Format>,
+    gzip: bool,
+}
+
+/// Sniff the format of `path`: content first (decompressing a gzip head to
+/// sniff the inner format), extension as the fallback. Returns the chosen
+/// format plus what the extension suggested (for contradiction
+/// diagnostics).
+fn detect(path: &Path) -> Result<Detected> {
     let mut f = File::open(path)?;
     let mut head = [0u8; 16];
     let mut n = 0;
@@ -101,9 +150,26 @@ fn detect(path: &Path) -> Result<(Format, Option<Format>)> {
         }
         n += got;
     }
+    let gzip = is_gzip(&head[..n]);
     let ext = Format::from_path(path);
-    match Format::sniff(&head[..n]).or(ext) {
-        Some(fmt) => Ok((fmt, ext)),
+    let sniffed = if gzip {
+        // Decompress just enough of the stream to sniff the inner format.
+        let mut gz = GzipReader::new(BufReader::new(File::open(path)?));
+        let mut inner = [0u8; 16];
+        let mut m = 0;
+        while m < inner.len() {
+            match gz.read(&mut inner[m..]) {
+                Ok(0) => break,
+                Ok(got) => m += got,
+                Err(_) => break, // a corrupt stream fails loudly at read time
+            }
+        }
+        Format::sniff(&inner[..m])
+    } else {
+        Format::sniff(&head[..n])
+    };
+    match sniffed.or(ext) {
+        Some(fmt) => Ok(Detected { fmt, ext, gzip }),
         None => Err(FormatError::parse(
             format!("unrecognized trace format: {}", path.display()),
             None,
@@ -159,19 +225,90 @@ fn buffered(path: &Path) -> Result<BufReader<File>> {
     Ok(BufReader::with_capacity(1 << 20, File::open(path)?))
 }
 
-fn buffered_hashing(path: &Path) -> Result<BufReader<HashingReader<File>>> {
-    Ok(BufReader::with_capacity(
-        1 << 20,
-        HashingReader::new(File::open(path)?),
-    ))
+/// A buffered reader over the (decompressed, when gzip) trace bytes.
+fn open_plain(path: &Path, gz: bool) -> Result<Box<dyn BufRead>> {
+    Ok(if gz {
+        Box::new(BufReader::with_capacity(
+            1 << 20,
+            GzipReader::new(buffered(path)?),
+        ))
+    } else {
+        Box::new(buffered(path)?)
+    })
+}
+
+/// A buffered reader that FNV-hashes the **on-disk** bytes it consumes —
+/// for gzip inputs the fingerprint covers the compressed file, matching
+/// [`hash_file`] in every case.
+enum HashSource {
+    Plain(BufReader<HashingReader<File>>),
+    Gz(BufReader<GzipReader<BufReader<HashingReader<File>>>>),
+}
+
+impl HashSource {
+    fn open(path: &Path, gz: bool) -> Result<Self> {
+        let hr = HashingReader::new(File::open(path)?);
+        Ok(if gz {
+            HashSource::Gz(BufReader::with_capacity(
+                1 << 20,
+                GzipReader::new(BufReader::with_capacity(1 << 20, hr)),
+            ))
+        } else {
+            HashSource::Plain(BufReader::with_capacity(1 << 20, hr))
+        })
+    }
+
+    /// Drain the rest of the file and return `(fingerprint, bytes_read)`
+    /// over the on-disk bytes.
+    fn finish(self) -> std::io::Result<(u64, u64)> {
+        match self {
+            HashSource::Plain(r) => r.into_inner().finish(),
+            HashSource::Gz(r) => r.into_inner().into_inner().into_inner().finish(),
+        }
+    }
+}
+
+impl Read for HashSource {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            HashSource::Plain(r) => r.read(buf),
+            HashSource::Gz(r) => r.read(buf),
+        }
+    }
+}
+
+impl BufRead for HashSource {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        match self {
+            HashSource::Plain(r) => r.fill_buf(),
+            HashSource::Gz(r) => r.fill_buf(),
+        }
+    }
+    fn consume(&mut self, amt: usize) {
+        match self {
+            HashSource::Plain(r) => r.consume(amt),
+            HashSource::Gz(r) => r.consume(amt),
+        }
+    }
 }
 
 /// Read a whole trace from `path` (format sniffed from content, extension
-/// fallback; all three formats dispatch here).
+/// fallback; all three formats — plus gzip variants — dispatch here).
 pub fn read_trace(path: &Path) -> Result<Trace> {
-    let (fmt, ext) = detect(path)?;
+    if path.is_dir() {
+        return Err(FormatError::parse(
+            format!(
+                "{}: directory traces are ingested as models (read_model); \
+                 materializing a merged Trace is not supported",
+                path.display()
+            ),
+            None,
+        ));
+    }
+    let det = detect(path)?;
     let mut sink = TraceSink::new();
-    decode(fmt, buffered(path)?, &mut sink).map_err(|e| annotate(e, path, fmt, ext))?;
+    decode(det.fmt, open_plain(path, det.gzip)?, &mut sink)
+        .map_err(|e| annotate(e, path, det.fmt, det.ext))?;
     sink.into_trace()
         .ok_or_else(|| FormatError::parse(format!("{}: empty trace stream", path.display()), None))
 }
@@ -197,28 +334,103 @@ impl IngestMode {
     }
 }
 
+/// How many shards to decode a trace with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Derive the shard count from the trace content alone:
+    /// `clamp(ceil(body_bytes / SHARD_TARGET_BYTES), 1, MAX_SHARDS)`.
+    /// This keeps the plan — and therefore every output bit — independent
+    /// of the machine and the worker budget.
+    Auto,
+    /// Force a specific shard count (clamped to `1..=MAX_SHARDS`). The
+    /// plan is still content-only given the same forced count; tests use
+    /// this to exercise merges on small fixtures.
+    Fixed(usize),
+}
+
+/// Knobs for [`read_model_with`] / [`read_hi_res_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOptions {
+    /// Shard planning mode. The plan never depends on `max_workers`.
+    pub shards: ShardMode,
+    /// Worker-thread cap for shard decoding; `0` means "all available
+    /// cores". Changing this redistributes work but cannot change a bit
+    /// of the output.
+    pub max_workers: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            shards: ShardMode::Auto,
+            max_workers: 0,
+        }
+    }
+}
+
+/// Target shard payload under [`ShardMode::Auto`]: one shard per started
+/// 32 MiB of event data.
+pub const SHARD_TARGET_BYTES: u64 = 32 << 20;
+/// Upper bound on the shard count of a single file — part of the content
+/// contract: plans (and thus bits) never change when machines grow cores.
+pub const MAX_SHARDS: usize = 16;
+
+/// Wall-clock breakdown of the last sharded (or multi-file) ingest in this
+/// process. **Local measurement only** — never put these in query replies
+/// or cached artifacts; deterministic protocols must not carry clocks.
+#[derive(Debug, Clone)]
+pub struct ShardTiming {
+    /// Time spent planning (header parse + split-point alignment).
+    pub plan_nanos: u64,
+    /// Slowest fingerprint-chunk task — the hash stage's critical path
+    /// (chunks hash independently on the worker pool).
+    pub hash_nanos: u64,
+    /// Per-shard decode times, in shard order.
+    pub shard_nanos: Vec<u64>,
+    /// Time spent merging the partial models and assembling the result.
+    pub merge_nanos: u64,
+}
+
+static LAST_TIMING: Mutex<Option<ShardTiming>> = Mutex::new(None);
+
+fn record_timing(t: ShardTiming) {
+    *LAST_TIMING.lock().unwrap() = Some(t);
+}
+
+/// Take (and clear) the timing of the last ingest in this process, if any.
+pub fn take_last_ingest_timing() -> Option<ShardTiming> {
+    LAST_TIMING.lock().unwrap().take()
+}
+
 /// Everything one streaming ingestion produced: the model plus the
 /// telemetry `ocelotl info --stats` and the session layer consume.
 #[derive(Debug)]
 pub struct IngestReport {
     /// The microscopic model.
     pub model: MicroModel,
-    /// FNV-1a hash of the file bytes (equals `hash_file`), computed in
-    /// the same pass that built the model.
+    /// FNV-1a hash of the file bytes (equals `hash_file`; for a directory,
+    /// the FNV fold of per-file hashes in sorted file order), computed
+    /// concurrently with the decode.
     pub fingerprint: u64,
-    /// Total bytes read from disk (both passes for [`IngestMode::TwoPass`]).
+    /// Total bytes read from disk (all passes).
     pub bytes_read: u64,
     /// Interval records decoded.
     pub intervals: u64,
     /// Point records decoded.
     pub points: u64,
-    /// Peak resident footprint of the streaming accumulator, in bytes —
-    /// O(model), independent of the event count.
+    /// Peak resident footprint of the streaming accumulators, in bytes —
+    /// O(model · shards), independent of the event count.
     pub peak_bytes: u64,
     /// Which ingestion strategy ran.
     pub mode: IngestMode,
-    /// The detected trace format.
+    /// The detected trace format (for a directory: of the first file).
     pub format: Format,
+    /// Whether the input was gzip-compressed (any file, for directories).
+    pub gzip: bool,
+    /// Input bytes per shard, in shard order: one entry per byte-range
+    /// shard of a single file, or per file of a directory trace. The
+    /// length is the shard count. Content-derived and deterministic.
+    pub shards: Vec<u64>,
 }
 
 impl IngestReport {
@@ -232,9 +444,20 @@ impl IngestReport {
 /// Stream a trace file straight into a metric-aware microscopic model
 /// with `n_slices` periods — the paper's "trace reading + microscopic
 /// description" pipeline fused into one pass, without materializing
-/// events. See the module docs for the two-pass fallback.
+/// events. See the module docs for the two-pass fallback, sharding and
+/// directory traces. Uses default [`IngestOptions`].
 pub fn read_model(path: &Path, n_slices: usize, kind: ModelKind) -> Result<IngestReport> {
-    read_model_impl(path, n_slices, kind, false)
+    read_model_impl(path, n_slices, kind, false, &IngestOptions::default())
+}
+
+/// [`read_model`] with explicit sharding options.
+pub fn read_model_with(
+    path: &Path,
+    n_slices: usize,
+    kind: ModelKind,
+    opts: &IngestOptions,
+) -> Result<IngestReport> {
+    read_model_impl(path, n_slices, kind, false, opts)
 }
 
 /// Stream a trace file into the **super-resolution raw intermediate**
@@ -245,7 +468,37 @@ pub fn read_model(path: &Path, n_slices: usize, kind: ModelKind) -> Result<Inges
 /// Telemetry (fingerprint, bytes, counts, mode) is reported exactly like
 /// [`read_model`]; `model` carries the raw hi-res array.
 pub fn read_hi_res(path: &Path, n_slices: usize, kind: ModelKind) -> Result<IngestReport> {
-    read_model_impl(path, n_slices, kind, true)
+    read_model_impl(path, n_slices, kind, true, &IngestOptions::default())
+}
+
+/// [`read_hi_res`] with explicit sharding options.
+pub fn read_hi_res_with(
+    path: &Path,
+    n_slices: usize,
+    kind: ModelKind,
+    opts: &IngestOptions,
+) -> Result<IngestReport> {
+    read_model_impl(path, n_slices, kind, true, opts)
+}
+
+fn resolved_workers(opts: &IngestOptions) -> usize {
+    if opts.max_workers > 0 {
+        opts.max_workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+fn shard_count(body_bytes: u64, mode: ShardMode) -> usize {
+    match mode {
+        ShardMode::Auto => {
+            let n = body_bytes.div_ceil(SHARD_TARGET_BYTES).max(1);
+            (n as usize).min(MAX_SHARDS)
+        }
+        ShardMode::Fixed(n) => n.clamp(1, MAX_SHARDS),
+    }
 }
 
 fn read_model_impl(
@@ -253,12 +506,41 @@ fn read_model_impl(
     n_slices: usize,
     kind: ModelKind,
     hi_res: bool,
+    opts: &IngestOptions,
 ) -> Result<IngestReport> {
-    let (fmt, ext) = detect(path)?;
-    let wrap = |e: FormatError| annotate(e, path, fmt, ext);
+    if path.is_dir() {
+        return read_model_dir(path, n_slices, kind, hi_res, opts);
+    }
+    let det = detect(path)?;
+    let wrap = |e: FormatError| annotate(e, path, det.fmt, det.ext);
+
+    // Gzip streams and Pajé cannot be byte-split: sequential path.
+    if !det.gzip && det.fmt != Format::Paje {
+        let t_plan = Instant::now();
+        if let Some(split) = plan_shards(path, det.fmt, opts.shards).map_err(wrap)? {
+            let plan_nanos = t_plan.elapsed().as_nanos() as u64;
+            return ingest_sharded(path, det, split, n_slices, kind, hi_res, opts, plan_nanos)
+                .map_err(wrap);
+        }
+    }
+    read_model_seq(path, det, n_slices, kind, hi_res)
+}
+
+/// The sequential (1-shard) ingestion path — byte-for-byte the pre-shard
+/// behavior, used for small files, gzip streams and Pajé.
+fn read_model_seq(
+    path: &Path,
+    det: Detected,
+    n_slices: usize,
+    kind: ModelKind,
+    hi_res: bool,
+) -> Result<IngestReport> {
+    let fmt = det.fmt;
+    let wrap = |e: FormatError| annotate(e, path, fmt, det.ext);
+    let t0 = Instant::now();
 
     // Optimistic single pass: decode and fingerprint together.
-    let mut r = buffered_hashing(path)?;
+    let mut r = HashSource::open(path, det.gzip)?;
     let mut sink = if hi_res {
         ModelSink::hi_res(kind, n_slices)
     } else {
@@ -266,16 +548,24 @@ fn read_model_impl(
     };
     let complete = decode(fmt, &mut r, &mut sink).map_err(wrap)?;
     if complete {
-        let (fingerprint, bytes_read) = r.into_inner().finish()?;
-        return assemble(
+        let (fingerprint, bytes_read) = r.finish()?;
+        let report = assemble(
             sink,
             fingerprint,
             bytes_read,
             IngestMode::SinglePass,
-            fmt,
+            det,
+            vec![bytes_read],
             hi_res,
         )
-        .map_err(wrap);
+        .map_err(wrap)?;
+        record_timing(ShardTiming {
+            plan_nanos: 0,
+            hash_nanos: 0,
+            shard_nanos: vec![t0.elapsed().as_nanos() as u64],
+            merge_nanos: 0,
+        });
+        return Ok(report);
     }
     if !sink.needs_range() {
         // Declined for a terminal reason (e.g. a declared-but-empty range).
@@ -285,10 +575,10 @@ fn read_model_impl(
 
     // Bounded two-pass scan: the header declared no time range.
     // Pass 1 — observed extent, counts, fingerprint.
-    let mut r = buffered_hashing(path)?;
+    let mut r = HashSource::open(path, det.gzip)?;
     let mut scan = ScanSink::new();
     decode(fmt, &mut r, &mut scan).map_err(wrap)?;
-    let (fingerprint, scan_bytes) = r.into_inner().finish()?;
+    let (fingerprint, scan_bytes) = r.finish()?;
     let Some(range) = scan.observed_range() else {
         return Err(wrap(FormatError::parse(
             "trace has no events to slice",
@@ -301,16 +591,24 @@ fn read_model_impl(
     } else {
         ModelSink::with_range(kind, n_slices, range)
     };
-    decode(fmt, buffered(path)?, &mut sink).map_err(wrap)?;
-    assemble(
+    decode(fmt, open_plain(path, det.gzip)?, &mut sink).map_err(wrap)?;
+    let report = assemble(
         sink,
         fingerprint,
         2 * scan_bytes,
         IngestMode::TwoPass,
-        fmt,
+        det,
+        vec![scan_bytes],
         hi_res,
     )
-    .map_err(wrap)
+    .map_err(wrap)?;
+    record_timing(ShardTiming {
+        plan_nanos: 0,
+        hash_nanos: 0,
+        shard_nanos: vec![t0.elapsed().as_nanos() as u64],
+        merge_nanos: 0,
+    });
+    Ok(report)
 }
 
 fn assemble(
@@ -318,7 +616,8 @@ fn assemble(
     fingerprint: u64,
     bytes_read: u64,
     mode: IngestMode,
-    format: Format,
+    det: Detected,
+    shards: Vec<u64>,
     raw: bool,
 ) -> Result<IngestReport> {
     let peak_bytes = sink.peak_bytes();
@@ -337,7 +636,638 @@ fn assemble(
         points,
         peak_bytes,
         mode,
-        format,
+        format: det.fmt,
+        gzip: det.gzip,
+        shards,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shard planning & execution (single file)
+// ---------------------------------------------------------------------------
+
+/// One shard of BTF: half-open record-index ranges into both record
+/// regions.
+struct BinShard {
+    iv: (u64, u64),
+    pt: (u64, u64),
+}
+
+/// A content-derived shard plan for one seekable file. `None` from the
+/// planner means "one shard": the sequential path runs, preserving the
+/// historic behavior (and bits) for small inputs.
+enum SplitPlan {
+    Text {
+        plan: text::TextPlan,
+        /// Newline-aligned half-open byte ranges of the event section.
+        ranges: Vec<(u64, u64)>,
+    },
+    Binary {
+        plan: binary::BinaryPlan,
+        shards: Vec<BinShard>,
+    },
+}
+
+fn plan_shards(path: &Path, fmt: Format, mode: ShardMode) -> Result<Option<SplitPlan>> {
+    let file_len = std::fs::metadata(path)?.len();
+    match fmt {
+        Format::Text => {
+            let plan = text::plan_text(buffered(path)?)?;
+            if !plan.has_events || plan.header_bytes >= file_len {
+                return Ok(None);
+            }
+            let body = file_len - plan.header_bytes;
+            let s = shard_count(body, mode);
+            if s <= 1 {
+                return Ok(None);
+            }
+            let mut f = File::open(path)?;
+            let mut cuts = Vec::with_capacity(s + 1);
+            cuts.push(plan.header_bytes);
+            for k in 1..s as u64 {
+                let pos = plan.header_bytes + body * k / s as u64;
+                let aligned = align_to_line(&mut f, pos, file_len)?;
+                let last = *cuts.last().expect("seeded above");
+                cuts.push(aligned.clamp(last, file_len));
+            }
+            cuts.push(file_len);
+            let ranges = cuts.windows(2).map(|w| (w[0], w[1])).collect();
+            Ok(Some(SplitPlan::Text { plan, ranges }))
+        }
+        Format::Binary => {
+            let plan = binary::plan_binary(buffered(path)?)?;
+            let body = plan.n_intervals * binary::INTERVAL_RECORD_BYTES as u64
+                + plan.n_points * binary::POINT_RECORD_BYTES as u64;
+            let s = shard_count(body, mode) as u64;
+            if s <= 1 || plan.n_intervals + plan.n_points == 0 {
+                return Ok(None);
+            }
+            let shards = (0..s)
+                .map(|k| BinShard {
+                    iv: (plan.n_intervals * k / s, plan.n_intervals * (k + 1) / s),
+                    pt: (plan.n_points * k / s, plan.n_points * (k + 1) / s),
+                })
+                .collect();
+            Ok(Some(SplitPlan::Binary { plan, shards }))
+        }
+        Format::Paje => Ok(None),
+    }
+}
+
+/// Smallest offset `>= pos` that starts a line (scanning forward for the
+/// newline that ends the line containing `pos`), capped at `file_len`.
+fn align_to_line(f: &mut File, pos: u64, file_len: u64) -> Result<u64> {
+    // Look one byte back: if it is a newline, `pos` already starts a line.
+    let start = pos.saturating_sub(1);
+    f.seek(SeekFrom::Start(start))?;
+    let mut buf = [0u8; 4096];
+    let mut off = start;
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            return Ok(file_len);
+        }
+        if let Some(i) = buf[..n].iter().position(|&b| b == b'\n') {
+            return Ok((off + i as u64 + 1).min(file_len));
+        }
+        off += n as u64;
+    }
+}
+
+/// Run `n_tasks` closures on a bounded worker pool, returning results in
+/// task order. Panics propagate; the first error wins.
+fn run_pool<T, F>(n_tasks: usize, workers: usize, task: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let workers = workers.clamp(1, n_tasks.max(1));
+    let results: Vec<Mutex<Option<Result<T>>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let r = task(i);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("pool task completed"))
+        .collect()
+}
+
+/// A decoded shard: the partial model plus its local telemetry.
+struct ShardOut {
+    part: PartialModel,
+    peak: u64,
+    nanos: u64,
+}
+
+fn shard_sink(kind: ModelKind, n_slices: usize, hi_res: bool, range: (f64, f64)) -> ModelSink {
+    if hi_res {
+        ModelSink::hi_res_with_range(kind, n_slices, range)
+    } else {
+        ModelSink::with_range(kind, n_slices, range)
+    }
+}
+
+fn begin_or_err(sink: &mut ModelSink, header: &StreamHeader) -> Result<()> {
+    if sink.begin(header) {
+        return Ok(());
+    }
+    Err(FormatError::parse(
+        "trace stream declined by the model sink (empty or missing time range)",
+        None,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ingest_sharded(
+    path: &Path,
+    det: Detected,
+    split: SplitPlan,
+    n_slices: usize,
+    kind: ModelKind,
+    hi_res: bool,
+    opts: &IngestOptions,
+    plan_nanos: u64,
+) -> Result<IngestReport> {
+    let file_len = std::fs::metadata(path)?.len();
+    let workers = resolved_workers(opts);
+
+    // Establish the grid range: declared by the header, or a sharded scan
+    // (min/max merge across shards is exact in any order).
+    let (range, mode, scan_bytes) = match &split {
+        SplitPlan::Binary { plan, .. } => (
+            plan.header.range.expect("BTF headers declare a range"),
+            IngestMode::SinglePass,
+            0u64,
+        ),
+        SplitPlan::Text { plan, ranges } => match plan.header.range {
+            Some(r) => (r, IngestMode::SinglePass, 0),
+            None => {
+                let spans = run_pool(ranges.len(), workers, |i| {
+                    let (lo, hi) = ranges[i];
+                    let mut f = File::open(path)?;
+                    f.seek(SeekFrom::Start(lo))?;
+                    let r = BufReader::with_capacity(1 << 20, f);
+                    let mut scan = ScanSink::new();
+                    text::decode_text_range(r, hi - lo, plan, &mut scan)?;
+                    Ok(scan.observed_range())
+                })?;
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for (l, h) in spans.into_iter().flatten() {
+                    lo = lo.min(l);
+                    hi = hi.max(h);
+                }
+                if !lo.is_finite() {
+                    return Err(FormatError::parse("trace has no events to slice", None));
+                }
+                let scanned: u64 = ranges.iter().map(|(l, h)| h - l).sum();
+                ((lo, hi), IngestMode::TwoPass, scanned)
+            }
+        },
+    };
+
+    let header = match &split {
+        SplitPlan::Text { plan, .. } => &plan.header,
+        SplitPlan::Binary { plan, .. } => &plan.header,
+    };
+    let n_shards = match &split {
+        SplitPlan::Text { ranges, .. } => ranges.len(),
+        SplitPlan::Binary { shards, .. } => shards.len(),
+    };
+
+    // One pool, two kinds of task: fingerprint chunks (raw FNV-1a per
+    // `HASH_CHUNK_BYTES` range, combined in chunk order — identical to a
+    // sequential `hash_file` by construction) and shard decodes. Chunk
+    // digests compose, so unlike a whole-file FNV pass the hash stage
+    // parallelizes instead of bounding the critical path.
+    let n_chunks = (file_len.div_ceil(HASH_CHUNK_BYTES).max(1)) as usize;
+    enum TaskOut {
+        Chunk { hash: u64, nanos: u64 },
+        Shard(Box<ShardOut>),
+    }
+    let tasks = run_pool(n_chunks + n_shards, workers, |i| {
+        if i < n_chunks {
+            let t = Instant::now();
+            let start = i as u64 * HASH_CHUNK_BYTES;
+            let len = (file_len - start).min(HASH_CHUNK_BYTES);
+            let hash = hash_file_chunk(path, start, len)?;
+            return Ok(TaskOut::Chunk {
+                hash,
+                nanos: t.elapsed().as_nanos() as u64,
+            });
+        }
+        let i = i - n_chunks;
+        let t = Instant::now();
+        let mut sink = shard_sink(kind, n_slices, hi_res, range);
+        begin_or_err(&mut sink, header)?;
+        match &split {
+            SplitPlan::Text { plan, ranges } => {
+                let (lo, hi) = ranges[i];
+                let mut f = File::open(path)?;
+                f.seek(SeekFrom::Start(lo))?;
+                let r = BufReader::with_capacity(1 << 20, f);
+                text::decode_text_range(r, hi - lo, plan, &mut sink)?;
+            }
+            SplitPlan::Binary { plan, shards } => {
+                let sh = &shards[i];
+                let iv_bytes = binary::INTERVAL_RECORD_BYTES as u64;
+                let pt_bytes = binary::POINT_RECORD_BYTES as u64;
+                if sh.iv.1 > sh.iv.0 {
+                    let mut f = File::open(path)?;
+                    f.seek(SeekFrom::Start(plan.intervals_start + sh.iv.0 * iv_bytes))?;
+                    let mut r = BufReader::with_capacity(1 << 20, f);
+                    binary::decode_interval_range(
+                        &mut r,
+                        sh.iv.1 - sh.iv.0,
+                        header.hierarchy.n_leaves(),
+                        header.states.len(),
+                        &mut sink,
+                    )?;
+                }
+                if sh.pt.1 > sh.pt.0 {
+                    let mut f = File::open(path)?;
+                    f.seek(SeekFrom::Start(plan.points_start + sh.pt.0 * pt_bytes))?;
+                    let mut r = BufReader::with_capacity(1 << 20, f);
+                    binary::decode_point_range(
+                        &mut r,
+                        sh.pt.1 - sh.pt.0,
+                        header.hierarchy.n_leaves(),
+                        &mut sink,
+                    )?;
+                }
+            }
+        }
+        sink.end();
+        let peak = sink.peak_bytes();
+        let part = sink
+            .finish_partial()
+            .map_err(|e| FormatError::parse(e.to_string(), None))?;
+        Ok(TaskOut::Shard(Box::new(ShardOut {
+            part,
+            peak,
+            nanos: t.elapsed().as_nanos() as u64,
+        })))
+    })?;
+
+    let mut chunk_hashes = Vec::with_capacity(n_chunks);
+    let mut hash_nanos = 0u64;
+    let mut outs: Vec<ShardOut> = Vec::with_capacity(n_shards);
+    for t in tasks {
+        match t {
+            // run_pool returns in index order: chunk digests arrive in
+            // chunk order, shard outputs in shard order.
+            TaskOut::Chunk { hash, nanos } => {
+                chunk_hashes.push(hash);
+                hash_nanos = hash_nanos.max(nanos); // slowest chunk = the stage's critical path
+            }
+            TaskOut::Shard(o) => outs.push(*o),
+        }
+    }
+    let fingerprint = combine_chunk_hashes(&chunk_hashes);
+
+    // Merge left-to-right in shard order — the canonical summation order.
+    let t_merge = Instant::now();
+    let shard_nanos: Vec<u64> = outs.iter().map(|o| o.nanos).collect();
+    let peak_bytes: u64 = outs.iter().map(|o| o.peak).sum();
+    let mut it = outs.into_iter();
+    let first = it.next().expect("plans have at least 2 shards");
+    let mut merged = first.part;
+    for o in it {
+        merged.absorb(o.part);
+    }
+    let (intervals, points) = merged.counts();
+    let model = merged.into_model(!hi_res);
+    let merge_nanos = t_merge.elapsed().as_nanos() as u64;
+
+    let (plan_bytes, shard_bytes): (u64, Vec<u64>) = match &split {
+        SplitPlan::Text { plan, ranges } => (
+            plan.header_bytes,
+            ranges.iter().map(|(l, h)| h - l).collect(),
+        ),
+        SplitPlan::Binary { plan, shards } => (
+            plan.intervals_start + 8,
+            shards
+                .iter()
+                .map(|sh| {
+                    (sh.iv.1 - sh.iv.0) * binary::INTERVAL_RECORD_BYTES as u64
+                        + (sh.pt.1 - sh.pt.0) * binary::POINT_RECORD_BYTES as u64
+                })
+                .collect(),
+        ),
+    };
+    let bytes_read = file_len + plan_bytes + scan_bytes + shard_bytes.iter().sum::<u64>();
+
+    record_timing(ShardTiming {
+        plan_nanos,
+        hash_nanos,
+        shard_nanos,
+        merge_nanos,
+    });
+    Ok(IngestReport {
+        model,
+        fingerprint,
+        bytes_read,
+        intervals,
+        points,
+        peak_bytes,
+        mode,
+        format: det.fmt,
+        gzip: det.gzip,
+        shards: shard_bytes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Multi-file (directory) traces
+// ---------------------------------------------------------------------------
+
+/// The trace files of a directory trace, sorted by file name — the
+/// canonical file order that fixes leaf numbering, state interning and the
+/// combined fingerprint. Hidden files and unrecognized extensions are
+/// skipped; an empty result is an error.
+pub fn trace_files(dir: &Path) -> Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let hidden = p
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with('.'));
+        if hidden || Format::from_path(&p).is_none() {
+            continue;
+        }
+        files.push(p);
+    }
+    files.sort();
+    if files.is_empty() {
+        return Err(FormatError::parse(
+            format!(
+                "{}: no trace files (.ptf / .btf / .paje / .trace, optionally .gz)",
+                dir.display()
+            ),
+            None,
+        ));
+    }
+    Ok(files)
+}
+
+/// Combine per-file content hashes into the directory fingerprint: an FNV
+/// fold over the 8-byte little-endian hashes in sorted file order.
+fn combine_file_hashes(hashes: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(hashes.len() * 8);
+    for h in hashes {
+        bytes.extend_from_slice(&h.to_le_bytes());
+    }
+    hash_reader(bytes.as_slice()).expect("in-memory read cannot fail")
+}
+
+/// Content fingerprint of a trace input: [`hash_file`] for a file, the
+/// sorted-order FNV fold of per-file hashes for a directory. This is the
+/// same fingerprint ingestion reports, so artifact keys agree.
+pub fn hash_trace_input(path: &Path) -> std::io::Result<u64> {
+    if !path.is_dir() {
+        return hash_file(path);
+    }
+    let files = trace_files(path)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut hashes = Vec::with_capacity(files.len());
+    for f in &files {
+        hashes.push(hash_file(f)?);
+    }
+    Ok(combine_file_hashes(&hashes))
+}
+
+/// Pre-ingestion knowledge about one file of a directory trace.
+struct FileInfo {
+    path: PathBuf,
+    fmt: Format,
+    gzip: bool,
+    len: u64,
+    header: StreamHeader,
+    /// The file's event extent (declared or scanned); `None` = no events.
+    span: Option<(f64, f64)>,
+    /// Disk passes this file costs (hash + optional scan + fold).
+    passes: u64,
+    hash: u64,
+}
+
+/// Graft `h` under `parent`, renaming the file's root to `name`. Node ids
+/// are pre-order, so parents always precede children.
+fn graft(b: &mut HierarchyBuilder, parent: NodeId, h: &Hierarchy, name: &str) {
+    let mut map: Vec<NodeId> = Vec::with_capacity(h.len());
+    for id in h.node_ids() {
+        let mapped = match h.parent(id) {
+            None => b.add_child(parent, name, h.kind(id)),
+            Some(p) => b.add_child(map[p.0 as usize], h.name(id), h.kind(id)),
+        };
+        map.push(mapped);
+    }
+}
+
+fn read_model_dir(
+    dir: &Path,
+    n_slices: usize,
+    kind: ModelKind,
+    hi_res: bool,
+    opts: &IngestOptions,
+) -> Result<IngestReport> {
+    let t_plan = Instant::now();
+    let files = trace_files(dir)?;
+    let workers = resolved_workers(opts);
+
+    // Phase A — per file: header, event extent, content hash. Cheap header
+    // parses where the format allows it, a full scan pass where not.
+    let mut infos = Vec::with_capacity(files.len());
+    let mut any_scanned = false;
+    for path in files {
+        let det = detect(&path)?;
+        let wrap = |e: FormatError| annotate(e, &path, det.fmt, det.ext);
+        let len = std::fs::metadata(&path)?.len();
+        let hash = hash_file(&path)?;
+        let (header, span, passes) = match (det.gzip, det.fmt) {
+            (false, Format::Binary) => {
+                let plan = binary::plan_binary(buffered(&path)?).map_err(wrap)?;
+                let span = (plan.n_intervals + plan.n_points > 0)
+                    .then(|| plan.header.range.expect("BTF headers declare a range"));
+                (plan.header, span, 2)
+            }
+            (false, Format::Text) => {
+                let plan = text::plan_text(buffered(&path)?).map_err(wrap)?;
+                match (plan.has_events, plan.header.range) {
+                    (false, _) => (plan.header, None, 2),
+                    (true, Some(r)) => (plan.header, Some(r), 2),
+                    (true, None) => {
+                        // No declared range: scan this file for its extent.
+                        let mut scan = ScanSink::new();
+                        decode(det.fmt, open_plain(&path, det.gzip)?, &mut scan).map_err(wrap)?;
+                        any_scanned = true;
+                        (plan.header, scan.observed_range(), 3)
+                    }
+                }
+            }
+            // Pajé and gzip streams: one full scan pass captures the
+            // header and the extent together.
+            _ => {
+                let mut scan = ScanSink::new();
+                decode(det.fmt, open_plain(&path, det.gzip)?, &mut scan).map_err(wrap)?;
+                any_scanned = true;
+                let header = scan
+                    .header
+                    .take()
+                    .ok_or_else(|| wrap(FormatError::parse("empty trace stream", None)))?;
+                let span = scan.observed_range();
+                (header, span, 3)
+            }
+        };
+        infos.push(FileInfo {
+            path,
+            fmt: det.fmt,
+            gzip: det.gzip,
+            len,
+            header,
+            span,
+            passes,
+            hash,
+        });
+    }
+
+    // The union: a super-root named after the directory, one child subtree
+    // per file (renamed to the file stem), leaves numbered in file order
+    // by the builder's DFS renumbering; states united by name in file
+    // order; the grid spans the union of event extents.
+    let dir_name = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("trace")
+        .to_string();
+    let mut b = HierarchyBuilder::new(&dir_name, "trace");
+    let root = b.root();
+    let mut leaf_offsets = Vec::with_capacity(infos.len());
+    let mut total_leaves = 0usize;
+    for info in &infos {
+        let stem = info
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("file");
+        graft(&mut b, root, &info.header.hierarchy, stem);
+        leaf_offsets.push(total_leaves);
+        total_leaves += info.header.hierarchy.n_leaves();
+    }
+    let union_hierarchy = b
+        .build()
+        .map_err(|e| FormatError::parse(format!("invalid union hierarchy: {e}"), None))?;
+    let mut union_states = ocelotl_trace::StateRegistry::new();
+    for info in &infos {
+        for (_, name) in info.header.states.iter() {
+            if union_states.len() >= (1 << 16) && union_states.get(name).is_none() {
+                return Err(FormatError::parse(
+                    "union state count exceeds the u16 id space",
+                    None,
+                ));
+            }
+            union_states.intern(name);
+        }
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (l, h) in infos.iter().filter_map(|i| i.span) {
+        lo = lo.min(l);
+        hi = hi.max(h);
+    }
+    if !(lo.is_finite() && hi.is_finite() && hi > lo) {
+        return Err(FormatError::parse(
+            format!("{}: trace has no events to slice", dir.display()),
+            None,
+        ));
+    }
+    let range = (lo, hi);
+    let slices = if hi_res {
+        hi_res_slices(n_slices, total_leaves, union_states.len())
+    } else {
+        n_slices
+    };
+    let plan_nanos = t_plan.elapsed().as_nanos() as u64;
+
+    // Phase B — fold every file in parallel over the union grid, then
+    // mount the per-file partials at their leaf offsets (disjoint leaves:
+    // exact in any order; folded in file order for good measure).
+    let outs = run_pool(infos.len(), workers, |i| {
+        let info = &infos[i];
+        let t = Instant::now();
+        let mut sink = ModelSink::with_range(kind, slices, range);
+        let complete = decode(info.fmt, open_plain(&info.path, info.gzip)?, &mut sink)
+            .map_err(|e| annotate(e, &info.path, info.fmt, None))?;
+        if !complete {
+            return Err(FormatError::parse(
+                format!("{}: stream declined mid-union", info.path.display()),
+                None,
+            ));
+        }
+        let peak = sink.peak_bytes();
+        let part = sink
+            .finish_partial()
+            .map_err(|e| FormatError::parse(e.to_string(), None))?;
+        Ok(ShardOut {
+            part,
+            peak,
+            nanos: t.elapsed().as_nanos() as u64,
+        })
+    })?;
+
+    let t_merge = Instant::now();
+    let shard_nanos: Vec<u64> = outs.iter().map(|o| o.nanos).collect();
+    let peak_bytes: u64 = outs.iter().map(|o| o.peak).sum();
+    let grid = outs
+        .first()
+        .map(|o| o.part.grid())
+        .expect("trace_files is non-empty");
+    let mut union = PartialModel::empty(kind, union_hierarchy, union_states, grid);
+    for (i, o) in outs.into_iter().enumerate() {
+        union.mount(o.part, leaf_offsets[i]);
+    }
+    let (intervals, points) = union.counts();
+    let model = union.into_model(!hi_res);
+    let merge_nanos = t_merge.elapsed().as_nanos() as u64;
+
+    let fingerprint = combine_file_hashes(&infos.iter().map(|i| i.hash).collect::<Vec<_>>());
+    let bytes_read = infos.iter().map(|i| i.len * i.passes).sum();
+    let shards = infos.iter().map(|i| i.len).collect();
+    record_timing(ShardTiming {
+        plan_nanos,
+        hash_nanos: 0,
+        shard_nanos,
+        merge_nanos,
+    });
+    Ok(IngestReport {
+        model,
+        fingerprint,
+        bytes_read,
+        intervals,
+        points,
+        peak_bytes,
+        mode: if any_scanned {
+            IngestMode::TwoPass
+        } else {
+            IngestMode::SinglePass
+        },
+        format: infos[0].fmt,
+        gzip: infos.iter().any(|i| i.gzip),
+        shards,
     })
 }
 
@@ -367,6 +1297,22 @@ mod tests {
         tb.build()
     }
 
+    fn assert_bits_equal(a: &MicroModel, b: &MicroModel, tag: &str) {
+        assert_eq!(a.grid(), b.grid(), "{tag}: grid");
+        assert_eq!(a.n_states(), b.n_states(), "{tag}: states");
+        for l in 0..a.n_leaves() as u32 {
+            for x in 0..a.n_states() as u16 {
+                for s in 0..a.n_slices() {
+                    assert_eq!(
+                        a.duration(LeafId(l), StateId(x), s).to_bits(),
+                        b.duration(LeafId(l), StateId(x), s).to_bits(),
+                        "{tag}: cell ({l},{x},{s})"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn file_roundtrip_all_formats() {
         let t = sample();
@@ -390,18 +1336,7 @@ mod tests {
             let report = read_model(&p, 4, ModelKind::States).unwrap();
             let back = read_trace(&p).unwrap();
             let batch = MicroModel::from_trace(&back, 4).unwrap();
-            assert_eq!(report.model.grid(), batch.grid(), "{name}");
-            for l in 0..2u32 {
-                for x in 0..report.model.n_states() as u16 {
-                    for s in 0..4 {
-                        assert_eq!(
-                            report.model.duration(LeafId(l), StateId(x), s).to_bits(),
-                            batch.duration(LeafId(l), StateId(x), s).to_bits(),
-                            "{name} cell ({l},{x},{s})"
-                        );
-                    }
-                }
-            }
+            assert_bits_equal(&report.model, &batch, name);
             std::fs::remove_file(&p).ok();
         }
     }
@@ -422,6 +1357,7 @@ mod tests {
             assert!(report.bytes_read >= std::fs::metadata(&p).unwrap().len());
             assert_eq!(report.intervals, 2, "{name}");
             assert!(report.peak_bytes > 0);
+            assert_eq!(report.shards.len(), 1, "{name}: small files get 1 shard");
             std::fs::remove_file(&p).ok();
         }
     }
@@ -503,6 +1439,12 @@ mod tests {
         assert_eq!(Format::from_path(Path::new("x.paje")), Some(Format::Paje));
         assert_eq!(Format::from_path(Path::new("x.trace")), Some(Format::Paje));
         assert_eq!(Format::from_path(Path::new("x.csv")), None);
+        assert_eq!(Format::from_path(Path::new("x.ptf.gz")), Some(Format::Text));
+        assert_eq!(
+            Format::from_path(Path::new("x.btf.gz")),
+            Some(Format::Binary)
+        );
+        assert_eq!(Format::from_path(Path::new("x.gz")), None);
         assert_eq!(Format::sniff(b"%PTF 1"), Some(Format::Text));
         assert_eq!(Format::sniff(b"BTF1"), Some(Format::Binary));
         assert_eq!(Format::sniff(b"%EventDef PajeState"), Some(Format::Paje));
@@ -541,17 +1483,338 @@ mod tests {
         let report = read_model(&p, 4, ModelKind::Density).unwrap();
         let back = read_trace(&p).unwrap();
         let batch = ocelotl_trace::event_density_auto(&back, 4).unwrap();
-        assert_eq!(report.model.n_states(), batch.n_states());
-        for l in 0..2u32 {
-            for x in 0..batch.n_states() as u16 {
-                for s in 0..4 {
-                    assert_eq!(
-                        report.model.duration(LeafId(l), StateId(x), s).to_bits(),
-                        batch.duration(LeafId(l), StateId(x), s).to_bits()
-                    );
-                }
-            }
-        }
+        assert_bits_equal(&report.model, &batch, "density");
         std::fs::remove_file(&p).ok();
+    }
+
+    // -- gzip ------------------------------------------------------------
+
+    fn gz_file(name: &str, t: &Trace, inner: Format) -> std::path::PathBuf {
+        let mut raw = Vec::new();
+        match inner {
+            Format::Text => text::write_text(t, &mut raw).unwrap(),
+            Format::Binary => binary::write_binary(t, &mut raw).unwrap(),
+            Format::Paje => paje::write_paje(t, &mut raw).unwrap(),
+        }
+        let p = tmpdir().join(name);
+        std::fs::write(&p, crate::gzip::gzip_stored(&raw)).unwrap();
+        p
+    }
+
+    #[test]
+    fn gzip_traces_read_like_plain_ones() {
+        let t = sample();
+        for (name, inner) in [
+            ("z.ptf.gz", Format::Text),
+            ("z.btf.gz", Format::Binary),
+            ("z.paje.gz", Format::Paje),
+        ] {
+            let p = gz_file(name, &t, inner);
+            let t2 = read_trace(&p).unwrap();
+            assert_eq!(t2.intervals, t.intervals, "{name}");
+            let report = read_model(&p, 4, ModelKind::States).unwrap();
+            assert!(report.gzip, "{name}");
+            assert_eq!(report.format, inner, "{name}");
+            // The fingerprint covers the compressed on-disk bytes.
+            assert_eq!(report.fingerprint, hash_file(&p).unwrap(), "{name}");
+            // Bit-identical to the uncompressed ingest.
+            let plain = tmpdir().join(name.trim_end_matches(".gz"));
+            write_trace(&t, &plain).unwrap();
+            let base = read_model(&plain, 4, ModelKind::States).unwrap();
+            assert_bits_equal(&report.model, &base.model, name);
+            std::fs::remove_file(&p).ok();
+            std::fs::remove_file(&plain).ok();
+        }
+    }
+
+    #[test]
+    fn gzip_content_beats_misleading_extension() {
+        // A gzip stream named .ptf still decompresses and parses.
+        let t = sample();
+        let mut raw = Vec::new();
+        binary::write_binary(&t, &mut raw).unwrap();
+        let p = tmpdir().join("sneaky.ptf");
+        std::fs::write(&p, crate::gzip::gzip_stored(&raw)).unwrap();
+        let t2 = read_trace(&p).unwrap();
+        assert_eq!(t2.intervals, t.intervals);
+        std::fs::remove_file(&p).ok();
+    }
+
+    // -- sharding --------------------------------------------------------
+
+    fn opts(shards: usize, workers: usize) -> IngestOptions {
+        IngestOptions {
+            shards: ShardMode::Fixed(shards),
+            max_workers: workers,
+        }
+    }
+
+    fn richer_sample() -> Trace {
+        use ocelotl_trace::{PointEvent, PointKind};
+        let mut tb = TraceBuilder::new(Hierarchy::flat(3, "p"));
+        let a = tb.state("A");
+        let b = tb.state("B");
+        for i in 0..40u32 {
+            let leaf = LeafId(i % 3);
+            let st = if i % 2 == 0 { a } else { b };
+            let begin = i as f64 * 0.37;
+            tb.push_state(leaf, st, begin, begin + 1.1);
+            tb.push_point(PointEvent {
+                resource: leaf,
+                time: begin + 0.2,
+                kind: match i % 3 {
+                    0 => PointKind::Marker,
+                    1 => PointKind::MsgSend {
+                        peer: LeafId((i + 1) % 3),
+                    },
+                    _ => PointKind::MsgRecv {
+                        peer: LeafId((i + 2) % 3),
+                    },
+                },
+            });
+        }
+        tb.build()
+    }
+
+    #[test]
+    fn forced_shards_are_bit_identical_across_worker_counts() {
+        let t = richer_sample();
+        for (name, kind) in [
+            ("ws.ptf", ModelKind::States),
+            ("ws.btf", ModelKind::States),
+            ("wd.ptf", ModelKind::Density),
+            ("wd.btf", ModelKind::Density),
+        ] {
+            let p = tmpdir().join(name);
+            write_trace(&t, &p).unwrap();
+            for s in [2, 3, 5] {
+                let one = read_model_with(&p, 6, kind, &opts(s, 1)).unwrap();
+                let many = read_model_with(&p, 6, kind, &opts(s, 8)).unwrap();
+                assert_eq!(one.shards.len(), s, "{name}/{s}");
+                assert_eq!(one.shards, many.shards, "{name}/{s}");
+                assert_eq!(one.fingerprint, many.fingerprint, "{name}/{s}");
+                assert_eq!(
+                    (one.intervals, one.points),
+                    (many.intervals, many.points),
+                    "{name}/{s}"
+                );
+                assert_bits_equal(&one.model, &many.model, &format!("{name}/{s}"));
+            }
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn density_sharding_is_bit_identical_to_sequential() {
+        // Density cells are raw event counts before one final
+        // normalization: any grouping sums integers exactly, so every
+        // forced shard count reproduces the sequential bits.
+        let t = richer_sample();
+        for name in ["dseq.ptf", "dseq.btf"] {
+            let p = tmpdir().join(name);
+            write_trace(&t, &p).unwrap();
+            let seq = read_model(&p, 5, ModelKind::Density).unwrap();
+            for s in 2..=8 {
+                let sh = read_model_with(&p, 5, ModelKind::Density, &opts(s, 4)).unwrap();
+                assert_eq!(sh.fingerprint, seq.fingerprint, "{name}/{s}");
+                assert_bits_equal(&sh.model, &seq.model, &format!("{name}/{s}"));
+            }
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn sharded_fingerprint_and_counts_match_sequential() {
+        let t = richer_sample();
+        for name in ["fps.ptf", "fps.btf"] {
+            let p = tmpdir().join(name);
+            write_trace(&t, &p).unwrap();
+            let seq = read_model(&p, 5, ModelKind::States).unwrap();
+            let sh = read_model_with(&p, 5, ModelKind::States, &opts(4, 4)).unwrap();
+            assert_eq!(sh.fingerprint, seq.fingerprint, "{name}");
+            assert_eq!(sh.fingerprint, hash_file(&p).unwrap(), "{name}");
+            assert_eq!((sh.intervals, sh.points), (seq.intervals, seq.points));
+            assert_eq!(sh.model.grid(), seq.model.grid(), "{name}");
+            assert!(sh.bytes_read >= std::fs::metadata(&p).unwrap().len());
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn sharded_hi_res_keeps_the_refined_grid() {
+        let t = richer_sample();
+        let p = tmpdir().join("shhi.btf");
+        write_trace(&t, &p).unwrap();
+        let seq = read_hi_res(&p, 4, ModelKind::States).unwrap();
+        let sh = read_hi_res_with(&p, 4, ModelKind::States, &opts(3, 2)).unwrap();
+        assert_eq!(sh.model.n_slices(), seq.model.n_slices());
+        assert_eq!(sh.model.grid(), seq.model.grid());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn sharded_two_pass_ptf_scans_in_shards() {
+        // A range-less PTF big enough to shard: the scan pass must find
+        // the same extent the sequential scan does.
+        let t = richer_sample();
+        let mut buf = Vec::new();
+        text::write_text(&t, &mut buf).unwrap();
+        let src = String::from_utf8(buf).unwrap();
+        let stripped: String = src
+            .lines()
+            .filter(|l| !l.starts_with("%range"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let p = tmpdir().join("norange-sharded.ptf");
+        std::fs::write(&p, stripped).unwrap();
+        let seq = read_model(&p, 5, ModelKind::States).unwrap();
+        assert_eq!(seq.mode, IngestMode::TwoPass);
+        let sh = read_model_with(&p, 5, ModelKind::States, &opts(3, 2)).unwrap();
+        assert_eq!(sh.mode, IngestMode::TwoPass);
+        assert_eq!(sh.model.grid(), seq.model.grid());
+        assert_eq!(sh.fingerprint, seq.fingerprint);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn shard_timing_is_recorded_locally_only() {
+        let t = richer_sample();
+        let p = tmpdir().join("timing.btf");
+        write_trace(&t, &p).unwrap();
+        let _ = take_last_ingest_timing(); // drain
+        let _ = read_model_with(&p, 5, ModelKind::States, &opts(3, 2)).unwrap();
+        let timing = take_last_ingest_timing().expect("sharded ingest records timing");
+        assert_eq!(timing.shard_nanos.len(), 3);
+        assert!(take_last_ingest_timing().is_none(), "take clears");
+        std::fs::remove_file(&p).ok();
+    }
+
+    // -- multi-file ------------------------------------------------------
+
+    fn rank_trace(leaves: usize, seed: u32) -> Trace {
+        let mut tb = TraceBuilder::new(Hierarchy::flat(leaves, &format!("r{seed}-p")));
+        let run = tb.state("Running");
+        let wait = tb.state("Waiting");
+        for i in 0..12u32 {
+            let leaf = LeafId(i % leaves as u32);
+            let st = if (i + seed).is_multiple_of(2) {
+                run
+            } else {
+                wait
+            };
+            let begin = (i + seed) as f64 * 0.31;
+            tb.push_state(leaf, st, begin, begin + 0.9);
+        }
+        tb.build()
+    }
+
+    fn multi_dir(name: &str) -> std::path::PathBuf {
+        let d = tmpdir().join(name);
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn directory_trace_mounts_files_in_sorted_order() {
+        let d = multi_dir("mf-basic");
+        let t0 = rank_trace(2, 0);
+        let t1 = rank_trace(3, 7);
+        write_trace(&t0, &d.join("rank0.btf")).unwrap();
+        write_trace(&t1, &d.join("rank1.ptf")).unwrap();
+        std::fs::write(d.join("README"), "not a trace").unwrap();
+        let report = read_model(&d, 4, ModelKind::States).unwrap();
+        assert_eq!(report.model.n_leaves(), 5);
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.intervals, 24);
+        // Leaves 0..2 belong to rank0, 2..5 to rank1; cells match per-file
+        // ingests rebuilt over the union grid.
+        assert_eq!(report.fingerprint, hash_trace_input(&d).unwrap());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn directory_trace_equals_concatenated_single_file_bitwise() {
+        // The same events in one file (leaves renumbered to the union
+        // layout) must produce the same model bits for both metrics.
+        let d = multi_dir("mf-concat");
+        let t0 = rank_trace(2, 0);
+        let t1 = rank_trace(2, 5);
+        write_trace(&t0, &d.join("a.btf")).unwrap();
+        write_trace(&t1, &d.join("b.btf")).unwrap();
+
+        for kind in [ModelKind::States, ModelKind::Density] {
+            let union = read_model(&d, 4, kind).unwrap();
+            // Build the concatenated reference: one trace, leaves 0-1 from
+            // a, 2-3 from b, states interned in file order.
+            let mut b = HierarchyBuilder::new("mf-concat", "trace");
+            let root = b.root();
+            graft(&mut b, root, &t0.hierarchy, "a");
+            graft(&mut b, root, &t1.hierarchy, "b");
+            let h = b.build().unwrap();
+            let mut tb = TraceBuilder::new(h);
+            let run = tb.state("Running");
+            let wait = tb.state("Waiting");
+            let remap = |s: StateId, t: &Trace| {
+                if t.states.name(s) == "Running" {
+                    run
+                } else {
+                    wait
+                }
+            };
+            for iv in &t0.intervals {
+                tb.push_state(iv.resource, remap(iv.state, &t0), iv.begin, iv.end);
+            }
+            for iv in &t1.intervals {
+                tb.push_state(
+                    LeafId(iv.resource.0 + 2),
+                    remap(iv.state, &t1),
+                    iv.begin,
+                    iv.end,
+                );
+            }
+            let combined = tb.build();
+            let p = tmpdir().join("mf-concat.btf");
+            write_trace(&combined, &p).unwrap();
+            let single = read_model(&p, 4, kind).unwrap();
+            assert_bits_equal(&union.model, &single.model, &format!("{kind:?}"));
+            std::fs::remove_file(&p).ok();
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn directory_hi_res_uses_the_union_shape() {
+        let d = multi_dir("mf-hires");
+        write_trace(&rank_trace(2, 0), &d.join("a.btf")).unwrap();
+        write_trace(&rank_trace(2, 3), &d.join("b.btf")).unwrap();
+        let report = read_hi_res(&d, 3, ModelKind::States).unwrap();
+        assert_eq!(
+            report.model.n_slices(),
+            ocelotl_trace::hi_res_slices(3, 4, 2),
+            "H derives from union leaves and union declared states"
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let d = multi_dir("mf-empty");
+        let err = read_model(&d, 4, ModelKind::States).unwrap_err();
+        assert!(err.to_string().contains("no trace files"), "{err}");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn directory_fingerprint_tracks_file_order_and_content() {
+        let d = multi_dir("mf-fp");
+        write_trace(&rank_trace(2, 0), &d.join("a.btf")).unwrap();
+        write_trace(&rank_trace(2, 1), &d.join("b.btf")).unwrap();
+        let f1 = hash_trace_input(&d).unwrap();
+        // Renaming changes the sort order → the fingerprint changes.
+        std::fs::rename(d.join("a.btf"), d.join("z.btf")).unwrap();
+        let f2 = hash_trace_input(&d).unwrap();
+        assert_ne!(f1, f2);
+        std::fs::remove_dir_all(&d).ok();
     }
 }

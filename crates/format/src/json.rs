@@ -858,6 +858,11 @@ fn reply_to_json(reply: &AnalysisReply) -> Json {
             ("mode", strv(&s.mode)),
             ("format", strv(&s.format)),
             ("fingerprint", strv(&s.fingerprint)),
+            ("shard_count", int64(s.shard_count)),
+            (
+                "shard_bytes",
+                Json::Arr(s.shard_bytes.iter().map(|&b| int64(b)).collect()),
+            ),
         ]),
         AnalysisReply::Reslice(r) => obj(vec![
             ("kind", strv("reslice")),
@@ -1042,6 +1047,14 @@ fn reply_from_json(j: &Json) -> Result<AnalysisReply, QueryError> {
             mode: as_str(j, "mode")?.to_string(),
             format: as_str(j, "format")?.to_string(),
             fingerprint: as_str(j, "fingerprint")?.to_string(),
+            shard_count: as_u64(j, "shard_count")?,
+            shard_bytes: as_arr(j, "shard_bytes")?
+                .iter()
+                .map(|b| match b {
+                    Json::Int(i) if *i >= 0 => Ok(*i as u64),
+                    _ => Err(bad("\"shard_bytes\" entries must be non-negative integers")),
+                })
+                .collect::<Result<_, QueryError>>()?,
         })),
         "reslice" => Ok(AnalysisReply::Reslice(ResliceReply {
             n_slices: as_usize(j, "n_slices")?,

@@ -36,6 +36,7 @@
 pub mod binary;
 pub mod cube_cache;
 pub mod error;
+pub mod gzip;
 pub mod hires_cache;
 pub mod io;
 pub mod json;
@@ -50,10 +51,13 @@ pub use binary::{
 };
 pub use cube_cache::{load_cube, read_cube, save_cube, write_cube};
 pub use error::{FormatError, Result};
+pub use gzip::{gunzip, gzip_stored, write_gzip_stored, GzipReader};
 pub use hires_cache::{load_hi_res, read_hi_res_cache, save_hi_res, write_hi_res};
 pub use io::{
-    decode, read_hi_res, read_micro, read_model, read_trace, write_trace, Format, IngestMode,
-    IngestReport,
+    decode, hash_trace_input, read_hi_res, read_hi_res_with, read_micro, read_model,
+    read_model_with, read_trace, take_last_ingest_timing, trace_files, write_trace, Format,
+    IngestMode, IngestOptions, IngestReport, ShardMode, ShardTiming, MAX_SHARDS,
+    SHARD_TARGET_BYTES,
 };
 pub use json::{
     decode_reply, decode_request, decode_wire_request, encode_reply, encode_request,
@@ -62,5 +66,8 @@ pub use json::{
 pub use micro_cache::{load_micro, read_micro_cache, save_micro, write_micro};
 pub use paje::{decode_paje, read_paje, write_paje};
 pub use part_cache::{load_partitions, read_partitions, save_partitions, write_partitions};
-pub use store::{hash_file, hash_reader, hash_trace, DiskStore, HashingReader, KEEP_PER_KIND};
+pub use store::{
+    combine_chunk_hashes, hash_file, hash_file_chunk, hash_reader, hash_trace, DiskStore,
+    HashingReader, HASH_CHUNK_BYTES, KEEP_PER_KIND,
+};
 pub use text::{decode_text, read_text, write_text};

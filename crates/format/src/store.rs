@@ -24,9 +24,17 @@
 //! a file stem in one shared cache dir, or one trace analyzed at
 //! alternating `--slices`, do not evict each other).
 //!
-//! Hashing is 64-bit FNV-1a (`ocelotl_core::fnv1a`), streamed, so
-//! fingerprinting a multi-GB trace costs one sequential read and no
-//! allocation.
+//! Hashing is chunk-combined 64-bit FNV-1a (`ocelotl_core::fnv1a`): the
+//! input is cut into [`HASH_CHUNK_BYTES`] chunks, each chunk hashed with
+//! plain streamed FNV-1a, and the per-chunk digests folded — 8
+//! little-endian bytes each, in chunk order — into an outer FNV-1a.
+//! Inputs that fit in one chunk keep the plain FNV-1a value, so keys of
+//! small traces are unchanged by the chunking. The indirection exists
+//! because raw FNV-1a does not compose over byte ranges: with per-chunk
+//! digests the sharded ingest path can fingerprint chunks on its worker
+//! pool and [`combine_chunk_hashes`] reproduces the exact key one
+//! sequential read yields. Fingerprinting stays streamed (one read, no
+//! allocation) on the sequential paths.
 
 use crate::cube_cache::{load_cube, save_cube};
 use crate::error::Result;
@@ -38,7 +46,17 @@ use std::fs::File;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
-/// Stream a reader through FNV-1a; returns the 64-bit content hash.
+/// Fingerprint chunk size: inputs are hashed in 4 MiB chunks whose raw
+/// digests compose into the combined key (module docs). Everything at or
+/// under one chunk keeps the plain streamed FNV-1a value.
+pub const HASH_CHUNK_BYTES: u64 = 4 << 20;
+
+/// Stream a reader through plain FNV-1a; returns the raw 64-bit hash.
+///
+/// This is the *uncombined* primitive: it equals the content fingerprint
+/// only for inputs within a single [`HASH_CHUNK_BYTES`] chunk. Whole-input
+/// fingerprints come from [`hash_file`] / [`HashingReader`], which
+/// chunk-combine (module docs).
 pub fn hash_reader<R: Read>(mut r: R) -> std::io::Result<u64> {
     let mut hash = FNV_SEED;
     let mut buf = [0u8; 1 << 16];
@@ -51,9 +69,118 @@ pub fn hash_reader<R: Read>(mut r: R) -> std::io::Result<u64> {
     }
 }
 
-/// Content hash of a file (the trace fingerprint of file-backed sessions).
+/// Incremental chunk-combined FNV-1a (scheme in the module docs). Feed
+/// bytes with [`ChunkedFnv::update`]; [`ChunkedFnv::finish`] yields the
+/// fingerprint: the raw chunk digest when everything fit in one chunk,
+/// the outer fold over per-chunk digests otherwise.
+#[derive(Debug, Clone)]
+struct ChunkedFnv {
+    outer: u64,
+    chunk: u64,
+    in_chunk: u64,
+    closed: u64,
+}
+
+impl ChunkedFnv {
+    fn new() -> Self {
+        Self {
+            outer: FNV_SEED,
+            chunk: FNV_SEED,
+            in_chunk: 0,
+            closed: 0,
+        }
+    }
+
+    fn update(&mut self, mut buf: &[u8]) {
+        while !buf.is_empty() {
+            if self.in_chunk == HASH_CHUNK_BYTES {
+                self.close_chunk();
+            }
+            let room = (HASH_CHUNK_BYTES - self.in_chunk) as usize;
+            let take = room.min(buf.len());
+            self.chunk = fnv1a(self.chunk, &buf[..take]);
+            self.in_chunk += take as u64;
+            buf = &buf[take..];
+        }
+    }
+
+    /// Fold the completed chunk's digest into the outer hash. A chunk is
+    /// closed lazily — only once a byte beyond its boundary arrives, or
+    /// from `finish` when earlier chunks exist — so single-chunk inputs
+    /// never touch the outer fold and keep their raw FNV-1a key.
+    fn close_chunk(&mut self) {
+        self.outer = fnv1a(self.outer, &self.chunk.to_le_bytes());
+        self.closed += 1;
+        self.chunk = FNV_SEED;
+        self.in_chunk = 0;
+    }
+
+    fn finish(mut self) -> u64 {
+        if self.closed == 0 {
+            return self.chunk;
+        }
+        self.close_chunk();
+        self.outer
+    }
+}
+
+/// Combine per-chunk raw FNV-1a digests (in chunk order) into the input's
+/// fingerprint — the parallel counterpart of [`hash_file`]: hashing each
+/// [`HASH_CHUNK_BYTES`] chunk independently and combining here yields the
+/// same key as one sequential pass.
+pub fn combine_chunk_hashes(chunks: &[u64]) -> u64 {
+    match chunks {
+        [] => FNV_SEED,
+        [one] => *one,
+        many => {
+            let mut outer = FNV_SEED;
+            for c in many {
+                outer = fnv1a(outer, &c.to_le_bytes());
+            }
+            outer
+        }
+    }
+}
+
+/// Content hash of a file (the trace fingerprint of file-backed
+/// sessions): chunk-combined FNV-1a over the raw bytes.
 pub fn hash_file(path: &Path) -> std::io::Result<u64> {
-    hash_reader(File::open(path)?)
+    let mut f = File::open(path)?;
+    let mut acc = ChunkedFnv::new();
+    let mut buf = [0u8; 1 << 16];
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            return Ok(acc.finish());
+        }
+        acc.update(&buf[..n]);
+    }
+}
+
+/// Raw FNV-1a digest of one [`HASH_CHUNK_BYTES`]-aligned byte range of a
+/// file — the unit of work for parallel fingerprinting. Reads exactly
+/// `len` bytes starting at `start`; a short file is an error (the caller
+/// planned the chunks from the same metadata).
+pub fn hash_file_chunk(path: &Path, start: u64, len: u64) -> std::io::Result<u64> {
+    use std::io::{Seek, SeekFrom};
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(start))?;
+    let mut hash = FNV_SEED;
+    let mut remaining = len;
+    let mut buf = [0u8; 1 << 16];
+    while remaining > 0 {
+        let want = remaining.min(buf.len() as u64) as usize;
+        let n = f.read(&mut buf[..want])?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "file shrank under the chunk hasher",
+            ));
+        }
+        hash = fnv1a(hash, &buf[..n]);
+        remaining -= n as u64;
+    }
+    Ok(hash)
 }
 
 /// A reader that folds every byte it yields into an FNV-1a hash — the
@@ -64,7 +191,7 @@ pub fn hash_file(path: &Path) -> std::io::Result<u64> {
 /// result always equals [`hash_file`] of the same source.
 pub struct HashingReader<R> {
     inner: R,
-    hash: u64,
+    acc: ChunkedFnv,
     bytes: u64,
 }
 
@@ -73,7 +200,7 @@ impl<R: Read> HashingReader<R> {
     pub fn new(inner: R) -> Self {
         Self {
             inner,
-            hash: FNV_SEED,
+            acc: ChunkedFnv::new(),
             bytes: 0,
         }
     }
@@ -89,9 +216,9 @@ impl<R: Read> HashingReader<R> {
         loop {
             let n = self.inner.read(&mut buf)?;
             if n == 0 {
-                return Ok((self.hash, self.bytes));
+                return Ok((self.acc.finish(), self.bytes));
             }
-            self.hash = fnv1a(self.hash, &buf[..n]);
+            self.acc.update(&buf[..n]);
             self.bytes += n as u64;
         }
     }
@@ -100,7 +227,7 @@ impl<R: Read> HashingReader<R> {
 impl<R: Read> Read for HashingReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         let n = self.inner.read(buf)?;
-        self.hash = fnv1a(self.hash, &buf[..n]);
+        self.acc.update(&buf[..n]);
         self.bytes += n as u64;
         Ok(n)
     }
@@ -108,12 +235,12 @@ impl<R: Read> Read for HashingReader<R> {
 
 /// A `Write` sink that hashes instead of storing.
 struct HashWriter {
-    hash: u64,
+    acc: ChunkedFnv,
 }
 
 impl Write for HashWriter {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.hash = fnv1a(self.hash, buf);
+        self.acc.update(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -121,13 +248,16 @@ impl Write for HashWriter {
     }
 }
 
-/// Content hash of an in-memory trace: the FNV-1a hash of its canonical
-/// BTF serialization, computed without materializing the bytes. Equals
-/// [`hash_file`] of the same trace written with `write_binary`.
+/// Content hash of an in-memory trace: the chunk-combined FNV-1a hash of
+/// its canonical BTF serialization, computed without materializing the
+/// bytes. Equals [`hash_file`] of the same trace written with
+/// `write_binary`.
 pub fn hash_trace(trace: &Trace) -> Result<u64> {
-    let mut w = HashWriter { hash: FNV_SEED };
+    let mut w = HashWriter {
+        acc: ChunkedFnv::new(),
+    };
     crate::binary::write_binary(trace, &mut w)?;
-    Ok(w.hash)
+    Ok(w.acc.finish())
 }
 
 /// The on-disk [`ArtifactStore`] (layout and invalidation in the module
@@ -438,6 +568,71 @@ mod tests {
             hash_trace(&trace).unwrap(),
             hash_trace(&b2.build()).unwrap()
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Reference chunked digest built the slow, obvious way: raw FNV per
+    /// chunk, combined. Every incremental implementation must match it.
+    fn reference_chunked(bytes: &[u8]) -> u64 {
+        let digests: Vec<u64> = bytes
+            .chunks(HASH_CHUNK_BYTES as usize)
+            .map(|c| hash_reader(c).unwrap())
+            .collect();
+        combine_chunk_hashes(&digests)
+    }
+
+    #[test]
+    fn single_chunk_inputs_keep_the_raw_fnv_key() {
+        // Below, at, and just short of the chunk boundary: the historic
+        // plain-FNV key must survive the chunked scheme.
+        for len in [0usize, 1, 4096, HASH_CHUNK_BYTES as usize] {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let path =
+                std::env::temp_dir().join(format!("hash-single-{}-{len}.bin", std::process::id()));
+            std::fs::write(&path, &bytes).unwrap();
+            assert_eq!(
+                hash_file(&path).unwrap(),
+                hash_reader(bytes.as_slice()).unwrap(),
+                "len {len}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn multi_chunk_hash_matches_reference_and_parallel_combine() {
+        // 2.5 chunks: exercises a full chunk, a boundary-exact chunk and a
+        // trailing partial one.
+        let len = (HASH_CHUNK_BYTES * 5 / 2) as usize;
+        let bytes: Vec<u8> = (0..len).map(|i| (i * 131 % 255) as u8).collect();
+        let path = std::env::temp_dir().join(format!("hash-multi-{}.bin", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let expect = reference_chunked(&bytes);
+        assert_eq!(hash_file(&path).unwrap(), expect, "streamed hash_file");
+        assert_ne!(
+            expect,
+            hash_reader(bytes.as_slice()).unwrap(),
+            "multi-chunk keys intentionally differ from the raw fold"
+        );
+
+        // HashingReader fed through odd-sized reads (a decoder's view).
+        let mut r = HashingReader::new(bytes.as_slice());
+        let mut tmp = [0u8; 7919];
+        while r.read(&mut tmp).unwrap() > 0 {}
+        assert_eq!(r.finish().unwrap(), (expect, len as u64), "HashingReader");
+
+        // The sharded path: per-chunk digests computed independently by
+        // seeking, then combined.
+        let n_chunks = len.div_ceil(HASH_CHUNK_BYTES as usize);
+        let digests: Vec<u64> = (0..n_chunks)
+            .map(|i| {
+                let start = i as u64 * HASH_CHUNK_BYTES;
+                let take = (len as u64 - start).min(HASH_CHUNK_BYTES);
+                hash_file_chunk(&path, start, take).unwrap()
+            })
+            .collect();
+        assert_eq!(combine_chunk_hashes(&digests), expect, "parallel combine");
         std::fs::remove_file(&path).ok();
     }
 

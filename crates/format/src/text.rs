@@ -194,66 +194,11 @@ impl TextParser {
     }
 
     fn parse_usize(&self, tok: Option<&str>) -> Result<usize> {
-        tok.ok_or_else(|| self.err("missing integer field"))?
-            .parse()
-            .map_err(|_| self.err("bad integer field"))
-    }
-
-    fn parse_u32(&self, tok: Option<&str>) -> Result<u32> {
-        tok.ok_or_else(|| self.err("missing integer field"))?
-            .parse()
-            .map_err(|_| self.err("bad integer field"))
+        parse_usize(tok, self.line_no)
     }
 
     fn parse_f64(&self, tok: Option<&str>) -> Result<f64> {
-        let v: f64 = tok
-            .ok_or_else(|| self.err("missing float field"))?
-            .parse()
-            .map_err(|_| self.err("bad float field"))?;
-        // `"NaN"`/`"inf"` parse successfully but poison every downstream
-        // comparison (a NaN interval passes `end < begin` yet violates the
-        // builder's `end >= begin` contract).
-        if !v.is_finite() {
-            return Err(self.err("non-finite float field"));
-        }
-        Ok(v)
-    }
-
-    fn parse_state_interval(&self, rest: &str) -> Result<(LeafId, StateId, f64, f64)> {
-        let mut it = rest.split_ascii_whitespace();
-        let resource = LeafId(self.parse_u32(it.next())?);
-        let sidx = self.parse_usize(it.next())?;
-        let state = *self
-            .state_map
-            .get(sidx)
-            .ok_or_else(|| self.err(format!("unknown state id {sidx}")))?;
-        let begin = self.parse_f64(it.next())?;
-        let end = self.parse_f64(it.next())?;
-        if end < begin {
-            return Err(self.err("negative interval"));
-        }
-        Ok((resource, state, begin, end))
-    }
-
-    fn parse_point(&self, rest: &str) -> Result<PointEvent> {
-        let mut it = rest.split_ascii_whitespace();
-        let resource = LeafId(self.parse_u32(it.next())?);
-        let time = self.parse_f64(it.next())?;
-        let kind = match it.next() {
-            Some("M") => PointKind::Marker,
-            Some("S") => PointKind::MsgSend {
-                peer: LeafId(self.parse_u32(it.next())?),
-            },
-            Some("R") => PointKind::MsgRecv {
-                peer: LeafId(self.parse_u32(it.next())?),
-            },
-            other => return Err(self.err(format!("bad point kind {other:?}"))),
-        };
-        Ok(PointEvent {
-            resource,
-            time,
-            kind,
-        })
+        parse_f64(tok, self.line_no)
     }
 
     fn finish_hierarchy(&mut self) -> Result<Hierarchy> {
@@ -264,6 +209,220 @@ impl TextParser {
         b.build()
             .map_err(|e| FormatError::parse(format!("invalid hierarchy: {e}"), None))
     }
+}
+
+fn perr(msg: impl Into<String>, line_no: u64) -> FormatError {
+    FormatError::parse(msg, Some(line_no))
+}
+
+fn parse_usize(tok: Option<&str>, line_no: u64) -> Result<usize> {
+    tok.ok_or_else(|| perr("missing integer field", line_no))?
+        .parse()
+        .map_err(|_| perr("bad integer field", line_no))
+}
+
+fn parse_u32(tok: Option<&str>, line_no: u64) -> Result<u32> {
+    tok.ok_or_else(|| perr("missing integer field", line_no))?
+        .parse()
+        .map_err(|_| perr("bad integer field", line_no))
+}
+
+fn parse_f64(tok: Option<&str>, line_no: u64) -> Result<f64> {
+    let v: f64 = tok
+        .ok_or_else(|| perr("missing float field", line_no))?
+        .parse()
+        .map_err(|_| perr("bad float field", line_no))?;
+    // `"NaN"`/`"inf"` parse successfully but poison every downstream
+    // comparison (a NaN interval passes `end < begin` yet violates the
+    // builder's `end >= begin` contract).
+    if !v.is_finite() {
+        return Err(perr("non-finite float field", line_no));
+    }
+    Ok(v)
+}
+
+fn parse_state_interval(
+    rest: &str,
+    state_map: &[StateId],
+    line_no: u64,
+) -> Result<(LeafId, StateId, f64, f64)> {
+    let mut it = rest.split_ascii_whitespace();
+    let resource = LeafId(parse_u32(it.next(), line_no)?);
+    let sidx = parse_usize(it.next(), line_no)?;
+    let state = *state_map
+        .get(sidx)
+        .ok_or_else(|| perr(format!("unknown state id {sidx}"), line_no))?;
+    let begin = parse_f64(it.next(), line_no)?;
+    let end = parse_f64(it.next(), line_no)?;
+    if end < begin {
+        return Err(perr("negative interval", line_no));
+    }
+    Ok((resource, state, begin, end))
+}
+
+fn parse_point(rest: &str, line_no: u64) -> Result<PointEvent> {
+    let mut it = rest.split_ascii_whitespace();
+    let resource = LeafId(parse_u32(it.next(), line_no)?);
+    let time = parse_f64(it.next(), line_no)?;
+    let kind = match it.next() {
+        Some("M") => PointKind::Marker,
+        Some("S") => PointKind::MsgSend {
+            peer: LeafId(parse_u32(it.next(), line_no)?),
+        },
+        Some("R") => PointKind::MsgRecv {
+            peer: LeafId(parse_u32(it.next(), line_no)?),
+        },
+        other => return Err(perr(format!("bad point kind {other:?}"), line_no)),
+    };
+    Ok(PointEvent {
+        resource,
+        time,
+        kind,
+    })
+}
+
+/// Handle one post-freeze line: event records, tolerated unknown `%`
+/// directives, and the rejection of late declarations. Shared between the
+/// sequential decoder and the shard-range decoder so both run exactly the
+/// same validation.
+fn apply_event_line<S: EventSink>(
+    l: &str,
+    state_map: &[StateId],
+    n_leaves: usize,
+    line_no: u64,
+    sink: &mut S,
+) -> Result<()> {
+    if l.starts_with('%') {
+        if ["%range ", "%meta ", "%node ", "%state "]
+            .iter()
+            .any(|d| l.starts_with(d))
+        {
+            return Err(perr("declarations must precede event records", line_no));
+        }
+        return Ok(()); // unknown directive: tolerated
+    }
+    if let Some(rest) = l.strip_prefix("S ") {
+        let (resource, state, begin, end) = parse_state_interval(rest, state_map, line_no)?;
+        if resource.index() >= n_leaves {
+            return Err(perr(
+                format!("resource {} out of range", resource.0),
+                line_no,
+            ));
+        }
+        sink.interval(resource, state, begin, end);
+    } else if let Some(rest) = l.strip_prefix("P ") {
+        let ev = parse_point(rest, line_no)?;
+        if ev.resource.index() >= n_leaves {
+            return Err(perr(
+                format!("resource {} out of range", ev.resource.0),
+                line_no,
+            ));
+        }
+        sink.point(&ev);
+    } else {
+        return Err(perr(format!("unknown record {l:?}"), line_no));
+    }
+    Ok(())
+}
+
+/// Frozen PTF declaration section, produced by [`plan_text`]: the parsed
+/// [`StreamHeader`], the file-local state id map event records index into,
+/// and the byte offset at which the event section begins. Shard workers
+/// decode disjoint, newline-aligned byte ranges of the event section
+/// against this shared context via [`decode_text_range`].
+pub(crate) struct TextPlan {
+    pub(crate) header: StreamHeader,
+    pub(crate) state_map: Vec<StateId>,
+    /// Bytes from the start of the stream up to (excluding) the first
+    /// event line — equivalently, the offset where shard ranges start.
+    pub(crate) header_bytes: u64,
+    /// False for an eventless stream (`header_bytes` then spans the file).
+    pub(crate) has_events: bool,
+}
+
+/// Parse the PTF declaration section, counting consumed bytes, stopping at
+/// the first event line. The reader is left mid-stream; callers re-open at
+/// `header_bytes` to reach the event section.
+pub(crate) fn plan_text<R: BufRead>(mut r: R) -> Result<TextPlan> {
+    let mut first = String::new();
+    let mut bytes = r.read_line(&mut first)? as u64;
+    if first.trim_end() != MAGIC {
+        return Err(FormatError::UnsupportedVersion(
+            first.trim_end().to_string(),
+        ));
+    }
+    let mut p = TextParser::new();
+    p.line_no = 1;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = r.read_line(&mut line)? as u64;
+        if n == 0 {
+            // Eventless stream: the declarations span the whole file.
+            let hierarchy = p.finish_hierarchy()?;
+            return Ok(TextPlan {
+                header: StreamHeader {
+                    hierarchy,
+                    states: p.states,
+                    metadata: p.metadata,
+                    range: p.range,
+                },
+                state_map: p.state_map,
+                header_bytes: bytes,
+                has_events: false,
+            });
+        }
+        p.line_no += 1;
+        let l = line.trim_end();
+        if !l.is_empty() && !p.header_line(l)? {
+            // First event record: the declaration section ends here.
+            let hierarchy = p.finish_hierarchy()?;
+            return Ok(TextPlan {
+                header: StreamHeader {
+                    hierarchy,
+                    states: std::mem::take(&mut p.states),
+                    metadata: std::mem::take(&mut p.metadata),
+                    range: p.range,
+                },
+                state_map: p.state_map,
+                header_bytes: bytes,
+                has_events: true,
+            });
+        }
+        bytes += n;
+    }
+}
+
+/// Decode `limit` bytes of PTF event records from `r` (positioned at a
+/// newline-aligned offset inside the event section), running the same
+/// per-record validation as [`decode_text`]'s event phase. The caller has
+/// already driven `sink.begin` with the planned header. Error line numbers
+/// are relative to the range start.
+pub(crate) fn decode_text_range<R: BufRead, S: EventSink>(
+    mut r: R,
+    limit: u64,
+    plan: &TextPlan,
+    sink: &mut S,
+) -> Result<()> {
+    let n_leaves = plan.header.hierarchy.n_leaves();
+    let mut remaining = limit;
+    let mut line = String::new();
+    let mut line_no = 0u64;
+    while remaining > 0 {
+        line.clear();
+        let n = r.read_line(&mut line)? as u64;
+        if n == 0 {
+            break;
+        }
+        remaining = remaining.saturating_sub(n);
+        line_no += 1;
+        let l = line.trim_end();
+        if l.is_empty() {
+            continue;
+        }
+        apply_event_line(l, &plan.state_map, n_leaves, line_no, sink)?;
+    }
+    Ok(())
 }
 
 fn check_magic<R: BufRead>(r: &mut R) -> Result<()> {
@@ -308,7 +467,7 @@ pub fn decode_text<R: BufRead, S: EventSink>(mut r: R, sink: &mut S) -> Result<b
         if l.is_empty() {
             continue;
         }
-        match n_leaves {
+        let leaves = match n_leaves {
             None => {
                 // Declaration phase.
                 if p.header_line(l)? {
@@ -327,35 +486,11 @@ pub fn decode_text<R: BufRead, S: EventSink>(mut r: R, sink: &mut S) -> Result<b
                     return Ok(false);
                 }
                 n_leaves = Some(leaves);
+                leaves
             }
-            Some(_) => {
-                if l.starts_with('%') {
-                    if ["%range ", "%meta ", "%node ", "%state "]
-                        .iter()
-                        .any(|d| l.starts_with(d))
-                    {
-                        return Err(p.err("declarations must precede event records"));
-                    }
-                    continue; // unknown directive: tolerated
-                }
-            }
-        }
-        let leaves = n_leaves.expect("frozen above");
-        if let Some(rest) = l.strip_prefix("S ") {
-            let (resource, state, begin, end) = p.parse_state_interval(rest)?;
-            if resource.index() >= leaves {
-                return Err(p.err(format!("resource {} out of range", resource.0)));
-            }
-            sink.interval(resource, state, begin, end);
-        } else if let Some(rest) = l.strip_prefix("P ") {
-            let ev = p.parse_point(rest)?;
-            if ev.resource.index() >= leaves {
-                return Err(p.err(format!("resource {} out of range", ev.resource.0)));
-            }
-            sink.point(&ev);
-        } else {
-            return Err(p.err(format!("unknown record {l:?}")));
-        }
+            Some(leaves) => leaves,
+        };
+        apply_event_line(l, &p.state_map, leaves, p.line_no, sink)?;
     }
 
     if n_leaves.is_none() {
@@ -525,6 +660,63 @@ mod tests {
         // Unknown directives stay tolerated after events.
         let src = "%PTF 1\n%node 0 - root r\n%state 0 s\nS 0 0 0.0 1.0\n%flavor x\n";
         assert!(read_text(src.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn planned_range_decode_matches_sequential_bitwise() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+
+        let plan = plan_text(buf.as_slice()).unwrap();
+        assert!(plan.has_events);
+        let body = &buf[plan.header_bytes as usize..];
+        assert!(body.starts_with(b"S ") || body.starts_with(b"P "));
+
+        // Decode the event section in two newline-aligned pieces and check
+        // the merged model against the sequential decoder, bit for bit.
+        let cut = body
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap();
+        let mut seq = ModelSink::new(ModelKind::States, 6);
+        assert!(decode_text(buf.as_slice(), &mut seq).unwrap());
+        let seq = seq.finish().unwrap();
+
+        let mut merged: Option<ocelotl_trace::PartialModel> = None;
+        for (lo, hi) in [(0usize, cut), (cut, body.len())] {
+            let mut sink = ModelSink::new(ModelKind::States, 6);
+            assert!(sink.begin(&plan.header));
+            decode_text_range(&body[lo..hi], (hi - lo) as u64, &plan, &mut sink).unwrap();
+            sink.end();
+            let part = sink.finish_partial().unwrap();
+            match merged.as_mut() {
+                None => merged = Some(part),
+                Some(m) => m.absorb(part),
+            }
+        }
+        let sharded = merged.unwrap().into_model(false);
+        for s in 0..3u32 {
+            for x in 0..2u16 {
+                for t in 0..6 {
+                    let a = sharded.duration(LeafId(s), StateId(x), t);
+                    let b = seq.duration(LeafId(s), StateId(x), t);
+                    assert_eq!(a.to_bits(), b.to_bits(), "cell ({s},{x},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_text_handles_eventless_streams() {
+        let t = TraceBuilder::new(Hierarchy::flat(2, "p")).build();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let plan = plan_text(buf.as_slice()).unwrap();
+        assert!(!plan.has_events);
+        assert_eq!(plan.header_bytes, buf.len() as u64);
+        assert_eq!(plan.header.hierarchy.n_leaves(), 2);
     }
 
     #[test]

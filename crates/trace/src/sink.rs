@@ -23,6 +23,14 @@
 //!   counts (the first pass of two-pass ingestion, and `info --stats`);
 //! - [`TeeSink`] — drive two sinks from one decode pass.
 //!
+//! For sharded ingestion, [`ModelSink::finish_partial`] stops before final
+//! assembly and yields a [`PartialModel`] — the mergeable raw accumulator.
+//! Partials from shards of one stream combine with
+//! [`PartialModel::absorb`] (fixed summation order), per-file partials of a
+//! multi-file trace graft into a union with [`PartialModel::mount`], and
+//! [`PartialModel::into_model`] then runs pseudo-state interning and peak
+//! normalization exactly once on the merged result.
+//!
 //! ## Determinism
 //!
 //! [`ModelSink`] partitions work by *resource*, so every cell of the model
@@ -392,7 +400,17 @@ impl ModelSink {
         self.finish_inner(false)
     }
 
-    fn finish_inner(mut self, normalize: bool) -> Result<MicroModel, ModelSinkError> {
+    fn finish_inner(self, normalize: bool) -> Result<MicroModel, ModelSinkError> {
+        Ok(self.finish_partial()?.into_model(normalize))
+    }
+
+    /// Finalize into a **partial model**: the flushed raw accumulator with
+    /// pseudo-state interning and peak normalization still pending. This is
+    /// the per-shard half of sharded ingestion — partials from shards of
+    /// the same stream combine with [`PartialModel::absorb`], and the
+    /// finishing steps run exactly once on the merged result, so a merged
+    /// model goes through the same final assembly as a sequential one.
+    pub fn finish_partial(mut self) -> Result<PartialModel, ModelSinkError> {
         if let Some(reason) = self.refusal {
             return Err(reason);
         }
@@ -400,14 +418,222 @@ impl ModelSink {
             return Err(ModelSinkError::NoHeader);
         };
         flush(&mut acc, self.kind);
+        Ok(PartialModel {
+            kind: self.kind,
+            hierarchy: acc.hierarchy,
+            states: acc.states,
+            grid: acc.grid,
+            durations: acc.durations,
+            pseudo: acc.pseudo,
+            pseudo_seen: acc.pseudo_seen,
+            intervals: self.intervals,
+            points: self.points,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PartialModel
+// ---------------------------------------------------------------------------
+
+/// A flushed, not-yet-finalized model: the mergeable unit of sharded
+/// ingestion.
+///
+/// A partial holds the raw per-cell accumulations of one shard — durations
+/// over the *declared* states, plus the density metric's pseudo-state
+/// layers still unmerged and unnormalized. Two combination operations are
+/// provided:
+///
+/// - [`absorb`](PartialModel::absorb) — shards of the **same stream**
+///   (identical hierarchy, states, grid): cells sum elementwise. Callers
+///   merge shard partials left-to-right in shard order; since the shard
+///   plan is a pure function of the trace, that fixed summation order makes
+///   the merged result bit-identical at any worker count.
+/// - [`mount`](PartialModel::mount) — a **per-file** partial grafted into a
+///   multi-file union at a leaf offset: every cell has exactly one
+///   contributing file, so the union is exact and order-invariant.
+///
+/// [`into_model`](PartialModel::into_model) then performs final assembly
+/// once — pseudo-state interning and (density) peak normalization — via the
+/// same code path a sequential [`ModelSink::finish`] uses.
+pub struct PartialModel {
+    kind: ModelKind,
+    hierarchy: Hierarchy,
+    /// Declared states only; pseudo-states are interned at final assembly.
+    states: StateRegistry,
+    grid: TimeGrid,
+    /// `[leaf][declared state][slice]`, slice fastest.
+    durations: Vec<f64>,
+    pseudo: [Option<Vec<f64>>; 3],
+    pseudo_seen: [bool; 3],
+    intervals: u64,
+    points: u64,
+}
+
+impl PartialModel {
+    /// An all-zero partial over the given shape — the seed of a multi-file
+    /// union (the registry must already contain every state any mounted
+    /// file declares, interned in the canonical file order).
+    pub fn empty(
+        kind: ModelKind,
+        hierarchy: Hierarchy,
+        states: StateRegistry,
+        grid: TimeGrid,
+    ) -> Self {
+        let size = hierarchy.n_leaves() * states.len() * grid.n_slices();
+        Self {
+            kind,
+            hierarchy,
+            states,
+            grid,
+            durations: vec![0.0; size],
+            pseudo: [None, None, None],
+            pseudo_seen: [false; 3],
+            intervals: 0,
+            points: 0,
+        }
+    }
+
+    /// The metric this partial accumulates.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The time grid (shared by every mergeable partial).
+    pub fn grid(&self) -> TimeGrid {
+        self.grid
+    }
+
+    /// Interval / point records consumed so far (summed across merges).
+    pub fn counts(&self) -> (u64, u64) {
+        (self.intervals, self.points)
+    }
+
+    /// Resident footprint in bytes (durations plus pseudo layers).
+    pub fn memory_bytes(&self) -> u64 {
+        let f = std::mem::size_of::<f64>() as u64;
+        let pseudo: u64 = self
+            .pseudo
+            .iter()
+            .flatten()
+            .map(|v| v.len() as u64 * f)
+            .sum();
+        self.durations.len() as u64 * f + pseudo
+    }
+
+    /// Merge a shard of the **same stream**: `other` must have the same
+    /// kind, grid and model shape (shards share one header, so a mismatch
+    /// is a caller bug and panics). Cells sum elementwise in a fixed
+    /// order; pseudo layers add slot-wise and the seen flags union.
+    pub fn absorb(&mut self, other: PartialModel) {
+        assert_eq!(self.kind, other.kind, "merge across metrics");
+        assert_eq!(self.grid, other.grid, "merge across grids");
+        assert_eq!(
+            self.hierarchy.n_leaves(),
+            other.hierarchy.n_leaves(),
+            "merge across hierarchies"
+        );
+        assert_eq!(
+            self.states.len(),
+            other.states.len(),
+            "merge across registries"
+        );
+        assert_eq!(self.durations.len(), other.durations.len());
+        for (d, s) in self.durations.iter_mut().zip(other.durations) {
+            *d += s;
+        }
+        for slot in 0..3 {
+            self.pseudo_seen[slot] |= other.pseudo_seen[slot];
+        }
+        for (mine, theirs) in self.pseudo.iter_mut().zip(other.pseudo) {
+            if let Some(layer) = theirs {
+                match mine {
+                    // `x + 0 = x` exactly (counts are never −0.0), so moving
+                    // the layer equals adding it to a fresh zero layer.
+                    None => *mine = Some(layer),
+                    Some(m) => {
+                        for (d, s) in m.iter_mut().zip(layer) {
+                            *d += s;
+                        }
+                    }
+                }
+            }
+        }
+        self.intervals += other.intervals;
+        self.points += other.points;
+    }
+
+    /// Graft a per-file partial into a multi-file union at `leaf_offset`:
+    /// the file's leaves land on `leaf_offset..leaf_offset + n`, its
+    /// declared states are remapped **by name** into the union registry,
+    /// and pseudo layers land slot-wise at the same offset. Every union
+    /// cell has exactly one contributing file, so the graft is exact and
+    /// the mount order does not affect a single bit.
+    pub fn mount(&mut self, other: PartialModel, leaf_offset: usize) {
+        assert_eq!(self.kind, other.kind, "mount across metrics");
+        assert_eq!(self.grid, other.grid, "mount across grids");
+        let n_slices = self.grid.n_slices();
+        let n_states = self.states.len();
+        let o_states = other.states.len();
+        let o_leaves = other.hierarchy.n_leaves();
+        assert!(
+            leaf_offset + o_leaves <= self.hierarchy.n_leaves(),
+            "mounted file exceeds the union hierarchy"
+        );
+        let remap: Vec<usize> = other
+            .states
+            .iter()
+            .map(|(_, name)| {
+                self.states
+                    .get(name)
+                    .expect("mounted file declares a state missing from the union registry")
+                    .index()
+            })
+            .collect();
+        for leaf in 0..o_leaves {
+            for (st, &mapped) in remap.iter().enumerate() {
+                let src = (leaf * o_states + st) * n_slices;
+                let dst = ((leaf_offset + leaf) * n_states + mapped) * n_slices;
+                for k in 0..n_slices {
+                    self.durations[dst + k] += other.durations[src + k];
+                }
+            }
+        }
+        for slot in 0..3 {
+            self.pseudo_seen[slot] |= other.pseudo_seen[slot];
+            if let Some(layer) = &other.pseudo[slot] {
+                let mine = self.pseudo[slot]
+                    .get_or_insert_with(|| vec![0.0; self.hierarchy.n_leaves() * n_slices]);
+                for leaf in 0..o_leaves {
+                    for k in 0..n_slices {
+                        mine[(leaf_offset + leaf) * n_slices + k] += layer[leaf * n_slices + k];
+                    }
+                }
+            }
+        }
+        self.intervals += other.intervals;
+        self.points += other.points;
+    }
+
+    /// Final assembly, run exactly once on the fully merged partial: for
+    /// the density metric, intern the pseudo-states and (when `normalize`)
+    /// apply the peak normalization — the same steps, in the same code, a
+    /// sequential [`ModelSink::finish`] performs.
+    pub fn into_model(self, normalize: bool) -> MicroModel {
+        let acc = Accum {
+            hierarchy: self.hierarchy,
+            states: self.states,
+            grid: self.grid,
+            durations: self.durations,
+            pending: Vec::new(),
+            pseudo: self.pseudo,
+            pseudo_seen: self.pseudo_seen,
+        };
         match self.kind {
-            ModelKind::States => Ok(MicroModel::from_dense(
-                acc.hierarchy,
-                acc.states,
-                acc.grid,
-                acc.durations,
-            )),
-            ModelKind::Density => Ok(finish_density(acc, normalize)),
+            ModelKind::States => {
+                MicroModel::from_dense(acc.hierarchy, acc.states, acc.grid, acc.durations)
+            }
+            ModelKind::Density => finish_density(acc, normalize),
         }
     }
 }
@@ -909,6 +1135,196 @@ mod tests {
             .sum();
         // 4 intervals × 2 boundary events + 2 point events = 10 counts.
         assert_eq!(total, 10.0, "raw density cells are unscaled counts");
+    }
+
+    /// Replay only a contiguous sub-range of the trace's records (intervals
+    /// then points, file order) — one "shard" of the stream.
+    fn replay_shard<S: EventSink>(
+        trace: &Trace,
+        range: Option<(f64, f64)>,
+        lo: usize,
+        hi: usize,
+        sink: &mut S,
+    ) {
+        let h = StreamHeader {
+            hierarchy: trace.hierarchy.clone(),
+            states: trace.states.clone(),
+            metadata: trace.metadata.clone(),
+            range,
+        };
+        assert!(sink.begin(&h));
+        for (i, iv) in trace.intervals.iter().enumerate() {
+            if (lo..hi).contains(&i) {
+                sink.interval(iv.resource, iv.state, iv.begin, iv.end);
+            }
+        }
+        let n_iv = trace.intervals.len();
+        for (i, p) in trace.points.iter().enumerate() {
+            if (lo..hi).contains(&(n_iv + i)) {
+                sink.point(p);
+            }
+        }
+        sink.end();
+    }
+
+    #[test]
+    fn density_absorb_matches_sequential_at_any_split() {
+        // Density cells are integer event counts: f64 addition of integers
+        // is exact, so a shard merge equals the sequential fold bitwise at
+        // *every* split point.
+        let t = sample_trace();
+        let (lo, hi) = t.time_range().unwrap();
+        let mut seq = ModelSink::new(ModelKind::Density, 9);
+        assert!(replay(&t, Some((lo, hi)), &mut seq));
+        let seq = seq.finish().unwrap();
+        let total = t.intervals.len() + t.points.len();
+        for cut in 0..=total {
+            let mut a = ModelSink::new(ModelKind::Density, 9);
+            let mut b = ModelSink::new(ModelKind::Density, 9);
+            replay_shard(&t, Some((lo, hi)), 0, cut, &mut a);
+            replay_shard(&t, Some((lo, hi)), cut, total, &mut b);
+            let mut merged = a.finish_partial().unwrap();
+            merged.absorb(b.finish_partial().unwrap());
+            assert_eq!(merged.counts(), (4, 2));
+            assert_models_bit_identical(&merged.into_model(true), &seq);
+        }
+    }
+
+    #[test]
+    fn states_absorb_matches_sequential_on_disjoint_resources() {
+        // When shards touch disjoint resources every cell has exactly one
+        // contributor (`x + 0 = x` exactly), so the merge is bit-identical
+        // to the sequential fold even for the f64 duration sums.
+        let t = sample_trace();
+        let (lo, hi) = t.time_range().unwrap();
+        let mut seq = ModelSink::new(ModelKind::States, 7);
+        assert!(replay(&t, Some((lo, hi)), &mut seq));
+        let seq = seq.finish().unwrap();
+
+        let mut parts = Vec::new();
+        for leaf in 0..3u32 {
+            let mut sink = ModelSink::new(ModelKind::States, 7);
+            let h = StreamHeader {
+                hierarchy: t.hierarchy.clone(),
+                states: t.states.clone(),
+                metadata: t.metadata.clone(),
+                range: Some((lo, hi)),
+            };
+            assert!(sink.begin(&h));
+            for iv in t.intervals.iter().filter(|iv| iv.resource.0 == leaf) {
+                sink.interval(iv.resource, iv.state, iv.begin, iv.end);
+            }
+            sink.end();
+            parts.push(sink.finish_partial().unwrap());
+        }
+        // Merge in *reverse* order: disjoint contributions are order-free.
+        let mut merged = parts.pop().unwrap();
+        while let Some(p) = parts.pop() {
+            merged.absorb(p);
+        }
+        assert_models_bit_identical(&merged.into_model(true), &seq);
+    }
+
+    #[test]
+    fn absorb_is_a_left_fold_over_shard_order() {
+        // merge(merge(A, B), C) must equal folding [A, B, C] — the fixed
+        // summation order the sharded reader relies on.
+        let t = sample_trace();
+        let (lo, hi) = t.time_range().unwrap();
+        let total = t.intervals.len() + t.points.len();
+        let shard = |lo_i: usize, hi_i: usize| {
+            let mut s = ModelSink::new(ModelKind::States, 7);
+            replay_shard(&t, Some((lo, hi)), lo_i, hi_i, &mut s);
+            s.finish_partial().unwrap()
+        };
+        let mut paired = shard(0, 2);
+        paired.absorb(shard(2, 4));
+        paired.absorb(shard(4, total));
+        let mut folded = shard(0, 2);
+        for (a, b) in [(2, 4), (4, total)] {
+            folded.absorb(shard(a, b));
+        }
+        assert_models_bit_identical(&paired.into_model(true), &folded.into_model(true));
+    }
+
+    #[test]
+    fn mount_grafts_files_into_a_union_bitwise() {
+        // Two single-file traces mounted under a union hierarchy must equal
+        // replaying the combined stream over that union — for both metrics,
+        // and regardless of mount order.
+        let mk_file = |state: &str, leaf_times: &[(u32, f64, f64)]| {
+            let mut b = TraceBuilder::new(Hierarchy::flat(2, "p"));
+            let s = b.state(state);
+            for &(leaf, t0, t1) in leaf_times {
+                b.push_state(LeafId(leaf), s, t0, t1);
+            }
+            b.push_point(PointEvent {
+                resource: LeafId(0),
+                time: leaf_times[0].1,
+                kind: PointKind::Marker,
+            });
+            b.build()
+        };
+        let f0 = mk_file("Run", &[(0, 0.0, 3.0), (1, 1.0, 4.0)]);
+        let f1 = mk_file("Wait", &[(0, 0.5, 2.5), (1, 2.0, 6.0)]);
+        let range = (0.0, 6.0);
+        let grid = TimeGrid::new(range.0, range.1, 8);
+
+        // Union shape: 4 leaves, states interned in file order.
+        let mut union_h = crate::hierarchy::HierarchyBuilder::new("traces", "trace");
+        for (i, f) in [&f0, &f1].into_iter().enumerate() {
+            let root = union_h.add_child(union_h.root(), &format!("file{i}"), "file");
+            for leaf in 0..f.hierarchy.n_leaves() {
+                union_h.add_child(root, &format!("p{leaf}"), "p");
+            }
+        }
+        let union_h = union_h.build().unwrap();
+        let mut union_states = StateRegistry::new();
+        for f in [&f0, &f1] {
+            for (_, name) in f.states.iter() {
+                union_states.intern(name);
+            }
+        }
+
+        for kind in [ModelKind::States, ModelKind::Density] {
+            let part_of = |f: &Trace| {
+                let mut sink = ModelSink::with_range(kind, 8, range);
+                assert!(replay(f, None, &mut sink));
+                sink.finish_partial().unwrap()
+            };
+            // Reference: one combined stream over the union hierarchy.
+            let mut seq = ModelSink::with_range(kind, 8, range);
+            let h = StreamHeader {
+                hierarchy: union_h.clone(),
+                states: union_states.clone(),
+                metadata: Vec::new(),
+                range: None,
+            };
+            assert!(seq.begin(&h));
+            for (off, f) in [(0u32, &f0), (2u32, &f1)] {
+                for iv in &f.intervals {
+                    let sid = union_states.get(f.states.name(iv.state)).unwrap();
+                    seq.interval(LeafId(iv.resource.0 + off), sid, iv.begin, iv.end);
+                }
+                for p in &f.points {
+                    let mut p = *p;
+                    p.resource = LeafId(p.resource.0 + off);
+                    seq.point(&p);
+                }
+            }
+            seq.end();
+            let seq = seq.finish().unwrap();
+
+            for order in [[0usize, 1], [1, 0]] {
+                let mut union =
+                    PartialModel::empty(kind, union_h.clone(), union_states.clone(), grid);
+                for &i in &order {
+                    let (f, off) = if i == 0 { (&f0, 0) } else { (&f1, 2) };
+                    union.mount(part_of(f), off);
+                }
+                assert_models_bit_identical(&union.into_model(true), &seq);
+            }
+        }
     }
 
     #[test]

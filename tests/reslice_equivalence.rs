@@ -234,6 +234,8 @@ impl ModelSource for CountingFileSource {
             peak_bytes: report.peak_bytes,
             mode: report.mode.tag().to_string(),
             format: "btf".to_string(),
+            gzip: report.gzip,
+            shards: report.shards.clone(),
         };
         Ok(Some((HiResModel::new(metric, report.model), Some(stats))))
     }
