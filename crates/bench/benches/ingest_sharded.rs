@@ -90,6 +90,7 @@ fn bench_sharded(_c: &mut Criterion) {
                 &IngestOptions {
                     shards: ShardMode::Fixed(s),
                     max_workers: s,
+                    predicate: None,
                 },
             )
             .expect("sharded ingest");
@@ -109,6 +110,7 @@ fn bench_sharded(_c: &mut Criterion) {
                 &IngestOptions {
                     shards: ShardMode::Fixed(s),
                     max_workers: 1,
+                    predicate: None,
                 },
             )
             .expect("serial replay");

@@ -8,10 +8,10 @@
 //! bytes a warm cached run or an `ocelotl serve` answer produces.
 
 use crate::args::Args;
-use crate::helpers::{open_engine, SESSION_OPTS};
+use crate::helpers::{open_engine, parse_window, SESSION_OPTS};
 use crate::proto::{aggregate_request, write_aggregate};
 use crate::CliError;
-use ocelotl::core::query::AnalysisReply;
+use ocelotl::core::query::{AnalysisReply, AnalysisRequest};
 use std::io::Write;
 use std::path::Path;
 
@@ -40,6 +40,9 @@ OPTIONS:
     --diff-p F       quantify how the overview changes between p and F
                      (variation of information, NMI, Rand index)
     --tsv FILE       dump the partition as tab-separated rows
+    --t0 T --t1 T    aggregate only the window [T0, T1] (snapped to the
+                     hi-res grid) — a columnar (.octf) trace reads only
+                     the chunks overlapping the window
     --json           print the reply as protocol JSON instead of text
 ";
 
@@ -50,13 +53,26 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    let mut known = vec!["help", "p", "coarse", "list", "compare", "diff-p", "tsv"];
+    let mut known = vec![
+        "help", "p", "coarse", "list", "compare", "diff-p", "tsv", "t0", "t1",
+    ];
     known.extend(SESSION_OPTS);
     args.expect_known(&known)?;
     let path = Path::new(args.positional(0, "trace file")?);
+    let window = parse_window(&args)?;
     let request = aggregate_request(&args)?;
 
     let mut engine = open_engine(&args, path)?;
+    if let Some(range) = window {
+        // Windowed analysis: re-slice into the window first, so the
+        // aggregation below runs on the windowed model (a columnar trace
+        // ingests only the overlapping chunks).
+        let n_slices = args.get_or("slices", 30usize)?;
+        engine.execute(&AnalysisRequest::Reslice {
+            n_slices,
+            range: Some(range),
+        })?;
+    }
     let reply = engine.execute(&request)?;
     let AnalysisReply::Aggregate(agg) = &reply else {
         unreachable!("aggregate request yields an aggregate reply");
@@ -328,6 +344,51 @@ mod tests {
              n0.0                              2    0..9            Run   100%     0.000     0.000\n\
              n0.1/n2.0                         1    0..9            Run   100%     0.000     0.000\n";
         assert_eq!(text, expected, "aggregate formatting regression");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn windowed_aggregate_is_byte_identical_across_formats() {
+        // The same `--t0/--t1` window aggregated from a row trace (full
+        // ingest, window derived in memory) and from its columnar twin
+        // (predicate pushdown, only overlapping chunks decoded) must
+        // print the same bytes.
+        let p = fixture_trace("agg-window");
+        let trace = crate::helpers::load_trace(&p).unwrap();
+        let octf = p.with_extension("octf");
+        {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&octf).unwrap());
+            ocelotl::format::write_columnar_chunked(&trace, &mut w, 8).unwrap();
+            use std::io::Write as _;
+            w.flush().unwrap();
+        }
+        let (lo, hi) = trace.time_range().unwrap();
+        let mid = lo + (hi - lo) / 2.0;
+        let row = run_ok(format!(
+            "{} --slices 10 --p 0.4 --t0 {lo} --t1 {mid}",
+            p.display()
+        ));
+        let col = run_ok(format!(
+            "{} --slices 10 --p 0.4 --t0 {lo} --t1 {mid}",
+            octf.display()
+        ));
+        assert_eq!(row, col, "windowed aggregate must not depend on format");
+        // And the window genuinely narrows the model vs the full run.
+        let full = run_ok(format!("{} --slices 10 --p 0.4", p.display()));
+        assert_ne!(row, full, "the window must change the model");
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&octf).ok();
+    }
+
+    #[test]
+    fn t0_without_t1_is_usage_error() {
+        let p = fixture_trace("agg-halfwin");
+        let tokens: Vec<String> = format!("{} --t0 1.0", p.display())
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
         std::fs::remove_file(&p).ok();
     }
 

@@ -7,11 +7,15 @@ use std::io::Write;
 use std::path::Path;
 
 const HELP: &str = "\
-ocelotl convert <input> <output>
+ocelotl convert <input> <output> [--chunk-records N]
 
 Convert a trace between formats; the target format is chosen from the
 output extension: .btf (binary), .ptf (text), .paje/.trace (Paje, for the
-paper's tool family: Paje / ViTE / Ocelotl).
+paper's tool family: Paje / ViTE / Ocelotl), .octf (chunk-indexed
+columnar — windowed ingests skip non-overlapping chunks).
+
+  --chunk-records N   records per columnar chunk (default 65536; .octf
+                      outputs only)
 ";
 
 /// Entry point.
@@ -21,14 +25,41 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help"])?;
+    args.expect_known(&["help", "chunk-records"])?;
     let src = Path::new(args.positional(0, "input trace")?);
     let dst = Path::new(args.positional(1, "output trace")?);
     if src == dst {
         return Err(CliError::Usage("input and output are the same file".into()));
     }
+    let chunk_records: Option<u64> = match args.get("chunk-records")? {
+        None => None,
+        Some(s) => Some(s.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!(
+                "--chunk-records expects a positive integer, got {s:?}"
+            ))
+        })?),
+    };
+    let is_octf = matches!(dst.extension().and_then(|e| e.to_str()), Some("octf"));
+    if chunk_records.is_some() && !is_octf {
+        return Err(CliError::Usage(
+            "--chunk-records applies to .octf outputs only".into(),
+        ));
+    }
+    if chunk_records == Some(0) {
+        return Err(CliError::Usage("--chunk-records must be at least 1".into()));
+    }
     let trace = load_trace(src)?;
-    save_trace(&trace, dst)?;
+    match chunk_records {
+        Some(n) => {
+            let mut w =
+                std::io::BufWriter::new(std::fs::File::create(dst).map_err(|e| {
+                    CliError::Invalid(format!("cannot create {}: {e}", dst.display()))
+                })?);
+            ocelotl::format::write_columnar_chunked(&trace, &mut w, n as usize)?;
+            w.flush()?;
+        }
+        None => save_trace(&trace, dst)?,
+    }
     let size = std::fs::metadata(dst).map(|m| m.len()).unwrap_or(0);
     writeln!(
         out,
@@ -65,6 +96,62 @@ mod tests {
         for p in [&src, &paje, &back] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn octf_round_trip_is_byte_identical() {
+        let src = fixture_trace("convert-octf");
+        let octf = src.with_extension("octf");
+        let octf2 = src.with_extension("again.octf");
+        run_ok(format!("{} {}", src.display(), octf.display()));
+        // .octf -> trace -> .octf again: the re-encode must reproduce the
+        // file byte for byte.
+        run_ok(format!("{} {}", octf.display(), octf2.display()));
+        let a = std::fs::read(&octf).unwrap();
+        let b = std::fs::read(&octf2).unwrap();
+        assert_eq!(a, b, "octf re-encode must be byte-identical");
+        let t0 = load_trace(&src).unwrap();
+        let t1 = load_trace(&octf).unwrap();
+        assert_eq!(t0.intervals.len(), t1.intervals.len());
+        assert_eq!(t0.points.len(), t1.points.len());
+        for p in [&src, &octf, &octf2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn chunk_records_controls_the_index() {
+        let src = fixture_trace("convert-chunked");
+        let octf = src.with_extension("octf");
+        run_ok(format!(
+            "--chunk-records 2 {} {}",
+            src.display(),
+            octf.display()
+        ));
+        let plan = ocelotl::format::plan_columnar(&octf).unwrap();
+        assert!(
+            plan.chunks.len() > 1,
+            "2-record chunks must split this trace (got {} chunks)",
+            plan.chunks.len()
+        );
+        let t0 = load_trace(&src).unwrap();
+        let t1 = load_trace(&octf).unwrap();
+        assert_eq!(t0.intervals.len(), t1.intervals.len());
+        for p in [&src, &octf] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn chunk_records_rejected_for_non_octf() {
+        let tokens: Vec<String> = vec![
+            "--chunk-records".into(),
+            "8".into(),
+            "a.btf".into(),
+            "b.ptf".into(),
+        ];
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
     }
 
     #[test]

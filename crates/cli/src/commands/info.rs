@@ -16,15 +16,21 @@ const HELP: &str = "\
 ocelotl info <trace> [--stats]
 
 Summarize a trace file: dimensions, states, time extent, metadata.
-Accepts .btf, .ptf, .paje/.trace (all sniffed) and .omm model caches.
+Accepts .btf, .ptf, .paje/.trace, .octf (all sniffed) and .omm model
+caches. Plain .octf inputs additionally list their chunk index (chunk
+count, encoded vs raw-equivalent size, per-chunk time extents).
 
 OPTIONS:
     --stats          stream the trace straight into the microscopic model
                      (never materializing events) and report ingestion
                      telemetry: events/s, bytes read, peak model footprint
-                     and the chosen ingest mode (single-pass / two-pass)
+                     and the chosen ingest mode (single-pass / two-pass /
+                     pushdown)
     --slices N       time slices for the --stats model (default 30)
     --metric M       states | density for the --stats model (default states)
+    --t0 T --t1 T    with --stats: re-slice into the window [T0, T1] before
+                     measuring — a columnar trace reads only the chunks
+                     overlapping the window (predicate pushdown)
     --json           with --stats: print the Stats reply as protocol JSON
                      (the same bytes `ocelotl serve` answers)
 ";
@@ -36,7 +42,7 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out.write_all(HELP.as_bytes())?;
         return Ok(());
     }
-    args.expect_known(&["help", "stats", "slices", "metric", "json"])?;
+    args.expect_known(&["help", "stats", "slices", "metric", "json", "t0", "t1"])?;
     let path = Path::new(args.positional(0, "trace file")?);
     if args.has("stats") {
         return run_stats(&args, path, out);
@@ -44,6 +50,11 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if args.has("json") {
         return Err(CliError::Usage(
             "--json is a --stats option (the listing has no protocol reply)".into(),
+        ));
+    }
+    if args.get("t0")?.is_some() || args.get("t1")?.is_some() {
+        return Err(CliError::Usage(
+            "--t0/--t1 are --stats options (the listing has no window)".into(),
         ));
     }
     let trace = load_trace(path)?;
@@ -92,6 +103,47 @@ pub fn run(tokens: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "  {k} = {v}")?;
         }
     }
+    if crate::helpers::is_plain_columnar(path) {
+        write_chunk_index(path, out)?;
+    }
+    Ok(())
+}
+
+/// The `.octf` chunk-index listing: everything here comes from the header
+/// and footer alone — no chunk payload is decoded.
+fn write_chunk_index(path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
+    let plan = ocelotl::format::plan_columnar(path)?;
+    let (iv, pt) = plan.records();
+    let encoded = plan.total_payload();
+    let raw = plan.raw_equivalent_bytes();
+    writeln!(
+        out,
+        "chunk index: {} chunks ({iv} intervals + {pt} points)",
+        plan.chunks.len()
+    )?;
+    writeln!(
+        out,
+        "  encoded:   {encoded} bytes (raw equivalent {raw}, ratio {:.2})",
+        encoded as f64 / raw.max(1) as f64
+    )?;
+    if let Some((lo, hi)) = plan.time_extent() {
+        writeln!(out, "  extent:    [{lo:.6}, {hi:.6}] s")?;
+    }
+    const SHOWN: usize = 8;
+    for (i, c) in plan.chunks.iter().take(SHOWN).enumerate() {
+        writeln!(
+            out,
+            "  chunk {i}: {}, {} records, [{:.6}, {:.6}] s, {} bytes",
+            if c.is_points() { "points" } else { "intervals" },
+            c.n_records,
+            c.t_min,
+            c.t_max,
+            c.payload_len
+        )?;
+    }
+    if plan.chunks.len() > SHOWN {
+        writeln!(out, "  ... {} more chunks", plan.chunks.len() - SHOWN)?;
+    }
     Ok(())
 }
 
@@ -104,8 +156,19 @@ fn run_stats(args: &Args, path: &Path, out: &mut dyn Write) -> Result<(), CliErr
             "--stats measures trace ingestion; a .omm model cache has no event stream".into(),
         ));
     }
+    let window = crate::helpers::parse_window(args)?;
     let mut engine = open_engine(args, path)?;
     let t0 = Instant::now();
+    if let Some(range) = window {
+        // Windowed telemetry: re-slice first so the ingest the Stats
+        // reply measures is the windowed one (columnar sources read only
+        // the overlapping chunks).
+        let n_slices = args.get_or("slices", 30usize)?;
+        engine.execute(&AnalysisRequest::Reslice {
+            n_slices,
+            range: Some(range),
+        })?;
+    }
     let reply = engine.execute(&AnalysisRequest::Stats)?;
     let elapsed = t0.elapsed();
 
@@ -221,6 +284,62 @@ mod tests {
         assert!(text.contains("mode:              two-pass"), "{text}");
         std::fs::remove_file(&p).ok();
         std::fs::remove_file(&paje).ok();
+    }
+
+    /// A 2-leaf columnar fixture whose 40 time-ordered intervals split
+    /// into 5 chunks of 8 records with disjoint-ish time extents
+    /// ([0,2], [2,4], ... [8,10]) — the shape pushdown tests need.
+    fn chunked_octf(name: &str) -> std::path::PathBuf {
+        use ocelotl::prelude::*;
+        let mut b = TraceBuilder::new(Hierarchy::balanced(&[2]));
+        let run = b.state("Run");
+        for k in 0..40u32 {
+            let t = f64::from(k) * 0.25;
+            b.push_state(LeafId(k % 2), run, t, t + 0.25);
+        }
+        let trace = b.build();
+        let path = std::env::temp_dir().join(format!(
+            "ocelotl-cli-info-{}-{name}.octf",
+            std::process::id()
+        ));
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        ocelotl::format::write_columnar_chunked(&trace, &mut w, 8).unwrap();
+        use std::io::Write as _;
+        w.flush().unwrap();
+        path
+    }
+
+    #[test]
+    fn octf_listing_includes_the_chunk_index() {
+        let p = chunked_octf("listing");
+        let text = run_ok(&format!("{}", p.display()));
+        assert!(text.contains("chunk index: 5 chunks"), "{text}");
+        assert!(text.contains("encoded:"), "{text}");
+        assert!(text.contains("chunk 0: intervals, 8 records"), "{text}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn windowed_stats_report_chunk_pushdown() {
+        let p = chunked_octf("window");
+        // Window [0, 5] on a [0, 10] trace: chunks 0-2 overlap, 3-4 skip.
+        let text = run_ok(&format!(
+            "{} --stats --slices 10 --t0 0 --t1 5",
+            p.display()
+        ));
+        assert!(text.contains("mode:              pushdown"), "{text}");
+        assert!(text.contains("3 of 5 read"), "{text}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn t0_without_t1_is_usage_error() {
+        let tokens: Vec<String> = ["x.octf", "--stats", "--t0", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = Vec::new();
+        assert!(matches!(run(&tokens, &mut out), Err(CliError::Usage(_))));
     }
 
     #[test]

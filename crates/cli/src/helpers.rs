@@ -18,7 +18,8 @@
 use crate::args::Args;
 use crate::CliError;
 use ocelotl::core::{
-    AnalysisSession, HiResModel, IngestStats, ModelSource, QueryEngine, SessionConfig, SessionError,
+    AnalysisSession, HiResModel, IngestStats, ModelSource, PushdownProbe, QueryEngine,
+    SessionConfig, SessionError,
 };
 use ocelotl::format::DiskStore;
 use ocelotl::trace::{MicroModel, Trace};
@@ -60,6 +61,18 @@ pub fn build_model(trace: &Trace, n_slices: usize, metric: Metric) -> Result<Mic
 /// True when the path names a cached microscopic model (`.omm`).
 pub fn is_micro_cache(path: &Path) -> bool {
     matches!(path.extension().and_then(|e| e.to_str()), Some("omm"))
+}
+
+/// True when the file starts with the plain (uncompressed) columnar
+/// magic — the only sources whose chunk index supports predicate
+/// pushdown without a full decompression pass.
+pub(crate) fn is_plain_columnar(path: &Path) -> bool {
+    use std::io::Read;
+    let mut head = [0u8; 4];
+    match std::fs::File::open(path) {
+        Ok(mut f) => f.read_exact(&mut head).is_ok() && &head == ocelotl::format::columnar::MAGIC,
+        Err(_) => false,
+    }
 }
 
 /// Obtain the microscopic model behind a path: `.omm` caches load directly
@@ -115,6 +128,9 @@ pub fn obtain_report_with(
             format: ocelotl::format::Format::Binary,
             gzip: false,
             shards: vec![bytes],
+            chunks_total: 0,
+            chunks_read: 0,
+            bytes_skipped: 0,
         });
     }
     Ok(ocelotl::format::read_model_with(
@@ -137,6 +153,7 @@ fn ingest_options(workers: usize) -> ocelotl::format::IngestOptions {
         } else {
             rayon::max_threads()
         },
+        predicate: None,
     }
 }
 
@@ -182,6 +199,7 @@ fn report_stats(report: &ocelotl::format::IngestReport) -> IngestStats {
         ocelotl::format::Format::Text => "ptf",
         ocelotl::format::Format::Binary => "btf",
         ocelotl::format::Format::Paje => "paje",
+        ocelotl::format::Format::Columnar => "octf",
     };
     IngestStats {
         fingerprint: report.fingerprint,
@@ -197,6 +215,9 @@ fn report_stats(report: &ocelotl::format::IngestReport) -> IngestStats {
         },
         gzip: report.gzip,
         shards: report.shards.clone(),
+        chunks_total: report.chunks_total,
+        chunks_read: report.chunks_read,
+        bytes_skipped: report.bytes_skipped,
     }
 }
 
@@ -248,6 +269,57 @@ impl ModelSource for FileSource {
         let stats = report_stats(&report);
         Ok(Some((HiResModel::new(metric, report.model), Some(stats))))
     }
+
+    fn pushdown_probe(
+        &self,
+        n_slices: usize,
+        _metric: Metric,
+    ) -> Result<Option<PushdownProbe>, SessionError> {
+        if !is_plain_columnar(&self.path) {
+            return Ok(None);
+        }
+        // The chunk index alone answers the probe: no event decode, no
+        // fingerprint (a store-less windowed re-slice stays hash-free).
+        let Ok(plan) = ocelotl::format::plan_columnar(&self.path) else {
+            return Ok(None);
+        };
+        let Some(range) = plan.header.range else {
+            return Ok(None);
+        };
+        if !(range.0.is_finite() && range.1.is_finite() && range.1 > range.0) {
+            return Ok(None);
+        }
+        let hi_slices = ocelotl::trace::hi_res_slices(
+            n_slices,
+            plan.header.hierarchy.n_leaves(),
+            plan.header.states.len(),
+        );
+        Ok(Some(PushdownProbe { range, hi_slices }))
+    }
+
+    fn hi_res_window_with_stats(
+        &self,
+        n_slices: usize,
+        metric: Metric,
+        first: usize,
+        count: usize,
+    ) -> Result<Option<(HiResModel, Option<IngestStats>)>, SessionError> {
+        if !is_plain_columnar(&self.path) {
+            return Ok(None);
+        }
+        let report = ocelotl::format::read_hi_res_window(
+            &self.path,
+            n_slices,
+            metric.model_kind(),
+            first,
+            count,
+            &ingest_options(self.workers),
+        )
+        .map_err(|e| SessionError::source(e.to_string()))?;
+        let _ = self.fingerprint.set(report.fingerprint);
+        let stats = report_stats(&report);
+        Ok(Some((HiResModel::new(metric, report.model), Some(stats))))
+    }
 }
 
 /// Option keys shared by every session-routed command; splice into each
@@ -261,6 +333,26 @@ pub const SESSION_OPTS: [&str; 7] = [
     "cache-keep",
     "json",
 ];
+
+/// Parse the `--t0 T --t1 T` window pair shared by the windowed commands
+/// (`info --stats`, `aggregate`): both or neither, each a number.
+pub fn parse_window(args: &Args) -> Result<Option<(f64, f64)>, CliError> {
+    match (args.get("t0")?, args.get("t1")?) {
+        (None, None) => Ok(None),
+        (Some(a), Some(b)) => {
+            let lo: f64 = a
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--t0 expects a number, got {a:?}")))?;
+            let hi: f64 = b
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--t1 expects a number, got {b:?}")))?;
+            Ok(Some((lo, hi)))
+        }
+        _ => Err(CliError::Usage(
+            "--t0 and --t1 must be given together".into(),
+        )),
+    }
+}
 
 /// Parse the shared session options into a [`SessionConfig`]
 /// (`--slices`, `--metric`, `--memory`, `--cache-keep` /

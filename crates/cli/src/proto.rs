@@ -420,6 +420,13 @@ pub fn write_stats(s: &StatsReply, out: &mut dyn Write) -> Result<(), CliError> 
             writeln!(out, "    shard {i}:         {b} bytes")?;
         }
     }
+    if s.chunks_total > 0 {
+        writeln!(
+            out,
+            "  chunks:            {} of {} read ({} bytes skipped)",
+            s.chunks_read, s.chunks_total, s.bytes_skipped
+        )?;
+    }
     writeln!(out, "  bytes read:        {}", s.bytes_read)?;
     writeln!(
         out,

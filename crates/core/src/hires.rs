@@ -117,20 +117,11 @@ impl HiResModel {
     /// Snap a time window to the hi-res grid: the nearest slice edges
     /// enclosing a non-empty window, as `(first, count)` hi-res slice
     /// indices. `None` when the window collapses or lies outside the
-    /// grid.
+    /// grid. Delegates to [`snap_to_grid`] so a grid probed from a trace
+    /// file's chunk index (no resident array) snaps to identical edges.
     pub fn snap_window(&self, t0: f64, t1: f64) -> Option<(usize, usize)> {
-        if !(t0.is_finite() && t1.is_finite() && t1 > t0) {
-            return None;
-        }
         let grid = self.raw.grid();
-        let h = self.raw.n_slices();
-        let w = grid.slice_duration();
-        let snap = |t: f64| -> usize {
-            let idx = ((t - grid.start()) / w).round();
-            idx.clamp(0.0, h as f64) as usize
-        };
-        let (a, b) = (snap(t0), snap(t1));
-        (b > a).then_some((a, b - a))
+        snap_to_grid((grid.start(), grid.end()), self.raw.n_slices(), t0, t1)
     }
 
     /// Merge two hi-res models of the **same stream shape**: identical
@@ -220,6 +211,32 @@ impl HiResModel {
     }
 }
 
+/// Snap a time window to the hi-res grid `range` split into `h` equal
+/// slices: the nearest slice edges enclosing a non-empty window, as
+/// `(first, count)` slice indices. `None` when the window collapses, lies
+/// outside the grid, or the grid itself is degenerate.
+///
+/// This is the one snapping kernel: [`HiResModel::snap_window`] calls it
+/// over the resident array's grid, and the session's pushdown path calls
+/// it over a grid probed from a columnar trace's chunk index — both must
+/// land on bit-identical edges for windowed pushdown ingests to agree
+/// with resident-grid re-slices.
+pub fn snap_to_grid(range: (f64, f64), h: usize, t0: f64, t1: f64) -> Option<(usize, usize)> {
+    let (start, end) = range;
+    let degenerate = h == 0 || !(start.is_finite() && end.is_finite() && end > start);
+    if degenerate || !(t0.is_finite() && t1.is_finite() && t1 > t0) {
+        return None;
+    }
+    let grid = TimeGrid::new(start, end, h);
+    let w = grid.slice_duration();
+    let snap = |t: f64| -> usize {
+        let idx = ((t - grid.start()) / w).round();
+        idx.clamp(0.0, h as f64) as usize
+    };
+    let (a, b) = (snap(t0), snap(t1));
+    (b > a).then_some((a, b - a))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +314,21 @@ mod tests {
         assert_eq!(hi.snap_window(f64::NAN, 8.0), None);
         // Windows beyond the grid clamp to it.
         assert_eq!(hi.snap_window(-5.0, 100.0), Some((0, 1024)));
+    }
+
+    #[test]
+    fn snap_to_grid_matches_the_resident_kernel() {
+        let hi = hi_model(2, 1024);
+        for (t0, t1) in [(4.0, 8.0), (-5.0, 100.0), (0.1, 0.2), (5.0, 5.0)] {
+            assert_eq!(
+                snap_to_grid((0.0, 16.0), 1024, t0, t1),
+                hi.snap_window(t0, t1),
+                "probe and resident snapping must agree at [{t0}, {t1}]"
+            );
+        }
+        assert_eq!(snap_to_grid((0.0, 0.0), 1024, 0.0, 1.0), None, "flat grid");
+        assert_eq!(snap_to_grid((0.0, 16.0), 0, 0.0, 1.0), None, "no slices");
+        assert_eq!(snap_to_grid((f64::NAN, 16.0), 8, 0.0, 1.0), None);
     }
 
     #[test]

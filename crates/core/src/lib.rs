@@ -80,7 +80,7 @@ pub use cube::{
     MemoryMode, QualityCube, AUTO_DENSE_LIMIT_BYTES,
 };
 pub use dp::{aggregate, aggregate_default, Cut, CutTree, DpConfig};
-pub use hires::{hi_res_slices, HiResModel, HI_RES_FACTOR, HI_RES_MIN_SLICES};
+pub use hires::{hi_res_slices, snap_to_grid, HiResModel, HI_RES_FACTOR, HI_RES_MIN_SLICES};
 pub use input::AggregationInput;
 pub use inspect::{
     area_at, area_table_header, area_table_row, inspect_area, summarize, summary_text, AreaReport,
@@ -96,8 +96,8 @@ pub use quality::{quality, QualityReport};
 pub use query::{AnalysisReply, AnalysisRequest, QueryEngine, QueryError, PROTOCOL_VERSION};
 pub use session::{
     fnv1a, AnalysisSession, ArtifactStore, CubeSource, IngestStats, MemoryStore, Metric,
-    ModelSource, OwnedSource, PartitionTable, PointEntry, ResliceWindow, SessionConfig,
-    SessionError, SignificantSet, DEFAULT_CACHE_KEEP, FNV_SEED,
+    ModelSource, OwnedSource, PartitionTable, PointEntry, PushdownProbe, ResliceWindow,
+    SessionConfig, SessionError, SignificantSet, DEFAULT_CACHE_KEEP, FNV_SEED,
 };
 pub use tri::TriMatrix;
 pub use visual::{mode, visually_aggregate, Item, Mode, VisualAggregation, VisualMark};

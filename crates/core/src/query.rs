@@ -694,6 +694,14 @@ pub struct StatsReply {
     /// Input bytes per shard, in shard order — content-derived, never a
     /// function of the worker count.
     pub shard_bytes: Vec<u64>,
+    /// Chunks in the columnar source's index (zero for non-chunked
+    /// formats).
+    pub chunks_total: u64,
+    /// Chunks actually decoded (fewer than `chunks_total` when predicate
+    /// pushdown skipped some).
+    pub chunks_read: u64,
+    /// Payload bytes predicate pushdown left unread on disk.
+    pub bytes_skipped: u64,
 }
 
 /// Answer to [`AnalysisRequest::Reslice`]: the session's new active
@@ -1317,6 +1325,9 @@ impl QueryEngine {
             fingerprint: format!("{:016x}", stats.fingerprint),
             shard_count: stats.shards.len() as u64,
             shard_bytes: stats.shards,
+            chunks_total: stats.chunks_total,
+            chunks_read: stats.chunks_read,
+            bytes_skipped: stats.bytes_skipped,
         })
     }
 }
@@ -1514,6 +1525,9 @@ mod tests {
                         format: "btf".into(),
                         gzip: false,
                         shards: vec![60, 40],
+                        chunks_total: 8,
+                        chunks_read: 3,
+                        bytes_skipped: 55,
                     }),
                 ))
             }
@@ -1535,6 +1549,9 @@ mod tests {
         assert_eq!(s.shape.n_leaves, 12);
         assert_eq!(s.shard_count, 2);
         assert_eq!(s.shard_bytes, vec![60, 40]);
+        assert_eq!(s.chunks_total, 8);
+        assert_eq!(s.chunks_read, 3);
+        assert_eq!(s.bytes_skipped, 55);
     }
 
     #[test]

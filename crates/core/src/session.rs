@@ -253,6 +253,14 @@ pub struct IngestStats {
     /// Content-derived: the shard plan never depends on the worker
     /// count, so this stays deterministic.
     pub shards: Vec<u64>,
+    /// Chunks in the columnar source's index (zero for non-chunked
+    /// formats).
+    pub chunks_total: u64,
+    /// Chunks actually decoded — equals `chunks_total` for a full
+    /// ingest, fewer when predicate pushdown skipped some.
+    pub chunks_read: u64,
+    /// Payload bytes predicate pushdown left unread on disk.
+    pub bytes_skipped: u64,
 }
 
 impl IngestStats {
@@ -261,6 +269,20 @@ impl IngestStats {
     pub fn events(&self) -> u64 {
         self.intervals * 2 + self.points
     }
+}
+
+/// A hi-res grid reported by a [`ModelSource`] **without** ingesting the
+/// trace — read from a columnar trace's header and chunk index alone. The
+/// session snaps re-slice windows against it (via
+/// [`snap_to_grid`](crate::hires::snap_to_grid)) so a windowed pushdown
+/// ingest lands on exactly the edges a resident-grid snap would pick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PushdownProbe {
+    /// The trace's declared time range — the hi-res grid span.
+    pub range: (f64, f64),
+    /// `H`: the hi-res slice count a hi-res ingest at the requested
+    /// resolution would use.
+    pub hi_slices: usize,
 }
 
 /// Where the session gets its microscopic model from.
@@ -308,6 +330,38 @@ pub trait ModelSource: Send + Sync {
         metric: Metric,
     ) -> Result<Option<(HiResModel, Option<IngestStats>)>, SessionError> {
         let _ = (n_slices, metric);
+        Ok(None)
+    }
+
+    /// Report the hi-res grid a windowed ingest at `n_slices` would use,
+    /// **without reading any events** — sources over chunk-indexed
+    /// columnar traces answer from the header and footer alone. `Ok(None)`
+    /// (the default) declares the source unable to probe; the session then
+    /// materializes the full hi-res intermediate before snapping windows.
+    fn pushdown_probe(
+        &self,
+        n_slices: usize,
+        metric: Metric,
+    ) -> Result<Option<PushdownProbe>, SessionError> {
+        let _ = (n_slices, metric);
+        Ok(None)
+    }
+
+    /// Build the hi-res intermediate restricted to the hi-res slice window
+    /// `[first, first + count)`, decoding only the parts of the trace that
+    /// overlap it (predicate pushdown). The returned model spans the
+    /// **full** hi-res grid with zeroed cells outside the window — good
+    /// for deriving windowed models, never for installing as the resident
+    /// full-range intermediate. `Ok(None)` (the default) falls back to the
+    /// full ingest.
+    fn hi_res_window_with_stats(
+        &self,
+        n_slices: usize,
+        metric: Metric,
+        first: usize,
+        count: usize,
+    ) -> Result<Option<(HiResModel, Option<IngestStats>)>, SessionError> {
+        let _ = (n_slices, metric, first, count);
         Ok(None)
     }
 }
@@ -665,21 +719,32 @@ impl AnalysisSession {
         self.store.is_some() && self.window.is_none()
     }
 
-    /// Make a hi-res intermediate able to serve `n` resident, touching the
-    /// trace only as a last resort: resident → warm `.omicro` → ingest.
-    /// Leaves `hi_res` untouched when the source is not hi-res-capable.
-    fn ensure_hi_res(&mut self, n: usize) -> Result<(), SessionError> {
+    /// The read-free half of [`AnalysisSession::ensure_hi_res`]: `true`
+    /// when a hi-res intermediate able to serve `n` is resident after the
+    /// call without any trace read (it already was, or a warm `.omicro`
+    /// loaded from the store).
+    fn warm_hi_res(&mut self, n: usize) -> Result<bool, SessionError> {
         if self.hi_res.as_ref().is_some_and(|h| h.serves(n)) {
-            return Ok(());
+            return Ok(true);
         }
         if let Some(store) = self.store.as_ref() {
             let key = self.hi_key()?;
             if let Some(h) = store.load_hi_res(key) {
                 if h.metric() == self.config.metric && h.serves(n) {
                     self.hi_res = Some(h);
-                    return Ok(());
+                    return Ok(true);
                 }
             }
+        }
+        Ok(false)
+    }
+
+    /// Make a hi-res intermediate able to serve `n` resident, touching the
+    /// trace only as a last resort: resident → warm `.omicro` → ingest.
+    /// Leaves `hi_res` untouched when the source is not hi-res-capable.
+    fn ensure_hi_res(&mut self, n: usize) -> Result<(), SessionError> {
+        if self.warm_hi_res(n)? {
+            return Ok(());
         }
         if let Some((h, stats)) = self.source.hi_res_with_stats(n, self.config.metric)? {
             self.source_reads += 1;
@@ -711,25 +776,53 @@ impl AnalysisSession {
             return Ok(());
         }
         let n = self.config.n_slices;
+        if let Some(w) = self.window {
+            // Windowed pipelines: the resident grid serves for free; a
+            // source that can push the window down to the trace format
+            // (columnar chunk skipping) reads only the overlapping
+            // chunks; otherwise the full hi-res ingest.
+            if self.hi_res.is_none() {
+                if let Some((h, stats)) =
+                    self.source
+                        .hi_res_window_with_stats(n, self.config.metric, w.first, w.count)?
+                {
+                    self.source_reads += 1;
+                    self.stats_probed = true;
+                    if stats.is_some() {
+                        self.ingest = stats;
+                    }
+                    // The pushdown model's cells outside the window are
+                    // zeros, so it only ever backs this derivation —
+                    // deliberately NOT installed as `self.hi_res`.
+                    let model = h.derive_window(w.first, w.count, n).ok_or_else(|| {
+                        SessionError::InvalidParam(
+                            "re-slice window no longer aligns with the resident hi-res grid".into(),
+                        )
+                    })?;
+                    self.active.model = Some(model);
+                    return Ok(());
+                }
+                self.ensure_hi_res(n)?;
+            }
+            let hi = self.hi_res.as_ref().ok_or_else(|| {
+                SessionError::InvalidParam(
+                    "this model source cannot re-slice into a time window".into(),
+                )
+            })?;
+            let model = hi.derive_window(w.first, w.count, n).ok_or_else(|| {
+                SessionError::InvalidParam(
+                    "re-slice window no longer aligns with the resident hi-res grid".into(),
+                )
+            })?;
+            self.active.model = Some(model);
+            return Ok(());
+        }
         self.ensure_hi_res(n)?;
         if let Some(h) = &self.hi_res {
-            let derived = match self.window {
-                None => h.derive(n),
-                Some(w) => h.derive_window(w.first, w.count, n),
-            };
-            if let Some(model) = derived {
+            if let Some(model) = h.derive(n) {
                 self.active.model = Some(model);
                 return Ok(());
             }
-            if self.window.is_some() {
-                return Err(SessionError::InvalidParam(
-                    "re-slice window no longer aligns with the resident hi-res grid".into(),
-                ));
-            }
-        } else if self.window.is_some() {
-            return Err(SessionError::InvalidParam(
-                "this model source cannot re-slice into a time window".into(),
-            ));
         }
         // Sources without a hi-res intermediate (already-sliced models,
         // `.omm` caches): the classic per-resolution direct build.
@@ -817,24 +910,43 @@ impl AnalysisSession {
                         "re-slice window must be a finite, non-empty range (got [{t0}, {t1}])"
                     )));
                 }
-                self.ensure_hi_res(n_slices)?;
-                let hi = self.hi_res.as_ref().ok_or_else(|| {
-                    SessionError::InvalidParam(
-                        "this model source cannot re-slice into a time window".into(),
-                    )
-                })?;
-                let (first, count) = hi.snap_window(t0, t1).ok_or_else(|| {
-                    SessionError::InvalidParam(format!(
-                        "window [{t0}, {t1}] lies outside the trace or collapses on the hi-res grid"
-                    ))
-                })?;
+                // Pick the grid to snap against, cheapest first: a
+                // resident (or warm `.omicro`) intermediate costs nothing;
+                // a pushdown-capable source reports its grid from the
+                // chunk index without decoding a single event; only a
+                // source with neither pays the full hi-res ingest here.
+                let probe = if self.hi_res.is_none() && !self.warm_hi_res(n_slices)? {
+                    self.source.pushdown_probe(n_slices, self.config.metric)?
+                } else {
+                    None
+                };
+                let (range, h) = match probe {
+                    Some(pb) => (pb.range, pb.hi_slices),
+                    None => {
+                        self.ensure_hi_res(n_slices)?;
+                        let hi = self.hi_res.as_ref().ok_or_else(|| {
+                            SessionError::InvalidParam(
+                                "this model source cannot re-slice into a time window".into(),
+                            )
+                        })?;
+                        let grid = hi.raw().grid();
+                        ((grid.start(), grid.end()), hi.n_slices())
+                    }
+                };
+                let (first, count) =
+                    crate::hires::snap_to_grid(range, h, t0, t1).ok_or_else(|| {
+                        SessionError::InvalidParam(format!(
+                            "window [{t0}, {t1}] lies outside the trace or collapses on the \
+                             hi-res grid"
+                        ))
+                    })?;
                 if count % n_slices != 0 {
                     return Err(SessionError::InvalidParam(format!(
                         "window spans {count} hi-res slices, not divisible into {n_slices} \
                          equal bins (pick a divisor of {count})"
                     )));
                 }
-                let grid = hi.raw().grid();
+                let grid = TimeGrid::new(range.0, range.1, h);
                 let (w0, _) = grid.slice_bounds(first);
                 let (_, w1) = grid.slice_bounds(first + count - 1);
                 Some(ResliceWindow {

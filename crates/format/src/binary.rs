@@ -33,33 +33,49 @@ pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
+/// Serialize the header block BTF and OCTF share after their magics:
+/// time range, metadata pairs, pre-order hierarchy, declared states.
+pub(crate) fn put_header_block(
+    head: &mut Vec<u8>,
+    range: (f64, f64),
+    metadata: &[(String, String)],
+    hierarchy: &Hierarchy,
+    states: &StateRegistry,
+) {
+    head.put_f64_le(range.0);
+    head.put_f64_le(range.1);
+
+    head.put_u32_le(metadata.len() as u32);
+    for (k, v) in metadata {
+        put_str(head, k);
+        put_str(head, v);
+    }
+
+    head.put_u32_le(hierarchy.len() as u32);
+    for id in hierarchy.node_ids() {
+        head.put_u32_le(hierarchy.parent(id).map(|p| p.0 + 1).unwrap_or(0));
+        put_str(head, hierarchy.kind(id));
+        put_str(head, hierarchy.name(id));
+    }
+
+    head.put_u32_le(states.len() as u32);
+    for (_, name) in states.iter() {
+        put_str(head, name);
+    }
+}
+
 /// Write a trace in BTF binary format.
 pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> Result<()> {
     // Header block is assembled in memory (small), records stream out.
     let mut head = Vec::with_capacity(4096);
     head.put_slice(MAGIC);
-    let (lo, hi) = trace.time_range().unwrap_or((0.0, 0.0));
-    head.put_f64_le(lo);
-    head.put_f64_le(hi);
-
-    head.put_u32_le(trace.metadata.len() as u32);
-    for (k, v) in &trace.metadata {
-        put_str(&mut head, k);
-        put_str(&mut head, v);
-    }
-
-    let h = &trace.hierarchy;
-    head.put_u32_le(h.len() as u32);
-    for id in h.node_ids() {
-        head.put_u32_le(h.parent(id).map(|p| p.0 + 1).unwrap_or(0));
-        put_str(&mut head, h.kind(id));
-        put_str(&mut head, h.name(id));
-    }
-
-    head.put_u32_le(trace.states.len() as u32);
-    for (_, name) in trace.states.iter() {
-        put_str(&mut head, name);
-    }
+    put_header_block(
+        &mut head,
+        trace.time_range().unwrap_or((0.0, 0.0)),
+        &trace.metadata,
+        &trace.hierarchy,
+        &trace.states,
+    );
     w.write_all(&head)?;
 
     let mut rec = [0u8; INTERVAL_RECORD_BYTES];
@@ -89,10 +105,7 @@ pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> Result<()> {
 
 /// Parsed BTF header: everything before the interval records.
 struct Header {
-    range: (f64, f64),
-    metadata: Vec<(String, String)>,
-    hierarchy: Hierarchy,
-    states: StateRegistry,
+    header: StreamHeader,
     n_intervals: u64,
 }
 
@@ -102,14 +115,9 @@ pub(crate) fn read_exact_buf<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>> {
     Ok(buf)
 }
 
-fn read_header<R: Read>(r: &mut R) -> Result<Header> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(FormatError::UnsupportedVersion(
-            String::from_utf8_lossy(&magic).into_owned(),
-        ));
-    }
+/// Parse the header block BTF and OCTF share after their magics (the
+/// counterpart of [`put_header_block`]), with full structural validation.
+pub(crate) fn read_header_block<R: Read>(r: &mut R) -> Result<StreamHeader> {
     let mut fixed = [0u8; 16];
     r.read_exact(&mut fixed)?;
     let lo = f64::from_le_bytes(fixed[0..8].try_into().unwrap());
@@ -184,13 +192,27 @@ fn read_header<R: Read>(r: &mut R) -> Result<Header> {
         return Err(FormatError::parse("duplicate state names", None));
     }
 
+    Ok(StreamHeader {
+        hierarchy,
+        states,
+        metadata,
+        range: Some((lo, hi)),
+    })
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<Header> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(FormatError::UnsupportedVersion(
+            String::from_utf8_lossy(&magic).into_owned(),
+        ));
+    }
+    let header = read_header_block(r)?;
     let mut n_iv = [0u8; 8];
     r.read_exact(&mut n_iv)?;
     Ok(Header {
-        range: (lo, hi),
-        metadata,
-        hierarchy,
-        states,
+        header,
         n_intervals: u64::from_le_bytes(n_iv),
     })
 }
@@ -268,9 +290,9 @@ fn read_point_record<R: Read>(r: &mut R, n_leaves: usize) -> Result<PointEvent> 
 
 /// Counts bytes the caller actually requests from the inner reader (place
 /// it *above* any `BufReader` so read-ahead is not counted).
-struct CountingReader<R> {
-    inner: R,
-    count: u64,
+pub(crate) struct CountingReader<R> {
+    pub(crate) inner: R,
+    pub(crate) count: u64,
 }
 
 impl<R: Read> Read for CountingReader<R> {
@@ -312,12 +334,7 @@ pub(crate) fn plan_binary<R: BufRead + Seek>(mut r: R) -> Result<BinaryPlan> {
         n_points: u64::from_le_bytes(n_pts),
         intervals_start,
         points_start: intervals_end + 8,
-        header: StreamHeader {
-            hierarchy: header.hierarchy,
-            states: header.states,
-            metadata: header.metadata,
-            range: Some(header.range),
-        },
+        header: header.header,
     })
 }
 
@@ -497,15 +514,10 @@ impl<W: Write + Seek> BtfStreamWriter<W> {
 /// the sink sees them.
 pub fn decode_binary<R: BufRead, S: EventSink>(mut r: R, sink: &mut S) -> Result<bool> {
     let header = read_header(&mut r)?;
-    let n_leaves = header.hierarchy.n_leaves();
-    let n_states = header.states.len();
     let n_intervals = header.n_intervals;
-    let stream_header = StreamHeader {
-        hierarchy: header.hierarchy,
-        states: header.states,
-        metadata: header.metadata,
-        range: Some(header.range),
-    };
+    let stream_header = header.header;
+    let n_leaves = stream_header.hierarchy.n_leaves();
+    let n_states = stream_header.states.len();
     if !sink.begin(&stream_header) {
         return Ok(false);
     }

@@ -17,6 +17,16 @@ pub enum FormatError {
     },
     /// The file's declared format/version is not supported.
     UnsupportedVersion(String),
+    /// A columnar chunk failed its checksum: the payload bytes on disk do
+    /// not match the checksum stored in the chunk index. Other chunks of
+    /// the file remain decodable through the planner.
+    ChunkCorrupt {
+        /// The file holding the chunk (empty when the reader has no path,
+        /// e.g. decoding from memory; [`io`](crate::io) fills it in).
+        file: String,
+        /// Zero-based chunk index within the file.
+        chunk: u64,
+    },
 }
 
 impl FormatError {
@@ -37,6 +47,13 @@ impl fmt::Display for FormatError {
                 None => write!(f, "parse error: {message}"),
             },
             FormatError::UnsupportedVersion(v) => write!(f, "unsupported format version: {v}"),
+            FormatError::ChunkCorrupt { file, chunk } => {
+                if file.is_empty() {
+                    write!(f, "chunk {chunk} failed its checksum")
+                } else {
+                    write!(f, "{file}: chunk {chunk} failed its checksum")
+                }
+            }
         }
     }
 }

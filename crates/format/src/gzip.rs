@@ -558,6 +558,85 @@ mod tests {
         assert_eq!(gunzip(&gz).unwrap(), b"first,second");
     }
 
+    /// The reference fixed-Huffman member from `fixed_huffman_vector_decodes`.
+    fn fixed_member() -> (&'static [u8], &'static [u8]) {
+        let payload: &[u8] = b"fixed huffman block test: abcabcabcabc";
+        let gz: &[u8] = &[
+            0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x03, 0x4b, 0xcb, 0xac, 0x48,
+            0x4d, 0x51, 0xc8, 0x28, 0x4d, 0x4b, 0xcb, 0x4d, 0xcc, 0x53, 0x48, 0xca, 0xc9, 0x4f,
+            0xce, 0x56, 0x28, 0x49, 0x2d, 0x2e, 0xb1, 0x52, 0x48, 0x4c, 0x4a, 0x86, 0x23, 0x00,
+            0x0b, 0x80, 0x7f, 0x82, 0x26, 0x00, 0x00, 0x00,
+        ];
+        (gz, payload)
+    }
+
+    #[test]
+    fn concatenated_compressed_members_decode_as_one_stream() {
+        // Two fixed-Huffman members back to back: the second member's
+        // back-references must not reach into the first member's output,
+        // and its CRC/ISIZE accounting must restart from zero.
+        let (gz1, payload) = fixed_member();
+        let mut gz = gz1.to_vec();
+        gz.extend_from_slice(gz1);
+        let mut want = payload.to_vec();
+        want.extend_from_slice(payload);
+        assert_eq!(gunzip(&gz).unwrap(), want);
+    }
+
+    #[test]
+    fn mixed_stored_and_compressed_members_decode_in_order() {
+        let (gz_fixed, payload) = fixed_member();
+        for (first, second, want) in [
+            (
+                gzip_stored(b"stored-first;"),
+                gz_fixed.to_vec(),
+                [b"stored-first;".as_slice(), payload].concat(),
+            ),
+            (
+                gz_fixed.to_vec(),
+                gzip_stored(b";stored-second"),
+                [payload, b";stored-second".as_slice()].concat(),
+            ),
+        ] {
+            let mut gz = first;
+            gz.extend_from_slice(&second);
+            assert_eq!(gunzip(&gz).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn member_with_fname_header_decodes() {
+        // A member carrying an original-file-name field (FLG.FNAME), as
+        // `gzip file.ptf` produces, followed by a plain stored member.
+        let mut gz = vec![
+            0x1f, 0x8b, 0x08, 0x08, 0, 0, 0, 0, 0x00, 0xff, // FLG = FNAME
+        ];
+        gz.extend_from_slice(b"trace.ptf\0");
+        let body = b"named member payload";
+        let len = body.len() as u16;
+        gz.push(0x01); // BFINAL, stored
+        gz.extend_from_slice(&len.to_le_bytes());
+        gz.extend_from_slice(&(!len).to_le_bytes());
+        gz.extend_from_slice(body);
+        gz.extend_from_slice(&crc32(0, body).to_le_bytes());
+        gz.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        gz.extend_from_slice(&gzip_stored(b" + plain member"));
+        assert_eq!(gunzip(&gz).unwrap(), b"named member payload + plain member");
+    }
+
+    #[test]
+    fn second_member_corruption_names_the_failure() {
+        // Corruption in a later member must still surface as a CRC error,
+        // not silently truncate the stream after the first member.
+        let mut gz = gzip_stored(b"good");
+        let mut second = gzip_stored(b"bad crc here");
+        let n = second.len();
+        second[n - 6] ^= 0xff;
+        gz.extend_from_slice(&second);
+        let err = gunzip(&gz).unwrap_err();
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
     #[test]
     fn corrupted_crc_is_rejected() {
         let mut gz = gzip_stored(b"check me");

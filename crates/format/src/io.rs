@@ -45,6 +45,7 @@
 //! path.
 
 use crate::binary;
+use crate::columnar;
 use crate::error::{FormatError, Result};
 use crate::gzip::{is_gzip, GzipReader};
 use crate::paje;
@@ -54,7 +55,7 @@ use crate::store::{
 use crate::text;
 use ocelotl_trace::{
     hi_res_slices, EventSink, Hierarchy, HierarchyBuilder, MicroModel, ModelKind, ModelSink,
-    NodeId, PartialModel, ScanSink, StreamHeader, Trace, TraceSink,
+    NodeId, PartialModel, ScanSink, StreamHeader, TimeGrid, Trace, TraceSink,
 };
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -72,11 +73,15 @@ pub enum Format {
     Binary,
     /// `.paje` / `.trace` — the Pajé subset of the paper's tool family.
     Paje,
+    /// `.octf` — chunk-indexed columnar native format with predicate
+    /// pushdown (see [`crate::columnar`]).
+    Columnar,
 }
 
 impl Format {
     /// Choose a format from a file extension (`.ptf` / `.btf` /
-    /// `.paje` / `.trace`, each optionally with a trailing `.gz`).
+    /// `.paje` / `.trace` / `.octf`, each optionally with a trailing
+    /// `.gz`).
     pub fn from_path(path: &Path) -> Option<Format> {
         let ext = path.extension().and_then(|e| e.to_str())?;
         if ext.eq_ignore_ascii_case("gz") {
@@ -86,6 +91,7 @@ impl Format {
             "ptf" => Some(Format::Text),
             "btf" => Some(Format::Binary),
             "paje" | "trace" => Some(Format::Paje),
+            "octf" => Some(Format::Columnar),
             _ => None,
         }
     }
@@ -98,6 +104,8 @@ impl Format {
             Some(Format::Binary)
         } else if head.starts_with(b"%EventDef") {
             Some(Format::Paje)
+        } else if head.starts_with(columnar::MAGIC) {
+            Some(Format::Columnar)
         } else {
             None
         }
@@ -109,6 +117,7 @@ impl Format {
             Format::Text => "PTF text",
             Format::Binary => "BTF binary",
             Format::Paje => "Pajé",
+            Format::Columnar => "OCTF columnar",
         }
     }
 }
@@ -122,6 +131,7 @@ pub fn write_trace(trace: &Trace, path: &Path) -> Result<()> {
         Format::Text => text::write_text(trace, &mut w)?,
         Format::Binary => binary::write_binary(trace, &mut w)?,
         Format::Paje => paje::write_paje(trace, &mut w)?,
+        Format::Columnar => columnar::write_columnar(trace, &mut w)?,
     }
     w.flush()?;
     Ok(())
@@ -209,6 +219,16 @@ fn annotate(e: FormatError, path: &Path, chosen: Format, ext: Option<Format>) ->
             ),
             position: None,
         },
+        // The columnar decoders have no path; fill it in here so the
+        // error names the file alongside the chunk index.
+        FormatError::ChunkCorrupt { file, chunk } => FormatError::ChunkCorrupt {
+            file: if file.is_empty() {
+                path.display().to_string()
+            } else {
+                file
+            },
+            chunk,
+        },
     }
 }
 
@@ -218,6 +238,7 @@ pub fn decode<R: BufRead, S: EventSink>(fmt: Format, r: R, sink: &mut S) -> Resu
         Format::Text => text::decode_text(r, sink),
         Format::Binary => binary::decode_binary(r, sink),
         Format::Paje => paje::decode_paje(r, sink),
+        Format::Columnar => columnar::decode_columnar(r, sink),
     }
 }
 
@@ -322,6 +343,9 @@ pub enum IngestMode {
     /// No declared range: a scan pass (extent + registries + fingerprint)
     /// preceded the fold pass.
     TwoPass,
+    /// A columnar source answered the request from a subset of its chunks,
+    /// skipping the rest via the chunk index (predicate pushdown).
+    Pushdown,
 }
 
 impl IngestMode {
@@ -330,6 +354,7 @@ impl IngestMode {
         match self {
             IngestMode::SinglePass => "single-pass",
             IngestMode::TwoPass => "two-pass",
+            IngestMode::Pushdown => "pushdown",
         }
     }
 }
@@ -348,8 +373,34 @@ pub enum ShardMode {
     Fixed(usize),
 }
 
+/// Row restriction an ingest should honor. On columnar sources the
+/// planner pushes this down to the chunk index and skips whole chunks
+/// whose time extent or resource mask cannot match; on every other
+/// format it is applied sink-side (same model, no I/O savings). Skipped
+/// chunks still feed the index-combined fingerprint via their stored
+/// checksums, so the artifact key — and therefore every cache hit — is
+/// unchanged by pushdown.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Predicate {
+    /// Restrict the model grid to this time window `[t0, t1]`; also the
+    /// chunk-skipping window on columnar sources. Replaces the two-pass
+    /// extent scan (the window *is* the grid range).
+    pub time_range: Option<(f64, f64)>,
+    /// Keep only these leaf resources (events of other leaves are dropped
+    /// uncounted). Chunks whose resource presence mask cannot contain any
+    /// wanted leaf are skipped on columnar sources.
+    pub resources: Option<Vec<u32>>,
+}
+
+impl Predicate {
+    /// `true` when the predicate restricts anything.
+    pub fn is_active(&self) -> bool {
+        self.time_range.is_some() || self.resources.is_some()
+    }
+}
+
 /// Knobs for [`read_model_with`] / [`read_hi_res_with`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct IngestOptions {
     /// Shard planning mode. The plan never depends on `max_workers`.
     pub shards: ShardMode,
@@ -357,6 +408,9 @@ pub struct IngestOptions {
     /// cores". Changing this redistributes work but cannot change a bit
     /// of the output.
     pub max_workers: usize,
+    /// Optional row restriction ([`Predicate`]); `None` ingests
+    /// everything.
+    pub predicate: Option<Predicate>,
 }
 
 impl Default for IngestOptions {
@@ -364,8 +418,19 @@ impl Default for IngestOptions {
         Self {
             shards: ShardMode::Auto,
             max_workers: 0,
+            predicate: None,
         }
     }
+}
+
+/// The predicate's time window, if any.
+fn predicate_range(opts: &IngestOptions) -> Option<(f64, f64)> {
+    opts.predicate.as_ref().and_then(|p| p.time_range)
+}
+
+/// The predicate's resource list, if any.
+fn predicate_resources(opts: &IngestOptions) -> Option<&[u32]> {
+    opts.predicate.as_ref().and_then(|p| p.resources.as_deref())
 }
 
 /// Target shard payload under [`ShardMode::Auto`]: one shard per started
@@ -431,6 +496,13 @@ pub struct IngestReport {
     /// shard of a single file, or per file of a directory trace. The
     /// length is the shard count. Content-derived and deterministic.
     pub shards: Vec<u64>,
+    /// Chunks in the columnar source's index (0 for non-columnar inputs).
+    pub chunks_total: u64,
+    /// Chunks actually decoded; `< chunks_total` when predicate pushdown
+    /// skipped some.
+    pub chunks_read: u64,
+    /// On-disk bytes of the chunks pushdown skipped (0 without pushdown).
+    pub bytes_skipped: u64,
 }
 
 impl IngestReport {
@@ -514,6 +586,12 @@ fn read_model_impl(
     let det = detect(path)?;
     let wrap = |e: FormatError| annotate(e, path, det.fmt, det.ext);
 
+    // Plain columnar sources always take the index-driven path (even at
+    // one group): the fingerprint is the index-combined one on every
+    // route, and the chunk index is what predicates push down into.
+    if !det.gzip && det.fmt == Format::Columnar {
+        return ingest_columnar(path, det, n_slices, kind, hi_res, opts).map_err(wrap);
+    }
     // Gzip streams and Pajé cannot be byte-split: sequential path.
     if !det.gzip && det.fmt != Format::Paje {
         let t_plan = Instant::now();
@@ -523,7 +601,7 @@ fn read_model_impl(
                 .map_err(wrap);
         }
     }
-    read_model_seq(path, det, n_slices, kind, hi_res)
+    read_model_seq(path, det, n_slices, kind, hi_res, opts)
 }
 
 /// The sequential (1-shard) ingestion path — byte-for-byte the pre-shard
@@ -534,18 +612,26 @@ fn read_model_seq(
     n_slices: usize,
     kind: ModelKind,
     hi_res: bool,
+    opts: &IngestOptions,
 ) -> Result<IngestReport> {
     let fmt = det.fmt;
     let wrap = |e: FormatError| annotate(e, path, fmt, det.ext);
     let t0 = Instant::now();
 
-    // Optimistic single pass: decode and fingerprint together.
+    // Optimistic single pass: decode and fingerprint together. A
+    // predicate window replaces the header range outright (the window is
+    // the grid), which also rules the two-pass fallback out.
+    let window = predicate_range(opts);
     let mut r = HashSource::open(path, det.gzip)?;
-    let mut sink = if hi_res {
-        ModelSink::hi_res(kind, n_slices)
-    } else {
-        ModelSink::new(kind, n_slices)
+    let mut sink = match (hi_res, window) {
+        (true, Some(w)) => ModelSink::hi_res_with_range(kind, n_slices, w),
+        (true, None) => ModelSink::hi_res(kind, n_slices),
+        (false, Some(w)) => ModelSink::with_range(kind, n_slices, w),
+        (false, None) => ModelSink::new(kind, n_slices),
     };
+    if let Some(rs) = predicate_resources(opts) {
+        sink.set_resource_filter(rs);
+    }
     let complete = decode(fmt, &mut r, &mut sink).map_err(wrap)?;
     if complete {
         let (fingerprint, bytes_read) = r.finish()?;
@@ -591,6 +677,9 @@ fn read_model_seq(
     } else {
         ModelSink::with_range(kind, n_slices, range)
     };
+    if let Some(rs) = predicate_resources(opts) {
+        sink.set_resource_filter(rs);
+    }
     decode(fmt, open_plain(path, det.gzip)?, &mut sink).map_err(wrap)?;
     let report = assemble(
         sink,
@@ -639,6 +728,9 @@ fn assemble(
         format: det.fmt,
         gzip: det.gzip,
         shards,
+        chunks_total: 0,
+        chunks_read: 0,
+        bytes_skipped: 0,
     })
 }
 
@@ -711,6 +803,9 @@ fn plan_shards(path: &Path, fmt: Format, mode: ShardMode) -> Result<Option<Split
             Ok(Some(SplitPlan::Binary { plan, shards }))
         }
         Format::Paje => Ok(None),
+        // Columnar files route through `ingest_columnar` before shard
+        // planning is consulted.
+        Format::Columnar => Ok(None),
     }
 }
 
@@ -801,39 +896,44 @@ fn ingest_sharded(
     let file_len = std::fs::metadata(path)?.len();
     let workers = resolved_workers(opts);
 
-    // Establish the grid range: declared by the header, or a sharded scan
-    // (min/max merge across shards is exact in any order).
-    let (range, mode, scan_bytes) = match &split {
-        SplitPlan::Binary { plan, .. } => (
-            plan.header.range.expect("BTF headers declare a range"),
-            IngestMode::SinglePass,
-            0u64,
-        ),
-        SplitPlan::Text { plan, ranges } => match plan.header.range {
-            Some(r) => (r, IngestMode::SinglePass, 0),
-            None => {
-                let spans = run_pool(ranges.len(), workers, |i| {
-                    let (lo, hi) = ranges[i];
-                    let mut f = File::open(path)?;
-                    f.seek(SeekFrom::Start(lo))?;
-                    let r = BufReader::with_capacity(1 << 20, f);
-                    let mut scan = ScanSink::new();
-                    text::decode_text_range(r, hi - lo, plan, &mut scan)?;
-                    Ok(scan.observed_range())
-                })?;
-                let mut lo = f64::INFINITY;
-                let mut hi = f64::NEG_INFINITY;
-                for (l, h) in spans.into_iter().flatten() {
-                    lo = lo.min(l);
-                    hi = hi.max(h);
+    // Establish the grid range: a predicate window wins outright (and
+    // skips the extent scan), else declared by the header, or a sharded
+    // scan (min/max merge across shards is exact in any order).
+    let (range, mode, scan_bytes) = if let Some(w) = predicate_range(opts) {
+        (w, IngestMode::SinglePass, 0u64)
+    } else {
+        match &split {
+            SplitPlan::Binary { plan, .. } => (
+                plan.header.range.expect("BTF headers declare a range"),
+                IngestMode::SinglePass,
+                0u64,
+            ),
+            SplitPlan::Text { plan, ranges } => match plan.header.range {
+                Some(r) => (r, IngestMode::SinglePass, 0),
+                None => {
+                    let spans = run_pool(ranges.len(), workers, |i| {
+                        let (lo, hi) = ranges[i];
+                        let mut f = File::open(path)?;
+                        f.seek(SeekFrom::Start(lo))?;
+                        let r = BufReader::with_capacity(1 << 20, f);
+                        let mut scan = ScanSink::new();
+                        text::decode_text_range(r, hi - lo, plan, &mut scan)?;
+                        Ok(scan.observed_range())
+                    })?;
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for (l, h) in spans.into_iter().flatten() {
+                        lo = lo.min(l);
+                        hi = hi.max(h);
+                    }
+                    if !lo.is_finite() {
+                        return Err(FormatError::parse("trace has no events to slice", None));
+                    }
+                    let scanned: u64 = ranges.iter().map(|(l, h)| h - l).sum();
+                    ((lo, hi), IngestMode::TwoPass, scanned)
                 }
-                if !lo.is_finite() {
-                    return Err(FormatError::parse("trace has no events to slice", None));
-                }
-                let scanned: u64 = ranges.iter().map(|(l, h)| h - l).sum();
-                ((lo, hi), IngestMode::TwoPass, scanned)
-            }
-        },
+            },
+        }
     };
 
     let header = match &split {
@@ -869,6 +969,9 @@ fn ingest_sharded(
         let i = i - n_chunks;
         let t = Instant::now();
         let mut sink = shard_sink(kind, n_slices, hi_res, range);
+        if let Some(rs) = predicate_resources(opts) {
+            sink.set_resource_filter(rs);
+        }
         begin_or_err(&mut sink, header)?;
         match &split {
             SplitPlan::Text { plan, ranges } => {
@@ -984,6 +1087,264 @@ fn ingest_sharded(
         format: det.fmt,
         gzip: det.gzip,
         shards: shard_bytes,
+        chunks_total: 0,
+        chunks_read: 0,
+        bytes_skipped: 0,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Columnar ingestion with predicate pushdown
+// ---------------------------------------------------------------------------
+
+/// Assign every chunk to one of `n_groups` contiguous groups, balanced by
+/// cumulative payload bytes. The grouping is a pure function of the chunk
+/// index (never of predicates or worker counts), so one group's fold at
+/// `n_groups = 1` *is* the sequential forward decode, and the merged
+/// result is deterministic at any setting.
+fn chunk_groups(plan: &columnar::ColumnarPlan, n_groups: usize) -> Vec<usize> {
+    let total = plan.total_payload().max(1);
+    let mut groups = Vec::with_capacity(plan.chunks.len());
+    let mut cum = 0u64;
+    for c in &plan.chunks {
+        let g = (cum.saturating_mul(n_groups as u64) / total) as usize;
+        groups.push(g.min(n_groups - 1));
+        cum += c.payload_len;
+    }
+    groups
+}
+
+/// Ingest a plain `.octf` file: plan from the chunk index, skip chunks the
+/// predicate rules out, decode the survivors on the worker pool in
+/// index-grouped shards, and merge in group order. The fingerprint is the
+/// index-combined one ([`columnar::ColumnarPlan::fingerprint`]) on every
+/// route — full or pushdown — so artifact keys never depend on the
+/// predicate.
+fn ingest_columnar(
+    path: &Path,
+    det: Detected,
+    n_slices: usize,
+    kind: ModelKind,
+    hi_res: bool,
+    opts: &IngestOptions,
+) -> Result<IngestReport> {
+    let t_plan = Instant::now();
+    let plan = columnar::plan_columnar(path)?;
+    let window = predicate_range(opts);
+    let declared = plan.header.range.expect("OCTF headers declare a range");
+    let grid_range = window.unwrap_or(declared);
+    let mode = if opts.predicate.as_ref().is_some_and(|p| p.is_active()) {
+        IngestMode::Pushdown
+    } else {
+        IngestMode::SinglePass
+    };
+    columnar_fold(
+        path, det, &plan, n_slices, kind, hi_res, opts, grid_range, window, mode, t_plan,
+    )
+}
+
+/// Windowed hi-res pushdown: build the **raw hi-res intermediate** (grid =
+/// the full trace range at `hi_res_slices` resolution, exactly what
+/// [`read_hi_res`] produces) while decoding only the chunks overlapping
+/// hi-res slices `[first, first + count)`. Skipped chunks cannot touch any
+/// slice in that window (their extents end strictly before it or start
+/// strictly after it), so `HiResModel::derive_window` over the result is
+/// bit-identical to deriving from a full ingest — at a fraction of the
+/// I/O. Requires a plain (non-gzip) `.octf` source.
+pub fn read_hi_res_window(
+    path: &Path,
+    n_slices: usize,
+    kind: ModelKind,
+    first: usize,
+    count: usize,
+    opts: &IngestOptions,
+) -> Result<IngestReport> {
+    let det = detect(path)?;
+    let wrap = |e: FormatError| annotate(e, path, det.fmt, det.ext);
+    if det.gzip || det.fmt != Format::Columnar {
+        return Err(FormatError::parse(
+            format!(
+                "{}: windowed pushdown requires a plain .octf source (got {}{})",
+                path.display(),
+                det.fmt.name(),
+                if det.gzip { ", gzip-framed" } else { "" }
+            ),
+            None,
+        ));
+    }
+    let t_plan = Instant::now();
+    let plan = columnar::plan_columnar(path).map_err(wrap)?;
+    let n_leaves = plan.header.hierarchy.n_leaves();
+    let n_states = plan.header.states.len();
+    let h = hi_res_slices(n_slices, n_leaves, n_states);
+    if count == 0 || first + count > h {
+        return Err(FormatError::parse(
+            format!("window [{first}, {first}+{count}) exceeds the {h}-slice hi-res grid"),
+            None,
+        ));
+    }
+    let (lo, hi) = plan.header.range.expect("OCTF headers declare a range");
+    // NaN bounds count as "no events" too, hence not a plain `hi <= lo`.
+    if !(lo.is_finite() && hi.is_finite() && hi > lo) {
+        return Err(FormatError::parse(
+            format!("{}: trace has no events to slice", path.display()),
+            None,
+        ));
+    }
+    let grid = TimeGrid::new(lo, hi, h);
+    let w0 = grid.slice_bounds(first).0;
+    let w1 = grid.slice_bounds(first + count - 1).1;
+    columnar_fold(
+        path,
+        det,
+        &plan,
+        n_slices,
+        kind,
+        true,
+        opts,
+        (lo, hi),
+        Some((w0, w1)),
+        IngestMode::Pushdown,
+        t_plan,
+    )
+    .map_err(wrap)
+}
+
+/// The shared columnar fold: select chunks (`select` window × resource
+/// mask), decode the survivors group-parallel, merge in group order.
+/// `grid_range` is the model grid — the full trace range for windowed
+/// hi-res pushdown, the predicate window for direct windowed models.
+#[allow(clippy::too_many_arguments)]
+fn columnar_fold(
+    path: &Path,
+    det: Detected,
+    plan: &columnar::ColumnarPlan,
+    n_slices: usize,
+    kind: ModelKind,
+    hi_res: bool,
+    opts: &IngestOptions,
+    grid_range: (f64, f64),
+    select: Option<(f64, f64)>,
+    mode: IngestMode,
+    t_plan: Instant,
+) -> Result<IngestReport> {
+    let header = &plan.header;
+    let n_leaves = header.hierarchy.n_leaves();
+    let n_states = header.states.len();
+    let resources = predicate_resources(opts);
+    let wanted_mask = resources.map(|rs| rs.iter().fold(0u64, |m, r| m | 1 << (r % 64)));
+
+    // Chunk selection: a chunk survives when its time extent can overlap
+    // the window (closed test — boundary-touching chunks stay) AND its
+    // resource mask can contain a wanted leaf (conservative: the mask
+    // folds leaf ids mod 64, so false positives decode harmlessly and
+    // false negatives cannot happen).
+    let selected: Vec<bool> = plan
+        .chunks
+        .iter()
+        .map(|c| {
+            let time_ok = select.is_none_or(|(lo, hi)| c.overlaps(lo, hi));
+            let res_ok = wanted_mask.is_none_or(|m| c.resource_mask & m != 0);
+            time_ok && res_ok
+        })
+        .collect();
+    // Pseudo-state presence is trace-global: a skipped point chunk must
+    // still register its kinds so density models intern the same
+    // pseudo-state set a full decode would.
+    let mut skipped_kinds = 0u8;
+    for (c, &sel) in plan.chunks.iter().zip(&selected) {
+        if !sel && c.is_points() {
+            skipped_kinds |= c.kind_mask;
+        }
+    }
+
+    let n_groups = shard_count(plan.total_payload(), opts.shards);
+    let groups = chunk_groups(plan, n_groups);
+    let fingerprint = plan.fingerprint(path)?;
+    let plan_nanos = t_plan.elapsed().as_nanos() as u64;
+    let workers = resolved_workers(opts);
+
+    let outs = run_pool(n_groups, workers, |g| {
+        let t = Instant::now();
+        let mut sink = shard_sink(kind, n_slices, hi_res, grid_range);
+        if let Some(rs) = resources {
+            sink.set_resource_filter(rs);
+        }
+        begin_or_err(&mut sink, header)?;
+        sink.note_point_kinds(
+            skipped_kinds & columnar::KIND_SEND != 0,
+            skipped_kinds & columnar::KIND_RECV != 0,
+            skipped_kinds & columnar::KIND_MARKER != 0,
+        );
+        let mut f = File::open(path)?;
+        for (i, c) in plan.chunks.iter().enumerate() {
+            if groups[i] == g && selected[i] {
+                columnar::decode_chunk_file(&mut f, c, i as u64, n_leaves, n_states, &mut sink)?;
+            }
+        }
+        sink.end();
+        let peak = sink.peak_bytes();
+        let part = sink
+            .finish_partial()
+            .map_err(|e| FormatError::parse(e.to_string(), None))?;
+        Ok(ShardOut {
+            part,
+            peak,
+            nanos: t.elapsed().as_nanos() as u64,
+        })
+    })?;
+
+    // Merge left-to-right in group order — the canonical summation order
+    // (groups are contiguous chunk ranges, so 1 group == forward decode).
+    let t_merge = Instant::now();
+    let shard_nanos: Vec<u64> = outs.iter().map(|o| o.nanos).collect();
+    let peak_bytes: u64 = outs.iter().map(|o| o.peak).sum();
+    let mut it = outs.into_iter();
+    let first = it.next().expect("shard_count returns at least 1");
+    let mut merged = first.part;
+    for o in it {
+        merged.absorb(o.part);
+    }
+    let (intervals, points) = merged.counts();
+    let model = merged.into_model(!hi_res);
+    let merge_nanos = t_merge.elapsed().as_nanos() as u64;
+
+    // Byte accounting from the index: the header and footer are always
+    // read; chunk bytes only when selected.
+    let mut shard_bytes = vec![0u64; n_groups];
+    let mut bytes_skipped = 0u64;
+    let mut chunks_read = 0u64;
+    for (i, c) in plan.chunks.iter().enumerate() {
+        if selected[i] {
+            shard_bytes[groups[i]] += c.stored_bytes();
+            chunks_read += 1;
+        } else {
+            bytes_skipped += c.stored_bytes();
+        }
+    }
+    let bytes_read =
+        plan.header_bytes + (plan.file_len - plan.footer_offset) + shard_bytes.iter().sum::<u64>();
+
+    record_timing(ShardTiming {
+        plan_nanos,
+        hash_nanos: 0,
+        shard_nanos,
+        merge_nanos,
+    });
+    Ok(IngestReport {
+        model,
+        fingerprint,
+        bytes_read,
+        intervals,
+        points,
+        peak_bytes,
+        mode,
+        format: det.fmt,
+        gzip: det.gzip,
+        shards: shard_bytes,
+        chunks_total: plan.chunks.len() as u64,
+        chunks_read,
+        bytes_skipped,
     })
 }
 
@@ -1016,7 +1377,7 @@ pub fn trace_files(dir: &Path) -> Result<Vec<PathBuf>> {
     if files.is_empty() {
         return Err(FormatError::parse(
             format!(
-                "{}: no trace files (.ptf / .btf / .paje / .trace, optionally .gz)",
+                "{}: no trace files (.ptf / .btf / .paje / .trace / .octf, optionally .gz)",
                 dir.display()
             ),
             None,
@@ -1035,18 +1396,44 @@ fn combine_file_hashes(hashes: &[u64]) -> u64 {
     hash_reader(bytes.as_slice()).expect("in-memory read cannot fail")
 }
 
-/// Content fingerprint of a trace input: [`hash_file`] for a file, the
-/// sorted-order FNV fold of per-file hashes for a directory. This is the
-/// same fingerprint ingestion reports, so artifact keys agree.
+/// Content hash of one trace file, as ingestion reports it: plain `.octf`
+/// files use the index-combined fingerprint (computable from the header
+/// and footer alone, so pushdown ingests key identically to full ones);
+/// everything else — including gzip-framed `.octf` — hashes the raw
+/// on-disk bytes ([`hash_file`]).
+fn trace_file_hash(path: &Path) -> std::io::Result<u64> {
+    let mut f = File::open(path)?;
+    let mut head = [0u8; 4];
+    let mut n = 0;
+    while n < head.len() {
+        let got = f.read(&mut head[n..])?;
+        if got == 0 {
+            break;
+        }
+        n += got;
+    }
+    drop(f);
+    if &head[..n] == columnar::MAGIC {
+        return columnar::plan_columnar(path)
+            .and_then(|plan| Ok(plan.fingerprint(path)?))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()));
+    }
+    hash_file(path)
+}
+
+/// Content fingerprint of a trace input: `trace_file_hash` for a file
+/// (the chunk index fold for plain `.octf`, [`hash_file`] otherwise),
+/// the sorted-order FNV fold of per-file hashes for a directory. This is
+/// the same fingerprint ingestion reports, so artifact keys agree.
 pub fn hash_trace_input(path: &Path) -> std::io::Result<u64> {
     if !path.is_dir() {
-        return hash_file(path);
+        return trace_file_hash(path);
     }
     let files = trace_files(path)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let mut hashes = Vec::with_capacity(files.len());
     for f in &files {
-        hashes.push(hash_file(f)?);
+        hashes.push(trace_file_hash(f)?);
     }
     Ok(combine_file_hashes(&hashes))
 }
@@ -1097,8 +1484,15 @@ fn read_model_dir(
         let det = detect(&path)?;
         let wrap = |e: FormatError| annotate(e, &path, det.fmt, det.ext);
         let len = std::fs::metadata(&path)?.len();
-        let hash = hash_file(&path)?;
+        let hash = trace_file_hash(&path)?;
         let (header, span, passes) = match (det.gzip, det.fmt) {
+            (false, Format::Columnar) => {
+                // Header + footer index only: the extent and the
+                // fingerprint come without touching chunk bytes.
+                let plan = columnar::plan_columnar(&path).map_err(wrap)?;
+                let span = plan.time_extent();
+                (plan.header, span, 2)
+            }
             (false, Format::Binary) => {
                 let plan = binary::plan_binary(buffered(&path)?).map_err(wrap)?;
                 let span = (plan.n_intervals + plan.n_points > 0)
@@ -1268,6 +1662,9 @@ fn read_model_dir(
         format: infos[0].fmt,
         gzip: infos.iter().any(|i| i.gzip),
         shards,
+        chunks_total: 0,
+        chunks_read: 0,
+        bytes_skipped: 0,
     })
 }
 
@@ -1376,6 +1773,32 @@ mod tests {
     }
 
     #[test]
+    fn align_to_line_edge_cases() {
+        let dir = tmpdir();
+        let align = |name: &str, content: &[u8], pos: u64| -> u64 {
+            let p = dir.join(name);
+            std::fs::write(&p, content).unwrap();
+            let mut f = File::open(&p).unwrap();
+            let got = align_to_line(&mut f, pos, content.len() as u64).unwrap();
+            std::fs::remove_file(&p).ok();
+            got
+        };
+        // A boundary exactly on a line start stays put.
+        assert_eq!(align("on-newline.txt", b"aaa\nbbb\nccc\n", 4), 4);
+        // Mid-line boundaries advance to the next line start.
+        assert_eq!(align("mid-line.txt", b"aaa\nbbb\nccc\n", 5), 8);
+        // CRLF line endings: the cut lands after the LF, never between
+        // the CR and LF.
+        assert_eq!(align("crlf.txt", b"aaa\r\nbbb\r\nccc\r\n", 2), 5);
+        assert_eq!(align("crlf-on.txt", b"aaa\r\nbbb\r\nccc\r\n", 5), 5);
+        // No trailing newline: a boundary inside the last line clamps to
+        // end of file (the previous shard owns the dangling line).
+        assert_eq!(align("no-trail.txt", b"aaa\nbbb", 5), 7);
+        // A boundary at end of file stays there.
+        assert_eq!(align("at-eof.txt", b"aaa\n", 4), 4);
+    }
+
+    #[test]
     fn sniffing_beats_extension() {
         // Binary content under a .ptf name is still read as binary.
         let t = sample();
@@ -1439,6 +1862,14 @@ mod tests {
         assert_eq!(Format::from_path(Path::new("x.paje")), Some(Format::Paje));
         assert_eq!(Format::from_path(Path::new("x.trace")), Some(Format::Paje));
         assert_eq!(Format::from_path(Path::new("x.csv")), None);
+        assert_eq!(
+            Format::from_path(Path::new("x.octf")),
+            Some(Format::Columnar)
+        );
+        assert_eq!(
+            Format::from_path(Path::new("x.octf.gz")),
+            Some(Format::Columnar)
+        );
         assert_eq!(Format::from_path(Path::new("x.ptf.gz")), Some(Format::Text));
         assert_eq!(
             Format::from_path(Path::new("x.btf.gz")),
@@ -1448,6 +1879,7 @@ mod tests {
         assert_eq!(Format::sniff(b"%PTF 1"), Some(Format::Text));
         assert_eq!(Format::sniff(b"BTF1"), Some(Format::Binary));
         assert_eq!(Format::sniff(b"%EventDef PajeState"), Some(Format::Paje));
+        assert_eq!(Format::sniff(b"OCT1"), Some(Format::Columnar));
         assert_eq!(Format::sniff(b"??"), None);
     }
 
@@ -1495,6 +1927,11 @@ mod tests {
             Format::Text => text::write_text(t, &mut raw).unwrap(),
             Format::Binary => binary::write_binary(t, &mut raw).unwrap(),
             Format::Paje => paje::write_paje(t, &mut raw).unwrap(),
+            Format::Columnar => {
+                let mut cur = std::io::Cursor::new(Vec::new());
+                columnar::write_columnar(t, &mut cur).unwrap();
+                raw = cur.into_inner();
+            }
         }
         let p = tmpdir().join(name);
         std::fs::write(&p, crate::gzip::gzip_stored(&raw)).unwrap();
@@ -1546,6 +1983,7 @@ mod tests {
         IngestOptions {
             shards: ShardMode::Fixed(shards),
             max_workers: workers,
+            predicate: None,
         }
     }
 

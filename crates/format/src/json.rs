@@ -863,6 +863,9 @@ fn reply_to_json(reply: &AnalysisReply) -> Json {
                 "shard_bytes",
                 Json::Arr(s.shard_bytes.iter().map(|&b| int64(b)).collect()),
             ),
+            ("chunks_total", int64(s.chunks_total)),
+            ("chunks_read", int64(s.chunks_read)),
+            ("bytes_skipped", int64(s.bytes_skipped)),
         ]),
         AnalysisReply::Reslice(r) => obj(vec![
             ("kind", strv("reslice")),
@@ -1055,6 +1058,9 @@ fn reply_from_json(j: &Json) -> Result<AnalysisReply, QueryError> {
                     _ => Err(bad("\"shard_bytes\" entries must be non-negative integers")),
                 })
                 .collect::<Result<_, QueryError>>()?,
+            chunks_total: as_u64(j, "chunks_total")?,
+            chunks_read: as_u64(j, "chunks_read")?,
+            bytes_skipped: as_u64(j, "bytes_skipped")?,
         })),
         "reslice" => Ok(AnalysisReply::Reslice(ResliceReply {
             n_slices: as_usize(j, "n_slices")?,

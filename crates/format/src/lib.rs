@@ -7,6 +7,10 @@
 //!   diff-friendly;
 //! - **BTF** ([`binary`]): compact fixed-record binary for the Table II
 //!   scale (hundreds of millions of events);
+//! - **OCTF** ([`columnar`]): chunk-indexed columnar native format — per
+//!   chunk time extents, resource masks and checksums let windowed or
+//!   filtered ingests skip whole chunks (predicate pushdown) while chunk
+//!   boundaries double as shard boundaries for the parallel merge;
 //! - **OMM** ([`micro_cache`]): the cached microscopic model, making the
 //!   paper's "preprocess once, interact instantly" economy durable across
 //!   analysis sessions;
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod columnar;
 pub mod cube_cache;
 pub mod error;
 pub mod gzip;
@@ -49,14 +54,18 @@ pub mod text;
 pub use binary::{
     decode_binary, read_binary, write_binary, BtfStreamWriter, INTERVAL_RECORD_BYTES,
 };
+pub use columnar::{
+    decode_columnar, plan_columnar, write_columnar, write_columnar_chunked, ChunkInfo,
+    ColumnarPlan, ColumnarWriter, DEFAULT_CHUNK_RECORDS,
+};
 pub use cube_cache::{load_cube, read_cube, save_cube, write_cube};
 pub use error::{FormatError, Result};
 pub use gzip::{gunzip, gzip_stored, write_gzip_stored, GzipReader};
 pub use hires_cache::{load_hi_res, read_hi_res_cache, save_hi_res, write_hi_res};
 pub use io::{
-    decode, hash_trace_input, read_hi_res, read_hi_res_with, read_micro, read_model,
-    read_model_with, read_trace, take_last_ingest_timing, trace_files, write_trace, Format,
-    IngestMode, IngestOptions, IngestReport, ShardMode, ShardTiming, MAX_SHARDS,
+    decode, hash_trace_input, read_hi_res, read_hi_res_window, read_hi_res_with, read_micro,
+    read_model, read_model_with, read_trace, take_last_ingest_timing, trace_files, write_trace,
+    Format, IngestMode, IngestOptions, IngestReport, Predicate, ShardMode, ShardTiming, MAX_SHARDS,
     SHARD_TARGET_BYTES,
 };
 pub use json::{

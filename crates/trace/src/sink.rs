@@ -297,6 +297,8 @@ pub struct ModelSink {
     /// (decided at `begin`, once the header reveals the leaf count).
     hi_res: bool,
     range_override: Option<(Time, Time)>,
+    /// Sorted, deduplicated leaf ids to keep; `None` = keep everything.
+    resource_filter: Option<Vec<u32>>,
     acc: Option<Accum>,
     refusal: Option<ModelSinkError>,
     intervals: u64,
@@ -312,6 +314,7 @@ impl ModelSink {
             n_slices,
             hi_res: false,
             range_override: None,
+            resource_filter: None,
             acc: None,
             refusal: None,
             intervals: 0,
@@ -356,6 +359,41 @@ impl ModelSink {
     /// available (the caller should run the two-pass scan).
     pub fn needs_range(&self) -> bool {
         self.refusal == Some(ModelSinkError::MissingRange)
+    }
+
+    /// Restrict the model to a set of leaf resources: events on any other
+    /// resource contribute nothing to any cell and are not counted.
+    /// Filtered point events still record their kind's presence — the
+    /// density pseudo-state set is trace-global (see
+    /// [`ModelSink::note_point_kinds`]), so a filtered model keeps the
+    /// same state axis as an unfiltered one.
+    pub fn set_resource_filter(&mut self, resources: &[u32]) {
+        let mut keep = resources.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        self.resource_filter = Some(keep);
+    }
+
+    /// Record point-event kinds as present in the stream without counting
+    /// any event. Index-backed readers that skip whole chunks by time
+    /// range call this with the skipped chunks' kind masks: `event_counts`
+    /// interns a pseudo-state for every kind present *anywhere* in the
+    /// trace (even outside the grid), so matching a full decode bit for
+    /// bit requires noting the kinds the skipped bytes carried.
+    pub fn note_point_kinds(&mut self, send: bool, recv: bool, marker: bool) {
+        if let Some(acc) = self.acc.as_mut() {
+            acc.pseudo_seen[0] |= send;
+            acc.pseudo_seen[1] |= recv;
+            acc.pseudo_seen[2] |= marker;
+        }
+    }
+
+    #[inline]
+    fn filtered_out(&self, resource: LeafId) -> bool {
+        match &self.resource_filter {
+            Some(keep) => keep.binary_search(&resource.0).is_err(),
+            None => false,
+        }
     }
 
     /// Interval / point records consumed.
@@ -674,6 +712,9 @@ impl EventSink for ModelSink {
     }
 
     fn interval(&mut self, resource: LeafId, state: StateId, begin: Time, end: Time) {
+        if self.filtered_out(resource) {
+            return;
+        }
         let Some(acc) = self.acc.as_mut() else {
             return;
         };
@@ -690,6 +731,21 @@ impl EventSink for ModelSink {
     }
 
     fn point(&mut self, ev: &PointEvent) {
+        let slot = match ev.kind {
+            PointKind::MsgSend { .. } => 0,
+            PointKind::MsgRecv { .. } => 1,
+            PointKind::Marker => 2,
+        };
+        if self.filtered_out(ev.resource) {
+            // Kind presence is trace-global: keep the pseudo-state axis
+            // even though the event itself is dropped uncounted.
+            if self.kind == ModelKind::Density {
+                if let Some(acc) = self.acc.as_mut() {
+                    acc.pseudo_seen[slot] = true;
+                }
+            }
+            return;
+        }
         let Some(acc) = self.acc.as_mut() else {
             return;
         };
@@ -698,11 +754,6 @@ impl EventSink for ModelSink {
             return;
         }
         let grid = acc.grid;
-        let slot = match ev.kind {
-            PointKind::MsgSend { .. } => 0,
-            PointKind::MsgRecv { .. } => 1,
-            PointKind::Marker => 2,
-        };
         acc.pseudo_seen[slot] = true;
         if ev.time < grid.start() || ev.time > grid.end() {
             return;

@@ -236,6 +236,9 @@ impl ModelSource for CountingFileSource {
             format: "btf".to_string(),
             gzip: report.gzip,
             shards: report.shards.clone(),
+            chunks_total: report.chunks_total,
+            chunks_read: report.chunks_read,
+            bytes_skipped: report.bytes_skipped,
         };
         Ok(Some((HiResModel::new(metric, report.model), Some(stats))))
     }

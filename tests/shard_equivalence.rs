@@ -40,6 +40,7 @@ fn opts(shards: usize, workers: usize) -> IngestOptions {
     IngestOptions {
         shards: ShardMode::Fixed(shards),
         max_workers: workers,
+        predicate: None,
     }
 }
 
@@ -371,6 +372,7 @@ fn auto_plan_ignores_worker_budget() {
             &IngestOptions {
                 shards: ShardMode::Auto,
                 max_workers: workers,
+                predicate: None,
             },
         )
         .unwrap()
