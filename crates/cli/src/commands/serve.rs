@@ -55,7 +55,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 const HELP: &str = "\
 ocelotl serve (--listen ADDR | --socket PATH) [options]
@@ -79,6 +79,20 @@ OPTIONS:
 
 Query it with `ocelotl query ADDR TRACE KIND [options]`.
 ";
+
+/// Lock a bookkeeping mutex, recovering from poisoning. The mutexes this
+/// is used on (pool entry list, build set, pipeline counters, reply
+/// ordering) guard plain data that a panicking peer leaves structurally
+/// intact — a poisoned guard is safe to keep using, and panicking the
+/// server thread over it would turn one lost request into a dead server.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_clean`].
+fn wait_clean<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default cold-build budget: one worker per core, capped by the pool
 /// size (more concurrent cold builds than pooled sessions is pure churn).
@@ -201,7 +215,7 @@ struct BuildPermit<'a> {
 
 impl Drop for BuildPermit<'_> {
     fn drop(&mut self) {
-        self.state.builds.lock().unwrap().remove(&self.key);
+        lock_clean(&self.state.builds).remove(&self.key);
         self.state.builds_done.notify_all();
     }
 }
@@ -247,7 +261,9 @@ impl ServerState {
         // (full-grid) resolution — answer under the slot's *read* lock,
         // concurrently with every other warm reader.
         {
-            let engine = slot.engine.read().unwrap();
+            let Ok(engine) = slot.engine.read() else {
+                return Err(self.evict_poisoned(&key));
+            };
             let session = engine.session();
             if session.config().n_slices == config.n_slices && session.window().is_none() {
                 if let Some(result) = engine.execute_shared(&request) {
@@ -261,9 +277,24 @@ impl ServerState {
         // warm artifacts instead of re-ingesting, and any zoom window a
         // previous `Reslice` request left behind is reset so wire
         // requests stay self-contained), then execute exclusively.
-        let mut engine = slot.engine.write().unwrap();
+        let Ok(mut engine) = slot.engine.write() else {
+            return Err(self.evict_poisoned(&key));
+        };
         engine.session_mut().reslice(config.n_slices, None)?;
         engine.execute(&request)
+    }
+
+    /// A panic inside a pooled engine poisons its `RwLock`. Evict the
+    /// slot (the next request for this trace rebuilds cold) and refuse
+    /// this request typed instead of spreading the panic.
+    fn evict_poisoned(&self, key: &PoolKey) -> QueryError {
+        let mut pool = lock_clean(&self.pool);
+        if let Some(i) = pool.entries.iter().position(|e| e.key == *key) {
+            pool.entries.swap_remove(i);
+        }
+        QueryError::Source(
+            "warm session was poisoned by an earlier panic; evicted, retry to rebuild".to_string(),
+        )
     }
 
     /// Find the warm slot for `key`, or cold-build one under the
@@ -278,13 +309,15 @@ impl ServerState {
     ) -> Result<Arc<SessionSlot>, QueryError> {
         loop {
             {
-                let mut pool = self.pool.lock().unwrap();
+                let mut pool = lock_clean(&self.pool);
                 pool.clock += 1;
                 let now = pool.clock;
                 if let Some(i) = pool.entries.iter().position(|e| e.key == *key) {
-                    if pool.entries[i].stamp == stamp && stamp != (None, None) {
-                        pool.entries[i].last_used = now;
-                        return Ok(pool.entries[i].slot.clone());
+                    if let Some(e) = pool.entries.get_mut(i) {
+                        if e.stamp == stamp && stamp != (None, None) {
+                            e.last_used = now;
+                            return Ok(e.slot.clone());
+                        }
                     }
                     // A pooled session whose trace file changed on disk
                     // (stamp mismatch, or unreadable stat) is replaced;
@@ -292,11 +325,11 @@ impl ServerState {
                     pool.entries.swap_remove(i);
                 }
             }
-            let mut builds = self.builds.lock().unwrap();
+            let mut builds = lock_clean(&self.builds);
             if builds.contains(key) {
                 // Same key already building: wait for it and re-check the
                 // pool instead of racing a duplicate ingest.
-                drop(self.builds_done.wait(builds).unwrap());
+                drop(wait_clean(&self.builds_done, builds));
                 continue;
             }
             if builds.len() >= self.opts.workers.max(1) {
@@ -324,19 +357,21 @@ impl ServerState {
         let slot = Arc::new(SessionSlot {
             engine: RwLock::new(engine),
         });
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = lock_clean(&self.pool);
         pool.clock += 1;
         let now = pool.clock;
         while pool.entries.len() >= self.opts.max_sessions.max(1) {
             // Evict the least recently used entry beyond the cap; its
             // slot drains via the Arc if anyone is mid-query on it.
-            let lru = pool
+            let Some(lru) = pool
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
-                .unwrap();
+            else {
+                break;
+            };
             pool.entries.swap_remove(lru);
         }
         pool.entries.push(PoolEntry {
@@ -360,7 +395,7 @@ impl ServerState {
 
     /// Number of warm sessions currently pooled.
     pub fn pooled_sessions(&self) -> usize {
-        self.pool.lock().unwrap().entries.len()
+        lock_clean(&self.pool).entries.len()
     }
 
     /// Cold session builds started since the server came up (coalesced
@@ -372,7 +407,7 @@ impl ServerState {
 
     /// Cold builds currently in flight.
     pub fn builds_in_flight(&self) -> usize {
-        self.builds.lock().unwrap().len()
+        lock_clean(&self.builds).len()
     }
 
     /// Requests refused with `busy` because the build budget was
@@ -579,27 +614,31 @@ pub fn serve_lines(
             }
             // Backpressure: bound the read-ahead window.
             {
-                let mut n = in_flight.lock().unwrap();
+                let mut n = lock_clean(in_flight);
                 while *n >= PIPELINE_DEPTH {
-                    n = drained.wait(n).unwrap();
+                    n = wait_clean(drained, n);
                 }
                 *n += 1;
             }
-            if ordered.lock().unwrap().err.is_some() {
+            if lock_clean(ordered).err.is_some() {
                 break; // the connection is gone; stop reading
             }
             let my_seq = seq;
             seq += 1;
             scope.spawn(move || {
                 let reply = state.handle_line(&line);
-                ordered.lock().unwrap().complete(my_seq, reply);
-                *in_flight.lock().unwrap() -= 1;
+                lock_clean(ordered).complete(my_seq, reply);
+                *lock_clean(in_flight) -= 1;
                 drained.notify_all();
             });
         }
         // Scope exit joins every in-flight worker, flushing all replies.
     });
-    if let Some(e) = ordered.into_inner().unwrap().err {
+    if let Some(e) = ordered
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .err
+    {
         return Err(e);
     }
     if let Some(e) = read_err {

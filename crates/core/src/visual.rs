@@ -23,7 +23,9 @@
 use crate::cube::QualityCube;
 use crate::partition::{Area, Partition};
 use ocelotl_trace::{Hierarchy, NodeId, StateId};
-use std::collections::HashMap;
+// BTreeMap, not HashMap: bucket iteration order feeds straight into the
+// emitted item list, which replies and goldens pin byte-for-byte.
+use std::collections::BTreeMap;
 
 /// The mode state of an aggregate and its display transparency.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,7 +158,7 @@ pub fn visually_aggregate<C: QualityCube>(
 
     // 2. Partition areas into data items and per-collapse buckets.
     let mut items = Vec::new();
-    let mut buckets: HashMap<NodeId, Vec<Area>> = HashMap::new();
+    let mut buckets: BTreeMap<NodeId, Vec<Area>> = BTreeMap::new();
     let mut n_data = 0;
     'areas: for a in partition.areas() {
         for &c in &collapse {
@@ -178,10 +180,7 @@ pub fn visually_aggregate<C: QualityCube>(
     // 3. Emit visual aggregates per collapsed node, segmented by the union
     // of the absorbed areas' temporal boundaries.
     let mut n_visual = 0;
-    let mut bucket_nodes: Vec<NodeId> = buckets.keys().copied().collect();
-    bucket_nodes.sort_unstable();
-    for c in bucket_nodes {
-        let areas = &buckets[&c];
+    for (&c, areas) in &buckets {
         let mut bounds: Vec<usize> = areas
             .iter()
             .flat_map(|a| [a.first_slice, a.last_slice + 1])
@@ -228,7 +227,7 @@ pub fn visually_aggregate<C: QualityCube>(
 /// True if every leaf under the absorbed areas sees the same sequence of
 /// temporal boundaries (the paper's "same temporal data partitioning").
 fn uniform_temporal_partitioning(h: &Hierarchy, areas: &[Area]) -> bool {
-    let mut per_leaf: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+    let mut per_leaf: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
     for a in areas {
         for leaf in h.leaf_range(a.node) {
             per_leaf

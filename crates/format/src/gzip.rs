@@ -64,6 +64,7 @@ pub fn crc32(crc: u32, data: &[u8]) -> u32 {
     let t = crc_table();
     let mut c = crc ^ 0xffff_ffff;
     for &b in data {
+        // oclint: allow(panic-index) — 8-bit masked lookup in a 256-entry table
         c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
     }
     c ^ 0xffff_ffff
@@ -119,13 +120,16 @@ impl<R: BufRead> BitReader<R> {
     fn read_bytes(&mut self, buf: &mut [u8]) -> io::Result<()> {
         debug_assert_eq!(self.bit_count % 8, 0);
         let mut i = 0;
-        while i < buf.len() && self.bit_count >= 8 {
-            buf[i] = (self.bit_buf & 0xff) as u8;
+        for slot in buf.iter_mut() {
+            if self.bit_count < 8 {
+                break;
+            }
+            *slot = (self.bit_buf & 0xff) as u8;
             self.bit_buf >>= 8;
             self.bit_count -= 8;
             i += 1;
         }
-        self.inner.read_exact(&mut buf[i..])
+        self.inner.read_exact(buf.get_mut(i..).unwrap_or_default())
     }
 }
 
@@ -142,7 +146,10 @@ impl Huffman {
     fn new(lengths: &[u8]) -> io::Result<Self> {
         let mut counts = [0u16; 16];
         for &l in lengths {
-            counts[l as usize] += 1;
+            let Some(c) = counts.get_mut(l as usize) else {
+                return Err(corrupt("huffman code length exceeds 15"));
+            };
+            *c += 1;
         }
         counts[0] = 0;
         // Over-subscription check (incomplete codes are tolerated: they
@@ -154,16 +161,27 @@ impl Huffman {
                 return Err(corrupt("over-subscribed huffman code"));
             }
         }
+        // offsets[len] = number of codes shorter than `len` (prefix sum;
+        // counts[0] was zeroed above, so offsets[1] stays 0).
         let mut offsets = [0u16; 16];
-        for len in 1..15 {
-            offsets[len + 1] = offsets[len] + counts[len];
+        let mut running = 0u16;
+        for (off, &count) in offsets.iter_mut().zip(counts.iter()) {
+            *off = running;
+            running += count;
         }
         let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l != 0).count()];
         for (sym, &l) in lengths.iter().enumerate() {
-            if l != 0 {
-                symbols[offsets[l as usize] as usize] = sym as u16;
-                offsets[l as usize] += 1;
+            if l == 0 {
+                continue;
             }
+            let Some(off) = offsets.get_mut(l as usize) else {
+                return Err(corrupt("huffman code length exceeds 15"));
+            };
+            let Some(slot) = symbols.get_mut(*off as usize) else {
+                return Err(corrupt("huffman symbol table overflow"));
+            };
+            *slot = sym as u16;
+            *off += 1;
         }
         Ok(Self { counts, symbols })
     }
@@ -174,9 +192,13 @@ impl Huffman {
         let mut index = 0usize;
         for len in 1..=15usize {
             code |= br.read_bits(1)? as usize;
-            let count = self.counts[len] as usize;
+            let count = self.counts.get(len).copied().unwrap_or(0) as usize;
             if code < first + count {
-                return Ok(self.symbols[index + code - first]);
+                return self
+                    .symbols
+                    .get(index + code - first)
+                    .copied()
+                    .ok_or_else(|| corrupt("invalid huffman code"));
             }
             index += count;
             first = (first + count) << 1;
@@ -271,7 +293,9 @@ impl<R: BufRead> GzipReader<R> {
     }
 
     fn push(&mut self, byte: u8) {
-        self.window[self.wpos] = byte;
+        if let Some(w) = self.window.get_mut(self.wpos) {
+            *w = byte;
+        }
         self.wpos = (self.wpos + 1) % WINDOW;
         self.out.push(byte);
         self.member_out += 1;
@@ -321,8 +345,8 @@ impl<R: BufRead> GzipReader<R> {
         self.br.align_byte();
         let mut footer = [0u8; 8];
         self.br.read_bytes(&mut footer)?;
-        let want_crc = u32::from_le_bytes(footer[..4].try_into().unwrap());
-        let want_len = u32::from_le_bytes(footer[4..].try_into().unwrap());
+        let want_crc = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+        let want_len = u32::from_le_bytes([footer[4], footer[5], footer[6], footer[7]]);
         if want_crc != self.crc {
             return Err(corrupt("gzip CRC mismatch (corrupted stream)"));
         }
@@ -349,8 +373,8 @@ impl<R: BufRead> GzipReader<R> {
                 self.br.align_byte();
                 let mut lens = [0u8; 4];
                 self.br.read_bytes(&mut lens)?;
-                let len = u16::from_le_bytes(lens[..2].try_into().unwrap());
-                let nlen = u16::from_le_bytes(lens[2..].try_into().unwrap());
+                let len = u16::from_le_bytes([lens[0], lens[1]]);
+                let nlen = u16::from_le_bytes([lens[2], lens[3]]);
                 if len != !nlen {
                     return Err(corrupt("stored block length check failed"));
                 }
@@ -370,7 +394,7 @@ impl<R: BufRead> GzipReader<R> {
             }
             _ => return Err(corrupt("reserved DEFLATE block type")),
         }
-        let produced = &self.out[start..];
+        let produced = self.out.get(start..).unwrap_or_default();
         self.crc = crc32(self.crc, produced);
         self.isize_mod = self.isize_mod.wrapping_add(produced.len() as u32);
         if bfinal {
@@ -388,7 +412,10 @@ impl<R: BufRead> GzipReader<R> {
         }
         let mut clc_lengths = [0u8; 19];
         for &pos in CLC_ORDER.iter().take(hclen) {
-            clc_lengths[pos] = self.br.read_bits(3)? as u8;
+            let bits = self.br.read_bits(3)? as u8;
+            if let Some(slot) = clc_lengths.get_mut(pos) {
+                *slot = bits;
+            }
         }
         let clc = Huffman::new(&clc_lengths)?;
         let mut lengths = vec![0u8; hlit + hdist];
@@ -397,20 +424,22 @@ impl<R: BufRead> GzipReader<R> {
             let sym = clc.decode(&mut self.br)?;
             match sym {
                 0..=15 => {
-                    lengths[i] = sym as u8;
+                    if let Some(slot) = lengths.get_mut(i) {
+                        *slot = sym as u8;
+                    }
                     i += 1;
                 }
                 16 => {
                     if i == 0 {
                         return Err(corrupt("length repeat with no previous length"));
                     }
-                    let prev = lengths[i - 1];
+                    let prev = lengths.get(i - 1).copied().unwrap_or(0);
                     let n = 3 + self.br.read_bits(2)? as usize;
                     for _ in 0..n {
-                        if i >= lengths.len() {
+                        let Some(slot) = lengths.get_mut(i) else {
                             return Err(corrupt("length repeat overflows the table"));
-                        }
-                        lengths[i] = prev;
+                        };
+                        *slot = prev;
                         i += 1;
                     }
                 }
@@ -431,8 +460,10 @@ impl<R: BufRead> GzipReader<R> {
         if lengths[256] == 0 {
             return Err(corrupt("dynamic block lacks an end-of-block code"));
         }
-        let lit = Huffman::new(&lengths[..hlit])?;
-        let dist = Huffman::new(&lengths[hlit..])?;
+        // `lengths` was allocated as hlit + hdist, so the split is exact.
+        let (lit_lens, dist_lens) = lengths.split_at(hlit);
+        let lit = Huffman::new(lit_lens)?;
+        let dist = Huffman::new(dist_lens)?;
         Ok((lit, dist))
     }
 
@@ -444,18 +475,22 @@ impl<R: BufRead> GzipReader<R> {
                 256 => return Ok(()),
                 257..=285 => {
                     let idx = (sym - 257) as usize;
-                    let len = LENGTH_BASE[idx] as usize
-                        + self.br.read_bits(LENGTH_EXTRA[idx] as u32)? as usize;
+                    let (Some(&base), Some(&extra)) = (LENGTH_BASE.get(idx), LENGTH_EXTRA.get(idx))
+                    else {
+                        return Err(corrupt("invalid literal/length symbol"));
+                    };
+                    let len = base as usize + self.br.read_bits(extra as u32)? as usize;
                     let dsym = dist.decode(&mut self.br)? as usize;
-                    if dsym >= 30 {
+                    let (Some(&dbase), Some(&dextra)) = (DIST_BASE.get(dsym), DIST_EXTRA.get(dsym))
+                    else {
                         return Err(corrupt("invalid distance symbol"));
-                    }
-                    let d = DIST_BASE[dsym] as usize
-                        + self.br.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                    };
+                    let d = dbase as usize + self.br.read_bits(dextra as u32)? as usize;
                     if d > WINDOW || (d as u64) > self.member_out {
                         return Err(corrupt("back-reference before start of output"));
                     }
                     for _ in 0..len {
+                        // oclint: allow(panic-index) — ring-buffer read, index is % WINDOW
                         let b = self.window[(self.wpos + WINDOW - d) % WINDOW];
                         self.push(b);
                     }
@@ -471,7 +506,12 @@ impl<R: BufRead> Read for GzipReader<R> {
         loop {
             if self.out_pos < self.out.len() {
                 let n = (self.out.len() - self.out_pos).min(buf.len());
-                buf[..n].copy_from_slice(&self.out[self.out_pos..self.out_pos + n]);
+                if let (Some(dst), Some(src)) = (
+                    buf.get_mut(..n),
+                    self.out.get(self.out_pos..self.out_pos + n),
+                ) {
+                    dst.copy_from_slice(src);
+                }
                 self.out_pos += n;
                 if self.out_pos == self.out.len() {
                     self.out.clear();
@@ -498,30 +538,29 @@ impl<R: BufRead> Read for GzipReader<R> {
 /// producing `.gz` fixtures and for tooling that needs the framing but not
 /// the compression.
 pub fn write_gzip_stored<W: Write>(w: &mut W, data: &[u8]) -> io::Result<()> {
-    w.write_all(&[0x1f, 0x8b, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xff])?;
-    let mut chunks = data.chunks(0xffff).peekable();
-    if data.is_empty() {
-        // An empty stream still needs one final (empty) stored block.
-        w.write_all(&[0x01, 0x00, 0x00, 0xff, 0xff])?;
-    }
-    while let Some(chunk) = chunks.next() {
-        let bfinal: u8 = if chunks.peek().is_none() { 1 } else { 0 };
-        w.write_all(&[bfinal])?;
-        let len = chunk.len() as u16;
-        w.write_all(&len.to_le_bytes())?;
-        w.write_all(&(!len).to_le_bytes())?;
-        w.write_all(chunk)?;
-    }
-    w.write_all(&crc32(0, data).to_le_bytes())?;
-    w.write_all(&(data.len() as u32).to_le_bytes())?;
-    Ok(())
+    w.write_all(&gzip_stored(data))
 }
 
 /// Gzip-compress `data` into a byte vector (stored blocks; see
-/// [`write_gzip_stored`]).
+/// [`write_gzip_stored`]). Infallible: the frame is assembled in memory.
 pub fn gzip_stored(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() + 32);
-    write_gzip_stored(&mut out, data).expect("vec write cannot fail");
+    out.extend_from_slice(&[0x1f, 0x8b, 0x08, 0x00, 0, 0, 0, 0, 0x00, 0xff]);
+    let mut chunks = data.chunks(0xffff).peekable();
+    if data.is_empty() {
+        // An empty stream still needs one final (empty) stored block.
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xff, 0xff]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal: u8 = if chunks.peek().is_none() { 1 } else { 0 };
+        out.push(bfinal);
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&crc32(0, data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
     out
 }
 

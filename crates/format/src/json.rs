@@ -186,7 +186,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -224,7 +225,7 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+        let token = std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or_default())
             .map_err(|_| "non-utf8 number".to_string())?;
         if !fractional {
             if let Ok(i) = token.parse::<i64>() {
@@ -245,7 +246,7 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            let rest = &self.bytes[self.pos..];
+            let rest = self.bytes.get(self.pos..).unwrap_or_default();
             let Some(&b) = rest.first() else {
                 return Err("unterminated string".into());
             };
@@ -286,9 +287,12 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 scalar.
+                    // Consume one UTF-8 scalar (`rest` is non-empty:
+                    // `first()` matched above).
                     let s = std::str::from_utf8(rest).map_err(|_| "non-utf8 string")?;
-                    let c = s.chars().next().unwrap();
+                    let Some(c) = s.chars().next() else {
+                        return Err("unterminated string".into());
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -114,7 +114,9 @@ pub fn write_paje<W: Write>(trace: &Trace, mut w: W) -> Result<()> {
     // State changes per resource, time-ordered, with idle fillers.
     let mut per_leaf: Vec<Vec<(f64, f64, StateId)>> = vec![Vec::new(); h.n_leaves()];
     for iv in &trace.intervals {
-        per_leaf[iv.resource.index()].push((iv.begin, iv.end, iv.state));
+        if let Some(ivs) = per_leaf.get_mut(iv.resource.index()) {
+            ivs.push((iv.begin, iv.end, iv.state));
+        }
     }
     for (leaf, ivs) in per_leaf.iter_mut().enumerate() {
         ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -387,7 +389,9 @@ pub fn decode_paje<R: BufRead, S: EventSink>(r: R, sink: &mut S) -> Result<bool>
                     pending: vec![None; n_leaves],
                 });
             }
-            let fz = frozen.as_mut().expect("frozen above");
+            let Some(fz) = frozen.as_mut() else {
+                return Err(err("set-state before the container hierarchy froze"));
+            };
             let node = *fz
                 .alias_to_node
                 .get(container)
@@ -400,7 +404,10 @@ pub fn decode_paje<R: BufRead, S: EventSink>(r: R, sink: &mut S) -> Result<bool>
                 .value_states
                 .get(value)
                 .ok_or_else(|| err("set-state references undefined value"))?;
-            let slot = &mut fz.pending[leaf.index()];
+            let slot = fz
+                .pending
+                .get_mut(leaf.index())
+                .ok_or_else(|| err("leaf index out of range"))?;
             if let Some((t0, prev)) = *slot {
                 if time < t0 {
                     return Err(err("set-state records must be time-ordered per container"));

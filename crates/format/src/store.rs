@@ -337,6 +337,9 @@ impl DiskStore {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
+        // GC recency ordering only: mtimes decide which *siblings* to
+        // evict, never what any artifact or reply contains.
+        // oclint: allow(det-clock)
         let mut siblings: Vec<(std::time::SystemTime, PathBuf)> = entries
             .flatten()
             .filter(|e| {
@@ -348,6 +351,7 @@ impl DiskStore {
                 let mtime = e
                     .metadata()
                     .and_then(|m| m.modified())
+                    // oclint: allow(det-clock) — epoch fallback for unreadable mtimes
                     .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
                 (mtime, e.path())
             })

@@ -1,0 +1,199 @@
+//! The grandfather baseline and its ratchet semantics.
+//!
+//! `lint.baseline` at the workspace root stores every currently-accepted
+//! finding, one rendered `file:line:col\trule\tmessage` line each, sorted,
+//! so diffs read naturally in review. The *comparison* is count-based per
+//! `(file, rule)`: a check fails only when a file accumulates **more**
+//! findings of some rule than the baseline records. Shifting a line
+//! number (editing code above an old finding) therefore does not fail the
+//! build, while every genuinely new violation does — and removing debt
+//! lets `oclint baseline` shrink the file, ratcheting the ceiling down.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Findings-per-(file, rule), the unit the ratchet compares.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Render findings to baseline file contents (sorted, trailing newline,
+/// stable across runs).
+pub fn render(findings: &[Finding]) -> String {
+    let mut lines: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}:{}:{}\t{}\t{}", f.file, f.line, f.col, f.rule, f.message))
+        .collect();
+    lines.sort();
+    let mut out = String::from(HEADER);
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+const HEADER: &str = "\
+# oclint baseline — grandfathered findings. Regenerate with:
+#   cargo run -p ocelotl-lint -- baseline
+# The check fails only when a (file, rule) pair exceeds its count here;
+# shrink this file by fixing debt, never by hand-editing counts up.
+";
+
+/// Parse baseline contents into ratchet counts. Unparseable lines are
+/// ignored (comments, blanks) so the format can grow.
+pub fn parse(contents: &str) -> Counts {
+    let mut counts = Counts::new();
+    for line in contents.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (Some(pos), Some(rule)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        // pos is file:line:col — strip the two numeric suffixes.
+        let Some(file) = pos.rsplitn(3, ':').nth(2) else {
+            continue;
+        };
+        *counts
+            .entry((file.to_string(), rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Tally live findings into the same shape.
+pub fn tally(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for f in findings {
+        *counts
+            .entry((f.file.clone(), f.rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The findings that exceed the baseline: for each (file, rule) with
+/// more live findings than grandfathered ones, the surplus — reported
+/// from the bottom of the file up, where new code usually lands.
+pub fn new_findings<'a>(findings: &'a [Finding], baseline: &Counts) -> Vec<&'a Finding> {
+    let mut remaining: Counts = baseline.clone();
+    let mut fresh: Vec<&Finding> = Vec::new();
+    // Findings arrive sorted; walk each (file, rule) group from the end
+    // so the grandfather budget covers the oldest (topmost) findings.
+    let mut by_group: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        by_group
+            .entry((f.file.clone(), f.rule.to_string()))
+            .or_default()
+            .push(f);
+    }
+    for (key, group) in by_group {
+        let budget = remaining.remove(&key).unwrap_or(0);
+        if group.len() > budget {
+            fresh.extend(&group[budget..]);
+        }
+    }
+    fresh.sort();
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &'static str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            col: 5,
+            rule,
+            message: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let a = vec![
+            finding("b.rs", 2, "panic-call"),
+            finding("a.rs", 9, "det-clock"),
+        ];
+        let b = vec![
+            finding("a.rs", 9, "det-clock"),
+            finding("b.rs", 2, "panic-call"),
+        ];
+        assert_eq!(render(&a), render(&b));
+        let r = render(&a);
+        assert!(r.ends_with('\n'));
+        assert!(r.find("a.rs:9").unwrap() < r.find("b.rs:2").unwrap());
+    }
+
+    #[test]
+    fn parse_round_trips_counts() {
+        let fs = vec![
+            finding("x.rs", 1, "panic-call"),
+            finding("x.rs", 7, "panic-call"),
+            finding("y.rs", 3, "no-print"),
+        ];
+        let counts = parse(&render(&fs));
+        assert_eq!(counts[&("x.rs".into(), "panic-call".into())], 2);
+        assert_eq!(counts[&("y.rs".into(), "no-print".into())], 1);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn parse_handles_colons_in_paths_and_ignores_noise() {
+        let contents = "# comment\n\ndir:odd/x.rs:3:4\tdet-clock\tmsg with\ttab\nbroken line\n";
+        let counts = parse(contents);
+        assert_eq!(counts[&("dir:odd/x.rs".into(), "det-clock".into())], 1);
+        assert_eq!(counts.len(), 1);
+    }
+
+    #[test]
+    fn within_budget_is_clean_even_if_lines_moved() {
+        let old = vec![finding("x.rs", 10, "panic-call")];
+        let baseline = parse(&render(&old));
+        let live = vec![finding("x.rs", 42, "panic-call")]; // moved, not new
+        assert!(new_findings(&live, &baseline).is_empty());
+    }
+
+    #[test]
+    fn surplus_is_reported_newest_first_by_position() {
+        let old = vec![finding("x.rs", 10, "panic-call")];
+        let baseline = parse(&render(&old));
+        let live = vec![
+            finding("x.rs", 10, "panic-call"),
+            finding("x.rs", 90, "panic-call"),
+        ];
+        let fresh = new_findings(&live, &baseline);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].line, 90);
+    }
+
+    #[test]
+    fn different_rule_in_same_file_is_not_covered() {
+        let old = vec![finding("x.rs", 10, "panic-call")];
+        let baseline = parse(&render(&old));
+        let live = vec![finding("x.rs", 10, "det-clock")];
+        assert_eq!(new_findings(&live, &baseline).len(), 1);
+    }
+
+    #[test]
+    fn fixing_debt_then_regenerating_shrinks_budget() {
+        let old = vec![
+            finding("x.rs", 10, "panic-call"),
+            finding("x.rs", 20, "panic-call"),
+        ];
+        let baseline = parse(&render(&old));
+        // One fixed; still within the stale, larger budget…
+        let live = vec![finding("x.rs", 20, "panic-call")];
+        assert!(new_findings(&live, &baseline).is_empty());
+        // …until the baseline is regenerated, after which growing back fails.
+        let ratcheted = parse(&render(&live));
+        let regressed = vec![
+            finding("x.rs", 20, "panic-call"),
+            finding("x.rs", 30, "panic-call"),
+        ];
+        assert_eq!(new_findings(&regressed, &ratcheted).len(), 1);
+    }
+}

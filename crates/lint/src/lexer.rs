@@ -1,0 +1,616 @@
+//! A minimal Rust lexer for rule matching.
+//!
+//! This is not a full grammar — it tokenizes just well enough that the
+//! rules in [`crate::rules`] can match token *sequences* without being
+//! fooled by the classic traps: `unwrap()` inside a comment or string
+//! literal, `'a` lifetimes vs `'a'` char literals, raw strings with any
+//! `#` arity, and nested block comments. On top of the token stream it
+//! computes two region maps the rules consume:
+//!
+//! * **test regions** — token ranges covered by a `#[cfg(test)]` item
+//!   (typically `mod tests { … }`) or a `#[test]` function, where the
+//!   panic/determinism rules do not apply;
+//! * **allow markers** — comments of the form
+//!   `// oclint: allow(rule-a, rule-b) — reason`, which suppress those
+//!   rules on the same line and the line below (the marked statement).
+
+/// Token classification — exactly what the rules need, nothing more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `let`, `unsafe`, …).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `::` is two `:`).
+    Punct,
+    /// Integer literal, including based (`0xff`) and suffixed (`64u16`).
+    Int,
+    /// Float literal (`1.5`, `2e-3`).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this punctuation `ch`?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+
+    /// Is this the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// An `oclint: allow(...)` marker found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Rule name inside the parentheses.
+    pub rule: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct LexFile {
+    pub tokens: Vec<Token>,
+    /// Half-open token-index ranges covered by test-only code.
+    pub test_regions: Vec<(usize, usize)>,
+    pub allows: Vec<Allow>,
+}
+
+impl LexFile {
+    /// True when token `idx` falls inside a `#[cfg(test)]` / `#[test]`
+    /// region.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| idx >= lo && idx < hi)
+    }
+
+    /// True when `rule` is allow-marked for a finding on `line` (the
+    /// marker may sit on the same line or the line above).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Tokenize `src`, collecting test regions and allow markers.
+pub fn lex(src: &str) -> LexFile {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: LexFile::default(),
+    };
+    lx.run();
+    let regions = test_regions(&lx.out.tokens);
+    lx.out.test_regions = regions;
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexFile,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' if self.raw_string_ahead(1) => self.raw_string(1),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime();
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => self.raw_string(2),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+    }
+
+    /// Does a raw-string opener (`#`* then `"`) start `skip` chars ahead?
+    fn raw_string_ahead(&self, skip: usize) -> bool {
+        let mut i = skip;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.scan_allow(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.scan_allow(&text, line);
+    }
+
+    /// Parse `oclint: allow(rule-a, rule-b)` out of a comment body.
+    fn scan_allow(&mut self, text: &str, line: u32) {
+        let Some(at) = text.find("oclint:") else {
+            return;
+        };
+        let rest = text[at + "oclint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            return;
+        };
+        let Some(end) = rest.find(')') else {
+            return;
+        };
+        for rule in rest[..end].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                self.out.allows.push(Allow {
+                    line,
+                    rule: rule.to_string(),
+                });
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let (line, col) = (self.line, self.col);
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    fn raw_string(&mut self, prefix: usize) {
+        let (line, col) = (self.line, self.col);
+        for _ in 0..prefix {
+            self.bump(); // `r` or `br`
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut i = 0;
+                while i < hashes {
+                    if self.peek(0) != Some('#') {
+                        continue 'outer;
+                    }
+                    self.bump();
+                    i += 1;
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let (line, col) = (self.line, self.col);
+        // `'a` (no closing quote after one ident char) is a lifetime;
+        // `'a'`, `'\n'`, `'\u{1F600}'` are char literals.
+        let one = self.peek(1);
+        let two = self.peek(2);
+        let is_lifetime = match one {
+            Some(c) if c == '_' || c.is_alphabetic() => two != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // quote
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+            return;
+        }
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, String::new(), line, col);
+    }
+
+    fn number(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // Exponent sign: `1e-5` / `2E+3`.
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && matches!(self.peek(1), Some('+') | Some('-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    is_float = true;
+                    text.push(c);
+                    self.bump();
+                    if let Some(sign) = self.bump() {
+                        text.push(sign);
+                    }
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1..n` is a range, `1.5` is a float, `1.max()` is a call.
+                if self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !is_float {
+                    is_float = true;
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line, col);
+    }
+
+    fn ident(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        // Raw identifier `r#type`.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-region tracking
+// ---------------------------------------------------------------------------
+
+/// Token index just past the bracket-balanced span opening at `open`
+/// (which must be `[`, `(` or `{`).
+fn skip_balanced(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') || t.is_punct('(') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(']') || t.is_punct(')') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Is the attribute content (tokens strictly between `#[` and `]`) a
+/// test marker: `test`, `cfg(test)`, or a `cfg(...)` mentioning `test`
+/// without `not`?
+fn attr_is_test(content: &[Token]) -> bool {
+    match content.first() {
+        Some(t) if t.is_ident("test") => content.len() == 1,
+        Some(t) if t.is_ident("cfg") => {
+            content.iter().any(|t| t.is_ident("test")) && !content.iter().any(|t| t.is_ident("not"))
+        }
+        _ => false,
+    }
+}
+
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let attr_end = skip_balanced(tokens, i + 1);
+        let content = &tokens[i + 2..attr_end.saturating_sub(1)];
+        if !attr_is_test(content) {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes between the marker and the item.
+        let mut j = attr_end;
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            j = skip_balanced(tokens, j + 1);
+        }
+        // The item body is the first balanced `{…}`; attribute on a
+        // bodiless item (`#[cfg(test)] use …;`) covers through the `;`.
+        let mut k = j;
+        let mut end = tokens.len();
+        while k < tokens.len() {
+            if tokens[k].is_punct('{') {
+                end = skip_balanced(tokens, k);
+                break;
+            }
+            if tokens[k].is_punct(';') {
+                end = k + 1;
+                break;
+            }
+            k += 1;
+        }
+        regions.push((i, end));
+        i = end;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic! in /* a nested */ block */
+            let s = "unwrap() in a string";
+            let r = r#"panic! in a raw "string" with quotes"#;
+            let ok = real_ident;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "panic"));
+        assert!(ids.iter().any(|i| i == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lf = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lf
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lf.tokens.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn escaped_char_literals_lex() {
+        let lf = lex(r"let c = '\''; let n = '\n'; let u = '\u{1F600}';");
+        let chars = lf.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let lf = lex("a[0]; b[0xff]; c[1_000]; d = 1.5; e = 2e-3; f = 1..n;");
+        let kinds: Vec<_> = lf
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.text.clone(), t.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("0".into(), TokKind::Int),
+                ("0xff".into(), TokKind::Int),
+                ("1_000".into(), TokKind::Int),
+                ("1.5".into(), TokKind::Float),
+                ("2e-3".into(), TokKind::Float),
+                ("1".into(), TokKind::Int),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let src = "
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y.unwrap(); }
+            }
+            fn live_too() {}
+        ";
+        let lf = lex(src);
+        let unwraps: Vec<usize> = lf
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!lf.in_test(unwraps[0]), "live code is not a test region");
+        assert!(lf.in_test(unwraps[1]), "cfg(test) mod is a test region");
+        let live_too = lf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live_too"))
+            .unwrap();
+        assert!(!lf.in_test(live_too), "region must end at the mod brace");
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_a_region() {
+        let src = "
+            #[test]
+            #[ignore]
+            fn t() { z.unwrap(); }
+            fn live() { w.unwrap(); }
+        ";
+        let lf = lex(src);
+        let unwraps: Vec<usize> = lf
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(lf.in_test(unwraps[0]));
+        assert!(!lf.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let lf = lex("#[cfg(not(test))] fn live() { x.unwrap(); }");
+        let unwrap = lf.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!lf.in_test(unwrap));
+    }
+
+    #[test]
+    fn allow_markers_parse_and_suppress_adjacent_lines() {
+        let src = "\
+let a = 1;
+// oclint: allow(det-clock, panic-call) — telemetry only
+let t = SystemTime::now();
+let later = SystemTime::now();
+";
+        let lf = lex(src);
+        assert_eq!(lf.allows.len(), 2);
+        assert!(lf.allowed("det-clock", 2), "same line");
+        assert!(lf.allowed("det-clock", 3), "line below");
+        assert!(!lf.allowed("det-clock", 4), "two lines below");
+        assert!(lf.allowed("panic-call", 3));
+        assert!(!lf.allowed("no-print", 3));
+    }
+
+    #[test]
+    fn bodiless_cfg_test_item_covers_through_semicolon() {
+        let lf = lex("#[cfg(test)] use crate::panic_thing; fn live() {}");
+        let p = lf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("panic_thing"))
+            .unwrap();
+        let live = lf.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(lf.in_test(p));
+        assert!(!lf.in_test(live));
+    }
+}

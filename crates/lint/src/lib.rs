@@ -1,0 +1,70 @@
+//! oclint — the workspace invariant linter.
+//!
+//! The repo's load-bearing property is that aggregate replies are
+//! *reproducible*: byte-identical across cold, warm, remote and sharded
+//! paths. Tests prove that for the paths they exercise; these rules keep
+//! the source conditions that make it true — no wall clocks near the
+//! wire codec, no hash-order iteration before encoding, no panics in
+//! decoder or server threads, admission mutexes covering bookkeeping
+//! only — machine-checked on every commit.
+//!
+//! See [`rules`] for the rule families, [`baseline`] for the ratchet.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use rules::Finding;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Name of the grandfather file at the workspace root.
+pub const BASELINE_FILE: &str = "lint.baseline";
+
+/// Outcome of a full check run.
+pub struct Report {
+    /// Every finding, sorted.
+    pub findings: Vec<Finding>,
+    /// Findings not covered by the baseline (empty = pass).
+    pub fresh: Vec<Finding>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+/// Lint every workspace source under `root` and compare against its
+/// checked-in baseline (a missing baseline grandfathers nothing).
+pub fn check_root(root: &Path) -> io::Result<Report> {
+    let files = workspace::source_files(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        findings.extend(rules::check_file(rel, &lexer::lex(&src)));
+    }
+    findings.sort();
+    let baseline = match fs::read_to_string(root.join(BASELINE_FILE)) {
+        Ok(contents) => baseline::parse(&contents),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => baseline::Counts::new(),
+        Err(e) => return Err(e),
+    };
+    let fresh = baseline::new_findings(&findings, &baseline)
+        .into_iter()
+        .cloned()
+        .collect();
+    Ok(Report {
+        findings,
+        fresh,
+        files: files.len(),
+    })
+}
+
+/// Regenerate `lint.baseline` from the current findings. Returns the
+/// number of grandfathered findings.
+pub fn write_baseline(root: &Path) -> io::Result<usize> {
+    let report = check_root(root)?;
+    fs::write(root.join(BASELINE_FILE), baseline::render(&report.findings))?;
+    Ok(report.findings.len())
+}

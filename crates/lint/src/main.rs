@@ -1,0 +1,132 @@
+//! oclint CLI.
+//!
+//! ```text
+//! oclint check [--strict] [--root DIR]   # exit 1 on new findings (or any, with --strict)
+//! oclint baseline [--root DIR]           # regenerate lint.baseline
+//! ```
+
+#![forbid(unsafe_code)]
+
+use ocelotl_lint::{check_root, rules::ALL_RULES, write_baseline, BASELINE_FILE};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: oclint <check [--strict]|baseline> [--root DIR]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut strict = false;
+    let mut root_arg: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--strict" => strict = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("oclint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match ocelotl_lint::workspace::find_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("oclint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            let report = match check_root(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("oclint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if strict {
+                for f in &report.findings {
+                    println!("{f}");
+                }
+                let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+                for f in &report.findings {
+                    *per_rule.entry(f.rule).or_insert(0) += 1;
+                }
+                println!(
+                    "oclint --strict: {} finding(s) across {} file(s)",
+                    report.findings.len(),
+                    report.files
+                );
+                for rule in ALL_RULES {
+                    println!(
+                        "  {:>14}  {}",
+                        rule,
+                        per_rule.get(rule).copied().unwrap_or(0)
+                    );
+                }
+                if report.findings.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                }
+            } else {
+                for f in &report.fresh {
+                    println!("{f}");
+                }
+                if report.fresh.is_empty() {
+                    println!(
+                        "oclint: clean ({} file(s), {} grandfathered finding(s) in {})",
+                        report.files,
+                        report.findings.len(),
+                        BASELINE_FILE
+                    );
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!(
+                        "oclint: {} new finding(s); fix them or (for reviewed debt) \
+                         run `cargo run -p ocelotl-lint -- baseline`",
+                        report.fresh.len()
+                    );
+                    ExitCode::from(1)
+                }
+            }
+        }
+        "baseline" => match write_baseline(&root) {
+            Ok(n) => {
+                println!("oclint: wrote {BASELINE_FILE} with {n} finding(s)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("oclint: {e}");
+                ExitCode::from(2)
+            }
+        },
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

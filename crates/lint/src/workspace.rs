@@ -1,0 +1,76 @@
+//! Workspace discovery: find the root, enumerate the Rust sources.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no workspace root (Cargo.toml with [workspace]) above the current directory",
+            ));
+        }
+    }
+}
+
+/// Every `.rs` file under `crates/*/src` and the root `src/`, as
+/// `/`-separated workspace-relative paths, sorted. `target/` and hidden
+/// directories are never entered.
+pub fn source_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                walk(&src, root, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, root, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}

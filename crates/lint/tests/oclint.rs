@@ -1,0 +1,262 @@
+//! oclint end to end: fixture workspaces under a temp root (the
+//! acceptance scenarios — a wall clock sneaked into `format::json`, an
+//! `unwrap()` sneaked into `serve.rs`), baseline add/remove/regenerate
+//! semantics, and the real workspace staying clean against its
+//! checked-in baseline.
+
+use ocelotl_lint::{baseline, check_root, workspace, write_baseline, BASELINE_FILE};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A scratch workspace root, removed on drop.
+struct TempRoot(PathBuf);
+
+impl TempRoot {
+    fn new() -> Self {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "oclint-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        fs::create_dir_all(&dir).expect("create temp root");
+        fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    /// Write a source file at a workspace-relative path.
+    fn write(&self, rel: &str, src: &str) {
+        let path = self.0.join(rel);
+        fs::create_dir_all(path.parent().expect("rel path has a parent")).expect("mkdir");
+        fs::write(path, src).expect("write source");
+    }
+}
+
+impl Drop for TempRoot {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn clock_in_json_codec_fails_with_position() {
+    let root = TempRoot::new();
+    root.write(
+        "crates/format/src/json.rs",
+        "fn stamp() -> u64 {\n    let t = std::time::SystemTime::now();\n    0\n}\n",
+    );
+    let report = check_root(root.path()).expect("check runs");
+    assert_eq!(report.fresh.len(), 1);
+    let f = &report.fresh[0];
+    assert_eq!(f.rule, "det-clock");
+    assert_eq!((f.file.as_str(), f.line), ("crates/format/src/json.rs", 2));
+    assert!(
+        f.to_string().starts_with("crates/format/src/json.rs:2:"),
+        "diagnostic must lead with file:line — got {f}"
+    );
+}
+
+#[test]
+fn unwrap_in_serve_fails_with_position() {
+    let root = TempRoot::new();
+    root.write(
+        "crates/cli/src/commands/serve.rs",
+        "fn reply(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    let report = check_root(root.path()).expect("check runs");
+    assert_eq!(report.fresh.len(), 1);
+    let f = &report.fresh[0];
+    assert_eq!(f.rule, "panic-call");
+    assert_eq!(
+        (f.file.as_str(), f.line),
+        ("crates/cli/src/commands/serve.rs", 2)
+    );
+}
+
+#[test]
+fn clean_sources_pass_without_a_baseline() {
+    let root = TempRoot::new();
+    root.write(
+        "crates/format/src/json.rs",
+        "pub fn encode(x: u64) -> String { format!(\"{x}\") }\n",
+    );
+    let report = check_root(root.path()).expect("check runs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.fresh.is_empty());
+    assert_eq!(report.files, 1);
+}
+
+#[test]
+fn baseline_grandfathers_old_debt_but_catches_new() {
+    let root = TempRoot::new();
+    root.write(
+        "crates/format/src/gzip.rs",
+        "fn a(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    // Regenerate: the existing unwrap is grandfathered.
+    let n = write_baseline(root.path()).expect("baseline writes");
+    assert_eq!(n, 1);
+    let report = check_root(root.path()).expect("check runs");
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.fresh.is_empty(), "grandfathered debt must pass");
+
+    // The same file grows a second unwrap: only the new one is fresh.
+    root.write(
+        "crates/format/src/gzip.rs",
+        "fn a(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn b(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    let report = check_root(root.path()).expect("check runs");
+    assert_eq!(report.findings.len(), 2);
+    assert_eq!(report.fresh.len(), 1);
+    assert_eq!(
+        report.fresh[0].line, 5,
+        "the surplus finding is the new one"
+    );
+}
+
+#[test]
+fn fixing_debt_and_regenerating_ratchets_down() {
+    let root = TempRoot::new();
+    root.write(
+        "crates/format/src/binary.rs",
+        "fn a(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn b(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    assert_eq!(write_baseline(root.path()).expect("baseline"), 2);
+
+    // One unwrap fixed: still passes, then regeneration shrinks the file.
+    root.write(
+        "crates/format/src/binary.rs",
+        "fn a(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn b(x: Option<u8>) -> u8 {\n    x.unwrap_or(0)\n}\n",
+    );
+    assert!(check_root(root.path()).expect("check").fresh.is_empty());
+    assert_eq!(write_baseline(root.path()).expect("baseline"), 1);
+    let contents = fs::read_to_string(root.path().join(BASELINE_FILE)).expect("read baseline");
+    assert_eq!(
+        contents.lines().filter(|l| !l.starts_with('#')).count(),
+        1,
+        "regenerated baseline must drop the fixed finding"
+    );
+
+    // Growing back to two now fails against the ratcheted baseline.
+    root.write(
+        "crates/format/src/binary.rs",
+        "fn a(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn b(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    assert_eq!(check_root(root.path()).expect("check").fresh.len(), 1);
+}
+
+#[test]
+fn moving_grandfathered_debt_does_not_fail() {
+    let root = TempRoot::new();
+    root.write(
+        "crates/format/src/text.rs",
+        "fn a(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    write_baseline(root.path()).expect("baseline");
+    // Code added above the old finding shifts its line; counts are stable.
+    root.write(
+        "crates/format/src/text.rs",
+        "// a comment\n// another\nfn a(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    let report = check_root(root.path()).expect("check runs");
+    assert!(
+        report.fresh.is_empty(),
+        "line drift must not fail the check"
+    );
+}
+
+#[test]
+fn baseline_render_is_sorted_and_regeneration_is_idempotent() {
+    let root = TempRoot::new();
+    root.write(
+        "crates/format/src/gzip.rs",
+        "fn a(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    root.write(
+        "crates/format/src/binary.rs",
+        "fn b(v: &[u8], i: usize) -> u8 {\n    v[i]\n}\n",
+    );
+    write_baseline(root.path()).expect("baseline");
+    let first = fs::read_to_string(root.path().join(BASELINE_FILE)).expect("read");
+    write_baseline(root.path()).expect("baseline again");
+    let second = fs::read_to_string(root.path().join(BASELINE_FILE)).expect("read");
+    assert_eq!(first, second, "regeneration must be byte-stable");
+    let body: Vec<&str> = first.lines().filter(|l| !l.starts_with('#')).collect();
+    let mut sorted = body.clone();
+    sorted.sort_unstable();
+    assert_eq!(body, sorted, "baseline body must be sorted");
+}
+
+// ---------------------------------------------------------------------------
+// The real workspace
+// ---------------------------------------------------------------------------
+
+fn real_root() -> PathBuf {
+    workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+#[test]
+fn real_workspace_is_clean_against_its_baseline() {
+    let report = check_root(&real_root()).expect("check runs");
+    let fresh: Vec<String> = report.fresh.iter().map(|f| f.to_string()).collect();
+    assert!(
+        fresh.is_empty(),
+        "new findings not covered by lint.baseline:\n{}",
+        fresh.join("\n")
+    );
+}
+
+#[test]
+fn serve_and_gzip_carry_no_panic_debt() {
+    // The acceptance bar for PR 9: the connection/build paths and the
+    // decompressor hold the panic-freedom rules outright, not via the
+    // baseline.
+    let report = check_root(&real_root()).expect("check runs");
+    let debt: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            (f.file.ends_with("commands/serve.rs") || f.file.ends_with("src/gzip.rs"))
+                && (f.rule.starts_with("panic-") || f.rule.starts_with("lock-"))
+        })
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        debt.is_empty(),
+        "panic/lock debt crept back:\n{}",
+        debt.join("\n")
+    );
+}
+
+#[test]
+fn determinism_scope_holds_with_zero_grandfathered_findings() {
+    let report = check_root(&real_root()).expect("check runs");
+    let det: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule.starts_with("det-"))
+        .map(|f| f.to_string())
+        .collect();
+    assert!(det.is_empty(), "determinism debt:\n{}", det.join("\n"));
+}
+
+#[test]
+fn baseline_counts_match_checked_in_file() {
+    // The checked-in baseline parses, and its per-(file, rule) counts
+    // cover the live findings exactly (no slack that would mask new
+    // violations, no missing coverage).
+    let root = real_root();
+    let contents = fs::read_to_string(root.join(BASELINE_FILE)).expect("lint.baseline exists");
+    let counts = baseline::parse(&contents);
+    let report = check_root(&root).expect("check runs");
+    let live = baseline::tally(&report.findings);
+    assert_eq!(
+        counts, live,
+        "lint.baseline is stale; regenerate with `cargo run -p ocelotl-lint -- baseline`"
+    );
+}

@@ -1,0 +1,66 @@
+//! Reply-byte stability of the visual-aggregation (overview) path.
+//!
+//! Overview replies are assembled by iterating the collapse buckets in
+//! `ocelotl-core::visual` — an iteration-before-encode path the oclint
+//! `det-hash-iter` rule guards. These tests pin the contract the rule
+//! protects: independently built sessions over the same input must
+//! produce byte-identical overview reply lines, including when the
+//! request collapses rows into visual aggregates.
+
+use ocelotl::format::encode_reply;
+use ocelotl::prelude::*;
+use ocelotl::query::{AnalysisReply, AnalysisRequest};
+use ocelotl::trace::synthetic::random_model;
+
+fn overview_line(seed: u64, p: f64, min_rows: f64) -> (String, usize) {
+    let model = random_model(&[3, 2, 2], 11, 3, seed);
+    let n_slices = model.n_slices();
+    let mut engine = QueryEngine::new(AnalysisSession::new(
+        OwnedSource::new(model, seed),
+        SessionConfig {
+            n_slices,
+            ..SessionConfig::default()
+        },
+    ));
+    let reply = engine
+        .execute(&AnalysisRequest::RenderOverview {
+            p,
+            coarse: false,
+            min_rows,
+            level_resolution: None,
+        })
+        .expect("overview over a synthetic model");
+    let n_visual = match &reply {
+        AnalysisReply::Overview(o) => o.n_visual,
+        other => panic!("expected an overview reply, got {other:?}"),
+    };
+    (encode_reply(&Ok(reply)), n_visual)
+}
+
+#[test]
+fn overview_replies_are_byte_identical_across_rebuilds() {
+    for seed in [7u64, 21, 99] {
+        let (first, _) = overview_line(seed, 0.4, 1.0);
+        for _ in 0..3 {
+            let (again, _) = overview_line(seed, 0.4, 1.0);
+            assert_eq!(again, first, "seed {seed}: overview bytes drifted");
+        }
+    }
+}
+
+#[test]
+fn collapsed_overviews_stay_byte_stable() {
+    // p = 0 keeps per-leaf areas, and min_rows = 2 absorbs them into
+    // visual aggregates assembled from the per-node buckets — the exact
+    // path where hash-order iteration would scramble item order.
+    let (first, n_visual) = overview_line(42, 0.0, 2.0);
+    assert!(
+        n_visual > 0,
+        "fixture must exercise the visual-aggregate path"
+    );
+    for _ in 0..3 {
+        let (again, n) = overview_line(42, 0.0, 2.0);
+        assert_eq!(n, n_visual);
+        assert_eq!(again, first, "collapsed overview bytes drifted");
+    }
+}
