@@ -1,0 +1,205 @@
+//! Subscribed refresh vs re-ingestion: the economy of live ingestion.
+//!
+//! A watcher following a running trace can be served two ways: append the
+//! new batch into the resident live session and re-answer (what
+//! `subscribe` does), or re-ingest everything seen so far and answer
+//! fresh (what a client without the live path would script). Both yield
+//! bit-identical replies — the bench pins how much cheaper the first is.
+//!
+//! For each target event count (default 10⁶; override with
+//! `OCELOTL_LIVE_EVENTS=100000,1000000`) the bench
+//!
+//! 1. runs a Table II case-A simulation twice with one seed (the engine
+//!    is deterministic): once streamed to a `.btf` file — the trace a
+//!    non-live client would re-read — and once in memory, collecting
+//!    the event stream and its extent (as `simulate --live`'s scan
+//!    pass does);
+//! 2. publishes an empty live session and feeds every batch but the
+//!    last through `LiveFeeder::feed`, answering an `aggregate` after
+//!    each refresh — the steady-state subscription loop;
+//! 3. times the **final refresh**: feed the last batch + re-answer;
+//! 4. times the **re-ingest**: one full disk pass (`read_hi_res`) over
+//!    the written trace plus the same request on the fresh model,
+//!    checking the two replies are equal.
+//!
+//! The acceptance bar: at ≥10⁶ events the subscribed refresh is ≥10×
+//! cheaper than the re-ingest. Results go to stdout (`BENCH {...}`
+//! lines) and to `BENCH_live.json` (path override: `BENCH_LIVE_JSON`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocelotl::core::query::{AnalysisRequest, QueryEngine};
+use ocelotl::core::{hi_res_slices, AnalysisSession, HiResModel, LiveEvent, SessionConfig};
+use ocelotl::format::read_hi_res;
+use ocelotl::mpisim::{scenario_with_events, CaseId, Engine};
+use ocelotl::prelude::*;
+use ocelotl::trace::{MicroBuilder, TimeGrid};
+use ocelotl_bench::scratch;
+use ocelotl_cli::commands::serve::{ServeOptions, ServerState};
+use std::time::Instant;
+
+const N_SLICES: usize = 30;
+const BATCH: usize = 4096;
+
+fn sizes() -> Vec<u64> {
+    match std::env::var("OCELOTL_LIVE_EVENTS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![1_000_000],
+    }
+}
+
+fn request() -> AnalysisRequest {
+    AnalysisRequest::Aggregate {
+        p: 0.5,
+        coarse: false,
+        compare: false,
+        diff_p: None,
+    }
+}
+
+struct Point {
+    target: u64,
+    events: u64,
+    refreshes: u64,
+    refresh_ms: f64,
+    reingest_ms: f64,
+}
+
+fn bench_live_refresh(_c: &mut Criterion) {
+    let mut points = Vec::new();
+    println!(
+        "{:>12} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "target", "events", "refreshes", "refresh", "re-ingest", "speedup"
+    );
+    for target in sizes() {
+        let sc = scenario_with_events(CaseId::A, target);
+
+        // The trace a non-live client would re-read, and the same event
+        // stream in memory (same seed, identical sequence).
+        let path = scratch(&format!("live_refresh_{target}.btf"));
+        sc.run_to_file(&path, 42).expect("streamed generation");
+        let mut events: Vec<LiveEvent> = Vec::new();
+        let mut t_min = f64::INFINITY;
+        let mut t_max = f64::NEG_INFINITY;
+        sc.run_with_emit(42, &mut |rank, sid, b, e| {
+            t_min = t_min.min(b);
+            t_max = t_max.max(e);
+            events.push((LeafId(rank), sid, b, e));
+        });
+        assert!(t_max > t_min, "simulation emitted no intervals");
+
+        // The live session, declared exactly as `simulate --live` does.
+        let (registry, _) = Engine::standard_states();
+        let hierarchy = sc.platform.hierarchy();
+        let h = hi_res_slices(N_SLICES, hierarchy.n_leaves(), registry.len());
+        let grid = TimeGrid::new(t_min, t_max, h);
+        let config = SessionConfig {
+            n_slices: N_SLICES,
+            ..SessionConfig::default()
+        };
+        let empty = MicroBuilder::new(hierarchy.clone(), registry.clone(), grid).finish();
+        let session = AnalysisSession::live(config, HiResModel::new(config.metric, empty))
+            .expect("live session");
+        let state = ServerState::new(ServeOptions::default());
+        let feeder = state.publish_live("live", QueryEngine::new(session));
+
+        // Steady state: feed batch, re-answer — exactly the subscription
+        // loop. The last few refreshes are timed individually and the
+        // median reported, so one scheduler hiccup can't skew the bar.
+        const TIMED: usize = 5;
+        let batches: Vec<&[LiveEvent]> = events.chunks(BATCH).collect();
+        let untimed = batches.len().saturating_sub(TIMED);
+        let mut live_reply = None;
+        let mut timings = Vec::with_capacity(TIMED);
+        for (i, chunk) in batches.iter().enumerate() {
+            let t0 = Instant::now();
+            feeder.feed(chunk).expect("feed");
+            let reply = feeder
+                .with_engine(|e| e.execute_shared(&request()))
+                .expect("engine lock")
+                .expect("prepared")
+                .expect("aggregate reply");
+            if i >= untimed {
+                timings.push(t0.elapsed());
+                live_reply = Some(reply);
+            }
+        }
+        feeder.finish();
+        timings.sort();
+        let refresh = timings[timings.len() / 2];
+        let live_reply = live_reply.expect("at least one refresh");
+
+        // What the same answer costs without the live path: re-ingest
+        // the trace written so far (a full disk pass) and answer fresh.
+        let t1 = Instant::now();
+        let report = read_hi_res(&path, N_SLICES, config.metric.model_kind()).expect("re-ingest");
+        let n_events = report.events();
+        let session = AnalysisSession::live(config, HiResModel::new(config.metric, report.model))
+            .expect("fresh session");
+        let fresh_reply = QueryEngine::new(session)
+            .execute(&request())
+            .expect("aggregate reply");
+        let reingest = t1.elapsed();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(
+            live_reply, fresh_reply,
+            "live refresh must answer identically to re-ingestion"
+        );
+
+        let refreshes = (events.len() as u64).div_ceil(BATCH as u64);
+        let speedup = reingest.as_secs_f64() / refresh.as_secs_f64().max(1e-9);
+        println!(
+            "{:>12} {:>12} {:>10} {:>9.2} ms {:>9.1} ms {:>9.1}x",
+            target,
+            n_events,
+            refreshes,
+            refresh.as_secs_f64() * 1e3,
+            reingest.as_secs_f64() * 1e3,
+            speedup,
+        );
+        if target >= 1_000_000 {
+            assert!(
+                speedup >= 10.0,
+                "a subscribed refresh must be >=10x cheaper than re-ingesting \
+                 at >=1e6 events (got {speedup:.1}x)"
+            );
+        }
+        points.push(Point {
+            target,
+            events: n_events,
+            refreshes,
+            refresh_ms: refresh.as_secs_f64() * 1e3,
+            reingest_ms: reingest.as_secs_f64() * 1e3,
+        });
+    }
+
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"bench\":\"live_refresh\",\"target_events\":{},\"events\":{},\
+                 \"refreshes\":{},\"batch\":{BATCH},\"refresh_ms\":{:.3},\
+                 \"reingest_ms\":{:.3},\"speedup\":{:.2}}}",
+                p.target,
+                p.events,
+                p.refreshes,
+                p.refresh_ms,
+                p.reingest_ms,
+                p.reingest_ms / p.refresh_ms.max(1e-6),
+            )
+        })
+        .collect();
+    for e in &entries {
+        println!("BENCH {e}");
+    }
+    let json_path = std::env::var("BENCH_LIVE_JSON").unwrap_or_else(|_| "BENCH_live.json".into());
+    let json = format!("[\n  {}\n]\n", entries.join(",\n  "));
+    if let Err(e) = std::fs::write(&json_path, json) {
+        eprintln!("could not write {json_path}: {e}");
+    } else {
+        println!("wrote {json_path}");
+    }
+}
+
+criterion_group!(benches, bench_live_refresh);
+criterion_main!(benches);

@@ -16,3 +16,4 @@ pub mod report;
 pub mod serve;
 pub mod simulate;
 pub mod sweep;
+pub mod watch;

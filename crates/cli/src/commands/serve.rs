@@ -48,8 +48,8 @@
 use crate::args::Args;
 use crate::helpers::{build_session_with_workers, cache_dir, session_config};
 use crate::CliError;
-use ocelotl::core::query::{QueryEngine, QueryError};
-use ocelotl::core::SessionConfig;
+use ocelotl::core::query::{AnalysisReply, AnalysisRequest, QueryEngine, QueryError, WatchReply};
+use ocelotl::core::{LiveEvent, SessionConfig};
 use std::collections::{BTreeMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -203,6 +203,10 @@ pub struct ServerState {
     builds_done: Condvar,
     builds_started: AtomicUsize,
     busy_rejections: AtomicUsize,
+    /// Published live sessions, addressable by the advertised name in a
+    /// wire request's `trace` field. Held only for lookup/registration —
+    /// never across model work.
+    live: Mutex<Vec<LiveEntry>>,
     opts: ServeOptions,
 }
 
@@ -232,6 +236,7 @@ impl ServerState {
             builds_done: Condvar::new(),
             builds_started: AtomicUsize::new(0),
             busy_rejections: AtomicUsize::new(0),
+            live: Mutex::new(Vec::new()),
             opts,
         }
     }
@@ -245,6 +250,11 @@ impl ServerState {
 
     fn try_handle(&self, line: &str) -> Result<ocelotl::core::query::AnalysisReply, QueryError> {
         let (trace, mut config, request) = ocelotl::format::decode_wire_request(line)?;
+        // Published live sessions shadow the filesystem: their advertised
+        // names are served from the in-memory feed, never from disk.
+        if let Some((slot, _live)) = self.live_lookup(&trace) {
+            return Self::handle_live(&slot, &config, &request);
+        }
         let path = PathBuf::from(&trace);
         if !path.exists() {
             return Err(QueryError::Source(format!("no such file: {trace}")));
@@ -415,6 +425,323 @@ impl ServerState {
     pub fn busy_rejections(&self) -> usize {
         self.busy_rejections.load(Ordering::SeqCst)
     }
+
+    /// Publish a live session under `name`: wire requests whose `trace`
+    /// field equals `name` are served from this engine (never from disk),
+    /// and `subscribe` requests stream its refreshes. Returns the feeder
+    /// half, which pushes event batches and announces refreshes.
+    pub fn publish_live(&self, name: &str, engine: QueryEngine) -> LiveFeeder {
+        let slot = Arc::new(SessionSlot {
+            engine: RwLock::new(engine),
+        });
+        let live = Arc::new(LiveState {
+            gen: Mutex::new(LiveGen::default()),
+            refreshed: Condvar::new(),
+            subscribers: AtomicUsize::new(0),
+            served: AtomicUsize::new(0),
+        });
+        lock_clean(&self.live).push(LiveEntry {
+            name: name.to_string(),
+            slot: slot.clone(),
+            live: live.clone(),
+        });
+        LiveFeeder { slot, live }
+    }
+
+    fn live_lookup(&self, name: &str) -> Option<(Arc<SessionSlot>, Arc<LiveState>)> {
+        lock_clean(&self.live)
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| (e.slot.clone(), e.live.clone()))
+    }
+
+    /// Number of published live sessions.
+    pub fn live_sessions(&self) -> usize {
+        lock_clean(&self.live).len()
+    }
+
+    /// Answer one non-subscribe request against a published live session:
+    /// the same read-fast/write-slow split as pooled sessions, minus the
+    /// disk-backed admission (a live model exists only in memory).
+    fn handle_live(
+        slot: &SessionSlot,
+        config: &SessionConfig,
+        request: &AnalysisRequest,
+    ) -> Result<AnalysisReply, QueryError> {
+        if matches!(request, AnalysisRequest::Subscribe { .. }) {
+            return Err(QueryError::Protocol(
+                "subscribe takes over its connection and must be the last request on it; \
+                 pipelined subscribe is not supported"
+                    .into(),
+            ));
+        }
+        {
+            let Ok(engine) = slot.engine.read() else {
+                return Err(QueryError::Source(
+                    "live session lock poisoned by an earlier panic".into(),
+                ));
+            };
+            let session = engine.session();
+            if session.config().metric.tag() != config.metric.tag() {
+                return Err(QueryError::InvalidRequest(format!(
+                    "live session serves the `{}' metric; request asked for `{}'",
+                    session.config().metric.tag(),
+                    config.metric.tag(),
+                )));
+            }
+            if session.config().n_slices == config.n_slices && session.window().is_none() {
+                if let Some(result) = engine.execute_shared(request) {
+                    return result;
+                }
+            }
+        }
+        let Ok(mut engine) = slot.engine.write() else {
+            return Err(QueryError::Source(
+                "live session lock poisoned by an earlier panic".into(),
+            ));
+        };
+        engine.session_mut().reslice(config.n_slices, None)?;
+        engine.execute(request)
+    }
+
+    /// Serve one `subscribe` wire line: stream a [`WatchReply`]-wrapped
+    /// refresh per feeder generation over `out` until the feeder finishes
+    /// or the client goes away. Protocol-level failures are written as a
+    /// single typed error line and end the stream; only transport
+    /// failures surface as `Err` (the connection is gone either way).
+    pub fn serve_subscription(&self, line: &str, out: &mut dyn Write) -> std::io::Result<()> {
+        fn emit(
+            out: &mut dyn Write,
+            result: &Result<AnalysisReply, QueryError>,
+        ) -> std::io::Result<()> {
+            out.write_all(ocelotl::format::encode_reply(result).as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()
+        }
+        let parsed =
+            ocelotl::format::decode_wire_request(line).and_then(|(trace, config, request)| {
+                let AnalysisRequest::Subscribe { inner } = request else {
+                    return Err(QueryError::Protocol(
+                        "serve_subscription called on a non-subscribe request".into(),
+                    ));
+                };
+                AnalysisRequest::validate_subscribe_inner(&inner)?;
+                Ok((trace, config, *inner))
+            });
+        let (trace, config, inner) = match parsed {
+            Ok(t) => t,
+            Err(e) => return emit(out, &Err(e)),
+        };
+        let Some((slot, live)) = self.live_lookup(&trace) else {
+            return emit(
+                out,
+                &Err(QueryError::Unsupported(format!(
+                    "no live session named {trace:?} on this server; subscribe needs a \
+                     server with a live feed (e.g. `ocelotl simulate --live`)"
+                ))),
+            );
+        };
+        // A live session is pinned to its publisher's resolution and
+        // metric: refusing mismatched subscriptions up front keeps the
+        // refresh loop on the lock-free-ish read path (no reslice churn).
+        {
+            let Ok(engine) = slot.engine.read() else {
+                return emit(
+                    out,
+                    &Err(QueryError::Source(
+                        "live session lock poisoned by an earlier panic".into(),
+                    )),
+                );
+            };
+            let session = engine.session();
+            if session.config().n_slices != config.n_slices
+                || session.config().metric.tag() != config.metric.tag()
+            {
+                return emit(
+                    out,
+                    &Err(QueryError::InvalidRequest(format!(
+                        "live session {trace:?} is pinned to --slices {} --metric {}; \
+                         subscribe with matching session parameters",
+                        session.config().n_slices,
+                        session.config().metric.tag(),
+                    ))),
+                );
+            }
+        }
+        let _guard = SubscriberGuard::new(&live);
+        let mut last_seq = 0u64;
+        loop {
+            let (seq, events, done) = {
+                let mut gen = lock_clean(&live.gen);
+                while gen.seq <= last_seq && !gen.done {
+                    gen = wait_clean(&live.refreshed, gen);
+                }
+                (gen.seq, gen.events, gen.done)
+            };
+            // Answer on the shared read path, and release the engine lock
+            // *before* the socket write: a slow subscriber must never
+            // block the feeder or warm readers on the engine lock.
+            let result = {
+                let Ok(engine) = slot.engine.read() else {
+                    return emit(
+                        out,
+                        &Err(QueryError::Source(
+                            "live session lock poisoned by an earlier panic".into(),
+                        )),
+                    );
+                };
+                engine.execute_shared(&inner).unwrap_or_else(|| {
+                    Err(QueryError::Source(
+                        "live pipeline stage not resident after refresh".into(),
+                    ))
+                })
+            };
+            let failed = result.is_err();
+            let wrapped = result.map(|reply| {
+                AnalysisReply::Watch(WatchReply {
+                    seq,
+                    done,
+                    events,
+                    reply: Box::new(reply),
+                })
+            });
+            emit(out, &wrapped)?;
+            last_seq = seq;
+            if done || failed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live sessions: feeder and subscriber bookkeeping
+// ---------------------------------------------------------------------------
+
+/// Progress marker of one live session, shared by the feeder and every
+/// subscriber. The mutex guards three words; the engine's own `RwLock`
+/// serializes the actual model work.
+#[derive(Default)]
+struct LiveGen {
+    /// Refresh generation, bumped on every `feed` and once on `finish`
+    /// (so even a subscriber that arrives after the stream ended gets one
+    /// final reply at a generation it has not seen). Starts at 0 = "no
+    /// data yet"; subscribers never answer at generation 0.
+    seq: u64,
+    /// Events folded so far.
+    events: u64,
+    /// The feeder is done; the next refresh each subscriber emits is its
+    /// last.
+    done: bool,
+}
+
+/// Shared state of one published live session.
+struct LiveState {
+    gen: Mutex<LiveGen>,
+    /// Signaled on every refresh and on `finish`.
+    refreshed: Condvar,
+    /// Subscribers currently streaming (observable for tests and
+    /// publisher shutdown pacing).
+    subscribers: AtomicUsize,
+    /// Subscriptions ever started (monotonic — lets a publisher detect
+    /// "someone came and drained" without sampling races).
+    served: AtomicUsize,
+}
+
+/// One published live session, addressable by its advertised name in the
+/// wire request's `trace` field.
+struct LiveEntry {
+    name: String,
+    slot: Arc<SessionSlot>,
+    live: Arc<LiveState>,
+}
+
+/// Decrements the subscriber count on every exit path — clean end of
+/// stream *and* client disconnect — so a dropped connection can never
+/// leak its broadcast entry.
+struct SubscriberGuard<'a>(&'a LiveState);
+
+impl<'a> SubscriberGuard<'a> {
+    fn new(live: &'a LiveState) -> Self {
+        live.subscribers.fetch_add(1, Ordering::SeqCst);
+        live.served.fetch_add(1, Ordering::SeqCst);
+        Self(live)
+    }
+}
+
+impl Drop for SubscriberGuard<'_> {
+    fn drop(&mut self) {
+        self.0.subscribers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The producer half of a published live session: push event batches
+/// into the model, then announce each refresh to every subscriber.
+pub struct LiveFeeder {
+    slot: Arc<SessionSlot>,
+    live: Arc<LiveState>,
+}
+
+impl LiveFeeder {
+    /// Fold one event batch into the live model and re-derive the warm
+    /// pipeline, then wake every subscriber. The engine's write lock is
+    /// held only for the model work — the generation bump and broadcast
+    /// happen after it is released, so subscribers re-reading the engine
+    /// never deadlock with the feeder.
+    pub fn feed(&self, events: &[LiveEvent]) -> Result<(), QueryError> {
+        {
+            let Ok(mut engine) = self.slot.engine.write() else {
+                return Err(QueryError::Source(
+                    "live session lock poisoned by an earlier panic".into(),
+                ));
+            };
+            engine.session_mut().advance(events)?;
+            engine.warm_up()?;
+        }
+        let mut gen = lock_clean(&self.live.gen);
+        gen.seq += 1;
+        gen.events += events.len() as u64;
+        drop(gen);
+        self.live.refreshed.notify_all();
+        Ok(())
+    }
+
+    /// Mark the stream complete: every subscriber gets one final refresh
+    /// (`done: true`) and disconnects cleanly. Idempotent.
+    pub fn finish(&self) {
+        let mut gen = lock_clean(&self.live.gen);
+        if !gen.done {
+            gen.done = true;
+            gen.seq += 1;
+        }
+        drop(gen);
+        self.live.refreshed.notify_all();
+    }
+
+    /// Subscribers currently streaming.
+    pub fn subscribers(&self) -> usize {
+        self.live.subscribers.load(Ordering::SeqCst)
+    }
+
+    /// Subscriptions ever started (monotonic).
+    pub fn served(&self) -> usize {
+        self.live.served.load(Ordering::SeqCst)
+    }
+
+    /// Events folded so far.
+    pub fn events(&self) -> u64 {
+        lock_clean(&self.live.gen).events
+    }
+
+    /// Run `f` against the published engine under its read lock — the
+    /// same shared path subscribers answer from. `None` if the lock was
+    /// poisoned.
+    pub fn with_engine<T>(&self, f: impl FnOnce(&QueryEngine) -> T) -> Option<T> {
+        let Ok(engine) = self.slot.engine.read() else {
+            return None;
+        };
+        Some(f(&engine))
+    }
 }
 
 /// Where a running server listens.
@@ -468,9 +795,14 @@ impl ServerHandle {
 
 /// Bind `addr` (e.g. `127.0.0.1:0`) and serve in a background thread.
 pub fn spawn_tcp(addr: &str, opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    spawn_tcp_with_state(addr, Arc::new(ServerState::new(opts)))
+}
+
+/// Bind `addr` and serve an existing state — live servers publish their
+/// session into the state before opening the listener.
+pub fn spawn_tcp_with_state(addr: &str, state: Arc<ServerState>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    let state = Arc::new(ServerState::new(opts));
     let stop = Arc::new(AtomicBool::new(false));
     let (state2, stop2) = (state.clone(), stop.clone());
     let join = std::thread::spawn(move || accept_loop(listener, state2, stop2));
@@ -485,12 +817,20 @@ pub fn spawn_tcp(addr: &str, opts: ServeOptions) -> std::io::Result<ServerHandle
 /// Bind a Unix domain socket and serve in a background thread.
 #[cfg(unix)]
 pub fn spawn_unix(path: impl Into<PathBuf>, opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    spawn_unix_with_state(path, Arc::new(ServerState::new(opts)))
+}
+
+/// Unix-socket variant of [`spawn_tcp_with_state`].
+#[cfg(unix)]
+pub fn spawn_unix_with_state(
+    path: impl Into<PathBuf>,
+    state: Arc<ServerState>,
+) -> std::io::Result<ServerHandle> {
     use std::os::unix::net::UnixListener;
     let path = path.into();
     // A stale socket file from a previous run would make bind fail.
     let _ = std::fs::remove_file(&path);
     let listener = UnixListener::bind(&path)?;
-    let state = Arc::new(ServerState::new(opts));
     let stop = Arc::new(AtomicBool::new(false));
     let (state2, stop2) = (state.clone(), stop.clone());
     let join = std::thread::spawn(move || accept_loop_unix(listener, state2, stop2));
@@ -500,6 +840,35 @@ pub fn spawn_unix(path: impl Into<PathBuf>, opts: ServeOptions) -> std::io::Resu
         stop,
         join: Some(join),
     })
+}
+
+/// Bind `addr` and serve a freshly published live session: returns the
+/// handle and the feeder half. The session is visible under `name` from
+/// the first accepted connection on.
+pub fn spawn_live_tcp(
+    addr: &str,
+    opts: ServeOptions,
+    name: &str,
+    engine: QueryEngine,
+) -> std::io::Result<(ServerHandle, LiveFeeder)> {
+    let state = Arc::new(ServerState::new(opts));
+    let feeder = state.publish_live(name, engine);
+    let handle = spawn_tcp_with_state(addr, state)?;
+    Ok((handle, feeder))
+}
+
+/// Unix-socket variant of [`spawn_live_tcp`].
+#[cfg(unix)]
+pub fn spawn_live_unix(
+    path: impl Into<PathBuf>,
+    opts: ServeOptions,
+    name: &str,
+    engine: QueryEngine,
+) -> std::io::Result<(ServerHandle, LiveFeeder)> {
+    let state = Arc::new(ServerState::new(opts));
+    let feeder = state.publish_live(name, engine);
+    let handle = spawn_unix_with_state(path, state)?;
+    Ok((handle, feeder))
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<ServerState>, stop: Arc<AtomicBool>) {
@@ -545,6 +914,17 @@ fn accept_loop_unix(
 /// Per-connection read-ahead window: how many requests may execute
 /// concurrently before the reader stops pulling new lines.
 pub const PIPELINE_DEPTH: usize = 8;
+
+/// `true` when a wire line carries a `subscribe` request — `serve_lines`
+/// must hand it to [`ServerState::serve_subscription`] (stream takeover)
+/// instead of the one-line-one-reply path. Undecodable lines stay on the
+/// normal path, which answers them with a typed error reply.
+fn is_subscribe(line: &str) -> bool {
+    matches!(
+        ocelotl::format::decode_wire_request(line),
+        Ok((_, _, AnalysisRequest::Subscribe { .. }))
+    )
+}
 
 /// Reply sequencer: workers complete out of order, the wire emits in
 /// request order (the protocol's i-th reply answers the i-th request).
@@ -611,6 +991,25 @@ pub fn serve_lines(
             };
             if line.trim().is_empty() {
                 continue;
+            }
+            if is_subscribe(&line) {
+                // A subscription takes over the connection: drain every
+                // pipelined request ahead of it so prior replies flush in
+                // order, then stream refreshes until done/disconnect, and
+                // hang up — subscribe is its connection's last request.
+                {
+                    let mut n = lock_clean(in_flight);
+                    while *n > 0 {
+                        n = wait_clean(drained, n);
+                    }
+                }
+                let w = &mut *lock_clean(ordered);
+                if w.err.is_none() {
+                    if let Err(e) = state.serve_subscription(&line, &mut *w.out) {
+                        w.err = Some(e);
+                    }
+                }
+                break;
             }
             // Backpressure: bound the read-ahead window.
             {
@@ -1007,5 +1406,266 @@ mod tests {
             );
         }
         std::fs::remove_file(&p).ok();
+    }
+
+    // -- live sessions ------------------------------------------------------
+
+    /// A small in-memory live engine: 2 leaves, 2 states, a dyadic grid
+    /// over [0, 8) at 4096 hi-res periods, resolution `n_slices`.
+    fn live_engine(n_slices: usize) -> QueryEngine {
+        use ocelotl::core::{AnalysisSession, HiResModel, Metric};
+        use ocelotl::trace::{Hierarchy, MicroModel, StateRegistry, TimeGrid};
+        let raw = MicroModel::from_dense(
+            Hierarchy::flat(2, "p"),
+            StateRegistry::from_names(["A", "B"]),
+            TimeGrid::new(0.0, 8.0, 4096),
+            vec![0.0; 2 * 2 * 4096],
+        );
+        let config = SessionConfig {
+            n_slices,
+            ..SessionConfig::default()
+        };
+        let session = AnalysisSession::live(config, HiResModel::new(Metric::States, raw)).unwrap();
+        QueryEngine::new(session)
+    }
+
+    fn wire_name(name: &str, slices: usize, req: &AnalysisRequest) -> String {
+        ocelotl::format::encode_wire_request(
+            name,
+            &SessionConfig {
+                n_slices: slices,
+                ..SessionConfig::default()
+            },
+            req,
+        )
+    }
+
+    fn subscribe_line(name: &str, slices: usize) -> String {
+        wire_name(
+            name,
+            slices,
+            &AnalysisRequest::Subscribe {
+                inner: Box::new(AnalysisRequest::Describe),
+            },
+        )
+    }
+
+    /// Decode one reply line into the `WatchReply` it must carry.
+    fn watch_of(line: &str) -> WatchReply {
+        match ocelotl::format::decode_reply(line).unwrap().unwrap() {
+            AnalysisReply::Watch(w) => w,
+            other => panic!("expected a watch reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn live_sessions_answer_by_name_without_touching_disk() {
+        use ocelotl::trace::{LeafId, StateId};
+        let state = ServerState::new(ServeOptions::default());
+        let feeder = state.publish_live("live", live_engine(4));
+        assert_eq!(state.live_sessions(), 1);
+        feeder
+            .feed(&[
+                (LeafId(0), StateId(0), 0.0, 2.0),
+                (LeafId(1), StateId(1), 2.0, 4.0),
+            ])
+            .unwrap();
+
+        // The name routes to the in-memory session even though no file
+        // called `live` exists — and no pooled (disk) session appears.
+        let reply = state.handle_line(&wire_name("live", 4, &AnalysisRequest::Describe));
+        assert!(reply.contains("\"reply\""), "{reply}");
+        assert!(reply.contains("\"n_leaves\":2"), "{reply}");
+        assert_eq!(state.pooled_sessions(), 0, "live sessions never pool");
+        assert_eq!(state.builds_started(), 0, "…and never ingest from disk");
+
+        // A metric the live session does not serve is refused, typed.
+        let line = ocelotl::format::encode_wire_request(
+            "live",
+            &SessionConfig {
+                n_slices: 4,
+                metric: ocelotl::core::Metric::Density,
+                ..SessionConfig::default()
+            },
+            &AnalysisRequest::Describe,
+        );
+        let reply = ocelotl::format::decode_reply(&state.handle_line(&line)).unwrap();
+        assert!(
+            matches!(reply, Err(QueryError::InvalidRequest(_))),
+            "{reply:?}"
+        );
+
+        // Pipelined subscribe (through the one-shot path) is a protocol
+        // error: subscribe must take over its connection.
+        let reply =
+            ocelotl::format::decode_reply(&state.handle_line(&subscribe_line("live", 4))).unwrap();
+        assert!(matches!(reply, Err(QueryError::Protocol(_))), "{reply:?}");
+    }
+
+    /// A `Write` sink that hands each completed line to a channel, so a
+    /// test can lock-step a subscriber thread refresh by refresh.
+    struct LineChannel {
+        tx: std::sync::mpsc::Sender<String>,
+        buf: Vec<u8>,
+    }
+
+    impl Write for LineChannel {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let line = std::mem::replace(&mut self.buf, rest);
+                let line = String::from_utf8(line).expect("utf-8 reply line");
+                self.tx
+                    .send(line.trim_end().to_string())
+                    .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn subscriptions_stream_refreshes_in_order_until_done() {
+        use ocelotl::trace::{LeafId, StateId};
+        let state = Arc::new(ServerState::new(ServeOptions::default()));
+        let feeder = state.publish_live("live", live_engine(4));
+        feeder.feed(&[(LeafId(0), StateId(0), 0.0, 2.0)]).unwrap();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let line = subscribe_line("live", 4);
+        let st = state.clone();
+        let sub = std::thread::spawn(move || {
+            let mut out = LineChannel {
+                tx,
+                buf: Vec::new(),
+            };
+            st.serve_subscription(&line, &mut out).unwrap();
+        });
+
+        // Lock-step: one watch line per feeder generation, strictly
+        // ordered, with the running event count.
+        let first = watch_of(&rx.recv().unwrap());
+        assert_eq!((first.seq, first.events, first.done), (1, 1, false));
+
+        feeder.feed(&[(LeafId(1), StateId(1), 2.0, 4.0)]).unwrap();
+        let second = watch_of(&rx.recv().unwrap());
+        assert_eq!((second.seq, second.events, second.done), (2, 2, false));
+
+        feeder.finish();
+        let last = watch_of(&rx.recv().unwrap());
+        assert_eq!((last.seq, last.events, last.done), (3, 2, true));
+
+        sub.join().unwrap();
+        assert!(rx.recv().is_err(), "the stream ends after the final line");
+        assert_eq!(feeder.subscribers(), 0, "guard released on clean exit");
+        assert_eq!(feeder.served(), 1);
+
+        // A subscriber arriving after the end still gets exactly one
+        // final (done) refresh at a generation it has not seen.
+        let mut out = Vec::new();
+        state
+            .serve_subscription(&subscribe_line("live", 4), &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "{text}");
+        let late = watch_of(lines[0]);
+        assert_eq!((late.seq, late.done), (3, true));
+        assert_eq!(feeder.served(), 2);
+    }
+
+    #[test]
+    fn subscriptions_reject_mismatched_pins_and_unknown_names() {
+        let state = ServerState::new(ServeOptions::default());
+        let feeder = state.publish_live("live", live_engine(4));
+
+        let expect_err = |line: &str, check: fn(&QueryError) -> bool| {
+            let mut out = Vec::new();
+            state.serve_subscription(line, &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert_eq!(text.lines().count(), 1, "{text}");
+            let reply = ocelotl::format::decode_reply(text.lines().next().unwrap()).unwrap();
+            match reply {
+                Err(e) if check(&e) => {}
+                other => panic!("wrong refusal: {other:?}"),
+            }
+        };
+
+        // No live session under that name.
+        expect_err(&subscribe_line("nope", 4), |e| {
+            matches!(e, QueryError::Unsupported(_))
+        });
+        // Resolution pin: the live session serves 4 slices, not 8.
+        expect_err(&subscribe_line("live", 8), |e| {
+            matches!(e, QueryError::InvalidRequest(_))
+        });
+        // Reslice cannot ride inside a subscription (it would thrash the
+        // pinned resolution on every refresh).
+        expect_err(
+            &wire_name(
+                "live",
+                4,
+                &AnalysisRequest::Subscribe {
+                    inner: Box::new(AnalysisRequest::Reslice {
+                        n_slices: 8,
+                        range: None,
+                    }),
+                },
+            ),
+            |e| matches!(e, QueryError::InvalidRequest(_)),
+        );
+        // None of those refusals ever registered as a subscriber.
+        assert_eq!(feeder.served(), 0);
+        assert_eq!(feeder.subscribers(), 0);
+    }
+
+    #[test]
+    fn live_tcp_server_streams_a_subscription_end_to_end() {
+        use ocelotl::trace::{LeafId, StateId};
+        use std::io::{BufRead, BufReader};
+        let (handle, feeder) = spawn_live_tcp(
+            "127.0.0.1:0",
+            ServeOptions::default(),
+            "live",
+            live_engine(4),
+        )
+        .unwrap();
+        feeder.feed(&[(LeafId(0), StateId(0), 0.0, 2.0)]).unwrap();
+        feeder.feed(&[(LeafId(1), StateId(1), 2.0, 4.0)]).unwrap();
+        feeder.finish();
+
+        // A plain (non-subscribe) query answers one-shot over TCP.
+        let mut conn = std::net::TcpStream::connect(handle.address()).unwrap();
+        conn.write_all(wire_name("live", 4, &AnalysisRequest::Describe).as_bytes())
+            .unwrap();
+        conn.write_all(b"\n").unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        BufReader::new(&conn).read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"n_leaves\":2"), "{reply}");
+
+        // A subscription on a fresh connection streams watch lines and
+        // closes after the final one.
+        let mut conn = std::net::TcpStream::connect(handle.address()).unwrap();
+        conn.write_all(subscribe_line("live", 4).as_bytes())
+            .unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut lines = Vec::new();
+        for line in BufReader::new(&conn).lines() {
+            lines.push(line.unwrap());
+        }
+        assert!(!lines.is_empty());
+        let mut prev = 0;
+        for (i, line) in lines.iter().enumerate() {
+            let w = watch_of(line);
+            assert!(w.seq > prev, "seq must strictly increase: {lines:?}");
+            prev = w.seq;
+            assert_eq!(w.done, i + 1 == lines.len(), "done only on the last line");
+        }
+        assert_eq!(watch_of(lines.last().unwrap()).events, 2);
+        handle.stop();
     }
 }

@@ -114,6 +114,7 @@ COMMANDS:
     report     write a self-contained HTML analysis report
     serve      run a long-lived analysis server (query protocol over JSON)
     query      send one request to a running server and print the reply
+    watch      subscribe to a live session and print each refreshed reply
     help       show this message (or `<command> --help`)
 
 GLOBAL OPTIONS:
@@ -173,6 +174,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "report" => commands::report::run(rest, out),
         "serve" => commands::serve::run(rest, out),
         "query" => commands::query::run(rest, out),
+        "watch" => commands::watch::run(rest, out),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?} (try `ocelotl help`)"
         ))),

@@ -134,6 +134,16 @@ pub fn print_reply(reply: &AnalysisReply, out: &mut dyn Write) -> Result<(), Cli
         }
         AnalysisReply::Stats(s) => write_stats(s, out),
         AnalysisReply::Reslice(r) => write_reslice(r, out),
+        AnalysisReply::Watch(w) => {
+            writeln!(
+                out,
+                "refresh:     #{} at {} events{}",
+                w.seq,
+                w.events,
+                if w.done { " (final)" } else { "" }
+            )?;
+            print_reply(&w.reply, out)
+        }
     }
 }
 

@@ -438,6 +438,216 @@ fn busy_error_round_trips_on_the_wire() {
     assert_eq!(back.kind(), "busy");
 }
 
+// ---------------------------------------------------------------------------
+// Live subscriptions under fault: a client that vanishes mid-stream and a
+// subscriber that stalls on its socket must leave the session healthy.
+// ---------------------------------------------------------------------------
+
+/// An in-memory live engine: 2 flat leaves, 2 states, 4096 hi-res
+/// periods over [0, 8), pinned to `n_slices`.
+fn live_engine(n_slices: usize) -> QueryEngine {
+    use ocelotl::core::{AnalysisSession, HiResModel, Metric};
+    use ocelotl::trace::{Hierarchy, MicroModel, StateRegistry, TimeGrid};
+    let raw = MicroModel::from_dense(
+        Hierarchy::flat(2, "p"),
+        StateRegistry::from_names(["A", "B"]),
+        TimeGrid::new(0.0, 8.0, 4096),
+        vec![0.0; 2 * 2 * 4096],
+    );
+    let config = SessionConfig {
+        n_slices,
+        ..SessionConfig::default()
+    };
+    let session = AnalysisSession::live(config, HiResModel::new(Metric::States, raw)).unwrap();
+    QueryEngine::new(session)
+}
+
+fn subscribe_wire(name: &str, n_slices: usize) -> String {
+    ocelotl::format::encode_wire_request(
+        name,
+        &SessionConfig {
+            n_slices,
+            ..SessionConfig::default()
+        },
+        &AnalysisRequest::Subscribe {
+            inner: Box::new(AnalysisRequest::Describe),
+        },
+    )
+}
+
+/// Poll until `cond` holds or a deadline passes (live-session teardown is
+/// asynchronous: the subscriber thread notices the dead socket on its
+/// next refresh).
+fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while !cond() {
+        assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn client_disconnect_mid_stream_neither_poisons_nor_leaks() {
+    use ocelotl::trace::{LeafId, StateId};
+    use ocelotl_cli::commands::serve::spawn_live_tcp;
+    use std::io::{BufRead, BufReader, Write as _};
+
+    let (server, feeder) = spawn_live_tcp(
+        "127.0.0.1:0",
+        ServeOptions::default(),
+        "live",
+        live_engine(4),
+    )
+    .unwrap();
+    feeder.feed(&[(LeafId(0), StateId(0), 0.0, 2.0)]).unwrap();
+
+    // Subscribe, read exactly one refresh, then vanish without a goodbye.
+    let conn = std::net::TcpStream::connect(server.address()).unwrap();
+    {
+        let mut w = conn.try_clone().unwrap();
+        w.write_all(subscribe_wire("live", 4).as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        let mut first = String::new();
+        BufReader::new(&conn).read_line(&mut first).unwrap();
+        assert!(first.contains("\"watch\""), "{first}");
+    }
+    assert_eq!(feeder.subscribers(), 1);
+    drop(conn);
+
+    // The subscriber only notices on its next write: keep feeding until
+    // the broadcast entry is reclaimed. No poison, no leak.
+    eventually("dead subscriber reclaimed", || {
+        feeder
+            .feed(&[(LeafId(1), StateId(1), 2.0, 4.0)])
+            .expect("feeding must survive a vanished subscriber");
+        feeder.subscribers() == 0
+    });
+
+    // The session is still healthy: plain queries answer, and a fresh
+    // subscription streams to completion.
+    let plain = ocelotl::format::encode_wire_request(
+        "live",
+        &SessionConfig {
+            n_slices: 4,
+            ..SessionConfig::default()
+        },
+        &AnalysisRequest::Describe,
+    );
+    let reply = roundtrip(&server.address(), &plain).unwrap();
+    assert!(reply.contains("\"reply\""), "{reply}");
+
+    feeder.finish();
+    let mut conn = std::net::TcpStream::connect(server.address()).unwrap();
+    conn.write_all(subscribe_wire("live", 4).as_bytes())
+        .unwrap();
+    conn.write_all(b"\n").unwrap();
+    let lines: Vec<String> = BufReader::new(&conn).lines().map(|l| l.unwrap()).collect();
+    assert!(
+        !lines.is_empty(),
+        "late subscriber still gets the final line"
+    );
+    assert!(lines.last().unwrap().contains("\"done\":true"), "{lines:?}");
+    eventually("clean subscriber unregistered", || {
+        feeder.subscribers() == 0
+    });
+    server.stop();
+}
+
+/// A reply sink that stalls on its first flush until the test releases
+/// it — a subscriber whose socket back-pressures mid-refresh.
+struct StallingWriter {
+    gate: std::sync::mpsc::Receiver<()>,
+    stalled: std::sync::mpsc::Sender<()>,
+    first: bool,
+    lines: Vec<u8>,
+}
+
+impl std::io::Write for StallingWriter {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.lines.extend_from_slice(b);
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.first {
+            self.first = false;
+            let _ = self.stalled.send(());
+            let _ = self.gate.recv(); // hold the stream right here
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn stalled_subscriber_does_not_block_warm_readers_or_the_feeder() {
+    use ocelotl::trace::{LeafId, StateId};
+    use ocelotl_cli::commands::serve::spawn_tcp_with_state;
+    use std::sync::Arc;
+
+    let state = Arc::new(ServerState::new(ServeOptions::default()));
+    let feeder = state.publish_live("live", live_engine(4));
+    feeder.feed(&[(LeafId(0), StateId(0), 0.0, 2.0)]).unwrap();
+
+    let (release, gate) = std::sync::mpsc::channel();
+    let (stalled_tx, stalled) = std::sync::mpsc::channel();
+    let sub = {
+        let state = state.clone();
+        std::thread::spawn(move || {
+            let mut out = StallingWriter {
+                gate,
+                stalled: stalled_tx,
+                first: true,
+                lines: Vec::new(),
+            };
+            state
+                .serve_subscription(&subscribe_wire("live", 4), &mut out)
+                .unwrap();
+            String::from_utf8(out.lines).unwrap()
+        })
+    };
+    // Wait until the subscriber is provably wedged inside its reply write.
+    stalled.recv().unwrap();
+
+    // While it hangs there: warm readers answer and the feeder advances —
+    // the stalled socket write holds no engine lock. (If it did, both of
+    // these would deadlock and the test would time out.)
+    let plain = ocelotl::format::encode_wire_request(
+        "live",
+        &SessionConfig {
+            n_slices: 4,
+            ..SessionConfig::default()
+        },
+        &AnalysisRequest::Describe,
+    );
+    let baseline = state.handle_line(&plain);
+    assert!(baseline.contains("\"reply\""), "{baseline}");
+    for k in 0..16 {
+        feeder
+            .feed(&[(
+                LeafId(1),
+                StateId(1),
+                k as f64 * 0.25,
+                k as f64 * 0.25 + 0.2,
+            )])
+            .unwrap();
+        let got = state.handle_line(&plain);
+        assert!(got.contains("\"reply\""), "warm read {k}: {got}");
+    }
+    // A TCP listener sharing the same state stays responsive too.
+    let server = spawn_tcp_with_state("127.0.0.1:0", state.clone()).unwrap();
+    let reply = roundtrip(&server.address(), &plain).unwrap();
+    assert!(reply.contains("\"reply\""), "{reply}");
+
+    // Release the stall; the subscriber catches up (gaps are legal) and
+    // ends on the final refresh.
+    release.send(()).unwrap();
+    feeder.finish();
+    let streamed = sub.join().unwrap();
+    let last = streamed.lines().last().unwrap();
+    assert!(last.contains("\"done\":true"), "{streamed}");
+    assert_eq!(feeder.subscribers(), 0);
+    server.stop();
+}
+
 #[test]
 fn second_query_is_served_warm() {
     let trace = fixture("warm");

@@ -32,9 +32,52 @@
 //! ingest performs.
 
 use crate::session::Metric;
-use ocelotl_trace::{LeafId, MicroModel, StateId, TimeGrid};
+use ocelotl_trace::{fold_interval, LeafId, MicroModel, StateId, TimeGrid};
+use std::fmt;
 
 pub use ocelotl_trace::{hi_res_slices, HI_RES_CELL_BUDGET, HI_RES_FACTOR, HI_RES_MIN_SLICES};
+
+/// One interval event of a live stream: `(leaf, state, begin, end)`.
+/// This is the only record kind the live path carries — point events
+/// would make the density pseudo-state axis depend on arrival order,
+/// which the append-boundary bit-identity proof forbids.
+pub type LiveEvent = (LeafId, StateId, f64, f64);
+
+/// What one [`HiResModel::append`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Inclusive hi-res slice range `[lo, hi]` the batch contributed to;
+    /// `None` when no event overlapped the grid.
+    pub touched: Option<(usize, usize)>,
+    /// Hi-res periods added to the time axis (0 when every event fit).
+    pub grown: usize,
+}
+
+/// Why [`HiResModel::append`] refused a batch (the model is unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendError {
+    /// An event carried a non-finite time or `end < begin`.
+    BadTime,
+    /// An event named a leaf or state outside the model's shape.
+    BadShape,
+    /// Growing the grid far enough to cover the batch would exceed
+    /// [`HI_RES_CELL_BUDGET`] — declare a longer horizon up front.
+    Overflow,
+}
+
+impl fmt::Display for AppendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppendError::BadTime => write!(f, "event has non-finite times or end < begin"),
+            AppendError::BadShape => write!(f, "event names a leaf or state outside the model"),
+            AppendError::Overflow => {
+                write!(f, "grid growth would exceed the hi-res cell budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
 
 /// One resident super-resolution model: the raw (unnormalized) microscopic
 /// array at [`hi_res_slices`] periods, from which coarser models are
@@ -112,6 +155,101 @@ impl HiResModel {
             && count.is_multiple_of(n_slices)
             && first + count <= self.raw.n_slices())
         .then(|| self.rebin(first, count, n_slices))
+    }
+
+    /// Derive the full-range model at any `n_slices` that divides `H`,
+    /// **without** the dyadic-family check of [`HiResModel::serves`].
+    /// Live sessions use this: once the grid has grown past its original
+    /// horizon, `H` is no longer the `hi_res_slices` value a fresh ingest
+    /// would pick, but the rebinned model is still the exact left-to-right
+    /// sum over the live grid — and on an ungrown grid `derive_at` is
+    /// bit-identical to [`HiResModel::derive`] whenever `serves` holds
+    /// (same kernel, same inputs).
+    pub fn derive_at(&self, n_slices: usize) -> Option<MicroModel> {
+        (n_slices >= 1 && self.raw.n_slices().is_multiple_of(n_slices))
+            .then(|| self.rebin(0, self.raw.n_slices(), n_slices))
+    }
+
+    /// Append a batch of interval events to the resident array, growing the
+    /// time axis by whole hi-res periods when an event ends past the grid.
+    ///
+    /// Each event folds through [`fold_interval`] — the **same** per-record
+    /// kernel `ModelSink`'s flush uses — in batch order, so after any
+    /// sequence of appends every cell holds its contributions in stream
+    /// order: the array is bit-identical to a fresh
+    /// `ModelSink::with_range(kind, H, range)` + `finish_raw()` ingest of
+    /// the concatenated stream over the same grid. Growth appends
+    /// zero-filled periods of the **same slice width** (existing slice
+    /// bounds are unchanged on grids whose width is exactly
+    /// representable — e.g. a power-of-two span over a power-of-two `H`);
+    /// the added period count is rounded up to a multiple of
+    /// `growth_quantum`, so a caller that passes its target resolution
+    /// keeps `n | H` (and thereby [`HiResModel::derive_at`]) valid across
+    /// growth. Events are validated up front: on `Err` the model is
+    /// untouched.
+    pub fn append(
+        &mut self,
+        events: &[LiveEvent],
+        growth_quantum: usize,
+    ) -> Result<AppendOutcome, AppendError> {
+        let n_leaves = self.raw.n_leaves();
+        let n_states = self.raw.n_states();
+        let mut t_hi = f64::NEG_INFINITY;
+        for &(leaf, state, begin, end) in events {
+            if !begin.is_finite() || !end.is_finite() || end < begin {
+                return Err(AppendError::BadTime);
+            }
+            if leaf.index() >= n_leaves || state.index() >= n_states {
+                return Err(AppendError::BadShape);
+            }
+            t_hi = t_hi.max(end);
+        }
+
+        let grid = *self.raw.grid();
+        let quantum = growth_quantum.max(1);
+        let mut grown = 0usize;
+        if !events.is_empty() && t_hi > grid.end() {
+            let h = grid.n_slices();
+            let w = grid.slice_duration();
+            let start = grid.start();
+            // Smallest whole-period extension leaving t_hi *strictly*
+            // inside the grown grid, then round up to the growth quantum.
+            // Strictness matters: an endpoint exactly on the grid end is
+            // clamped into the last slice, and if the grid later grew
+            // past it, a fresh ingest over the grown range would map it
+            // to the next slice instead — growth must never create that
+            // boundary case. The estimate from float division is
+            // corrected by re-evaluating the actual new bound.
+            let mut k = (((t_hi - grid.end()) / w).ceil() as usize).max(1);
+            while start + w * ((h + k) as f64) <= t_hi {
+                k += 1;
+            }
+            k = k.div_ceil(quantum) * quantum;
+            let h_new = h + k;
+            if n_leaves * n_states * h_new > HI_RES_CELL_BUDGET {
+                return Err(AppendError::Overflow);
+            }
+            let end_new = start + w * (h_new as f64);
+            self.raw.regrow(TimeGrid::new(start, end_new, h_new));
+            grown = k;
+        }
+
+        let grid = *self.raw.grid();
+        let kind = self.metric.model_kind();
+        let mut touched: Option<(usize, usize)> = None;
+        for &(leaf, state, begin, end) in events {
+            fold_interval(kind, self.raw.series_mut(leaf, state), &grid, begin, end);
+            // Conservative touched range: the clipped event extent.
+            if end >= grid.start() && begin <= grid.end() {
+                let lo = grid.slice_of(begin.max(grid.start()));
+                let hi = grid.slice_of(end.min(grid.end()));
+                touched = Some(match touched {
+                    None => (lo, hi),
+                    Some((a, b)) => (a.min(lo), b.max(hi)),
+                });
+            }
+        }
+        Ok(AppendOutcome { touched, grown })
     }
 
     /// Snap a time window to the hi-res grid: the nearest slice edges
@@ -383,6 +521,235 @@ mod tests {
             fold.raw().series(LeafId(1), StateId(1)),
             chain.raw().series(LeafId(1), StateId(1))
         );
+    }
+
+    fn empty_live(metric: Metric, n_leaves: usize, h: usize, t0: f64, t1: f64) -> HiResModel {
+        let hierarchy = Hierarchy::flat(n_leaves, "p");
+        let states = StateRegistry::from_names(["A", "B"]);
+        HiResModel::new(
+            metric,
+            MicroModel::from_dense(
+                hierarchy,
+                states,
+                TimeGrid::new(t0, t1, h),
+                vec![0.0; n_leaves * 2 * h],
+            ),
+        )
+    }
+
+    /// Fresh `ModelSink::with_range` ingest of `events` over `range` at
+    /// `h` slices — the post-mortem reference the live array must match.
+    fn fresh_raw(
+        metric: Metric,
+        n_leaves: usize,
+        h: usize,
+        range: (f64, f64),
+        events: &[LiveEvent],
+    ) -> MicroModel {
+        use ocelotl_trace::{EventSink, ModelSink, StreamHeader};
+        let mut sink = ModelSink::with_range(metric.model_kind(), h, range);
+        sink.begin(&StreamHeader {
+            hierarchy: Hierarchy::flat(n_leaves, "p"),
+            states: StateRegistry::from_names(["A", "B"]),
+            metadata: Vec::new(),
+            range: Some(range),
+        });
+        for &(leaf, state, b, e) in events {
+            sink.interval(leaf, state, b, e);
+        }
+        sink.finish_raw().unwrap()
+    }
+
+    fn assert_raw_identical(live: &HiResModel, fresh: &MicroModel, what: &str) {
+        assert_eq!(live.raw().grid(), fresh.grid(), "{what}: grid");
+        for leaf in 0..live.raw().n_leaves() {
+            for x in 0..live.raw().n_states() {
+                let a = live.raw().series(LeafId(leaf as u32), StateId(x as u16));
+                let b = fresh.series(LeafId(leaf as u32), StateId(x as u16));
+                for (t, (va, vb)) in a.iter().zip(b.iter()).enumerate() {
+                    assert_eq!(
+                        va.to_bits(),
+                        vb.to_bits(),
+                        "{what}: cell ({leaf}, {x}, {t}): {va} vs {vb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_matches_a_fresh_ingest_over_the_declared_horizon() {
+        // Fixed horizon with arbitrary float bounds: no growth involved,
+        // so the equivalence must hold on *any* grid.
+        let range = (0.1, 9.7);
+        let events: Vec<LiveEvent> = (0..200)
+            .map(|i| {
+                let b = 0.1 + (i % 37) as f64 * 0.21;
+                (
+                    LeafId((i % 3) as u32),
+                    StateId((i % 2) as u16),
+                    b,
+                    b + 0.05 + (i % 11) as f64 * 0.02,
+                )
+            })
+            .collect();
+        for metric in [Metric::States, Metric::Density] {
+            let mut live = empty_live(metric, 3, 4096, range.0, range.1);
+            for chunk in events.chunks(17) {
+                let out = live.append(chunk, 32).unwrap();
+                assert_eq!(out.grown, 0, "nothing past the horizon");
+                assert!(out.touched.is_some());
+            }
+            let fresh = fresh_raw(metric, 3, 4096, range, &events);
+            assert_raw_identical(&live, &fresh, metric.tag());
+        }
+    }
+
+    #[test]
+    fn append_growth_matches_a_fresh_ingest_over_the_grown_range() {
+        // Dyadic grid (start 0, power-of-two span and H): the grown end
+        // bound is exactly representable, so a fresh ingest over the
+        // grown range folds onto bit-identical slice boundaries.
+        let h = 4096usize;
+        let w = 8.0 / h as f64;
+        let events: Vec<LiveEvent> = (0..300)
+            .map(|i| {
+                let b = (i as f64) * 0.05; // runs past 8.0 → growth
+                (
+                    LeafId((i % 2) as u32),
+                    StateId(((i / 3) % 2) as u16),
+                    b,
+                    b + 0.125,
+                )
+            })
+            .collect();
+        for metric in [Metric::States, Metric::Density] {
+            let mut live = empty_live(metric, 2, h, 0.0, 8.0);
+            let quantum = 64usize;
+            let mut fed = 0usize;
+            for chunk in events.chunks(23) {
+                let out = live.append(chunk, quantum).unwrap();
+                fed += chunk.len();
+                assert_eq!(out.grown % quantum, 0, "growth honors the quantum");
+                assert!(
+                    live.n_slices().is_multiple_of(quantum),
+                    "quantum keeps dividing H"
+                );
+                // The invariant under test: at every append boundary the
+                // grown live array equals a fresh ingest of the prefix
+                // over the grown range.
+                let h_now = live.n_slices();
+                let end_now = 0.0 + w * h_now as f64;
+                let fresh = fresh_raw(metric, 2, h_now, (0.0, end_now), &events[..fed]);
+                assert_raw_identical(&live, &fresh, metric.tag());
+            }
+            assert!(live.n_slices() > h, "the stream must have forced growth");
+        }
+    }
+
+    #[test]
+    fn derive_at_equals_derive_on_an_ungrown_grid() {
+        let hi = hi_model(2, 7680);
+        for n in [15, 30, 60, 1920] {
+            let a = hi.derive(n).unwrap();
+            let b = hi.derive_at(n).unwrap();
+            assert_eq!(a.grid(), b.grid());
+            for leaf in 0..2u32 {
+                for x in 0..2u16 {
+                    let (sa, sb) = (
+                        a.series(LeafId(leaf), StateId(x)),
+                        b.series(LeafId(leaf), StateId(x)),
+                    );
+                    for (va, vb) in sa.iter().zip(sb.iter()) {
+                        assert_eq!(va.to_bits(), vb.to_bits());
+                    }
+                }
+            }
+        }
+        // derive_at accepts any divisor (no dyadic-family gate) …
+        assert!(hi.derive_at(10).is_some());
+        assert!(hi.derive(10).is_none());
+        // … but still rejects non-divisors and zero.
+        assert!(hi.derive_at(7).is_none());
+        assert!(hi.derive_at(0).is_none());
+    }
+
+    #[test]
+    fn append_validates_up_front_and_leaves_the_model_untouched() {
+        let mut live = empty_live(Metric::States, 2, 1024, 0.0, 8.0);
+        live.append(&[(LeafId(0), StateId(0), 1.0, 2.0)], 1)
+            .unwrap();
+        let before: Vec<u64> = live
+            .raw()
+            .series(LeafId(0), StateId(0))
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let bad_batches: Vec<(Vec<LiveEvent>, AppendError)> = vec![
+            (
+                vec![
+                    (LeafId(0), StateId(0), 3.0, 4.0),
+                    (LeafId(0), StateId(0), f64::NAN, 5.0),
+                ],
+                AppendError::BadTime,
+            ),
+            (
+                vec![(LeafId(0), StateId(0), 5.0, 4.0)],
+                AppendError::BadTime,
+            ),
+            (
+                vec![(LeafId(9), StateId(0), 1.0, 2.0)],
+                AppendError::BadShape,
+            ),
+            (
+                vec![(LeafId(0), StateId(7), 1.0, 2.0)],
+                AppendError::BadShape,
+            ),
+            (
+                vec![(LeafId(0), StateId(0), 0.0, 1e9)],
+                AppendError::Overflow,
+            ),
+        ];
+        for (batch, expect) in bad_batches {
+            assert_eq!(live.append(&batch, 1), Err(expect));
+            let after: Vec<u64> = live
+                .raw()
+                .series(LeafId(0), StateId(0))
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(before, after, "model must be untouched after {expect:?}");
+            assert_eq!(live.n_slices(), 1024, "no growth after {expect:?}");
+        }
+        // An empty batch is a no-op, not an error.
+        let out = live.append(&[], 1).unwrap();
+        assert_eq!(
+            out,
+            AppendOutcome {
+                touched: None,
+                grown: 0
+            }
+        );
+    }
+
+    #[test]
+    fn append_reports_the_touched_slice_range() {
+        let mut live = empty_live(Metric::States, 2, 1024, 0.0, 8.0);
+        // w = 8/1024 = 1/128; [1.0, 2.0] spans slices 128..=256.
+        let out = live
+            .append(&[(LeafId(0), StateId(0), 1.0, 2.0)], 1)
+            .unwrap();
+        assert_eq!(out.touched, Some((128, 256)));
+        let out = live
+            .append(
+                &[
+                    (LeafId(1), StateId(1), 4.0, 4.5),
+                    (LeafId(0), StateId(0), 0.0, 0.25),
+                ],
+                1,
+            )
+            .unwrap();
+        assert_eq!(out.touched, Some((0, 576)));
     }
 
     #[test]

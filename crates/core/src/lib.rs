@@ -80,7 +80,10 @@ pub use cube::{
     MemoryMode, QualityCube, AUTO_DENSE_LIMIT_BYTES,
 };
 pub use dp::{aggregate, aggregate_default, Cut, CutTree, DpConfig};
-pub use hires::{hi_res_slices, snap_to_grid, HiResModel, HI_RES_FACTOR, HI_RES_MIN_SLICES};
+pub use hires::{
+    hi_res_slices, snap_to_grid, AppendError, AppendOutcome, HiResModel, LiveEvent, HI_RES_FACTOR,
+    HI_RES_MIN_SLICES,
+};
 pub use input::AggregationInput;
 pub use inspect::{
     area_at, area_table_header, area_table_row, inspect_area, summarize, summary_text, AreaReport,

@@ -162,6 +162,18 @@ pub enum AnalysisRequest {
         /// bins).
         range: Option<(f64, f64)>,
     },
+    /// Stream refreshed answers to one carried request as a live session
+    /// advances. Only `ocelotl serve` can answer it: the server re-runs
+    /// the inner request after every append batch and writes one
+    /// [`WatchReply`] line per refresh over the same connection, ordered
+    /// by generation. In-process engines report it as `Unsupported` —
+    /// there is no connection to stream over.
+    Subscribe {
+        /// The request to re-answer on every refresh. `Reslice` and
+        /// nested `Subscribe` are rejected (they mutate the session or
+        /// recurse).
+        inner: Box<AnalysisRequest>,
+    },
 }
 
 impl AnalysisRequest {
@@ -177,11 +189,12 @@ impl AnalysisRequest {
             AnalysisRequest::RenderOverview { .. } => "render-overview",
             AnalysisRequest::Stats => "stats",
             AnalysisRequest::Reslice { .. } => "reslice",
+            AnalysisRequest::Subscribe { .. } => "subscribe",
         }
     }
 
     /// All request kind tags, in protocol order.
-    pub const KINDS: [&'static str; 9] = [
+    pub const KINDS: [&'static str; 10] = [
         "describe",
         "aggregate",
         "significant",
@@ -191,7 +204,24 @@ impl AnalysisRequest {
         "render-overview",
         "stats",
         "reslice",
+        "subscribe",
     ];
+
+    /// Validate a `Subscribe` payload: the inner request must be
+    /// re-answerable from the read path on every refresh, so `Reslice`
+    /// (mutates the session) and nested `Subscribe` (recursive stream)
+    /// are rejected. Shared by the engine and the server.
+    pub fn validate_subscribe_inner(inner: &AnalysisRequest) -> Result<(), QueryError> {
+        match inner {
+            AnalysisRequest::Reslice { .. } => Err(QueryError::InvalidRequest(
+                "subscribe cannot carry a reslice request (it mutates the session)".into(),
+            )),
+            AnalysisRequest::Subscribe { .. } => Err(QueryError::InvalidRequest(
+                "subscribe cannot nest another subscribe".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -296,6 +326,8 @@ pub enum AnalysisReply {
     Stats(StatsReply),
     /// Answer to [`AnalysisRequest::Reslice`].
     Reslice(ResliceReply),
+    /// One refresh of an [`AnalysisRequest::Subscribe`] stream.
+    Watch(WatchReply),
 }
 
 impl AnalysisReply {
@@ -312,6 +344,7 @@ impl AnalysisReply {
             AnalysisReply::Overview(_) => "overview",
             AnalysisReply::Stats(_) => "stats",
             AnalysisReply::Reslice(_) => "reslice",
+            AnalysisReply::Watch(_) => "watch",
         }
     }
 }
@@ -726,6 +759,32 @@ pub struct ResliceReply {
     pub shape: ModelShape,
 }
 
+/// One refresh of an [`AnalysisRequest::Subscribe`] stream: the inner
+/// request's reply wrapped with the live session's progress marker. Reply
+/// lines on a subscription are strictly ordered by `seq`; each line is a
+/// complete self-identifying answer (the stream can be cut anywhere and
+/// every received line still stands alone).
+///
+/// The wrapped `reply` is deterministic per `(events, request)` — it is a
+/// pure function of the event prefix folded so far, byte-identical to a
+/// post-mortem session over the same prefix. The *pacing* (which prefixes
+/// get a refresh line) is the server's batching choice, not part of the
+/// data contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchReply {
+    /// Refresh generation, strictly increasing per subscription starting
+    /// at 1. Gaps are legal: a subscriber that lags simply skips to the
+    /// newest generation instead of replaying stale ones.
+    pub seq: u64,
+    /// `true` on the final refresh: the feeder has finished and no
+    /// further lines follow.
+    pub done: bool,
+    /// Events folded into the live model when this refresh was taken.
+    pub events: u64,
+    /// The inner request's answer over those events.
+    pub reply: Box<AnalysisReply>,
+}
+
 // ---------------------------------------------------------------------------
 // The engine
 // ---------------------------------------------------------------------------
@@ -883,6 +942,12 @@ impl QueryEngine {
             // Reslice mutates the session by definition; it has no shared
             // path to prepare for.
             AnalysisRequest::Reslice { .. } => Ok(()),
+            // A subscription's refreshes execute the *inner* request, so
+            // preparing it is preparing the subscription.
+            AnalysisRequest::Subscribe { inner } => {
+                AnalysisRequest::validate_subscribe_inner(inner)?;
+                self.prepare(inner)
+            }
         }
     }
 
@@ -1006,6 +1071,17 @@ impl QueryEngine {
             AnalysisRequest::Stats => self.stats_shared().map(AnalysisReply::Stats),
             // Reslicing mutates the session: never answerable from `&self`.
             AnalysisRequest::Reslice { .. } => Err(Miss::NotPrepared),
+            // A subscription needs a connection to stream over; only
+            // `ocelotl serve` (which intercepts the kind before execution)
+            // can honor it.
+            AnalysisRequest::Subscribe { inner } => {
+                AnalysisRequest::validate_subscribe_inner(inner)?;
+                Err(Miss::Failed(QueryError::Unsupported(
+                    "subscribe streams refreshed replies over an `ocelotl serve` connection; \
+                     it has no in-process answer"
+                        .into(),
+                )))
+            }
         }
     }
 
@@ -1490,6 +1566,35 @@ mod tests {
     }
 
     #[test]
+    fn subscribe_is_unsupported_in_process_and_validated() {
+        let mut e = engine();
+        let sub = AnalysisRequest::Subscribe {
+            inner: Box::new(AnalysisRequest::Describe),
+        };
+        // prepare succeeds (it warms the inner request)...
+        e.prepare(&sub).unwrap();
+        // ...but execution needs a serve connection to stream over.
+        assert!(matches!(e.execute(&sub), Err(QueryError::Unsupported(_))));
+        assert!(e.execute_shared(&sub).is_some_and(|r| r.is_err()));
+        // Reslice and nested Subscribe payloads are rejected outright.
+        for bad in [
+            AnalysisRequest::Reslice {
+                n_slices: 10,
+                range: None,
+            },
+            sub.clone(),
+        ] {
+            let wrapped = AnalysisRequest::Subscribe {
+                inner: Box::new(bad),
+            };
+            assert!(matches!(
+                e.execute(&wrapped),
+                Err(QueryError::InvalidRequest(_))
+            ));
+        }
+    }
+
+    #[test]
     fn stats_unsupported_without_telemetry() {
         let mut e = engine();
         assert!(matches!(
@@ -1602,7 +1707,7 @@ mod tests {
             .kind(),
             "render-overview"
         );
-        assert_eq!(AnalysisRequest::KINDS.len(), 9);
+        assert_eq!(AnalysisRequest::KINDS.len(), 10);
         assert_eq!(
             AnalysisRequest::Reslice {
                 n_slices: 60,
@@ -1610,6 +1715,13 @@ mod tests {
             }
             .kind(),
             "reslice"
+        );
+        assert_eq!(
+            AnalysisRequest::Subscribe {
+                inner: Box::new(AnalysisRequest::Describe)
+            }
+            .kind(),
+            "subscribe"
         );
         let e = QueryError::InvalidRequest("x".into());
         assert_eq!(e.kind(), "invalid-request");

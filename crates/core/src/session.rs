@@ -38,7 +38,7 @@
 
 use crate::cube::{CubeBackend, CubeCore, MemoryMode};
 use crate::dp::{aggregate, DpConfig};
-use crate::hires::HiResModel;
+use crate::hires::{AppendOutcome, HiResModel, LiveEvent};
 use crate::partition::Partition;
 use crate::pvalues::{significant_partitions, PEntry};
 use ocelotl_trace::{event_density_auto, MicroModel, TimeGrid, Trace};
@@ -391,6 +391,25 @@ impl ModelSource for OwnedSource {
     }
 }
 
+/// The source behind a live session: there is no trace on disk yet, so
+/// every model must come from the resident appendable [`HiResModel`] —
+/// any attempt to fall back to a trace read is a hard, typed error.
+struct LiveSource;
+
+impl ModelSource for LiveSource {
+    fn fingerprint(&self) -> Result<u64, SessionError> {
+        Err(SessionError::source(
+            "live sessions have no trace bytes to fingerprint",
+        ))
+    }
+
+    fn model(&self, _n_slices: usize, _metric: Metric) -> Result<MicroModel, SessionError> {
+        Err(SessionError::source(
+            "live sessions derive every model from the resident grid",
+        ))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Partition table
 // ---------------------------------------------------------------------------
@@ -617,6 +636,14 @@ pub struct AnalysisSession {
     /// sources that report no stats are not asked again and again.
     stats_probed: bool,
     dp_runs: AtomicUsize,
+    /// Live sessions own their (appendable) hi-res grid and never fall
+    /// back to a trace read; see [`AnalysisSession::live`].
+    live: bool,
+    /// Interval events appended so far ([`AnalysisSession::advance`]).
+    live_events: u64,
+    /// Bumped on every [`AnalysisSession::advance`] that changed a cell
+    /// or grew the grid.
+    generation: u64,
 }
 
 impl AnalysisSession {
@@ -636,7 +663,38 @@ impl AnalysisSession {
             source_reads: 0,
             stats_probed: false,
             dp_runs: AtomicUsize::new(0),
+            live: false,
+            live_events: 0,
+            generation: 0,
         }
+    }
+
+    /// A **live** session over an appendable resident grid: `hi_res` is an
+    /// (initially empty) [`HiResModel`] whose grid declares the expected
+    /// horizon, and [`AnalysisSession::advance`] feeds it interval events
+    /// as they happen. Live sessions have no trace and no artifact store;
+    /// every model is derived from the resident grid by
+    /// [`HiResModel::derive_at`], so any `n_slices` dividing the (possibly
+    /// grown) grid is servable — and on an ungrown grid the derived model
+    /// is bit-identical to what a post-mortem ingest of the same events
+    /// over the same declared range would produce.
+    pub fn live(config: SessionConfig, hi_res: HiResModel) -> Result<Self, SessionError> {
+        if hi_res.metric() != config.metric {
+            return Err(SessionError::InvalidParam(
+                "live grid metric does not match the session config".into(),
+            ));
+        }
+        if !hi_res.n_slices().is_multiple_of(config.n_slices.max(1)) || config.n_slices < 1 {
+            return Err(SessionError::InvalidParam(format!(
+                "--slices {} does not divide the live grid's {} periods",
+                config.n_slices,
+                hi_res.n_slices()
+            )));
+        }
+        let mut s = Self::new(LiveSource, config);
+        s.hi_res = Some(hi_res);
+        s.live = true;
+        Ok(s)
     }
 
     /// Attach an artifact store (builder style).
@@ -710,6 +768,60 @@ impl AnalysisSession {
     /// The active zoom window (snapped to the hi-res grid), if any.
     pub fn window(&self) -> Option<(f64, f64)> {
         self.window.map(|w| (w.t0, w.t1))
+    }
+
+    /// Whether this is a live (appendable) session.
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// Interval events appended so far (live sessions only).
+    pub fn live_events(&self) -> u64 {
+        self.live_events
+    }
+
+    /// Monotonic change counter: bumped by every
+    /// [`AnalysisSession::advance`] that touched a cell or grew the grid.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Append a batch of interval events to the live grid and invalidate
+    /// exactly the derived pipelines whose hi-res windows the new
+    /// contributions touch: full-grid pipelines whenever anything landed,
+    /// windowed pipelines only when the batch's touched slice range
+    /// intersects theirs. Growth appends whole periods of the same slice
+    /// width (in multiples of the session's `n_slices`, so the active
+    /// resolution keeps dividing the grid), which leaves every untouched
+    /// window's time range — and therefore its derived cells — unchanged.
+    pub fn advance(&mut self, events: &[LiveEvent]) -> Result<AppendOutcome, SessionError> {
+        if !self.live {
+            return Err(SessionError::InvalidParam(
+                "advance is only valid on a live session".into(),
+            ));
+        }
+        let hi = self
+            .hi_res
+            .as_mut()
+            .ok_or_else(|| SessionError::source("live session lost its resident grid"))?;
+        let outcome = hi
+            .append(events, self.config.n_slices)
+            .map_err(|e| SessionError::Source(format!("append refused: {e}")))?;
+        self.live_events += events.len() as u64;
+        let Some((lo, hi_slice)) = outcome.touched else {
+            return Ok(outcome);
+        };
+        self.generation += 1;
+        let stale = |win: Option<(usize, usize)>| match win {
+            // Full-grid pipelines see every new contribution.
+            None => true,
+            Some((first, count)) => first <= hi_slice && lo < first + count,
+        };
+        if stale(self.window.map(|w| (w.first, w.count))) {
+            self.active = Derived::default();
+        }
+        self.parked.retain(|((_, win), _)| !stale(*win));
+        Ok(outcome)
     }
 
     /// Whether the artifact store applies to the active derived pipeline:
@@ -820,6 +932,21 @@ impl AnalysisSession {
         self.ensure_hi_res(n)?;
         if let Some(h) = &self.hi_res {
             if let Some(model) = h.derive(n) {
+                self.active.model = Some(model);
+                return Ok(());
+            }
+            if self.live {
+                // Live sessions own their grid: once it has grown past the
+                // declared horizon, `H` leaves the dyadic fresh-ingest
+                // family, but any divisor of the live grid is still the
+                // exact left-to-right rebin — and there is no trace to
+                // fall back to.
+                let model = h.derive_at(n).ok_or_else(|| {
+                    SessionError::InvalidParam(format!(
+                        "--slices {n} does not divide the live grid's {} periods",
+                        h.n_slices()
+                    ))
+                })?;
                 self.active.model = Some(model);
                 return Ok(());
             }
@@ -1308,6 +1435,116 @@ mod tests {
                 ..SessionConfig::default()
             },
         )
+    }
+
+    fn fresh_live(n_slices: usize) -> Result<AnalysisSession, SessionError> {
+        use ocelotl_trace::{Hierarchy, StateRegistry, TimeGrid};
+        let raw = MicroModel::from_dense(
+            Hierarchy::flat(2, "p"),
+            StateRegistry::from_names(["A", "B"]),
+            TimeGrid::new(0.0, 8.0, 4096),
+            vec![0.0; 2 * 2 * 4096],
+        );
+        AnalysisSession::live(
+            SessionConfig {
+                n_slices,
+                ..SessionConfig::default()
+            },
+            crate::hires::HiResModel::new(Metric::States, raw),
+        )
+    }
+
+    #[test]
+    fn live_sessions_advance_and_grow_in_resolution_multiples() {
+        use ocelotl_trace::{LeafId, StateId};
+        let mut s = fresh_live(4).unwrap();
+        assert!(s.is_live());
+        assert_eq!((s.live_events(), s.generation()), (0, 0));
+
+        s.advance(&[(LeafId(0), StateId(0), 0.0, 2.0)]).unwrap();
+        assert_eq!((s.live_events(), s.generation()), (1, 1));
+        // The derived model reflects the fold: slice width is 2.0, so the
+        // interval fills slice 0 of leaf 0 exactly.
+        assert_eq!(s.model().unwrap().duration(LeafId(0), StateId(0), 0), 2.0);
+
+        // A later batch invalidates and re-derives the full-grid model.
+        s.advance(&[(LeafId(1), StateId(1), 2.0, 4.0)]).unwrap();
+        assert_eq!(s.model().unwrap().duration(LeafId(1), StateId(1), 1), 2.0);
+
+        // An empty batch touches nothing.
+        let g = s.generation();
+        s.advance(&[]).unwrap();
+        assert_eq!(s.generation(), g);
+
+        // Growth: an event past the horizon appends whole periods in
+        // multiples of the active resolution, so derive_at keeps working.
+        s.advance(&[(LeafId(0), StateId(0), 9.0, 10.0)]).unwrap();
+        let h = s.hi_res_slices().unwrap();
+        assert!(h > 4096, "the grid must have grown");
+        assert_eq!(h % 4, 0, "growth quantum preserves n | H");
+        let m = s.model().unwrap();
+        assert_eq!(m.n_slices(), 4);
+        assert!(m.grid().end() > 10.0, "grown end strictly covers the event");
+    }
+
+    #[test]
+    fn live_construction_and_advance_are_validated() {
+        use ocelotl_trace::{Hierarchy, StateRegistry, TimeGrid};
+        // A resolution that does not divide the grid is refused up front.
+        assert!(fresh_live(3).is_err());
+        assert!(fresh_live(0).is_err());
+        // Metric mismatch between config and grid is refused.
+        let raw = MicroModel::from_dense(
+            Hierarchy::flat(2, "p"),
+            StateRegistry::from_names(["A", "B"]),
+            TimeGrid::new(0.0, 8.0, 4096),
+            vec![0.0; 2 * 2 * 4096],
+        );
+        assert!(AnalysisSession::live(
+            SessionConfig {
+                n_slices: 4,
+                metric: Metric::Density,
+                ..SessionConfig::default()
+            },
+            crate::hires::HiResModel::new(Metric::States, raw),
+        )
+        .is_err());
+        // advance is live-only.
+        let mut plain = session_over(fig3_model(), 1);
+        assert!(plain.advance(&[]).is_err());
+        // A refused append leaves the session's counters untouched.
+        let mut live = fresh_live(4).unwrap();
+        use ocelotl_trace::{LeafId, StateId};
+        assert!(live.advance(&[(LeafId(9), StateId(0), 0.0, 1.0)]).is_err());
+        assert_eq!((live.live_events(), live.generation()), (0, 0));
+    }
+
+    #[test]
+    fn advance_invalidates_only_windows_the_batch_touches() {
+        use ocelotl_trace::{LeafId, StateId};
+        let mut s = fresh_live(4).unwrap();
+        s.advance(&[(LeafId(0), StateId(0), 0.0, 8.0)]).unwrap();
+        // Zoom into the first half and derive its model.
+        s.reslice(4, Some((0.0, 4.0))).unwrap();
+        assert!(s.window().is_some());
+        s.model().unwrap();
+        assert!(s.model_if_built().is_some());
+        // An append entirely in the second half leaves the window's
+        // derived pipeline resident …
+        s.advance(&[(LeafId(1), StateId(0), 5.0, 6.0)]).unwrap();
+        assert!(
+            s.model_if_built().is_some(),
+            "untouched window must stay warm"
+        );
+        // … and an append into the window drops it.
+        s.advance(&[(LeafId(1), StateId(0), 1.0, 2.0)]).unwrap();
+        assert!(
+            s.model_if_built().is_none(),
+            "touched window must be invalidated"
+        );
+        // It re-derives on demand, reflecting the new event: [1.0, 2.0]
+        // fills windowed slice 1 (width 1.0) exactly.
+        assert_eq!(s.model().unwrap().duration(LeafId(1), StateId(0), 1), 1.0);
     }
 
     #[test]

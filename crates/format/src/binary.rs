@@ -115,13 +115,51 @@ pub(crate) fn read_exact_buf<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Fallible fixed-width field read: `N` little-endian bytes at `at`.
+/// Decoders use these instead of slice indexing + `try_into().unwrap()`,
+/// so a short or corrupt record surfaces as a typed parse error — the
+/// whole decode surface stays panic-free by construction.
+#[inline]
+fn le_bytes<const N: usize>(b: &[u8], at: usize) -> Result<[u8; N]> {
+    b.get(at..at + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or_else(|| FormatError::parse("truncated record field", None))
+}
+
+#[inline]
+pub(crate) fn le_u16(b: &[u8], at: usize) -> Result<u16> {
+    Ok(u16::from_le_bytes(le_bytes(b, at)?))
+}
+
+#[inline]
+pub(crate) fn le_u32(b: &[u8], at: usize) -> Result<u32> {
+    Ok(u32::from_le_bytes(le_bytes(b, at)?))
+}
+
+#[inline]
+pub(crate) fn le_u64(b: &[u8], at: usize) -> Result<u64> {
+    Ok(u64::from_le_bytes(le_bytes(b, at)?))
+}
+
+#[inline]
+pub(crate) fn le_f64(b: &[u8], at: usize) -> Result<f64> {
+    Ok(f64::from_le_bytes(le_bytes(b, at)?))
+}
+
+#[inline]
+pub(crate) fn byte_at(b: &[u8], at: usize) -> Result<u8> {
+    b.get(at)
+        .copied()
+        .ok_or_else(|| FormatError::parse("truncated record field", None))
+}
+
 /// Parse the header block BTF and OCTF share after their magics (the
 /// counterpart of [`put_header_block`]), with full structural validation.
 pub(crate) fn read_header_block<R: Read>(r: &mut R) -> Result<StreamHeader> {
     let mut fixed = [0u8; 16];
     r.read_exact(&mut fixed)?;
-    let lo = f64::from_le_bytes(fixed[0..8].try_into().unwrap());
-    let hi = f64::from_le_bytes(fixed[8..16].try_into().unwrap());
+    let lo = le_f64(&fixed, 0)?;
+    let hi = le_f64(&fixed, 8)?;
 
     let mut count = [0u8; 4];
 
@@ -171,7 +209,7 @@ pub(crate) fn read_header_block<R: Read>(r: &mut R) -> Result<StreamHeader> {
         }
     }
     let hierarchy = builder
-        .unwrap()
+        .ok_or_else(|| FormatError::parse("trace has no hierarchy root", None))?
         .build()
         .map_err(|e| FormatError::parse(format!("invalid hierarchy: {e}"), None))?;
 
@@ -229,13 +267,13 @@ pub(crate) fn read_len_str<R: Read>(r: &mut R) -> Result<String> {
 }
 
 #[inline]
-fn decode_interval(rec: &[u8]) -> (u32, u16, f64, f64) {
-    (
-        u32::from_le_bytes(rec[0..4].try_into().unwrap()),
-        u16::from_le_bytes(rec[4..6].try_into().unwrap()),
-        f64::from_le_bytes(rec[6..14].try_into().unwrap()),
-        f64::from_le_bytes(rec[14..22].try_into().unwrap()),
-    )
+fn decode_interval(rec: &[u8]) -> Result<(u32, u16, f64, f64)> {
+    Ok((
+        le_u32(rec, 0)?,
+        le_u16(rec, 4)?,
+        le_f64(rec, 6)?,
+        le_f64(rec, 14)?,
+    ))
 }
 
 /// Size of one point record in bytes.
@@ -251,7 +289,7 @@ fn read_interval_record<R: Read>(
 ) -> Result<(LeafId, StateId, f64, f64)> {
     let mut rec = [0u8; INTERVAL_RECORD_BYTES];
     r.read_exact(&mut rec)?;
-    let (res, st, begin, end) = decode_interval(&rec);
+    let (res, st, begin, end) = decode_interval(&rec)?;
     if res as usize >= n_leaves
         || st as usize >= n_states
         || !begin.is_finite()
@@ -268,10 +306,10 @@ fn read_interval_record<R: Read>(
 fn read_point_record<R: Read>(r: &mut R, n_leaves: usize) -> Result<PointEvent> {
     let mut prec = [0u8; POINT_RECORD_BYTES];
     r.read_exact(&mut prec)?;
-    let res = u32::from_le_bytes(prec[0..4].try_into().unwrap());
-    let time = f64::from_le_bytes(prec[4..12].try_into().unwrap());
-    let kind = prec[12];
-    let peer = u32::from_le_bytes(prec[13..17].try_into().unwrap());
+    let res = le_u32(&prec, 0)?;
+    let time = le_f64(&prec, 4)?;
+    let kind = byte_at(&prec, 12)?;
+    let peer = le_u32(&prec, 13)?;
     let kind = match kind {
         0 => PointKind::Marker,
         1 => PointKind::MsgSend { peer: LeafId(peer) },

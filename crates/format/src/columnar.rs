@@ -49,8 +49,8 @@
 //! decodable through the planner.
 
 use crate::binary::{
-    put_header_block, read_exact_buf, read_header_block, CountingReader, INTERVAL_RECORD_BYTES,
-    POINT_RECORD_BYTES,
+    byte_at, le_f64, le_u64, put_header_block, read_exact_buf, read_header_block, CountingReader,
+    INTERVAL_RECORD_BYTES, POINT_RECORD_BYTES,
 };
 use crate::error::{FormatError, Result};
 use ocelotl_core::{fnv1a, FNV_SEED};
@@ -463,9 +463,8 @@ impl<W: Write + Seek> ColumnarWriter<W> {
         );
         foot.extend_from_slice(FOOTER_MAGIC);
         foot.extend_from_slice(&(self.chunks.len() as u64).to_le_bytes());
-        for i in 0..self.chunks.len() {
-            let info = self.chunks[i];
-            put_chunk_entry(&mut foot, &info, true);
+        for info in &self.chunks {
+            put_chunk_entry(&mut foot, info, true);
         }
         foot.extend_from_slice(&footer_offset.to_le_bytes());
         foot.extend_from_slice(END_MAGIC);
@@ -567,22 +566,20 @@ fn read_chunk_entry<R: Read>(r: &mut R, with_offset: bool) -> Result<ChunkInfo> 
         CHUNK_HEADER_BYTES
     } as usize;
     let b = read_exact_buf(r, want)?;
-    let f64_at = |i: usize| f64::from_le_bytes(b[i..i + 8].try_into().unwrap());
-    let u64_at = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
-    let tag = b[0];
+    let tag = byte_at(&b, 0)?;
     if tag != TAG_INTERVALS && tag != TAG_POINTS {
         return Err(FormatError::parse(format!("bad chunk tag {tag}"), None));
     }
     Ok(ChunkInfo {
         tag,
-        n_records: u64_at(1),
-        t_min: f64_at(9),
-        t_max: f64_at(17),
-        kind_mask: b[25],
-        resource_mask: u64_at(26),
-        checksum: u64_at(34),
-        payload_len: u64_at(42),
-        offset: if with_offset { u64_at(50) } else { 0 },
+        n_records: le_u64(&b, 1)?,
+        t_min: le_f64(&b, 9)?,
+        t_max: le_f64(&b, 17)?,
+        kind_mask: byte_at(&b, 25)?,
+        resource_mask: le_u64(&b, 26)?,
+        checksum: le_u64(&b, 34)?,
+        payload_len: le_u64(&b, 42)?,
+        offset: if with_offset { le_u64(&b, 50)? } else { 0 },
     })
 }
 
@@ -693,12 +690,12 @@ fn decode_payload<S: EventSink>(
             if pos != payload.len() {
                 return Err(FormatError::parse("trailing bytes in chunk payload", None));
             }
-            for i in 0..n {
-                let (begin, end) = (begins[i], ends[i]);
+            let rows = begins.iter().zip(&ends).zip(resources.iter().zip(&states));
+            for ((&begin, &end), (&res, &st)) in rows {
                 if !begin.is_finite() || !end.is_finite() || end < begin {
                     return Err(FormatError::parse("invalid interval record", None));
                 }
-                sink.interval(LeafId(resources[i]), StateId(states[i]), begin, end);
+                sink.interval(LeafId(res), StateId(st), begin, end);
             }
         }
         TAG_POINTS => {
@@ -735,20 +732,17 @@ fn decode_payload<S: EventSink>(
             if pos != payload.len() {
                 return Err(FormatError::parse("trailing bytes in chunk payload", None));
             }
-            for i in 0..n {
-                let kind = match kinds[i] {
+            let rows = kinds.iter().zip(&peers).zip(resources.iter().zip(&times));
+            for ((&kind, &peer), (&res, &time)) in rows {
+                let kind = match kind {
                     0 => PointKind::Marker,
-                    1 => PointKind::MsgSend {
-                        peer: LeafId(peers[i]),
-                    },
-                    2 => PointKind::MsgRecv {
-                        peer: LeafId(peers[i]),
-                    },
+                    1 => PointKind::MsgSend { peer: LeafId(peer) },
+                    2 => PointKind::MsgRecv { peer: LeafId(peer) },
                     k => return Err(FormatError::parse(format!("bad point kind {k}"), None)),
                 };
                 sink.point(&PointEvent {
-                    resource: LeafId(resources[i]),
-                    time: times[i],
+                    resource: LeafId(res),
+                    time,
                     kind,
                 });
             }
@@ -814,7 +808,7 @@ pub fn plan_columnar(path: &Path) -> Result<ColumnarPlan> {
             None,
         ));
     }
-    let footer_offset = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+    let footer_offset = le_u64(&trailer, 0)?;
     if footer_offset + TRAILER_BYTES > file_len {
         return Err(FormatError::parse("footer offset out of bounds", None));
     }

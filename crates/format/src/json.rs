@@ -26,7 +26,7 @@ use ocelotl_core::query::{
     AggregateReply, AnalysisReply, AnalysisRequest, AreaRow, BaselineRow, ClusterReply,
     DescribeReply, DiffReply, InspectReply, LevelReply, ModelShape, OverviewItem, OverviewReply,
     PValuesReply, PartitionSummary, QueryError, ResliceReply, SignificantReply, StatsReply,
-    SweepPoint, SweepReply, PROTOCOL_VERSION,
+    SweepPoint, SweepReply, WatchReply, PROTOCOL_VERSION,
 };
 use ocelotl_core::{MemoryMode, Metric, SessionConfig, VisualMark};
 
@@ -529,6 +529,10 @@ fn request_to_json(req: &AnalysisRequest) -> Json {
             ("slices", int(*n_slices)),
             ("range", range_to_json(*range)),
         ]),
+        AnalysisRequest::Subscribe { inner } => obj(vec![
+            ("kind", strv("subscribe")),
+            ("inner", request_to_json(inner)),
+        ]),
     }
 }
 
@@ -591,6 +595,9 @@ fn request_from_json(j: &Json) -> Result<AnalysisRequest, QueryError> {
         "reslice" => Ok(AnalysisRequest::Reslice {
             n_slices: as_usize(j, "slices")?,
             range: range_from_json(j, "range")?,
+        }),
+        "subscribe" => Ok(AnalysisRequest::Subscribe {
+            inner: Box::new(request_from_json(field(j, "inner")?)?),
         }),
         other => Err(bad(format!("unknown request kind {other:?}"))),
     }
@@ -878,6 +885,13 @@ fn reply_to_json(reply: &AnalysisReply) -> Json {
             ("window", range_to_json(r.window)),
             ("shape", shape_to_json(&r.shape)),
         ]),
+        AnalysisReply::Watch(w) => obj(vec![
+            ("kind", strv("watch")),
+            ("seq", int64(w.seq)),
+            ("done", Json::Bool(w.done)),
+            ("events", int64(w.events)),
+            ("reply", reply_to_json(&w.reply)),
+        ]),
     }
 }
 
@@ -1071,6 +1085,12 @@ fn reply_from_json(j: &Json) -> Result<AnalysisReply, QueryError> {
             hi_slices: as_usize(j, "hi_slices")?,
             window: range_from_json(j, "window")?,
             shape: shape_from_json(field(j, "shape")?)?,
+        })),
+        "watch" => Ok(AnalysisReply::Watch(WatchReply {
+            seq: as_u64(j, "seq")?,
+            done: as_bool(j, "done")?,
+            events: as_u64(j, "events")?,
+            reply: Box::new(reply_from_json(field(j, "reply")?)?),
         })),
         other => Err(bad(format!("unknown reply kind {other:?}"))),
     }
@@ -1290,12 +1310,38 @@ mod tests {
                 n_slices: 24,
                 range: Some((1.5, 7.25)),
             },
+            AnalysisRequest::Subscribe {
+                inner: Box::new(AnalysisRequest::Aggregate {
+                    p: 0.5,
+                    coarse: false,
+                    compare: false,
+                    diff_p: None,
+                }),
+            },
         ];
         for req in &reqs {
             let line = encode_request(req);
             assert!(!line.contains('\n'), "one line per request");
             assert_eq!(&decode_request(&line).unwrap(), req, "{line}");
         }
+    }
+
+    #[test]
+    fn watch_reply_round_trips() {
+        let inner = AnalysisReply::PValues(PValuesReply {
+            resolution: 0.01,
+            ps: vec![0.25, 0.75],
+        });
+        let watch = AnalysisReply::Watch(WatchReply {
+            seq: 3,
+            done: true,
+            events: 4096,
+            reply: Box::new(inner),
+        });
+        let line = encode_reply(&Ok(watch.clone()));
+        assert!(!line.contains('\n'), "one line per refresh");
+        assert!(line.contains("\"kind\":\"watch\""));
+        assert_eq!(decode_reply(&line).unwrap(), Ok(watch));
     }
 
     #[test]

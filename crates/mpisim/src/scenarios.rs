@@ -167,6 +167,23 @@ impl Scenario {
         Engine::new(&self.platform, &self.network, seed).run(programs, &meta)
     }
 
+    /// Run the simulation calling `emit(rank, state, begin, end)` for every
+    /// interval, in the engine's deterministic emission order. This is the
+    /// live-ingestion bridge: `ocelotl simulate --live` tees each event into
+    /// a stream writer *and* an appendable in-memory model through this one
+    /// path, so both views fold the exact same record sequence.
+    pub fn run_with_emit(
+        &self,
+        seed: u64,
+        emit: &mut dyn FnMut(u32, ocelotl_trace::StateId, f64, f64),
+    ) -> SimStats {
+        let programs = match &self.app {
+            App::Cg(c) => cg::build_programs(&self.platform, c),
+            App::Lu(c) => lu::build_programs(&self.platform, c),
+        };
+        Engine::new(&self.platform, &self.network, seed).run_with_sink(programs, emit)
+    }
+
     /// Run the simulation streaming every interval straight to a BTF file —
     /// the memory-bounded path for paper-scale (`--full`) runs, where case C
     /// produces hundreds of millions of events.

@@ -37,8 +37,8 @@ pub use event::{PointEvent, PointKind, StateInterval, Time};
 pub use hierarchy::{Hierarchy, HierarchyBuilder, LeafId, NodeId};
 pub use micro::{MicroBuilder, MicroModel};
 pub use sink::{
-    EventSink, ModelKind, ModelSink, ModelSinkError, PartialModel, ScanSink, StreamHeader, TeeSink,
-    TraceSink,
+    fold_interval, EventSink, ModelKind, ModelSink, ModelSinkError, PartialModel, ScanSink,
+    StreamHeader, TeeSink, TraceSink,
 };
 pub use slicing::{hi_res_slices, TimeGrid, HI_RES_CELL_BUDGET, HI_RES_FACTOR, HI_RES_MIN_SLICES};
 pub use state::{StateId, StateRegistry};

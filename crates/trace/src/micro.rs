@@ -228,6 +228,34 @@ impl MicroModel {
         &mut self.durations[i]
     }
 
+    /// Mutable time series `d_x(s, ·)` for one (leaf, state): the in-place
+    /// accumulation target of the live append path.
+    #[inline]
+    pub fn series_mut(&mut self, leaf: LeafId, state: StateId) -> &mut [f64] {
+        let base = self.idx(leaf.index(), state.index(), 0);
+        let n = self.n_slices();
+        &mut self.durations[base..base + n]
+    }
+
+    /// Rebuild this model over a longer grid of the **same slice width**:
+    /// every existing `(leaf, state)` series keeps its cells at the same
+    /// slice indices and the new tail slices start at zero. The caller
+    /// guarantees `grid` extends the current one by whole slices; this
+    /// only re-lays the storage (the slice stride changes).
+    pub fn regrow(&mut self, grid: TimeGrid) {
+        let old = self.n_slices();
+        let new = grid.n_slices();
+        assert!(new >= old, "regrow cannot shrink the grid");
+        let rows = self.n_leaves() * self.n_states();
+        let mut durations = vec![0.0f64; rows * new];
+        for row in 0..rows {
+            durations[row * new..row * new + old]
+                .copy_from_slice(&self.durations[row * old..(row + 1) * old]);
+        }
+        self.grid = grid;
+        self.durations = durations;
+    }
+
     /// Drill down (Ocelotl's zoom): extract the sub-model of one hierarchy
     /// subtree over a slice window `[first_slice, last_slice]`.
     ///

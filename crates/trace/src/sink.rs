@@ -802,25 +802,45 @@ fn flush(acc: &mut Accum, kind: ModelKind) {
                 continue;
             }
             let base = ((leaf - first_leaf) * n_states + rec.state as usize) * n_slices;
-            match kind {
-                ModelKind::States => {
-                    for (slice, overlap) in grid.prorate(rec.begin, rec.end) {
-                        slab[base + slice] += overlap;
-                    }
-                }
-                ModelKind::Density => {
-                    // An interval contributes its enter and leave events
-                    // independently (either may fall outside the grid).
-                    for ts in [rec.begin, rec.end] {
-                        if ts >= grid.start() && ts <= grid.end() {
-                            slab[base + grid.slice_of(ts)] += 1.0;
-                        }
-                    }
-                }
-            }
+            fold_interval(
+                kind,
+                &mut slab[base..base + n_slices],
+                &grid,
+                rec.begin,
+                rec.end,
+            );
         }
     });
     acc.pending.clear();
+}
+
+/// Fold one interval record into a single `(leaf, state)` time series over
+/// `grid`. This is **the** per-record accumulation kernel: the streaming
+/// flush above and the live append path (`HiResModel::append`) both call
+/// it, so an incrementally grown model and a batch ingest of the same
+/// stream are literally the same computation — the bit-identity argument
+/// reduces to "same grid, same record order".
+///
+/// For [`ModelKind::States`] the interval's overlap with each slice is
+/// prorated in; for [`ModelKind::Density`] the enter and leave boundary
+/// events each count 1.0 in their slice (either may fall outside the
+/// grid independently).
+#[inline]
+pub fn fold_interval(kind: ModelKind, row: &mut [f64], grid: &TimeGrid, begin: Time, end: Time) {
+    match kind {
+        ModelKind::States => {
+            for (slice, overlap) in grid.prorate(begin, end) {
+                row[slice] += overlap;
+            }
+        }
+        ModelKind::Density => {
+            for ts in [begin, end] {
+                if ts >= grid.start() && ts <= grid.end() {
+                    row[grid.slice_of(ts)] += 1.0;
+                }
+            }
+        }
+    }
 }
 
 /// Merge the pseudo-state layers and (when `normalize`) apply the peak

@@ -180,6 +180,160 @@ fn streaming_ingest_survives_truncation_and_mid_stream_corruption() {
     std::fs::remove_file(&p).ok();
 }
 
+// ---------------------------------------------------------------------------
+// Decoder panic-freedom: record fields are read through fallible
+// accessors, so truncation or corruption anywhere in a BTF/OCTF byte
+// stream must surface as a typed parse error — never an index or
+// `unwrap` panic.
+// ---------------------------------------------------------------------------
+
+/// A trace with point events too, so the point-record decoder runs.
+fn sample_trace_with_points() -> Trace {
+    let mut b = TraceBuilder::new(Hierarchy::balanced(&[2, 2]));
+    let s = b.state("Run");
+    for leaf in 0..4u32 {
+        b.push_state(LeafId(leaf), s, 0.0, 8.0);
+        b.push_point(ocelotl::trace::PointEvent {
+            resource: LeafId(leaf),
+            time: 1.0 + leaf as f64,
+            kind: ocelotl::trace::PointKind::MsgSend { peer: LeafId(0) },
+        });
+    }
+    b.build()
+}
+
+fn sample_octf() -> Vec<u8> {
+    let mut cur = std::io::Cursor::new(Vec::new());
+    ocelotl::format::write_columnar(&sample_trace_with_points(), &mut cur).unwrap();
+    cur.into_inner()
+}
+
+fn decode_octf(bytes: &[u8]) -> ocelotl::format::Result<bool> {
+    let mut sink = ocelotl::trace::ScanSink::new();
+    ocelotl::format::decode_columnar(bytes, &mut sink)
+}
+
+/// Write `bytes` to a scratch file and run the shard planner over it.
+fn plan_bytes(tag: &str, bytes: &[u8]) -> ocelotl::format::Result<ocelotl::format::ColumnarPlan> {
+    let p = std::env::temp_dir().join(format!("robust-octf-{tag}-{}.octf", std::process::id()));
+    std::fs::write(&p, bytes).unwrap();
+    let plan = ocelotl::format::plan_columnar(&p);
+    std::fs::remove_file(&p).ok();
+    plan
+}
+
+#[test]
+fn octf_truncations_never_panic() {
+    let buf = sample_octf();
+    for cut in 0..buf.len() {
+        // The forward decoder stops at the end tag, so prefixes that only
+        // lose footer bytes may still decode; it must never panic, and
+        // every cut inside the event section must be a clean error.
+        let _ = decode_octf(&buf[..cut]);
+        // The planner reads the trailer at the exact end of the file:
+        // any truncation breaks it.
+        assert!(
+            plan_bytes("cut", &buf[..cut]).is_err(),
+            "truncated octf ({cut} bytes) must not plan"
+        );
+    }
+}
+
+#[test]
+fn octf_chunk_corruption_is_a_typed_error() {
+    let buf = sample_octf();
+    // Locate chunk 0 structurally: the plan's `header_bytes` is its file
+    // offset, and the chunk header layout puts payload_len at +42.
+    let plan = plan_bytes("pristine", &buf).unwrap();
+    assert!(plan.chunks.len() >= 2, "expected interval + point chunks");
+    let hdr = plan.header_bytes as usize;
+
+    let mut bad_tag = buf.clone();
+    bad_tag[hdr] = 0x7f;
+    let err = decode_octf(&bad_tag).unwrap_err();
+    assert!(err.to_string().contains("bad chunk tag"), "{err}");
+
+    let mut bad_len = buf.clone();
+    bad_len[hdr + 42..hdr + 50].copy_from_slice(&(1u64 << 40).to_le_bytes());
+    let err = decode_octf(&bad_len).unwrap_err();
+    assert!(
+        err.to_string().contains("unreasonable chunk payload size"),
+        "{err}"
+    );
+
+    // Flip a byte inside the chunk payload: the checksum must catch it.
+    let mut bad_payload = buf.clone();
+    bad_payload[hdr + 42 + 2] ^= 0xa5;
+    assert!(
+        decode_octf(&bad_payload).is_err(),
+        "corrupt payload decoded"
+    );
+
+    // Truncate the trailer: planning must name the missing trailer.
+    let err = plan_bytes("trailer", &buf[..buf.len() - 5]).unwrap_err();
+    assert!(err.to_string().contains("trailer"), "{err}");
+}
+
+#[test]
+fn btf_point_record_corruption_is_a_typed_error() {
+    let mut buf = Vec::new();
+    write_binary(&sample_trace_with_points(), &mut buf).unwrap();
+
+    // Point records trail the intervals: locate the first one by its
+    // time field (1.0) and corrupt the kind byte that follows it.
+    let t = 1.0f64.to_le_bytes();
+    let pos = buf
+        .windows(8)
+        .rposition(|w| w == t)
+        .expect("point record present");
+    let mut bad_kind = buf.clone();
+    bad_kind[pos + 8] = 9;
+    let err = read_binary(bad_kind.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("bad point kind"), "{err}");
+
+    // Truncations inside the point section: clean errors, never panics.
+    for cut in pos..buf.len() {
+        assert!(
+            read_binary(&buf[..cut]).is_err(),
+            "point section cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn btf_node_before_root_is_a_typed_error() {
+    let mut buf = sample_btf();
+    // The first hierarchy node record follows the node count; its parent
+    // field is 0 (root). Patch it to a nonzero parent so the builder is
+    // asked to attach a child before any root exists.
+    let name = b"root"; // root kind written by Hierarchy::balanced
+    let pos = buf.windows(name.len()).position(|w| w == name).unwrap();
+    // Layout: u32 parent, u32 len(kind), kind … — parent sits 8 bytes
+    // before the kind text.
+    buf[pos - 8..pos - 4].copy_from_slice(&7u32.to_le_bytes());
+    let err = read_binary(buf.as_slice()).unwrap_err();
+    assert!(
+        err.to_string().contains("node before root") || err.to_string().contains("parent id"),
+        "{err}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Single-byte corruption of a valid OCTF stream either decodes to a
+    /// consistent result or errors — never panics. (This drives the
+    /// fallible chunk-entry and varint-column decoders through millions
+    /// of hostile byte patterns across CI runs.)
+    #[test]
+    fn octf_single_byte_corruption_never_panics(pos in 0usize..4096, val in any::<u8>()) {
+        let mut buf = sample_octf();
+        let pos = pos % buf.len();
+        buf[pos] = val;
+        let _ = decode_octf(&buf);
+    }
+}
+
 #[test]
 fn readers_reject_each_others_magic() {
     let btf = sample_btf();

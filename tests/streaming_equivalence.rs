@@ -160,6 +160,208 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Live append equivalence: a model grown batch by batch must be bitwise
+// the model a fresh ingest of the concatenated prefix would build —
+// after *every* batch, not just at the end.
+// ---------------------------------------------------------------------------
+
+use ocelotl::core::{DenseCube, HiResModel, LazyCube, LiveEvent, Metric};
+use ocelotl::trace::{EventSink, ModelSink, StreamHeader};
+
+/// An all-zero appendable model: `n_leaves` flat resources, two states,
+/// `h` hi-res periods over `range`.
+fn live_empty(metric: Metric, n_leaves: usize, h: usize, range: (f64, f64)) -> HiResModel {
+    let raw = MicroModel::from_dense(
+        Hierarchy::flat(n_leaves, "p"),
+        StateRegistry::from_names(["A", "B"]),
+        TimeGrid::new(range.0, range.1, h),
+        vec![0.0; n_leaves * 2 * h],
+    );
+    HiResModel::new(metric, raw)
+}
+
+/// The post-mortem reference: one fresh ingest of `events` through the
+/// shared streaming sink, over an explicitly declared range.
+fn fresh_raw(
+    metric: Metric,
+    n_leaves: usize,
+    h: usize,
+    range: (f64, f64),
+    events: &[LiveEvent],
+) -> MicroModel {
+    let mut sink = ModelSink::with_range(metric.model_kind(), h, range);
+    sink.begin(&StreamHeader {
+        hierarchy: Hierarchy::flat(n_leaves, "p"),
+        states: StateRegistry::from_names(["A", "B"]),
+        metadata: Vec::new(),
+        range: Some(range),
+    });
+    for &(leaf, state, b, e) in events {
+        sink.interval(leaf, state, b, e);
+    }
+    sink.finish_raw().expect("fresh ingest")
+}
+
+fn assert_live_raw_identical(live: &HiResModel, fresh: &MicroModel, what: &str) {
+    assert_eq!(live.raw().grid(), fresh.grid(), "{what}: grid");
+    for leaf in 0..live.raw().n_leaves() {
+        for x in 0..live.raw().n_states() {
+            let a = live.raw().series(LeafId(leaf as u32), StateId(x as u16));
+            let b = fresh.series(LeafId(leaf as u32), StateId(x as u16));
+            for (t, (va, vb)) in a.iter().zip(b.iter()).enumerate() {
+                assert_eq!(
+                    va.to_bits(),
+                    vb.to_bits(),
+                    "{what}: cell ({leaf}, {x}, {t}): {va} vs {vb}"
+                );
+            }
+        }
+    }
+}
+
+/// Derived models and both cube backends must agree cell for cell once
+/// the raw models do — checked at the target resolution, where the
+/// analyses actually read.
+fn assert_derived_and_cubes_identical(live: &HiResModel, fresh: &MicroModel, n_slices: usize) {
+    let a = live.derive_at(n_slices).expect("live derive");
+    let b = HiResModel::new(live.metric(), fresh.clone())
+        .derive_at(n_slices)
+        .expect("fresh derive");
+    assert_bit_identical(&a, &b, "derived");
+    let (da, db) = (DenseCube::build(&a), DenseCube::build(&b));
+    let (la, lb) = (LazyCube::build(&a), LazyCube::build(&b));
+    for node in a.hierarchy().node_ids() {
+        for i in 0..n_slices {
+            for j in i..n_slices {
+                let cells = [
+                    ("dense gain", da.gain(node, i, j), db.gain(node, i, j)),
+                    ("dense loss", da.loss(node, i, j), db.loss(node, i, j)),
+                    ("lazy gain", la.gain(node, i, j), lb.gain(node, i, j)),
+                    ("lazy loss", la.loss(node, i, j), lb.loss(node, i, j)),
+                ];
+                for (what, x, y) in cells {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{what} ({node:?}, {i}, {j}): {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Declared-horizon regime: the time extent is known up front (what
+    /// `simulate --live` declares from its scan pass), bounds are
+    /// arbitrary floats, and the grid never grows. Random batch sizes in
+    /// 1..4096; after every batch the appended model must be bitwise the
+    /// fresh ingest of everything fed so far, for both metrics; at the
+    /// end, derived models and dense/lazy cubes must match too.
+    #[test]
+    fn live_append_equals_fresh_ingest_at_every_batch_boundary(
+        n_leaves in 1usize..5,
+        n_slices in 2usize..8,
+        mult in 3usize..24,
+        raw_events in proptest::collection::vec(
+            (0u32..8, 0u16..2, 0.0f64..1.0, 0.0001f64..0.97), 1..180),
+        batch_sizes in proptest::collection::vec(1usize..4096, 1..10),
+    ) {
+        let h = n_slices * mult;
+        let range = (0.13, 9.71);
+        let events: Vec<LiveEvent> = raw_events
+            .iter()
+            .map(|&(leaf, state, b_frac, d_frac)| {
+                let b = range.0 + b_frac * (range.1 - range.0);
+                let e = b + d_frac * (range.1 - b);
+                (LeafId(leaf % n_leaves as u32), StateId(state), b, e)
+            })
+            .collect();
+        for metric in [Metric::States, Metric::Density] {
+            let mut live = live_empty(metric, n_leaves, h, range);
+            let mut fed = 0usize;
+            let mut batches = batch_sizes.iter().cycle();
+            while fed < events.len() {
+                let take = (*batches.next().unwrap()).min(events.len() - fed);
+                live.append(&events[fed..fed + take], 1).unwrap();
+                fed += take;
+                let fresh = fresh_raw(metric, n_leaves, h, range, &events[..fed]);
+                assert_live_raw_identical(
+                    &live,
+                    &fresh,
+                    &format!("{}/horizon after {fed}", metric.tag()),
+                );
+            }
+            let fresh = fresh_raw(metric, n_leaves, h, range, &events);
+            assert_derived_and_cubes_identical(&live, &fresh, n_slices);
+        }
+    }
+
+    /// Growth regime: dyadic grid (start 0, power-of-two span and period
+    /// count), events running past the declared horizon so the grid must
+    /// grow. After every batch, a fresh ingest *declared over the grown
+    /// range* must be bitwise the appended model.
+    #[test]
+    fn live_append_with_growth_equals_fresh_ingest_over_the_grown_range(
+        n_leaves in 1usize..4,
+        n_slices_log2 in 1u32..4, // n_slices in {2, 4, 8}
+        raw_events in proptest::collection::vec(
+            (0u32..8, 0u16..2, 0.0f64..1.0, 0.0011f64..0.9973), 1..120),
+        batch_sizes in proptest::collection::vec(1usize..4096, 1..8),
+    ) {
+        let n_slices = 1usize << n_slices_log2;
+        let h = 1024usize;
+        let span = 8.0f64;
+        // Events spread past the horizon (up to 1.5x the declared span),
+        // with irrational-ish offsets so no endpoint can land exactly on
+        // a (dyadic) grid end.
+        let events: Vec<LiveEvent> = raw_events
+            .iter()
+            .map(|&(leaf, state, b_frac, dur)| {
+                let b = b_frac * span * 1.5 + 0.000_137;
+                (LeafId(leaf % n_leaves as u32), StateId(state), b, b + dur)
+            })
+            .collect();
+        for metric in [Metric::States, Metric::Density] {
+            let mut live = live_empty(metric, n_leaves, h, (0.0, span));
+            let mut fed = 0usize;
+            let mut batches = batch_sizes.iter().cycle();
+            while fed < events.len() {
+                let take = (*batches.next().unwrap()).min(events.len() - fed);
+                live.append(&events[fed..fed + take], n_slices).unwrap();
+                fed += take;
+                let h_now = live.raw().n_slices();
+                let grid = live.raw().grid();
+                let fresh = fresh_raw(
+                    metric,
+                    n_leaves,
+                    h_now,
+                    (grid.start(), grid.end()),
+                    &events[..fed],
+                );
+                assert_live_raw_identical(
+                    &live,
+                    &fresh,
+                    &format!("{}/growth after {fed} (h={h_now})", metric.tag()),
+                );
+            }
+            prop_assert!(live.raw().n_slices() >= h, "grid only grows");
+            let grid = live.raw().grid();
+            let fresh = fresh_raw(
+                metric,
+                n_leaves,
+                live.raw().n_slices(),
+                (grid.start(), grid.end()),
+                &events,
+            );
+            assert_derived_and_cubes_identical(&live, &fresh, n_slices);
+        }
+    }
+}
+
 #[test]
 fn equivalence_holds_for_paper_shaped_workload() {
     // A deterministic mpisim trace (case A at tiny scale) through every
